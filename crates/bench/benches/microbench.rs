@@ -1,0 +1,181 @@
+//! Criterion microbenchmarks for the predllc components and the
+//! end-to-end simulator.
+//!
+//! Groups:
+//! * `cache` — set-associative fill/lookup and replacement-policy victim
+//!   selection;
+//! * `sequencer` — QLT/SQ operations;
+//! * `llc` — hit and fill service paths of the shared-LLC controller;
+//! * `engine` — end-to-end simulated-cycles-per-second for the three
+//!   partitioning families (one bench per Fig. 7/Fig. 8 configuration
+//!   family), plus the arbiter/replacement ablations' hot paths;
+//! * `analysis` — the closed-form WCL evaluations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use predllc_bench::harness::{nss, p, ss};
+use predllc_cache::{Dram, ReplacementKind, SetAssocCache};
+use predllc_core::analysis::WclParams;
+use predllc_core::llc::SharedLlc;
+use predllc_core::{PartitionMap, PartitionSpec, SetSequencer, SharingMode, Simulator};
+use predllc_model::{CacheGeometry, CoreId, LineAddr, SetIdx, SlotWidth};
+use predllc_workload::gen::UniformGen;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("fill_lookup_paper_l2", |b| {
+        b.iter_batched(
+            || SetAssocCache::<()>::new(CacheGeometry::PAPER_L2, ReplacementKind::Lru),
+            |mut cache| {
+                for i in 0..256u64 {
+                    let line = LineAddr::new(i % 96);
+                    if cache.lookup(line).is_none() {
+                        cache.fill(line, i % 3 == 0, ());
+                    }
+                }
+                cache.occupancy()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    for kind in [
+        ReplacementKind::Lru,
+        ReplacementKind::Fifo,
+        ReplacementKind::RoundRobin,
+        ReplacementKind::Random { seed: 1 },
+    ] {
+        g.bench_function(format!("victim_{kind}"), |b| {
+            let mut policy = kind.build(CacheGeometry::PAPER_L3);
+            let eligible = vec![true; 16];
+            b.iter(|| policy.choose_victim(black_box(SetIdx(3)), black_box(&eligible)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sequencer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequencer");
+    g.bench_function("enqueue_pop_16_cores", |b| {
+        b.iter_batched(
+            SetSequencer::new,
+            |mut sq| {
+                for s in 0..8u32 {
+                    for core in 0..16u16 {
+                        sq.enqueue(SetIdx(s), CoreId::new(core));
+                    }
+                }
+                for s in 0..8u32 {
+                    while sq.pop(SetIdx(s)).is_some() {}
+                }
+                sq.tracked_sets()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_llc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("llc");
+    let build = || {
+        let map = PartitionMap::new(
+            vec![PartitionSpec::shared(
+                8,
+                4,
+                CoreId::first(4).collect(),
+                SharingMode::SetSequencer,
+            )],
+            4,
+            CacheGeometry::PAPER_L3,
+        )
+        .expect("valid");
+        SharedLlc::new(map, 64, ReplacementKind::Lru, Dram::default())
+    };
+    g.bench_function("service_hit_path", |b| {
+        let mut llc = build();
+        llc.service(CoreId::new(0), LineAddr::new(1), &mut |_, _| false);
+        b.iter(|| {
+            llc.service(
+                black_box(CoreId::new(1)),
+                black_box(LineAddr::new(1)),
+                &mut |_, _| false,
+            )
+        })
+    });
+    g.bench_function("service_fill_evict_cycle", |b| {
+        b.iter_batched(
+            build,
+            |mut llc| {
+                // Fill past capacity so every later service victimizes.
+                for i in 0..64u64 {
+                    llc.service(CoreId::new((i % 4) as u16), LineAddr::new(i), &mut |_, _| {
+                        false
+                    });
+                }
+                llc.dram_stats().reads
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    let cases = [
+        ("ss_32x4x4", ss(32, 4, 4)),
+        ("nss_32x4x4", nss(32, 4, 4)),
+        ("p_8x4_x4", p(8, 4, 4)),
+    ];
+    for (name, cfg) in cases {
+        let traces = UniformGen::new(8_192, 500)
+            .with_write_fraction(0.2)
+            .with_seed(1)
+            .traces(4);
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || (cfg.clone(), traces.clone()),
+                |(cfg, traces)| {
+                    Simulator::new(cfg)
+                        .expect("valid")
+                        .run(traces)
+                        .expect("runs")
+                        .execution_time()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    let params = WclParams {
+        total_cores: 16,
+        sharers: 16,
+        ways: 16,
+        partition_lines: 512,
+        core_capacity_lines: 64,
+        slot_width: SlotWidth::PAPER,
+    };
+    g.bench_function("wcl_theorem_4_7", |b| {
+        b.iter(|| black_box(params).wcl_one_slot_tdm_checked())
+    });
+    g.bench_function("wcl_theorem_4_8", |b| {
+        b.iter(|| black_box(params).wcl_set_sequencer())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_sequencer,
+    bench_llc,
+    bench_engine,
+    bench_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Regenerates **Figure 7** of the paper: observed worst-case latency of
+//! SS/NSS/P one-set partition configurations across address ranges,
+//! against the analytical WCLs (5000 cycles for SS, 979250 for NSS at 16
+//! ways / 21650 at 2 ways, 450 for P).
+//!
+//! Usage: `cargo run --release -p predllc-bench --bin fig7 [--csv] [--ops N] [--seed S]`
+
+use std::thread;
+
+use predllc_bench::harness::{
+    self, measure, nss, p, paper_address_ranges, render_csv, render_table, ss, Measurement,
+    Metric,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let ops = flag_value(&args, "--ops").unwrap_or(2_000);
+    let seed = flag_value(&args, "--seed").unwrap_or(0xF167);
+    let writes = fflag_value(&args, "--writes").unwrap_or(0.2);
+
+    // The paper's Fig. 7 configurations: one-set partitions "to force as
+    // many conflicts as possible".
+    type ConfigBuilder = fn() -> predllc_core::SystemConfig;
+    let configs: Vec<(&str, ConfigBuilder)> = vec![
+        ("SS(1,2,4)", || ss(1, 2, 4)),
+        ("SS(1,4,4)", || ss(1, 4, 4)),
+        ("NSS(1,2,4)", || nss(1, 2, 4)),
+        ("NSS(1,4,4)", || nss(1, 4, 4)),
+        ("P(1,2)", || p(1, 2, 4)),
+        ("P(1,4)", || p(1, 4, 4)),
+    ];
+
+    let ranges = paper_address_ranges();
+    let mut rows: Vec<Measurement> = Vec::new();
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &(label, build) in &configs {
+            for &range in &ranges {
+                handles.push(scope.spawn(move || {
+                    measure(label, build(), range, ops as usize, seed, writes)
+                }));
+            }
+        }
+        for h in handles {
+            rows.push(h.join().expect("measurement thread"));
+        }
+    });
+    rows.sort_by(|a, b| (a.range, &a.label).cmp(&(b.range, &b.label)));
+
+    if csv {
+        print!("{}", render_csv(&rows));
+        return;
+    }
+    println!(
+        "{}",
+        render_table(
+            "Figure 7: observed WCL (cycles) vs per-core address range",
+            &rows,
+            Metric::ObservedWcl,
+        )
+    );
+    println!("Analytical WCLs (cycles):");
+    for (label, build) in &configs {
+        println!(
+            "  {label:<12} {}",
+            harness::analytical_wcl(&build()).map_or("-".to_string(), |v| v.to_string())
+        );
+    }
+    println!();
+    // The paper's criterion: every observation within its analytical WCL.
+    let violations: Vec<&Measurement> = rows
+        .iter()
+        .filter(|m| m.analytical_wcl.is_some_and(|a| m.observed_wcl > a))
+        .collect();
+    if violations.is_empty() {
+        println!("CHECK ok: all observed WCLs are within their analytical bounds");
+    } else {
+        println!("CHECK FAILED: {} observations exceed their bound:", violations.len());
+        for v in violations {
+            println!(
+                "  {} @ {} B: observed {} > analytical {}",
+                v.label,
+                v.range,
+                v.observed_wcl,
+                v.analytical_wcl.unwrap_or(0)
+            );
+        }
+        std::process::exit(1);
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn fflag_value(args: &[String], flag: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,137 @@
+//! Regenerates **Figure 8** of the paper: execution time of the
+//! synthetic workload when a fixed LLC capacity is shared (SS/NSS) vs.
+//! split into private partitions (P), for 2- and 4-core setups at 4096 B
+//! and 8192 B total capacity.
+//!
+//! The paper's captions print `P(8,2)` / `P(8,4)` for both core counts.
+//! For 4 cores that is the equal division of the fixed capacity; for 2
+//! cores equal division would be `P(16,2)` / `P(16,4)`. Both readings are
+//! reported (the printed one as `P`, the equal division as `P=`); see
+//! `EXPERIMENTS.md`.
+//!
+//! Usage: `cargo run --release -p predllc-bench --bin fig8 [--csv] [--ops N] [--seed S]`
+
+use std::thread;
+
+use predllc_bench::harness::{
+    measure, nss, p, paper_address_ranges, render_csv, render_table, ss, Measurement, Metric,
+};
+use predllc_core::SystemConfig;
+
+struct Panel {
+    title: &'static str,
+    configs: Vec<(String, SystemConfig)>,
+}
+
+fn panels() -> Vec<Panel> {
+    vec![
+        Panel {
+            title: "Figure 8a: 2-core, 4096 B partition — execution time (cycles)",
+            configs: vec![
+                ("SS(32,2,2)".into(), ss(32, 2, 2)),
+                ("NSS(32,2,2)".into(), nss(32, 2, 2)),
+                ("P(8,2)".into(), p(8, 2, 2)),
+                ("P=(16,2)".into(), p(16, 2, 2)),
+            ],
+        },
+        Panel {
+            title: "Figure 8b: 2-core, 8192 B partition — execution time (cycles)",
+            configs: vec![
+                ("SS(32,4,2)".into(), ss(32, 4, 2)),
+                ("NSS(32,4,2)".into(), nss(32, 4, 2)),
+                ("P(8,4)".into(), p(8, 4, 2)),
+                ("P=(16,4)".into(), p(16, 4, 2)),
+            ],
+        },
+        Panel {
+            title: "Figure 8c: 4-core, 4096 B partition — execution time (cycles)",
+            configs: vec![
+                ("SS(32,2,4)".into(), ss(32, 2, 4)),
+                ("NSS(32,2,4)".into(), nss(32, 2, 4)),
+                ("P(8,2)".into(), p(8, 2, 4)),
+            ],
+        },
+        Panel {
+            title: "Figure 8d: 4-core, 8192 B partition — execution time (cycles)",
+            configs: vec![
+                ("SS(32,4,4)".into(), ss(32, 4, 4)),
+                ("NSS(32,4,4)".into(), nss(32, 4, 4)),
+                ("P(8,4)".into(), p(8, 4, 4)),
+            ],
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let ops = flag_value(&args, "--ops").unwrap_or(4_000) as usize;
+    let seed = flag_value(&args, "--seed").unwrap_or(0xF168);
+    let writes = fflag_value(&args, "--writes").unwrap_or(0.0);
+
+    for panel in panels() {
+        let ranges = paper_address_ranges();
+        let mut rows: Vec<Measurement> = Vec::new();
+        thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (label, cfg) in &panel.configs {
+                for &range in &ranges {
+                    let label = label.clone();
+                    let cfg = cfg.clone();
+                    handles.push(
+                        scope.spawn(move || measure(&label, cfg, range, ops, seed, writes)),
+                    );
+                }
+            }
+            for h in handles {
+                rows.push(h.join().expect("measurement thread"));
+            }
+        });
+        rows.sort_by(|a, b| (a.range, &a.label).cmp(&(b.range, &b.label)));
+
+        if csv {
+            print!("{}", render_csv(&rows));
+        } else {
+            println!("{}", render_table(panel.title, &rows, Metric::ExecutionTime));
+            print_speedups(&panel, &rows);
+        }
+    }
+}
+
+/// The paper reports SS's average speedup over NSS and P across the
+/// ranges where the address range exceeds the partition share.
+fn print_speedups(panel: &Panel, rows: &[Measurement]) {
+    let ss_label = &panel.configs[0].0;
+    for (label, _) in panel.configs.iter().skip(1) {
+        let mut ratios = Vec::new();
+        for r in rows.iter().filter(|r| &r.label == ss_label) {
+            if let Some(other) = rows
+                .iter()
+                .find(|o| &o.label == label && o.range == r.range)
+            {
+                if r.execution_time > 0 {
+                    ratios.push(other.execution_time as f64 / r.execution_time as f64);
+                }
+            }
+        }
+        if !ratios.is_empty() {
+            let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            println!("  average speedup of {ss_label} over {label}: {avg:.2}x");
+        }
+    }
+    println!();
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn fflag_value(args: &[String], flag: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,238 @@
+//! Shared experiment plumbing for the figure-regeneration binaries.
+
+use predllc_core::analysis::WclParams;
+use predllc_core::{RunReport, SharingMode, Simulator, SystemConfig};
+use predllc_model::MemOp;
+use predllc_workload::gen::UniformGen;
+
+/// The address-range sweep of the paper's x-axes: 1 KiB … 256 KiB in
+/// powers of two.
+pub fn paper_address_ranges() -> Vec<u64> {
+    (10..=18).map(|k| 1u64 << k).collect()
+}
+
+/// Builds the paper's `SS(s,w,n)` configuration.
+///
+/// # Panics
+///
+/// Panics on invalid dimensions — the harness only feeds paper values.
+pub fn ss(sets: u32, ways: u32, n: u16) -> SystemConfig {
+    SystemConfig::shared_partition(sets, ways, n, SharingMode::SetSequencer)
+        .expect("valid paper configuration")
+}
+
+/// Builds the paper's `NSS(s,w,n)` configuration.
+///
+/// # Panics
+///
+/// Panics on invalid dimensions.
+pub fn nss(sets: u32, ways: u32, n: u16) -> SystemConfig {
+    SystemConfig::shared_partition(sets, ways, n, SharingMode::BestEffort)
+        .expect("valid paper configuration")
+}
+
+/// Builds the paper's `P(s,w)` configuration for `n` cores (one private
+/// partition each).
+///
+/// # Panics
+///
+/// Panics on invalid dimensions.
+pub fn p(sets: u32, ways: u32, n: u16) -> SystemConfig {
+    SystemConfig::private_partitions(sets, ways, n).expect("valid paper configuration")
+}
+
+/// One measured configuration at one address range.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Configuration label in the paper's notation.
+    pub label: String,
+    /// Per-core address range in bytes.
+    pub range: u64,
+    /// Worst observed request latency, cycles.
+    pub observed_wcl: u64,
+    /// Execution time (makespan), cycles.
+    pub execution_time: u64,
+    /// Analytical WCL for the configuration, cycles (None if the
+    /// analysis does not apply).
+    pub analytical_wcl: Option<u64>,
+}
+
+/// Runs one configuration against the paper's uniform-random workload.
+///
+/// The same `(seed, ops)` yields the same addresses across
+/// configurations, matching the paper's methodology ("a core issues the
+/// same memory addresses across different partitioned configurations").
+///
+/// # Panics
+///
+/// Panics if the simulation rejects the workload (cannot happen for the
+/// harness's own configurations).
+pub fn measure(
+    label: &str,
+    config: SystemConfig,
+    range: u64,
+    ops: usize,
+    seed: u64,
+    write_fraction: f64,
+) -> Measurement {
+    let n = config.num_cores();
+    let traces = UniformGen::new(range, ops)
+        .with_seed(seed)
+        .with_write_fraction(write_fraction)
+        .traces(n);
+    let analytical = analytical_wcl(&config);
+    let report = run(config, traces);
+    Measurement {
+        label: label.to_string(),
+        range,
+        observed_wcl: report.max_request_latency().as_u64(),
+        execution_time: report.execution_time().as_u64(),
+        analytical_wcl: analytical,
+    }
+}
+
+/// Runs a configuration on explicit traces.
+///
+/// # Panics
+///
+/// Panics if the trace count mismatches the core count.
+pub fn run(config: SystemConfig, traces: Vec<Vec<MemOp>>) -> RunReport {
+    Simulator::new(config)
+        .expect("validated configuration")
+        .run(traces)
+        .expect("trace count matches core count")
+}
+
+/// The analytical WCL applicable to a configuration (per its sharing
+/// mode), in cycles.
+pub fn analytical_wcl(config: &SystemConfig) -> Option<u64> {
+    let params = WclParams::from_config(config).ok()?;
+    let spec = config.partitions().spec_of(predllc_model::CoreId::new(0));
+    let cycles = if spec.is_private() {
+        params.wcl_private()
+    } else {
+        match spec.mode {
+            SharingMode::SetSequencer => params.wcl_set_sequencer(),
+            SharingMode::BestEffort => params.wcl_one_slot_tdm_checked()?,
+        }
+    };
+    Some(cycles.as_u64())
+}
+
+/// Which metric a table shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Worst observed request latency (Fig. 7).
+    ObservedWcl,
+    /// Workload execution time (Fig. 8).
+    ExecutionTime,
+}
+
+/// Renders measurements as an aligned text table grouped by range.
+pub fn render_table(title: &str, rows: &[Measurement], metric: Metric) -> String {
+    let mut labels: Vec<String> = Vec::new();
+    for r in rows {
+        if !labels.contains(&r.label) {
+            labels.push(r.label.clone());
+        }
+    }
+    let mut ranges: Vec<u64> = rows.iter().map(|r| r.range).collect();
+    ranges.sort_unstable();
+    ranges.dedup();
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:>10}", "range(B)"));
+    for l in &labels {
+        out.push_str(&format!(" {l:>14}"));
+    }
+    out.push('\n');
+    for range in ranges {
+        out.push_str(&format!("{range:>10}"));
+        for l in &labels {
+            let v = rows
+                .iter()
+                .find(|r| r.range == range && &r.label == l)
+                .map(|r| match metric {
+                    Metric::ObservedWcl => r.observed_wcl,
+                    Metric::ExecutionTime => r.execution_time,
+                });
+            match v {
+                Some(v) => out.push_str(&format!(" {v:>14}")),
+                None => out.push_str(&format!(" {:>14}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders measurements as CSV.
+pub fn render_csv(rows: &[Measurement]) -> String {
+    let mut out = String::from("label,range_bytes,observed_wcl,execution_time,analytical_wcl\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            r.label,
+            r.range,
+            r.observed_wcl,
+            r.execution_time,
+            r.analytical_wcl.map_or(String::new(), |v| v.to_string()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_match_paper_axis() {
+        let r = paper_address_ranges();
+        assert_eq!(r.first(), Some(&1024));
+        assert_eq!(r.last(), Some(&262_144));
+        assert_eq!(r.len(), 9);
+    }
+
+    #[test]
+    fn analytical_values_match_paper() {
+        assert_eq!(analytical_wcl(&ss(1, 2, 4)), Some(5_000));
+        assert_eq!(analytical_wcl(&ss(1, 4, 4)), Some(5_000));
+        assert_eq!(analytical_wcl(&nss(1, 16, 4)), Some(979_250));
+        assert_eq!(analytical_wcl(&p(1, 2, 4)), Some(450));
+    }
+
+    #[test]
+    fn measurement_respects_analytical_bound_small() {
+        let m = measure("SS(1,2,4)", ss(1, 2, 4), 2048, 50, 3, 0.2);
+        assert!(m.observed_wcl <= m.analytical_wcl.unwrap());
+        assert!(m.execution_time > 0);
+    }
+
+    #[test]
+    fn tables_render_all_cells() {
+        let rows = vec![
+            Measurement {
+                label: "A".into(),
+                range: 1024,
+                observed_wcl: 10,
+                execution_time: 99,
+                analytical_wcl: Some(100),
+            },
+            Measurement {
+                label: "B".into(),
+                range: 1024,
+                observed_wcl: 20,
+                execution_time: 88,
+                analytical_wcl: None,
+            },
+        ];
+        let t = render_table("T", &rows, Metric::ObservedWcl);
+        assert!(t.contains("1024") && t.contains("10") && t.contains("20"));
+        let c = render_csv(&rows);
+        assert!(c.lines().count() == 3);
+        assert!(c.contains("A,1024,10,99,100"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness for the `predllc` reproduction.
+//!
+//! The binaries regenerate the paper's figures:
+//!
+//! * `fig7` — observed vs. analytical WCL for SS/NSS/P one-set
+//!   partitions (paper Fig. 7);
+//! * `fig8` — execution time under fixed total capacity, shared vs.
+//!   split (paper Fig. 8a-d);
+//! * `headline` — the analytical WCL table and the "2048x" ratio claim;
+//! * `ablation` — arbiter/replacement/sharer-count sweeps beyond the
+//!   paper.
+//!
+//! `benches/microbench.rs` holds the criterion microbenchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;

@@ -1,0 +1,260 @@
+//! Per-core pending-request (PRB) and pending-write-back (PWB) buffers.
+//!
+//! The system model (§3) buffers a core's single outstanding request in a
+//! *pending request buffer* and its write-backs in a *pending write-back
+//! buffer*; a predictable arbitration between the two picks what goes on
+//! the bus at the start of the core's slot (see [`crate::arbiter`]).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use predllc_model::{Cycles, LineAddr, MemOp};
+use serde::{Deserialize, Serialize};
+
+/// The single outstanding LLC request of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// The memory operation that missed in the private hierarchy.
+    pub op: MemOp,
+    /// Cycle at which the request entered the PRB (latency measurement
+    /// starts here).
+    pub issued_at: Cycles,
+    /// Whether the request has already been transmitted on the bus at
+    /// least once (i.e. the LLC knows about it; for the set sequencer this
+    /// is the broadcast that fixes queue order).
+    pub broadcast: bool,
+}
+
+/// Why a write-back is queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WbKind {
+    /// The LLC evicted a line this core caches privately; the core must
+    /// evict it from L1/L2 and acknowledge over the bus (with data if
+    /// dirty). This is the `Evict l → WB l` pattern of Figs. 2–4.
+    BackInvalAck,
+    /// The core's own L2 evicted a dirty line on refill; the data must be
+    /// written back to the (still-valid) LLC copy.
+    CapacityEviction,
+}
+
+/// One queued write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteBack {
+    /// The line being written back / acknowledged.
+    pub line: LineAddr,
+    /// Whether the private copy was dirty (the transaction carries data).
+    pub dirty: bool,
+    /// Why the write-back exists.
+    pub kind: WbKind,
+    /// Cycle at which it was enqueued.
+    pub enqueued_at: Cycles,
+}
+
+/// The pending request buffer: capacity one, per the one-outstanding-
+/// request system model.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_bus::Prb;
+/// use predllc_model::{Address, Cycles, MemOp};
+///
+/// let mut prb = Prb::new();
+/// assert!(prb.is_empty());
+/// prb.insert(MemOp::read(Address::new(0x40)), Cycles::new(10));
+/// assert!(prb.peek().is_some());
+/// let done = prb.take().unwrap();
+/// assert_eq!(done.issued_at, Cycles::new(10));
+/// assert!(prb.is_empty());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Prb {
+    entry: Option<PendingRequest>,
+}
+
+impl Prb {
+    /// Creates an empty PRB.
+    pub fn new() -> Self {
+        Prb::default()
+    }
+
+    /// Whether no request is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entry.is_none()
+    }
+
+    /// Inserts the core's next request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request is already outstanding — the system model
+    /// allows at most one, and the core model must not violate it.
+    pub fn insert(&mut self, op: MemOp, now: Cycles) {
+        assert!(
+            self.entry.is_none(),
+            "core model violated the one-outstanding-request rule"
+        );
+        self.entry = Some(PendingRequest {
+            op,
+            issued_at: now,
+            broadcast: false,
+        });
+    }
+
+    /// The outstanding request, if any.
+    pub fn peek(&self) -> Option<&PendingRequest> {
+        self.entry.as_ref()
+    }
+
+    /// Marks the outstanding request as broadcast on the bus.
+    pub fn mark_broadcast(&mut self) {
+        if let Some(e) = &mut self.entry {
+            e.broadcast = true;
+        }
+    }
+
+    /// Removes and returns the outstanding request (on LLC response).
+    pub fn take(&mut self) -> Option<PendingRequest> {
+        self.entry.take()
+    }
+}
+
+/// The pending write-back buffer: a FIFO of write-backs awaiting bus
+/// slots.
+///
+/// The paper bounds its occupancy analytically (at most `n−1` pending
+/// back-invalidation acks, Corollary 4.5's proof); structurally it is
+/// unbounded and [`Pwb::max_depth`] lets tests check the analytical bound
+/// actually holds in simulation.
+#[derive(Debug, Default, Clone)]
+pub struct Pwb {
+    queue: VecDeque<WriteBack>,
+    max_depth: usize,
+}
+
+impl Pwb {
+    /// Creates an empty PWB.
+    pub fn new() -> Self {
+        Pwb::default()
+    }
+
+    /// Whether no write-back is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of pending write-backs.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The deepest the buffer has ever been.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Enqueues a write-back.
+    pub fn push(&mut self, wb: WriteBack) {
+        self.queue.push_back(wb);
+        self.max_depth = self.max_depth.max(self.queue.len());
+    }
+
+    /// The write-back that would go on the bus next.
+    pub fn peek(&self) -> Option<&WriteBack> {
+        self.queue.front()
+    }
+
+    /// Dequeues the front write-back (it was transmitted).
+    pub fn pop(&mut self) -> Option<WriteBack> {
+        self.queue.pop_front()
+    }
+
+    /// Whether a write-back for `line` is queued.
+    pub fn contains_line(&self, line: LineAddr) -> bool {
+        self.queue.iter().any(|w| w.line == line)
+    }
+}
+
+impl fmt::Display for WbKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WbKind::BackInvalAck => f.write_str("back-invalidation ack"),
+            WbKind::CapacityEviction => f.write_str("capacity eviction"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predllc_model::Address;
+
+    fn wb(line: u64) -> WriteBack {
+        WriteBack {
+            line: LineAddr::new(line),
+            dirty: true,
+            kind: WbKind::BackInvalAck,
+            enqueued_at: Cycles::ZERO,
+        }
+    }
+
+    #[test]
+    fn prb_lifecycle() {
+        let mut prb = Prb::new();
+        assert!(prb.is_empty());
+        assert!(prb.take().is_none());
+        prb.insert(MemOp::read(Address::new(0)), Cycles::new(5));
+        assert!(!prb.is_empty());
+        assert!(!prb.peek().unwrap().broadcast);
+        prb.mark_broadcast();
+        assert!(prb.peek().unwrap().broadcast);
+        let r = prb.take().unwrap();
+        assert_eq!(r.issued_at, Cycles::new(5));
+        assert!(prb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one-outstanding-request")]
+    fn prb_rejects_second_outstanding_request() {
+        let mut prb = Prb::new();
+        prb.insert(MemOp::read(Address::new(0)), Cycles::ZERO);
+        prb.insert(MemOp::read(Address::new(64)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn pwb_is_fifo() {
+        let mut pwb = Pwb::new();
+        pwb.push(wb(1));
+        pwb.push(wb(2));
+        pwb.push(wb(3));
+        assert_eq!(pwb.len(), 3);
+        assert_eq!(pwb.pop().unwrap().line, LineAddr::new(1));
+        assert_eq!(pwb.pop().unwrap().line, LineAddr::new(2));
+        assert_eq!(pwb.pop().unwrap().line, LineAddr::new(3));
+        assert!(pwb.pop().is_none());
+    }
+
+    #[test]
+    fn pwb_tracks_max_depth() {
+        let mut pwb = Pwb::new();
+        pwb.push(wb(1));
+        pwb.push(wb(2));
+        pwb.pop();
+        pwb.push(wb(3));
+        assert_eq!(pwb.max_depth(), 2);
+    }
+
+    #[test]
+    fn pwb_contains_line() {
+        let mut pwb = Pwb::new();
+        pwb.push(wb(7));
+        assert!(pwb.contains_line(LineAddr::new(7)));
+        assert!(!pwb.contains_line(LineAddr::new(8)));
+    }
+
+    #[test]
+    fn wb_kind_display() {
+        assert_eq!(WbKind::BackInvalAck.to_string(), "back-invalidation ack");
+        assert_eq!(WbKind::CapacityEviction.to_string(), "capacity eviction");
+    }
+}

@@ -1,0 +1,385 @@
+//! A generic set-associative cache structure.
+//!
+//! [`SetAssocCache`] stores per-line metadata of any type `T`, so the same
+//! structure backs the private L1/L2 caches (`T = ()`) and, in
+//! `predllc-core`, the shared LLC (where `T` carries sharer bitmaps and the
+//! eviction state machine).
+
+use predllc_model::{CacheGeometry, LineAddr, SetIdx, WayIdx};
+
+use crate::replacement::{ReplacementKind, ReplacementPolicy};
+
+/// One occupied cache line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry<T> {
+    /// The line address stored in this way.
+    pub line: LineAddr,
+    /// Whether the line holds modifications not yet written back.
+    pub dirty: bool,
+    /// Caller-defined metadata (sharers, eviction state, …).
+    pub meta: T,
+}
+
+/// A set-associative cache with pluggable replacement and per-line
+/// metadata.
+///
+/// The structure is purely functional bookkeeping: it never initiates
+/// memory traffic itself. Timing, bus protocol and inclusion enforcement
+/// live in the callers.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_cache::{ReplacementKind, SetAssocCache};
+/// use predllc_model::{CacheGeometry, LineAddr};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c: SetAssocCache<u8> =
+///     SetAssocCache::new(CacheGeometry::new(4, 2, 64)?, ReplacementKind::Lru);
+/// c.fill(LineAddr::new(8), true, 7);
+/// let e = c.lookup(LineAddr::new(8)).expect("just filled");
+/// assert!(e.dirty);
+/// assert_eq!(e.meta, 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SetAssocCache<T> {
+    geometry: CacheGeometry,
+    /// `ways[set][way]`.
+    ways: Vec<Vec<Option<Entry<T>>>>,
+    policy: Box<dyn ReplacementPolicy>,
+}
+
+impl<T> SetAssocCache<T> {
+    /// Creates an empty cache of the given geometry and replacement
+    /// policy.
+    pub fn new(geometry: CacheGeometry, replacement: ReplacementKind) -> Self {
+        let sets = geometry.sets() as usize;
+        let ways = geometry.ways() as usize;
+        SetAssocCache {
+            geometry,
+            ways: (0..sets)
+                .map(|_| (0..ways).map(|_| None).collect())
+                .collect(),
+            policy: replacement.build(geometry),
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// The set a line address maps to.
+    pub fn set_of(&self, line: LineAddr) -> SetIdx {
+        self.geometry.set_of(line)
+    }
+
+    /// Finds the way holding `line`, if present.
+    pub fn way_of(&self, line: LineAddr) -> Option<WayIdx> {
+        let set = self.set_of(line);
+        self.ways[set.as_usize()]
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.line == line))
+            .map(|w| WayIdx(w as u32))
+    }
+
+    /// Returns the entry for `line` without touching replacement state.
+    pub fn peek(&self, line: LineAddr) -> Option<&Entry<T>> {
+        let set = self.set_of(line);
+        self.ways[set.as_usize()]
+            .iter()
+            .flatten()
+            .find(|e| e.line == line)
+    }
+
+    /// Returns the entry for `line` mutably without touching replacement
+    /// state.
+    ///
+    /// Used for metadata folding (e.g. merging an L1 victim's dirty bit
+    /// into its L2 copy) that must not count as a use for recency.
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut Entry<T>> {
+        let set = self.set_of(line);
+        self.ways[set.as_usize()]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.line == line)
+    }
+
+    /// Looks up `line`, updating replacement recency on a hit.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut Entry<T>> {
+        let set = self.set_of(line);
+        let way = self.way_of(line)?;
+        self.policy.on_hit(set, way);
+        self.ways[set.as_usize()][way.as_usize()].as_mut()
+    }
+
+    /// Whether `line` is present.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Returns a free way in `line`'s set, if any (lowest index first).
+    pub fn free_way(&self, line: LineAddr) -> Option<WayIdx> {
+        let set = self.set_of(line);
+        self.free_way_in(set)
+    }
+
+    /// Returns a free way in `set`, if any (lowest index first).
+    pub fn free_way_in(&self, set: SetIdx) -> Option<WayIdx> {
+        self.ways[set.as_usize()]
+            .iter()
+            .position(Option::is_none)
+            .map(|w| WayIdx(w as u32))
+    }
+
+    /// Inserts `line`, evicting if the set is full. Returns the evicted
+    /// entry, if any.
+    ///
+    /// This is the "conventional cache" fill path used by the private
+    /// levels, where the cache chooses its own victim internally. The LLC
+    /// instead drives allocation explicitly via [`Self::install_at`] /
+    /// [`Self::take`], because its evictions are a multi-slot protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement policy fails to produce a victim for a
+    /// full set (which would indicate a policy bug, not a caller error).
+    pub fn fill(&mut self, line: LineAddr, dirty: bool, meta: T) -> Option<Entry<T>> {
+        debug_assert!(!self.contains(line), "fill of already-present {line}");
+        let set = self.set_of(line);
+        let (way, evicted) = match self.free_way_in(set) {
+            Some(way) => (way, None),
+            None => {
+                let eligible = vec![true; self.geometry.ways() as usize];
+                let way = self
+                    .policy
+                    .choose_victim(set, &eligible)
+                    .expect("replacement policy must pick a victim from a full mask");
+                let old = self.ways[set.as_usize()][way.as_usize()].take();
+                self.policy.on_invalidate(set, way);
+                (way, old)
+            }
+        };
+        self.ways[set.as_usize()][way.as_usize()] = Some(Entry { line, dirty, meta });
+        self.policy.on_fill(set, way);
+        evicted
+    }
+
+    /// Installs `line` at an explicit `(set, way)` slot, which must be
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied.
+    pub fn install_at(&mut self, set: SetIdx, way: WayIdx, line: LineAddr, dirty: bool, meta: T) {
+        let slot = &mut self.ways[set.as_usize()][way.as_usize()];
+        assert!(slot.is_none(), "install into occupied {set}/{way}");
+        *slot = Some(Entry { line, dirty, meta });
+        self.policy.on_fill(set, way);
+    }
+
+    /// Removes and returns the entry at `(set, way)`.
+    pub fn take(&mut self, set: SetIdx, way: WayIdx) -> Option<Entry<T>> {
+        let e = self.ways[set.as_usize()][way.as_usize()].take();
+        if e.is_some() {
+            self.policy.on_invalidate(set, way);
+        }
+        e
+    }
+
+    /// Removes `line` if present, returning its entry.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Entry<T>> {
+        let set = self.set_of(line);
+        let way = self.way_of(line)?;
+        self.take(set, way)
+    }
+
+    /// Chooses a victim way in `set` among ways where `eligible` is true.
+    ///
+    /// Exposed for the LLC, which restricts eligibility to the active
+    /// partition's ways minus lines that are already mid-eviction.
+    pub fn choose_victim(&mut self, set: SetIdx, eligible: &[bool]) -> Option<WayIdx> {
+        self.policy.choose_victim(set, eligible)
+    }
+
+    /// Direct access to the entry at `(set, way)`.
+    pub fn entry(&self, set: SetIdx, way: WayIdx) -> Option<&Entry<T>> {
+        self.ways[set.as_usize()][way.as_usize()].as_ref()
+    }
+
+    /// Direct mutable access to the entry at `(set, way)`.
+    pub fn entry_mut(&mut self, set: SetIdx, way: WayIdx) -> Option<&mut Entry<T>> {
+        self.ways[set.as_usize()][way.as_usize()].as_mut()
+    }
+
+    /// Marks `(set, way)` as recently used.
+    pub fn touch(&mut self, set: SetIdx, way: WayIdx) {
+        self.policy.on_hit(set, way);
+    }
+
+    /// Iterates over all occupied entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<T>> {
+        self.ways.iter().flatten().flatten()
+    }
+
+    /// Iterates over the occupied entries of one set.
+    pub fn iter_set(&self, set: SetIdx) -> impl Iterator<Item = (WayIdx, &Entry<T>)> {
+        self.ways[set.as_usize()]
+            .iter()
+            .enumerate()
+            .filter_map(|(w, e)| e.as_ref().map(|e| (WayIdx(w as u32), e)))
+    }
+
+    /// The number of occupied lines.
+    pub fn occupancy(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Removes every line, leaving the cache empty.
+    pub fn clear(&mut self) {
+        let sets = self.geometry.sets();
+        let ways = self.geometry.ways();
+        for s in 0..sets {
+            for w in 0..ways {
+                self.take(SetIdx(s), WayIdx(w));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache<u32> {
+        SetAssocCache::new(
+            CacheGeometry::new(2, 2, 64).unwrap(),
+            ReplacementKind::Lru,
+        )
+    }
+
+    // Lines 0,2,4,… map to set 0 of a 2-set cache; 1,3,5,… to set 1.
+    const L0: LineAddr = LineAddr::new(0);
+    const L2: LineAddr = LineAddr::new(2);
+    const L4: LineAddr = LineAddr::new(4);
+    const L6: LineAddr = LineAddr::new(6);
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert!(!c.contains(L0));
+        assert!(c.fill(L0, false, 1).is_none());
+        assert!(c.contains(L0));
+        assert_eq!(c.lookup(L0).unwrap().meta, 1);
+    }
+
+    #[test]
+    fn fill_evicts_lru_when_set_full() {
+        let mut c = small();
+        c.fill(L0, false, 1);
+        c.fill(L2, false, 2);
+        c.lookup(L0); // L0 becomes MRU, L2 LRU
+        let evicted = c.fill(L4, false, 3).expect("set was full");
+        assert_eq!(evicted.line, L2);
+        assert!(c.contains(L0) && c.contains(L4) && !c.contains(L2));
+    }
+
+    #[test]
+    fn dirty_flag_travels_with_eviction() {
+        let mut c = small();
+        c.fill(L0, true, 0);
+        c.fill(L2, false, 0);
+        c.lookup(L2);
+        let evicted = c.fill(L4, false, 0).unwrap();
+        assert_eq!(evicted.line, L0);
+        assert!(evicted.dirty);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = small();
+        c.fill(L0, false, 0);
+        c.fill(LineAddr::new(1), false, 0);
+        c.fill(L2, false, 0);
+        c.fill(LineAddr::new(3), false, 0);
+        assert_eq!(c.occupancy(), 4);
+        // Filling set 0 again does not disturb set 1.
+        c.fill(L4, false, 0);
+        assert!(c.contains(LineAddr::new(1)) && c.contains(LineAddr::new(3)));
+    }
+
+    #[test]
+    fn invalidate_removes_and_frees() {
+        let mut c = small();
+        c.fill(L0, true, 9);
+        let e = c.invalidate(L0).unwrap();
+        assert_eq!(e.meta, 9);
+        assert!(!c.contains(L0));
+        assert_eq!(c.free_way(L0), Some(WayIdx(0)));
+        assert!(c.invalidate(L0).is_none());
+    }
+
+    #[test]
+    fn install_take_roundtrip() {
+        let mut c = small();
+        let set = c.set_of(L0);
+        c.install_at(set, WayIdx(1), L0, false, 5);
+        assert_eq!(c.way_of(L0), Some(WayIdx(1)));
+        let e = c.take(set, WayIdx(1)).unwrap();
+        assert_eq!(e.line, L0);
+        assert!(c.take(set, WayIdx(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "install into occupied")]
+    fn install_into_occupied_panics() {
+        let mut c = small();
+        let set = c.set_of(L0);
+        c.install_at(set, WayIdx(0), L0, false, 0);
+        c.install_at(set, WayIdx(0), L2, false, 0);
+    }
+
+    #[test]
+    fn free_way_reports_lowest() {
+        let mut c = small();
+        assert_eq!(c.free_way(L0), Some(WayIdx(0)));
+        c.fill(L0, false, 0);
+        assert_eq!(c.free_way(L2), Some(WayIdx(1)));
+        c.fill(L2, false, 0);
+        assert_eq!(c.free_way(L4), None);
+    }
+
+    #[test]
+    fn iter_set_reports_ways() {
+        let mut c = small();
+        c.fill(L0, false, 1);
+        c.fill(L2, false, 2);
+        let set0: Vec<_> = c.iter_set(SetIdx(0)).map(|(w, e)| (w, e.line)).collect();
+        assert_eq!(set0, vec![(WayIdx(0), L0), (WayIdx(1), L2)]);
+        assert_eq!(c.iter_set(SetIdx(1)).count(), 0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = small();
+        for l in [L0, L2, L4, L6] {
+            c.fill(l, false, 0);
+        }
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.free_way(L0), Some(WayIdx(0)));
+    }
+
+    #[test]
+    fn peek_does_not_disturb_recency() {
+        let mut c = small();
+        c.fill(L0, false, 0);
+        c.fill(L2, false, 0);
+        // peek L0 (no recency update) then fill: LRU victim must be L0.
+        assert!(c.peek(L0).is_some());
+        let evicted = c.fill(L4, false, 0).unwrap();
+        assert_eq!(evicted.line, L0);
+    }
+}

@@ -1,0 +1,30 @@
+//! The paper's worst-case latency (WCL) analysis (§4), as executable
+//! formulas.
+//!
+//! * [`WclParams`] captures the analysis inputs: `N` total cores on the
+//!   bus, `n` cores sharing the partition, `w` ways per set, partition
+//!   size `M`, private capacity `m_cua`, slot width `SW`.
+//! * [`WclParams::wcl_one_slot_tdm`] is Theorem 4.7 — sharing under
+//!   1S-TDM without the set sequencer: `((m+1)·A·N + 1)·SW` with
+//!   `A = 2(n−1)·w·(n−1)` and `m = min(m_cua, M)`.
+//! * [`WclParams::wcl_set_sequencer`] is Theorem 4.8 — with the set
+//!   sequencer: `(2(n−1)·n + 1)·N·SW`, independent of cache and partition
+//!   sizes.
+//! * [`WclParams::wcl_private`] is the conventional private-partition
+//!   bound `(2N+1)·SW` (the "450 cycles" of Fig. 7).
+//! * [`bounds`] classifies arbitrary TDM schedules: 1S-TDM is bounded;
+//!   schedules that give another sharer two slots between consecutive
+//!   slots of the core under analysis are provably unbounded (§4.1).
+//! * [`critical`] builds the adversarial traces used to drive the
+//!   simulator toward the analytical bounds.
+
+pub mod bounds;
+pub mod critical;
+pub mod distance;
+pub mod taskset;
+mod wcl;
+
+pub use bounds::{classify_schedule, WclBound};
+pub use distance::{DistanceSample, DistanceTracker};
+pub use taskset::{RtaResult, TaskParams, TaskSetAnalysis};
+pub use wcl::WclParams;

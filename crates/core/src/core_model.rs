@@ -1,0 +1,344 @@
+//! Trace-driven execution of one core.
+//!
+//! Each core walks its memory-operation trace with at most one
+//! outstanding LLC request (paper §3). Private L1/L2 hits advance the
+//! core's local clock without bus traffic; a private miss parks the
+//! operation in the PRB (timestamped after the L2 lookup latency) and
+//! stalls the core until the LLC responds in one of its TDM slots.
+
+use predllc_bus::{Prb, Pwb, SlotArbiter, WbKind, WriteBack};
+use predllc_cache::{PrivateHierarchy, PrivateLookup};
+use predllc_model::{CoreId, Cycles, LineAddr, MemOp};
+
+use crate::stats::CoreStats;
+
+/// What a call to [`CoreModel::advance_to`] may leave behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreProgress {
+    /// The core is still executing private hits (or waiting for its local
+    /// clock to catch up).
+    Running,
+    /// The core has a request parked in its PRB and is stalled.
+    Stalled,
+    /// The trace is exhausted.
+    Finished,
+}
+
+/// One simulated core: trace cursor, private hierarchy, bus-side buffers.
+#[derive(Debug)]
+pub struct CoreModel {
+    id: CoreId,
+    trace: Vec<MemOp>,
+    pc: usize,
+    /// The private L1I/L1D/L2 stack.
+    pub private: PrivateHierarchy,
+    /// The pending request buffer (capacity one).
+    pub prb: Prb,
+    /// The pending write-back buffer.
+    pub pwb: Pwb,
+    /// The PRB/PWB slot arbiter.
+    pub arbiter: SlotArbiter,
+    /// The next cycle at which the core can execute an operation.
+    resume_at: Cycles,
+    finished: bool,
+    l1_latency: Cycles,
+    l2_latency: Cycles,
+}
+
+impl CoreModel {
+    /// Creates a core over its trace.
+    pub fn new(
+        id: CoreId,
+        trace: Vec<MemOp>,
+        private: PrivateHierarchy,
+        arbiter: SlotArbiter,
+        l1_latency: Cycles,
+        l2_latency: Cycles,
+    ) -> Self {
+        CoreModel {
+            id,
+            trace,
+            pc: 0,
+            private,
+            prb: Prb::new(),
+            pwb: Pwb::new(),
+            arbiter,
+            resume_at: Cycles::ZERO,
+            finished: false,
+            l1_latency,
+            l2_latency,
+        }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Whether the trace is exhausted and the last operation completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The cycle at which the core finished (meaningful once
+    /// [`Self::is_finished`]).
+    pub fn finished_at(&self) -> Cycles {
+        self.resume_at
+    }
+
+    /// Executes private-hit operations up to (and including) cycle `now`,
+    /// stopping at the first private miss, which is parked in the PRB.
+    ///
+    /// Never advances past `now`: the outcome of an operation issued
+    /// after `now` could still be changed by back-invalidations arriving
+    /// at the `now` slot boundary.
+    pub fn advance_to(&mut self, now: Cycles, stats: &mut CoreStats) -> CoreProgress {
+        loop {
+            if self.finished {
+                return CoreProgress::Finished;
+            }
+            if !self.prb.is_empty() {
+                return CoreProgress::Stalled;
+            }
+            if self.resume_at > now {
+                return CoreProgress::Running;
+            }
+            let Some(&op) = self.trace.get(self.pc) else {
+                self.finished = true;
+                stats.finished_at = self.resume_at;
+                return CoreProgress::Finished;
+            };
+            match self.private.access(op) {
+                PrivateLookup::L1Hit => {
+                    self.resume_at += self.l1_latency;
+                    self.pc += 1;
+                    stats.ops_completed += 1;
+                    stats.l1_hits += 1;
+                }
+                PrivateLookup::L2Hit => {
+                    self.resume_at += self.l2_latency;
+                    self.pc += 1;
+                    stats.ops_completed += 1;
+                    stats.l2_hits += 1;
+                }
+                PrivateLookup::Miss => {
+                    // The miss is detected after the L2 lookup.
+                    let ready = self.resume_at + self.l2_latency;
+                    self.prb.insert(op, ready);
+                    self.pc += 1;
+                    return CoreProgress::Stalled;
+                }
+            }
+        }
+    }
+
+    /// Whether the PRB holds a request that is ready for the bus at
+    /// `now` (it has finished its private lookup).
+    pub fn request_ready(&self, now: Cycles) -> bool {
+        self.prb.peek().is_some_and(|r| r.issued_at <= now)
+    }
+
+    /// Whether the PRB request targets a line for which this core still
+    /// has a write-back queued — a hazard that forces the write-back to
+    /// drain first regardless of arbiter policy.
+    pub fn request_hazard(&self) -> bool {
+        self.prb
+            .peek()
+            .is_some_and(|r| self.pwb.contains_line(r.op.addr.line()))
+    }
+
+    /// Completes the outstanding request: refills the private hierarchy
+    /// and resumes execution at `resume` (the end of the response slot).
+    ///
+    /// Returns the request's issue timestamp (for latency accounting)
+    /// and the clean L2 victim the refill silently dropped, if any —
+    /// the engine forwards the drop to the LLC's sharer tracking when
+    /// precise tracking is enabled. A dirty victim is pushed to the PWB
+    /// as a capacity write-back instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request is outstanding.
+    pub fn complete_request(
+        &mut self,
+        resume: Cycles,
+        stats: &mut CoreStats,
+    ) -> (Cycles, Option<LineAddr>) {
+        let req = self.prb.take().expect("a response needs a pending request");
+        let effect = self.private.refill(req.op);
+        if let Some(line) = effect.dirty_writeback {
+            self.pwb.push(WriteBack {
+                line,
+                dirty: true,
+                kind: WbKind::CapacityEviction,
+                enqueued_at: resume,
+            });
+        }
+        self.resume_at = resume;
+        stats.ops_completed += 1;
+        (req.issued_at, effect.clean_drop)
+    }
+
+    /// Applies an LLC back-invalidation: purges the line from the private
+    /// hierarchy and queues the acknowledgement write-back.
+    pub fn apply_back_invalidation(&mut self, line: LineAddr, now: Cycles, stats: &mut CoreStats) {
+        let out = self.private.back_invalidate(line);
+        self.pwb.push(WriteBack {
+            line,
+            dirty: out.dirty,
+            kind: WbKind::BackInvalAck,
+            enqueued_at: now,
+        });
+        stats.back_invalidations += 1;
+    }
+
+    /// The line silently dropped by the most recent refill, if any
+    /// (clean L2 victim — used for the precise-sharers ablation).
+    pub fn trace_len(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predllc_bus::ArbiterPolicy;
+    use predllc_model::Address;
+
+    fn core_with(trace: Vec<MemOp>) -> CoreModel {
+        CoreModel::new(
+            CoreId::new(0),
+            trace,
+            PrivateHierarchy::paper_default(),
+            SlotArbiter::new(ArbiterPolicy::WritebackFirst),
+            Cycles::new(1),
+            Cycles::new(10),
+        )
+    }
+
+    fn read(line: u64) -> MemOp {
+        MemOp::read(Address::new(line * 64))
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let mut c = core_with(vec![]);
+        let mut stats = CoreStats::default();
+        assert_eq!(c.advance_to(Cycles::ZERO, &mut stats), CoreProgress::Finished);
+        assert!(c.is_finished());
+        assert_eq!(stats.finished_at, Cycles::ZERO);
+    }
+
+    #[test]
+    fn first_access_misses_and_parks_in_prb() {
+        let mut c = core_with(vec![read(0)]);
+        let mut stats = CoreStats::default();
+        assert_eq!(c.advance_to(Cycles::ZERO, &mut stats), CoreProgress::Stalled);
+        // Miss detected after the 10-cycle L2 lookup.
+        assert_eq!(c.prb.peek().unwrap().issued_at, Cycles::new(10));
+        assert!(!c.request_ready(Cycles::new(9)));
+        assert!(c.request_ready(Cycles::new(10)));
+    }
+
+    #[test]
+    fn completion_resumes_and_hits_privately() {
+        let mut c = core_with(vec![read(0), read(0), read(0)]);
+        let mut stats = CoreStats::default();
+        c.advance_to(Cycles::ZERO, &mut stats);
+        let (issued, clean_drop) = c.complete_request(Cycles::new(100), &mut stats);
+        assert_eq!(issued, Cycles::new(10));
+        assert_eq!(clean_drop, None);
+        assert_eq!(stats.ops_completed, 1);
+        // The two remaining reads are L1 hits at 1 cycle each.
+        assert_eq!(
+            c.advance_to(Cycles::new(200), &mut stats),
+            CoreProgress::Finished
+        );
+        assert_eq!(stats.l1_hits, 2);
+        assert_eq!(stats.finished_at, Cycles::new(102));
+    }
+
+    #[test]
+    fn advance_does_not_run_past_now() {
+        let mut c = core_with(vec![read(0), read(0)]);
+        let mut stats = CoreStats::default();
+        c.advance_to(Cycles::ZERO, &mut stats);
+        c.complete_request(Cycles::new(100), &mut stats);
+        // At now = 100 the core issues the op at 100; it completes at 101,
+        // past the boundary, so the core reports Running (not Finished) —
+        // finishing is only observed once `now` reaches the completion.
+        assert_eq!(
+            c.advance_to(Cycles::new(100), &mut stats),
+            CoreProgress::Running,
+        );
+        assert_eq!(
+            c.advance_to(Cycles::new(101), &mut stats),
+            CoreProgress::Finished,
+        );
+        assert_eq!(stats.finished_at, Cycles::new(101));
+    }
+
+    #[test]
+    fn back_invalidation_queues_ack_and_purges() {
+        let mut c = core_with(vec![read(0), read(64)]);
+        let mut stats = CoreStats::default();
+        c.advance_to(Cycles::ZERO, &mut stats);
+        c.complete_request(Cycles::new(50), &mut stats);
+        assert!(c.private.contains(LineAddr::new(0)));
+        c.apply_back_invalidation(LineAddr::new(0), Cycles::new(60), &mut stats);
+        assert!(!c.private.contains(LineAddr::new(0)));
+        assert_eq!(c.pwb.len(), 1);
+        assert_eq!(c.pwb.peek().unwrap().kind, WbKind::BackInvalAck);
+        assert_eq!(stats.back_invalidations, 1);
+    }
+
+    #[test]
+    fn hazard_detected_when_request_line_has_queued_writeback() {
+        let mut c = core_with(vec![read(0)]);
+        let mut stats = CoreStats::default();
+        c.advance_to(Cycles::ZERO, &mut stats);
+        assert!(!c.request_hazard());
+        c.pwb.push(WriteBack {
+            line: LineAddr::new(0),
+            dirty: true,
+            kind: WbKind::BackInvalAck,
+            enqueued_at: Cycles::ZERO,
+        });
+        assert!(c.request_hazard());
+    }
+
+    #[test]
+    fn dirty_refill_victim_lands_in_pwb() {
+        // Tiny L2 so a refill evicts a dirty line quickly.
+        let mut c = CoreModel::new(
+            CoreId::new(0),
+            vec![
+                MemOp::write(Address::new(0)),
+                MemOp::read(Address::new(64)),
+                MemOp::read(Address::new(128)),
+            ],
+            PrivateHierarchy::new(
+                predllc_model::CacheGeometry::new(1, 1, 64).unwrap(),
+                predllc_model::CacheGeometry::new(1, 1, 64).unwrap(),
+                predllc_model::CacheGeometry::new(1, 2, 64).unwrap(),
+                predllc_cache::ReplacementKind::Lru,
+            ),
+            SlotArbiter::new(ArbiterPolicy::WritebackFirst),
+            Cycles::new(1),
+            Cycles::new(10),
+        );
+        let mut stats = CoreStats::default();
+        c.advance_to(Cycles::ZERO, &mut stats);
+        c.complete_request(Cycles::new(50), &mut stats); // write 0 (dirty)
+        c.advance_to(Cycles::new(50), &mut stats);
+        c.complete_request(Cycles::new(100), &mut stats); // read 64
+        c.advance_to(Cycles::new(100), &mut stats);
+        // Refilling line 2 evicts the dirty line 0 from the 2-way L2.
+        c.complete_request(Cycles::new(150), &mut stats);
+        assert_eq!(c.pwb.len(), 1);
+        let wb = c.pwb.peek().unwrap();
+        assert_eq!(wb.line, LineAddr::new(0));
+        assert_eq!(wb.kind, WbKind::CapacityEviction);
+        assert!(wb.dirty);
+    }
+}

@@ -1,0 +1,201 @@
+//! Configuration and runtime error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use predllc_model::CoreId;
+
+/// Errors raised while validating a simulator configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The system has zero cores.
+    NoCores,
+    /// A core is mapped to no partition.
+    CoreWithoutPartition {
+        /// The unmapped core.
+        core: CoreId,
+    },
+    /// A core is mapped to more than one partition.
+    CoreInMultiplePartitions {
+        /// The multiply-mapped core.
+        core: CoreId,
+    },
+    /// A partition lists a core outside the system.
+    PartitionCoreOutOfRange {
+        /// The out-of-range core.
+        core: CoreId,
+        /// The number of cores in the system.
+        num_cores: u16,
+    },
+    /// A partition has no cores mapped to it.
+    EmptyPartition {
+        /// Index of the empty partition in the map.
+        index: usize,
+    },
+    /// A partition has a zero dimension.
+    ZeroPartition {
+        /// Index of the degenerate partition in the map.
+        index: usize,
+    },
+    /// The partitions exceed the physical LLC capacity.
+    PartitionsExceedLlc {
+        /// Total lines requested across all partitions.
+        requested_lines: u64,
+        /// Lines available in the physical LLC.
+        available_lines: u64,
+    },
+    /// A partition is wider or taller than the physical LLC.
+    PartitionExceedsGeometry {
+        /// Index of the oversized partition in the map.
+        index: usize,
+    },
+    /// The TDM schedule covers a different number of cores than the
+    /// system.
+    ScheduleCoreMismatch {
+        /// Cores covered by the schedule.
+        schedule_cores: u16,
+        /// Cores in the system.
+        system_cores: u16,
+    },
+    /// The DRAM latency does not fit into a bus slot, violating the
+    /// system-model requirement that a miss fill completes within the
+    /// requester's slot.
+    DramExceedsSlot {
+        /// Configured DRAM latency in cycles.
+        dram_latency: u64,
+        /// Configured slot width in cycles.
+        slot_width: u64,
+    },
+    /// The number of traces handed to [`crate::Simulator::run`] does not
+    /// match the number of cores.
+    TraceCountMismatch {
+        /// Traces provided.
+        traces: usize,
+        /// Cores configured.
+        cores: u16,
+    },
+    /// An invalid model-level value (slot width, geometry) was supplied.
+    Model(predllc_model::ModelError),
+    /// An invalid bus schedule was supplied.
+    Schedule(predllc_bus::ScheduleError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoCores => write!(f, "system must have at least one core"),
+            ConfigError::CoreWithoutPartition { core } => {
+                write!(f, "core {core} is not mapped to any partition")
+            }
+            ConfigError::CoreInMultiplePartitions { core } => {
+                write!(f, "core {core} is mapped to more than one partition")
+            }
+            ConfigError::PartitionCoreOutOfRange { core, num_cores } => {
+                write!(
+                    f,
+                    "partition references {core} but the system has only {num_cores} cores"
+                )
+            }
+            ConfigError::EmptyPartition { index } => {
+                write!(f, "partition {index} has no cores mapped to it")
+            }
+            ConfigError::ZeroPartition { index } => {
+                write!(f, "partition {index} has a zero dimension")
+            }
+            ConfigError::PartitionsExceedLlc {
+                requested_lines,
+                available_lines,
+            } => write!(
+                f,
+                "partitions request {requested_lines} lines but the LLC has {available_lines}"
+            ),
+            ConfigError::PartitionExceedsGeometry { index } => {
+                write!(f, "partition {index} is larger than the physical LLC in some dimension")
+            }
+            ConfigError::ScheduleCoreMismatch {
+                schedule_cores,
+                system_cores,
+            } => write!(
+                f,
+                "schedule covers {schedule_cores} cores but the system has {system_cores}"
+            ),
+            ConfigError::DramExceedsSlot {
+                dram_latency,
+                slot_width,
+            } => write!(
+                f,
+                "dram latency {dram_latency} does not fit in the {slot_width}-cycle slot"
+            ),
+            ConfigError::TraceCountMismatch { traces, cores } => {
+                write!(f, "{traces} traces provided for {cores} cores")
+            }
+            ConfigError::Model(e) => write!(f, "invalid model parameter: {e}"),
+            ConfigError::Schedule(e) => write!(f, "invalid schedule: {e}"),
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::Model(e) => Some(e),
+            ConfigError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<predllc_model::ModelError> for ConfigError {
+    fn from(e: predllc_model::ModelError) -> Self {
+        ConfigError::Model(e)
+    }
+}
+
+impl From<predllc_bus::ScheduleError> for ConfigError {
+    fn from(e: predllc_bus::ScheduleError) -> Self {
+        ConfigError::Schedule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_good<E: Error + Send + Sync + 'static>() {}
+        assert_good::<ConfigError>();
+    }
+
+    #[test]
+    fn displays_are_nonempty_and_unpunctuated() {
+        let samples: Vec<ConfigError> = vec![
+            ConfigError::NoCores,
+            ConfigError::CoreWithoutPartition {
+                core: CoreId::new(1),
+            },
+            ConfigError::PartitionsExceedLlc {
+                requested_lines: 600,
+                available_lines: 512,
+            },
+            ConfigError::DramExceedsSlot {
+                dram_latency: 80,
+                slot_width: 50,
+            },
+            ConfigError::Model(predllc_model::ModelError::ZeroSlotWidth),
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn sources_chain_for_wrapped_errors() {
+        let e = ConfigError::Model(predllc_model::ModelError::ZeroGeometry);
+        assert!(e.source().is_some());
+        assert!(ConfigError::NoCores.source().is_none());
+    }
+}

@@ -1,0 +1,1012 @@
+//! The shared, inclusive, partitioned last-level cache controller.
+//!
+//! This is where the paper's mechanism lives. The controller serves one
+//! bus transaction per TDM slot and implements:
+//!
+//! * **hits** — answered within the requester's slot; the requester is
+//!   recorded as a private sharer of the line (inclusion tracking);
+//! * **fills** — a miss with a free way in the partition's set allocates,
+//!   fetches from DRAM and answers within the slot;
+//! * **the eviction protocol** — a miss into a full set *triggers* an
+//!   eviction: the victim entry transitions to `Evicting`, every private
+//!   sharer receives a back-invalidation and must acknowledge with a
+//!   write-back in one of its own slots (the `Evict l → WB l` pattern of
+//!   Figures 2–4); the entry frees when the last sharer acknowledges.
+//!   A victim with no private sharers frees — and is re-allocated —
+//!   immediately;
+//! * **sequencer gating** — in [`SharingMode::SetSequencer`] partitions,
+//!   pending requests are queued per set in bus broadcast order and only
+//!   the head may claim a free way or trigger an eviction (§4.5). In
+//!   [`SharingMode::BestEffort`] (`NSS`) the first core whose slot comes
+//!   up wins, which is exactly the interception that Observation 3 shows
+//!   makes distances grow.
+//!
+//! Each pending request carries an *eviction credit*: it may have at most
+//! one eviction in flight, and the credit is returned when the line it
+//! victimized frees (even if another core then steals the entry, as in
+//! Fig. 3 slot 4). This reproduces the paper's per-request eviction
+//! triggering: Fig. 4 has two evictions in flight in one set, one per
+//! pending request.
+
+use predllc_bus::WbKind;
+use predllc_cache::{Dram, ReplacementKind, SetAssocCache};
+use predllc_model::{CoreId, Cycles, LineAddr, PartitionId, SetIdx, WayIdx};
+
+use crate::events::BlockReason;
+use crate::partition::{PartitionMap, SharingMode};
+use crate::sequencer::SetSequencer;
+
+/// A set of cores, as a bitmask (the simulator supports up to 64 cores).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// The empty set.
+    pub const EMPTY: SharerSet = SharerSet(0);
+
+    /// Inserts a core.
+    pub fn insert(&mut self, core: CoreId) {
+        self.0 |= 1 << core.index();
+    }
+
+    /// Removes a core; returns whether it was present.
+    pub fn remove(&mut self, core: CoreId) -> bool {
+        let bit = 1 << core.index();
+        let was = self.0 & bit != 0;
+        self.0 &= !bit;
+        was
+    }
+
+    /// Whether a core is present.
+    pub fn contains(&self, core: CoreId) -> bool {
+        self.0 & (1 << core.index()) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of cores in the set.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates over member cores in index order.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        let bits = self.0;
+        (0..64u16).filter(move |i| bits & (1 << i) != 0).map(CoreId::new)
+    }
+}
+
+impl FromIterator<CoreId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
+        let mut s = SharerSet::EMPTY;
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+/// Lifecycle of one LLC entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Normal valid line.
+    Valid,
+    /// Eviction in progress: the entry is reserved-dead, waiting for the
+    /// remaining sharers' write-back acknowledgements before it frees.
+    Evicting,
+}
+
+/// Per-line LLC metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcMeta {
+    /// While `Valid`: the cores believed to cache the line privately.
+    /// While `Evicting`: the cores whose acknowledgements are still owed.
+    pub sharers: SharerSet,
+    /// Lifecycle state.
+    pub state: LineState,
+}
+
+/// One pending (unanswered) LLC request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingReq {
+    core: CoreId,
+    line: LineAddr,
+    /// The victim line this request has an eviction in flight for.
+    triggered_victim: Option<LineAddr>,
+}
+
+/// How the LLC answered a serviced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// Answered from LLC contents.
+    Hit,
+    /// Answered after allocating a way and fetching from DRAM.
+    Fill,
+}
+
+/// What happened when the LLC serviced a request in its owner's slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceOutcome {
+    /// The LLC responds within this slot.
+    Responded(ResponseKind),
+    /// No response this slot.
+    Blocked(BlockReason),
+}
+
+/// Details of an eviction triggered during service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionInfo {
+    /// The victimized line.
+    pub victim: LineAddr,
+    /// Private sharers that must acknowledge (0 = freed immediately).
+    pub sharers: u32,
+}
+
+/// Full result of [`SharedLlc::service`].
+///
+/// Eviction semantics: when a victim is chosen, every private sharer's
+/// copy is invalidated immediately (via the service callback). Sharers
+/// whose copy was **clean** are done — clean data needs no transfer, so
+/// their invalidation costs no bus slot. Sharers whose copy was **dirty**
+/// owe a data-carrying write-back in one of their own slots (the
+/// `Evict l → WB l` pattern of Figs. 2–4); the entry frees when the last
+/// of those retires. A dirty copy held by the *requester itself*
+/// transfers inline — the requester owns the bus this slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceResult {
+    /// The response/blocking outcome.
+    pub outcome: ServiceOutcome,
+    /// Private copies invalidated during this slot (all sharers of the
+    /// victim, for events/stats).
+    pub invalidations: Vec<(CoreId, LineAddr)>,
+    /// The subset of invalidated sharers whose copy was dirty and who
+    /// must therefore transmit an acknowledgement write-back; the engine
+    /// queues one data-carrying write-back per entry.
+    pub ack_required: Vec<(CoreId, LineAddr)>,
+    /// Eviction triggered during this service, if any.
+    pub eviction: Option<EvictionInfo>,
+    /// If the request was newly enqueued in the set sequencer, its queue
+    /// position (0 = head).
+    pub sequencer_position: Option<usize>,
+    /// The partition-local set the request maps to.
+    pub set: SetIdx,
+}
+
+/// What a pending request could do with its next slot — a pure probe the
+/// bus arbiter consults so a slot is never wasted retrying a request that
+/// cannot move (e.g. while the acknowledgement it waits for sits in the
+/// same core's PWB, which would otherwise livelock a request-first
+/// arbiter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The request would be answered (hit, or allocation possible).
+    WouldRespond,
+    /// The request would trigger an eviction (progress, not a response).
+    WouldTrigger,
+    /// Nothing would happen: the slot is better spent on a write-back.
+    Stuck,
+}
+
+/// Result of [`SharedLlc::writeback`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WritebackResult {
+    /// The line whose entry completed eviction and freed, if any.
+    pub freed: Option<LineAddr>,
+}
+
+/// Per-partition controller state.
+#[derive(Debug)]
+struct PartitionState {
+    mode: SharingMode,
+    shared: bool,
+    cache: SetAssocCache<LlcMeta>,
+    sequencer: SetSequencer,
+    pending: Vec<PendingReq>,
+}
+
+impl PartitionState {
+    fn pending_of(&self, core: CoreId) -> Option<&PendingReq> {
+        self.pending.iter().find(|p| p.core == core)
+    }
+
+    fn pending_of_mut(&mut self, core: CoreId) -> Option<&mut PendingReq> {
+        self.pending.iter_mut().find(|p| p.core == core)
+    }
+
+    fn remove_pending(&mut self, core: CoreId) {
+        self.pending.retain(|p| p.core != core);
+    }
+
+    /// Returns the eviction credit of every request that victimized
+    /// `line` (its eviction completed; it may trigger again).
+    fn return_credits(&mut self, line: LineAddr) {
+        for p in &mut self.pending {
+            if p.triggered_victim == Some(line) {
+                p.triggered_victim = None;
+            }
+        }
+    }
+
+    fn uses_sequencer(&self) -> bool {
+        self.shared && self.mode == SharingMode::SetSequencer
+    }
+}
+
+/// The shared LLC: one controller over all partitions, plus the DRAM
+/// behind it.
+///
+/// All methods are called by the simulation engine at slot boundaries;
+/// the controller performs no timing itself (the engine owns the clock).
+#[derive(Debug)]
+pub struct SharedLlc {
+    partitions: Vec<PartitionState>,
+    map: PartitionMap,
+    dram: Dram,
+}
+
+impl SharedLlc {
+    /// Builds the controller for a partition map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a partition's geometry is invalid — impossible for a
+    /// [`PartitionMap`] that passed validation.
+    pub fn new(
+        map: PartitionMap,
+        line_size: u32,
+        replacement: ReplacementKind,
+        dram: Dram,
+    ) -> Self {
+        let partitions = map
+            .partitions()
+            .iter()
+            .map(|spec| {
+                let geometry = spec
+                    .geometry(line_size)
+                    .expect("validated partition has a valid geometry");
+                PartitionState {
+                    mode: spec.mode,
+                    shared: !spec.is_private(),
+                    cache: SetAssocCache::new(geometry, replacement),
+                    sequencer: SetSequencer::new(),
+                    pending: Vec::new(),
+                }
+            })
+            .collect();
+        SharedLlc {
+            partitions,
+            map,
+            dram,
+        }
+    }
+
+    /// The partition map this controller was built from.
+    pub fn partition_map(&self) -> &PartitionMap {
+        &self.map
+    }
+
+    /// DRAM traffic counters.
+    pub fn dram_stats(&self) -> predllc_cache::dram::DramStats {
+        self.dram.stats()
+    }
+
+    /// Sequencer high-water marks across partitions: `(max tracked sets,
+    /// max queue depth)`.
+    pub fn sequencer_pressure(&self) -> (usize, usize) {
+        self.partitions
+            .iter()
+            .map(|p| (p.sequencer.max_tracked_sets(), p.sequencer.max_queue_depth()))
+            .fold((0, 0), |(s, d), (ps, pd)| (s.max(ps), d.max(pd)))
+    }
+
+    /// Whether `line` is present and valid in `core`'s partition, with
+    /// `core` recorded as a sharer (test/invariant helper).
+    pub fn is_valid_sharer(&self, core: CoreId, line: LineAddr) -> bool {
+        let p = &self.partitions[self.map.partition_of(core).as_usize()];
+        p.cache
+            .peek(line)
+            .is_some_and(|e| e.meta.state == LineState::Valid && e.meta.sharers.contains(core))
+    }
+
+    /// The state of `line` in `partition`, if present (test helper).
+    pub fn line_state(&self, partition: PartitionId, line: LineAddr) -> Option<(LineState, u32)> {
+        self.partitions[partition.as_usize()]
+            .cache
+            .peek(line)
+            .map(|e| (e.meta.state, e.meta.sharers.count()))
+    }
+
+    /// Occupancy of `core`'s partition (test helper).
+    pub fn partition_occupancy(&self, core: CoreId) -> usize {
+        self.partitions[self.map.partition_of(core).as_usize()]
+            .cache
+            .occupancy()
+    }
+
+    /// Pure dry-run of [`SharedLlc::service`]: what would `core`'s
+    /// pending request accomplish in a slot right now?
+    ///
+    /// Used by the engine's grant logic; never mutates state and assumes
+    /// the request has already been broadcast (a first broadcast is
+    /// always progress regardless of this probe).
+    pub fn probe(&self, core: CoreId, line: LineAddr) -> Probe {
+        let pid = self.map.partition_of(core);
+        let p = &self.partitions[pid.as_usize()];
+        let set = p.cache.set_of(line);
+        if let Some(e) = p.cache.peek(line) {
+            if e.meta.state == LineState::Valid {
+                return Probe::WouldRespond;
+            }
+        }
+        let is_head = !p.uses_sequencer()
+            || !p.sequencer.contains(set, core)
+            || p.sequencer.is_head(set, core);
+        let free_way = p.cache.free_way_in(set).is_some();
+        if is_head && free_way {
+            return Probe::WouldRespond;
+        }
+        if free_way
+            || p.pending_of(core).is_some_and(|r| r.triggered_victim.is_some())
+        {
+            return Probe::Stuck;
+        }
+        let has_eligible_victim = (0..p.cache.geometry().ways())
+            .any(|w| {
+                p.cache
+                    .entry(set, WayIdx(w))
+                    .is_some_and(|e| e.meta.state == LineState::Valid)
+            });
+        if has_eligible_victim {
+            Probe::WouldTrigger
+        } else {
+            Probe::Stuck
+        }
+    }
+
+    /// Services `core`'s pending request for `line` within `core`'s slot.
+    ///
+    /// Called by the engine when the arbiter grants the bus to the PRB.
+    /// The same call covers the first broadcast and every subsequent
+    /// retry; the controller tracks pending state internally.
+    ///
+    /// `evict` is invoked once per private sharer of a chosen victim: it
+    /// must purge the line from that core's private hierarchy and return
+    /// whether the purged copy was dirty. Dirty remote copies then owe an
+    /// acknowledgement write-back slot; clean copies and the requester's
+    /// own copy complete within this slot (the latter because the
+    /// requester owns the bus — this is what gives private partitions
+    /// their `(2N+1)·SW` bound).
+    pub fn service(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        evict: &mut dyn FnMut(CoreId, LineAddr) -> bool,
+    ) -> ServiceResult {
+        let pid = self.map.partition_of(core);
+        let p = &mut self.partitions[pid.as_usize()];
+        let set = p.cache.set_of(line);
+        let mut result = ServiceResult {
+            outcome: ServiceOutcome::Blocked(BlockReason::WaitingForEviction),
+            invalidations: Vec::new(),
+            ack_required: Vec::new(),
+            eviction: None,
+            sequencer_position: None,
+            set,
+        };
+
+        // 1. Hit on a valid line: respond regardless of sequencer state —
+        //    the sequencer orders *allocations*, not reads of resident
+        //    lines.
+        if let Some(way) = p.cache.way_of(line) {
+            let entry = p.cache.entry(set, way).expect("way_of found it");
+            if entry.meta.state == LineState::Valid {
+                p.cache.touch(set, way);
+                let entry = p.cache.entry_mut(set, way).expect("way_of found it");
+                entry.meta.sharers.insert(core);
+                p.remove_pending(core);
+                if p.uses_sequencer() {
+                    p.sequencer.remove(set, core);
+                }
+                result.outcome = ServiceOutcome::Responded(ResponseKind::Hit);
+                return result;
+            }
+            // Mid-eviction lines are not hits; fall through to the
+            // pending path and wait for the entry to free.
+        }
+
+        // 2. Register the request (idempotent).
+        if p.pending_of(core).is_none() {
+            p.pending.push(PendingReq {
+                core,
+                line,
+                triggered_victim: None,
+            });
+        }
+
+        // 3. Sequencer: enqueue in broadcast order. The queue orders
+        //    *occupation* of cache line entries (only the head may claim
+        //    a free way, §4.5); eviction triggering stays concurrent, as
+        //    under best effort — serializing it would only inflate
+        //    latencies without strengthening the Theorem 4.8 bound.
+        if p.uses_sequencer() && !p.sequencer.contains(set, core) {
+            let position = p.sequencer.queue_len(set);
+            p.sequencer.enqueue(set, core);
+            result.sequencer_position = Some(position);
+        }
+        let is_head = !p.uses_sequencer() || p.sequencer.is_head(set, core);
+        let blocked_reason = if is_head {
+            BlockReason::WaitingForEviction
+        } else {
+            BlockReason::NotHead
+        };
+
+        // 4. Free way + at the head of the queue: allocate, fetch,
+        //    respond within the slot.
+        if is_head {
+            if let Some(way) = p.cache.free_way_in(set) {
+                Self::allocate(p, &mut self.dram, core, line, set, way);
+                result.outcome = ServiceOutcome::Responded(ResponseKind::Fill);
+                return result;
+            }
+        }
+
+        // 5. Full set: trigger an eviction if this request holds no
+        //    in-flight eviction credit (any queue position may trigger).
+        if p.pending_of(core).expect("registered above").triggered_victim.is_some()
+            || p.cache.free_way_in(set).is_some()
+        {
+            result.outcome = ServiceOutcome::Blocked(blocked_reason);
+            return result;
+        }
+        let ways = p.cache.geometry().ways() as usize;
+        let eligible: Vec<bool> = (0..ways)
+            .map(|w| {
+                p.cache
+                    .entry(set, WayIdx(w as u32))
+                    .is_some_and(|e| e.meta.state == LineState::Valid)
+            })
+            .collect();
+        let Some(victim_way) = p.cache.choose_victim(set, &eligible) else {
+            result.outcome = ServiceOutcome::Blocked(if is_head {
+                BlockReason::AllWaysEvicting
+            } else {
+                BlockReason::NotHead
+            });
+            return result;
+        };
+        let victim_entry = p.cache.entry(set, victim_way).expect("eligible way occupied");
+        let victim_line = victim_entry.line;
+        let victim_sharers = victim_entry.meta.sharers;
+        p.pending_of_mut(core).expect("registered above").triggered_victim = Some(victim_line);
+        result.eviction = Some(EvictionInfo {
+            victim: victim_line,
+            sharers: victim_sharers.count(),
+        });
+
+        // Invalidate every private copy now. Clean copies are done (no
+        // data to transfer); dirty remote copies owe a write-back slot;
+        // a dirty copy of the requester itself transfers inline.
+        let mut waiting = SharerSet::EMPTY;
+        let mut inline_dirty = false;
+        for sharer in victim_sharers.iter() {
+            let dirty = evict(sharer, victim_line);
+            result.invalidations.push((sharer, victim_line));
+            if dirty {
+                if sharer == core {
+                    inline_dirty = true;
+                } else {
+                    waiting.insert(sharer);
+                    result.ack_required.push((sharer, victim_line));
+                }
+            }
+        }
+        {
+            let entry = p.cache.entry_mut(set, victim_way).expect("victim occupied");
+            entry.dirty |= inline_dirty;
+            entry.meta.sharers = waiting;
+        }
+
+        if waiting.is_empty() {
+            // No data-carrying acknowledgements owed: the entry frees in
+            // this slot.
+            let evicted = p.cache.take(set, victim_way).expect("victim occupied");
+            if evicted.dirty {
+                self.dram.write_back(victim_line);
+            }
+            p.return_credits(victim_line);
+            if is_head {
+                // …and the head re-uses it immediately.
+                Self::allocate(p, &mut self.dram, core, line, set, victim_way);
+                result.outcome = ServiceOutcome::Responded(ResponseKind::Fill);
+            } else {
+                // The freed entry waits for the queue head.
+                result.outcome = ServiceOutcome::Blocked(BlockReason::NotHead);
+            }
+        } else {
+            // Start the multi-slot eviction protocol for the dirty
+            // remote copies.
+            let entry = p.cache.entry_mut(set, victim_way).expect("victim occupied");
+            entry.meta.state = LineState::Evicting;
+            result.outcome = ServiceOutcome::Blocked(blocked_reason);
+        }
+        result
+    }
+
+    /// Processes a write-back (capacity eviction or back-invalidation
+    /// acknowledgement) transmitted by `core` in its slot.
+    pub fn writeback(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        dirty: bool,
+        kind: WbKind,
+    ) -> WritebackResult {
+        let pid = self.map.partition_of(core);
+        let p = &mut self.partitions[pid.as_usize()];
+        let set = p.cache.set_of(line);
+        let Some(way) = p.cache.way_of(line) else {
+            // The entry is gone (already freed). Dirty data still goes to
+            // memory.
+            if dirty {
+                self.dram.write_back(line);
+            }
+            return WritebackResult { freed: None };
+        };
+        let entry = p.cache.entry_mut(set, way).expect("way_of found it");
+        match entry.meta.state {
+            LineState::Evicting => {
+                entry.meta.sharers.remove(core);
+                entry.dirty |= dirty;
+                if entry.meta.sharers.is_empty() {
+                    let evicted = p.cache.take(set, way).expect("entry exists");
+                    if evicted.dirty {
+                        self.dram.write_back(line);
+                    }
+                    p.return_credits(line);
+                    return WritebackResult { freed: Some(line) };
+                }
+                WritebackResult { freed: None }
+            }
+            LineState::Valid => {
+                // A capacity write-back updates the (still valid) LLC
+                // copy; either kind means the core no longer holds the
+                // line privately.
+                entry.meta.sharers.remove(core);
+                if kind == WbKind::CapacityEviction {
+                    entry.dirty = true;
+                }
+                WritebackResult { freed: None }
+            }
+        }
+    }
+
+    /// Records that `core` silently dropped a clean private copy of
+    /// `line` — *not* a bus transaction.
+    ///
+    /// The paper's model would leave the sharer bit conservatively stale;
+    /// the simulator keeps that behaviour by default (this method is only
+    /// used by the `precise-sharers` ablation in tests).
+    pub fn note_clean_drop(&mut self, core: CoreId, line: LineAddr) {
+        let pid = self.map.partition_of(core);
+        let p = &mut self.partitions[pid.as_usize()];
+        if let Some(e) = p.cache.peek_mut(line) {
+            if e.meta.state == LineState::Valid {
+                e.meta.sharers.remove(core);
+            }
+        }
+    }
+
+    /// Whether `core` has a registered pending request.
+    pub fn has_pending(&self, core: CoreId) -> bool {
+        let pid = self.map.partition_of(core);
+        self.partitions[pid.as_usize()].pending_of(core).is_some()
+    }
+
+    fn allocate(
+        p: &mut PartitionState,
+        dram: &mut Dram,
+        core: CoreId,
+        line: LineAddr,
+        set: SetIdx,
+        way: WayIdx,
+    ) {
+        dram.fetch(line);
+        let mut sharers = SharerSet::EMPTY;
+        sharers.insert(core);
+        p.cache.install_at(
+            set,
+            way,
+            line,
+            false,
+            LlcMeta {
+                sharers,
+                state: LineState::Valid,
+            },
+        );
+        p.remove_pending(core);
+        if p.uses_sequencer() {
+            // The allocating core is the head by construction.
+            debug_assert!(p.sequencer.is_head(set, core) || !p.sequencer.contains(set, core));
+            if p.sequencer.is_head(set, core) {
+                p.sequencer.pop(set);
+            }
+        }
+    }
+}
+
+/// Timing-free latency bookkeeping helper: the response to a request
+/// serviced in the slot starting at `slot_start` arrives at
+/// `slot_start + slot_width` (the first cycle after the slot).
+pub fn response_time(slot_start: Cycles, slot_width: predllc_model::SlotWidth) -> Cycles {
+    slot_start + slot_width.cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionSpec;
+    use predllc_model::CacheGeometry;
+
+    fn c(i: u16) -> CoreId {
+        CoreId::new(i)
+    }
+
+    fn l(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    /// Service treating every invalidated private copy as clean.
+    fn svc(llc: &mut SharedLlc, core: CoreId, line: LineAddr) -> ServiceResult {
+        llc.service(core, line, &mut |_, _| false)
+    }
+
+    /// Service treating every invalidated private copy as dirty — the
+    /// worst case the paper's figures depict (`Evict l → WB l`).
+    fn svc_dirty(llc: &mut SharedLlc, core: CoreId, line: LineAddr) -> ServiceResult {
+        llc.service(core, line, &mut |_, _| true)
+    }
+
+    /// `cores` cores sharing one 1-set × `ways` partition.
+    fn shared_llc(mode: SharingMode, cores: u16, ways: u32) -> SharedLlc {
+        let map = PartitionMap::new(
+            vec![PartitionSpec::shared(
+                1,
+                ways,
+                CoreId::first(cores).collect(),
+                mode,
+            )],
+            cores,
+            CacheGeometry::PAPER_L3,
+        )
+        .unwrap();
+        SharedLlc::new(map, 64, ReplacementKind::Lru, Dram::default())
+    }
+
+    #[test]
+    fn sharer_set_basics() {
+        let mut s = SharerSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(c(3));
+        s.insert(c(5));
+        assert!(s.contains(c(3)));
+        assert!(!s.contains(c(4)));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![c(3), c(5)]);
+        assert!(s.remove(c(3)));
+        assert!(!s.remove(c(3)));
+        let s2: SharerSet = [c(1), c(2)].into_iter().collect();
+        assert_eq!(s2.count(), 2);
+    }
+
+    #[test]
+    fn miss_fill_then_hit() {
+        let mut llc = shared_llc(SharingMode::BestEffort, 2, 2);
+        let r = svc(&mut llc, c(0), l(0));
+        assert_eq!(r.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
+        assert!(llc.is_valid_sharer(c(0), l(0)));
+        // Second core hits the same line and becomes a sharer too.
+        let r = svc(&mut llc, c(1), l(0));
+        assert_eq!(r.outcome, ServiceOutcome::Responded(ResponseKind::Hit));
+        assert!(llc.is_valid_sharer(c(1), l(0)));
+        assert_eq!(llc.dram_stats().reads, 1);
+    }
+
+    #[test]
+    fn dirty_remote_victim_needs_ack_protocol() {
+        let mut llc = shared_llc(SharingMode::BestEffort, 2, 2);
+        // c1 fills both ways of the single set.
+        svc(&mut llc, c(1), l(0));
+        svc(&mut llc, c(1), l(1));
+        // c0 misses: set full, victim dirty at c1 → ack write-back owed.
+        let r = llc.service(c(0), l(2), &mut |core, _| core == c(1));
+        assert_eq!(
+            r.outcome,
+            ServiceOutcome::Blocked(BlockReason::WaitingForEviction)
+        );
+        let ev = r.eviction.expect("eviction triggered");
+        assert_eq!(ev.sharers, 1);
+        assert_eq!(r.invalidations, vec![(c(1), ev.victim)]);
+        assert_eq!(r.ack_required, vec![(c(1), ev.victim)]);
+        // Retrying before the ack: still blocked, no second eviction.
+        let r2 = svc_dirty(&mut llc, c(0), l(2));
+        assert_eq!(
+            r2.outcome,
+            ServiceOutcome::Blocked(BlockReason::WaitingForEviction)
+        );
+        assert!(r2.eviction.is_none());
+        // c1's ack (carrying the data) frees the entry.
+        let wr = llc.writeback(c(1), ev.victim, true, WbKind::BackInvalAck);
+        assert_eq!(wr.freed, Some(ev.victim));
+        // The dirty data reached DRAM with the free.
+        assert_eq!(llc.dram_stats().writes, 1);
+        // c0 now allocates.
+        let r3 = svc(&mut llc, c(0), l(2));
+        assert_eq!(r3.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
+    }
+
+    #[test]
+    fn clean_remote_victim_evicts_within_the_slot() {
+        let mut llc = shared_llc(SharingMode::BestEffort, 2, 2);
+        svc(&mut llc, c(1), l(0));
+        svc(&mut llc, c(1), l(1));
+        // c0 misses into the full set, but c1's copies are clean: the
+        // invalidation costs no bus slot and c0 fills immediately.
+        let r = svc(&mut llc, c(0), l(2));
+        assert_eq!(r.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
+        let ev = r.eviction.expect("an eviction still happened");
+        assert_eq!(r.invalidations, vec![(c(1), ev.victim)]);
+        assert!(r.ack_required.is_empty());
+        // Clean data does not go to DRAM.
+        assert_eq!(llc.dram_stats().writes, 0);
+    }
+
+    #[test]
+    fn requesters_own_dirty_victim_transfers_inline() {
+        // The basis of the (2N+1)·SW private-partition bound.
+        let mut llc = shared_llc(SharingMode::BestEffort, 2, 1);
+        svc(&mut llc, c(0), l(0)); // c0 fills, c0 is the sole sharer
+        let mut invalidated = Vec::new();
+        let r = llc.service(c(0), l(2), &mut |core, v| {
+            invalidated.push((core, v));
+            true // the private copy was dirty
+        });
+        assert_eq!(r.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
+        assert_eq!(invalidated, vec![(c(0), l(0))]);
+        assert!(r.ack_required.is_empty(), "own slot carries the data");
+        // The dirty data went to DRAM within the slot.
+        assert_eq!(llc.dram_stats().writes, 1);
+        assert!(llc.is_valid_sharer(c(0), l(2)));
+    }
+
+    #[test]
+    fn mixed_sharers_inline_self_but_waits_for_dirty_remote() {
+        let mut llc = shared_llc(SharingMode::BestEffort, 3, 1);
+        svc(&mut llc, c(0), l(0));
+        svc(&mut llc, c(1), l(0)); // hit: both c0 and c1 share line 0
+        let r = svc_dirty(&mut llc, c(0), l(3));
+        // Both invalidated now; only remote c1 owes an ack slot.
+        assert_eq!(r.invalidations, vec![(c(0), l(0)), (c(1), l(0))]);
+        assert_eq!(r.ack_required, vec![(c(1), l(0))]);
+        assert_eq!(
+            r.outcome,
+            ServiceOutcome::Blocked(BlockReason::WaitingForEviction)
+        );
+        // c1's ack frees the entry; c0 then fills.
+        llc.writeback(c(1), l(0), true, WbKind::BackInvalAck);
+        let r = svc(&mut llc, c(0), l(3));
+        assert_eq!(r.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
+    }
+
+    #[test]
+    fn unshared_victim_frees_and_reallocates_in_one_slot() {
+        let mut llc = shared_llc(SharingMode::BestEffort, 2, 2);
+        svc(&mut llc, c(1), l(0));
+        svc(&mut llc, c(1), l(1));
+        // Both lines lose their private copies via capacity write-backs.
+        llc.writeback(c(1), l(0), true, WbKind::CapacityEviction);
+        llc.writeback(c(1), l(1), true, WbKind::CapacityEviction);
+        // c0's miss victimizes an unshared line: responds immediately.
+        let r = svc(&mut llc, c(0), l(2));
+        assert_eq!(r.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
+        assert_eq!(r.eviction.unwrap().sharers, 0);
+        // The (LLC-)dirty victim went to DRAM.
+        assert_eq!(llc.dram_stats().writes, 1);
+    }
+
+    #[test]
+    fn sequencer_orders_occupation_by_broadcast() {
+        let mut llc = shared_llc(SharingMode::SetSequencer, 3, 2);
+        // c2 fills both ways (dirty copies).
+        svc(&mut llc, c(2), l(0));
+        svc(&mut llc, c(2), l(1));
+        // c0 broadcasts first, then c1: queue order fixed.
+        let r0 = svc_dirty(&mut llc, c(0), l(3));
+        assert_eq!(r0.sequencer_position, Some(0));
+        let ev0 = r0.eviction.expect("head triggers eviction");
+        let r1 = svc_dirty(&mut llc, c(1), l(4));
+        assert_eq!(r1.sequencer_position, Some(1));
+        assert_eq!(r1.outcome, ServiceOutcome::Blocked(BlockReason::NotHead));
+        // Eviction triggering is concurrent: the non-head victimizes the
+        // other way while waiting its turn to occupy.
+        let ev1 = r1.eviction.expect("non-head may trigger");
+        assert_ne!(ev1.victim, ev0.victim);
+        // c2 acks c0's victim; the entry frees. c1 retries first but is
+        // still not the head, so the free entry waits for c0.
+        llc.writeback(c(2), ev0.victim, true, WbKind::BackInvalAck);
+        let r1 = svc_dirty(&mut llc, c(1), l(4));
+        assert_eq!(r1.outcome, ServiceOutcome::Blocked(BlockReason::NotHead));
+        // Head (c0) allocates.
+        let r0 = svc_dirty(&mut llc, c(0), l(3));
+        assert_eq!(r0.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
+        // c2 acks c1's victim too; now the new head (c1) allocates.
+        llc.writeback(c(2), ev1.victim, true, WbKind::BackInvalAck);
+        let r1 = svc_dirty(&mut llc, c(1), l(4));
+        assert_eq!(r1.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
+    }
+
+    #[test]
+    fn best_effort_lets_latecomer_steal_freed_entry() {
+        // The NSS interception at the heart of the pessimistic WCL.
+        let mut llc = shared_llc(SharingMode::BestEffort, 3, 2);
+        svc(&mut llc, c(2), l(0));
+        svc(&mut llc, c(2), l(1));
+        let r0 = svc_dirty(&mut llc, c(0), l(3)); // c0 triggers eviction
+        let ev = r0.eviction.unwrap();
+        llc.writeback(c(2), ev.victim, true, WbKind::BackInvalAck);
+        // c1's slot comes before c0's: it steals the freed way.
+        let r1 = svc_dirty(&mut llc, c(1), l(4));
+        assert_eq!(r1.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
+        // c0 is still waiting and must trigger a *new* eviction (its
+        // credit returned when the victim freed).
+        let r0 = svc_dirty(&mut llc, c(0), l(3));
+        assert_eq!(
+            r0.outcome,
+            ServiceOutcome::Blocked(BlockReason::WaitingForEviction)
+        );
+        assert!(r0.eviction.is_some(), "credit was returned, so it re-triggers");
+    }
+
+    #[test]
+    fn eviction_with_multiple_dirty_sharers_waits_for_all() {
+        let mut llc = shared_llc(SharingMode::BestEffort, 3, 1);
+        // Both c1 and c2 share line 0 (1-way partition).
+        svc(&mut llc, c(1), l(0));
+        svc(&mut llc, c(2), l(0));
+        let r = svc_dirty(&mut llc, c(0), l(5));
+        let ev = r.eviction.unwrap();
+        assert_eq!(ev.sharers, 2);
+        assert_eq!(r.ack_required.len(), 2);
+        // First ack: not yet freed.
+        let wr = llc.writeback(c(1), ev.victim, true, WbKind::BackInvalAck);
+        assert_eq!(wr.freed, None);
+        // Second ack: freed.
+        let wr = llc.writeback(c(2), ev.victim, true, WbKind::BackInvalAck);
+        assert_eq!(wr.freed, Some(ev.victim));
+        assert_eq!(llc.dram_stats().writes, 1);
+    }
+
+    #[test]
+    fn capacity_writeback_marks_llc_dirty() {
+        let mut llc = shared_llc(SharingMode::BestEffort, 2, 2);
+        svc(&mut llc, c(0), l(0));
+        llc.writeback(c(0), l(0), true, WbKind::CapacityEviction);
+        let pid = llc.partition_map().partition_of(c(0));
+        let (state, sharers) = llc.line_state(pid, l(0)).unwrap();
+        assert_eq!(state, LineState::Valid);
+        assert_eq!(sharers, 0);
+        // Evicting it now: unshared and dirty → immediate free + DRAM WB.
+        svc(&mut llc, c(1), l(1));
+        let before = llc.dram_stats().writes;
+        svc(&mut llc, c(0), l(2)); // LRU victim is the unshared line 0
+        assert_eq!(llc.dram_stats().writes, before + 1);
+    }
+
+    #[test]
+    fn writeback_for_absent_line_goes_to_dram() {
+        let mut llc = shared_llc(SharingMode::BestEffort, 2, 2);
+        let wr = llc.writeback(c(0), l(9), true, WbKind::CapacityEviction);
+        assert_eq!(wr.freed, None);
+        assert_eq!(llc.dram_stats().writes, 1);
+        // Clean ack for an absent line: fully ignored.
+        let wr = llc.writeback(c(0), l(9), false, WbKind::BackInvalAck);
+        assert_eq!(wr.freed, None);
+        assert_eq!(llc.dram_stats().writes, 1);
+    }
+
+    #[test]
+    fn evicting_line_is_not_a_hit() {
+        let mut llc = shared_llc(SharingMode::BestEffort, 3, 1);
+        svc(&mut llc, c(1), l(0));
+        let ev = svc_dirty(&mut llc, c(0), l(5)).eviction.unwrap();
+        assert_eq!(ev.victim, l(0));
+        // c2 requests the very line being evicted: not a hit; it becomes
+        // pending (and in a 1-way set, blocked).
+        let r = svc(&mut llc, c(2), l(0));
+        assert!(matches!(r.outcome, ServiceOutcome::Blocked(_)));
+        assert!(llc.has_pending(c(2)));
+    }
+
+    #[test]
+    fn private_partitions_do_not_interfere() {
+        let map = PartitionMap::new(
+            vec![
+                PartitionSpec::private(1, 1, c(0)),
+                PartitionSpec::private(1, 1, c(1)),
+            ],
+            2,
+            CacheGeometry::PAPER_L3,
+        )
+        .unwrap();
+        let mut llc = SharedLlc::new(map, 64, ReplacementKind::Lru, Dram::default());
+        svc(&mut llc, c(0), l(0));
+        // c1's fill lands in its own partition; c0's line is untouched.
+        svc(&mut llc, c(1), l(0));
+        assert!(llc.is_valid_sharer(c(0), l(0)));
+        assert!(llc.is_valid_sharer(c(1), l(0)));
+        assert_eq!(llc.partition_occupancy(c(0)), 1);
+        assert_eq!(llc.partition_occupancy(c(1)), 1);
+    }
+
+    #[test]
+    fn note_clean_drop_clears_stale_sharer() {
+        let mut llc = shared_llc(SharingMode::BestEffort, 2, 2);
+        svc(&mut llc, c(0), l(0));
+        llc.note_clean_drop(c(0), l(0));
+        let pid = llc.partition_map().partition_of(c(0));
+        assert_eq!(llc.line_state(pid, l(0)).unwrap().1, 0);
+    }
+
+    #[test]
+    fn probe_reflects_service_outcomes() {
+        let mut llc = shared_llc(SharingMode::BestEffort, 3, 1);
+        // Empty set: would respond (free way).
+        assert_eq!(llc.probe(c(0), l(0)), Probe::WouldRespond);
+        svc(&mut llc, c(1), l(0));
+        // Hit on a valid line: would respond.
+        assert_eq!(llc.probe(c(1), l(0)), Probe::WouldRespond);
+        // Full set, no eviction in flight: would trigger.
+        assert_eq!(llc.probe(c(0), l(2)), Probe::WouldTrigger);
+        // Trigger it for real (dirty victim): the request is stuck until
+        // the ack arrives.
+        let r = svc_dirty(&mut llc, c(0), l(2));
+        assert!(r.eviction.is_some());
+        assert_eq!(llc.probe(c(0), l(2)), Probe::Stuck);
+        // A second core with a different line: the only way is mid-
+        // eviction, nothing to victimize → stuck.
+        let r2 = svc(&mut llc, c(2), l(5));
+        assert_eq!(
+            r2.outcome,
+            ServiceOutcome::Blocked(BlockReason::AllWaysEvicting)
+        );
+        assert_eq!(llc.probe(c(2), l(5)), Probe::Stuck);
+        // The ack frees the entry: the waiting request becomes unstuck.
+        llc.writeback(c(1), l(0), true, WbKind::BackInvalAck);
+        assert_eq!(llc.probe(c(0), l(2)), Probe::WouldRespond);
+    }
+
+    #[test]
+    fn probe_respects_sequencer_ordering() {
+        let mut llc = shared_llc(SharingMode::SetSequencer, 3, 1);
+        svc(&mut llc, c(2), l(0));
+        let r = svc_dirty(&mut llc, c(0), l(3)); // head, triggers eviction
+        assert!(r.eviction.is_some());
+        svc_dirty(&mut llc, c(1), l(4)); // queued behind c0
+        assert_eq!(llc.probe(c(1), l(4)), Probe::Stuck);
+        llc.writeback(c(2), l(0), true, WbKind::BackInvalAck);
+        // Entry free: head would respond, non-head still stuck.
+        assert_eq!(llc.probe(c(0), l(3)), Probe::WouldRespond);
+        assert_eq!(llc.probe(c(1), l(4)), Probe::Stuck);
+    }
+
+    #[test]
+    fn response_time_is_end_of_slot() {
+        use predllc_model::SlotWidth;
+        assert_eq!(
+            response_time(Cycles::new(100), SlotWidth::PAPER),
+            Cycles::new(150)
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Simulation statistics: per-core and system-wide counters, plus the
+//! request-latency records the WCL experiments are built on.
+
+use predllc_model::{CoreId, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// Counters for one core.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Memory operations completed.
+    pub ops_completed: u64,
+    /// Hits in the private L1 (instruction or data).
+    pub l1_hits: u64,
+    /// Hits in the private L2.
+    pub l2_hits: u64,
+    /// LLC hits (request answered from LLC contents).
+    pub llc_hits: u64,
+    /// LLC fills (request answered after a DRAM fetch).
+    pub llc_fills: u64,
+    /// Back-invalidations received from the LLC.
+    pub back_invalidations: u64,
+    /// Write-backs transmitted on the bus (acks + capacity evictions).
+    pub writebacks_sent: u64,
+    /// Slots in which this core's pending request made no progress.
+    pub blocked_slots: u64,
+    /// Worst observed request latency (PRB entry → response).
+    pub max_request_latency: Cycles,
+    /// Sum of all request latencies (for averages).
+    pub total_request_latency: Cycles,
+    /// Number of LLC requests measured.
+    pub requests: u64,
+    /// Cycle at which the core finished its trace (0 if unfinished).
+    pub finished_at: Cycles,
+}
+
+impl CoreStats {
+    /// Records a completed LLC request's latency.
+    pub fn record_latency(&mut self, latency: Cycles) {
+        self.requests += 1;
+        self.total_request_latency += latency;
+        if latency > self.max_request_latency {
+            self.max_request_latency = latency;
+        }
+    }
+
+    /// Mean request latency, or zero if no requests were measured.
+    pub fn mean_request_latency(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_request_latency.as_u64() as f64 / self.requests as f64
+        }
+    }
+
+    /// Private-hierarchy hit rate over all completed operations.
+    pub fn private_hit_rate(&self) -> f64 {
+        if self.ops_completed == 0 {
+            0.0
+        } else {
+            (self.l1_hits + self.l2_hits) as f64 / self.ops_completed as f64
+        }
+    }
+}
+
+/// System-wide counters and the per-core breakdown.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Per-core statistics, indexed by core.
+    pub cores: Vec<CoreStats>,
+    /// Total slots simulated.
+    pub slots: u64,
+    /// Slots in which the owner transmitted nothing.
+    pub idle_slots: u64,
+    /// LLC evictions triggered.
+    pub evictions_triggered: u64,
+    /// LLC entries freed after completing the eviction protocol.
+    pub lines_freed: u64,
+    /// DRAM line fetches.
+    pub dram_reads: u64,
+    /// DRAM line write-backs.
+    pub dram_writes: u64,
+    /// Largest sequencer queue depth observed across partitions.
+    pub max_sequencer_depth: usize,
+    /// Deepest any core's pending-write-back buffer ever got. The
+    /// paper's Corollary 4.5 argument bounds it by the sharer count.
+    pub max_pwb_depth: usize,
+    /// Largest number of simultaneously tracked sets across partitions.
+    pub max_sequencer_sets: usize,
+}
+
+impl SimStats {
+    /// Creates zeroed stats for `n` cores.
+    pub fn new(n: u16) -> Self {
+        SimStats {
+            cores: (0..n).map(|_| CoreStats::default()).collect(),
+            ..SimStats::default()
+        }
+    }
+
+    /// Statistics of one core.
+    pub fn core(&self, core: CoreId) -> &CoreStats {
+        &self.cores[core.as_usize()]
+    }
+
+    /// Mutable statistics of one core.
+    pub fn core_mut(&mut self, core: CoreId) -> &mut CoreStats {
+        &mut self.cores[core.as_usize()]
+    }
+
+    /// The worst request latency observed on any core.
+    pub fn max_request_latency(&self) -> Cycles {
+        self.cores
+            .iter()
+            .map(|c| c.max_request_latency)
+            .max()
+            .unwrap_or(Cycles::ZERO)
+    }
+
+    /// The cycle at which the last core finished (the workload's
+    /// execution time).
+    pub fn makespan(&self) -> Cycles {
+        self.cores
+            .iter()
+            .map(|c| c.finished_at)
+            .max()
+            .unwrap_or(Cycles::ZERO)
+    }
+
+    /// Bus utilization: fraction of slots carrying a transaction.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            (self.slots - self.idle_slots) as f64 / self.slots as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_recording_tracks_max_and_mean() {
+        let mut s = CoreStats::default();
+        s.record_latency(Cycles::new(100));
+        s.record_latency(Cycles::new(300));
+        s.record_latency(Cycles::new(200));
+        assert_eq!(s.max_request_latency, Cycles::new(300));
+        assert_eq!(s.requests, 3);
+        assert!((s.mean_request_latency() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = CoreStats::default();
+        assert_eq!(s.mean_request_latency(), 0.0);
+        assert_eq!(s.private_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_counts_both_private_levels() {
+        let s = CoreStats {
+            ops_completed: 10,
+            l1_hits: 6,
+            l2_hits: 2,
+            ..CoreStats::default()
+        };
+        assert!((s.private_hit_rate() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sim_stats_aggregates() {
+        let mut s = SimStats::new(2);
+        s.core_mut(CoreId::new(0)).record_latency(Cycles::new(10));
+        s.core_mut(CoreId::new(1)).record_latency(Cycles::new(99));
+        s.core_mut(CoreId::new(0)).finished_at = Cycles::new(1000);
+        s.core_mut(CoreId::new(1)).finished_at = Cycles::new(2000);
+        assert_eq!(s.max_request_latency(), Cycles::new(99));
+        assert_eq!(s.makespan(), Cycles::new(2000));
+    }
+
+    #[test]
+    fn bus_utilization_fraction() {
+        let s = SimStats {
+            slots: 10,
+            idle_slots: 4,
+            ..SimStats::new(1)
+        };
+        assert!((s.bus_utilization() - 0.6).abs() < 1e-9);
+        assert_eq!(SimStats::new(1).bus_utilization(), 0.0);
+    }
+}

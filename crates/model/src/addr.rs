@@ -1,0 +1,176 @@
+//! Byte addresses and cache-line addresses.
+
+use std::fmt;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+/// A byte address in the simulated physical address space.
+///
+/// Addresses are plain 64-bit values; the memory system only ever inspects
+/// the cache-line number derived from them via [`Address::line_with`] (or
+/// [`Address::line`] for the paper's fixed 64-byte lines).
+///
+/// # Examples
+///
+/// ```
+/// use predllc_model::Address;
+///
+/// let a = Address::new(0x1040);
+/// assert_eq!(a.line().as_u64(), 0x41);
+/// assert_eq!(a.line_with(128).as_u64(), 0x20);
+/// assert_eq!(format!("{a}"), "0x0000000000001040");
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Address(u64);
+
+/// The paper's cache-line size: 64 bytes at every level of the hierarchy.
+pub(crate) const PAPER_LINE_SIZE: u64 = 64;
+
+impl Address {
+    /// Creates an address from a raw byte value.
+    pub const fn new(addr: u64) -> Self {
+        Address(addr)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache-line address assuming the paper's 64-byte lines.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / PAPER_LINE_SIZE)
+    }
+
+    /// Returns the cache-line address for an arbitrary power-of-two line
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is zero.
+    pub const fn line_with(self, line_size: u64) -> LineAddr {
+        LineAddr(self.0 / line_size)
+    }
+
+    /// Returns the byte offset within the line for the paper's 64-byte
+    /// lines.
+    pub const fn offset(self) -> u64 {
+        self.0 % PAPER_LINE_SIZE
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:016x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(addr: u64) -> Self {
+        Address(addr)
+    }
+}
+
+impl Add<u64> for Address {
+    type Output = Address;
+    fn add(self, rhs: u64) -> Address {
+        Address(self.0 + rhs)
+    }
+}
+
+/// A cache-line address: the byte address divided by the line size.
+///
+/// Every cache in the hierarchy is indexed and tagged by line address; the
+/// byte offset never matters to hit/miss behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_model::{Address, LineAddr};
+///
+/// let l = Address::new(0x80).line();
+/// assert_eq!(l, LineAddr::new(2));
+/// assert_eq!(l.first_byte(64), Address::new(0x80));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    pub const fn new(line: u64) -> Self {
+        LineAddr(line)
+    }
+
+    /// Returns the raw line number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first byte address of this line for a given line size.
+    pub const fn first_byte(self, line_size: u64) -> Address {
+        Address(self.0 * line_size)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line 0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(line: u64) -> Self {
+        LineAddr(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_extraction_uses_64_byte_lines() {
+        assert_eq!(Address::new(0).line(), LineAddr::new(0));
+        assert_eq!(Address::new(63).line(), LineAddr::new(0));
+        assert_eq!(Address::new(64).line(), LineAddr::new(1));
+        assert_eq!(Address::new(0x1040).line(), LineAddr::new(0x41));
+    }
+
+    #[test]
+    fn custom_line_size() {
+        assert_eq!(Address::new(255).line_with(128), LineAddr::new(1));
+        assert_eq!(Address::new(256).line_with(128), LineAddr::new(2));
+    }
+
+    #[test]
+    fn offset_within_line() {
+        assert_eq!(Address::new(0x1043).offset(), 3);
+        assert_eq!(Address::new(0x1040).offset(), 0);
+    }
+
+    #[test]
+    fn line_first_byte_roundtrip() {
+        let a = Address::new(0x1fc0);
+        assert_eq!(a.line().first_byte(64), a);
+    }
+
+    #[test]
+    fn address_arithmetic_and_formatting() {
+        let a = Address::new(0x40) + 0x40;
+        assert_eq!(a, Address::new(0x80));
+        assert_eq!(format!("{a:x}"), "80");
+        assert_eq!(a.to_string(), "0x0000000000000080");
+        assert_eq!(LineAddr::new(0x41).to_string(), "line 0x41");
+    }
+}

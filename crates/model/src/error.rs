@@ -1,0 +1,62 @@
+//! The common configuration error type for model-level validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing model-level values.
+///
+/// Higher layers (bus schedules, partitions, the simulator configuration)
+/// define their own richer error types and convert from this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A slot width of zero cycles was requested.
+    ZeroSlotWidth,
+    /// A cache geometry with a zero dimension was requested.
+    ZeroGeometry,
+    /// A cache line size that is not a power of two was requested.
+    LineSizeNotPowerOfTwo {
+        /// The offending line size in bytes.
+        line_size: u32,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ZeroSlotWidth => write!(f, "slot width must be at least one cycle"),
+            ModelError::ZeroGeometry => {
+                write!(f, "cache geometry dimensions must all be non-zero")
+            }
+            ModelError::LineSizeNotPowerOfTwo { line_size } => {
+                write!(f, "cache line size {line_size} is not a power of two")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_trailing_punctuation() {
+        for e in [
+            ModelError::ZeroSlotWidth,
+            ModelError::ZeroGeometry,
+            ModelError::LineSizeNotPowerOfTwo { line_size: 48 },
+        ] {
+            let msg = e.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("cache"));
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_good<E: Error + Send + Sync + 'static>() {}
+        assert_good::<ModelError>();
+    }
+}

@@ -1,0 +1,211 @@
+//! Cache geometry: sets × ways × line size, and the derived index/tag math.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LineAddr, ModelError, SetIdx};
+
+/// The shape of one set-associative cache (or one partition's view of the
+/// LLC): number of sets, associativity, and line size in bytes.
+///
+/// Set indexing is modulo, as in the paper's simulator: line `l` maps to
+/// set `l mod sets`. The paper's analysis is deliberately agnostic of the
+/// address mapping, so modulo indexing is a free choice; it is also what
+/// makes the "single-set partition" worst-case experiments of Figure 7
+/// work (every address in the range collides in the one set).
+///
+/// # Examples
+///
+/// ```
+/// use predllc_model::{Address, CacheGeometry};
+///
+/// # fn main() -> Result<(), predllc_model::ModelError> {
+/// let l2 = CacheGeometry::new(16, 4, 64)?; // the paper's private L2
+/// assert_eq!(l2.lines(), 64);
+/// assert_eq!(l2.capacity_bytes(), 4096);
+/// assert_eq!(l2.set_index(Address::new(0x1040).line()), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    sets: u32,
+    ways: u32,
+    line_size: u32,
+}
+
+impl CacheGeometry {
+    /// The paper's private L2: 4-way, 16 sets, 64-byte lines.
+    pub const PAPER_L2: CacheGeometry = CacheGeometry {
+        sets: 16,
+        ways: 4,
+        line_size: 64,
+    };
+
+    /// The paper's shared L3/LLC: 16-way, 32 sets, 64-byte lines.
+    pub const PAPER_L3: CacheGeometry = CacheGeometry {
+        sets: 32,
+        ways: 16,
+        line_size: 64,
+    };
+
+    /// A small L1 used as the default private first level (the paper gives
+    /// no L1 parameters): 2-way, 8 sets, 64-byte lines.
+    pub const DEFAULT_L1: CacheGeometry = CacheGeometry {
+        sets: 8,
+        ways: 2,
+        line_size: 64,
+    };
+
+    /// Creates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ZeroGeometry`] if any dimension is zero, and
+    /// [`ModelError::LineSizeNotPowerOfTwo`] if `line_size` is not a power
+    /// of two (real caches index by bit slicing; keeping the restriction
+    /// here keeps byte↔line conversions exact).
+    pub const fn new(sets: u32, ways: u32, line_size: u32) -> Result<Self, ModelError> {
+        if sets == 0 || ways == 0 || line_size == 0 {
+            return Err(ModelError::ZeroGeometry);
+        }
+        if !line_size.is_power_of_two() {
+            return Err(ModelError::LineSizeNotPowerOfTwo { line_size });
+        }
+        Ok(CacheGeometry {
+            sets,
+            ways,
+            line_size,
+        })
+    }
+
+    /// Number of sets.
+    pub const fn sets(self) -> u32 {
+        self.sets
+    }
+
+    /// Associativity (ways per set).
+    pub const fn ways(self) -> u32 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub const fn line_size(self) -> u32 {
+        self.line_size
+    }
+
+    /// Total number of cache lines (`sets × ways`).
+    pub const fn lines(self) -> u64 {
+        self.sets as u64 * self.ways as u64
+    }
+
+    /// Total capacity in bytes (`sets × ways × line_size`).
+    pub const fn capacity_bytes(self) -> u64 {
+        self.lines() * self.line_size as u64
+    }
+
+    /// Maps a line address to its set index (`line mod sets`).
+    pub const fn set_index(self, line: LineAddr) -> u32 {
+        (line.as_u64() % self.sets as u64) as u32
+    }
+
+    /// Maps a line address to its set index as a typed [`SetIdx`].
+    pub const fn set_of(self, line: LineAddr) -> SetIdx {
+        SetIdx(self.set_index(line))
+    }
+
+    /// Returns a geometry identical to this one but with `sets` sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ZeroGeometry`] if `sets` is zero.
+    pub const fn with_sets(self, sets: u32) -> Result<Self, ModelError> {
+        CacheGeometry::new(sets, self.ways, self.line_size)
+    }
+
+    /// Returns a geometry identical to this one but with `ways` ways.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ZeroGeometry`] if `ways` is zero.
+    pub const fn with_ways(self, ways: u32) -> Result<Self, ModelError> {
+        CacheGeometry::new(self.sets, ways, self.line_size)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sets x {} ways x {} B ({} B total)",
+            self.sets,
+            self.ways,
+            self.line_size,
+            self.capacity_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Address;
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheGeometry::PAPER_L2.lines(), 64);
+        assert_eq!(CacheGeometry::PAPER_L2.capacity_bytes(), 4096);
+        assert_eq!(CacheGeometry::PAPER_L3.lines(), 512);
+        assert_eq!(CacheGeometry::PAPER_L3.capacity_bytes(), 32768);
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert_eq!(CacheGeometry::new(0, 4, 64), Err(ModelError::ZeroGeometry));
+        assert_eq!(CacheGeometry::new(4, 0, 64), Err(ModelError::ZeroGeometry));
+        assert_eq!(CacheGeometry::new(4, 4, 0), Err(ModelError::ZeroGeometry));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_line() {
+        assert_eq!(
+            CacheGeometry::new(4, 4, 48),
+            Err(ModelError::LineSizeNotPowerOfTwo { line_size: 48 })
+        );
+    }
+
+    #[test]
+    fn modulo_set_indexing() {
+        let g = CacheGeometry::new(32, 16, 64).unwrap();
+        assert_eq!(g.set_index(LineAddr::new(0)), 0);
+        assert_eq!(g.set_index(LineAddr::new(31)), 31);
+        assert_eq!(g.set_index(LineAddr::new(32)), 0);
+        assert_eq!(g.set_index(LineAddr::new(33)), 1);
+        assert_eq!(g.set_of(LineAddr::new(33)), SetIdx(1));
+    }
+
+    #[test]
+    fn single_set_partition_collides_everything() {
+        let g = CacheGeometry::new(1, 16, 64).unwrap();
+        for a in (0..4096u64).step_by(64) {
+            assert_eq!(g.set_index(Address::new(a).line()), 0);
+        }
+    }
+
+    #[test]
+    fn with_sets_and_ways() {
+        let g = CacheGeometry::PAPER_L3;
+        assert_eq!(g.with_sets(1).unwrap().sets(), 1);
+        assert_eq!(g.with_ways(2).unwrap().ways(), 2);
+        assert_eq!(g.with_sets(0), Err(ModelError::ZeroGeometry));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            CacheGeometry::PAPER_L2.to_string(),
+            "16 sets x 4 ways x 64 B (4096 B total)"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Identifier newtypes for cores, partitions, cache sets and ways.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a processor core.
+///
+/// Cores are numbered densely from zero. The paper writes the core under
+/// analysis as `c_ua` and other cores as `c_2 … c_N`; here every core is a
+/// plain index and "the core under analysis" is whichever [`CoreId`] an
+/// analysis routine is pointed at.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_model::CoreId;
+///
+/// let c = CoreId::new(2);
+/// assert_eq!(c.index(), 2);
+/// assert_eq!(c.to_string(), "c2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core identifier from a dense index.
+    pub const fn new(index: u16) -> Self {
+        CoreId(index)
+    }
+
+    /// Returns the dense index of this core.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the index widened to `usize` for container indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Enumerates the first `n` core identifiers, `c0 … c(n-1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use predllc_model::CoreId;
+    ///
+    /// let cores: Vec<_> = CoreId::first(3).collect();
+    /// assert_eq!(cores, [CoreId::new(0), CoreId::new(1), CoreId::new(2)]);
+    /// ```
+    pub fn first(n: u16) -> impl Iterator<Item = CoreId> + Clone {
+        (0..n).map(CoreId)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u16> for CoreId {
+    fn from(index: u16) -> Self {
+        CoreId(index)
+    }
+}
+
+/// Identifier of an LLC partition.
+///
+/// A partition is a rectangular `sets × ways` region of the physical LLC
+/// assigned either privately to one core or shared by several cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PartitionId(u16);
+
+impl PartitionId {
+    /// Creates a partition identifier from a dense index.
+    pub const fn new(index: u16) -> Self {
+        PartitionId(index)
+    }
+
+    /// Returns the dense index of this partition.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the index widened to `usize` for container indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u16> for PartitionId {
+    fn from(index: u16) -> Self {
+        PartitionId(index)
+    }
+}
+
+/// Index of a cache set within one cache (or one partition's view of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SetIdx(pub u32);
+
+impl SetIdx {
+    /// Returns the index widened to `usize` for container indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SetIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "set{}", self.0)
+    }
+}
+
+/// Index of a way within a cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WayIdx(pub u32);
+
+impl WayIdx {
+    /// Returns the index widened to `usize` for container indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WayIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "way{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_roundtrip_and_display() {
+        let c = CoreId::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.as_usize(), 7);
+        assert_eq!(c.to_string(), "c7");
+        assert_eq!(CoreId::from(7u16), c);
+    }
+
+    #[test]
+    fn core_id_first_enumerates_densely() {
+        assert_eq!(CoreId::first(0).count(), 0);
+        let v: Vec<_> = CoreId::first(4).map(CoreId::index).collect();
+        assert_eq!(v, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn core_id_ordering_follows_index() {
+        assert!(CoreId::new(1) < CoreId::new(2));
+        assert!(CoreId::new(2) <= CoreId::new(2));
+    }
+
+    #[test]
+    fn partition_id_roundtrip_and_display() {
+        let p = PartitionId::new(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(p.to_string(), "P3");
+        assert_eq!(PartitionId::from(3u16), p);
+    }
+
+    #[test]
+    fn set_and_way_display() {
+        assert_eq!(SetIdx(5).to_string(), "set5");
+        assert_eq!(WayIdx(2).to_string(), "way2");
+        assert_eq!(SetIdx(5).as_usize(), 5);
+        assert_eq!(WayIdx(2).as_usize(), 2);
+    }
+
+    #[test]
+    fn ids_serialize_transparently() {
+        let json = serde_json::to_string(&CoreId::new(3)).unwrap();
+        assert_eq!(json, "3");
+        let back: CoreId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, CoreId::new(3));
+    }
+}

@@ -1,0 +1,138 @@
+//! Memory operations issued by cores.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Address;
+
+/// The kind of a memory access.
+///
+/// Instruction fetches go to the private L1I, data reads and writes to the
+/// private L1D; everything below L1 is unified. Writes make lines dirty,
+/// which is what later forces write-backs onto the TDM bus — the central
+/// mechanism behind the paper's WCL observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store (marks the line dirty in the private hierarchy).
+    Write,
+    /// An instruction fetch (serviced by the L1I, never dirty).
+    InstrFetch,
+}
+
+impl AccessKind {
+    /// Whether this access dirties the cache line it touches.
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+
+    /// Whether this access is an instruction fetch.
+    pub const fn is_instr(self) -> bool {
+        matches!(self, AccessKind::InstrFetch)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+            AccessKind::InstrFetch => "I",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One memory operation in a core's trace.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_model::{AccessKind, Address, MemOp};
+///
+/// let op = MemOp::write(Address::new(0x1000));
+/// assert!(op.kind.is_write());
+/// assert_eq!(op.to_string(), "W 0x0000000000001000");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemOp {
+    /// What kind of access this is.
+    pub kind: AccessKind,
+    /// The byte address accessed.
+    pub addr: Address,
+}
+
+impl MemOp {
+    /// Creates a data read.
+    pub const fn read(addr: Address) -> Self {
+        MemOp {
+            kind: AccessKind::Read,
+            addr,
+        }
+    }
+
+    /// Creates a data write.
+    pub const fn write(addr: Address) -> Self {
+        MemOp {
+            kind: AccessKind::Write,
+            addr,
+        }
+    }
+
+    /// Creates an instruction fetch.
+    pub const fn fetch(addr: Address) -> Self {
+        MemOp {
+            kind: AccessKind::InstrFetch,
+            addr,
+        }
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let a = Address::new(64);
+        assert_eq!(MemOp::read(a).kind, AccessKind::Read);
+        assert_eq!(MemOp::write(a).kind, AccessKind::Write);
+        assert_eq!(MemOp::fetch(a).kind, AccessKind::InstrFetch);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert!(!AccessKind::InstrFetch.is_write());
+        assert!(AccessKind::InstrFetch.is_instr());
+        assert!(!AccessKind::Read.is_instr());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AccessKind::Read.to_string(), "R");
+        assert_eq!(AccessKind::Write.to_string(), "W");
+        assert_eq!(AccessKind::InstrFetch.to_string(), "I");
+        assert_eq!(
+            MemOp::read(Address::new(0x40)).to_string(),
+            "R 0x0000000000000040"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let op = MemOp::write(Address::new(0x1234));
+        let json = serde_json::to_string(&op).unwrap();
+        let back: MemOp = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, op);
+    }
+}

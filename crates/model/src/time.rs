@@ -1,0 +1,279 @@
+//! Cycle-accurate time keeping.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+/// A duration or instant measured in processor clock cycles.
+///
+/// `Cycles` is the single unit of time in the simulator: slot widths,
+/// latencies, deadlines and timestamps are all cycle counts. Arithmetic is
+/// checked in debug builds (the underlying `u64` panics on overflow there)
+/// and the explicit [`Cycles::saturating_sub`] is provided for latency
+/// computations that may legitimately clamp at zero.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_model::Cycles;
+///
+/// let slot = Cycles::new(50);
+/// let period = slot * 4;
+/// assert_eq!(period, Cycles::new(200));
+/// assert_eq!(period - slot, Cycles::new(150));
+/// assert_eq!(period.as_u64(), 200);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(cycles: u64) -> Self {
+        Cycles(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Subtracts, clamping at zero instead of underflowing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use predllc_model::Cycles;
+    /// assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(5)), Cycles::ZERO);
+    /// ```
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked multiplication by a scalar, for analysis formulas whose
+    /// intermediate products can overflow on adversarial parameters.
+    pub const fn checked_mul(self, rhs: u64) -> Option<Cycles> {
+        match self.0.checked_mul(rhs) {
+            Some(v) => Some(Cycles(v)),
+            None => None,
+        }
+    }
+
+    /// Checked addition.
+    pub const fn checked_add(self, rhs: Cycles) -> Option<Cycles> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Cycles(v)),
+            None => None,
+        }
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(cycles: u64) -> Self {
+        Cycles(cycles)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+/// The width of one TDM bus slot, in cycles.
+///
+/// The paper's evaluation platform uses a 50-cycle slot (recovered from the
+/// analytical WCLs quoted in Figure 7, which all divide exactly by 50);
+/// [`SlotWidth::PAPER`] captures that constant. A slot must be wide enough
+/// to cover a tag lookup plus a DRAM fetch, because the system model
+/// requires a miss fill to complete within the requester's slot.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_model::{Cycles, SlotWidth};
+///
+/// # fn main() -> Result<(), predllc_model::ModelError> {
+/// let sw = SlotWidth::new(50)?;
+/// assert_eq!(sw.cycles(), Cycles::new(50));
+/// assert_eq!(sw, SlotWidth::PAPER);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SlotWidth(u64);
+
+impl SlotWidth {
+    /// The paper's evaluation slot width: 50 cycles.
+    pub const PAPER: SlotWidth = SlotWidth(50);
+
+    /// Creates a slot width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ZeroSlotWidth`] if `cycles` is zero.
+    pub const fn new(cycles: u64) -> Result<Self, ModelError> {
+        if cycles == 0 {
+            Err(ModelError::ZeroSlotWidth)
+        } else {
+            Ok(SlotWidth(cycles))
+        }
+    }
+
+    /// Returns the slot width as a duration.
+    pub const fn cycles(self) -> Cycles {
+        Cycles(self.0)
+    }
+
+    /// Returns the raw cycle count of one slot.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns which slot (global index since cycle 0) `now` falls in.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use predllc_model::{Cycles, SlotWidth};
+    /// let sw = SlotWidth::PAPER;
+    /// assert_eq!(sw.slot_of(Cycles::new(0)), 0);
+    /// assert_eq!(sw.slot_of(Cycles::new(49)), 0);
+    /// assert_eq!(sw.slot_of(Cycles::new(50)), 1);
+    /// ```
+    pub const fn slot_of(self, now: Cycles) -> u64 {
+        now.as_u64() / self.0
+    }
+
+    /// Returns the first cycle of global slot `slot`.
+    pub const fn slot_start(self, slot: u64) -> Cycles {
+        Cycles(slot * self.0)
+    }
+
+    /// Returns the last cycle belonging to global slot `slot`.
+    pub const fn slot_end(self, slot: u64) -> Cycles {
+        Cycles(slot * self.0 + self.0 - 1)
+    }
+}
+
+impl fmt::Display for SlotWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-cycle slot", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(4);
+        assert_eq!(a + b, Cycles::new(14));
+        assert_eq!(a - b, Cycles::new(6));
+        assert_eq!(a * 3, Cycles::new(30));
+        assert_eq!(a / 2, Cycles::new(5));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycles::new(14));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn cycles_saturating_and_checked() {
+        assert_eq!(Cycles::new(1).saturating_sub(Cycles::new(9)), Cycles::ZERO);
+        assert_eq!(Cycles::new(9).saturating_sub(Cycles::new(1)), Cycles::new(8));
+        assert_eq!(Cycles::new(u64::MAX).checked_mul(2), None);
+        assert_eq!(Cycles::new(3).checked_mul(4), Some(Cycles::new(12)));
+        assert_eq!(Cycles::new(u64::MAX).checked_add(Cycles::new(1)), None);
+        assert_eq!(
+            Cycles::new(3).checked_add(Cycles::new(4)),
+            Some(Cycles::new(7))
+        );
+    }
+
+    #[test]
+    fn cycles_sum_and_display() {
+        let total: Cycles = [1u64, 2, 3].into_iter().map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(6));
+        assert_eq!(total.to_string(), "6 cycles");
+    }
+
+    #[test]
+    fn slot_width_rejects_zero() {
+        assert_eq!(SlotWidth::new(0), Err(ModelError::ZeroSlotWidth));
+    }
+
+    #[test]
+    fn slot_boundaries() {
+        let sw = SlotWidth::new(50).unwrap();
+        assert_eq!(sw.slot_start(0), Cycles::new(0));
+        assert_eq!(sw.slot_end(0), Cycles::new(49));
+        assert_eq!(sw.slot_start(3), Cycles::new(150));
+        assert_eq!(sw.slot_end(3), Cycles::new(199));
+        assert_eq!(sw.slot_of(Cycles::new(199)), 3);
+        assert_eq!(sw.slot_of(Cycles::new(200)), 4);
+    }
+
+    #[test]
+    fn paper_constant_is_fifty() {
+        assert_eq!(SlotWidth::PAPER.as_u64(), 50);
+        assert_eq!(SlotWidth::PAPER.to_string(), "50-cycle slot");
+    }
+}

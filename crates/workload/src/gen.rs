@@ -1,0 +1,355 @@
+//! Deterministic trace generators.
+
+use predllc_model::{Address, CoreId, MemOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives a per-core RNG from a workload seed so that every core's trace
+/// is independent yet reproducible.
+fn core_rng(seed: u64, core: CoreId) -> StdRng {
+    // splitmix-style mixing of the core index into the seed.
+    let mut z = seed ^ (u64::from(core.index()).wrapping_add(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// The paper's workload: uniformly random line-aligned addresses within a
+/// per-core address range of `range_bytes`, disjoint across cores (core
+/// `i` owns `[i·range, (i+1)·range)`).
+///
+/// # Examples
+///
+/// ```
+/// use predllc_workload::gen::UniformGen;
+///
+/// // A 2 KiB range per core, 50 operations, 25% writes.
+/// let traces = UniformGen::new(2048, 50).with_write_fraction(0.25).traces(2);
+/// assert!(traces[0].iter().all(|op| op.addr.as_u64() < 2048));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformGen {
+    /// Size of each core's private address range in bytes.
+    pub range_bytes: u64,
+    /// Operations per core.
+    pub ops: usize,
+    /// Fraction of operations that are writes (`0.0 ..= 1.0`).
+    pub write_fraction: f64,
+    /// RNG seed; the same seed reproduces the same traces.
+    pub seed: u64,
+    /// Alignment of generated addresses (default: the 64-byte line).
+    pub align: u64,
+}
+
+impl UniformGen {
+    /// Creates a generator with no writes and the default seed.
+    pub fn new(range_bytes: u64, ops: usize) -> Self {
+        UniformGen {
+            range_bytes,
+            ops,
+            write_fraction: 0.0,
+            seed: 0xD0E5_11C5,
+            align: 64,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the write fraction.
+    pub fn with_write_fraction(mut self, f: f64) -> Self {
+        self.write_fraction = f;
+        self
+    }
+
+    /// Generates the trace of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range_bytes < align` (no addressable line).
+    pub fn core_trace(&self, core: CoreId) -> Vec<MemOp> {
+        assert!(
+            self.range_bytes >= self.align,
+            "address range must contain at least one line"
+        );
+        let mut rng = core_rng(self.seed, core);
+        let base = u64::from(core.index()) * self.range_bytes;
+        let lines = self.range_bytes / self.align;
+        (0..self.ops)
+            .map(|_| {
+                let addr = Address::new(base + rng.gen_range(0..lines) * self.align);
+                if rng.gen_bool(self.write_fraction) {
+                    MemOp::write(addr)
+                } else {
+                    MemOp::read(addr)
+                }
+            })
+            .collect()
+    }
+
+    /// Generates traces for cores `c0 … c(n-1)`.
+    pub fn traces(&self, n: u16) -> Vec<Vec<MemOp>> {
+        CoreId::first(n).map(|c| self.core_trace(c)).collect()
+    }
+}
+
+/// A constant-stride sweep (array walk): `start, start+stride, …`,
+/// wrapping at `start + range_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideGen {
+    /// First address.
+    pub start: u64,
+    /// Stride in bytes.
+    pub stride: u64,
+    /// Wrap-around window size in bytes.
+    pub range_bytes: u64,
+    /// Operations to generate.
+    pub ops: usize,
+}
+
+impl StrideGen {
+    /// Creates a line-stride sweep over `range_bytes` starting at
+    /// `start`.
+    pub fn new(start: u64, range_bytes: u64, ops: usize) -> Self {
+        StrideGen {
+            start,
+            stride: 64,
+            range_bytes,
+            ops,
+        }
+    }
+
+    /// Overrides the stride.
+    pub fn with_stride(mut self, stride: u64) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` or `range_bytes` is zero.
+    pub fn trace(&self) -> Vec<MemOp> {
+        assert!(self.stride > 0 && self.range_bytes > 0);
+        (0..self.ops)
+            .map(|i| {
+                let off = (i as u64 * self.stride) % self.range_bytes;
+                MemOp::read(Address::new(self.start + off))
+            })
+            .collect()
+    }
+}
+
+/// A pointer chase: a random permutation cycle over the lines of a
+/// range, walked repeatedly — worst-case temporal locality with perfect
+/// spatial disjointness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointerChaseGen {
+    /// First address of the region.
+    pub start: u64,
+    /// Region size in bytes (must hold ≥ 1 line).
+    pub range_bytes: u64,
+    /// Operations to generate.
+    pub ops: usize,
+    /// Permutation seed.
+    pub seed: u64,
+}
+
+impl PointerChaseGen {
+    /// Creates a chase over `[start, start + range_bytes)`.
+    pub fn new(start: u64, range_bytes: u64, ops: usize) -> Self {
+        PointerChaseGen {
+            start,
+            range_bytes,
+            ops,
+            seed: 0x000C_4A5E,
+        }
+    }
+
+    /// Sets the permutation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range holds no full line.
+    pub fn trace(&self) -> Vec<MemOp> {
+        let lines = (self.range_bytes / 64) as usize;
+        assert!(lines > 0, "range must hold at least one line");
+        // Fisher-Yates a permutation of the line indices.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut perm: Vec<usize> = (0..lines).collect();
+        for i in (1..lines).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mut at = 0usize;
+        (0..self.ops)
+            .map(|_| {
+                let addr = Address::new(self.start + perm[at] as u64 * 64);
+                at = (at + 1) % lines;
+                MemOp::read(addr)
+            })
+            .collect()
+    }
+}
+
+/// A hot/cold mix: most accesses go to a small hot region, the rest to
+/// the cold remainder — the classic working-set shape cache partitions
+/// are sized for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotColdGen {
+    /// First address of the region.
+    pub start: u64,
+    /// Region size in bytes.
+    pub range_bytes: u64,
+    /// Fraction of the region that is hot (`0.0 ..= 1.0`).
+    pub hot_fraction: f64,
+    /// Probability that an access targets the hot region.
+    pub hot_probability: f64,
+    /// Operations to generate.
+    pub ops: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HotColdGen {
+    /// Creates a 10%-hot / 90%-of-accesses generator.
+    pub fn new(start: u64, range_bytes: u64, ops: usize) -> Self {
+        HotColdGen {
+            start,
+            range_bytes,
+            hot_fraction: 0.1,
+            hot_probability: 0.9,
+            ops,
+            seed: 0x0407_C01D,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hot or cold region holds no full line.
+    pub fn trace(&self) -> Vec<MemOp> {
+        let lines = self.range_bytes / 64;
+        let hot_lines = ((lines as f64 * self.hot_fraction) as u64).max(1);
+        let cold_lines = (lines - hot_lines).max(1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.ops)
+            .map(|_| {
+                let line = if rng.gen_bool(self.hot_probability) {
+                    rng.gen_range(0..hot_lines)
+                } else {
+                    hot_lines + rng.gen_range(0..cold_lines)
+                };
+                MemOp::read(Address::new(self.start + line * 64))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniform_ranges_are_disjoint_per_core() {
+        let g = UniformGen::new(1024, 200);
+        let traces = g.traces(3);
+        for (i, t) in traces.iter().enumerate() {
+            let base = i as u64 * 1024;
+            assert!(t
+                .iter()
+                .all(|op| (base..base + 1024).contains(&op.addr.as_u64())));
+        }
+    }
+
+    #[test]
+    fn uniform_is_line_aligned_and_deterministic() {
+        let g = UniformGen::new(4096, 100).with_seed(42);
+        let t1 = g.core_trace(CoreId::new(0));
+        let t2 = g.core_trace(CoreId::new(0));
+        assert_eq!(t1, t2);
+        assert!(t1.iter().all(|op| op.addr.as_u64() % 64 == 0));
+        // Different seeds differ.
+        let t3 = UniformGen::new(4096, 100).with_seed(43).core_trace(CoreId::new(0));
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn uniform_write_fraction_mixes_kinds() {
+        let g = UniformGen::new(4096, 400).with_write_fraction(0.5);
+        let t = g.core_trace(CoreId::new(0));
+        let writes = t.iter().filter(|op| op.kind.is_write()).count();
+        assert!((100..300).contains(&writes), "roughly half: {writes}");
+        let none = UniformGen::new(4096, 100).core_trace(CoreId::new(0));
+        assert!(none.iter().all(|op| !op.kind.is_write()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn uniform_rejects_sub_line_range() {
+        UniformGen::new(32, 1).core_trace(CoreId::new(0));
+    }
+
+    #[test]
+    fn stride_wraps_at_range() {
+        let t = StrideGen::new(0, 256, 6).trace();
+        let addrs: Vec<u64> = t.iter().map(|op| op.addr.as_u64()).collect();
+        assert_eq!(addrs, [0, 64, 128, 192, 0, 64]);
+    }
+
+    #[test]
+    fn stride_with_custom_stride() {
+        let t = StrideGen::new(1000, 512, 4).with_stride(128).trace();
+        let addrs: Vec<u64> = t.iter().map(|op| op.addr.as_u64()).collect();
+        assert_eq!(addrs, [1000, 1128, 1256, 1384]);
+    }
+
+    #[test]
+    fn pointer_chase_visits_every_line_once_per_lap() {
+        let t = PointerChaseGen::new(0, 512, 8).trace(); // 8 lines, 1 lap
+        let distinct: HashSet<u64> = t.iter().map(|op| op.addr.as_u64()).collect();
+        assert_eq!(distinct.len(), 8);
+        // A second lap repeats the same order.
+        let t2 = PointerChaseGen::new(0, 512, 16).trace();
+        assert_eq!(&t2[..8], &t2[8..]);
+    }
+
+    #[test]
+    fn hot_cold_concentrates_accesses() {
+        let g = HotColdGen::new(0, 64 * 100, 1000);
+        let t = g.trace();
+        let hot_end = 10 * 64; // 10% of 100 lines
+        let hot = t.iter().filter(|op| op.addr.as_u64() < hot_end).count();
+        assert!(hot > 800, "≈90% should be hot, got {hot}");
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        assert_eq!(
+            PointerChaseGen::new(0, 1024, 32).trace(),
+            PointerChaseGen::new(0, 1024, 32).trace()
+        );
+        assert_eq!(
+            HotColdGen::new(0, 4096, 64).trace(),
+            HotColdGen::new(0, 4096, 64).trace()
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Trace (de)serialization: JSON for interchange.
+//!
+//! Traces are small structured data; JSON keeps them inspectable and
+//! diff-able, which matters more for experiment provenance than
+//! compactness.
+
+use std::io::{Read, Write};
+
+use crate::trace::TraceSet;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceIoError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream did not contain a valid trace set.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Format(e) => write!(f, "trace format invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Format(e)
+    }
+}
+
+/// Writes a trace set as JSON. A `&mut` writer works too.
+///
+/// # Errors
+///
+/// Propagates serialization and I/O failures.
+pub fn write_json<W: Write>(set: &TraceSet, writer: W) -> Result<(), TraceIoError> {
+    serde_json::to_writer(writer, set)?;
+    Ok(())
+}
+
+/// Reads a trace set from JSON. A `&mut` reader works too.
+///
+/// # Errors
+///
+/// Propagates deserialization and I/O failures.
+pub fn read_json<R: Read>(reader: R) -> Result<TraceSet, TraceIoError> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::UniformGen;
+
+    #[test]
+    fn json_roundtrip_preserves_traces() {
+        let set = TraceSet::new("rt", UniformGen::new(2048, 25).traces(3));
+        let mut buf = Vec::new();
+        write_json(&set, &mut buf).unwrap();
+        let back = read_json(buf.as_slice()).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn malformed_json_is_a_format_error() {
+        let err = read_json(b"not json".as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+        assert!(err.to_string().contains("format"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<TraceIoError>();
+    }
+}

@@ -1,0 +1,98 @@
+//! Watch the paper's *distance* metric (Definition 4.2) evolve during a
+//! live simulation: Observation 1 (distances drain while the core under
+//! analysis waits without write-backs) made visible.
+//!
+//! Run with: `cargo run --release --example distance_observations`
+
+use predllc::analysis::distance::DistanceTracker;
+use predllc::{
+    Address, CoreId, EventKind, MemOp, PartitionSpec, SharingMode, Simulator, SystemConfig,
+};
+
+fn c(i: u16) -> CoreId {
+    CoreId::new(i)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Fig. 3 setting: 4 cores, shared 1-set x 2-way partition, best
+    // effort. cua (c0) wants one line; c2 pre-warmed the set dirty; c3
+    // keeps stealing freed entries.
+    let cfg = SystemConfig::builder(4)
+        .partitions(vec![PartitionSpec::shared(
+            1,
+            2,
+            (0..4).map(c).collect(),
+            SharingMode::BestEffort,
+        )])
+        .record_events(true)
+        .max_cycles(10_000_000)
+        .build()?;
+    let spec = cfg.partitions().spec_of(c(0)).clone();
+    let schedule = cfg.schedule().clone();
+
+    let write = |l: u64| MemOp::write(Address::new(l * 64));
+    let traces = vec![
+        vec![MemOp::read(Address::new(0))],
+        vec![],
+        vec![write(10), write(11)],
+        (0..40).map(|i| write(20 + (i % 6))).collect(),
+    ];
+    let report = Simulator::new(cfg)?.run(traces)?;
+
+    let broadcast = report
+        .events
+        .events()
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::RequestBroadcast { core, .. } if core == c(0)))
+        .map(|e| e.slot)
+        .expect("cua broadcasts");
+    let fill = report
+        .events
+        .events()
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Fill { core, .. } if core == c(0)))
+        .map(|e| e.slot)
+        .expect("cua completes (Observation 2)");
+
+    println!(
+        "cua broadcast its request in slot {broadcast}; response in slot {fill} \
+         ({} periods of waiting)\n",
+        (fill - broadcast) / 4
+    );
+    println!("distance profile of the contended set (schedule {{c0,c1,c2,c3}}, cua = c0):");
+    println!("{:>5} {:>30} {:>7}", "slot", "resident lines (line: d)", "total");
+
+    let tracker = DistanceTracker::new(&schedule, &spec, 0, c(0));
+    for s in tracker.samples(&report.events) {
+        if s.slot > fill + 2 {
+            break;
+        }
+        let desc: Vec<String> = s
+            .lines
+            .iter()
+            .map(|(l, d)| match d {
+                Some(d) => format!("{}:d{}", l.as_u64(), d),
+                None => format!("{}:-", l.as_u64()),
+            })
+            .collect();
+        let marker = if s.slot == broadcast {
+            "  <- cua requests"
+        } else if s.slot == fill {
+            "  <- cua fills"
+        } else {
+            ""
+        };
+        println!(
+            "{:>5} {:>30} {:>7}{marker}",
+            s.slot,
+            desc.join("  "),
+            s.total_distance()
+        );
+    }
+    println!(
+        "\nWhile cua waits (and writes nothing back), the total distance only\n\
+         drains — Observation 1 — until an entry frees with no closer core\n\
+         to steal it, and cua's request completes — Observation 2."
+    );
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! Explore the WCL analysis without running a single simulation:
+//! Theorems 4.7 and 4.8 across parameter sweeps, plus schedule
+//! classification (bounded / unbounded / not covered).
+//!
+//! Run with: `cargo run --release --example wcl_analysis`
+
+use predllc::analysis::{classify_schedule, WclParams};
+use predllc::{
+    CoreId, PartitionSpec, SharingMode, SlotWidth, SystemConfig, TdmSchedule,
+};
+
+fn params(n: u16, ways: u32, partition_lines: u64) -> WclParams {
+    WclParams {
+        total_cores: n,
+        sharers: n,
+        ways,
+        partition_lines,
+        core_capacity_lines: 64,
+        slot_width: SlotWidth::PAPER,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== WCL vs sharer count (1-set x 4-way partition, N = n, SW = 50) ==");
+    println!(
+        "{:>3} {:>16} {:>14} {:>12} {:>8}",
+        "n", "NSS (Thm 4.7)", "SS (Thm 4.8)", "P (private)", "NSS/SS"
+    );
+    for n in 2..=16 {
+        let p = params(n, 4, 4);
+        println!(
+            "{:>3} {:>16} {:>14} {:>12} {:>8.1}",
+            n,
+            p.wcl_one_slot_tdm().as_u64(),
+            p.wcl_set_sequencer().as_u64(),
+            p.wcl_private().as_u64(),
+            p.improvement_ratio(),
+        );
+    }
+
+    println!("\n== WCL vs partition size (4 cores, 16 ways): SS is size-independent ==");
+    println!("{:>10} {:>16} {:>14}", "M (lines)", "NSS (Thm 4.7)", "SS (Thm 4.8)");
+    for m in [16u64, 64, 128, 256, 512, 2048] {
+        let p = params(4, 16, m);
+        println!(
+            "{:>10} {:>16} {:>14}",
+            m,
+            p.wcl_one_slot_tdm().as_u64(),
+            p.wcl_set_sequencer().as_u64()
+        );
+    }
+    println!("(NSS saturates once M exceeds the private capacity m_cua = 64: m = min(m_cua, M))");
+
+    println!("\n== Schedule classification ==");
+    let cua = CoreId::new(0);
+    let shared = |mode| {
+        vec![PartitionSpec::shared(
+            1,
+            2,
+            vec![cua, CoreId::new(1)],
+            mode,
+        )]
+    };
+    let cases: Vec<(&str, SystemConfig)> = vec![
+        (
+            "1S-TDM {c0, c1}, set sequencer",
+            SystemConfig::builder(2)
+                .partitions(shared(SharingMode::SetSequencer))
+                .build()?,
+        ),
+        (
+            "1S-TDM {c0, c1}, best effort",
+            SystemConfig::builder(2)
+                .partitions(shared(SharingMode::BestEffort))
+                .build()?,
+        ),
+        (
+            "{c0, c1, c1}, best effort (Fig. 2)",
+            SystemConfig::builder(2)
+                .schedule(TdmSchedule::new(vec![cua, CoreId::new(1), CoreId::new(1)])?)
+                .partitions(shared(SharingMode::BestEffort))
+                .build()?,
+        ),
+        (
+            "1S-TDM, private partitions",
+            SystemConfig::private_partitions(8, 2, 2)?,
+        ),
+    ];
+    for (name, cfg) in cases {
+        println!("  {name:<38} -> {:?}", classify_schedule(&cfg, cua)?);
+    }
+
+    println!("\n== The headline number ==");
+    // The paper's 128-line partition claim presumes the core can cache
+    // all of it (m = min(m_cua, M) = 128).
+    let p = WclParams {
+        core_capacity_lines: 128,
+        ..params(4, 16, 128)
+    };
+    println!(
+        "16-way, 128-line shared partition, 4 cores: {} -> {} cycles ({:.0}x lower; paper: 2048x)",
+        p.wcl_one_slot_tdm().as_u64(),
+        p.wcl_set_sequencer().as_u64(),
+        p.improvement_ratio(),
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Compare how different access patterns behave on the same shared
+//! partition: the sharing penalty is not one number, it depends on the
+//! workload's locality and write mix.
+//!
+//! Run with: `cargo run --release --example workload_patterns`
+
+use predllc::workload_gen::{HotColdGen, PointerChaseGen, StrideGen, UniformGen};
+use predllc::{CoreId, MemOp, SharingMode, Simulator, SystemConfig};
+
+fn run(name: &str, mode: SharingMode, traces: Vec<Vec<MemOp>>) -> Result<(), predllc::ConfigError> {
+    let cfg = SystemConfig::shared_partition(16, 8, 4, mode)?;
+    let report = Simulator::new(cfg)?.run(traces)?;
+    let s0 = report.stats.core(CoreId::new(0));
+    println!(
+        "  {name:<16} {mode}: exec {:>9}, core0 hit-rate {:>5.1}%, LLC {:>4} hits / {:>4} fills, worst {:>5}",
+        report.execution_time().as_u64(),
+        100.0 * s0.private_hit_rate(),
+        s0.llc_hits,
+        s0.llc_fills,
+        report.max_request_latency().as_u64(),
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const OPS: usize = 4_000;
+    const RANGE: u64 = 16_384; // 16 KiB per core, disjoint
+
+    // Four cores each run the *same kind* of pattern in disjoint ranges.
+    let base = |i: u64| i * RANGE;
+    let patterns: Vec<(&str, Vec<Vec<MemOp>>)> = vec![
+        (
+            "uniform",
+            UniformGen::new(RANGE, OPS).with_write_fraction(0.2).traces(4),
+        ),
+        (
+            "stride",
+            (0..4).map(|i| StrideGen::new(base(i), RANGE, OPS).trace()).collect(),
+        ),
+        (
+            "pointer-chase",
+            (0..4)
+                .map(|i| PointerChaseGen::new(base(i), RANGE, OPS).with_seed(i).trace())
+                .collect(),
+        ),
+        (
+            "hot-cold",
+            (0..4)
+                .map(|i| HotColdGen::new(base(i), RANGE, OPS).with_seed(i).trace())
+                .collect(),
+        ),
+    ];
+
+    println!("4 cores sharing SS/NSS(16,8) — same addresses in both modes:\n");
+    for (name, traces) in patterns {
+        run(name, SharingMode::SetSequencer, traces.clone())?;
+        run(name, SharingMode::BestEffort, traces)?;
+        println!();
+    }
+    println!(
+        "hot-cold and stride keep their working sets private (high hit rates),\n\
+         so sharing costs them almost nothing; pointer-chase misses constantly\n\
+         and feels the full contention."
+    );
+    Ok(())
+}

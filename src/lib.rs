@@ -1,0 +1,69 @@
+//! # predllc — predictable sharing of last-level cache partitions
+//!
+//! A Rust reproduction of Wu & Patel, *"Predictable Sharing of Last-level
+//! Cache Partitions for Multi-core Safety-critical Systems"* (DAC 2022,
+//! arXiv:2204.01679): a cycle-accurate multicore cache-hierarchy
+//! simulator with TDM bus arbitration, shared/private LLC partitions, the
+//! **set sequencer** micro-architecture, and the paper's worst-case
+//! latency (WCL) analysis.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`model`] ([`predllc_model`]) — core vocabulary: addresses, cycles,
+//!   cache geometry, memory operations.
+//! * [`cache`] ([`predllc_cache`]) — set-associative caches, replacement
+//!   policies, private L1/L2 hierarchies, DRAM.
+//! * [`bus`] ([`predllc_bus`]) — TDM schedules, 1S-TDM, slot distance,
+//!   PRB/PWB buffers.
+//! * [`sim`] ([`predllc_core`]) — partitions, the set sequencer, the LLC
+//!   controller, the simulator and the WCL analysis.
+//! * [`workload`] ([`predllc_workload`]) — deterministic synthetic trace
+//!   generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use predllc::analysis::WclParams;
+//! use predllc::{SharingMode, Simulator, SystemConfig};
+//! use predllc::workload_gen::UniformGen;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Four cores share one 8-set x 4-way LLC partition, ordered by the
+//! // set sequencer, on a 1S-TDM bus.
+//! let config = SystemConfig::shared_partition(8, 4, 4, SharingMode::SetSequencer)?;
+//!
+//! // The analytical WCL bound for any request (Theorem 4.8).
+//! let bound = WclParams::from_config(&config)?.wcl_set_sequencer();
+//!
+//! // Simulate the paper's uniform-random workload and compare.
+//! let traces = UniformGen::new(8192, 500).traces(4);
+//! let report = Simulator::new(config)?.run(traces)?;
+//! assert!(report.max_request_latency() <= bound);
+//! println!("observed {} <= bound {}", report.max_request_latency(), bound);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use predllc_bus as bus;
+pub use predllc_cache as cache;
+pub use predllc_core as sim;
+pub use predllc_model as model;
+pub use predllc_workload as workload;
+
+pub use predllc_bus::{ArbiterPolicy, ScheduleError, TdmSchedule};
+pub use predllc_cache::ReplacementKind;
+pub use predllc_core::analysis;
+pub use predllc_core::{
+    ConfigError, Event, EventKind, EventLog, PartitionMap, PartitionSpec, RunReport, SharingMode,
+    Simulator, SystemConfig, SystemConfigBuilder,
+};
+pub use predllc_model::{
+    AccessKind, Address, CacheGeometry, CoreId, Cycles, LineAddr, MemOp, SlotWidth,
+};
+
+/// Re-export of the workload generators module for ergonomic paths in
+/// examples (`predllc::workload_gen::UniformGen`).
+pub use predllc_workload::gen as workload_gen;

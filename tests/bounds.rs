@@ -1,0 +1,191 @@
+//! The Fig. 7 acceptance criterion as a test suite: across
+//! configurations, workloads, replacement policies and arbiter policies,
+//! every observed request latency stays within the applicable analytical
+//! WCL bound.
+
+use predllc::analysis::{classify_schedule, critical, WclParams};
+use predllc::workload_gen::UniformGen;
+use predllc::{
+    ArbiterPolicy, CoreId, ReplacementKind, SharingMode, Simulator, SystemConfig,
+    SystemConfigBuilder,
+};
+
+fn bound_of(cfg: &SystemConfig) -> u64 {
+    classify_schedule(cfg, CoreId::new(0))
+        .expect("core 0 exists")
+        .cycles()
+        .expect("1S-TDM configurations are bounded")
+        .as_u64()
+}
+
+fn check(cfg: SystemConfig, traces: Vec<Vec<predllc::MemOp>>, context: &str) {
+    let bound = bound_of(&cfg);
+    let report = Simulator::new(cfg).unwrap().run(traces).unwrap();
+    assert!(!report.timed_out, "{context}: timed out");
+    let observed = report.max_request_latency().as_u64();
+    assert!(
+        observed <= bound,
+        "{context}: observed WCL {observed} exceeds analytical bound {bound}"
+    );
+}
+
+#[test]
+fn fig7_one_set_configurations_respect_bounds() {
+    // The six Fig. 7 configurations at three representative ranges.
+    let configs: Vec<(&str, SystemConfig)> = vec![
+        (
+            "SS(1,2,4)",
+            SystemConfig::shared_partition(1, 2, 4, SharingMode::SetSequencer).unwrap(),
+        ),
+        (
+            "SS(1,4,4)",
+            SystemConfig::shared_partition(1, 4, 4, SharingMode::SetSequencer).unwrap(),
+        ),
+        (
+            "NSS(1,2,4)",
+            SystemConfig::shared_partition(1, 2, 4, SharingMode::BestEffort).unwrap(),
+        ),
+        (
+            "NSS(1,4,4)",
+            SystemConfig::shared_partition(1, 4, 4, SharingMode::BestEffort).unwrap(),
+        ),
+        ("P(1,2)", SystemConfig::private_partitions(1, 2, 4).unwrap()),
+        ("P(1,4)", SystemConfig::private_partitions(1, 4, 4).unwrap()),
+    ];
+    for (name, cfg) in configs {
+        for range in [1024u64, 8192, 262_144] {
+            let traces = UniformGen::new(range, 600)
+                .with_write_fraction(0.3)
+                .with_seed(range ^ 0xB0)
+                .traces(4);
+            check(cfg.clone(), traces, &format!("{name} @ {range}"));
+        }
+    }
+}
+
+#[test]
+fn adversarial_stress_respects_bounds() {
+    for mode in [SharingMode::SetSequencer, SharingMode::BestEffort] {
+        for ways in [1u32, 2, 4] {
+            let cfg = SystemConfig::shared_partition(1, ways, 4, mode).unwrap();
+            let spec = cfg.partitions().spec_of(CoreId::new(0)).clone();
+            let traces = critical::wcl_stress_traces(&spec, 400);
+            check(cfg, traces, &format!("stress {mode:?} w={ways}"));
+        }
+    }
+}
+
+#[test]
+fn bounds_hold_for_every_replacement_policy() {
+    for repl in [
+        ReplacementKind::Lru,
+        ReplacementKind::Fifo,
+        ReplacementKind::RoundRobin,
+        ReplacementKind::Random { seed: 11 },
+    ] {
+        for mode in [SharingMode::SetSequencer, SharingMode::BestEffort] {
+            let cfg = SystemConfigBuilder::new(4)
+                .partitions(vec![predllc::PartitionSpec::shared(
+                    1,
+                    4,
+                    CoreId::first(4).collect(),
+                    mode,
+                )])
+                .llc_replacement(repl)
+                .build()
+                .unwrap();
+            let spec = cfg.partitions().spec_of(CoreId::new(0)).clone();
+            let traces = critical::wcl_stress_traces(&spec, 300);
+            check(cfg, traces, &format!("{repl:?} {mode:?}"));
+        }
+    }
+}
+
+#[test]
+fn bounds_hold_for_every_arbiter_policy() {
+    for arb in [
+        ArbiterPolicy::WritebackFirst,
+        ArbiterPolicy::RoundRobin,
+        ArbiterPolicy::RequestFirst,
+    ] {
+        for mode in [SharingMode::SetSequencer, SharingMode::BestEffort] {
+            let cfg = SystemConfigBuilder::new(4)
+                .partitions(vec![predllc::PartitionSpec::shared(
+                    1,
+                    2,
+                    CoreId::first(4).collect(),
+                    mode,
+                )])
+                .arbiter(arb)
+                .build()
+                .unwrap();
+            let spec = cfg.partitions().spec_of(CoreId::new(0)).clone();
+            let traces = critical::wcl_stress_traces(&spec, 300);
+            check(cfg, traces, &format!("{arb} {mode:?}"));
+        }
+    }
+}
+
+#[test]
+fn ss_bound_is_size_independent_and_respected() {
+    // Theorem 4.8's selling point: the same 5000-cycle bound covers tiny
+    // and large partitions alike (n = N = 4, SW = 50).
+    for (sets, ways) in [(1u32, 2u32), (1, 16), (8, 4), (32, 16)] {
+        let cfg =
+            SystemConfig::shared_partition(sets, ways, 4, SharingMode::SetSequencer).unwrap();
+        assert_eq!(bound_of(&cfg), 5_000, "SS bound at {sets}x{ways}");
+        let traces = UniformGen::new(16_384, 500)
+            .with_write_fraction(0.3)
+            .with_seed(99)
+            .traces(4);
+        check(cfg, traces, &format!("SS {sets}x{ways}"));
+    }
+}
+
+#[test]
+fn sharer_count_sweep_respects_bounds() {
+    for n in 2..=6u16 {
+        for mode in [SharingMode::SetSequencer, SharingMode::BestEffort] {
+            let cfg = SystemConfig::shared_partition(1, 4, n, mode).unwrap();
+            let spec = cfg.partitions().spec_of(CoreId::new(0)).clone();
+            let traces = critical::wcl_stress_traces(&spec, 200);
+            check(cfg, traces, &format!("n={n} {mode:?}"));
+        }
+    }
+}
+
+#[test]
+fn pwb_depth_stays_within_corollary_bound() {
+    // Corollary 4.5's proof bounds the pending write-backs of a core by
+    // the sharer count: at most n-1 invalidation acks plus one capacity
+    // write-back in flight.
+    for n in 2..=6u16 {
+        let cfg = SystemConfig::shared_partition(1, 4, n, SharingMode::BestEffort).unwrap();
+        let spec = cfg.partitions().spec_of(CoreId::new(0)).clone();
+        let traces = critical::wcl_stress_traces(&spec, 400);
+        let report = Simulator::new(cfg).unwrap().run(traces).unwrap();
+        assert!(
+            report.stats.max_pwb_depth <= n as usize,
+            "n = {n}: PWB depth {} exceeds n",
+            report.stats.max_pwb_depth
+        );
+    }
+}
+
+#[test]
+fn sequencer_hardware_cost_is_bounded_by_sharers() {
+    // A hardware SQ needs one entry per in-flight request: depth ≤ n.
+    let params = WclParams::from_config(
+        &SystemConfig::shared_partition(1, 4, 4, SharingMode::SetSequencer).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(params.sharers, 4);
+    let cfg = SystemConfig::shared_partition(4, 4, 4, SharingMode::SetSequencer).unwrap();
+    let traces = UniformGen::new(65_536, 1_000)
+        .with_write_fraction(0.3)
+        .with_seed(5)
+        .traces(4);
+    let report = Simulator::new(cfg).unwrap().run(traces).unwrap();
+    assert!(report.stats.max_sequencer_depth <= 4);
+    assert!(report.stats.max_sequencer_sets <= 4);
+}
