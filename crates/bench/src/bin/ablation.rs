@@ -11,19 +11,17 @@
 //!
 //! Usage: `cargo run --release -p predllc-bench --bin ablation`
 
+use predllc_bench::harness;
 use predllc_bus::ArbiterPolicy;
 use predllc_cache::ReplacementKind;
 use predllc_core::analysis::{critical, WclParams};
-use predllc_core::{PartitionSpec, SharingMode, Simulator, SystemConfig};
+use predllc_core::{PartitionSpec, SharingMode, SystemConfig};
 use predllc_model::CoreId;
 
 fn stress_run(cfg: SystemConfig, ops: usize) -> (u64, u64) {
     let spec = cfg.partitions().spec_of(CoreId::new(0)).clone();
     let traces = critical::wcl_stress_traces(&spec, ops);
-    let report = Simulator::new(cfg)
-        .expect("valid config")
-        .run(traces)
-        .expect("trace count matches");
+    let report = harness::run(cfg, traces);
     (
         report.max_request_latency().as_u64(),
         report.execution_time().as_u64(),

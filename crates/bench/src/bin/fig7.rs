@@ -5,12 +5,12 @@
 //!
 //! Usage: `cargo run --release -p predllc-bench --bin fig7 [--csv] [--ops N] [--seed S]`
 
-use std::thread;
-
+use predllc_bench::harness::ss;
 use predllc_bench::harness::{
-    self, measure, nss, p, paper_address_ranges, render_csv, render_table, ss, Measurement,
+    self, nss, p, paper_address_ranges, render_csv, render_table, uniform_workload, Measurement,
     Metric,
 };
+use predllc_bench::Sweep;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,21 +31,20 @@ fn main() {
         ("P(1,4)", || p(1, 4, 4)),
     ];
 
-    let ranges = paper_address_ranges();
-    let mut rows: Vec<Measurement> = Vec::new();
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &(label, build) in &configs {
-            for &range in &ranges {
-                handles.push(scope.spawn(move || {
-                    measure(label, build(), range, ops as usize, seed, writes)
-                }));
-            }
-        }
-        for h in handles {
-            rows.push(h.join().expect("measurement thread"));
-        }
-    });
+    // One Sweep: each configuration's simulator is built once and reused
+    // across all nine streamed address-range workloads.
+    let mut sweep = Sweep::new();
+    for &(label, build) in &configs {
+        sweep = sweep.config(label, build());
+    }
+    for &range in &paper_address_ranges() {
+        sweep = sweep.workload_at(
+            format!("uniform/{range}B"),
+            range,
+            uniform_workload(range, ops as usize, seed, writes, 4),
+        );
+    }
+    let mut rows: Vec<Measurement> = sweep.run().expect("the paper grid simulates cleanly");
     rows.sort_by(|a, b| (a.range, &a.label).cmp(&(b.range, &b.label)));
 
     if csv {
@@ -76,7 +75,10 @@ fn main() {
     if violations.is_empty() {
         println!("CHECK ok: all observed WCLs are within their analytical bounds");
     } else {
-        println!("CHECK FAILED: {} observations exceed their bound:", violations.len());
+        println!(
+            "CHECK FAILED: {} observations exceed their bound:",
+            violations.len()
+        );
         for v in violations {
             println!(
                 "  {} @ {} B: observed {} > analytical {}",

@@ -11,11 +11,11 @@
 //!
 //! Usage: `cargo run --release -p predllc-bench --bin fig8 [--csv] [--ops N] [--seed S]`
 
-use std::thread;
-
 use predllc_bench::harness::{
-    measure, nss, p, paper_address_ranges, render_csv, render_table, ss, Measurement, Metric,
+    nss, p, paper_address_ranges, render_csv, render_table, ss, uniform_workload, Measurement,
+    Metric,
 };
+use predllc_bench::Sweep;
 use predllc_core::SystemConfig;
 
 struct Panel {
@@ -70,29 +70,31 @@ fn main() {
     let writes = fflag_value(&args, "--writes").unwrap_or(0.0);
 
     for panel in panels() {
-        let ranges = paper_address_ranges();
-        let mut rows: Vec<Measurement> = Vec::new();
-        thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (label, cfg) in &panel.configs {
-                for &range in &ranges {
-                    let label = label.clone();
-                    let cfg = cfg.clone();
-                    handles.push(
-                        scope.spawn(move || measure(&label, cfg, range, ops, seed, writes)),
-                    );
-                }
-            }
-            for h in handles {
-                rows.push(h.join().expect("measurement thread"));
-            }
-        });
+        // Every configuration in a panel has the same core count, so one
+        // streamed workload row serves the whole panel; each config's
+        // simulator is reused across all nine ranges.
+        let cores = panel.configs[0].1.num_cores();
+        let mut sweep = Sweep::new();
+        for (label, cfg) in &panel.configs {
+            sweep = sweep.config(label.clone(), cfg.clone());
+        }
+        for &range in &paper_address_ranges() {
+            sweep = sweep.workload_at(
+                format!("uniform/{range}B"),
+                range,
+                uniform_workload(range, ops, seed, writes, cores),
+            );
+        }
+        let mut rows: Vec<Measurement> = sweep.run().expect("the paper grid simulates cleanly");
         rows.sort_by(|a, b| (a.range, &a.label).cmp(&(b.range, &b.label)));
 
         if csv {
             print!("{}", render_csv(&rows));
         } else {
-            println!("{}", render_table(panel.title, &rows, Metric::ExecutionTime));
+            println!(
+                "{}",
+                render_table(panel.title, &rows, Metric::ExecutionTime)
+            );
             print_speedups(&panel, &rows);
         }
     }

@@ -21,7 +21,10 @@ fn params(ways: u32, partition_lines: u64, core_capacity: u64, n: u16) -> WclPar
 
 fn main() {
     println!("== Paper §5 analytical WCLs (4 cores, 50-cycle slots) ==");
-    println!("{:<24} {:>12} {:>12} {:>12}", "configuration", "NSS", "SS", "P");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}",
+        "configuration", "NSS", "SS", "P"
+    );
     for (label, ways, m_lines) in [
         ("1 set x 16 ways (Fig 7)", 16u32, 16u64),
         ("1 set x 2 ways (Fig 7)", 2, 2),
@@ -39,9 +42,18 @@ fn main() {
 
     println!("== Headline claim: WCL reduction for 16-way, 128-line partition ==");
     let p = params(16, 128, 128, 4);
-    println!("  WCL without sequencer (Thm 4.7): {} cycles", p.wcl_one_slot_tdm().as_u64());
-    println!("  WCL with sequencer    (Thm 4.8): {} cycles", p.wcl_set_sequencer().as_u64());
-    println!("  reduction ratio:                 {:.0}x", p.improvement_ratio());
+    println!(
+        "  WCL without sequencer (Thm 4.7): {} cycles",
+        p.wcl_one_slot_tdm().as_u64()
+    );
+    println!(
+        "  WCL with sequencer    (Thm 4.8): {} cycles",
+        p.wcl_set_sequencer().as_u64()
+    );
+    println!(
+        "  reduction ratio:                 {:.0}x",
+        p.improvement_ratio()
+    );
     println!("  paper claims:                    2048x");
     println!(
         "  (exact arithmetic of Eq. (1)/(2) gives ~1486x; the shape —\n   three orders of magnitude, size-independence — holds; see EXPERIMENTS.md)"
@@ -49,7 +61,10 @@ fn main() {
     println!();
 
     println!("== WCL scaling with sharer count (w=16, M=128, m_cua=128, N=n) ==");
-    println!("{:>4} {:>16} {:>12} {:>10}", "n", "NSS (cycles)", "SS (cycles)", "ratio");
+    println!(
+        "{:>4} {:>16} {:>12} {:>10}",
+        "n", "NSS (cycles)", "SS (cycles)", "ratio"
+    );
     for n in 2..=16u16 {
         let p = params(16, 128, 128, n);
         println!(
@@ -63,7 +78,10 @@ fn main() {
     println!();
 
     println!("== SS WCL is independent of partition size (n=N=4) ==");
-    println!("{:>14} {:>16} {:>12}", "M (lines)", "NSS (cycles)", "SS (cycles)");
+    println!(
+        "{:>14} {:>16} {:>12}",
+        "M (lines)", "NSS (cycles)", "SS (cycles)"
+    );
     for m in [16u64, 32, 64, 128, 256, 512] {
         let p = params(16, m, u64::MAX, 4);
         println!(

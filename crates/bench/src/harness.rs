@@ -2,8 +2,8 @@
 
 use predllc_core::analysis::WclParams;
 use predllc_core::{RunReport, SharingMode, Simulator, SystemConfig};
-use predllc_model::MemOp;
 use predllc_workload::gen::UniformGen;
+use predllc_workload::Workload;
 
 /// The address-range sweep of the paper's x-axes: 1 KiB … 256 KiB in
 /// powers of two.
@@ -41,12 +41,15 @@ pub fn p(sets: u32, ways: u32, n: u16) -> SystemConfig {
     SystemConfig::private_partitions(sets, ways, n).expect("valid paper configuration")
 }
 
-/// One measured configuration at one address range.
+/// One measured (configuration, workload) grid point.
 #[derive(Debug, Clone)]
 pub struct Measurement {
     /// Configuration label in the paper's notation.
     pub label: String,
-    /// Per-core address range in bytes.
+    /// Workload label (e.g. `uniform/8192B`).
+    pub workload: String,
+    /// Numeric x-axis value of the workload (per-core address range in
+    /// bytes for the paper's sweeps; 0 when not applicable).
     pub range: u64,
     /// Worst observed request latency, cycles.
     pub observed_wcl: u64,
@@ -57,11 +60,27 @@ pub struct Measurement {
     pub analytical_wcl: Option<u64>,
 }
 
-/// Runs one configuration against the paper's uniform-random workload.
+/// The paper's uniform-random workload at one address range, sized for a
+/// configuration's core count.
 ///
 /// The same `(seed, ops)` yields the same addresses across
 /// configurations, matching the paper's methodology ("a core issues the
 /// same memory addresses across different partitioned configurations").
+pub fn uniform_workload(
+    range: u64,
+    ops: usize,
+    seed: u64,
+    write_fraction: f64,
+    cores: u16,
+) -> UniformGen {
+    UniformGen::new(range, ops)
+        .with_seed(seed)
+        .with_write_fraction(write_fraction)
+        .with_cores(cores)
+}
+
+/// Runs one configuration against the paper's uniform-random workload,
+/// streaming it (no traces are materialized).
 ///
 /// # Panics
 ///
@@ -75,15 +94,12 @@ pub fn measure(
     seed: u64,
     write_fraction: f64,
 ) -> Measurement {
-    let n = config.num_cores();
-    let traces = UniformGen::new(range, ops)
-        .with_seed(seed)
-        .with_write_fraction(write_fraction)
-        .traces(n);
+    let gen = uniform_workload(range, ops, seed, write_fraction, config.num_cores());
     let analytical = analytical_wcl(&config);
-    let report = run(config, traces);
+    let report = run(config, &gen);
     Measurement {
         label: label.to_string(),
+        workload: format!("uniform/{range}B"),
         range,
         observed_wcl: report.max_request_latency().as_u64(),
         execution_time: report.execution_time().as_u64(),
@@ -91,16 +107,17 @@ pub fn measure(
     }
 }
 
-/// Runs a configuration on explicit traces.
+/// Runs a configuration on one workload (streamed; pass `&w` to keep
+/// the workload for further runs).
 ///
 /// # Panics
 ///
-/// Panics if the trace count mismatches the core count.
-pub fn run(config: SystemConfig, traces: Vec<Vec<MemOp>>) -> RunReport {
+/// Panics if the workload's core count mismatches the configuration's.
+pub fn run(config: SystemConfig, workload: impl Workload) -> RunReport {
     Simulator::new(config)
         .expect("validated configuration")
-        .run(traces)
-        .expect("trace count matches core count")
+        .run(workload)
+        .expect("workload cores match system cores")
 }
 
 /// The analytical WCL applicable to a configuration (per its sharing
@@ -170,11 +187,13 @@ pub fn render_table(title: &str, rows: &[Measurement], metric: Metric) -> String
 
 /// Renders measurements as CSV.
 pub fn render_csv(rows: &[Measurement]) -> String {
-    let mut out = String::from("label,range_bytes,observed_wcl,execution_time,analytical_wcl\n");
+    let mut out =
+        String::from("label,workload,range_bytes,observed_wcl,execution_time,analytical_wcl\n");
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{}\n",
+            "{},{},{},{},{},{}\n",
             r.label,
+            r.workload,
             r.range,
             r.observed_wcl,
             r.execution_time,
@@ -216,6 +235,7 @@ mod tests {
         let rows = vec![
             Measurement {
                 label: "A".into(),
+                workload: "uniform/1024B".into(),
                 range: 1024,
                 observed_wcl: 10,
                 execution_time: 99,
@@ -223,6 +243,7 @@ mod tests {
             },
             Measurement {
                 label: "B".into(),
+                workload: "uniform/1024B".into(),
                 range: 1024,
                 observed_wcl: 20,
                 execution_time: 88,
@@ -233,6 +254,6 @@ mod tests {
         assert!(t.contains("1024") && t.contains("10") && t.contains("20"));
         let c = render_csv(&rows);
         assert!(c.lines().count() == 3);
-        assert!(c.contains("A,1024,10,99,100"));
+        assert!(c.contains("A,uniform/1024B,1024,10,99,100"));
     }
 }

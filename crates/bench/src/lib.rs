@@ -10,9 +10,17 @@
 //! * `ablation` — arbiter/replacement/sharer-count sweeps beyond the
 //!   paper.
 //!
-//! `benches/microbench.rs` holds the criterion microbenchmarks.
+//! [`sweep::Sweep`] is the batch-run API: a named grid of configurations
+//! × workloads, one reusable `Simulator` per configuration, parallel
+//! across configurations.
+//!
+//! `benches/microbench.rs` holds the (self-contained) microbenchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod sweep;
+
+pub use harness::Measurement;
+pub use sweep::Sweep;

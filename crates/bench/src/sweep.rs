@@ -1,0 +1,223 @@
+//! Batch experiment runs: a named grid of configurations × workloads.
+//!
+//! A [`Sweep`] is the batch-run surface of the redesigned API: declare
+//! configurations and workloads once, call [`Sweep::run`], get one
+//! [`Measurement`] per grid point. Each configuration's [`Simulator`] is
+//! constructed **once** and reused for every workload (the borrowing
+//! `run(&self, …)` API makes that free), and configurations execute in
+//! parallel across threads — workloads are streamed, so even a
+//! million-op grid point allocates no trace storage.
+//!
+//! # Examples
+//!
+//! ```
+//! use predllc_bench::harness::uniform_workload;
+//! use predllc_bench::sweep::Sweep;
+//! use predllc_core::{SharingMode, SystemConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rows = Sweep::new()
+//!     .config("SS(1,2,4)", SystemConfig::shared_partition(1, 2, 4, SharingMode::SetSequencer)?)
+//!     .config("P(1,2)", SystemConfig::private_partitions(1, 2, 4)?)
+//!     .workload_at("uniform/1KiB", 1024, uniform_workload(1024, 50, 7, 0.2, 4))
+//!     .workload_at("uniform/8KiB", 8192, uniform_workload(8192, 50, 7, 0.2, 4))
+//!     .run()?;
+//! assert_eq!(rows.len(), 4); // 2 configs x 2 workloads
+//! # Ok(())
+//! # }
+//! ```
+
+use std::thread;
+
+use predllc_core::{SimError, Simulator, SystemConfig};
+use predllc_workload::Workload;
+
+use crate::harness::{analytical_wcl, Measurement};
+
+/// One named workload of a sweep grid.
+struct SweepWorkload {
+    label: String,
+    /// Numeric x-axis value carried into [`Measurement::range`].
+    x: u64,
+    workload: Box<dyn Workload>,
+}
+
+/// A named grid of configurations × workloads.
+///
+/// Build with [`Sweep::config`] / [`Sweep::workload`] (or
+/// [`Sweep::workload_at`] to attach a numeric x-axis value), then
+/// [`Sweep::run`].
+#[derive(Default)]
+pub struct Sweep {
+    configs: Vec<(String, SystemConfig)>,
+    workloads: Vec<SweepWorkload>,
+}
+
+impl Sweep {
+    /// Creates an empty sweep.
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// Adds a named configuration column.
+    pub fn config(mut self, label: impl Into<String>, config: SystemConfig) -> Self {
+        self.configs.push((label.into(), config));
+        self
+    }
+
+    /// Adds a named workload row (x-axis value 0).
+    pub fn workload(self, label: impl Into<String>, workload: impl Workload + 'static) -> Self {
+        self.workload_at(label, 0, workload)
+    }
+
+    /// Adds a named workload row with a numeric x-axis value (recorded
+    /// as [`Measurement::range`], e.g. the per-core address range).
+    pub fn workload_at(
+        mut self,
+        label: impl Into<String>,
+        x: u64,
+        workload: impl Workload + 'static,
+    ) -> Self {
+        self.workloads.push(SweepWorkload {
+            label: label.into(),
+            x,
+            workload: Box::new(workload),
+        });
+        self
+    }
+
+    /// Number of grid points ([`Sweep::run`] returns this many rows).
+    pub fn len(&self) -> usize {
+        self.configs.len() * self.workloads.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs the whole grid and returns one [`Measurement`] per point, in
+    /// `(config, workload)` declaration order.
+    ///
+    /// One `Simulator` is built per configuration and reused across all
+    /// of that configuration's workloads; configurations run in
+    /// parallel on scoped threads. The sweep is deterministic: workloads
+    /// are replayable by contract, so every run of the same grid yields
+    /// the same measurements.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] encountered (e.g. a workload whose core
+    /// count does not match a configuration), in grid order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (propagated).
+    pub fn run(&self) -> Result<Vec<Measurement>, SimError> {
+        let mut per_config: Vec<Result<Vec<Measurement>, SimError>> = Vec::new();
+        thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .configs
+                .iter()
+                .map(|(label, config)| scope.spawn(move || self.run_config(label, config)))
+                .collect();
+            for h in handles {
+                per_config.push(h.join().expect("sweep worker panicked"));
+            }
+        });
+        let mut rows = Vec::with_capacity(self.len());
+        for r in per_config {
+            rows.extend(r?);
+        }
+        Ok(rows)
+    }
+
+    /// Runs every workload against one configuration, reusing a single
+    /// simulator instance.
+    fn run_config(&self, label: &str, config: &SystemConfig) -> Result<Vec<Measurement>, SimError> {
+        let analytical = analytical_wcl(config);
+        let sim = Simulator::new(config.clone()).expect("validated configuration");
+        self.workloads
+            .iter()
+            .map(|w| {
+                let report = sim.run(&w.workload)?;
+                Ok(Measurement {
+                    label: label.to_string(),
+                    workload: w.label.clone(),
+                    range: w.x,
+                    observed_wcl: report.max_request_latency().as_u64(),
+                    execution_time: report.execution_time().as_u64(),
+                    analytical_wcl: analytical,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{p, ss, uniform_workload};
+    use predllc_workload::gen::UniformGen;
+
+    #[test]
+    fn grid_runs_every_point_in_declaration_order() {
+        let rows = Sweep::new()
+            .config("SS(1,2,2)", ss(1, 2, 2))
+            .config("P(1,2)", p(1, 2, 2))
+            .workload_at("u/1k", 1024, uniform_workload(1024, 40, 1, 0.2, 2))
+            .workload_at("u/2k", 2048, uniform_workload(2048, 40, 1, 0.2, 2))
+            .run()
+            .unwrap();
+        let got: Vec<(&str, &str)> = rows
+            .iter()
+            .map(|m| (m.label.as_str(), m.workload.as_str()))
+            .collect();
+        assert_eq!(
+            got,
+            [
+                ("SS(1,2,2)", "u/1k"),
+                ("SS(1,2,2)", "u/2k"),
+                ("P(1,2)", "u/1k"),
+                ("P(1,2)", "u/2k"),
+            ]
+        );
+        assert!(rows.iter().all(|m| m.execution_time > 0));
+        assert!(rows.iter().all(|m| m.analytical_wcl.is_some()));
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        let build = || {
+            Sweep::new()
+                .config("SS", ss(2, 2, 2))
+                .workload("u", uniform_workload(4096, 60, 9, 0.3, 2))
+        };
+        let a = build().run().unwrap();
+        let b = build().run().unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.observed_wcl, x.execution_time),
+                (y.observed_wcl, y.execution_time)
+            );
+        }
+    }
+
+    #[test]
+    fn core_count_mismatch_surfaces_as_error() {
+        let err = Sweep::new()
+            .config("SS", ss(1, 2, 4))
+            .workload("too-narrow", UniformGen::new(1024, 10).with_cores(2))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::CoreCountMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let s = Sweep::new().config("SS", ss(1, 2, 2));
+        assert!(s.is_empty());
+        assert_eq!(s.run().unwrap().len(), 0);
+    }
+}

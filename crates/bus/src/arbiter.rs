@@ -11,8 +11,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// What the arbiter granted the bus to this slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BusGrant {
@@ -23,7 +21,7 @@ pub enum BusGrant {
 }
 
 /// The selectable PRB/PWB arbitration policies.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum ArbiterPolicy {
     /// Pending write-backs drain before the request is serviced. This is
     /// the policy the paper's worst-case scenarios exhibit: an inclusive

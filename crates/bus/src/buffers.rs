@@ -9,7 +9,6 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use predllc_model::{Cycles, LineAddr, MemOp};
-use serde::{Deserialize, Serialize};
 
 /// The single outstanding LLC request of one core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +25,7 @@ pub struct PendingRequest {
 }
 
 /// Why a write-back is queued.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WbKind {
     /// The LLC evicted a line this core caches privately; the core must
     /// evict it from L1/L2 and acknowledge over the bus (with data if

@@ -8,7 +8,6 @@
 //! simulator configuration) and counts traffic.
 
 use predllc_model::{Cycles, LineAddr};
-use serde::{Deserialize, Serialize};
 
 /// A fixed-latency DRAM with access counters.
 ///
@@ -31,7 +30,7 @@ pub struct Dram {
 }
 
 /// Traffic counters for the DRAM model.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct DramStats {
     /// Number of line fetches (LLC miss fills).
     pub reads: u64,
@@ -99,7 +98,13 @@ mod tests {
             assert_eq!(d.fetch(LineAddr::new(i)), Cycles::new(30));
         }
         d.write_back(LineAddr::new(0));
-        assert_eq!(d.stats(), DramStats { reads: 3, writes: 1 });
+        assert_eq!(
+            d.stats(),
+            DramStats {
+                reads: 3,
+                writes: 1
+            }
+        );
         d.reset_stats();
         assert_eq!(d.stats(), DramStats::default());
     }

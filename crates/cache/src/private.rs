@@ -325,8 +325,8 @@ mod tests {
         let mut h = tiny();
         h.refill(write(0)); // line 0 dirty in L1D
         h.refill(read(1)); // L1D 1-entry: victim line 0 folds dirty into L2
-        // Now evicting line 0 from L2 must report dirty even though the L1
-        // copy is gone.
+                           // Now evicting line 0 from L2 must report dirty even though the L1
+                           // copy is gone.
         let eff = h.refill(read(2));
         assert_eq!(eff.dirty_writeback, Some(LineAddr::new(0)));
     }
@@ -366,7 +366,10 @@ mod tests {
         h.refill(read(1));
         // Both L1s hold their lines (1-entry each) without evicting the
         // other stream's line.
-        assert_eq!(h.access(MemOp::fetch(Address::new(0))), PrivateLookup::L1Hit);
+        assert_eq!(
+            h.access(MemOp::fetch(Address::new(0))),
+            PrivateLookup::L1Hit
+        );
         assert_eq!(h.access(read(1)), PrivateLookup::L1Hit);
     }
 

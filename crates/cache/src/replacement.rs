@@ -10,7 +10,6 @@
 use std::fmt;
 
 use predllc_model::{CacheGeometry, SetIdx, WayIdx};
-use serde::{Deserialize, Serialize};
 
 /// Per-set victim selection and usage bookkeeping for one cache.
 ///
@@ -51,7 +50,7 @@ pub trait ReplacementPolicy: fmt::Debug + Send {
 ///
 /// let policy = ReplacementKind::Lru.build(CacheGeometry::PAPER_L2);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplacementKind {
     /// Least-recently-used (per-set recency stack).
     #[default]

@@ -254,10 +254,7 @@ mod tests {
     use super::*;
 
     fn small() -> SetAssocCache<u32> {
-        SetAssocCache::new(
-            CacheGeometry::new(2, 2, 64).unwrap(),
-            ReplacementKind::Lru,
-        )
+        SetAssocCache::new(CacheGeometry::new(2, 2, 64).unwrap(), ReplacementKind::Lru)
     }
 
     // Lines 0,2,4,… map to set 0 of a 2-set cache; 1,3,5,… to set 1.

@@ -105,7 +105,8 @@ pub fn classify_schedule(config: &SystemConfig, cua: CoreId) -> Result<WclBound,
     // paper only analyses the sequencer under 1S-TDM, so anything else is
     // NotCovered rather than Bounded.
     if spec.mode == SharingMode::BestEffort {
-        if let Some((interferer, slots_in_gap)) = interference_witness(schedule, spec.cores.as_slice(), cua)
+        if let Some((interferer, slots_in_gap)) =
+            interference_witness(schedule, spec.cores.as_slice(), cua)
         {
             return Ok(WclBound::Unbounded {
                 interferer,
@@ -172,12 +173,20 @@ mod tests {
     fn one_slot_tdm_sharing_is_bounded_both_modes() {
         let ss = SystemConfig::shared_partition(1, 16, 4, SharingMode::SetSequencer).unwrap();
         assert_eq!(
-            classify_schedule(&ss, c(0)).unwrap().cycles().unwrap().as_u64(),
+            classify_schedule(&ss, c(0))
+                .unwrap()
+                .cycles()
+                .unwrap()
+                .as_u64(),
             5_000
         );
         let nss = SystemConfig::shared_partition(1, 16, 4, SharingMode::BestEffort).unwrap();
         assert_eq!(
-            classify_schedule(&nss, c(0)).unwrap().cycles().unwrap().as_u64(),
+            classify_schedule(&nss, c(0))
+                .unwrap()
+                .cycles()
+                .unwrap()
+                .as_u64(),
             979_250
         );
     }

@@ -106,7 +106,12 @@ mod tests {
     use crate::partition::SharingMode;
 
     fn spec(sets: u32, ways: u32, n: u16) -> PartitionSpec {
-        PartitionSpec::shared(sets, ways, CoreId::first(n).collect(), SharingMode::BestEffort)
+        PartitionSpec::shared(
+            sets,
+            ways,
+            CoreId::first(n).collect(),
+            SharingMode::BestEffort,
+        )
     }
 
     #[test]

@@ -187,7 +187,13 @@ mod tests {
         let schedule = TdmSchedule::one_slot(4);
         let spec = spec();
         // c3 fills line 0: d_{c3}^{c0} = 1 (schedule {c0,c1,c2,c3}).
-        let events = log(&[(3, EventKind::Fill { core: c(3), line: l(0) })]);
+        let events = log(&[(
+            3,
+            EventKind::Fill {
+                core: c(3),
+                line: l(0),
+            },
+        )]);
         let t = DistanceTracker::new(&schedule, &spec, 0, c(0));
         let s = t.samples(&events);
         assert_eq!(s.len(), 1);
@@ -201,8 +207,20 @@ mod tests {
         let spec = spec();
         // c3 fills (d=1), then c1 hits (d_{c1}^{c0} = 3): max is 3.
         let events = log(&[
-            (3, EventKind::Fill { core: c(3), line: l(0) }),
-            (5, EventKind::Hit { core: c(1), line: l(0) }),
+            (
+                3,
+                EventKind::Fill {
+                    core: c(3),
+                    line: l(0),
+                },
+            ),
+            (
+                5,
+                EventKind::Hit {
+                    core: c(1),
+                    line: l(0),
+                },
+            ),
         ]);
         let t = DistanceTracker::new(&schedule, &spec, 0, c(0));
         let s = t.samples(&events);
@@ -214,7 +232,13 @@ mod tests {
         let schedule = TdmSchedule::one_slot(4);
         let spec = spec();
         let events = log(&[
-            (3, EventKind::Fill { core: c(3), line: l(0) }),
+            (
+                3,
+                EventKind::Fill {
+                    core: c(3),
+                    line: l(0),
+                },
+            ),
             (
                 4,
                 EventKind::BackInvalidation {
@@ -247,8 +271,20 @@ mod tests {
         // a set-0 tracker.
         let spec = PartitionSpec::shared(2, 2, CoreId::first(4).collect(), SharingMode::BestEffort);
         let events = log(&[
-            (1, EventKind::Fill { core: c(1), line: l(1) }),
-            (2, EventKind::Fill { core: c(2), line: l(2) }),
+            (
+                1,
+                EventKind::Fill {
+                    core: c(1),
+                    line: l(1),
+                },
+            ),
+            (
+                2,
+                EventKind::Fill {
+                    core: c(2),
+                    line: l(2),
+                },
+            ),
         ]);
         let t = DistanceTracker::new(&schedule, &spec, 0, c(0));
         let s = t.samples(&events);

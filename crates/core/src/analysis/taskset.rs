@@ -21,14 +21,13 @@
 //! where the full fixed-point matters.
 
 use predllc_model::{CoreId, Cycles};
-use serde::{Deserialize, Serialize};
 
 use crate::analysis::bounds::{classify_schedule, WclBound};
 use crate::config::SystemConfig;
 use crate::error::ConfigError;
 
 /// One task's timing parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskParams {
     /// Human-readable name (diagnostics only).
     pub name: String,
@@ -58,7 +57,7 @@ impl TaskParams {
 }
 
 /// The verdict for one task.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RtaResult {
     /// Task name.
     pub name: String,
@@ -243,7 +242,9 @@ mod tests {
         let t = vec![task("hungry", 0, 10_000_000, 100_000, 3_000)];
         // NSS WCL = ((m+1)·A·N+1)·SW with m=min(64,32)=32, A=2·1·4·1=8:
         // (33·8·2+1)·50 = 26 450 cycles → 3k requests ≈ 79M > 10M.
-        assert!(!TaskSetAnalysis::new(&nss, t.clone()).is_schedulable().unwrap());
+        assert!(!TaskSetAnalysis::new(&nss, t.clone())
+            .is_schedulable()
+            .unwrap());
         // P: 250-cycle bound → 100k + 750k = 850k ≤ 10M.
         assert!(TaskSetAnalysis::new(&private, t).is_schedulable().unwrap());
     }
@@ -254,10 +255,7 @@ mod tests {
         // Private 1-core bound: (2·1+1)·50 = 150 cycles.
         // hi: period 1000, wcet = 100 + 1·150 = 250.
         // lo: wcet = 100 + 0 = 100; R = 100 + ⌈R/1000⌉·250 → 350.
-        let tasks = vec![
-            task("hi", 0, 1_000, 100, 1),
-            task("lo", 0, 2_000, 100, 0),
-        ];
+        let tasks = vec![task("hi", 0, 1_000, 100, 1), task("lo", 0, 2_000, 100, 0)];
         let res = TaskSetAnalysis::new(&cfg, tasks).analyze().unwrap();
         assert_eq!(res[0].response_time, Some(Cycles::new(250)));
         assert_eq!(res[1].response_time, Some(Cycles::new(350)));
@@ -316,7 +314,10 @@ mod tests {
             task("c1-task", 1, 1_000, 900, 0), // would be unschedulable behind the hog
         ];
         let res = TaskSetAnalysis::new(&cfg, tasks).analyze().unwrap();
-        assert!(res[1].schedulable, "different core: no preemption interference");
+        assert!(
+            res[1].schedulable,
+            "different core: no preemption interference"
+        );
         assert_eq!(res[1].response_time, Some(Cycles::new(900)));
     }
 }

@@ -1,7 +1,6 @@
 //! Theorems 4.7 and 4.8, and the private-partition bound.
 
 use predllc_model::{CoreId, Cycles, SlotWidth};
-use serde::{Deserialize, Serialize};
 
 use crate::config::SystemConfig;
 use crate::error::ConfigError;
@@ -30,7 +29,7 @@ use crate::error::ConfigError;
 /// assert_eq!(p.wcl_one_slot_tdm().as_u64(), 979_250);
 /// assert_eq!(p.wcl_private().as_u64(), 450);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WclParams {
     /// `N`: cores on the TDM bus (period length of the 1S-TDM schedule).
     pub total_cores: u16,
@@ -129,8 +128,7 @@ impl WclParams {
 
     /// Theorem 4.7 in cycles, `None` on overflow.
     pub fn wcl_one_slot_tdm_checked(&self) -> Option<Cycles> {
-        Cycles::new(self.wcl_one_slot_tdm_slots_checked()?)
-            .checked_mul(self.slot_width.as_u64())
+        Cycles::new(self.wcl_one_slot_tdm_slots_checked()?).checked_mul(self.slot_width.as_u64())
     }
 
     /// Theorem 4.8, in slots: `(2(n−1)·n + 1)·N`.
@@ -265,8 +263,7 @@ mod tests {
 
     #[test]
     fn from_config_extracts_partition_parameters() {
-        let cfg =
-            SystemConfig::shared_partition(1, 16, 4, SharingMode::SetSequencer).unwrap();
+        let cfg = SystemConfig::shared_partition(1, 16, 4, SharingMode::SetSequencer).unwrap();
         let p = WclParams::from_config(&cfg).unwrap();
         assert_eq!(p.total_cores, 4);
         assert_eq!(p.sharers, 4);

@@ -3,7 +3,6 @@
 use predllc_bus::{ArbiterPolicy, TdmSchedule};
 use predllc_cache::ReplacementKind;
 use predllc_model::{CacheGeometry, CoreId, Cycles, SlotWidth};
-use serde::{Deserialize, Serialize};
 
 use crate::error::ConfigError;
 use crate::partition::{PartitionMap, PartitionSpec, SharingMode};
@@ -29,7 +28,7 @@ use crate::partition::{PartitionMap, PartitionSpec, SharingMode};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemConfig {
     num_cores: u16,
     schedule: TdmSchedule,

@@ -1,10 +1,16 @@
-//! Trace-driven execution of one core.
+//! Stream-driven execution of one core.
 //!
-//! Each core walks its memory-operation trace with at most one
-//! outstanding LLC request (paper §3). Private L1/L2 hits advance the
-//! core's local clock without bus traffic; a private miss parks the
-//! operation in the PRB (timestamped after the L2 lookup latency) and
-//! stalls the core until the LLC responds in one of its TDM slots.
+//! Each core pulls memory operations from its workload stream on demand,
+//! with at most one outstanding LLC request (paper §3). Private L1/L2
+//! hits advance the core's local clock without bus traffic; a private
+//! miss parks the operation in the PRB (timestamped after the L2 lookup
+//! latency) and stalls the core until the LLC responds in one of its TDM
+//! slots.
+//!
+//! Because operations are pulled lazily — exactly one look-ahead, the
+//! op being executed — a core's memory footprint is independent of the
+//! workload length: a million-op generator stream costs the same as a
+//! ten-op one.
 
 use predllc_bus::{Prb, Pwb, SlotArbiter, WbKind, WriteBack};
 use predllc_cache::{PrivateHierarchy, PrivateLookup};
@@ -24,12 +30,16 @@ pub enum CoreProgress {
     Finished,
 }
 
-/// One simulated core: trace cursor, private hierarchy, bus-side buffers.
+/// One simulated core: workload stream, private hierarchy, bus-side
+/// buffers.
+///
+/// Generic over the operation source `I` so the engine can drive it from
+/// any [`Workload`](predllc_workload::Workload) stream; tests and tools
+/// can instantiate it with a plain `vec.into_iter()`.
 #[derive(Debug)]
-pub struct CoreModel {
+pub struct CoreModel<I> {
     id: CoreId,
-    trace: Vec<MemOp>,
-    pc: usize,
+    ops: I,
     /// The private L1I/L1D/L2 stack.
     pub private: PrivateHierarchy,
     /// The pending request buffer (capacity one).
@@ -45,11 +55,11 @@ pub struct CoreModel {
     l2_latency: Cycles,
 }
 
-impl CoreModel {
-    /// Creates a core over its trace.
+impl<I: Iterator<Item = MemOp>> CoreModel<I> {
+    /// Creates a core over its operation stream.
     pub fn new(
         id: CoreId,
-        trace: Vec<MemOp>,
+        ops: I,
         private: PrivateHierarchy,
         arbiter: SlotArbiter,
         l1_latency: Cycles,
@@ -57,8 +67,7 @@ impl CoreModel {
     ) -> Self {
         CoreModel {
             id,
-            trace,
-            pc: 0,
+            ops,
             private,
             prb: Prb::new(),
             pwb: Pwb::new(),
@@ -75,7 +84,7 @@ impl CoreModel {
         self.id
     }
 
-    /// Whether the trace is exhausted and the last operation completed.
+    /// Whether the stream is exhausted and the last operation completed.
     pub fn is_finished(&self) -> bool {
         self.finished
     }
@@ -103,7 +112,7 @@ impl CoreModel {
             if self.resume_at > now {
                 return CoreProgress::Running;
             }
-            let Some(&op) = self.trace.get(self.pc) else {
+            let Some(op) = self.ops.next() else {
                 self.finished = true;
                 stats.finished_at = self.resume_at;
                 return CoreProgress::Finished;
@@ -111,13 +120,11 @@ impl CoreModel {
             match self.private.access(op) {
                 PrivateLookup::L1Hit => {
                     self.resume_at += self.l1_latency;
-                    self.pc += 1;
                     stats.ops_completed += 1;
                     stats.l1_hits += 1;
                 }
                 PrivateLookup::L2Hit => {
                     self.resume_at += self.l2_latency;
-                    self.pc += 1;
                     stats.ops_completed += 1;
                     stats.l2_hits += 1;
                 }
@@ -125,7 +132,6 @@ impl CoreModel {
                     // The miss is detected after the L2 lookup.
                     let ready = self.resume_at + self.l2_latency;
                     self.prb.insert(op, ready);
-                    self.pc += 1;
                     return CoreProgress::Stalled;
                 }
             }
@@ -191,12 +197,6 @@ impl CoreModel {
         });
         stats.back_invalidations += 1;
     }
-
-    /// The line silently dropped by the most recent refill, if any
-    /// (clean L2 victim — used for the precise-sharers ablation).
-    pub fn trace_len(&self) -> usize {
-        self.trace.len()
-    }
 }
 
 #[cfg(test)]
@@ -205,10 +205,10 @@ mod tests {
     use predllc_bus::ArbiterPolicy;
     use predllc_model::Address;
 
-    fn core_with(trace: Vec<MemOp>) -> CoreModel {
+    fn core_with(trace: Vec<MemOp>) -> CoreModel<std::vec::IntoIter<MemOp>> {
         CoreModel::new(
             CoreId::new(0),
-            trace,
+            trace.into_iter(),
             PrivateHierarchy::paper_default(),
             SlotArbiter::new(ArbiterPolicy::WritebackFirst),
             Cycles::new(1),
@@ -224,7 +224,10 @@ mod tests {
     fn empty_trace_finishes_immediately() {
         let mut c = core_with(vec![]);
         let mut stats = CoreStats::default();
-        assert_eq!(c.advance_to(Cycles::ZERO, &mut stats), CoreProgress::Finished);
+        assert_eq!(
+            c.advance_to(Cycles::ZERO, &mut stats),
+            CoreProgress::Finished
+        );
         assert!(c.is_finished());
         assert_eq!(stats.finished_at, Cycles::ZERO);
     }
@@ -233,7 +236,10 @@ mod tests {
     fn first_access_misses_and_parks_in_prb() {
         let mut c = core_with(vec![read(0)]);
         let mut stats = CoreStats::default();
-        assert_eq!(c.advance_to(Cycles::ZERO, &mut stats), CoreProgress::Stalled);
+        assert_eq!(
+            c.advance_to(Cycles::ZERO, &mut stats),
+            CoreProgress::Stalled
+        );
         // Miss detected after the 10-cycle L2 lookup.
         assert_eq!(c.prb.peek().unwrap().issued_at, Cycles::new(10));
         assert!(!c.request_ready(Cycles::new(9)));
@@ -316,7 +322,8 @@ mod tests {
                 MemOp::write(Address::new(0)),
                 MemOp::read(Address::new(64)),
                 MemOp::read(Address::new(128)),
-            ],
+            ]
+            .into_iter(),
             PrivateHierarchy::new(
                 predllc_model::CacheGeometry::new(1, 1, 64).unwrap(),
                 predllc_model::CacheGeometry::new(1, 1, 64).unwrap(),

@@ -13,18 +13,22 @@
 
 use predllc_bus::{BusGrant, SlotArbiter};
 use predllc_cache::PrivateHierarchy;
-use predllc_model::{CoreId, Cycles, MemOp};
+use predllc_model::{CoreId, Cycles};
+use predllc_workload::{OpStream, Workload};
 
 use crate::config::SystemConfig;
 use crate::core_model::CoreModel;
-use crate::error::ConfigError;
+use crate::error::{ConfigError, SimError};
 use crate::events::{BlockReason, EventKind, EventLog};
 use crate::llc::{ResponseKind, ServiceOutcome, SharedLlc};
 use crate::stats::SimStats;
 
-/// Slots of total bus silence with unfinished work after which the
-/// engine declares a deadlock (a simulator bug, not a workload property:
-/// a correct configuration always makes progress eventually).
+/// Slots without any progress — no bus transaction *and* no operation
+/// completed anywhere (private hits are progress: a hit-heavy workload
+/// can legitimately run millions of cycles in bus silence) — after which
+/// the engine declares a deadlock and returns [`SimError::Deadlock`]
+/// (a simulator bug, not a workload property: a correct configuration
+/// always makes progress eventually).
 const DEADLOCK_GUARD_SLOTS: u64 = 100_000;
 
 /// The outcome of a simulation run.
@@ -62,7 +66,9 @@ impl RunReport {
 /// The multicore simulator.
 ///
 /// Construct with a validated [`SystemConfig`], then [`Simulator::run`]
-/// with one trace per core. See the crate-level example.
+/// any number of [`Workload`]s against it — `run` borrows the simulator,
+/// so one validated instance serves a whole parameter sweep. See the
+/// crate-level example.
 #[derive(Debug)]
 pub struct Simulator {
     config: SystemConfig,
@@ -87,36 +93,42 @@ impl Simulator {
         &self.config
     }
 
-    /// Runs the workload to completion (or to the `max_cycles` cap).
+    /// Runs a workload to completion (or to the `max_cycles` cap).
     ///
-    /// `traces[i]` is executed by core `i`.
+    /// Core `i` pulls its operations from
+    /// `workload.core_ops(CoreId::new(i))` on demand — nothing is
+    /// materialized, so per-core memory use is independent of the stream
+    /// length. Accepts any [`Workload`]: a generator, a [`TraceSet`],
+    /// a plain `Vec<Vec<MemOp>>`, or a reference to any of them (pass
+    /// `&workload` to reuse the workload for further runs).
+    ///
+    /// `run` borrows the simulator, so the same instance can execute any
+    /// number of successive workloads.
+    ///
+    /// [`TraceSet`]: predllc_workload::TraceSet
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError::TraceCountMismatch`] if the trace count
-    /// differs from the core count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the system deadlocks (no bus transaction for a very long
-    /// time with unfinished work), which indicates a simulator bug.
-    pub fn run(self, traces: Vec<Vec<MemOp>>) -> Result<RunReport, ConfigError> {
+    /// * [`SimError::CoreCountMismatch`] if the workload drives a
+    ///   different number of cores than the system has.
+    /// * [`SimError::Deadlock`] if no bus transaction happens for a very
+    ///   long time with unfinished work — a simulator bug, reported as a
+    ///   typed error so sweeps stay panic-free.
+    pub fn run<W: Workload>(&self, workload: W) -> Result<RunReport, SimError> {
         let cfg = &self.config;
         let n = cfg.num_cores();
-        if traces.len() != n as usize {
-            return Err(ConfigError::TraceCountMismatch {
-                traces: traces.len(),
-                cores: n,
+        if workload.num_cores() != n {
+            return Err(SimError::CoreCountMismatch {
+                workload_cores: workload.num_cores(),
+                system_cores: n,
             });
         }
 
-        let mut cores: Vec<CoreModel> = traces
-            .into_iter()
-            .enumerate()
-            .map(|(i, trace)| {
+        let mut cores: Vec<CoreModel<OpStream<'_>>> = CoreId::first(n)
+            .map(|id| {
                 CoreModel::new(
-                    CoreId::new(i as u16),
-                    trace,
+                    id,
+                    workload.core_ops(id),
                     PrivateHierarchy::new(
                         cfg.l1i(),
                         cfg.l1d(),
@@ -142,7 +154,8 @@ impl Simulator {
 
         let mut slot: u64 = 0;
         let mut timed_out = false;
-        let mut last_transaction_slot: u64 = 0;
+        let mut last_progress_slot: u64 = 0;
+        let mut last_total_ops: u64 = 0;
 
         loop {
             let now = sw.slot_start(slot);
@@ -175,8 +188,7 @@ impl Simulator {
             // that acknowledgement under a request-first arbiter.
             let req_useful = has_req && {
                 let req = cores[oi].prb.peek().expect("request_ready checked");
-                !req.broadcast
-                    || llc.probe(owner, req.op.addr.line()) != crate::llc::Probe::Stuck
+                !req.broadcast || llc.probe(owner, req.op.addr.line()) != crate::llc::Probe::Stuck
             };
             let grant = if has_wb && req_useful && cores[oi].request_hazard() {
                 // A request must not race its own queued write-back for
@@ -208,7 +220,7 @@ impl Simulator {
                     stats.idle_slots += 1;
                 }
                 Some(BusGrant::WriteBack) => {
-                    last_transaction_slot = slot;
+                    last_progress_slot = slot;
                     let wb = cores[oi].pwb.pop().expect("arbiter saw a write-back");
                     stats.core_mut(owner).writebacks_sent += 1;
                     events.push(
@@ -245,23 +257,22 @@ impl Simulator {
                     }
                 }
                 Some(BusGrant::Request) => {
-                    last_transaction_slot = slot;
+                    last_progress_slot = slot;
                     let (line, first) = {
                         let req = cores[oi].prb.peek().expect("arbiter saw a request");
                         (req.op.addr.line(), !req.broadcast)
                     };
                     cores[oi].prb.mark_broadcast();
                     if first {
-                        events.push(
-                            now,
-                            slot,
-                            EventKind::RequestBroadcast { core: owner, line },
-                        );
+                        events.push(now, slot, EventKind::RequestBroadcast { core: owner, line });
                     }
                     let res = {
                         let cores = &mut cores;
                         let mut evict = |target: CoreId, victim| {
-                            cores[target.as_usize()].private.back_invalidate(victim).dirty
+                            cores[target.as_usize()]
+                                .private
+                                .back_invalidate(victim)
+                                .dirty
                         };
                         llc.service(owner, line, &mut evict)
                     };
@@ -360,14 +371,28 @@ impl Simulator {
                 }
             }
 
+            // Private-hit execution is progress too: only bus silence
+            // *and* a frozen completion count together indicate a stuck
+            // engine.
+            let total_ops: u64 = stats.cores.iter().map(|c| c.ops_completed).sum();
+            if total_ops != last_total_ops {
+                last_total_ops = total_ops;
+                last_progress_slot = slot;
+            }
+
             stats.slots += 1;
             slot += 1;
 
-            assert!(
-                slot - last_transaction_slot < DEADLOCK_GUARD_SLOTS,
-                "deadlock: no bus transaction for {DEADLOCK_GUARD_SLOTS} slots \
-                 with unfinished cores (simulator bug)"
-            );
+            if slot - last_progress_slot >= DEADLOCK_GUARD_SLOTS {
+                return Err(SimError::Deadlock {
+                    cycle: sw.slot_start(slot),
+                    pending: cores
+                        .iter()
+                        .filter(|c| !c.is_finished())
+                        .map(|c| c.id())
+                        .collect(),
+                });
+            }
         }
 
         // Fold substrate counters into the report.
@@ -409,7 +434,7 @@ mod tests {
     use super::*;
     use crate::partition::{PartitionSpec, SharingMode};
     use predllc_bus::TdmSchedule;
-    use predllc_model::Address;
+    use predllc_model::{Address, MemOp};
 
     fn read(addr: u64) -> MemOp {
         MemOp::read(Address::new(addr))
@@ -426,7 +451,10 @@ mod tests {
         // cycle 50 under a 1-core schedule... actually every slot belongs
         // to c0, so the slot starting at 50 services it: response at 100.
         let cfg = SystemConfig::private_partitions(2, 2, 1).unwrap();
-        let report = Simulator::new(cfg).unwrap().run(vec![vec![read(0)]]).unwrap();
+        let report = Simulator::new(cfg)
+            .unwrap()
+            .run(vec![vec![read(0)]])
+            .unwrap();
         assert_eq!(report.stats.core(CoreId::new(0)).llc_fills, 1);
         // issued_at = 10, serviced in slot starting 50, response 100:
         // latency 90.
@@ -468,16 +496,43 @@ mod tests {
     }
 
     #[test]
-    fn trace_count_mismatch_is_an_error() {
+    fn core_count_mismatch_is_an_error() {
         let cfg = SystemConfig::private_partitions(2, 2, 2).unwrap();
         let err = Simulator::new(cfg).unwrap().run(vec![vec![]]).unwrap_err();
-        assert!(matches!(err, ConfigError::TraceCountMismatch { .. }));
+        assert_eq!(
+            err,
+            SimError::CoreCountMismatch {
+                workload_cores: 1,
+                system_cores: 2
+            }
+        );
+    }
+
+    #[test]
+    fn one_simulator_instance_runs_many_workloads() {
+        // The redesigned API's core promise: validate once, run many.
+        let sim = Simulator::new(SystemConfig::private_partitions(2, 2, 1).unwrap()).unwrap();
+        let mut reports = Vec::new();
+        for len in [1u64, 2, 3] {
+            let trace: Vec<MemOp> = (0..len).map(|i| read(i * 64)).collect();
+            reports.push(sim.run(vec![trace]).unwrap());
+        }
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.stats.core(CoreId::new(0)).ops_completed, i as u64 + 1);
+        }
+        // Runs are independent: repeating the first workload reproduces
+        // its report exactly (no state leaks between runs).
+        let again = sim.run(vec![vec![read(0)]]).unwrap();
+        assert_eq!(again.stats, reports[0].stats);
     }
 
     #[test]
     fn empty_traces_finish_at_cycle_zero() {
         let cfg = SystemConfig::private_partitions(2, 2, 2).unwrap();
-        let report = Simulator::new(cfg).unwrap().run(vec![vec![], vec![]]).unwrap();
+        let report = Simulator::new(cfg)
+            .unwrap()
+            .run(vec![vec![], vec![]])
+            .unwrap();
         assert_eq!(report.execution_time(), Cycles::ZERO);
         assert_eq!(report.stats.slots, 0);
     }
@@ -493,7 +548,10 @@ mod tests {
         let total_invals: u64 = (0..2)
             .map(|i| report.stats.core(CoreId::new(i)).back_invalidations)
             .sum();
-        assert!(total_invals >= 2, "sharing a 1-line partition forces invalidations");
+        assert!(
+            total_invals >= 2,
+            "sharing a 1-line partition forces invalidations"
+        );
         assert!(!report.timed_out);
         for i in 0..2 {
             assert_eq!(report.stats.core(CoreId::new(i)).ops_completed, 2);
@@ -520,7 +578,10 @@ mod tests {
         let t0 = vec![write(0)];
         let t1 = vec![read(64), read(128)];
         let report = Simulator::new(cfg).unwrap().run(vec![t0, t1]).unwrap();
-        assert!(report.stats.dram_writes >= 1, "dirty line 0 was evicted to DRAM");
+        assert!(
+            report.stats.dram_writes >= 1,
+            "dirty line 0 was evicted to DRAM"
+        );
     }
 
     #[test]
@@ -543,9 +604,7 @@ mod tests {
         // ci ping-pongs writes to two lines in the set (dirty copies
         // force the Evict→WB round trip); cua wants a third line.
         let t0 = vec![read(0)];
-        let t1: Vec<MemOp> = (0..10_000)
-            .map(|i| write(64 + 64 * (i % 2)))
-            .collect();
+        let t1: Vec<MemOp> = (0..10_000).map(|i| write(64 + 64 * (i % 2))).collect();
         let report = Simulator::new(cfg).unwrap().run(vec![t0, t1]).unwrap();
         assert!(report.timed_out, "cua never completes: WCL unbounded");
         assert_eq!(report.stats.core(CoreId::new(0)).ops_completed, 0);
@@ -558,7 +617,10 @@ mod tests {
             .record_events(true)
             .build()
             .unwrap();
-        let report = Simulator::new(cfg).unwrap().run(vec![vec![read(0)]]).unwrap();
+        let report = Simulator::new(cfg)
+            .unwrap()
+            .run(vec![vec![read(0)]])
+            .unwrap();
         assert!(report
             .events
             .filter(|k| matches!(k, EventKind::Fill { .. }))

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use predllc_model::CoreId;
+use predllc_model::{CoreId, Cycles};
 
 /// Errors raised while validating a simulator configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,14 +67,6 @@ pub enum ConfigError {
         /// Configured slot width in cycles.
         slot_width: u64,
     },
-    /// The number of traces handed to [`crate::Simulator::run`] does not
-    /// match the number of cores.
-    TraceCountMismatch {
-        /// Traces provided.
-        traces: usize,
-        /// Cores configured.
-        cores: u16,
-    },
     /// An invalid model-level value (slot width, geometry) was supplied.
     Model(predllc_model::ModelError),
     /// An invalid bus schedule was supplied.
@@ -111,7 +103,10 @@ impl fmt::Display for ConfigError {
                 "partitions request {requested_lines} lines but the LLC has {available_lines}"
             ),
             ConfigError::PartitionExceedsGeometry { index } => {
-                write!(f, "partition {index} is larger than the physical LLC in some dimension")
+                write!(
+                    f,
+                    "partition {index} is larger than the physical LLC in some dimension"
+                )
             }
             ConfigError::ScheduleCoreMismatch {
                 schedule_cores,
@@ -127,9 +122,6 @@ impl fmt::Display for ConfigError {
                 f,
                 "dram latency {dram_latency} does not fit in the {slot_width}-cycle slot"
             ),
-            ConfigError::TraceCountMismatch { traces, cores } => {
-                write!(f, "{traces} traces provided for {cores} cores")
-            }
             ConfigError::Model(e) => write!(f, "invalid model parameter: {e}"),
             ConfigError::Schedule(e) => write!(f, "invalid schedule: {e}"),
         }
@@ -158,6 +150,60 @@ impl From<predllc_bus::ScheduleError> for ConfigError {
     }
 }
 
+/// Errors raised while running a simulation ([`crate::Simulator::run`]).
+///
+/// The redesigned run API is panic-free: conditions the engine used to
+/// `panic!` on (most notably the deadlock guard) are reported as typed
+/// errors so long sweeps can skip a bad point and keep going.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The workload drives a different number of cores than the system
+    /// has (`Workload::num_cores()` must equal `SystemConfig::num_cores`).
+    CoreCountMismatch {
+        /// Cores the workload drives.
+        workload_cores: u16,
+        /// Cores in the system.
+        system_cores: u16,
+    },
+    /// The engine observed no bus transaction for its guard interval
+    /// while cores still had unfinished work. A correct configuration
+    /// always makes progress eventually, so this indicates a simulator
+    /// bug — but it is reported as an error, not a panic, so a sweep can
+    /// record the failure and continue.
+    Deadlock {
+        /// The cycle at which the deadlock was declared.
+        cycle: Cycles,
+        /// The cores that still had unfinished work.
+        pending: Vec<CoreId>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CoreCountMismatch {
+                workload_cores,
+                system_cores,
+            } => write!(
+                f,
+                "workload drives {workload_cores} cores but the system has {system_cores}"
+            ),
+            SimError::Deadlock { cycle, pending } => {
+                write!(
+                    f,
+                    "deadlock at cycle {}: no bus transaction while {} core(s) have \
+                     unfinished work (simulator bug)",
+                    cycle.as_u64(),
+                    pending.len()
+                )
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +212,26 @@ mod tests {
     fn error_is_send_sync_static() {
         fn assert_good<E: Error + Send + Sync + 'static>() {}
         assert_good::<ConfigError>();
+        assert_good::<SimError>();
+    }
+
+    #[test]
+    fn sim_error_displays() {
+        let e = SimError::CoreCountMismatch {
+            workload_cores: 2,
+            system_cores: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "workload drives 2 cores but the system has 4"
+        );
+        let d = SimError::Deadlock {
+            cycle: Cycles::new(5_000_000),
+            pending: vec![CoreId::new(0), CoreId::new(3)],
+        };
+        let msg = d.to_string();
+        assert!(msg.contains("5000000") && msg.contains("2 core(s)"));
+        assert!(!msg.ends_with('.'));
     }
 
     #[test]

@@ -228,7 +228,8 @@ mod tests {
         );
         assert_eq!(log.in_slot(1).count(), 2);
         assert_eq!(
-            log.filter(|k| matches!(k, EventKind::Blocked { .. })).count(),
+            log.filter(|k| matches!(k, EventKind::Blocked { .. }))
+                .count(),
             1
         );
     }

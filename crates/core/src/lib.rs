@@ -25,9 +25,14 @@
 //!
 //! # Quickstart
 //!
+//! The simulator runs anything implementing the streaming
+//! [`Workload`](predllc_workload::Workload) trait — generators, trace
+//! sets, or plain `Vec<Vec<MemOp>>` traces. `run` borrows the simulator,
+//! so one validated instance serves many runs.
+//!
 //! ```
 //! use predllc_core::analysis::WclParams;
-//! use predllc_core::{SharingMode, SystemConfig};
+//! use predllc_core::{SharingMode, Simulator, SystemConfig};
 //! use predllc_model::{Address, MemOp};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,15 +44,23 @@
 //! let params = WclParams::from_config(&config)?;
 //! assert_eq!(params.wcl_set_sequencer().as_u64(), 5000);
 //!
-//! // Simulate a tiny workload and check the observed WCL respects it.
+//! // Validate once, then run as many workloads as you like: here a
+//! // materialized trace per core (a `Vec<Vec<MemOp>>` is a `Workload`).
+//! let sim = Simulator::new(config)?;
 //! let traces = vec![
 //!     vec![MemOp::read(Address::new(0))],
 //!     vec![MemOp::read(Address::new(64))],
 //!     vec![MemOp::read(Address::new(128))],
 //!     vec![MemOp::read(Address::new(192))],
 //! ];
-//! let report = predllc_core::Simulator::new(config)?.run(traces)?;
+//! let report = sim.run(&traces)?;
 //! assert!(report.max_request_latency().as_u64() <= 5000);
+//!
+//! // The same simulator streams a generator next — no trace storage.
+//! use predllc_workload::gen::UniformGen;
+//! let gen = UniformGen::new(8192, 500).with_cores(4);
+//! let streamed = sim.run(&gen)?;
+//! assert!(streamed.max_request_latency().as_u64() <= 5000);
 //! # Ok(())
 //! # }
 //! ```
@@ -69,7 +82,7 @@ pub mod stats;
 
 pub use config::{SystemConfig, SystemConfigBuilder};
 pub use engine::{RunReport, Simulator};
-pub use error::ConfigError;
+pub use error::{ConfigError, SimError};
 pub use events::{Event, EventKind, EventLog};
 pub use partition::{PartitionMap, PartitionSpec, SharingMode};
 pub use placement::{pack, Placement, PlacementError};

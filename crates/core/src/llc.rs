@@ -75,7 +75,9 @@ impl SharerSet {
     /// Iterates over member cores in index order.
     pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
         let bits = self.0;
-        (0..64u16).filter(move |i| bits & (1 << i) != 0).map(CoreId::new)
+        (0..64u16)
+            .filter(move |i| bits & (1 << i) != 0)
+            .map(CoreId::new)
     }
 }
 
@@ -298,7 +300,12 @@ impl SharedLlc {
     pub fn sequencer_pressure(&self) -> (usize, usize) {
         self.partitions
             .iter()
-            .map(|p| (p.sequencer.max_tracked_sets(), p.sequencer.max_queue_depth()))
+            .map(|p| {
+                (
+                    p.sequencer.max_tracked_sets(),
+                    p.sequencer.max_queue_depth(),
+                )
+            })
             .fold((0, 0), |(s, d), (ps, pd)| (s.max(ps), d.max(pd)))
     }
 
@@ -349,16 +356,16 @@ impl SharedLlc {
             return Probe::WouldRespond;
         }
         if free_way
-            || p.pending_of(core).is_some_and(|r| r.triggered_victim.is_some())
+            || p.pending_of(core)
+                .is_some_and(|r| r.triggered_victim.is_some())
         {
             return Probe::Stuck;
         }
-        let has_eligible_victim = (0..p.cache.geometry().ways())
-            .any(|w| {
-                p.cache
-                    .entry(set, WayIdx(w))
-                    .is_some_and(|e| e.meta.state == LineState::Valid)
-            });
+        let has_eligible_victim = (0..p.cache.geometry().ways()).any(|w| {
+            p.cache
+                .entry(set, WayIdx(w))
+                .is_some_and(|e| e.meta.state == LineState::Valid)
+        });
         if has_eligible_victim {
             Probe::WouldTrigger
         } else {
@@ -455,7 +462,10 @@ impl SharedLlc {
 
         // 5. Full set: trigger an eviction if this request holds no
         //    in-flight eviction credit (any queue position may trigger).
-        if p.pending_of(core).expect("registered above").triggered_victim.is_some()
+        if p.pending_of(core)
+            .expect("registered above")
+            .triggered_victim
+            .is_some()
             || p.cache.free_way_in(set).is_some()
         {
             result.outcome = ServiceOutcome::Blocked(blocked_reason);
@@ -477,10 +487,15 @@ impl SharedLlc {
             });
             return result;
         };
-        let victim_entry = p.cache.entry(set, victim_way).expect("eligible way occupied");
+        let victim_entry = p
+            .cache
+            .entry(set, victim_way)
+            .expect("eligible way occupied");
         let victim_line = victim_entry.line;
         let victim_sharers = victim_entry.meta.sharers;
-        p.pending_of_mut(core).expect("registered above").triggered_victim = Some(victim_line);
+        p.pending_of_mut(core)
+            .expect("registered above")
+            .triggered_victim = Some(victim_line);
         result.eviction = Some(EvictionInfo {
             victim: victim_line,
             sharers: victim_sharers.count(),
@@ -866,7 +881,10 @@ mod tests {
             r0.outcome,
             ServiceOutcome::Blocked(BlockReason::WaitingForEviction)
         );
-        assert!(r0.eviction.is_some(), "credit was returned, so it re-triggers");
+        assert!(
+            r0.eviction.is_some(),
+            "credit was returned, so it re-triggers"
+        );
     }
 
     #[test]

@@ -15,12 +15,11 @@
 use std::fmt;
 
 use predllc_model::{CacheGeometry, CoreId, LineAddr, PartitionId, SetIdx};
-use serde::{Deserialize, Serialize};
 
 use crate::error::ConfigError;
 
 /// How contention *within* a shared partition is resolved.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum SharingMode {
     /// The set sequencer (§4.5) orders pending allocations per set in bus
     /// broadcast order, giving the low WCL of Theorem 4.8.
@@ -54,7 +53,7 @@ impl fmt::Display for SharingMode {
 /// assert_eq!(p.lines(), 16);
 /// assert_eq!(p.to_string(), "SS(1,16,4)");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionSpec {
     /// Number of sets in the partition.
     pub sets: u32,
@@ -163,7 +162,7 @@ impl fmt::Display for PartitionSpec {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionMap {
     partitions: Vec<PartitionSpec>,
     /// `core index → partition index`.

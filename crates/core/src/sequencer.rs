@@ -120,9 +120,7 @@ impl SetSequencer {
 
     /// Whether `core` is queued for `set` at any position.
     pub fn contains(&self, set: SetIdx, core: CoreId) -> bool {
-        self.queues
-            .get(&set)
-            .is_some_and(|q| q.contains(&core))
+        self.queues.get(&set).is_some_and(|q| q.contains(&core))
     }
 
     /// Number of requests queued for `set`.

@@ -2,10 +2,9 @@
 //! request-latency records the WCL experiments are built on.
 
 use predllc_model::{CoreId, Cycles};
-use serde::{Deserialize, Serialize};
 
 /// Counters for one core.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CoreStats {
     /// Memory operations completed.
     pub ops_completed: u64,
@@ -63,7 +62,7 @@ impl CoreStats {
 }
 
 /// System-wide counters and the per-core breakdown.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SimStats {
     /// Per-core statistics, indexed by core.
     pub cores: Vec<CoreStats>,

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::Add;
 
-use serde::{Deserialize, Serialize};
-
 /// A byte address in the simulated physical address space.
 ///
 /// Addresses are plain 64-bit values; the memory system only ever inspects
@@ -21,9 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.line_with(128).as_u64(), 0x20);
 /// assert_eq!(format!("{a}"), "0x0000000000001040");
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Address(u64);
 
 /// The paper's cache-line size: 64 bytes at every level of the hierarchy.
@@ -101,9 +97,7 @@ impl Add<u64> for Address {
 /// assert_eq!(l, LineAddr::new(2));
 /// assert_eq!(l.first_byte(64), Address::new(0x80));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineAddr(u64);
 
 impl LineAddr {

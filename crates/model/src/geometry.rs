@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{LineAddr, ModelError, SetIdx};
 
 /// The shape of one set-associative cache (or one partition's view of the
@@ -28,7 +26,7 @@ use crate::{LineAddr, ModelError, SetIdx};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     sets: u32,
     ways: u32,

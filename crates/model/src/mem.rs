@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::Address;
 
 /// The kind of a memory access.
@@ -12,7 +10,7 @@ use crate::Address;
 /// private L1D; everything below L1 is unified. Writes make lines dirty,
 /// which is what later forces write-backs onto the TDM bus — the central
 /// mechanism behind the paper's WCL observations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A data load.
     Read,
@@ -56,7 +54,7 @@ impl fmt::Display for AccessKind {
 /// assert!(op.kind.is_write());
 /// assert_eq!(op.to_string(), "W 0x0000000000001000");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemOp {
     /// What kind of access this is.
     pub kind: AccessKind,
@@ -129,10 +127,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn ops_are_copy_and_hashable() {
+        use std::collections::HashSet;
         let op = MemOp::write(Address::new(0x1234));
-        let json = serde_json::to_string(&op).unwrap();
-        let back: MemOp = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, op);
+        let copy = op;
+        assert_eq!(copy, op);
+        let set: HashSet<MemOp> = [op, MemOp::read(Address::new(0x1234))].into();
+        assert_eq!(set.len(), 2);
     }
 }

@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::ModelError;
 
 /// A duration or instant measured in processor clock cycles.
@@ -27,9 +25,7 @@ use crate::ModelError;
 /// assert_eq!(period - slot, Cycles::new(150));
 /// assert_eq!(period.as_u64(), 200);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Cycles(u64);
 
 impl Cycles {
@@ -154,7 +150,7 @@ impl Sum for Cycles {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SlotWidth(u64);
 
 impl SlotWidth {
@@ -238,7 +234,10 @@ mod tests {
     #[test]
     fn cycles_saturating_and_checked() {
         assert_eq!(Cycles::new(1).saturating_sub(Cycles::new(9)), Cycles::ZERO);
-        assert_eq!(Cycles::new(9).saturating_sub(Cycles::new(1)), Cycles::new(8));
+        assert_eq!(
+            Cycles::new(9).saturating_sub(Cycles::new(1)),
+            Cycles::new(8)
+        );
         assert_eq!(Cycles::new(u64::MAX).checked_mul(2), None);
         assert_eq!(Cycles::new(3).checked_mul(4), Some(Cycles::new(12)));
         assert_eq!(Cycles::new(u64::MAX).checked_add(Cycles::new(1)), None);

@@ -2,9 +2,17 @@
 //!
 //! Traces are small structured data; JSON keeps them inspectable and
 //! diff-able, which matters more for experiment provenance than
-//! compactness.
+//! compactness. The codec is self-contained (the build runs in
+//! network-isolated environments, so no serde): it writes and reads the
+//! fixed schema
+//!
+//! ```json
+//! {"name":"demo","traces":[[{"kind":"Read","addr":0}, …], …]}
+//! ```
 
 use std::io::{Read, Write};
+
+use predllc_model::{AccessKind, Address, MemOp};
 
 use crate::trace::TraceSet;
 
@@ -15,14 +23,21 @@ pub enum TraceIoError {
     /// An underlying I/O failure.
     Io(std::io::Error),
     /// The stream did not contain a valid trace set.
-    Format(serde_json::Error),
+    Format {
+        /// What the decoder expected or found.
+        message: String,
+        /// Byte offset of the failure in the input.
+        offset: usize,
+    },
 }
 
 impl std::fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
-            TraceIoError::Format(e) => write!(f, "trace format invalid: {e}"),
+            TraceIoError::Format { message, offset } => {
+                write!(f, "trace format invalid at byte {offset}: {message}")
+            }
         }
     }
 }
@@ -31,7 +46,7 @@ impl std::error::Error for TraceIoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceIoError::Io(e) => Some(e),
-            TraceIoError::Format(e) => Some(e),
+            TraceIoError::Format { .. } => None,
         }
     }
 }
@@ -42,19 +57,57 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
-impl From<serde_json::Error> for TraceIoError {
-    fn from(e: serde_json::Error) -> Self {
-        TraceIoError::Format(e)
-    }
-}
-
-/// Writes a trace set as JSON. A `&mut` writer works too.
+/// Writes a trace set as JSON, streamed op by op — memory use is
+/// independent of the trace length. A `&mut` writer works too; wrap a
+/// raw file in a `BufWriter` for throughput.
 ///
 /// # Errors
 ///
-/// Propagates serialization and I/O failures.
-pub fn write_json<W: Write>(set: &TraceSet, writer: W) -> Result<(), TraceIoError> {
-    serde_json::to_writer(writer, set)?;
+/// Propagates I/O failures.
+pub fn write_json<W: Write>(set: &TraceSet, mut writer: W) -> Result<(), TraceIoError> {
+    writer.write_all(b"{\"name\":")?;
+    write_json_string(&mut writer, &set.name)?;
+    writer.write_all(b",\"traces\":[")?;
+    for (i, trace) in set.traces.iter().enumerate() {
+        if i > 0 {
+            writer.write_all(b",")?;
+        }
+        writer.write_all(b"[")?;
+        for (j, op) in trace.iter().enumerate() {
+            if j > 0 {
+                writer.write_all(b",")?;
+            }
+            let kind = match op.kind {
+                AccessKind::Read => "Read",
+                AccessKind::Write => "Write",
+                AccessKind::InstrFetch => "InstrFetch",
+            };
+            write!(
+                writer,
+                "{{\"kind\":\"{kind}\",\"addr\":{}}}",
+                op.addr.as_u64()
+            )?;
+        }
+        writer.write_all(b"]")?;
+    }
+    writer.write_all(b"]}")?;
+    Ok(())
+}
+
+fn write_json_string<W: Write>(writer: &mut W, s: &str) -> Result<(), TraceIoError> {
+    writer.write_all(b"\"")?;
+    for ch in s.chars() {
+        match ch {
+            '"' => writer.write_all(b"\\\"")?,
+            '\\' => writer.write_all(b"\\\\")?,
+            '\n' => writer.write_all(b"\\n")?,
+            '\r' => writer.write_all(b"\\r")?,
+            '\t' => writer.write_all(b"\\t")?,
+            c if (c as u32) < 0x20 => write!(writer, "\\u{:04x}", c as u32)?,
+            c => write!(writer, "{c}")?,
+        }
+    }
+    writer.write_all(b"\"")?;
     Ok(())
 }
 
@@ -63,8 +116,244 @@ pub fn write_json<W: Write>(set: &TraceSet, writer: W) -> Result<(), TraceIoErro
 /// # Errors
 ///
 /// Propagates deserialization and I/O failures.
-pub fn read_json<R: Read>(reader: R) -> Result<TraceSet, TraceIoError> {
-    Ok(serde_json::from_reader(reader)?)
+pub fn read_json<R: Read>(mut reader: R) -> Result<TraceSet, TraceIoError> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    let mut p = Parser { buf: &buf, at: 0 };
+    let set = p.trace_set()?;
+    p.skip_ws();
+    if p.at != p.buf.len() {
+        return Err(p.fail("trailing data after the trace set"));
+    }
+    Ok(set)
+}
+
+/// A recursive-descent decoder for the fixed trace-set schema.
+struct Parser<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, message: impl Into<String>) -> TraceIoError {
+        TraceIoError::Format {
+            message: message.into(),
+            offset: self.at,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.buf.get(self.at) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), TraceIoError> {
+        self.skip_ws();
+        if self.buf.get(self.at) == Some(&byte) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.fail(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.buf.get(self.at).copied()
+    }
+
+    fn string(&mut self) -> Result<String, TraceIoError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.buf.get(self.at) else {
+                return Err(self.fail("unterminated string"));
+            };
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.buf.get(self.at) else {
+                        return Err(self.fail("unterminated escape"));
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .buf
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.fail("invalid \\u escape"))?;
+                            self.at += 4;
+                            // The writer never emits surrogate pairs
+                            // (only control characters), so a lone code
+                            // point suffices.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.fail("invalid \\u code point"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.fail("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the raw
+                    // input.
+                    let start = self.at - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.fail("invalid utf-8"))?;
+                    let slice = self
+                        .buf
+                        .get(start..start + len)
+                        .ok_or_else(|| self.fail("truncated utf-8"))?;
+                    let s = std::str::from_utf8(slice).map_err(|_| self.fail("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.at = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, TraceIoError> {
+        self.skip_ws();
+        let start = self.at;
+        while self.buf.get(self.at).is_some_and(|b| b.is_ascii_digit()) {
+            self.at += 1;
+        }
+        if start == self.at {
+            return Err(self.fail("expected a number"));
+        }
+        std::str::from_utf8(&self.buf[start..self.at])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.fail("number out of range"))
+    }
+
+    fn mem_op(&mut self) -> Result<MemOp, TraceIoError> {
+        self.expect(b'{')?;
+        let mut kind: Option<AccessKind> = None;
+        let mut addr: Option<u64> = None;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "kind" => {
+                    let v = self.string()?;
+                    kind = Some(match v.as_str() {
+                        "Read" => AccessKind::Read,
+                        "Write" => AccessKind::Write,
+                        "InstrFetch" => AccessKind::InstrFetch,
+                        other => return Err(self.fail(format!("unknown access kind '{other}'"))),
+                    });
+                }
+                "addr" => addr = Some(self.number()?),
+                other => return Err(self.fail(format!("unknown op field '{other}'"))),
+            }
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    break;
+                }
+                _ => return Err(self.fail("expected ',' or '}' in op")),
+            }
+        }
+        match (kind, addr) {
+            (Some(kind), Some(addr)) => Ok(MemOp {
+                kind,
+                addr: Address::new(addr),
+            }),
+            _ => Err(self.fail("op needs both 'kind' and 'addr'")),
+        }
+    }
+
+    fn trace(&mut self) -> Result<Vec<MemOp>, TraceIoError> {
+        self.expect(b'[')?;
+        let mut ops = Vec::new();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(ops);
+        }
+        loop {
+            ops.push(self.mem_op()?);
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(ops);
+                }
+                _ => return Err(self.fail("expected ',' or ']' in trace")),
+            }
+        }
+    }
+
+    fn trace_set(&mut self) -> Result<TraceSet, TraceIoError> {
+        self.expect(b'{')?;
+        let mut name: Option<String> = None;
+        let mut traces: Option<Vec<Vec<MemOp>>> = None;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "name" => name = Some(self.string()?),
+                "traces" => {
+                    self.expect(b'[')?;
+                    let mut ts = Vec::new();
+                    if self.peek() == Some(b']') {
+                        self.at += 1;
+                    } else {
+                        loop {
+                            ts.push(self.trace()?);
+                            match self.peek() {
+                                Some(b',') => self.at += 1,
+                                Some(b']') => {
+                                    self.at += 1;
+                                    break;
+                                }
+                                _ => return Err(self.fail("expected ',' or ']'")),
+                            }
+                        }
+                    }
+                    traces = Some(ts);
+                }
+                other => return Err(self.fail(format!("unknown field '{other}'"))),
+            }
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    break;
+                }
+                _ => return Err(self.fail("expected ',' or '}'")),
+            }
+        }
+        match (name, traces) {
+            (Some(name), Some(traces)) => Ok(TraceSet { name, traces }),
+            _ => Err(self.fail("trace set needs both 'name' and 'traces'")),
+        }
+    }
+}
+
+const fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -82,10 +371,46 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_covers_kinds_names_and_whitespace() {
+        use predllc_model::{Address, MemOp};
+        let set = TraceSet::new(
+            "quote\" slash\\ tab\t",
+            vec![vec![
+                MemOp::read(Address::new(0)),
+                MemOp::write(Address::new(u64::MAX)),
+                MemOp::fetch(Address::new(4096)),
+            ]],
+        );
+        let mut buf = Vec::new();
+        write_json(&set, &mut buf).unwrap();
+        let back = read_json(buf.as_slice()).unwrap();
+        assert_eq!(back, set);
+        // Whitespace-tolerant parsing.
+        let spaced =
+            br#" { "name" : "x" , "traces" : [ [ { "kind" : "Read" , "addr" : 64 } ] ] } "#;
+        let got = read_json(spaced.as_slice()).unwrap();
+        assert_eq!(got.name, "x");
+        assert_eq!(got.traces[0][0], MemOp::read(Address::new(64)));
+    }
+
+    #[test]
     fn malformed_json_is_a_format_error() {
         let err = read_json(b"not json".as_slice()).unwrap_err();
-        assert!(matches!(err, TraceIoError::Format(_)));
+        assert!(matches!(err, TraceIoError::Format { .. }));
         assert!(err.to_string().contains("format"));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected_with_offset() {
+        let bad = br#"{"name":"x","traces":[[{"kind":"Skim","addr":0}]]}"#;
+        let err = read_json(bad.as_slice()).unwrap_err();
+        match err {
+            TraceIoError::Format { message, offset } => {
+                assert!(message.contains("Skim"));
+                assert!(offset > 0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! A named bundle of per-core traces.
 
 use predllc_model::MemOp;
-use serde::{Deserialize, Serialize};
 
 /// The traces of all cores for one experiment, with a human-readable
 /// name, ready for (de)serialization.
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(set.num_cores(), 2);
 /// assert_eq!(set.total_ops(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSet {
     /// Experiment/workload name.
     pub name: String,
@@ -46,8 +45,11 @@ impl TraceSet {
         self.traces.iter().map(Vec::len).sum()
     }
 
-    /// Consumes the set, yielding the per-core traces for
-    /// `Simulator::run`.
+    /// Consumes the set, yielding the plain per-core traces.
+    ///
+    /// Rarely needed since [`TraceSet`] implements the
+    /// [`Workload`](crate::Workload) trait and can be handed to
+    /// `Simulator::run` directly (by reference).
     pub fn into_traces(self) -> Vec<Vec<MemOp>> {
         self.traces
     }

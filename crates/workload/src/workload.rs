@@ -1,0 +1,264 @@
+//! The streaming [`Workload`] trait: the contract between workload
+//! sources and the simulation engine.
+//!
+//! A workload is a bundle of per-core [`MemOp`] streams. The engine pulls
+//! operations on demand, one core at a time, so a workload never has to
+//! materialize a `Vec<MemOp>` — a generator can synthesize a billion-op
+//! stream in constant memory, and a trace file can be decoded
+//! incrementally. Fully materialized traces still work: `Vec<Vec<MemOp>>`
+//! and [`TraceSet`] implement the trait by streaming over their contents.
+//!
+//! Because [`Workload::core_ops`] takes `&self`, one workload value can
+//! be replayed any number of times (across sharing modes, partitionings,
+//! or repeated runs) and always yields the same operations — the paper's
+//! "same addresses across configurations" methodology falls out of the
+//! type signature.
+//!
+//! # Examples
+//!
+//! ```
+//! use predllc_model::{Address, MemOp};
+//! use predllc_workload::Workload;
+//!
+//! let traces: Vec<Vec<MemOp>> = vec![
+//!     vec![MemOp::read(Address::new(0))],
+//!     vec![MemOp::write(Address::new(64)), MemOp::read(Address::new(0))],
+//! ];
+//! assert_eq!(traces.num_cores(), 2);
+//! assert_eq!(traces.len_hint(predllc_model::CoreId::new(1)), Some(2));
+//! let ops: Vec<MemOp> = traces.core_ops(predllc_model::CoreId::new(0)).collect();
+//! assert_eq!(ops, traces[0]);
+//! ```
+
+use predllc_model::{CoreId, MemOp};
+
+use crate::trace::TraceSet;
+
+/// A stream of memory operations for one core.
+///
+/// Boxed so the trait stays object-safe; the engine pulls from it lazily.
+pub type OpStream<'a> = Box<dyn Iterator<Item = MemOp> + 'a>;
+
+/// A bundle of per-core memory-operation streams.
+///
+/// Implementors must be **replayable**: every call to
+/// [`Workload::core_ops`] for the same core yields the same sequence.
+/// The `Send + Sync` supertraits let sweeps fan runs out across threads.
+pub trait Workload: Send + Sync {
+    /// How many cores this workload drives. Core `i` is fed by
+    /// `core_ops(CoreId::new(i))` for `i` in `0..num_cores()`.
+    fn num_cores(&self) -> u16;
+
+    /// The operation stream of one core.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `core.index() >= num_cores()`.
+    fn core_ops(&self, core: CoreId) -> OpStream<'_>;
+
+    /// The exact stream length for one core, when cheaply known.
+    ///
+    /// Generators with an `ops` parameter and materialized traces return
+    /// `Some`; open-ended sources (sockets, compressed files) may return
+    /// `None`. Purely advisory — the engine never trusts it for
+    /// termination.
+    fn len_hint(&self, core: CoreId) -> Option<usize> {
+        let _ = core;
+        None
+    }
+
+    /// Collects every stream into plain per-core vectors.
+    ///
+    /// This is the bridge back to the materialized world (serialization,
+    /// golden files, twin-run equivalence tests) — by construction it
+    /// yields exactly what the engine would have streamed.
+    fn materialize(&self) -> Vec<Vec<MemOp>> {
+        CoreId::first(self.num_cores())
+            .map(|c| self.core_ops(c).collect())
+            .collect()
+    }
+}
+
+impl<W: Workload + ?Sized> Workload for &W {
+    fn num_cores(&self) -> u16 {
+        (**self).num_cores()
+    }
+
+    fn core_ops(&self, core: CoreId) -> OpStream<'_> {
+        (**self).core_ops(core)
+    }
+
+    fn len_hint(&self, core: CoreId) -> Option<usize> {
+        (**self).len_hint(core)
+    }
+}
+
+impl Workload for Box<dyn Workload> {
+    fn num_cores(&self) -> u16 {
+        (**self).num_cores()
+    }
+
+    fn core_ops(&self, core: CoreId) -> OpStream<'_> {
+        (**self).core_ops(core)
+    }
+
+    fn len_hint(&self, core: CoreId) -> Option<usize> {
+        (**self).len_hint(core)
+    }
+}
+
+/// Backward-compatibility adapter: a fully materialized set of per-core
+/// traces is a workload (trace `i` feeds core `i`).
+impl Workload for Vec<Vec<MemOp>> {
+    fn num_cores(&self) -> u16 {
+        self.len() as u16
+    }
+
+    fn core_ops(&self, core: CoreId) -> OpStream<'_> {
+        Box::new(self[core.as_usize()].iter().copied())
+    }
+
+    fn len_hint(&self, core: CoreId) -> Option<usize> {
+        Some(self[core.as_usize()].len())
+    }
+}
+
+impl Workload for TraceSet {
+    fn num_cores(&self) -> u16 {
+        TraceSet::num_cores(self)
+    }
+
+    fn core_ops(&self, core: CoreId) -> OpStream<'_> {
+        Box::new(self.traces[core.as_usize()].iter().copied())
+    }
+
+    fn len_hint(&self, core: CoreId) -> Option<usize> {
+        Some(self.traces[core.as_usize()].len())
+    }
+}
+
+/// A heterogeneous multi-core workload: one single-core (or wider)
+/// workload per core, each contributing its core-0 stream.
+///
+/// This is how the single-stream generators ([`StrideGen`],
+/// [`PointerChaseGen`], [`HotColdGen`]) compose into a multicore run.
+///
+/// [`StrideGen`]: crate::gen::StrideGen
+/// [`PointerChaseGen`]: crate::gen::PointerChaseGen
+/// [`HotColdGen`]: crate::gen::HotColdGen
+///
+/// # Examples
+///
+/// ```
+/// use predllc_workload::gen::StrideGen;
+/// use predllc_workload::{MultiCore, Workload};
+///
+/// let w = MultiCore::new()
+///     .core(StrideGen::new(0, 1024, 10))
+///     .core(StrideGen::new(16_384, 1024, 10));
+/// assert_eq!(w.num_cores(), 2);
+/// assert_eq!(w.len_hint(predllc_model::CoreId::new(0)), Some(10));
+/// ```
+#[derive(Default)]
+pub struct MultiCore {
+    parts: Vec<Box<dyn Workload>>,
+}
+
+impl MultiCore {
+    /// Creates an empty composition.
+    pub fn new() -> Self {
+        MultiCore { parts: Vec::new() }
+    }
+
+    /// Appends the next core's workload (its core-0 stream is used).
+    pub fn core(mut self, w: impl Workload + 'static) -> Self {
+        self.parts.push(Box::new(w));
+        self
+    }
+}
+
+impl Workload for MultiCore {
+    fn num_cores(&self) -> u16 {
+        self.parts.len() as u16
+    }
+
+    fn core_ops(&self, core: CoreId) -> OpStream<'_> {
+        self.parts[core.as_usize()].core_ops(CoreId::new(0))
+    }
+
+    fn len_hint(&self, core: CoreId) -> Option<usize> {
+        self.parts[core.as_usize()].len_hint(CoreId::new(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{StrideGen, UniformGen};
+    use predllc_model::Address;
+
+    fn c(i: u16) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn vec_adapter_streams_each_trace() {
+        let traces = vec![
+            vec![MemOp::read(Address::new(0)), MemOp::write(Address::new(64))],
+            vec![MemOp::read(Address::new(128))],
+        ];
+        assert_eq!(Workload::num_cores(&traces), 2);
+        assert_eq!(traces.len_hint(c(0)), Some(2));
+        let got: Vec<MemOp> = traces.core_ops(c(1)).collect();
+        assert_eq!(got, traces[1]);
+    }
+
+    #[test]
+    fn trace_set_streams_and_hints() {
+        let set = TraceSet::new("t", vec![vec![MemOp::read(Address::new(0))], vec![]]);
+        assert_eq!(Workload::num_cores(&set), 2);
+        assert_eq!(set.len_hint(c(1)), Some(0));
+        assert_eq!(set.core_ops(c(0)).count(), 1);
+    }
+
+    #[test]
+    fn materialize_matches_streams() {
+        let g = UniformGen::new(2048, 40).with_cores(3).with_seed(5);
+        let m = g.materialize();
+        assert_eq!(m.len(), 3);
+        for (i, t) in m.iter().enumerate() {
+            let streamed: Vec<MemOp> = g.core_ops(c(i as u16)).collect();
+            assert_eq!(&streamed, t);
+        }
+    }
+
+    #[test]
+    fn replay_is_stable() {
+        let g = UniformGen::new(2048, 64).with_cores(2);
+        let a: Vec<MemOp> = g.core_ops(c(1)).collect();
+        let b: Vec<MemOp> = g.core_ops(c(1)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multicore_routes_each_part_to_its_core() {
+        let w = MultiCore::new()
+            .core(StrideGen::new(0, 256, 4))
+            .core(StrideGen::new(4096, 256, 4));
+        let a: Vec<u64> = w.core_ops(c(0)).map(|op| op.addr.as_u64()).collect();
+        let b: Vec<u64> = w.core_ops(c(1)).map(|op| op.addr.as_u64()).collect();
+        assert_eq!(a, [0, 64, 128, 192]);
+        assert_eq!(b, [4096, 4160, 4224, 4288]);
+    }
+
+    #[test]
+    fn reference_and_box_forward() {
+        let g = UniformGen::new(1024, 8).with_cores(1);
+        let g_ref: &UniformGen = &g;
+        let by_ref: Vec<MemOp> = g_ref.core_ops(c(0)).collect();
+        let boxed: Box<dyn Workload> = Box::new(g.clone());
+        let by_box: Vec<MemOp> = boxed.core_ops(c(0)).collect();
+        assert_eq!(by_ref, by_box);
+        assert_eq!(boxed.len_hint(c(0)), Some(8));
+    }
+}

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (fill - broadcast) / 4
     );
     println!("distance profile of the contended set (schedule {{c0,c1,c2,c3}}, cua = c0):");
-    println!("{:>5} {:>30} {:>7}", "slot", "resident lines (line: d)", "total");
+    println!(
+        "{:>5} {:>30} {:>7}",
+        "slot", "resident lines (line: d)", "total"
+    );
 
     let tracker = DistanceTracker::new(&schedule, &spec, 0, c(0));
     for s in tracker.samples(&report.events) {

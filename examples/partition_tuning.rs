@@ -13,9 +13,7 @@
 
 use predllc::analysis::classify_schedule;
 use predllc::workload_gen::{HotColdGen, PointerChaseGen, StrideGen, UniformGen};
-use predllc::{
-    CoreId, Cycles, MemOp, PartitionSpec, SharingMode, Simulator, SystemConfig,
-};
+use predllc::{CoreId, Cycles, MemOp, PartitionSpec, SharingMode, Simulator, SystemConfig};
 
 /// One task: its workload and its per-request latency requirement.
 struct Task {
@@ -56,7 +54,9 @@ fn tasks() -> Vec<Task> {
             // working set; the shared partition lets it keep everything.
             name: "diagnostics-log",
             wcl_requirement: u64::MAX,
-            trace: PointerChaseGen::new(49_152, 4_096, 3_000).with_seed(3).trace(),
+            trace: PointerChaseGen::new(49_152, 4_096, 3_000)
+                .with_seed(3)
+                .trace(),
         },
     ]
 }
@@ -125,6 +125,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n{:<40} {:>10} {:>14} {:>12}",
         "plan", "feasible", "exec (cycles)", "worst obs."
     );
+    // One workload, reused verbatim across every candidate plan (the
+    // materialized per-task traces are a `Workload` as-is).
+    let workload: Vec<Vec<MemOp>> = tasks.iter().map(|t| t.trace.clone()).collect();
     let mut best: Option<(String, Cycles)> = None;
     for plan in plans() {
         let cfg = SystemConfig::builder(4)
@@ -142,8 +145,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         // Average-case performance of the actual workload.
-        let traces: Vec<Vec<MemOp>> = tasks.iter().map(|t| t.trace.clone()).collect();
-        let report = Simulator::new(cfg)?.run(traces)?;
+        let report = Simulator::new(cfg)?.run(&workload)?;
         println!(
             "{:<40} {:>10} {:>14} {:>12}",
             plan.name,

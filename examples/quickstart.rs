@@ -28,16 +28,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The paper's workload: uniform random line-aligned addresses in
-    // disjoint 8 KiB ranges per core, 20% writes.
-    let traces = UniformGen::new(8192, 2_000)
+    // disjoint 8 KiB ranges per core, 20% writes — streamed straight
+    // into the engine, no traces materialized.
+    let workload = UniformGen::new(8192, 2_000)
         .with_write_fraction(0.2)
         .with_seed(42)
-        .traces(config.num_cores());
+        .with_cores(config.num_cores());
 
-    let report = Simulator::new(config)?.run(traces)?;
+    let sim = Simulator::new(config)?;
+    let report = sim.run(&workload)?;
 
     println!("\nsimulation finished in {}", report.execution_time());
-    println!("observed worst request latency: {}", report.max_request_latency());
+    println!(
+        "observed worst request latency: {}",
+        report.max_request_latency()
+    );
     assert!(
         report.max_request_latency() <= params.wcl_set_sequencer(),
         "the observed WCL must respect the analytical bound"

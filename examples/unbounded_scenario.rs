@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example unbounded_scenario`
 
 use predllc::analysis::{classify_schedule, critical, WclBound};
-use predllc::{
-    CoreId, PartitionSpec, SharingMode, Simulator, SystemConfig, TdmSchedule,
-};
+use predllc::{CoreId, PartitionSpec, SharingMode, Simulator, SystemConfig, TdmSchedule};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cua = CoreId::new(0);
@@ -73,9 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {name}: cua finished with latency {} (bound {})",
             report.stats.core(cua).max_request_latency,
-            bound
-                .cycles()
-                .map_or("-".to_string(), |c| c.to_string())
+            bound.cycles().map_or("-".to_string(), |c| c.to_string())
         );
         assert_eq!(report.stats.core(cua).ops_completed, 1);
         if let Some(b) = bound.cycles() {

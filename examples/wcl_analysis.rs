@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example wcl_analysis`
 
 use predllc::analysis::{classify_schedule, WclParams};
-use predllc::{
-    CoreId, PartitionSpec, SharingMode, SlotWidth, SystemConfig, TdmSchedule,
-};
+use predllc::{CoreId, PartitionSpec, SharingMode, SlotWidth, SystemConfig, TdmSchedule};
 
 fn params(n: u16, ways: u32, partition_lines: u64) -> WclParams {
     WclParams {
@@ -39,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== WCL vs partition size (4 cores, 16 ways): SS is size-independent ==");
-    println!("{:>10} {:>16} {:>14}", "M (lines)", "NSS (Thm 4.7)", "SS (Thm 4.8)");
+    println!(
+        "{:>10} {:>16} {:>14}",
+        "M (lines)", "NSS (Thm 4.7)", "SS (Thm 4.8)"
+    );
     for m in [16u64, 64, 128, 256, 512, 2048] {
         let p = params(4, 16, m);
         println!(
@@ -53,14 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== Schedule classification ==");
     let cua = CoreId::new(0);
-    let shared = |mode| {
-        vec![PartitionSpec::shared(
-            1,
-            2,
-            vec![cua, CoreId::new(1)],
-            mode,
-        )]
-    };
+    let shared = |mode| vec![PartitionSpec::shared(1, 2, vec![cua, CoreId::new(1)], mode)];
     let cases: Vec<(&str, SystemConfig)> = vec![
         (
             "1S-TDM {c0, c1}, set sequencer",

@@ -2,14 +2,22 @@
 //! partition: the sharing penalty is not one number, it depends on the
 //! workload's locality and write mix.
 //!
+//! Each pattern is a streaming `Workload` built once and replayed
+//! against both sharing modes — same addresses in both runs, no traces
+//! materialized.
+//!
 //! Run with: `cargo run --release --example workload_patterns`
 
 use predllc::workload_gen::{HotColdGen, PointerChaseGen, StrideGen, UniformGen};
-use predllc::{CoreId, MemOp, SharingMode, Simulator, SystemConfig};
+use predllc::{CoreId, MultiCore, SharingMode, Simulator, SystemConfig, Workload};
 
-fn run(name: &str, mode: SharingMode, traces: Vec<Vec<MemOp>>) -> Result<(), predllc::ConfigError> {
-    let cfg = SystemConfig::shared_partition(16, 8, 4, mode)?;
-    let report = Simulator::new(cfg)?.run(traces)?;
+fn report_line(
+    name: &str,
+    mode: SharingMode,
+    sim: &Simulator,
+    workload: &dyn Workload,
+) -> Result<(), predllc::SimError> {
+    let report = sim.run(workload)?;
     let s0 = report.stats.core(CoreId::new(0));
     println!(
         "  {name:<16} {mode}: exec {:>9}, core0 hit-rate {:>5.1}%, LLC {:>4} hits / {:>4} fills, worst {:>5}",
@@ -26,35 +34,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     const OPS: usize = 4_000;
     const RANGE: u64 = 16_384; // 16 KiB per core, disjoint
 
+    // One simulator per sharing mode, reused across all four patterns.
+    let ss = Simulator::new(SystemConfig::shared_partition(
+        16,
+        8,
+        4,
+        SharingMode::SetSequencer,
+    )?)?;
+    let nss = Simulator::new(SystemConfig::shared_partition(
+        16,
+        8,
+        4,
+        SharingMode::BestEffort,
+    )?)?;
+
     // Four cores each run the *same kind* of pattern in disjoint ranges.
     let base = |i: u64| i * RANGE;
-    let patterns: Vec<(&str, Vec<Vec<MemOp>>)> = vec![
+    let patterns: Vec<(&str, Box<dyn Workload>)> = vec![
         (
             "uniform",
-            UniformGen::new(RANGE, OPS).with_write_fraction(0.2).traces(4),
+            Box::new(
+                UniformGen::new(RANGE, OPS)
+                    .with_write_fraction(0.2)
+                    .with_cores(4),
+            ),
         ),
         (
             "stride",
-            (0..4).map(|i| StrideGen::new(base(i), RANGE, OPS).trace()).collect(),
+            Box::new(
+                (0..4)
+                    .map(|i| StrideGen::new(base(i), RANGE, OPS))
+                    .fold(MultiCore::new(), MultiCore::core),
+            ),
         ),
         (
             "pointer-chase",
-            (0..4)
-                .map(|i| PointerChaseGen::new(base(i), RANGE, OPS).with_seed(i).trace())
-                .collect(),
+            Box::new(
+                (0..4)
+                    .map(|i| PointerChaseGen::new(base(i), RANGE, OPS).with_seed(i))
+                    .fold(MultiCore::new(), MultiCore::core),
+            ),
         ),
         (
             "hot-cold",
-            (0..4)
-                .map(|i| HotColdGen::new(base(i), RANGE, OPS).with_seed(i).trace())
-                .collect(),
+            Box::new(
+                (0..4)
+                    .map(|i| HotColdGen::new(base(i), RANGE, OPS).with_seed(i))
+                    .fold(MultiCore::new(), MultiCore::core),
+            ),
         ),
     ];
 
     println!("4 cores sharing SS/NSS(16,8) — same addresses in both modes:\n");
-    for (name, traces) in patterns {
-        run(name, SharingMode::SetSequencer, traces.clone())?;
-        run(name, SharingMode::BestEffort, traces)?;
+    for (name, workload) in &patterns {
+        report_line(name, SharingMode::SetSequencer, &ss, workload.as_ref())?;
+        report_line(name, SharingMode::BestEffort, &nss, workload.as_ref())?;
         println!();
     }
     println!(

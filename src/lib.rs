@@ -17,14 +17,19 @@
 //!   PRB/PWB buffers.
 //! * [`sim`] ([`predllc_core`]) — partitions, the set sequencer, the LLC
 //!   controller, the simulator and the WCL analysis.
-//! * [`workload`] ([`predllc_workload`]) — deterministic synthetic trace
-//!   generators.
+//! * [`workload`] ([`predllc_workload`]) — the streaming [`Workload`]
+//!   trait and deterministic synthetic generators.
 //!
 //! # Quickstart
 //!
+//! Workloads are **streams**: the engine pulls per-core operations on
+//! demand through the [`Workload`] trait, so memory use is independent
+//! of trace length. [`Simulator::run`] borrows the simulator, so one
+//! validated configuration serves any number of runs.
+//!
 //! ```
 //! use predllc::analysis::WclParams;
-//! use predllc::{SharingMode, Simulator, SystemConfig};
+//! use predllc::{SharingMode, Simulator, SystemConfig, Workload};
 //! use predllc::workload_gen::UniformGen;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,14 +40,30 @@
 //! // The analytical WCL bound for any request (Theorem 4.8).
 //! let bound = WclParams::from_config(&config)?.wcl_set_sequencer();
 //!
-//! // Simulate the paper's uniform-random workload and compare.
-//! let traces = UniformGen::new(8192, 500).traces(4);
-//! let report = Simulator::new(config)?.run(traces)?;
+//! // Simulate the paper's uniform-random workload, streamed — no trace
+//! // is ever materialized — and compare.
+//! let workload = UniformGen::new(8192, 500).with_cores(4);
+//! let sim = Simulator::new(config)?;
+//! let report = sim.run(&workload)?;
 //! assert!(report.max_request_latency() <= bound);
+//!
+//! // The simulator is reusable: replay the same workload, or stream a
+//! // different one, without rebuilding anything.
+//! let replay = sim.run(&workload)?;
+//! assert_eq!(replay.stats, report.stats);
+//!
+//! // Materialized traces remain first-class (`Vec<Vec<MemOp>>` and
+//! // `TraceSet` implement `Workload`), and are byte-identical to their
+//! // streamed twins by construction.
+//! let twin = sim.run(workload.materialize())?;
+//! assert_eq!(twin.stats, report.stats);
 //! println!("observed {} <= bound {}", report.max_request_latency(), bound);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Migrating from the consuming `Simulator::run(self, Vec<Vec<MemOp>>)`
+//! API? See `MIGRATION.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,11 +79,12 @@ pub use predllc_cache::ReplacementKind;
 pub use predllc_core::analysis;
 pub use predllc_core::{
     ConfigError, Event, EventKind, EventLog, PartitionMap, PartitionSpec, RunReport, SharingMode,
-    Simulator, SystemConfig, SystemConfigBuilder,
+    SimError, Simulator, SystemConfig, SystemConfigBuilder,
 };
 pub use predllc_model::{
     AccessKind, Address, CacheGeometry, CoreId, Cycles, LineAddr, MemOp, SlotWidth,
 };
+pub use predllc_workload::{MultiCore, OpStream, TraceSet, Workload};
 
 /// Re-export of the workload generators module for ergonomic paths in
 /// examples (`predllc::workload_gen::UniformGen`).

@@ -18,9 +18,9 @@ fn bound_of(cfg: &SystemConfig) -> u64 {
         .as_u64()
 }
 
-fn check(cfg: SystemConfig, traces: Vec<Vec<predllc::MemOp>>, context: &str) {
+fn check(cfg: SystemConfig, workload: impl predllc::Workload, context: &str) {
     let bound = bound_of(&cfg);
-    let report = Simulator::new(cfg).unwrap().run(traces).unwrap();
+    let report = Simulator::new(cfg).unwrap().run(workload).unwrap();
     assert!(!report.timed_out, "{context}: timed out");
     let observed = report.max_request_latency().as_u64();
     assert!(
@@ -54,11 +54,11 @@ fn fig7_one_set_configurations_respect_bounds() {
     ];
     for (name, cfg) in configs {
         for range in [1024u64, 8192, 262_144] {
-            let traces = UniformGen::new(range, 600)
+            let gen = UniformGen::new(range, 600)
                 .with_write_fraction(0.3)
                 .with_seed(range ^ 0xB0)
-                .traces(4);
-            check(cfg.clone(), traces, &format!("{name} @ {range}"));
+                .with_cores(4);
+            check(cfg.clone(), gen, &format!("{name} @ {range}"));
         }
     }
 }
@@ -131,14 +131,13 @@ fn ss_bound_is_size_independent_and_respected() {
     // Theorem 4.8's selling point: the same 5000-cycle bound covers tiny
     // and large partitions alike (n = N = 4, SW = 50).
     for (sets, ways) in [(1u32, 2u32), (1, 16), (8, 4), (32, 16)] {
-        let cfg =
-            SystemConfig::shared_partition(sets, ways, 4, SharingMode::SetSequencer).unwrap();
+        let cfg = SystemConfig::shared_partition(sets, ways, 4, SharingMode::SetSequencer).unwrap();
         assert_eq!(bound_of(&cfg), 5_000, "SS bound at {sets}x{ways}");
-        let traces = UniformGen::new(16_384, 500)
+        let gen = UniformGen::new(16_384, 500)
             .with_write_fraction(0.3)
             .with_seed(99)
-            .traces(4);
-        check(cfg, traces, &format!("SS {sets}x{ways}"));
+            .with_cores(4);
+        check(cfg, gen, &format!("SS {sets}x{ways}"));
     }
 }
 
@@ -181,11 +180,11 @@ fn sequencer_hardware_cost_is_bounded_by_sharers() {
     .unwrap();
     assert_eq!(params.sharers, 4);
     let cfg = SystemConfig::shared_partition(4, 4, 4, SharingMode::SetSequencer).unwrap();
-    let traces = UniformGen::new(65_536, 1_000)
+    let gen = UniformGen::new(65_536, 1_000)
         .with_write_fraction(0.3)
         .with_seed(5)
-        .traces(4);
-    let report = Simulator::new(cfg).unwrap().run(traces).unwrap();
+        .with_cores(4);
+    let report = Simulator::new(cfg).unwrap().run(&gen).unwrap();
     assert!(report.stats.max_sequencer_depth <= 4);
     assert!(report.stats.max_sequencer_sets <= 4);
 }

@@ -44,18 +44,19 @@ fn observation1_distance_nonincreasing_without_cua_writebacks() {
     let t1 = vec![];
     let t2 = vec![write(10), write(11)];
     let t3: Vec<MemOp> = (0..40).map(|i| write(20 + (i % 6))).collect();
-    let report = Simulator::new(cfg).unwrap().run(vec![t0, t1, t2, t3]).unwrap();
+    let report = Simulator::new(cfg)
+        .unwrap()
+        .run(vec![t0, t1, t2, t3])
+        .unwrap();
     assert_eq!(report.stats.core(c(0)).ops_completed, 1);
     // cua never transmitted a write-back.
     assert_eq!(report.stats.core(c(0)).writebacks_sent, 0);
 
     let events = &report.events;
-    let broadcast_slot = events
+    events
         .filter(|k| matches!(k, EventKind::RequestBroadcast { core, .. } if *core == c(0)))
         .next()
-        .map(|_| ())
         .expect("cua broadcasts");
-    let _ = broadcast_slot;
     let broadcast = events
         .events()
         .iter()
@@ -143,7 +144,10 @@ fn tracker_works_on_sequencer_logs() {
     let t1 = vec![];
     let t2 = vec![write(10), write(11)];
     let t3: Vec<MemOp> = (0..20).map(|i| write(20 + (i % 6))).collect();
-    let report = Simulator::new(cfg).unwrap().run(vec![t0, t1, t2, t3]).unwrap();
+    let report = Simulator::new(cfg)
+        .unwrap()
+        .run(vec![t0, t1, t2, t3])
+        .unwrap();
     let tracker = DistanceTracker::new(&schedule, &spec, 0, c(0));
     let samples = tracker.samples(&report.events);
     assert!(!samples.is_empty());

@@ -6,8 +6,8 @@
 
 use predllc::analysis::{classify_schedule, critical, WclBound, WclParams};
 use predllc::{
-    Address, CoreId, Cycles, EventKind, MemOp, PartitionSpec, SharingMode, Simulator,
-    SystemConfig, TdmSchedule,
+    Address, CoreId, Cycles, EventKind, MemOp, PartitionSpec, SharingMode, Simulator, SystemConfig,
+    TdmSchedule,
 };
 
 fn c(i: u16) -> CoreId {
@@ -70,8 +70,14 @@ fn fig2_unbounded_starvation_under_two_slot_interferer() {
         .events
         .filter(|k| matches!(k, EventKind::Fill { core, .. } if *core == c(1)))
         .count();
-    assert!(cua_evictions > 10, "cua re-triggers forever: {cua_evictions}");
-    assert!(intf_fills > 10, "the interferer keeps re-occupying: {intf_fills}");
+    assert!(
+        cua_evictions > 10,
+        "cua re-triggers forever: {cua_evictions}"
+    );
+    assert!(
+        intf_fills > 10,
+        "the interferer keeps re-occupying: {intf_fills}"
+    );
 }
 
 /// Fig. 2's fix: the identical workload under 1S-TDM completes within
@@ -161,7 +167,10 @@ fn fig3_interception_forces_retrigger_but_completes() {
         .iter()
         .filter(|e| matches!(e.kind, EventKind::Fill { core, .. } if core != c(0)))
         .count();
-    assert!(steals >= 1, "no interception happened — not the Fig. 3 scenario");
+    assert!(
+        steals >= 1,
+        "no interception happened — not the Fig. 3 scenario"
+    );
 }
 
 /// Fig. 3 under the set sequencer: the same contention pattern cannot
