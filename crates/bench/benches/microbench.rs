@@ -20,11 +20,12 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use predllc_bench::harness::{nss, p, ss};
-use predllc_cache::{Dram, ReplacementKind, SetAssocCache};
+use predllc_cache::{ReplacementKind, SetAssocCache};
 use predllc_core::analysis::WclParams;
 use predllc_core::llc::SharedLlc;
 use predllc_core::{PartitionMap, PartitionSpec, SetSequencer, SharingMode, Simulator};
-use predllc_model::{CacheGeometry, CoreId, LineAddr, SetIdx, SlotWidth};
+use predllc_dram::FixedLatency;
+use predllc_model::{CacheGeometry, CoreId, Cycles, LineAddr, SetIdx, SlotWidth};
 use predllc_workload::gen::UniformGen;
 use predllc_workload::Workload;
 
@@ -115,14 +116,25 @@ fn bench_llc(scale: u32) {
             CacheGeometry::PAPER_L3,
         )
         .expect("valid");
-        SharedLlc::new(map, 64, ReplacementKind::Lru, Dram::default())
+        SharedLlc::new(
+            map,
+            64,
+            ReplacementKind::Lru,
+            Box::new(FixedLatency::default()),
+        )
     };
     let mut llc = build();
-    llc.service(CoreId::new(0), LineAddr::new(1), &mut |_, _| false);
+    llc.service(
+        CoreId::new(0),
+        LineAddr::new(1),
+        Cycles::ZERO,
+        &mut |_, _| false,
+    );
     bench("service_hit_path", 16, 20_000 * scale, || {
         llc.service(
             black_box(CoreId::new(1)),
             black_box(LineAddr::new(1)),
+            Cycles::ZERO,
             &mut |_, _| false,
         )
     });
@@ -133,10 +145,11 @@ fn bench_llc(scale: u32) {
             llc.service(
                 CoreId::new((i % 4) as u16),
                 LineAddr::new(i),
+                Cycles::ZERO,
                 &mut |_, _| false,
             );
         }
-        llc.dram_stats().reads
+        llc.memory_stats().reads
     });
 }
 

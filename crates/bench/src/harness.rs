@@ -1,6 +1,6 @@
 //! Shared experiment plumbing for the figure-regeneration binaries.
 
-use predllc_core::analysis::WclParams;
+use predllc_core::analysis::MemoryAwareWcl;
 use predllc_core::{RunReport, SharingMode, Simulator, SystemConfig};
 use predllc_workload::gen::UniformGen;
 use predllc_workload::Workload;
@@ -48,6 +48,9 @@ pub struct Measurement {
     pub label: String,
     /// Workload label (e.g. `uniform/8192B`).
     pub workload: String,
+    /// Memory-backend label of the configuration (e.g. `fixed(30)` or
+    /// `banked(1x8,interleaved)`).
+    pub backend: String,
     /// Numeric x-axis value of the workload (per-core address range in
     /// bytes for the paper's sweeps; 0 when not applicable).
     pub range: u64,
@@ -58,6 +61,9 @@ pub struct Measurement {
     /// Analytical WCL for the configuration, cycles (None if the
     /// analysis does not apply).
     pub analytical_wcl: Option<u64>,
+    /// DRAM row-buffer hit rate of the run (0 under the fixed-latency
+    /// backend, which has no banks).
+    pub row_hit_rate: f64,
 }
 
 /// The paper's uniform-random workload at one address range, sized for a
@@ -96,14 +102,17 @@ pub fn measure(
 ) -> Measurement {
     let gen = uniform_workload(range, ops, seed, write_fraction, config.num_cores());
     let analytical = analytical_wcl(&config);
+    let backend = config.memory().label();
     let report = run(config, &gen);
     Measurement {
         label: label.to_string(),
         workload: format!("uniform/{range}B"),
+        backend,
         range,
         observed_wcl: report.max_request_latency().as_u64(),
         execution_time: report.execution_time().as_u64(),
         analytical_wcl: analytical,
+        row_hit_rate: report.stats.dram_row_hit_rate(),
     }
 }
 
@@ -121,19 +130,11 @@ pub fn run(config: SystemConfig, workload: impl Workload) -> RunReport {
 }
 
 /// The analytical WCL applicable to a configuration (per its sharing
-/// mode), in cycles.
+/// mode), in cycles — guarded by the memory backend's slot-budget
+/// invariant, so a published bound is sound by construction.
 pub fn analytical_wcl(config: &SystemConfig) -> Option<u64> {
-    let params = WclParams::from_config(config).ok()?;
-    let spec = config.partitions().spec_of(predllc_model::CoreId::new(0));
-    let cycles = if spec.is_private() {
-        params.wcl_private()
-    } else {
-        match spec.mode {
-            SharingMode::SetSequencer => params.wcl_set_sequencer(),
-            SharingMode::BestEffort => params.wcl_one_slot_tdm_checked()?,
-        }
-    };
-    Some(cycles.as_u64())
+    let bound = MemoryAwareWcl::from_config(config).ok()?.bound()?;
+    Some(bound.as_u64())
 }
 
 /// Which metric a table shows.
@@ -185,7 +186,9 @@ pub fn render_table(title: &str, rows: &[Measurement], metric: Metric) -> String
     out
 }
 
-/// Renders measurements as CSV.
+/// Renders measurements as CSV (the seed's column set, byte-identical
+/// for existing figure binaries; see [`render_csv_with_backend`] for the
+/// backend-labelled variant).
 pub fn render_csv(rows: &[Measurement]) -> String {
     let mut out =
         String::from("label,workload,range_bytes,observed_wcl,execution_time,analytical_wcl\n");
@@ -198,6 +201,29 @@ pub fn render_csv(rows: &[Measurement]) -> String {
             r.observed_wcl,
             r.execution_time,
             r.analytical_wcl.map_or(String::new(), |v| v.to_string()),
+        ));
+    }
+    out
+}
+
+/// Renders measurements as CSV with the memory-backend label column —
+/// the format of backend-comparison sweeps like `dram_sensitivity`.
+pub fn render_csv_with_backend(rows: &[Measurement]) -> String {
+    let mut out = String::from(
+        "label,workload,backend,range_bytes,observed_wcl,execution_time,analytical_wcl,\
+         row_hit_rate\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{:.3}\n",
+            r.label,
+            r.workload,
+            r.backend,
+            r.range,
+            r.observed_wcl,
+            r.execution_time,
+            r.analytical_wcl.map_or(String::new(), |v| v.to_string()),
+            r.row_hit_rate,
         ));
     }
     out
@@ -236,24 +262,41 @@ mod tests {
             Measurement {
                 label: "A".into(),
                 workload: "uniform/1024B".into(),
+                backend: "fixed(30)".into(),
                 range: 1024,
                 observed_wcl: 10,
                 execution_time: 99,
                 analytical_wcl: Some(100),
+                row_hit_rate: 0.0,
             },
             Measurement {
                 label: "B".into(),
                 workload: "uniform/1024B".into(),
+                backend: "banked(1x8,interleaved)".into(),
                 range: 1024,
                 observed_wcl: 20,
                 execution_time: 88,
                 analytical_wcl: None,
+                row_hit_rate: 0.75,
             },
         ];
         let t = render_table("T", &rows, Metric::ObservedWcl);
         assert!(t.contains("1024") && t.contains("10") && t.contains("20"));
+        // The seed CSV format is unchanged (no backend column)...
         let c = render_csv(&rows);
         assert!(c.lines().count() == 3);
         assert!(c.contains("A,uniform/1024B,1024,10,99,100"));
+        assert!(!c.contains("fixed(30)"));
+        // ...while the backend-labelled variant inserts the column.
+        let cb = render_csv_with_backend(&rows);
+        assert!(cb.starts_with("label,workload,backend,"));
+        assert!(cb.contains("A,uniform/1024B,fixed(30),1024,10,99,100,0.000"));
+        assert!(cb.contains("B,uniform/1024B,banked(1x8,interleaved),1024,20,88,,0.750"));
+    }
+
+    #[test]
+    fn measurements_carry_the_backend_label() {
+        let m = measure("P(1,2)", p(1, 2, 2), 1024, 10, 1, 0.0);
+        assert_eq!(m.backend, "fixed(30)");
     }
 }

@@ -136,6 +136,7 @@ impl Sweep {
     /// simulator instance.
     fn run_config(&self, label: &str, config: &SystemConfig) -> Result<Vec<Measurement>, SimError> {
         let analytical = analytical_wcl(config);
+        let backend = config.memory().label();
         let sim = Simulator::new(config.clone()).expect("validated configuration");
         self.workloads
             .iter()
@@ -144,10 +145,12 @@ impl Sweep {
                 Ok(Measurement {
                     label: label.to_string(),
                     workload: w.label.clone(),
+                    backend: backend.clone(),
                     range: w.x,
                     observed_wcl: report.max_request_latency().as_u64(),
                     execution_time: report.execution_time().as_u64(),
                     analytical_wcl: analytical,
+                    row_hit_rate: report.stats.dram_row_hit_rate(),
                 })
             })
             .collect()

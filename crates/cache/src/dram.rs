@@ -1,107 +1,39 @@
-//! The DRAM backing-store model.
+//! Deprecated home of the DRAM backing-store model.
 //!
-//! The paper's system model lets the LLC "interface with a DRAM directly"
-//! and requires a miss fill to complete *within the requester's slot*
-//! (§3), i.e. the TDM slot width is provisioned to cover a worst-case DRAM
-//! access. The DRAM model is therefore purely an accounting device: it
-//! charges a fixed latency (checked against the slot budget by the
-//! simulator configuration) and counts traffic.
+//! The memory system now lives in the `predllc-dram` crate behind the
+//! [`MemoryBackend`](predllc_dram::MemoryBackend) trait; the seed's
+//! fixed-latency model became [`predllc_dram::FixedLatency`]. This
+//! module re-exports it under the old names so seed-era code keeps
+//! compiling — see `MIGRATION.md` at the repository root.
 
-use predllc_model::{Cycles, LineAddr};
+/// Traffic counters for the fixed-latency DRAM model (re-export of
+/// [`predllc_dram::DramStats`]).
+pub use predllc_dram::DramStats;
 
-/// A fixed-latency DRAM with access counters.
-///
-/// # Examples
-///
-/// ```
-/// use predllc_cache::Dram;
-/// use predllc_model::{Cycles, LineAddr};
-///
-/// let mut dram = Dram::new(Cycles::new(30));
-/// dram.fetch(LineAddr::new(4));
-/// dram.write_back(LineAddr::new(4));
-/// assert_eq!(dram.stats().reads, 1);
-/// assert_eq!(dram.stats().writes, 1);
-/// ```
-#[derive(Debug, Clone)]
-pub struct Dram {
-    latency: Cycles,
-    stats: DramStats,
-}
-
-/// Traffic counters for the DRAM model.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct DramStats {
-    /// Number of line fetches (LLC miss fills).
-    pub reads: u64,
-    /// Number of line write-backs (dirty LLC evictions).
-    pub writes: u64,
-}
-
-impl Dram {
-    /// The paper-calibrated default access latency: 30 cycles, comfortably
-    /// inside the 50-cycle slot together with the LLC tag lookup.
-    pub const DEFAULT_LATENCY: Cycles = Cycles::new(30);
-
-    /// Creates a DRAM with the given fixed access latency.
-    pub fn new(latency: Cycles) -> Self {
-        Dram {
-            latency,
-            stats: DramStats::default(),
-        }
-    }
-
-    /// The fixed access latency.
-    pub fn latency(&self) -> Cycles {
-        self.latency
-    }
-
-    /// Fetches a line (an LLC miss fill), returning the access latency.
-    pub fn fetch(&mut self, _line: LineAddr) -> Cycles {
-        self.stats.reads += 1;
-        self.latency
-    }
-
-    /// Writes back a dirty line evicted from the LLC, returning the access
-    /// latency.
-    pub fn write_back(&mut self, _line: LineAddr) -> Cycles {
-        self.stats.writes += 1;
-        self.latency
-    }
-
-    /// Traffic counters so far.
-    pub fn stats(&self) -> DramStats {
-        self.stats
-    }
-
-    /// Resets the traffic counters.
-    pub fn reset_stats(&mut self) {
-        self.stats = DramStats::default();
-    }
-}
-
-impl Default for Dram {
-    fn default() -> Self {
-        Dram::new(Dram::DEFAULT_LATENCY)
-    }
-}
+/// The seed's fixed-latency DRAM, now [`predllc_dram::FixedLatency`].
+#[deprecated(
+    since = "0.3.0",
+    note = "use predllc_dram::FixedLatency (or another predllc_dram::MemoryBackend)"
+)]
+pub type Dram = predllc_dram::FixedLatency;
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use predllc_model::{Cycles, LineAddr};
 
     #[test]
-    fn counts_traffic() {
+    fn deprecated_alias_preserves_the_seed_api() {
         let mut d = Dram::default();
+        assert_eq!(Dram::DEFAULT_LATENCY, Cycles::new(30));
         assert_eq!(d.latency(), Cycles::new(30));
-        for i in 0..3 {
-            assert_eq!(d.fetch(LineAddr::new(i)), Cycles::new(30));
-        }
-        d.write_back(LineAddr::new(0));
+        assert_eq!(d.fetch(LineAddr::new(4)), Cycles::new(30));
+        d.write_back(LineAddr::new(4));
         assert_eq!(
             d.stats(),
             DramStats {
-                reads: 3,
+                reads: 1,
                 writes: 1
             }
         );

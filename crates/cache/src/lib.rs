@@ -1,6 +1,7 @@
 //! Cache substrate for the `predllc` simulator: set-associative cache
-//! structures, replacement policies, the private per-core L1/L2 hierarchy,
-//! and the DRAM backing-store model.
+//! structures, replacement policies, and the private per-core L1/L2
+//! hierarchy. (The DRAM model moved to the `predllc-dram` crate; a
+//! deprecated [`Dram`] alias remains here.)
 //!
 //! The shared last-level cache itself lives in `predllc-core` because its
 //! behaviour (partitioning, eviction state machine, set sequencer) *is* the
@@ -36,6 +37,7 @@ pub mod private;
 pub mod replacement;
 pub mod set_assoc;
 
+#[allow(deprecated)]
 pub use dram::Dram;
 pub use private::{BackInvalOutcome, PrivateHierarchy, PrivateLookup, RefillEffect};
 pub use replacement::{ReplacementKind, ReplacementPolicy};

@@ -1,0 +1,234 @@
+//! Memory-aware extension of the WCL analysis: the slot-budget
+//! invariant and worst-case bounds that fold in the configured memory
+//! backend.
+//!
+//! The theorems of §4 count *slots*; their premise is the system-model
+//! requirement that any LLC response — including a miss fill's DRAM
+//! access — completes within the requester's slot. With pluggable
+//! memory backends that premise becomes a checkable quantity: the
+//! backend's analytical worst-case access latency must fit in the slot
+//! width. [`SlotBudget`] makes the check explicit and [`MemoryAwareWcl`]
+//! returns the paper's bounds only when it holds, so a WCL number can
+//! never silently rest on an invalid slot provisioning.
+
+use predllc_model::{Cycles, SlotWidth};
+
+use crate::analysis::WclParams;
+use crate::config::SystemConfig;
+use crate::error::ConfigError;
+use crate::partition::SharingMode;
+
+/// The slot-budget invariant: worst-case memory access vs. slot width.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_core::analysis::SlotBudget;
+/// use predllc_core::{SharingMode, SystemConfig};
+///
+/// # fn main() -> Result<(), predllc_core::ConfigError> {
+/// let cfg = SystemConfig::shared_partition(1, 16, 4, SharingMode::SetSequencer)?;
+/// let budget = SlotBudget::from_config(&cfg);
+/// assert!(budget.is_valid());
+/// assert_eq!(budget.slack().as_u64(), 20); // 50-cycle slot, 30-cycle worst case
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotBudget {
+    /// The TDM slot width.
+    pub slot_width: SlotWidth,
+    /// The memory backend's analytical worst-case access latency.
+    pub memory_worst_case: Cycles,
+}
+
+impl SlotBudget {
+    /// Extracts the budget from a configuration.
+    pub fn from_config(config: &SystemConfig) -> Self {
+        SlotBudget {
+            slot_width: config.slot_width(),
+            memory_worst_case: config.memory().worst_case_latency(),
+        }
+    }
+
+    /// Whether the invariant holds: the worst-case access is strictly
+    /// inside the slot (leaving at least one cycle for the tag lookup).
+    /// Every configuration built through [`crate::SystemConfigBuilder`]
+    /// satisfies this by construction.
+    pub fn is_valid(&self) -> bool {
+        self.memory_worst_case < self.slot_width.cycles()
+    }
+
+    /// Cycles left in a slot after a worst-case memory access (zero when
+    /// the invariant is violated).
+    pub fn slack(&self) -> Cycles {
+        self.slot_width
+            .cycles()
+            .saturating_sub(self.memory_worst_case)
+    }
+}
+
+/// The paper's WCL bounds, guarded by the slot-budget invariant of the
+/// configured memory backend.
+///
+/// Each bound returns `None` when the invariant does not hold — the
+/// slot-count theorems are unsound for such a platform, so no number is
+/// better than a wrong one.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_core::analysis::MemoryAwareWcl;
+/// use predllc_core::{SharingMode, SystemConfig};
+///
+/// # fn main() -> Result<(), predllc_core::ConfigError> {
+/// let cfg = SystemConfig::shared_partition(1, 16, 4, SharingMode::SetSequencer)?;
+/// let wcl = MemoryAwareWcl::from_config(&cfg)?;
+/// assert_eq!(wcl.bound().unwrap().as_u64(), 5_000); // Theorem 4.8
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryAwareWcl {
+    budget: SlotBudget,
+    params: WclParams,
+    mode: Option<SharingMode>,
+}
+
+impl MemoryAwareWcl {
+    /// Extracts the analysis inputs for core 0 (all paper configurations
+    /// are symmetric).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WclParams::from_config`] failures.
+    pub fn from_config(config: &SystemConfig) -> Result<Self, ConfigError> {
+        let spec = config.partitions().spec_of(predllc_model::CoreId::new(0));
+        let mode = if spec.is_private() {
+            None
+        } else {
+            Some(spec.mode)
+        };
+        Ok(MemoryAwareWcl {
+            budget: SlotBudget::from_config(config),
+            params: WclParams::from_config(config)?,
+            mode,
+        })
+    }
+
+    /// The slot budget the bounds are conditioned on.
+    pub fn budget(&self) -> SlotBudget {
+        self.budget
+    }
+
+    /// Theorem 4.8 (set sequencer), or `None` if the slot budget is
+    /// invalid.
+    pub fn wcl_set_sequencer(&self) -> Option<Cycles> {
+        self.budget
+            .is_valid()
+            .then(|| self.params.wcl_set_sequencer())
+    }
+
+    /// Theorem 4.7 (1S-TDM sharing without the sequencer), or `None` if
+    /// the slot budget is invalid or the formula overflows.
+    pub fn wcl_one_slot_tdm(&self) -> Option<Cycles> {
+        if !self.budget.is_valid() {
+            return None;
+        }
+        self.params.wcl_one_slot_tdm_checked()
+    }
+
+    /// The private-partition bound `(2N+1)·SW`, or `None` if the slot
+    /// budget is invalid.
+    pub fn wcl_private(&self) -> Option<Cycles> {
+        self.budget.is_valid().then(|| self.params.wcl_private())
+    }
+
+    /// The bound applicable to the analyzed core's partition (private,
+    /// sequenced, or best-effort), or `None` if the slot budget is
+    /// invalid or the applicable formula overflows.
+    pub fn bound(&self) -> Option<Cycles> {
+        match self.mode {
+            None => self.wcl_private(),
+            Some(SharingMode::SetSequencer) => self.wcl_set_sequencer(),
+            Some(SharingMode::BestEffort) => self.wcl_one_slot_tdm(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predllc_dram::MemoryConfig;
+    use predllc_model::CoreId;
+
+    use crate::partition::PartitionSpec;
+    use crate::SystemConfig;
+
+    fn private4(memory: MemoryConfig) -> SystemConfig {
+        SystemConfig::builder(4)
+            .partitions(
+                CoreId::first(4)
+                    .map(|c| PartitionSpec::private(1, 2, c))
+                    .collect(),
+            )
+            .memory(memory)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn budget_reflects_backend_worst_case() {
+        let fixed = private4(MemoryConfig::fixed(Cycles::new(42)));
+        let b = SlotBudget::from_config(&fixed);
+        assert_eq!(b.memory_worst_case, Cycles::new(42));
+        assert_eq!(b.slack(), Cycles::new(8));
+        assert!(b.is_valid());
+
+        // Banked paper timing: same 30-cycle worst case as the default.
+        let banked = private4(MemoryConfig::banked());
+        assert_eq!(
+            SlotBudget::from_config(&banked).memory_worst_case,
+            Cycles::new(30)
+        );
+    }
+
+    #[test]
+    fn invalid_budget_voids_every_bound() {
+        // A hand-built budget (the builder would reject this platform).
+        let b = SlotBudget {
+            slot_width: SlotWidth::PAPER,
+            memory_worst_case: Cycles::new(50),
+        };
+        assert!(!b.is_valid());
+        assert_eq!(b.slack(), Cycles::ZERO);
+        let cfg = private4(MemoryConfig::banked());
+        let mut wcl = MemoryAwareWcl::from_config(&cfg).unwrap();
+        assert!(wcl.bound().is_some());
+        wcl.budget = b;
+        assert_eq!(wcl.wcl_private(), None);
+        assert_eq!(wcl.wcl_set_sequencer(), None);
+        assert_eq!(wcl.wcl_one_slot_tdm(), None);
+        assert_eq!(wcl.bound(), None);
+    }
+
+    #[test]
+    fn bound_picks_the_applicable_theorem() {
+        use crate::partition::SharingMode;
+        let ss = SystemConfig::shared_partition(1, 16, 4, SharingMode::SetSequencer).unwrap();
+        assert_eq!(
+            MemoryAwareWcl::from_config(&ss).unwrap().bound().unwrap(),
+            Cycles::new(5_000)
+        );
+        let nss = SystemConfig::shared_partition(1, 16, 4, SharingMode::BestEffort).unwrap();
+        assert_eq!(
+            MemoryAwareWcl::from_config(&nss).unwrap().bound().unwrap(),
+            Cycles::new(979_250)
+        );
+        let p = SystemConfig::private_partitions(1, 2, 4).unwrap();
+        assert_eq!(
+            MemoryAwareWcl::from_config(&p).unwrap().bound().unwrap(),
+            Cycles::new(450)
+        );
+    }
+}

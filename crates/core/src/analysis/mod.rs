@@ -17,14 +17,20 @@
 //!   slots of the core under analysis are provably unbounded (§4.1).
 //! * [`critical`] builds the adversarial traces used to drive the
 //!   simulator toward the analytical bounds.
+//! * [`memory`] folds the configured memory backend's analytical
+//!   worst-case access latency into the analysis: [`SlotBudget`] checks
+//!   the slot-width validity premise and [`MemoryAwareWcl`] guards every
+//!   WCL bound on it.
 
 pub mod bounds;
 pub mod critical;
 pub mod distance;
+pub mod memory;
 pub mod taskset;
 mod wcl;
 
 pub use bounds::{classify_schedule, WclBound};
 pub use distance::{DistanceSample, DistanceTracker};
+pub use memory::{MemoryAwareWcl, SlotBudget};
 pub use taskset::{RtaResult, TaskParams, TaskSetAnalysis};
 pub use wcl::WclParams;

@@ -2,7 +2,7 @@
 //! analysis.
 //!
 //! The paper's closing vision is that designers "judiciously share
-//! partitions with a subset of cores, and isolate others … depend[ing]
+//! partitions with a subset of cores, and isolate others … depend\[ing\]
 //! on their performance and real-time requirements". This module makes
 //! that trade executable: every LLC request of a task costs at most the
 //! partition's WCL bound, so a task's memory-aware worst-case execution

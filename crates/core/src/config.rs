@@ -2,6 +2,7 @@
 
 use predllc_bus::{ArbiterPolicy, TdmSchedule};
 use predllc_cache::ReplacementKind;
+use predllc_dram::MemoryConfig;
 use predllc_model::{CacheGeometry, CoreId, Cycles, SlotWidth};
 
 use crate::error::ConfigError;
@@ -42,7 +43,7 @@ pub struct SystemConfig {
     llc_replacement: ReplacementKind,
     private_replacement: ReplacementKind,
     arbiter: ArbiterPolicy,
-    dram_latency: Cycles,
+    memory: MemoryConfig,
     max_cycles: Option<u64>,
     record_events: bool,
     precise_sharers: bool,
@@ -51,7 +52,7 @@ pub struct SystemConfig {
 impl SystemConfig {
     /// Starts building a configuration with the paper's platform
     /// defaults: 50-cycle slots, 1S-TDM, L2 = 16×4, LLC replacement LRU,
-    /// write-back-first arbitration, 30-cycle DRAM.
+    /// write-back-first arbitration, fixed 30-cycle DRAM.
     pub fn builder(num_cores: u16) -> SystemConfigBuilder {
         SystemConfigBuilder::new(num_cores)
     }
@@ -155,9 +156,18 @@ impl SystemConfig {
         self.arbiter
     }
 
-    /// DRAM access latency (must fit in a slot).
+    /// The memory-backend selection behind the LLC. A fresh backend is
+    /// built from this value for every [`crate::Simulator::run`].
+    pub fn memory(&self) -> &MemoryConfig {
+        &self.memory
+    }
+
+    /// The backend's worst-case access latency (guaranteed to fit in a
+    /// slot by validation). For the default fixed-latency backend this
+    /// is the configured DRAM latency, preserving the seed-era meaning
+    /// of this accessor.
     pub fn dram_latency(&self) -> Cycles {
-        self.dram_latency
+        self.memory.worst_case_latency()
     }
 
     /// Optional simulation cycle cap (for potentially unbounded runs,
@@ -197,7 +207,7 @@ pub struct SystemConfigBuilder {
     llc_replacement: ReplacementKind,
     private_replacement: ReplacementKind,
     arbiter: ArbiterPolicy,
-    dram_latency: Cycles,
+    memory: MemoryConfig,
     max_cycles: Option<u64>,
     record_events: bool,
     precise_sharers: bool,
@@ -220,7 +230,7 @@ impl SystemConfigBuilder {
             llc_replacement: ReplacementKind::Lru,
             private_replacement: ReplacementKind::Lru,
             arbiter: ArbiterPolicy::WritebackFirst,
-            dram_latency: Cycles::new(30),
+            memory: MemoryConfig::default(),
             max_cycles: None,
             record_events: false,
             precise_sharers: true,
@@ -299,9 +309,18 @@ impl SystemConfigBuilder {
         self
     }
 
-    /// Overrides the DRAM latency (must fit inside a slot).
-    pub fn dram_latency(mut self, c: Cycles) -> Self {
-        self.dram_latency = c;
+    /// Selects the fixed-latency memory backend with the given access
+    /// latency (must fit inside a slot). Shorthand for
+    /// `memory(MemoryConfig::fixed(c))`.
+    pub fn dram_latency(self, c: Cycles) -> Self {
+        self.memory(MemoryConfig::fixed(c))
+    }
+
+    /// Selects the memory backend (default: the seed's fixed 30-cycle
+    /// DRAM). The backend's analytical worst-case access latency must
+    /// fit inside a slot — `build` rejects the configuration otherwise.
+    pub fn memory(mut self, m: MemoryConfig) -> Self {
+        self.memory = m;
         self
     }
 
@@ -328,7 +347,10 @@ impl SystemConfigBuilder {
     /// # Errors
     ///
     /// Any [`ConfigError`] from partition-map validation, schedule/core
-    /// mismatch, or a DRAM latency that does not fit in the slot.
+    /// mismatch, an invalid memory backend, or a backend whose
+    /// worst-case access latency does not fit in the slot
+    /// ([`ConfigError::DramExceedsSlot`] for the fixed-latency backend,
+    /// [`ConfigError::BackendExceedsSlot`] for every other).
     pub fn build(self) -> Result<SystemConfig, ConfigError> {
         if self.num_cores == 0 {
             return Err(ConfigError::NoCores);
@@ -345,10 +367,22 @@ impl SystemConfigBuilder {
         }
         let partitions = self.partitions.unwrap_or_default();
         let partitions = PartitionMap::new(partitions, self.num_cores, self.physical_llc)?;
-        if self.dram_latency >= self.slot_width.cycles() {
-            return Err(ConfigError::DramExceedsSlot {
-                dram_latency: self.dram_latency.as_u64(),
-                slot_width: self.slot_width.as_u64(),
+        self.memory.validate(self.num_cores)?;
+        let worst_case = self.memory.worst_case_latency();
+        if worst_case >= self.slot_width.cycles() {
+            // The slot-budget invariant (§3): every memory access — at
+            // its analytical worst — completes within the requester's
+            // slot. The fixed backend keeps its seed-era error shape.
+            return Err(match self.memory {
+                MemoryConfig::FixedLatency { .. } => ConfigError::DramExceedsSlot {
+                    dram_latency: worst_case.as_u64(),
+                    slot_width: self.slot_width.as_u64(),
+                },
+                _ => ConfigError::BackendExceedsSlot {
+                    backend: self.memory.label(),
+                    worst_case: worst_case.as_u64(),
+                    slot_width: self.slot_width.as_u64(),
+                },
             });
         }
         Ok(SystemConfig {
@@ -364,7 +398,7 @@ impl SystemConfigBuilder {
             llc_replacement: self.llc_replacement,
             private_replacement: self.private_replacement,
             arbiter: self.arbiter,
-            dram_latency: self.dram_latency,
+            memory: self.memory,
             max_cycles: self.max_cycles,
             record_events: self.record_events,
             precise_sharers: self.precise_sharers,
@@ -427,6 +461,56 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, ConfigError::DramExceedsSlot { .. }));
+    }
+
+    #[test]
+    fn rejects_banked_backend_exceeding_the_slot() {
+        // Paper timing has a 30-cycle worst case: a 30-cycle slot is too
+        // narrow, and the error names the backend.
+        let err = SystemConfigBuilder::new(1)
+            .partitions(vec![PartitionSpec::private(1, 1, CoreId::new(0))])
+            .slot_width(SlotWidth::new(30).unwrap())
+            .memory(MemoryConfig::banked())
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::BackendExceedsSlot {
+                backend: "banked(1x8,interleaved)".into(),
+                worst_case: 30,
+                slot_width: 30,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_bank_private_slicing() {
+        let err = SystemConfigBuilder::new(3)
+            .partitions(
+                CoreId::first(3)
+                    .map(|c| PartitionSpec::private(1, 1, c))
+                    .collect(),
+            )
+            .memory(MemoryConfig::bank_private())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Memory(_)));
+    }
+
+    #[test]
+    fn memory_selection_sticks_and_reports_worst_case() {
+        let cfg = SystemConfigBuilder::new(4)
+            .partitions(
+                CoreId::first(4)
+                    .map(|c| PartitionSpec::private(1, 2, c))
+                    .collect(),
+            )
+            .memory(MemoryConfig::bank_private())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.memory(), &MemoryConfig::bank_private());
+        // Paper-calibrated banked timing matches the seed's fixed charge.
+        assert_eq!(cfg.dram_latency(), Cycles::new(30));
     }
 
     #[test]

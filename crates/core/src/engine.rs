@@ -141,11 +141,15 @@ impl Simulator {
                 )
             })
             .collect();
+        let memory = cfg
+            .memory()
+            .build(n)
+            .expect("memory backend was validated when the config was built");
         let mut llc = SharedLlc::new(
             cfg.partitions().clone(),
             cfg.l2().line_size(),
             cfg.llc_replacement(),
-            predllc_cache::Dram::new(cfg.dram_latency()),
+            memory,
         );
         let mut stats = SimStats::new(n);
         let mut events = EventLog::new(cfg.record_events());
@@ -232,7 +236,10 @@ impl Simulator {
                             kind: wb.kind,
                         },
                     );
-                    let wr = llc.writeback(owner, wb.line, wb.dirty, wb.kind);
+                    let wr = llc.writeback(owner, wb.line, wb.dirty, wb.kind, now);
+                    if let Some(traffic) = wr.mem_traffic {
+                        push_mem_event(&mut events, now, slot, owner, &traffic);
+                    }
                     if let Some(freed) = wr.freed {
                         stats.lines_freed += 1;
                         events.push(
@@ -274,8 +281,11 @@ impl Simulator {
                                 .back_invalidate(victim)
                                 .dirty
                         };
-                        llc.service(owner, line, &mut evict)
+                        llc.service(owner, line, now, &mut evict)
                     };
+                    for traffic in res.mem_traffic.iter().flatten() {
+                        push_mem_event(&mut events, now, slot, owner, traffic);
+                    }
                     for &(target, vline) in &res.invalidations {
                         stats.core_mut(target).back_invalidations += 1;
                         events.push(
@@ -396,9 +406,13 @@ impl Simulator {
         }
 
         // Fold substrate counters into the report.
-        let dram = llc.dram_stats();
-        stats.dram_reads = dram.reads;
-        stats.dram_writes = dram.writes;
+        stats.absorb_memory(llc.memory_stats());
+        debug_assert!(
+            stats.max_dram_latency <= llc.memory_worst_case(),
+            "memory backend exceeded its own analytical worst case: {} > {}",
+            stats.max_dram_latency,
+            llc.memory_worst_case()
+        );
         let (seq_sets, seq_depth) = llc.sequencer_pressure();
         stats.max_sequencer_sets = seq_sets;
         stats.max_sequencer_depth = seq_depth;
@@ -426,6 +440,32 @@ impl Simulator {
             timed_out,
             cycles: sw.slot_start(slot),
         })
+    }
+}
+
+/// Records a [`EventKind::DramAccess`] for one backend access. Flat
+/// backends (no row outcome) emit nothing, which keeps fixed-latency
+/// event logs identical to the seed simulator's.
+fn push_mem_event(
+    events: &mut EventLog,
+    now: Cycles,
+    slot: u64,
+    core: CoreId,
+    traffic: &crate::llc::MemTraffic,
+) {
+    if let Some(outcome) = traffic.access.row {
+        events.push(
+            now,
+            slot,
+            EventKind::DramAccess {
+                core,
+                line: traffic.line,
+                bank: traffic.access.bank,
+                outcome,
+                latency: traffic.access.latency,
+                write: traffic.write,
+            },
+        );
     }
 }
 

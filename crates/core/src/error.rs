@@ -67,6 +67,20 @@ pub enum ConfigError {
         /// Configured slot width in cycles.
         slot_width: u64,
     },
+    /// A (non-fixed-latency) memory backend's analytical worst-case
+    /// access latency does not fit into a bus slot — the slot-budget
+    /// invariant every backend must satisfy (the banked analogue of
+    /// [`ConfigError::DramExceedsSlot`]).
+    BackendExceedsSlot {
+        /// Report label of the offending backend.
+        backend: String,
+        /// The backend's analytical worst-case latency in cycles.
+        worst_case: u64,
+        /// Configured slot width in cycles.
+        slot_width: u64,
+    },
+    /// An invalid memory-backend configuration was supplied.
+    Memory(predllc_dram::DramError),
     /// An invalid model-level value (slot width, geometry) was supplied.
     Model(predllc_model::ModelError),
     /// An invalid bus schedule was supplied.
@@ -122,6 +136,16 @@ impl fmt::Display for ConfigError {
                 f,
                 "dram latency {dram_latency} does not fit in the {slot_width}-cycle slot"
             ),
+            ConfigError::BackendExceedsSlot {
+                backend,
+                worst_case,
+                slot_width,
+            } => write!(
+                f,
+                "memory backend {backend} has worst-case latency {worst_case}, which does \
+                 not fit in the {slot_width}-cycle slot"
+            ),
+            ConfigError::Memory(e) => write!(f, "invalid memory backend: {e}"),
             ConfigError::Model(e) => write!(f, "invalid model parameter: {e}"),
             ConfigError::Schedule(e) => write!(f, "invalid schedule: {e}"),
         }
@@ -133,6 +157,7 @@ impl Error for ConfigError {
         match self {
             ConfigError::Model(e) => Some(e),
             ConfigError::Schedule(e) => Some(e),
+            ConfigError::Memory(e) => Some(e),
             _ => None,
         }
     }
@@ -147,6 +172,12 @@ impl From<predllc_model::ModelError> for ConfigError {
 impl From<predllc_bus::ScheduleError> for ConfigError {
     fn from(e: predllc_bus::ScheduleError) -> Self {
         ConfigError::Schedule(e)
+    }
+}
+
+impl From<predllc_dram::DramError> for ConfigError {
+    fn from(e: predllc_dram::DramError) -> Self {
+        ConfigError::Memory(e)
     }
 }
 
@@ -249,6 +280,15 @@ mod tests {
                 dram_latency: 80,
                 slot_width: 50,
             },
+            ConfigError::BackendExceedsSlot {
+                backend: "banked(1x8,interleaved)".into(),
+                worst_case: 60,
+                slot_width: 50,
+            },
+            ConfigError::Memory(predllc_dram::DramError::BanksNotDivisibleByCores {
+                banks: 8,
+                cores: 3,
+            }),
             ConfigError::Model(predllc_model::ModelError::ZeroSlotWidth),
         ];
         for e in samples {
@@ -262,6 +302,11 @@ mod tests {
     fn sources_chain_for_wrapped_errors() {
         let e = ConfigError::Model(predllc_model::ModelError::ZeroGeometry);
         assert!(e.source().is_some());
+        let m = ConfigError::from(predllc_dram::DramError::BanksNotDivisibleByCores {
+            banks: 8,
+            cores: 3,
+        });
+        assert!(m.source().is_some());
         assert!(ConfigError::NoCores.source().is_none());
     }
 }

@@ -8,7 +8,8 @@
 use std::fmt;
 
 use predllc_bus::WbKind;
-use predllc_model::{CoreId, Cycles, LineAddr, PartitionId, SetIdx};
+use predllc_dram::RowOutcome;
+use predllc_model::{BankId, CoreId, Cycles, LineAddr, PartitionId, SetIdx};
 
 /// Why a pending request made no progress in its owner's slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,6 +110,23 @@ pub enum EventKind {
         set: SetIdx,
         /// Queue position (0 = head).
         position: usize,
+    },
+    /// A banked memory backend serviced an access. (The fixed-latency
+    /// backend emits no per-access events, keeping its logs identical to
+    /// the seed's.)
+    DramAccess {
+        /// The core whose bus transaction carried the access.
+        core: CoreId,
+        /// The line fetched or written back.
+        line: LineAddr,
+        /// The bank the access was routed to.
+        bank: BankId,
+        /// Row-buffer interaction.
+        outcome: RowOutcome,
+        /// Total access latency, including any bank-busy wait.
+        latency: Cycles,
+        /// Whether this was a write-back (`true`) or a fill (`false`).
+        write: bool,
     },
 }
 

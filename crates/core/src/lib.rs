@@ -13,7 +13,13 @@
 //!   set that preserves bus broadcast order of pending allocations (§4.5).
 //! * [`llc`] — the inclusive shared-LLC controller: hit/fill/eviction
 //!   state machine with back-invalidations and multi-slot eviction
-//!   completion.
+//!   completion, in front of a pluggable
+//!   [`MemoryBackend`](predllc_dram::MemoryBackend) (fixed-latency by
+//!   default; bank/row-buffer-aware via
+//!   [`predllc_dram::BankedDram`]). **Slot-budget invariant:** the
+//!   backend's analytical worst-case access latency must fit inside the
+//!   TDM slot — [`SystemConfigBuilder`] rejects any backend that
+//!   violates it, and [`analysis::SlotBudget`] exposes the check.
 //! * [`core_model`] — one core's trace-driven execution: private cache
 //!   hits, the single outstanding request, refills.
 //! * [`engine`] — the slot-stepped simulator tying cores, TDM bus and LLC
@@ -61,6 +67,22 @@
 //! let gen = UniformGen::new(8192, 500).with_cores(4);
 //! let streamed = sim.run(&gen)?;
 //! assert!(streamed.max_request_latency().as_u64() <= 5000);
+//!
+//! // Swap the memory system: same platform over a bank/row-buffer-aware
+//! // DRAM (paper-calibrated timing has the same 30-cycle worst case, so
+//! // the slot budget — and the WCL bound — still hold).
+//! use predllc_dram::MemoryConfig;
+//! let banked = SystemConfig::builder(4)
+//!     .partitions(vec![predllc_core::PartitionSpec::shared(
+//!         1, 16,
+//!         (0..4).map(predllc_model::CoreId::new).collect(),
+//!         SharingMode::SetSequencer,
+//!     )])
+//!     .memory(MemoryConfig::banked())
+//!     .build()?;
+//! let report = Simulator::new(banked)?.run(&gen)?;
+//! assert!(report.max_request_latency().as_u64() <= 5000);
+//! assert!(report.stats.dram_row_hits + report.stats.dram_row_conflicts > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -86,5 +108,8 @@ pub use error::{ConfigError, SimError};
 pub use events::{Event, EventKind, EventLog};
 pub use partition::{PartitionMap, PartitionSpec, SharingMode};
 pub use placement::{pack, Placement, PlacementError};
+/// Re-export of the memory-backend selection consumed by
+/// [`SystemConfigBuilder::memory`].
+pub use predllc_dram::MemoryConfig;
 pub use sequencer::SetSequencer;
 pub use stats::{CoreStats, SimStats};

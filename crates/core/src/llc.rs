@@ -29,7 +29,8 @@
 //! pending request.
 
 use predllc_bus::WbKind;
-use predllc_cache::{Dram, ReplacementKind, SetAssocCache};
+use predllc_cache::{ReplacementKind, SetAssocCache};
+use predllc_dram::{MemAccess, MemRequest, MemStats, MemoryBackend};
 use predllc_model::{CoreId, Cycles, LineAddr, PartitionId, SetIdx, WayIdx};
 
 use crate::events::BlockReason;
@@ -147,6 +148,18 @@ pub struct EvictionInfo {
     pub sharers: u32,
 }
 
+/// One memory-backend access performed during an LLC operation, for
+/// event logging and per-access latency checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTraffic {
+    /// The line fetched or written back.
+    pub line: LineAddr,
+    /// Whether this was a write-back (`true`) or a fill (`false`).
+    pub write: bool,
+    /// The backend's answer: latency, bank, row outcome.
+    pub access: MemAccess,
+}
+
 /// Full result of [`SharedLlc::service`].
 ///
 /// Eviction semantics: when a victim is chosen, every private sharer's
@@ -175,6 +188,22 @@ pub struct ServiceResult {
     pub sequencer_position: Option<usize>,
     /// The partition-local set the request maps to.
     pub set: SetIdx,
+    /// Memory-backend accesses performed in this slot, in order — at
+    /// most two (a dirty-victim write-back plus the fill re-using the
+    /// freed entry), held inline to keep the miss path allocation-free.
+    pub mem_traffic: [Option<MemTraffic>; 2],
+}
+
+impl ServiceResult {
+    /// Records a backend access in the next free inline slot.
+    fn record_traffic(&mut self, traffic: MemTraffic) {
+        let slot = self
+            .mem_traffic
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("at most two memory accesses per slot");
+        *slot = Some(traffic);
+    }
 }
 
 /// What a pending request could do with its next slot — a pure probe the
@@ -197,6 +226,9 @@ pub enum Probe {
 pub struct WritebackResult {
     /// The line whose entry completed eviction and freed, if any.
     pub freed: Option<LineAddr>,
+    /// The memory-backend access this write-back caused, if the data
+    /// went to DRAM.
+    pub mem_traffic: Option<MemTraffic>,
 }
 
 /// Per-partition controller state.
@@ -237,16 +269,18 @@ impl PartitionState {
     }
 }
 
-/// The shared LLC: one controller over all partitions, plus the DRAM
-/// behind it.
+/// The shared LLC: one controller over all partitions, plus the memory
+/// backend behind it.
 ///
 /// All methods are called by the simulation engine at slot boundaries;
-/// the controller performs no timing itself (the engine owns the clock).
+/// the controller performs no timing itself (the engine owns the clock
+/// and hands each operation its slot-start timestamp, which the backend
+/// uses to drive its per-bank state machines).
 #[derive(Debug)]
 pub struct SharedLlc {
     partitions: Vec<PartitionState>,
     map: PartitionMap,
-    dram: Dram,
+    memory: Box<dyn MemoryBackend>,
 }
 
 impl SharedLlc {
@@ -260,7 +294,7 @@ impl SharedLlc {
         map: PartitionMap,
         line_size: u32,
         replacement: ReplacementKind,
-        dram: Dram,
+        memory: Box<dyn MemoryBackend>,
     ) -> Self {
         let partitions = map
             .partitions()
@@ -281,7 +315,7 @@ impl SharedLlc {
         SharedLlc {
             partitions,
             map,
-            dram,
+            memory,
         }
     }
 
@@ -290,9 +324,14 @@ impl SharedLlc {
         &self.map
     }
 
-    /// DRAM traffic counters.
-    pub fn dram_stats(&self) -> predllc_cache::dram::DramStats {
-        self.dram.stats()
+    /// Counters of the memory backend behind the LLC.
+    pub fn memory_stats(&self) -> &MemStats {
+        self.memory.mem_stats()
+    }
+
+    /// The backend's analytical worst-case access latency.
+    pub fn memory_worst_case(&self) -> Cycles {
+        self.memory.worst_case_latency()
     }
 
     /// Sequencer high-water marks across partitions: `(max tracked sets,
@@ -373,11 +412,14 @@ impl SharedLlc {
         }
     }
 
-    /// Services `core`'s pending request for `line` within `core`'s slot.
+    /// Services `core`'s pending request for `line` within `core`'s
+    /// slot, which starts at cycle `now`.
     ///
     /// Called by the engine when the arbiter grants the bus to the PRB.
     /// The same call covers the first broadcast and every subsequent
-    /// retry; the controller tracks pending state internally.
+    /// retry; the controller tracks pending state internally. `now` is
+    /// forwarded to the memory backend, whose banked implementations use
+    /// it to track per-bank readiness.
     ///
     /// `evict` is invoked once per private sharer of a chosen victim: it
     /// must purge the line from that core's private hierarchy and return
@@ -390,6 +432,7 @@ impl SharedLlc {
         &mut self,
         core: CoreId,
         line: LineAddr,
+        now: Cycles,
         evict: &mut dyn FnMut(CoreId, LineAddr) -> bool,
     ) -> ServiceResult {
         let pid = self.map.partition_of(core);
@@ -402,6 +445,7 @@ impl SharedLlc {
             eviction: None,
             sequencer_position: None,
             set,
+            mem_traffic: [None, None],
         };
 
         // 1. Hit on a valid line: respond regardless of sequencer state —
@@ -454,7 +498,8 @@ impl SharedLlc {
         //    respond within the slot.
         if is_head {
             if let Some(way) = p.cache.free_way_in(set) {
-                Self::allocate(p, &mut self.dram, core, line, set, way);
+                let traffic = Self::allocate(p, &mut self.memory, core, line, set, way, now);
+                result.record_traffic(traffic);
                 result.outcome = ServiceOutcome::Responded(ResponseKind::Fill);
                 return result;
             }
@@ -529,12 +574,20 @@ impl SharedLlc {
             // this slot.
             let evicted = p.cache.take(set, victim_way).expect("victim occupied");
             if evicted.dirty {
-                self.dram.write_back(victim_line);
+                let access = self
+                    .memory
+                    .access(MemRequest::write_back(victim_line, core, now));
+                result.record_traffic(MemTraffic {
+                    line: victim_line,
+                    write: true,
+                    access,
+                });
             }
             p.return_credits(victim_line);
             if is_head {
                 // …and the head re-uses it immediately.
-                Self::allocate(p, &mut self.dram, core, line, set, victim_way);
+                let traffic = Self::allocate(p, &mut self.memory, core, line, set, victim_way, now);
+                result.record_traffic(traffic);
                 result.outcome = ServiceOutcome::Responded(ResponseKind::Fill);
             } else {
                 // The freed entry waits for the queue head.
@@ -551,13 +604,15 @@ impl SharedLlc {
     }
 
     /// Processes a write-back (capacity eviction or back-invalidation
-    /// acknowledgement) transmitted by `core` in its slot.
+    /// acknowledgement) transmitted by `core` in its slot starting at
+    /// cycle `now`.
     pub fn writeback(
         &mut self,
         core: CoreId,
         line: LineAddr,
         dirty: bool,
         kind: WbKind,
+        now: Cycles,
     ) -> WritebackResult {
         let pid = self.map.partition_of(core);
         let p = &mut self.partitions[pid.as_usize()];
@@ -565,10 +620,15 @@ impl SharedLlc {
         let Some(way) = p.cache.way_of(line) else {
             // The entry is gone (already freed). Dirty data still goes to
             // memory.
-            if dirty {
-                self.dram.write_back(line);
-            }
-            return WritebackResult { freed: None };
+            let mem_traffic = dirty.then(|| MemTraffic {
+                line,
+                write: true,
+                access: self.memory.access(MemRequest::write_back(line, core, now)),
+            });
+            return WritebackResult {
+                freed: None,
+                mem_traffic,
+            };
         };
         let entry = p.cache.entry_mut(set, way).expect("way_of found it");
         match entry.meta.state {
@@ -577,13 +637,21 @@ impl SharedLlc {
                 entry.dirty |= dirty;
                 if entry.meta.sharers.is_empty() {
                     let evicted = p.cache.take(set, way).expect("entry exists");
-                    if evicted.dirty {
-                        self.dram.write_back(line);
-                    }
+                    let mem_traffic = evicted.dirty.then(|| MemTraffic {
+                        line,
+                        write: true,
+                        access: self.memory.access(MemRequest::write_back(line, core, now)),
+                    });
                     p.return_credits(line);
-                    return WritebackResult { freed: Some(line) };
+                    return WritebackResult {
+                        freed: Some(line),
+                        mem_traffic,
+                    };
                 }
-                WritebackResult { freed: None }
+                WritebackResult {
+                    freed: None,
+                    mem_traffic: None,
+                }
             }
             LineState::Valid => {
                 // A capacity write-back updates the (still valid) LLC
@@ -593,7 +661,10 @@ impl SharedLlc {
                 if kind == WbKind::CapacityEviction {
                     entry.dirty = true;
                 }
-                WritebackResult { freed: None }
+                WritebackResult {
+                    freed: None,
+                    mem_traffic: None,
+                }
             }
         }
     }
@@ -622,13 +693,14 @@ impl SharedLlc {
 
     fn allocate(
         p: &mut PartitionState,
-        dram: &mut Dram,
+        memory: &mut Box<dyn MemoryBackend>,
         core: CoreId,
         line: LineAddr,
         set: SetIdx,
         way: WayIdx,
-    ) {
-        dram.fetch(line);
+        now: Cycles,
+    ) -> MemTraffic {
+        let access = memory.access(MemRequest::fetch(line, core, now));
         let mut sharers = SharerSet::EMPTY;
         sharers.insert(core);
         p.cache.install_at(
@@ -648,6 +720,11 @@ impl SharedLlc {
             if p.sequencer.is_head(set, core) {
                 p.sequencer.pop(set);
             }
+        }
+        MemTraffic {
+            line,
+            write: false,
+            access,
         }
     }
 }
@@ -675,13 +752,13 @@ mod tests {
 
     /// Service treating every invalidated private copy as clean.
     fn svc(llc: &mut SharedLlc, core: CoreId, line: LineAddr) -> ServiceResult {
-        llc.service(core, line, &mut |_, _| false)
+        llc.service(core, line, Cycles::ZERO, &mut |_, _| false)
     }
 
     /// Service treating every invalidated private copy as dirty — the
     /// worst case the paper's figures depict (`Evict l → WB l`).
     fn svc_dirty(llc: &mut SharedLlc, core: CoreId, line: LineAddr) -> ServiceResult {
-        llc.service(core, line, &mut |_, _| true)
+        llc.service(core, line, Cycles::ZERO, &mut |_, _| true)
     }
 
     /// `cores` cores sharing one 1-set × `ways` partition.
@@ -697,7 +774,12 @@ mod tests {
             CacheGeometry::PAPER_L3,
         )
         .unwrap();
-        SharedLlc::new(map, 64, ReplacementKind::Lru, Dram::default())
+        SharedLlc::new(
+            map,
+            64,
+            ReplacementKind::Lru,
+            Box::new(predllc_dram::FixedLatency::default()),
+        )
     }
 
     #[test]
@@ -726,7 +808,7 @@ mod tests {
         let r = svc(&mut llc, c(1), l(0));
         assert_eq!(r.outcome, ServiceOutcome::Responded(ResponseKind::Hit));
         assert!(llc.is_valid_sharer(c(1), l(0)));
-        assert_eq!(llc.dram_stats().reads, 1);
+        assert_eq!(llc.memory_stats().reads, 1);
     }
 
     #[test]
@@ -736,7 +818,7 @@ mod tests {
         svc(&mut llc, c(1), l(0));
         svc(&mut llc, c(1), l(1));
         // c0 misses: set full, victim dirty at c1 → ack write-back owed.
-        let r = llc.service(c(0), l(2), &mut |core, _| core == c(1));
+        let r = llc.service(c(0), l(2), Cycles::ZERO, &mut |core, _| core == c(1));
         assert_eq!(
             r.outcome,
             ServiceOutcome::Blocked(BlockReason::WaitingForEviction)
@@ -753,10 +835,10 @@ mod tests {
         );
         assert!(r2.eviction.is_none());
         // c1's ack (carrying the data) frees the entry.
-        let wr = llc.writeback(c(1), ev.victim, true, WbKind::BackInvalAck);
+        let wr = llc.writeback(c(1), ev.victim, true, WbKind::BackInvalAck, Cycles::ZERO);
         assert_eq!(wr.freed, Some(ev.victim));
         // The dirty data reached DRAM with the free.
-        assert_eq!(llc.dram_stats().writes, 1);
+        assert_eq!(llc.memory_stats().writes, 1);
         // c0 now allocates.
         let r3 = svc(&mut llc, c(0), l(2));
         assert_eq!(r3.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
@@ -775,7 +857,7 @@ mod tests {
         assert_eq!(r.invalidations, vec![(c(1), ev.victim)]);
         assert!(r.ack_required.is_empty());
         // Clean data does not go to DRAM.
-        assert_eq!(llc.dram_stats().writes, 0);
+        assert_eq!(llc.memory_stats().writes, 0);
     }
 
     #[test]
@@ -784,7 +866,7 @@ mod tests {
         let mut llc = shared_llc(SharingMode::BestEffort, 2, 1);
         svc(&mut llc, c(0), l(0)); // c0 fills, c0 is the sole sharer
         let mut invalidated = Vec::new();
-        let r = llc.service(c(0), l(2), &mut |core, v| {
+        let r = llc.service(c(0), l(2), Cycles::ZERO, &mut |core, v| {
             invalidated.push((core, v));
             true // the private copy was dirty
         });
@@ -792,7 +874,7 @@ mod tests {
         assert_eq!(invalidated, vec![(c(0), l(0))]);
         assert!(r.ack_required.is_empty(), "own slot carries the data");
         // The dirty data went to DRAM within the slot.
-        assert_eq!(llc.dram_stats().writes, 1);
+        assert_eq!(llc.memory_stats().writes, 1);
         assert!(llc.is_valid_sharer(c(0), l(2)));
     }
 
@@ -810,7 +892,7 @@ mod tests {
             ServiceOutcome::Blocked(BlockReason::WaitingForEviction)
         );
         // c1's ack frees the entry; c0 then fills.
-        llc.writeback(c(1), l(0), true, WbKind::BackInvalAck);
+        llc.writeback(c(1), l(0), true, WbKind::BackInvalAck, Cycles::ZERO);
         let r = svc(&mut llc, c(0), l(3));
         assert_eq!(r.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
     }
@@ -821,14 +903,14 @@ mod tests {
         svc(&mut llc, c(1), l(0));
         svc(&mut llc, c(1), l(1));
         // Both lines lose their private copies via capacity write-backs.
-        llc.writeback(c(1), l(0), true, WbKind::CapacityEviction);
-        llc.writeback(c(1), l(1), true, WbKind::CapacityEviction);
+        llc.writeback(c(1), l(0), true, WbKind::CapacityEviction, Cycles::ZERO);
+        llc.writeback(c(1), l(1), true, WbKind::CapacityEviction, Cycles::ZERO);
         // c0's miss victimizes an unshared line: responds immediately.
         let r = svc(&mut llc, c(0), l(2));
         assert_eq!(r.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
         assert_eq!(r.eviction.unwrap().sharers, 0);
         // The (LLC-)dirty victim went to DRAM.
-        assert_eq!(llc.dram_stats().writes, 1);
+        assert_eq!(llc.memory_stats().writes, 1);
     }
 
     #[test]
@@ -850,14 +932,14 @@ mod tests {
         assert_ne!(ev1.victim, ev0.victim);
         // c2 acks c0's victim; the entry frees. c1 retries first but is
         // still not the head, so the free entry waits for c0.
-        llc.writeback(c(2), ev0.victim, true, WbKind::BackInvalAck);
+        llc.writeback(c(2), ev0.victim, true, WbKind::BackInvalAck, Cycles::ZERO);
         let r1 = svc_dirty(&mut llc, c(1), l(4));
         assert_eq!(r1.outcome, ServiceOutcome::Blocked(BlockReason::NotHead));
         // Head (c0) allocates.
         let r0 = svc_dirty(&mut llc, c(0), l(3));
         assert_eq!(r0.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
         // c2 acks c1's victim too; now the new head (c1) allocates.
-        llc.writeback(c(2), ev1.victim, true, WbKind::BackInvalAck);
+        llc.writeback(c(2), ev1.victim, true, WbKind::BackInvalAck, Cycles::ZERO);
         let r1 = svc_dirty(&mut llc, c(1), l(4));
         assert_eq!(r1.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
     }
@@ -870,7 +952,7 @@ mod tests {
         svc(&mut llc, c(2), l(1));
         let r0 = svc_dirty(&mut llc, c(0), l(3)); // c0 triggers eviction
         let ev = r0.eviction.unwrap();
-        llc.writeback(c(2), ev.victim, true, WbKind::BackInvalAck);
+        llc.writeback(c(2), ev.victim, true, WbKind::BackInvalAck, Cycles::ZERO);
         // c1's slot comes before c0's: it steals the freed way.
         let r1 = svc_dirty(&mut llc, c(1), l(4));
         assert_eq!(r1.outcome, ServiceOutcome::Responded(ResponseKind::Fill));
@@ -898,40 +980,40 @@ mod tests {
         assert_eq!(ev.sharers, 2);
         assert_eq!(r.ack_required.len(), 2);
         // First ack: not yet freed.
-        let wr = llc.writeback(c(1), ev.victim, true, WbKind::BackInvalAck);
+        let wr = llc.writeback(c(1), ev.victim, true, WbKind::BackInvalAck, Cycles::ZERO);
         assert_eq!(wr.freed, None);
         // Second ack: freed.
-        let wr = llc.writeback(c(2), ev.victim, true, WbKind::BackInvalAck);
+        let wr = llc.writeback(c(2), ev.victim, true, WbKind::BackInvalAck, Cycles::ZERO);
         assert_eq!(wr.freed, Some(ev.victim));
-        assert_eq!(llc.dram_stats().writes, 1);
+        assert_eq!(llc.memory_stats().writes, 1);
     }
 
     #[test]
     fn capacity_writeback_marks_llc_dirty() {
         let mut llc = shared_llc(SharingMode::BestEffort, 2, 2);
         svc(&mut llc, c(0), l(0));
-        llc.writeback(c(0), l(0), true, WbKind::CapacityEviction);
+        llc.writeback(c(0), l(0), true, WbKind::CapacityEviction, Cycles::ZERO);
         let pid = llc.partition_map().partition_of(c(0));
         let (state, sharers) = llc.line_state(pid, l(0)).unwrap();
         assert_eq!(state, LineState::Valid);
         assert_eq!(sharers, 0);
         // Evicting it now: unshared and dirty → immediate free + DRAM WB.
         svc(&mut llc, c(1), l(1));
-        let before = llc.dram_stats().writes;
+        let before = llc.memory_stats().writes;
         svc(&mut llc, c(0), l(2)); // LRU victim is the unshared line 0
-        assert_eq!(llc.dram_stats().writes, before + 1);
+        assert_eq!(llc.memory_stats().writes, before + 1);
     }
 
     #[test]
     fn writeback_for_absent_line_goes_to_dram() {
         let mut llc = shared_llc(SharingMode::BestEffort, 2, 2);
-        let wr = llc.writeback(c(0), l(9), true, WbKind::CapacityEviction);
+        let wr = llc.writeback(c(0), l(9), true, WbKind::CapacityEviction, Cycles::ZERO);
         assert_eq!(wr.freed, None);
-        assert_eq!(llc.dram_stats().writes, 1);
+        assert_eq!(llc.memory_stats().writes, 1);
         // Clean ack for an absent line: fully ignored.
-        let wr = llc.writeback(c(0), l(9), false, WbKind::BackInvalAck);
+        let wr = llc.writeback(c(0), l(9), false, WbKind::BackInvalAck, Cycles::ZERO);
         assert_eq!(wr.freed, None);
-        assert_eq!(llc.dram_stats().writes, 1);
+        assert_eq!(llc.memory_stats().writes, 1);
     }
 
     #[test]
@@ -958,7 +1040,12 @@ mod tests {
             CacheGeometry::PAPER_L3,
         )
         .unwrap();
-        let mut llc = SharedLlc::new(map, 64, ReplacementKind::Lru, Dram::default());
+        let mut llc = SharedLlc::new(
+            map,
+            64,
+            ReplacementKind::Lru,
+            Box::new(predllc_dram::FixedLatency::default()),
+        );
         svc(&mut llc, c(0), l(0));
         // c1's fill lands in its own partition; c0's line is untouched.
         svc(&mut llc, c(1), l(0));
@@ -1001,7 +1088,7 @@ mod tests {
         );
         assert_eq!(llc.probe(c(2), l(5)), Probe::Stuck);
         // The ack frees the entry: the waiting request becomes unstuck.
-        llc.writeback(c(1), l(0), true, WbKind::BackInvalAck);
+        llc.writeback(c(1), l(0), true, WbKind::BackInvalAck, Cycles::ZERO);
         assert_eq!(llc.probe(c(0), l(2)), Probe::WouldRespond);
     }
 
@@ -1013,7 +1100,7 @@ mod tests {
         assert!(r.eviction.is_some());
         svc_dirty(&mut llc, c(1), l(4)); // queued behind c0
         assert_eq!(llc.probe(c(1), l(4)), Probe::Stuck);
-        llc.writeback(c(2), l(0), true, WbKind::BackInvalAck);
+        llc.writeback(c(2), l(0), true, WbKind::BackInvalAck, Cycles::ZERO);
         // Entry free: head would respond, non-head still stuck.
         assert_eq!(llc.probe(c(0), l(3)), Probe::WouldRespond);
         assert_eq!(llc.probe(c(1), l(4)), Probe::Stuck);

@@ -78,6 +78,20 @@ pub struct SimStats {
     pub dram_reads: u64,
     /// DRAM line write-backs.
     pub dram_writes: u64,
+    /// DRAM accesses that hit the open row (banked backends only).
+    pub dram_row_hits: u64,
+    /// DRAM accesses to a bank with no open row (banked backends only).
+    pub dram_row_empties: u64,
+    /// DRAM accesses that conflicted with a different open row (banked
+    /// backends only).
+    pub dram_row_conflicts: u64,
+    /// DRAM accesses that waited on a busy bank (banked backends only).
+    pub dram_busy_waits: u64,
+    /// Worst single DRAM access latency observed.
+    pub max_dram_latency: Cycles,
+    /// Row conflicts per bank, indexed by global bank id (empty for the
+    /// fixed-latency backend).
+    pub dram_bank_conflicts: Vec<u64>,
     /// Largest sequencer queue depth observed across partitions.
     pub max_sequencer_depth: usize,
     /// Deepest any core's pending-write-back buffer ever got. The
@@ -123,6 +137,29 @@ impl SimStats {
             .map(|c| c.finished_at)
             .max()
             .unwrap_or(Cycles::ZERO)
+    }
+
+    /// Fraction of banked DRAM accesses that hit the open row (0 when
+    /// no banked access was recorded, e.g. under the fixed-latency
+    /// backend).
+    pub fn dram_row_hit_rate(&self) -> f64 {
+        predllc_dram::backend::row_hit_rate(
+            self.dram_row_hits,
+            self.dram_row_empties,
+            self.dram_row_conflicts,
+        )
+    }
+
+    /// Folds a memory backend's counters into the report fields.
+    pub fn absorb_memory(&mut self, mem: &predllc_dram::MemStats) {
+        self.dram_reads = mem.reads;
+        self.dram_writes = mem.writes;
+        self.dram_row_hits = mem.row_hits;
+        self.dram_row_empties = mem.row_empties;
+        self.dram_row_conflicts = mem.row_conflicts;
+        self.dram_busy_waits = mem.busy_waits;
+        self.max_dram_latency = mem.max_latency;
+        self.dram_bank_conflicts = mem.per_bank_conflicts.clone();
     }
 
     /// Bus utilization: fraction of slots carrying a transaction.
@@ -177,6 +214,29 @@ mod tests {
         s.core_mut(CoreId::new(1)).finished_at = Cycles::new(2000);
         assert_eq!(s.max_request_latency(), Cycles::new(99));
         assert_eq!(s.makespan(), Cycles::new(2000));
+    }
+
+    #[test]
+    fn memory_counters_fold_into_the_report() {
+        let mem = predllc_dram::MemStats {
+            reads: 7,
+            writes: 3,
+            row_hits: 4,
+            row_empties: 2,
+            row_conflicts: 4,
+            busy_waits: 1,
+            max_latency: Cycles::new(23),
+            per_bank_conflicts: vec![0, 4],
+        };
+        let mut s = SimStats::new(1);
+        s.absorb_memory(&mem);
+        assert_eq!((s.dram_reads, s.dram_writes), (7, 3));
+        assert_eq!(s.dram_row_conflicts, 4);
+        assert_eq!(s.max_dram_latency, Cycles::new(23));
+        assert_eq!(s.dram_bank_conflicts, vec![0, 4]);
+        assert!((s.dram_row_hit_rate() - 0.4).abs() < 1e-9);
+        // No banked accesses → rate is defined as zero.
+        assert_eq!(SimStats::new(1).dram_row_hit_rate(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Declarative backend selection: the [`MemoryConfig`] value a
+//! `SystemConfig` carries and builds fresh backends from.
+
+use std::fmt;
+
+use predllc_model::{Cycles, DramGeometry};
+
+use crate::backend::MemoryBackend;
+use crate::banked::BankedDram;
+use crate::error::DramError;
+use crate::fixed::FixedLatency;
+use crate::mapping::BankMapping;
+use crate::timing::DramTiming;
+use crate::worst_case::WorstCase;
+
+/// Which memory backend a simulation runs against.
+///
+/// This is plain data — cloneable, comparable, thread-safe — so a
+/// validated system configuration can [`build`](MemoryConfig::build) a
+/// fresh, stateless-started backend for every run.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_dram::MemoryConfig;
+/// use predllc_model::Cycles;
+///
+/// // The default matches the seed simulator: a fixed 30-cycle DRAM.
+/// assert_eq!(MemoryConfig::default(), MemoryConfig::fixed(Cycles::new(30)));
+///
+/// // A banked model with paper-calibrated timing has the same 30-cycle
+/// // analytical worst case.
+/// let banked = MemoryConfig::banked();
+/// assert_eq!(banked.worst_case_latency(), Cycles::new(30));
+///
+/// // Any configuration can be pinned to its worst case for sound WCL
+/// // experiments.
+/// let wc = banked.worst_case();
+/// assert_eq!(wc.worst_case_latency(), Cycles::new(30));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemoryConfig {
+    /// Every access costs the same `latency` — the seed's model.
+    FixedLatency {
+        /// The fixed access latency.
+        latency: Cycles,
+    },
+    /// The bank/row-buffer-aware model.
+    Banked {
+        /// The timing-parameter table.
+        timing: DramTiming,
+        /// The device geometry.
+        geometry: DramGeometry,
+        /// The line → bank mapping.
+        mapping: BankMapping,
+    },
+    /// Answer every request with the inner backend's analytical worst
+    /// case (the [`WorstCase`] adapter).
+    WorstCaseOf(Box<MemoryConfig>),
+}
+
+impl MemoryConfig {
+    /// A fixed-latency backend.
+    pub fn fixed(latency: Cycles) -> Self {
+        MemoryConfig::FixedLatency { latency }
+    }
+
+    /// The banked model with paper-calibrated timing, the default
+    /// geometry and interleaved mapping.
+    pub fn banked() -> Self {
+        MemoryConfig::Banked {
+            timing: DramTiming::PAPER,
+            geometry: DramGeometry::PAPER,
+            mapping: BankMapping::Interleaved,
+        }
+    }
+
+    /// The banked model with bank-privatized per-core mapping (and
+    /// otherwise paper-calibrated parameters).
+    pub fn bank_private() -> Self {
+        MemoryConfig::Banked {
+            timing: DramTiming::PAPER,
+            geometry: DramGeometry::PAPER,
+            mapping: BankMapping::BankPrivate,
+        }
+    }
+
+    /// Wraps this configuration in the worst-case adapter.
+    pub fn worst_case(self) -> Self {
+        MemoryConfig::WorstCaseOf(Box::new(self))
+    }
+
+    /// The analytical worst-case latency of a single access under this
+    /// configuration — the quantity checked against the TDM slot budget.
+    pub fn worst_case_latency(&self) -> Cycles {
+        match self {
+            MemoryConfig::FixedLatency { latency } => *latency,
+            MemoryConfig::Banked { timing, .. } => timing.worst_case(),
+            MemoryConfig::WorstCaseOf(inner) => inner.worst_case_latency(),
+        }
+    }
+
+    /// Validates the configuration for a system of `num_cores` cores
+    /// without building a backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BanksNotDivisibleByCores`] for a
+    /// bank-privatized mapping that cannot slice its banks evenly.
+    pub fn validate(&self, num_cores: u16) -> Result<(), DramError> {
+        match self {
+            MemoryConfig::FixedLatency { .. } => Ok(()),
+            MemoryConfig::Banked {
+                timing,
+                geometry,
+                mapping,
+            } => BankedDram::new(*timing, *geometry, *mapping, num_cores).map(|_| ()),
+            MemoryConfig::WorstCaseOf(inner) => inner.validate(num_cores),
+        }
+    }
+
+    /// Builds a fresh backend (zeroed state and counters).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemoryConfig::validate`] failures.
+    pub fn build(&self, num_cores: u16) -> Result<Box<dyn MemoryBackend>, DramError> {
+        Ok(match self {
+            MemoryConfig::FixedLatency { latency } => Box::new(FixedLatency::new(*latency)),
+            MemoryConfig::Banked {
+                timing,
+                geometry,
+                mapping,
+            } => Box::new(BankedDram::new(*timing, *geometry, *mapping, num_cores)?),
+            MemoryConfig::WorstCaseOf(inner) => Box::new(WorstCase::new(inner.build(num_cores)?)),
+        })
+    }
+
+    /// A short report label, identical to the built backend's
+    /// [`MemoryBackend::label`].
+    pub fn label(&self) -> String {
+        match self {
+            MemoryConfig::FixedLatency { latency } => format!("fixed({})", latency.as_u64()),
+            MemoryConfig::Banked {
+                geometry, mapping, ..
+            } => format!(
+                "banked({}x{},{})",
+                geometry.channels(),
+                geometry.banks_per_channel(),
+                mapping
+            ),
+            MemoryConfig::WorstCaseOf(inner) => format!("wc({})", inner.label()),
+        }
+    }
+}
+
+impl Default for MemoryConfig {
+    /// The seed simulator's DRAM: fixed 30-cycle accesses.
+    fn default() -> Self {
+        MemoryConfig::fixed(FixedLatency::DEFAULT_LATENCY)
+    }
+}
+
+impl fmt::Display for MemoryConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_backends_carry_the_config_label() {
+        for cfg in [
+            MemoryConfig::default(),
+            MemoryConfig::banked(),
+            MemoryConfig::bank_private(),
+            MemoryConfig::banked().worst_case(),
+        ] {
+            let backend = cfg.build(4).unwrap();
+            assert_eq!(backend.label(), cfg.label());
+            assert_eq!(backend.worst_case_latency(), cfg.worst_case_latency());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_uneven_bank_slices() {
+        assert_eq!(
+            MemoryConfig::bank_private().validate(3),
+            Err(DramError::BanksNotDivisibleByCores { banks: 8, cores: 3 })
+        );
+        assert!(MemoryConfig::bank_private().validate(4).is_ok());
+        // The worst-case wrapper validates its inner config.
+        assert!(MemoryConfig::bank_private()
+            .worst_case()
+            .validate(5)
+            .is_err());
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(MemoryConfig::default().label(), "fixed(30)");
+        assert_eq!(MemoryConfig::banked().label(), "banked(1x8,interleaved)");
+        assert_eq!(
+            MemoryConfig::bank_private().worst_case().to_string(),
+            "wc(banked(1x8,bank-private))"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Validation errors of the memory-backend configurations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building a memory backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// A bank-privatized mapping needs equal, non-empty per-core bank
+    /// slices: the total bank count must be a positive multiple of the
+    /// core count.
+    BanksNotDivisibleByCores {
+        /// Total banks in the geometry.
+        banks: u32,
+        /// Cores in the system.
+        cores: u16,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::BanksNotDivisibleByCores { banks, cores } => write!(
+                f,
+                "bank-private mapping needs banks divisible by cores, got {banks} banks for \
+                 {cores} cores"
+            ),
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_without_trailing_punctuation() {
+        let e = DramError::BanksNotDivisibleByCores { banks: 8, cores: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("8 banks") && msg.contains("3 cores"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_good<E: Error + Send + Sync + 'static>() {}
+        assert_good::<DramError>();
+    }
+}

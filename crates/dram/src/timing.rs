@@ -1,0 +1,143 @@
+//! The DRAM timing-parameter table.
+
+use std::fmt;
+
+use predllc_model::Cycles;
+
+/// The per-command timing parameters of the banked DRAM model, in cycles.
+///
+/// The model charges the classic open-row cost structure:
+///
+/// | situation | cost |
+/// |---|---|
+/// | row hit (open row matches) | `tCAS + tBUS` |
+/// | row empty (bank precharged, no open row) | `tRCD + tCAS + tBUS` |
+/// | row conflict (different row open) | `tRP + tRCD + tCAS + tBUS` |
+///
+/// A write additionally keeps the bank busy for `tWR` (write recovery)
+/// after its data transfer, which a subsequent access to the same bank
+/// must wait out.
+///
+/// # Calibration
+///
+/// [`DramTiming::PAPER`] is chosen so that the analytical worst case of
+/// one access ([`DramTiming::worst_case`]) equals **30 cycles** — exactly
+/// the fixed charge the paper's system model provisions for a miss fill,
+/// so a `BankedDram` with default timing drops into any configuration
+/// the seed's fixed-latency DRAM was valid for.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_dram::DramTiming;
+///
+/// let t = DramTiming::PAPER;
+/// assert_eq!(t.row_hit().as_u64(), 4);
+/// assert_eq!(t.row_empty().as_u64(), 8);
+/// assert_eq!(t.row_conflict().as_u64(), 11);
+/// assert_eq!(t.worst_case().as_u64(), 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramTiming {
+    /// `tRCD`: activate (row open) to column command.
+    pub t_rcd: u64,
+    /// `tRP`: precharge (row close).
+    pub t_rp: u64,
+    /// `tCAS`: column access strobe.
+    pub t_cas: u64,
+    /// `tWR`: write recovery — extra bank-busy time after a write.
+    pub t_wr: u64,
+    /// `tBUS`: burst transfer of one cache line on the memory bus.
+    pub t_bus: u64,
+}
+
+impl DramTiming {
+    /// Paper-calibrated defaults: `tRCD=4, tRP=3, tCAS=2, tWR=4, tBUS=2`,
+    /// giving a 30-cycle analytical worst case — the seed's fixed DRAM
+    /// charge.
+    pub const PAPER: DramTiming = DramTiming {
+        t_rcd: 4,
+        t_rp: 3,
+        t_cas: 2,
+        t_wr: 4,
+        t_bus: 2,
+    };
+
+    /// Cost of an access that hits the open row: `tCAS + tBUS`.
+    pub const fn row_hit(&self) -> Cycles {
+        Cycles::new(self.t_cas + self.t_bus)
+    }
+
+    /// Cost of an access to a precharged bank (no row open):
+    /// `tRCD + tCAS + tBUS`.
+    pub const fn row_empty(&self) -> Cycles {
+        Cycles::new(self.t_rcd + self.t_cas + self.t_bus)
+    }
+
+    /// Cost of an access that conflicts with a different open row:
+    /// `tRP + tRCD + tCAS + tBUS`.
+    pub const fn row_conflict(&self) -> Cycles {
+        Cycles::new(self.t_rp + self.t_rcd + self.t_cas + self.t_bus)
+    }
+
+    /// The analytical worst case of a single access:
+    /// `2·(tRP + tRCD + tCAS + tBUS) + 2·tWR`.
+    ///
+    /// One TDM slot carries at most **two** DRAM accesses (a dirty-victim
+    /// write-back plus the fill that re-uses the freed entry), so the
+    /// worst wait an access can see from within its own slot is a full
+    /// row-conflict access plus its write recovery; its own cost is
+    /// another row conflict. The second `tWR` term covers this access's
+    /// own write recovery, which makes the bound *self-stabilizing*:
+    /// whenever `worst_case() ≤ slot width` (the slot-budget invariant
+    /// the configuration builder enforces), a bank touched in one slot is
+    /// always ready again by the next slot boundary, so cross-slot waits
+    /// are provably zero and every observed latency is `≤ worst_case()`.
+    pub const fn worst_case(&self) -> Cycles {
+        Cycles::new(2 * (self.t_rp + self.t_rcd + self.t_cas + self.t_bus) + 2 * self.t_wr)
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        DramTiming::PAPER
+    }
+}
+
+impl fmt::Display for DramTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tRCD={} tRP={} tCAS={} tWR={} tBUS={}",
+            self.t_rcd, self.t_rp, self.t_cas, self.t_wr, self.t_bus
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_ladder_is_ordered() {
+        let t = DramTiming::PAPER;
+        assert!(t.row_hit() < t.row_empty());
+        assert!(t.row_empty() < t.row_conflict());
+        assert!(t.row_conflict() < t.worst_case());
+    }
+
+    #[test]
+    fn paper_worst_case_matches_seed_fixed_charge() {
+        // 2 * (3 + 4 + 2 + 2) + 2 * 4 = 30: the seed's Dram::DEFAULT_LATENCY.
+        assert_eq!(DramTiming::PAPER.worst_case(), Cycles::new(30));
+    }
+
+    #[test]
+    fn default_is_paper_and_displays() {
+        assert_eq!(DramTiming::default(), DramTiming::PAPER);
+        assert_eq!(
+            DramTiming::PAPER.to_string(),
+            "tRCD=4 tRP=3 tCAS=2 tWR=4 tBUS=2"
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! DRAM organization vocabulary: bank/row identifiers and the
+//! channels × banks × rows geometry the memory backends are built from.
+
+use std::fmt;
+
+use crate::ModelError;
+
+/// Identifier of one DRAM bank, numbered densely across channels
+/// (`channel * banks_per_channel + bank_in_channel`).
+///
+/// # Examples
+///
+/// ```
+/// use predllc_model::BankId;
+///
+/// let b = BankId::new(3);
+/// assert_eq!(b.index(), 3);
+/// assert_eq!(b.to_string(), "bank3");
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BankId(u32);
+
+impl BankId {
+    /// Creates a bank identifier from a dense global index.
+    pub const fn new(index: u32) -> Self {
+        BankId(index)
+    }
+
+    /// Returns the dense global index of this bank.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index widened to `usize` for container indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+impl From<u32> for BankId {
+    fn from(index: u32) -> Self {
+        BankId(index)
+    }
+}
+
+/// Address of a DRAM row within one bank.
+///
+/// A row is the unit the bank's row buffer holds: accesses to the open
+/// row are fast (row hits), a different row forces precharge + activate
+/// (a row conflict).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowAddr(u64);
+
+impl RowAddr {
+    /// Creates a row address from a raw row number.
+    pub const fn new(row: u64) -> Self {
+        RowAddr(row)
+    }
+
+    /// Returns the raw row number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row 0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for RowAddr {
+    fn from(row: u64) -> Self {
+        RowAddr(row)
+    }
+}
+
+/// The organization of the DRAM device: channels, banks per channel, and
+/// the row-buffer size expressed in cache lines.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_model::DramGeometry;
+///
+/// # fn main() -> Result<(), predllc_model::ModelError> {
+/// let g = DramGeometry::new(1, 8, 64)?; // 8 banks, 4 KiB rows at 64 B lines
+/// assert_eq!(g.total_banks(), 8);
+/// assert_eq!(g.row_bytes(64), 4096);
+/// assert_eq!(g, DramGeometry::PAPER);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramGeometry {
+    channels: u32,
+    banks_per_channel: u32,
+    row_lines: u32,
+}
+
+impl DramGeometry {
+    /// The calibration default used next to the paper's platform
+    /// constants: a single channel of 8 banks with 4 KiB rows (64 cache
+    /// lines of 64 bytes per row).
+    pub const PAPER: DramGeometry = DramGeometry {
+        channels: 1,
+        banks_per_channel: 8,
+        row_lines: 64,
+    };
+
+    /// Creates a DRAM geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ZeroDramGeometry`] if any dimension is zero.
+    pub const fn new(
+        channels: u32,
+        banks_per_channel: u32,
+        row_lines: u32,
+    ) -> Result<Self, ModelError> {
+        if channels == 0 || banks_per_channel == 0 || row_lines == 0 {
+            Err(ModelError::ZeroDramGeometry)
+        } else {
+            Ok(DramGeometry {
+                channels,
+                banks_per_channel,
+                row_lines,
+            })
+        }
+    }
+
+    /// Number of channels.
+    pub const fn channels(self) -> u32 {
+        self.channels
+    }
+
+    /// Banks per channel.
+    pub const fn banks_per_channel(self) -> u32 {
+        self.banks_per_channel
+    }
+
+    /// Row-buffer size in cache lines.
+    pub const fn row_lines(self) -> u32 {
+        self.row_lines
+    }
+
+    /// Total banks across all channels.
+    pub const fn total_banks(self) -> u32 {
+        self.channels * self.banks_per_channel
+    }
+
+    /// Row-buffer size in bytes for a given cache-line size.
+    pub const fn row_bytes(self, line_size: u64) -> u64 {
+        self.row_lines as u64 * line_size
+    }
+}
+
+impl fmt::Display for DramGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}ch x {}banks x {}lines/row",
+            self.channels, self.banks_per_channel, self.row_lines
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_and_row_ids_roundtrip_and_display() {
+        let b = BankId::new(5);
+        assert_eq!(b.index(), 5);
+        assert_eq!(b.as_usize(), 5);
+        assert_eq!(b.to_string(), "bank5");
+        assert_eq!(BankId::from(5u32), b);
+        let r = RowAddr::new(0x41);
+        assert_eq!(r.as_u64(), 0x41);
+        assert_eq!(r.to_string(), "row 0x41");
+        assert_eq!(RowAddr::from(0x41u64), r);
+    }
+
+    #[test]
+    fn geometry_rejects_zero_dimensions() {
+        assert_eq!(
+            DramGeometry::new(0, 8, 64),
+            Err(ModelError::ZeroDramGeometry)
+        );
+        assert_eq!(
+            DramGeometry::new(1, 0, 64),
+            Err(ModelError::ZeroDramGeometry)
+        );
+        assert_eq!(
+            DramGeometry::new(1, 8, 0),
+            Err(ModelError::ZeroDramGeometry)
+        );
+    }
+
+    #[test]
+    fn geometry_derived_quantities() {
+        let g = DramGeometry::new(2, 4, 32).unwrap();
+        assert_eq!(g.channels(), 2);
+        assert_eq!(g.banks_per_channel(), 4);
+        assert_eq!(g.row_lines(), 32);
+        assert_eq!(g.total_banks(), 8);
+        assert_eq!(g.row_bytes(64), 2048);
+        assert_eq!(g.to_string(), "2ch x 4banks x 32lines/row");
+    }
+
+    #[test]
+    fn paper_constant_is_one_channel_eight_banks() {
+        assert_eq!(DramGeometry::PAPER.total_banks(), 8);
+        assert_eq!(DramGeometry::PAPER.row_lines(), 64);
+    }
+}

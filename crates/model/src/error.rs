@@ -19,6 +19,8 @@ pub enum ModelError {
         /// The offending line size in bytes.
         line_size: u32,
     },
+    /// A DRAM geometry with a zero dimension was requested.
+    ZeroDramGeometry,
 }
 
 impl fmt::Display for ModelError {
@@ -30,6 +32,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::LineSizeNotPowerOfTwo { line_size } => {
                 write!(f, "cache line size {line_size} is not a power of two")
+            }
+            ModelError::ZeroDramGeometry => {
+                write!(f, "dram geometry dimensions must all be non-zero")
             }
         }
     }
@@ -47,6 +52,7 @@ mod tests {
             ModelError::ZeroSlotWidth,
             ModelError::ZeroGeometry,
             ModelError::LineSizeNotPowerOfTwo { line_size: 48 },
+            ModelError::ZeroDramGeometry,
         ] {
             let msg = e.to_string();
             assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("cache"));

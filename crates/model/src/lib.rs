@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod dram_geom;
 mod error;
 mod geometry;
 mod ids;
@@ -41,6 +42,7 @@ mod mem;
 mod time;
 
 pub use addr::{Address, LineAddr};
+pub use dram_geom::{BankId, DramGeometry, RowAddr};
 pub use error::ModelError;
 pub use geometry::CacheGeometry;
 pub use ids::{CoreId, PartitionId, SetIdx, WayIdx};

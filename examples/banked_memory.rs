@@ -1,0 +1,61 @@
+//! Bank-aware DRAM in action: the same streaming workload over the
+//! fixed-latency seed model, the banked model with interleaved banks,
+//! bank-privatized per-core slices, and the worst-case adapter.
+//!
+//! Run with: `cargo run --release --example banked_memory`
+
+use predllc::analysis::SlotBudget;
+use predllc::workload_gen::StrideGen;
+use predllc::{CoreId, MemoryConfig, MultiCore, PartitionSpec, Simulator, SystemConfig};
+
+const CORES: u16 = 4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Each core streams its own 64 KiB window, 1 MiB apart — maximal
+    // row-buffer locality per core, zero sharing between cores.
+    let workload = {
+        let mut w = MultiCore::new();
+        for core in 0..CORES {
+            w = w.core(StrideGen::new(u64::from(core) << 20, 64 << 10, 2_000));
+        }
+        w
+    };
+
+    println!(
+        "{:<28} {:>9} {:>9} {:>10} {:>8} {:>8}",
+        "backend", "row-hits", "conflicts", "hit-rate", "max-lat", "slack"
+    );
+    for memory in [
+        MemoryConfig::default(),
+        MemoryConfig::banked(),
+        MemoryConfig::bank_private(),
+        MemoryConfig::bank_private().worst_case(),
+    ] {
+        let config = SystemConfig::builder(CORES)
+            .partitions(
+                CoreId::first(CORES)
+                    .map(|c| PartitionSpec::private(4, 2, c))
+                    .collect(),
+            )
+            .memory(memory.clone())
+            .build()?;
+        let slack = SlotBudget::from_config(&config).slack();
+        let report = Simulator::new(config)?.run(&workload)?;
+        println!(
+            "{:<28} {:>9} {:>9} {:>9.1}% {:>8} {:>8}",
+            memory.label(),
+            report.stats.dram_row_hits,
+            report.stats.dram_row_conflicts,
+            100.0 * report.stats.dram_row_hit_rate(),
+            report.stats.max_dram_latency.as_u64(),
+            slack.as_u64(),
+        );
+    }
+    println!();
+    println!(
+        "Interleaved banks destroy per-core row locality under TDM \
+         interleaving;\nbank privatization preserves it — same addresses, \
+         same LLC, different DRAM."
+    );
+    Ok(())
+}

@@ -12,7 +12,11 @@
 //! * [`model`] ([`predllc_model`]) — core vocabulary: addresses, cycles,
 //!   cache geometry, memory operations.
 //! * [`cache`] ([`predllc_cache`]) — set-associative caches, replacement
-//!   policies, private L1/L2 hierarchies, DRAM.
+//!   policies, private L1/L2 hierarchies.
+//! * [`dram`] ([`predllc_dram`]) — pluggable memory backends behind the
+//!   LLC: the default fixed-latency model, the bank/row-buffer-aware
+//!   [`BankedDram`], and the [`WorstCase`] adapter, all behind
+//!   [`MemoryBackend`].
 //! * [`bus`] ([`predllc_bus`]) — TDM schedules, 1S-TDM, slot distance,
 //!   PRB/PWB buffers.
 //! * [`sim`] ([`predllc_core`]) — partitions, the set sequencer, the LLC
@@ -62,6 +66,35 @@
 //! # }
 //! ```
 //!
+//! ## Choosing a memory backend
+//!
+//! The LLC sits in front of a pluggable [`MemoryBackend`]. The default
+//! is the paper's fixed 30-cycle DRAM; [`MemoryConfig`] selects the
+//! bank/row-buffer-aware model (interleaved or bank-privatized per-core
+//! mapping) or pins every access to the analytical worst case. The
+//! builder rejects any backend whose worst-case access latency does not
+//! fit the TDM slot — the system model's slot-budget invariant.
+//!
+//! ```
+//! use predllc::{MemoryConfig, SharingMode, Simulator, SystemConfig, PartitionSpec, CoreId};
+//! use predllc::workload_gen::UniformGen;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = SystemConfig::builder(4)
+//!     .partitions(vec![PartitionSpec::shared(
+//!         8, 4,
+//!         (0..4).map(CoreId::new).collect(),
+//!         SharingMode::SetSequencer,
+//!     )])
+//!     .memory(MemoryConfig::bank_private()) // banked DRAM, per-core bank slices
+//!     .build()?;
+//! let report = Simulator::new(config)?.run(&UniformGen::new(8192, 500).with_cores(4))?;
+//! assert!(report.stats.dram_row_hits + report.stats.dram_row_empties
+//!     + report.stats.dram_row_conflicts > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! Migrating from the consuming `Simulator::run(self, Vec<Vec<MemOp>>)`
 //! API? See `MIGRATION.md` at the repository root.
 
@@ -71,6 +104,7 @@
 pub use predllc_bus as bus;
 pub use predllc_cache as cache;
 pub use predllc_core as sim;
+pub use predllc_dram as dram;
 pub use predllc_model as model;
 pub use predllc_workload as workload;
 
@@ -81,8 +115,13 @@ pub use predllc_core::{
     ConfigError, Event, EventKind, EventLog, PartitionMap, PartitionSpec, RunReport, SharingMode,
     SimError, Simulator, SystemConfig, SystemConfigBuilder,
 };
+pub use predllc_dram::{
+    BankMapping, BankedDram, DramTiming, FixedLatency, MemoryBackend, MemoryConfig, RowOutcome,
+    WorstCase,
+};
 pub use predllc_model::{
-    AccessKind, Address, CacheGeometry, CoreId, Cycles, LineAddr, MemOp, SlotWidth,
+    AccessKind, Address, BankId, CacheGeometry, CoreId, Cycles, DramGeometry, LineAddr, MemOp,
+    RowAddr, SlotWidth,
 };
 pub use predllc_workload::{MultiCore, OpStream, TraceSet, Workload};
 
