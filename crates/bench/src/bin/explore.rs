@@ -1,0 +1,136 @@
+//! The design-space exploration CLI: run a JSON experiment spec —
+//! a grid of partition geometries, sharing modes, TDM schedules, memory
+//! backends and workloads — on the work-stealing executor, render
+//! CSV/JSON reports with full latency percentiles, and (when the spec
+//! declares a taskset and search block) print the minimal partition
+//! configuration under which the taskset is schedulable.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p predllc-bench --bin explore -- <spec.json>
+//!     [--threads N]          worker threads (default: all cores)
+//!     [--format csv|json]    stdout format (default: csv)
+//!     [--out PATH]           also write the report to PATH
+//!     [--bench-out PATH]     write the JSON benchmark artifact
+//!                            (grid + search + wall time) to PATH
+//! ```
+//!
+//! Exit status is non-zero on any spec/simulation failure, and on a
+//! percentile-consistency violation (every grid point's p100 must equal
+//! its observed WCL — the histogram's exactness contract).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use predllc_explore::report::{render_csv, render_json, render_search};
+use predllc_explore::{run_spec, Executor, ExperimentSpec};
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("explore: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut spec_path = None;
+    let mut threads = 0usize;
+    let mut format = "csv".to_string();
+    let mut out_path: Option<String> = None;
+    let mut bench_out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a number")?;
+            }
+            "--format" => {
+                format = it.next().ok_or("--format needs csv or json")?;
+                if format != "csv" && format != "json" {
+                    return Err(format!("unknown format '{format}' (csv or json)"));
+                }
+            }
+            "--out" => out_path = Some(it.next().ok_or("--out needs a path")?),
+            "--bench-out" => bench_out = Some(it.next().ok_or("--bench-out needs a path")?),
+            other if spec_path.is_none() && !other.starts_with("--") => {
+                spec_path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let spec_path = spec_path.ok_or("usage: explore <spec.json> [--threads N] [--format csv|json] [--out PATH] [--bench-out PATH]")?;
+
+    let text =
+        std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = ExperimentSpec::parse(&text).map_err(|e| e.to_string())?;
+    let exec = Executor::new(threads);
+    eprintln!(
+        "explore: '{}' — {} grid point(s) on {} thread(s)",
+        spec.name,
+        spec.grid_len(),
+        exec.threads()
+    );
+
+    let started = Instant::now();
+    let report = run_spec(&spec, &exec).map_err(|e| e.to_string())?;
+    let wall_ms = started.elapsed().as_millis() as u64;
+
+    // The histogram exactness contract: every grid point's 100th
+    // percentile (from the histogram) equals its observed WCL (from the
+    // scalar counters), bit for bit, and percentiles are ordered.
+    let violations: Vec<String> = report
+        .grid
+        .iter()
+        .filter(|r| r.p100 != r.observed_wcl || r.p50 > r.p90 || r.p90 > r.p99 || r.p99 > r.p100)
+        .map(|r| format!("{} x {}", r.config, r.workload))
+        .collect();
+    if !violations.is_empty() {
+        return Err(format!(
+            "percentile consistency violated at: {}",
+            violations.join(", ")
+        ));
+    }
+
+    // Render JSON once, whether it goes to stdout, --out or
+    // --bench-out.
+    let json = if format == "json" || bench_out.is_some() {
+        Some(render_json(
+            &spec.name,
+            exec.threads(),
+            Some(wall_ms),
+            &report.grid,
+            report.search.as_ref(),
+        ))
+    } else {
+        None
+    };
+    let rendered = match format.as_str() {
+        "json" => json.clone().expect("rendered above"),
+        _ => render_csv(&report.grid),
+    };
+    print!("{rendered}");
+    if let Some(path) = &out_path {
+        std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &bench_out {
+        let artifact = json.as_ref().expect("rendered above");
+        std::fs::write(path, artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("explore: benchmark artifact written to {path}");
+    }
+
+    if let Some(outcome) = &report.search {
+        eprint!("{}", render_search(outcome));
+    }
+    eprintln!(
+        "explore: {} point(s) in {wall_ms} ms, all percentiles consistent",
+        report.grid.len()
+    );
+    Ok(())
+}

@@ -54,8 +54,15 @@ pub struct Measurement {
     /// Numeric x-axis value of the workload (per-core address range in
     /// bytes for the paper's sweeps; 0 when not applicable).
     pub range: u64,
-    /// Worst observed request latency, cycles.
+    /// Worst observed request latency, cycles — identical to the
+    /// latency distribution's 100th percentile.
     pub observed_wcl: u64,
+    /// Median request latency, cycles.
+    pub p50: u64,
+    /// 90th-percentile request latency, cycles.
+    pub p90: u64,
+    /// 99th-percentile request latency, cycles.
+    pub p99: u64,
     /// Execution time (makespan), cycles.
     pub execution_time: u64,
     /// Analytical WCL for the configuration, cycles (None if the
@@ -104,12 +111,16 @@ pub fn measure(
     let analytical = analytical_wcl(&config);
     let backend = config.memory().label();
     let report = run(config, &gen);
+    let latencies = report.latency_histogram();
     Measurement {
         label: label.to_string(),
         workload: format!("uniform/{range}B"),
         backend,
         range,
         observed_wcl: report.max_request_latency().as_u64(),
+        p50: latencies.percentile(50.0).as_u64(),
+        p90: latencies.percentile(90.0).as_u64(),
+        p99: latencies.percentile(99.0).as_u64(),
         execution_time: report.execution_time().as_u64(),
         analytical_wcl: analytical,
         row_hit_rate: report.stats.dram_row_hit_rate(),
@@ -206,6 +217,29 @@ pub fn render_csv(rows: &[Measurement]) -> String {
     out
 }
 
+/// Renders measurements as CSV with the latency-percentile columns —
+/// the full-distribution view the histogram recorder enables.
+pub fn render_csv_with_percentiles(rows: &[Measurement]) -> String {
+    let mut out = String::from(
+        "label,workload,range_bytes,p50,p90,p99,observed_wcl,execution_time,analytical_wcl\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            r.label,
+            r.workload,
+            r.range,
+            r.p50,
+            r.p90,
+            r.p99,
+            r.observed_wcl,
+            r.execution_time,
+            r.analytical_wcl.map_or(String::new(), |v| v.to_string()),
+        ));
+    }
+    out
+}
+
 /// Renders measurements as CSV with the memory-backend label column —
 /// the format of backend-comparison sweeps like `dram_sensitivity`.
 pub fn render_csv_with_backend(rows: &[Measurement]) -> String {
@@ -254,6 +288,8 @@ mod tests {
         let m = measure("SS(1,2,4)", ss(1, 2, 4), 2048, 50, 3, 0.2);
         assert!(m.observed_wcl <= m.analytical_wcl.unwrap());
         assert!(m.execution_time > 0);
+        // The percentile chain is ordered and capped by the max.
+        assert!(m.p50 > 0 && m.p50 <= m.p90 && m.p90 <= m.p99 && m.p99 <= m.observed_wcl);
     }
 
     #[test]
@@ -265,6 +301,9 @@ mod tests {
                 backend: "fixed(30)".into(),
                 range: 1024,
                 observed_wcl: 10,
+                p50: 5,
+                p90: 9,
+                p99: 10,
                 execution_time: 99,
                 analytical_wcl: Some(100),
                 row_hit_rate: 0.0,
@@ -275,6 +314,9 @@ mod tests {
                 backend: "banked(1x8,interleaved)".into(),
                 range: 1024,
                 observed_wcl: 20,
+                p50: 12,
+                p90: 18,
+                p99: 20,
                 execution_time: 88,
                 analytical_wcl: None,
                 row_hit_rate: 0.75,
@@ -292,6 +334,10 @@ mod tests {
         assert!(cb.starts_with("label,workload,backend,"));
         assert!(cb.contains("A,uniform/1024B,fixed(30),1024,10,99,100,0.000"));
         assert!(cb.contains("B,uniform/1024B,banked(1x8,interleaved),1024,20,88,,0.750"));
+        // ...and the percentile variant reports the distribution.
+        let cp = render_csv_with_percentiles(&rows);
+        assert!(cp.starts_with("label,workload,range_bytes,p50,p90,p99,"));
+        assert!(cp.contains("A,uniform/1024B,1024,5,9,10,10,99,100"));
     }
 
     #[test]

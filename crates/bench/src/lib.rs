@@ -8,11 +8,15 @@
 //!   split (paper Fig. 8a-d);
 //! * `headline` — the analytical WCL table and the "2048x" ratio claim;
 //! * `ablation` — arbiter/replacement/sharer-count sweeps beyond the
-//!   paper.
+//!   paper;
+//! * `explore` — design-space exploration from a JSON spec: grids with
+//!   full latency percentiles plus the schedulability-driven partition
+//!   search (see `predllc-explore`).
 //!
 //! [`sweep::Sweep`] is the batch-run API: a named grid of configurations
-//! × workloads, one reusable `Simulator` per configuration, parallel
-//! across configurations.
+//! × workloads, one reusable `Simulator` per configuration, individual
+//! grid points scheduled on the work-stealing
+//! [`Executor`](predllc_explore::Executor).
 //!
 //! `benches/microbench.rs` holds the (self-contained) microbenchmarks.
 

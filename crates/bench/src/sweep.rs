@@ -4,9 +4,11 @@
 //! configurations and workloads once, call [`Sweep::run`], get one
 //! [`Measurement`] per grid point. Each configuration's [`Simulator`] is
 //! constructed **once** and reused for every workload (the borrowing
-//! `run(&self, …)` API makes that free), and configurations execute in
-//! parallel across threads — workloads are streamed, so even a
-//! million-op grid point allocates no trace storage.
+//! `run(&self, …)` API makes that free), and individual **grid points**
+//! are scheduled on the work-stealing
+//! [`Executor`] — so one slow configuration
+//! no longer serializes its whole row, and results are bit-identical
+//! for every thread count.
 //!
 //! # Examples
 //!
@@ -27,9 +29,8 @@
 //! # }
 //! ```
 
-use std::thread;
-
 use predllc_core::{SimError, Simulator, SystemConfig};
+use predllc_explore::Executor;
 use predllc_workload::Workload;
 
 use crate::harness::{analytical_wcl, Measurement};
@@ -51,6 +52,7 @@ struct SweepWorkload {
 pub struct Sweep {
     configs: Vec<(String, SystemConfig)>,
     workloads: Vec<SweepWorkload>,
+    threads: usize,
 }
 
 impl Sweep {
@@ -86,6 +88,13 @@ impl Sweep {
         self
     }
 
+    /// Sets the worker-thread count (default `0`: one per available
+    /// core). Results are identical whatever the count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Number of grid points ([`Sweep::run`] returns this many rows).
     pub fn len(&self) -> usize {
         self.configs.len() * self.workloads.len()
@@ -99,61 +108,54 @@ impl Sweep {
     /// Runs the whole grid and returns one [`Measurement`] per point, in
     /// `(config, workload)` declaration order.
     ///
-    /// One `Simulator` is built per configuration and reused across all
-    /// of that configuration's workloads; configurations run in
-    /// parallel on scoped threads. The sweep is deterministic: workloads
-    /// are replayable by contract, so every run of the same grid yields
-    /// the same measurements.
+    /// One `Simulator` is built per configuration and shared (borrowed)
+    /// by all of that configuration's grid points, which the
+    /// work-stealing executor schedules **individually**: a slow point
+    /// only occupies one worker, never a whole configuration row. The
+    /// sweep is deterministic — workloads are replayable by contract and
+    /// results assemble in declaration order — so every run of the same
+    /// grid yields the same measurements, whatever the thread count.
     ///
     /// # Errors
     ///
-    /// The first [`SimError`] encountered (e.g. a workload whose core
-    /// count does not match a configuration), in grid order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread panics (propagated).
+    /// [`SimError::Config`] for the first configuration (in declaration
+    /// order) that fails validation — checked up front, before any grid
+    /// point runs. Otherwise, the first failing grid point's error in
+    /// grid order (e.g. a workload whose core count does not match a
+    /// configuration).
     pub fn run(&self) -> Result<Vec<Measurement>, SimError> {
-        let mut per_config: Vec<Result<Vec<Measurement>, SimError>> = Vec::new();
-        thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .configs
-                .iter()
-                .map(|(label, config)| scope.spawn(move || self.run_config(label, config)))
-                .collect();
-            for h in handles {
-                per_config.push(h.join().expect("sweep worker panicked"));
-            }
-        });
-        let mut rows = Vec::with_capacity(self.len());
-        for r in per_config {
-            rows.extend(r?);
+        // Validate every configuration up front; one simulator per
+        // configuration, shared by its grid points.
+        let mut sims: Vec<(Simulator, Option<u64>, String)> =
+            Vec::with_capacity(self.configs.len());
+        for (_, config) in &self.configs {
+            let analytical = analytical_wcl(config);
+            let backend = config.memory().label();
+            sims.push((Simulator::new(config.clone())?, analytical, backend));
         }
-        Ok(rows)
-    }
 
-    /// Runs every workload against one configuration, reusing a single
-    /// simulator instance.
-    fn run_config(&self, label: &str, config: &SystemConfig) -> Result<Vec<Measurement>, SimError> {
-        let analytical = analytical_wcl(config);
-        let backend = config.memory().label();
-        let sim = Simulator::new(config.clone()).expect("validated configuration");
-        self.workloads
-            .iter()
-            .map(|w| {
-                let report = sim.run(&w.workload)?;
-                Ok(Measurement {
-                    label: label.to_string(),
-                    workload: w.label.clone(),
-                    backend: backend.clone(),
-                    range: w.x,
-                    observed_wcl: report.max_request_latency().as_u64(),
-                    execution_time: report.execution_time().as_u64(),
-                    analytical_wcl: analytical,
-                    row_hit_rate: report.stats.dram_row_hit_rate(),
-                })
+        let points: Vec<(usize, usize)> = (0..self.configs.len())
+            .flat_map(|ci| (0..self.workloads.len()).map(move |wi| (ci, wi)))
+            .collect();
+        Executor::new(self.threads).try_map(&points, |_, &(ci, wi)| {
+            let (sim, analytical, backend) = &sims[ci];
+            let w = &self.workloads[wi];
+            let report = sim.run(&w.workload)?;
+            let latencies = report.latency_histogram();
+            Ok(Measurement {
+                label: self.configs[ci].0.clone(),
+                workload: w.label.clone(),
+                backend: backend.clone(),
+                range: w.x,
+                observed_wcl: report.max_request_latency().as_u64(),
+                p50: latencies.percentile(50.0).as_u64(),
+                p90: latencies.percentile(90.0).as_u64(),
+                p99: latencies.percentile(99.0).as_u64(),
+                execution_time: report.execution_time().as_u64(),
+                analytical_wcl: *analytical,
+                row_hit_rate: report.stats.dram_row_hit_rate(),
             })
-            .collect()
+        })
     }
 }
 
@@ -187,6 +189,10 @@ mod tests {
         );
         assert!(rows.iter().all(|m| m.execution_time > 0));
         assert!(rows.iter().all(|m| m.analytical_wcl.is_some()));
+        // Percentiles are ordered and capped by the observed WCL.
+        assert!(rows
+            .iter()
+            .all(|m| m.p50 <= m.p90 && m.p90 <= m.p99 && m.p99 <= m.observed_wcl));
     }
 
     #[test]
@@ -208,6 +214,49 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_results() {
+        let build = |threads: usize| {
+            Sweep::new()
+                .config("SS(1,2,2)", ss(1, 2, 2))
+                .config("P(2,2)", p(2, 2, 2))
+                .config("P(4,2)", p(4, 2, 2))
+                .workload_at("u/1k", 1024, uniform_workload(1024, 60, 1, 0.2, 2))
+                .workload_at("u/4k", 4096, uniform_workload(4096, 60, 2, 0.2, 2))
+                .threads(threads)
+                .run()
+                .unwrap()
+        };
+        let reference = build(1);
+        for threads in [2, 4, 8] {
+            let rows = build(threads);
+            assert_eq!(rows.len(), reference.len());
+            for (a, b) in rows.iter().zip(&reference) {
+                assert_eq!(
+                    (
+                        &a.label,
+                        &a.workload,
+                        a.observed_wcl,
+                        a.p50,
+                        a.p90,
+                        a.p99,
+                        a.execution_time
+                    ),
+                    (
+                        &b.label,
+                        &b.workload,
+                        b.observed_wcl,
+                        b.p50,
+                        b.p90,
+                        b.p99,
+                        b.execution_time
+                    ),
+                    "thread count {threads} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn core_count_mismatch_surfaces_as_error() {
         let err = Sweep::new()
             .config("SS", ss(1, 2, 4))
@@ -215,6 +264,14 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, SimError::CoreCountMismatch { .. }));
+    }
+
+    #[test]
+    fn invalid_configuration_surfaces_as_config_error() {
+        // Simulator::new failures propagate as SimError::Config instead
+        // of panicking mid-sweep; this conversion is what run relies on.
+        let err = SimError::from(predllc_core::ConfigError::NoCores);
+        assert!(matches!(err, SimError::Config(_)));
     }
 
     #[test]

@@ -61,6 +61,24 @@ impl RunReport {
     pub fn core_max_latency(&self, core: CoreId) -> Cycles {
         self.stats.core(core).max_request_latency
     }
+
+    /// The system-wide request-latency distribution (every core's
+    /// log-bucketed histogram merged).
+    pub fn latency_histogram(&self) -> crate::histogram::LatencyHistogram {
+        self.stats.request_latencies()
+    }
+
+    /// The value at percentile `p` of the system-wide request-latency
+    /// distribution. `latency_percentile(100.0)` is exactly
+    /// [`RunReport::max_request_latency`].
+    pub fn latency_percentile(&self, p: f64) -> Cycles {
+        self.latency_histogram().percentile(p)
+    }
+
+    /// The p50/p90/p99/p100 summary of the run's request latencies.
+    pub fn latency_summary(&self) -> crate::histogram::LatencySummary {
+        self.latency_histogram().summary()
+    }
 }
 
 /// The multicore simulator.

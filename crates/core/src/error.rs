@@ -208,6 +208,11 @@ pub enum SimError {
         /// The cores that still had unfinished work.
         pending: Vec<CoreId>,
     },
+    /// A configuration failed validation on the way into a run — raised
+    /// by batch surfaces (sweeps, experiment grids) that construct
+    /// simulators from declared configurations, so one bad column is a
+    /// typed error instead of a panic.
+    Config(ConfigError),
 }
 
 impl fmt::Display for SimError {
@@ -229,11 +234,25 @@ impl fmt::Display for SimError {
                     pending.len()
                 )
             }
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
 
-impl Error for SimError {}
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -263,6 +282,9 @@ mod tests {
         let msg = d.to_string();
         assert!(msg.contains("5000000") && msg.contains("2 core(s)"));
         assert!(!msg.ends_with('.'));
+        let c = SimError::from(ConfigError::NoCores);
+        assert!(c.to_string().contains("invalid configuration"));
+        assert!(c.source().is_some());
     }
 
     #[test]

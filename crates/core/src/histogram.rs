@@ -1,0 +1,413 @@
+//! Per-request latency histograms: log-bucketed, mergeable, O(1) per
+//! record.
+//!
+//! The WCL experiments used to report a single scalar — the worst
+//! request latency of a run. A [`LatencyHistogram`] keeps the whole
+//! distribution at a bounded memory cost (496 counters), so a run can
+//! report p50/p90/p99/p100 and the full bucket breakdown. The bucket
+//! scheme is log-linear (HDR-histogram style): values below 8 get exact
+//! buckets, and every power-of-two octave above is split into 8
+//! sub-buckets, keeping the relative quantile error below 12.5%.
+//!
+//! Exact extremes are tracked separately, so [`LatencyHistogram::max`]
+//! — and therefore the 100th percentile — is *exact*, not a bucket
+//! bound: `p100` always equals the run's `max_request_latency`.
+//!
+//! Histograms merge associatively and commutatively (plain counter
+//! addition), so per-core records fold into a system-wide distribution
+//! — and distributions from different runs fold into campaign-level
+//! reports — without any loss.
+
+use std::fmt;
+
+use predllc_model::Cycles;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^GROUP_BITS` linear sub-buckets.
+const GROUP_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << GROUP_BITS;
+/// Total bucket count: group 0 holds the exact values `0..SUB`, and each
+/// of the `64 - GROUP_BITS` remaining octave groups holds `SUB` buckets.
+/// `u64::MAX` lands in the last bucket.
+const BUCKETS: usize = (64 - GROUP_BITS as usize + 1) * SUB as usize;
+
+/// The bucket a value is counted in.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let group = (msb - GROUP_BITS + 1) as usize;
+    let offset = ((v >> (msb - GROUP_BITS)) - SUB) as usize;
+    group * SUB as usize + offset
+}
+
+/// The largest value that maps to bucket `i` (inclusive).
+fn bucket_high(i: usize) -> u64 {
+    if i < SUB as usize {
+        return i as u64;
+    }
+    let group = (i / SUB as usize) as u32;
+    let offset = (i % SUB as usize) as u64;
+    let shift = group - 1;
+    ((SUB + offset) << shift) + ((1u64 << shift) - 1)
+}
+
+/// The smallest value that maps to bucket `i`.
+fn bucket_low(i: usize) -> u64 {
+    if i < SUB as usize {
+        return i as u64;
+    }
+    let group = (i / SUB as usize) as u32;
+    let offset = (i % SUB as usize) as u64;
+    (SUB + offset) << (group - 1)
+}
+
+/// A log-bucketed histogram of request latencies.
+///
+/// Recording is O(1); memory is a fixed 496 counters (allocated on the
+/// first record, so an idle core's stats stay tiny). Merging two
+/// histograms is exact counter addition — associative and commutative —
+/// and percentile queries run over the merged counts.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_core::histogram::LatencyHistogram;
+/// use predllc_model::Cycles;
+///
+/// let mut h = LatencyHistogram::new();
+/// for latency in [100, 150, 150, 900] {
+///     h.record(Cycles::new(latency));
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), Cycles::new(900));
+/// // The 100th percentile is the exact maximum, not a bucket bound.
+/// assert_eq!(h.percentile(100.0), Cycles::new(900));
+/// // Lower percentiles resolve to within one sub-bucket (≤ 12.5%).
+/// assert!(h.percentile(50.0).as_u64() >= 144 && h.percentile(50.0).as_u64() <= 159);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Bucket counters; empty until the first record (an all-zero vector
+    /// and an unallocated one compare equal via `count == 0`).
+    buckets: Vec<u64>,
+    /// Total records.
+    count: u64,
+    /// Sum of all recorded values (for the exact mean).
+    total: u64,
+    /// Exact smallest recorded value (`u64::MAX` when empty).
+    min: u64,
+    /// Exact largest recorded value.
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    /// An empty histogram (the `min` sentinel makes this a manual impl).
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Vec::new(),
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one latency observation. O(1).
+    pub fn record(&mut self, latency: Cycles) {
+        let v = latency.as_u64();
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+        }
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one. Plain counter addition:
+    /// associative, commutative, and lossless.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The exact smallest recorded value (zero when empty).
+    pub fn min(&self) -> Cycles {
+        if self.count == 0 {
+            Cycles::ZERO
+        } else {
+            Cycles::new(self.min)
+        }
+    }
+
+    /// The exact largest recorded value (zero when empty).
+    pub fn max(&self) -> Cycles {
+        Cycles::new(self.max)
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn total(&self) -> Cycles {
+        Cycles::new(self.total)
+    }
+
+    /// The exact mean, or zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The value at percentile `p` (`0.0 ..= 100.0`, clamped).
+    ///
+    /// The rank-`⌈p/100·count⌉` observation's bucket upper bound, clamped
+    /// into the exact `[min, max]` range — so `percentile(100.0)` is the
+    /// exact maximum and low percentiles never undershoot the minimum.
+    /// Returns zero for an empty histogram. Deterministic: the same
+    /// counts always give the same answer.
+    pub fn percentile(&self, p: f64) -> Cycles {
+        if self.count == 0 {
+            return Cycles::ZERO;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Cycles::new(bucket_high(i).clamp(self.min, self.max));
+            }
+        }
+        // Unreachable while counters are consistent; the exact max is
+        // the safe answer.
+        Cycles::new(self.max)
+    }
+
+    /// The non-empty buckets as `(low, high, count)` ranges, low to
+    /// high — the full distribution for reports.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_low(i), bucket_high(i), n))
+            .collect()
+    }
+
+    /// The p50/p90/p99/p100 summary of this distribution.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+            p100: self.max(),
+        }
+    }
+}
+
+/// The headline percentiles of a latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Observations in the distribution.
+    pub count: u64,
+    /// Exact mean latency.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: Cycles,
+    /// 90th percentile.
+    pub p90: Cycles,
+    /// 99th percentile.
+    pub p99: Cycles,
+    /// Exact maximum (100th percentile).
+    pub p100: Cycles,
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p90={} p99={} p100={}",
+            self.count,
+            self.mean,
+            self.p50.as_u64(),
+            self.p90.as_u64(),
+            self.p99.as_u64(),
+            self.p100.as_u64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(values: &[u64]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for &v in values {
+            h.record(Cycles::new(v));
+        }
+        h
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = None;
+        for v in (0..2048).chain([u64::MAX / 2, u64::MAX - 1, u64::MAX]) {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(bucket_low(i) <= v && v <= bucket_high(i), "v={v} i={i}");
+            if let Some(p) = prev {
+                assert!(i >= p, "bucket index not monotone at {v}");
+            }
+            prev = Some(i);
+        }
+        // Small values get exact buckets.
+        for v in 0..SUB {
+            assert_eq!(bucket_low(bucket_index(v)), v);
+            assert_eq!(bucket_high(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_tile_without_gaps() {
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_high(i) + 1,
+                bucket_low(i + 1),
+                "gap or overlap between buckets {i} and {}",
+                i + 1
+            );
+        }
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn counts_sum_to_total_records() {
+        let h = filled(&[0, 1, 7, 8, 100, 100, 5000, u64::MAX]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count());
+        assert_eq!(h.nonzero_buckets().iter().map(|b| b.2).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn p100_is_the_exact_max() {
+        let h = filled(&[90, 140, 143, 4391]);
+        assert_eq!(h.percentile(100.0), Cycles::new(4391));
+        assert_eq!(h.max(), Cycles::new(4391));
+        assert_eq!(h.summary().p100, Cycles::new(4391));
+    }
+
+    #[test]
+    fn percentiles_stay_within_one_sub_bucket() {
+        // 1000 distinct values 1..=1000: pN must land within 12.5% above
+        // the exact order statistic (bucket upper bound), and never
+        // below it.
+        let values: Vec<u64> = (1..=1000).collect();
+        let h = filled(&values);
+        for (p, exact) in [(50.0, 500u64), (90.0, 900), (99.0, 990)] {
+            let got = h.percentile(p).as_u64();
+            assert!(got >= exact, "p{p} undershoots: {got} < {exact}");
+            assert!(
+                (got as f64) <= exact as f64 * 1.125 + 1.0,
+                "p{p} overshoots: {got} vs {exact}"
+            );
+        }
+        assert_eq!(h.percentile(100.0).as_u64(), 1000);
+        assert_eq!(h.percentile(0.0).as_u64(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), Cycles::ZERO);
+        assert_eq!(h.max(), Cycles::ZERO);
+        assert_eq!(h.min(), Cycles::ZERO);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+        // Default and new compare equal, as do two untouched histograms.
+        assert_eq!(h, LatencyHistogram::default());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let a = filled(&[1, 50, 900]);
+        let b = filled(&[7, 7, 12_000]);
+        let c = filled(&[0, u64::MAX]);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge must be associative");
+
+        // The merge is lossless: same as recording everything into one.
+        let all = filled(&[1, 50, 900, 7, 7, 12_000, 0, u64::MAX]);
+        assert_eq!(ab_c, all);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let a = filled(&[10, 20]);
+        let mut merged = a.clone();
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged, a);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn summary_reports_and_displays() {
+        let h = filled(&[100, 200, 300, 400]);
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 250.0).abs() < 1e-9);
+        assert_eq!(s.p100, Cycles::new(400));
+        let text = s.to_string();
+        assert!(text.contains("n=4") && text.contains("p100=400"));
+    }
+}

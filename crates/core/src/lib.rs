@@ -96,6 +96,7 @@ pub mod core_model;
 pub mod engine;
 pub mod error;
 pub mod events;
+pub mod histogram;
 pub mod llc;
 pub mod partition;
 pub mod placement;
@@ -106,6 +107,7 @@ pub use config::{SystemConfig, SystemConfigBuilder};
 pub use engine::{RunReport, Simulator};
 pub use error::{ConfigError, SimError};
 pub use events::{Event, EventKind, EventLog};
+pub use histogram::{LatencyHistogram, LatencySummary};
 pub use partition::{PartitionMap, PartitionSpec, SharingMode};
 pub use placement::{pack, Placement, PlacementError};
 /// Re-export of the memory-backend selection consumed by

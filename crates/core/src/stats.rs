@@ -3,6 +3,8 @@
 
 use predllc_model::{CoreId, Cycles};
 
+use crate::histogram::LatencyHistogram;
+
 /// Counters for one core.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CoreStats {
@@ -30,6 +32,9 @@ pub struct CoreStats {
     pub requests: u64,
     /// Cycle at which the core finished its trace (0 if unfinished).
     pub finished_at: Cycles,
+    /// The full request-latency distribution (log-bucketed; its exact
+    /// maximum always equals [`CoreStats::max_request_latency`]).
+    pub latencies: LatencyHistogram,
 }
 
 impl CoreStats {
@@ -40,6 +45,7 @@ impl CoreStats {
         if latency > self.max_request_latency {
             self.max_request_latency = latency;
         }
+        self.latencies.record(latency);
     }
 
     /// Mean request latency, or zero if no requests were measured.
@@ -129,6 +135,16 @@ impl SimStats {
             .unwrap_or(Cycles::ZERO)
     }
 
+    /// The system-wide request-latency distribution: every core's
+    /// histogram merged (lossless counter addition).
+    pub fn request_latencies(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for core in &self.cores {
+            merged.merge(&core.latencies);
+        }
+        merged
+    }
+
     /// The cycle at which the last core finished (the workload's
     /// execution time).
     pub fn makespan(&self) -> Cycles {
@@ -203,6 +219,25 @@ mod tests {
             ..CoreStats::default()
         };
         assert!((s.private_hit_rate() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_histogram_tracks_every_record() {
+        let mut s = SimStats::new(2);
+        s.core_mut(CoreId::new(0)).record_latency(Cycles::new(90));
+        s.core_mut(CoreId::new(0)).record_latency(Cycles::new(450));
+        s.core_mut(CoreId::new(1)).record_latency(Cycles::new(140));
+        let merged = s.request_latencies();
+        assert_eq!(merged.count(), 3);
+        // The distribution's exact max is the scalar the experiments
+        // always reported.
+        assert_eq!(merged.max(), s.max_request_latency());
+        assert_eq!(merged.percentile(100.0), Cycles::new(450));
+        // Per core, the histogram agrees with the scalar counters too.
+        let c0 = s.core(CoreId::new(0));
+        assert_eq!(c0.latencies.count(), c0.requests);
+        assert_eq!(c0.latencies.max(), c0.max_request_latency);
+        assert_eq!(c0.latencies.total(), c0.total_request_latency);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Running an experiment grid: every `(configuration × workload)` point
+//! of an [`ExperimentSpec`], scheduled individually on the [`Executor`].
+//!
+//! Grid points — not configurations — are the unit of parallelism, so
+//! one expensive configuration cannot serialize its whole row. Results
+//! come back in declaration order (configuration-major, matching
+//! `bench::Sweep`) and are bit-identical for every thread count.
+
+use predllc_core::analysis::MemoryAwareWcl;
+use predllc_core::{Simulator, SystemConfig};
+use predllc_workload::Workload;
+
+use crate::executor::Executor;
+use crate::spec::ExperimentSpec;
+use crate::ExploreError;
+
+/// The measured outcome of one grid point, percentiles included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridResult {
+    /// Configuration label.
+    pub config: String,
+    /// Workload label.
+    pub workload: String,
+    /// Memory-backend label.
+    pub backend: String,
+    /// The workload's numeric x-axis value.
+    pub x: u64,
+    /// LLC requests measured.
+    pub requests: u64,
+    /// Median request latency (cycles).
+    pub p50: u64,
+    /// 90th-percentile request latency.
+    pub p90: u64,
+    /// 99th-percentile request latency.
+    pub p99: u64,
+    /// 100th percentile of the latency distribution, computed from the
+    /// histogram — always identical to [`GridResult::observed_wcl`]
+    /// (the `explore` CLI verifies this on every point).
+    pub p100: u64,
+    /// Worst observed request latency, from the scalar per-core
+    /// counters.
+    pub observed_wcl: u64,
+    /// Exact mean request latency.
+    pub mean_latency: f64,
+    /// Execution time (makespan), cycles.
+    pub execution_time: u64,
+    /// The analytical WCL bound, when the analysis covers the
+    /// configuration.
+    pub analytical_wcl: Option<u64>,
+    /// DRAM row-buffer hit rate (0 under fixed-latency backends).
+    pub row_hit_rate: f64,
+}
+
+/// Runs every grid point of `spec` on `exec`.
+///
+/// Each point builds its simulator from the validated per-configuration
+/// platform and streams the workload; nothing is shared between points,
+/// so results are pure functions of the spec and therefore identical
+/// across thread counts.
+///
+/// # Errors
+///
+/// [`ExploreError::Config`] for a configuration that fails to build
+/// (reported before any simulation starts), or [`ExploreError::Sim`]
+/// for the first failing grid point in declaration order.
+pub fn run_grid(spec: &ExperimentSpec, exec: &Executor) -> Result<Vec<GridResult>, ExploreError> {
+    // Build and validate every platform and workload once, up front.
+    let mut platforms: Vec<(SystemConfig, Option<u64>)> = Vec::with_capacity(spec.configs.len());
+    for c in &spec.configs {
+        let config = c.build(spec.cores).map_err(|source| ExploreError::Config {
+            label: c.label.clone(),
+            source,
+        })?;
+        let analytical = MemoryAwareWcl::from_config(&config)
+            .ok()
+            .and_then(|w| w.bound())
+            .map(|b| b.as_u64());
+        platforms.push((config, analytical));
+    }
+    let workloads: Vec<Box<dyn Workload>> = spec
+        .workloads
+        .iter()
+        .map(|w| w.spec.build(spec.cores))
+        .collect();
+
+    // Configuration-major declaration order, one job per point.
+    let points: Vec<(usize, usize)> = (0..spec.configs.len())
+        .flat_map(|ci| (0..spec.workloads.len()).map(move |wi| (ci, wi)))
+        .collect();
+    exec.try_map(&points, |_, &(ci, wi)| {
+        let (config, analytical) = &platforms[ci];
+        let entry = &spec.workloads[wi];
+        let sim = Simulator::new(config.clone()).map_err(|source| ExploreError::Config {
+            label: spec.configs[ci].label.clone(),
+            source,
+        })?;
+        let report = sim
+            .run(&workloads[wi])
+            .map_err(|source| ExploreError::Sim {
+                config: spec.configs[ci].label.clone(),
+                workload: entry.label.clone(),
+                source,
+            })?;
+        let latencies = report.latency_histogram();
+        Ok(GridResult {
+            config: spec.configs[ci].label.clone(),
+            workload: entry.label.clone(),
+            backend: config.memory().label(),
+            x: entry.x,
+            requests: latencies.count(),
+            p50: latencies.percentile(50.0).as_u64(),
+            p90: latencies.percentile(90.0).as_u64(),
+            p99: latencies.percentile(99.0).as_u64(),
+            p100: latencies.percentile(100.0).as_u64(),
+            observed_wcl: report.max_request_latency().as_u64(),
+            mean_latency: latencies.mean(),
+            execution_time: report.execution_time().as_u64(),
+            analytical_wcl: *analytical,
+            row_hit_rate: report.stats.dram_row_hit_rate(),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+
+    const SPEC: &str = r#"{
+        "name": "grid-test",
+        "cores": 2,
+        "configs": [
+            {"partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}},
+            {"partition": {"kind": "private", "sets": 4, "ways": 2},
+             "memory": {"kind": "banked", "banks": 8}}
+        ],
+        "workloads": [
+            {"kind": "uniform", "range_bytes": 2048, "ops": 120, "seed": 3,
+             "write_fraction": 0.25},
+            {"kind": "stride", "range_bytes": 2048, "stride": 64, "ops": 120}
+        ]
+    }"#;
+
+    #[test]
+    fn grid_runs_in_declaration_order_with_consistent_percentiles() {
+        let spec = ExperimentSpec::parse(SPEC).unwrap();
+        let rows = run_grid(&spec, &Executor::new(2)).unwrap();
+        assert_eq!(rows.len(), 4);
+        let order: Vec<(&str, &str)> = rows
+            .iter()
+            .map(|r| (r.config.as_str(), r.workload.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            [
+                ("SS(1,4)", "uniform/2048B"),
+                ("SS(1,4)", "stride/2048B"),
+                ("P(4,2)", "uniform/2048B"),
+                ("P(4,2)", "stride/2048B"),
+            ]
+        );
+        for r in &rows {
+            assert!(
+                r.requests > 0,
+                "{}/{} measured nothing",
+                r.config,
+                r.workload
+            );
+            // The ordering invariant of a latency distribution, and the
+            // exactness contract: the histogram's p100 is the scalar max.
+            assert!(r.p50 <= r.p90 && r.p90 <= r.p99 && r.p99 <= r.p100);
+            assert_eq!(r.p100, r.observed_wcl);
+            if let Some(bound) = r.analytical_wcl {
+                assert!(r.observed_wcl <= bound);
+            }
+        }
+        // The banked configuration reports its backend and row hits.
+        assert_eq!(rows[2].backend, "banked(1x8,interleaved)");
+        assert!(rows[2].row_hit_rate >= 0.0);
+        assert_eq!(rows[0].backend, "fixed(30)");
+    }
+
+    #[test]
+    fn grids_are_bit_identical_across_thread_counts() {
+        let spec = ExperimentSpec::parse(SPEC).unwrap();
+        let reference = run_grid(&spec, &Executor::new(1)).unwrap();
+        for threads in [2, 4, 8] {
+            let got = run_grid(&spec, &Executor::new(threads)).unwrap();
+            assert_eq!(got, reference, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn config_errors_name_the_failing_column() {
+        let bad = r#"{
+            "name": "bad", "cores": 2,
+            "configs": [{"label": "huge",
+                         "partition": {"kind": "private", "sets": 32, "ways": 16}}],
+            "workloads": [{"kind": "uniform", "range_bytes": 1024, "ops": 10}]
+        }"#;
+        let spec = ExperimentSpec::parse(bad).unwrap();
+        match run_grid(&spec, &Executor::new(1)).unwrap_err() {
+            ExploreError::Config { label, .. } => assert_eq!(label, "huge"),
+            other => panic!("expected Config, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! A minimal JSON value parser for experiment specs.
+//!
+//! The build runs in network-isolated environments (no serde), and the
+//! spec schema is open-ended enough — nested objects, optional blocks,
+//! heterogeneous grids — that the fixed-schema decoder style of
+//! `predllc_workload::io` would not scale. This parses any JSON document
+//! into a [`Json`] tree; the spec layer then walks the tree with typed
+//! accessors that produce positioned errors.
+//!
+//! Integers are kept as exact `u64` where possible (addresses and cycle
+//! counts exceed `f64`'s 53-bit mantissa); everything else is `f64`.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64`, kept exact.
+    UInt(u64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order preserved.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member of an object, if this is an object containing `key`.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` (exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object members.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::UInt(_) | Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+}
+
+/// A parse failure, with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What the parser expected or found.
+    pub message: String,
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid json at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// [`JsonError`] with the failure offset, including for trailing data.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        buf: input.as_bytes(),
+        at: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.at != p.buf.len() {
+        return Err(p.fail("trailing data after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.at,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.buf.get(self.at) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.buf.get(self.at).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.fail(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.buf[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.fail("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.fail(format!("duplicate key '{key}'")));
+            }
+            members.push((key, value));
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.fail("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.fail("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.buf.get(self.at) else {
+                return Err(self.fail("unterminated string"));
+            };
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.buf.get(self.at) else {
+                        return Err(self.fail("unterminated escape"));
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            // from_str_radix tolerates a leading '+',
+                            // which JSON does not: require 4 hex digits.
+                            let hex = self
+                                .buf
+                                .get(self.at..self.at + 4)
+                                .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.fail("invalid \\u escape"))?;
+                            self.at += 4;
+                            // Specs are machine-written; surrogate pairs
+                            // are not supported, matching the trace codec.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.fail("invalid \\u code point"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.fail("unknown escape")),
+                    }
+                }
+                _ => {
+                    let start = self.at - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.fail("invalid utf-8"))?;
+                    let slice = self
+                        .buf
+                        .get(start..start + len)
+                        .ok_or_else(|| self.fail("truncated utf-8"))?;
+                    let s = std::str::from_utf8(slice).map_err(|_| self.fail("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.at = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.at;
+        if self.buf.get(self.at) == Some(&b'-') {
+            self.at += 1;
+        }
+        while self.buf.get(self.at).is_some_and(|b| b.is_ascii_digit()) {
+            self.at += 1;
+        }
+        let mut fractional = false;
+        if self.buf.get(self.at) == Some(&b'.') {
+            fractional = true;
+            self.at += 1;
+            while self.buf.get(self.at).is_some_and(|b| b.is_ascii_digit()) {
+                self.at += 1;
+            }
+        }
+        if let Some(b'e' | b'E') = self.buf.get(self.at) {
+            fractional = true;
+            self.at += 1;
+            if let Some(b'+' | b'-') = self.buf.get(self.at) {
+                self.at += 1;
+            }
+            while self.buf.get(self.at).is_some_and(|b| b.is_ascii_digit()) {
+                self.at += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.buf[start..self.at])
+            .map_err(|_| self.fail("invalid number"))?;
+        if !fractional {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.fail("invalid number"))
+    }
+}
+
+const fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = parse(r#"{"a": [1, 2.5, "x", null, true], "b": {"c": -3}}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 5);
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[0].as_u64(),
+            Some(1)
+        );
+        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn big_integers_stay_exact() {
+        let doc = parse(&format!("{}", u64::MAX)).unwrap();
+        assert_eq!(doc.as_u64(), Some(u64::MAX));
+        // Fractions and negatives become floats.
+        assert_eq!(parse("0.25").unwrap().as_f64(), Some(0.25));
+        assert_eq!(parse("-7").unwrap().as_u64(), None);
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn strings_unescape() {
+        let doc = parse(r#""tab\t quote\" uA""#).unwrap();
+        assert_eq!(doc.as_str(), Some("tab\t quote\" uA"));
+        assert_eq!(parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+        // Sign-prefixed "hex" is not JSON, even though from_str_radix
+        // would accept it.
+        assert!(parse(r#""\u+041""#).is_err());
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        for (input, needle) in [
+            ("{", "expected"),
+            ("[1,]", "expected a value"),
+            (r#"{"a":1,"a":2}"#, "duplicate"),
+            ("1 2", "trailing"),
+            ("nope", "expected a value"),
+        ] {
+            let err = parse(input).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "input {input:?} gave {err:?}, wanted {needle:?}"
+            );
+            assert!(err.to_string().contains("byte"));
+        }
+    }
+
+    #[test]
+    fn type_names_cover_all_variants() {
+        for (text, name) in [
+            ("null", "null"),
+            ("true", "bool"),
+            ("1", "number"),
+            ("1.5", "number"),
+            (r#""s""#, "string"),
+            ("[]", "array"),
+            ("{}", "object"),
+        ] {
+            assert_eq!(parse(text).unwrap().type_name(), name);
+        }
+    }
+}

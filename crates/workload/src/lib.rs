@@ -46,8 +46,10 @@
 pub mod gen;
 pub mod io;
 pub mod rng;
+pub mod spec;
 pub mod trace;
 pub mod workload;
 
+pub use spec::WorkloadSpec;
 pub use trace::TraceSet;
 pub use workload::{MultiCore, OpStream, Workload};

@@ -1,0 +1,364 @@
+//! Spec-driven workload construction: a plain-data description of a
+//! generator family that builds a runnable [`Workload`] for any core
+//! count.
+//!
+//! A [`WorkloadSpec`] is the value an experiment file deserializes into:
+//! cloneable, comparable, and independent of the core count, so one spec
+//! line fans out across every configuration of a design-space grid. The
+//! single-stream generator families (stride, pointer-chase, hot/cold)
+//! are replicated per core over **disjoint address windows** — core `i`
+//! owns `[i·range, (i+1)·range)` — matching [`UniformGen`]'s
+//! layout and the paper's no-shared-data methodology; per-core seeds are
+//! derived from the spec seed so streams are independent yet
+//! reproducible.
+
+use crate::gen::{HotColdGen, PointerChaseGen, StrideGen, UniformGen};
+use crate::workload::{MultiCore, Workload};
+
+/// A buildable description of one workload family.
+///
+/// # Examples
+///
+/// ```
+/// use predllc_workload::spec::WorkloadSpec;
+/// use predllc_workload::Workload;
+///
+/// let spec = WorkloadSpec::Stride { range_bytes: 4096, stride: 64, ops: 100 };
+/// assert_eq!(spec.validate(), Ok(()));
+/// let w = spec.build(2);
+/// assert_eq!(w.num_cores(), 2);
+/// // Core windows are disjoint: core 1 starts one range up.
+/// assert!(w.core_ops(predllc_model::CoreId::new(1)).all(|op| op.addr.as_u64() >= 4096));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// The paper's uniform-random workload ([`UniformGen`]).
+    Uniform {
+        /// Per-core address range in bytes.
+        range_bytes: u64,
+        /// Operations per core.
+        ops: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Fraction of operations that are writes.
+        write_fraction: f64,
+    },
+    /// A constant-stride sweep per core ([`StrideGen`]).
+    Stride {
+        /// Per-core window size in bytes.
+        range_bytes: u64,
+        /// Stride in bytes.
+        stride: u64,
+        /// Operations per core.
+        ops: usize,
+    },
+    /// A pointer chase per core ([`PointerChaseGen`]).
+    PointerChase {
+        /// Per-core region size in bytes.
+        range_bytes: u64,
+        /// Operations per core.
+        ops: usize,
+        /// Permutation seed (each core mixes in its index).
+        seed: u64,
+    },
+    /// A hot/cold mix per core ([`HotColdGen`]).
+    HotCold {
+        /// Per-core region size in bytes.
+        range_bytes: u64,
+        /// Operations per core.
+        ops: usize,
+        /// RNG seed (each core mixes in its index).
+        seed: u64,
+        /// Fraction of the region that is hot.
+        hot_fraction: f64,
+        /// Probability an access targets the hot region.
+        hot_probability: f64,
+    },
+}
+
+impl WorkloadSpec {
+    /// The family name (`uniform`, `stride`, `chase`, `hotcold`) — the
+    /// `kind` tag of the JSON spec schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Uniform { .. } => "uniform",
+            WorkloadSpec::Stride { .. } => "stride",
+            WorkloadSpec::PointerChase { .. } => "chase",
+            WorkloadSpec::HotCold { .. } => "hotcold",
+        }
+    }
+
+    /// Checks the parameters the generators would otherwise panic on.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_range = |range: u64, min_lines: u64| {
+            if range < 64 * min_lines {
+                Err(format!(
+                    "{}: range_bytes {range} holds fewer than {min_lines} cache line(s)",
+                    self.kind()
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            WorkloadSpec::Uniform {
+                range_bytes,
+                write_fraction,
+                ..
+            } => {
+                check_range(range_bytes, 1)?;
+                if !(0.0..=1.0).contains(&write_fraction) {
+                    return Err(format!(
+                        "uniform: write_fraction {write_fraction} not in 0..=1"
+                    ));
+                }
+                Ok(())
+            }
+            WorkloadSpec::Stride {
+                range_bytes,
+                stride,
+                ..
+            } => {
+                check_range(range_bytes, 1)?;
+                if stride == 0 {
+                    return Err("stride: stride must be non-zero".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::PointerChase { range_bytes, .. } => check_range(range_bytes, 1),
+            WorkloadSpec::HotCold {
+                range_bytes,
+                hot_fraction,
+                hot_probability,
+                ..
+            } => {
+                check_range(range_bytes, 2)?;
+                for (name, v) in [
+                    ("hot_fraction", hot_fraction),
+                    ("hot_probability", hot_probability),
+                ] {
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(format!("hotcold: {name} {v} not in 0..=1"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the runnable workload for `cores` cores.
+    ///
+    /// Each core streams over its own disjoint window; the build is
+    /// deterministic, so two builds of the same spec are
+    /// replay-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameters [`WorkloadSpec::validate`] rejects.
+    pub fn build(&self, cores: u16) -> Box<dyn Workload> {
+        match *self {
+            WorkloadSpec::Uniform {
+                range_bytes,
+                ops,
+                seed,
+                write_fraction,
+            } => Box::new(
+                UniformGen::new(range_bytes, ops)
+                    .with_seed(seed)
+                    .with_write_fraction(write_fraction)
+                    .with_cores(cores),
+            ),
+            WorkloadSpec::Stride {
+                range_bytes,
+                stride,
+                ops,
+            } => Box::new(per_core(
+                cores,
+                |_, start| StrideGen::new(start, range_bytes, ops).with_stride(stride),
+                range_bytes,
+            )),
+            WorkloadSpec::PointerChase {
+                range_bytes,
+                ops,
+                seed,
+            } => Box::new(per_core(
+                cores,
+                |i, start| {
+                    PointerChaseGen::new(start, range_bytes, ops).with_seed(seed.wrapping_add(i))
+                },
+                range_bytes,
+            )),
+            WorkloadSpec::HotCold {
+                range_bytes,
+                ops,
+                seed,
+                hot_fraction,
+                hot_probability,
+            } => Box::new(per_core(
+                cores,
+                |i, start| {
+                    let mut g =
+                        HotColdGen::new(start, range_bytes, ops).with_seed(seed.wrapping_add(i));
+                    g.hot_fraction = hot_fraction;
+                    g.hot_probability = hot_probability;
+                    g
+                },
+                range_bytes,
+            )),
+        }
+    }
+}
+
+/// Replicates a single-stream generator over per-core disjoint windows.
+fn per_core<G: Workload + 'static>(
+    cores: u16,
+    make: impl Fn(u64, u64) -> G,
+    range_bytes: u64,
+) -> MultiCore {
+    let mut w = MultiCore::new();
+    for i in 0..u64::from(cores) {
+        w = w.core(make(i, i * range_bytes));
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predllc_model::{CoreId, MemOp};
+
+    fn ops(w: &dyn Workload, core: u16) -> Vec<MemOp> {
+        w.core_ops(CoreId::new(core)).collect()
+    }
+
+    #[test]
+    fn every_family_builds_disjoint_core_windows() {
+        let specs = [
+            WorkloadSpec::Uniform {
+                range_bytes: 2048,
+                ops: 50,
+                seed: 7,
+                write_fraction: 0.2,
+            },
+            WorkloadSpec::Stride {
+                range_bytes: 2048,
+                stride: 64,
+                ops: 50,
+            },
+            WorkloadSpec::PointerChase {
+                range_bytes: 2048,
+                ops: 50,
+                seed: 7,
+            },
+            WorkloadSpec::HotCold {
+                range_bytes: 2048,
+                ops: 50,
+                seed: 7,
+                hot_fraction: 0.1,
+                hot_probability: 0.9,
+            },
+        ];
+        for spec in specs {
+            spec.validate().unwrap();
+            let w = spec.build(3);
+            assert_eq!(w.num_cores(), 3, "{}", spec.kind());
+            for core in 0..3u16 {
+                let window = u64::from(core) * 2048..u64::from(core + 1) * 2048;
+                assert!(
+                    ops(w.as_ref(), core)
+                        .iter()
+                        .all(|op| window.contains(&op.addr.as_u64())),
+                    "{} core {core} escaped its window",
+                    spec.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builds_are_replay_identical() {
+        let spec = WorkloadSpec::HotCold {
+            range_bytes: 4096,
+            ops: 80,
+            seed: 11,
+            hot_fraction: 0.2,
+            hot_probability: 0.8,
+        };
+        let a = spec.build(2);
+        let b = spec.build(2);
+        assert_eq!(a.materialize(), b.materialize());
+        // Distinct cores get distinct streams (seed mixing).
+        assert_ne!(
+            ops(a.as_ref(), 0)
+                .iter()
+                .map(|o| o.addr.as_u64() % 4096)
+                .collect::<Vec<_>>(),
+            ops(a.as_ref(), 1)
+                .iter()
+                .map(|o| o.addr.as_u64() % 4096)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_parameters() {
+        assert!(WorkloadSpec::Uniform {
+            range_bytes: 32,
+            ops: 1,
+            seed: 0,
+            write_fraction: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(WorkloadSpec::Uniform {
+            range_bytes: 64,
+            ops: 1,
+            seed: 0,
+            write_fraction: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(WorkloadSpec::Stride {
+            range_bytes: 64,
+            stride: 0,
+            ops: 1
+        }
+        .validate()
+        .is_err());
+        assert!(WorkloadSpec::HotCold {
+            range_bytes: 64,
+            ops: 1,
+            seed: 0,
+            hot_fraction: 0.1,
+            hot_probability: 0.9
+        }
+        .validate()
+        .is_err());
+        assert_eq!(
+            WorkloadSpec::Stride {
+                range_bytes: 128,
+                stride: 64,
+                ops: 1
+            }
+            .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn kinds_name_the_families() {
+        assert_eq!(
+            WorkloadSpec::PointerChase {
+                range_bytes: 64,
+                ops: 1,
+                seed: 0
+            }
+            .kind(),
+            "chase"
+        );
+    }
+}

@@ -23,6 +23,9 @@
 //!   controller, the simulator and the WCL analysis.
 //! * [`workload`] ([`predllc_workload`]) — the streaming [`Workload`]
 //!   trait and deterministic synthetic generators.
+//! * [`explore`] ([`predllc_explore`]) — design-space exploration: the
+//!   work-stealing experiment [`Executor`], JSON experiment specs, and
+//!   the schedulability-driven partition search.
 //!
 //! # Quickstart
 //!
@@ -105,6 +108,7 @@ pub use predllc_bus as bus;
 pub use predllc_cache as cache;
 pub use predllc_core as sim;
 pub use predllc_dram as dram;
+pub use predllc_explore as explore;
 pub use predllc_model as model;
 pub use predllc_workload as workload;
 
@@ -112,18 +116,19 @@ pub use predllc_bus::{ArbiterPolicy, ScheduleError, TdmSchedule};
 pub use predllc_cache::ReplacementKind;
 pub use predllc_core::analysis;
 pub use predllc_core::{
-    ConfigError, Event, EventKind, EventLog, PartitionMap, PartitionSpec, RunReport, SharingMode,
-    SimError, Simulator, SystemConfig, SystemConfigBuilder,
+    ConfigError, Event, EventKind, EventLog, LatencyHistogram, LatencySummary, PartitionMap,
+    PartitionSpec, RunReport, SharingMode, SimError, Simulator, SystemConfig, SystemConfigBuilder,
 };
 pub use predllc_dram::{
     BankMapping, BankedDram, DramTiming, FixedLatency, MemoryBackend, MemoryConfig, RowOutcome,
     WorstCase,
 };
+pub use predllc_explore::{Executor, ExperimentSpec, ExploreReport};
 pub use predllc_model::{
     AccessKind, Address, BankId, CacheGeometry, CoreId, Cycles, DramGeometry, LineAddr, MemOp,
     RowAddr, SlotWidth,
 };
-pub use predllc_workload::{MultiCore, OpStream, TraceSet, Workload};
+pub use predllc_workload::{MultiCore, OpStream, TraceSet, Workload, WorkloadSpec};
 
 /// Re-export of the workload generators module for ergonomic paths in
 /// examples (`predllc::workload_gen::UniformGen`).
