@@ -15,24 +15,35 @@ use predllc_bench::harness;
 use predllc_bus::ArbiterPolicy;
 use predllc_cache::ReplacementKind;
 use predllc_core::analysis::{critical, WclParams};
-use predllc_core::{PartitionSpec, SharingMode, SystemConfig};
+use predllc_core::{ConfigError, PartitionSpec, SharingMode, SimError, SystemConfig};
 use predllc_model::CoreId;
+use std::process::ExitCode;
 
-fn stress_run(cfg: SystemConfig, ops: usize) -> (u64, u64) {
+fn stress_run(cfg: SystemConfig, ops: usize) -> Result<(u64, u64), SimError> {
     let spec = cfg.partitions().spec_of(CoreId::new(0)).clone();
     let traces = critical::wcl_stress_traces(&spec, ops);
-    let report = harness::run(cfg, traces);
-    (
+    let report = harness::run(cfg, traces)?;
+    Ok((
         report.max_request_latency().as_u64(),
         report.execution_time().as_u64(),
-    )
+    ))
 }
 
-fn shared(sets: u32, ways: u32, n: u16, mode: SharingMode) -> SystemConfig {
-    SystemConfig::shared_partition(sets, ways, n, mode).expect("valid")
+fn shared(sets: u32, ways: u32, n: u16, mode: SharingMode) -> Result<SystemConfig, ConfigError> {
+    SystemConfig::shared_partition(sets, ways, n, mode)
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ablation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let ops = 1_000;
 
     println!("== Ablation 1: PRB/PWB arbiter policy (SS(1,4,4) + NSS(1,4,4), stress workload) ==");
@@ -55,10 +66,9 @@ fn main() {
                 )])
                 .arbiter(policy)
                 .build()
-                .expect("valid")
         };
-        let (ss_wcl, ss_exec) = stress_run(mk(SharingMode::SetSequencer), ops);
-        let (nss_wcl, nss_exec) = stress_run(mk(SharingMode::BestEffort), ops);
+        let (ss_wcl, ss_exec) = stress_run(mk(SharingMode::SetSequencer)?, ops)?;
+        let (nss_wcl, nss_exec) = stress_run(mk(SharingMode::BestEffort)?, ops)?;
         println!(
             "{:<18} {:>14} {:>14} {:>14} {:>14}",
             policy.to_string(),
@@ -91,14 +101,13 @@ fn main() {
                 )])
                 .llc_replacement(repl)
                 .build()
-                .expect("valid")
         };
-        let ss_cfg = mk(SharingMode::SetSequencer);
-        let nss_cfg = mk(SharingMode::BestEffort);
-        let ss_bound = WclParams::from_config(&ss_cfg).unwrap().wcl_set_sequencer();
-        let nss_bound = WclParams::from_config(&nss_cfg).unwrap().wcl_one_slot_tdm();
-        let (ss_wcl, _) = stress_run(ss_cfg, ops);
-        let (nss_wcl, _) = stress_run(nss_cfg, ops);
+        let ss_cfg = mk(SharingMode::SetSequencer)?;
+        let nss_cfg = mk(SharingMode::BestEffort)?;
+        let ss_bound = WclParams::from_config(&ss_cfg)?.wcl_set_sequencer();
+        let nss_bound = WclParams::from_config(&nss_cfg)?.wcl_one_slot_tdm();
+        let (ss_wcl, _) = stress_run(ss_cfg, ops)?;
+        let (nss_wcl, _) = stress_run(nss_cfg, ops)?;
         let ok = ss_wcl <= ss_bound.as_u64() && nss_wcl <= nss_bound.as_u64();
         println!(
             "{:<20} {:>12} {:>14} {:>12} {:>14}  {}",
@@ -119,12 +128,12 @@ fn main() {
         "n", "SS wcl", "SS bound", "NSS wcl", "NSS bound"
     );
     for n in 2..=8u16 {
-        let ss_cfg = shared(1, 4, n, SharingMode::SetSequencer);
-        let nss_cfg = shared(1, 4, n, SharingMode::BestEffort);
-        let ss_bound = WclParams::from_config(&ss_cfg).unwrap().wcl_set_sequencer();
-        let nss_bound = WclParams::from_config(&nss_cfg).unwrap().wcl_one_slot_tdm();
-        let (ss_wcl, _) = stress_run(ss_cfg, ops);
-        let (nss_wcl, _) = stress_run(nss_cfg, ops);
+        let ss_cfg = shared(1, 4, n, SharingMode::SetSequencer)?;
+        let nss_cfg = shared(1, 4, n, SharingMode::BestEffort)?;
+        let ss_bound = WclParams::from_config(&ss_cfg)?.wcl_set_sequencer();
+        let nss_bound = WclParams::from_config(&nss_cfg)?.wcl_one_slot_tdm();
+        let (ss_wcl, _) = stress_run(ss_cfg, ops)?;
+        let (nss_wcl, _) = stress_run(nss_cfg, ops)?;
         assert!(
             ss_wcl <= ss_bound.as_u64() && nss_wcl <= nss_bound.as_u64(),
             "bound violated at n = {n}"
@@ -139,4 +148,5 @@ fn main() {
         );
     }
     println!("\nAll observed WCLs within analytical bounds.");
+    Ok(())
 }

@@ -19,10 +19,23 @@ use predllc_dram::{BankMapping, DramTiming};
 use predllc_model::{CoreId, DramGeometry};
 use predllc_workload::gen::{StrideGen, UniformGen};
 use predllc_workload::MultiCore;
+use std::process::ExitCode;
 
 const CORES: u16 = 4;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("dram_sensitivity: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the sweep; `Ok(false)` means the soundness check failed.
+fn run() -> Result<bool, Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let default_ops = if quick { 200 } else { 2_000 };
@@ -37,7 +50,7 @@ fn main() {
     // Bank counts are multiples of the core count so the privatized
     // mapping always slices evenly.
     let bank_counts: &[u32] = if quick { &[8] } else { &[4, 8, 16] };
-    let mut sweep = Sweep::new().config("fixed", platform(MemoryConfig::default()));
+    let mut sweep = Sweep::new().config("fixed", platform(MemoryConfig::default())?);
     for &banks in bank_counts {
         for (tag, mapping) in [
             ("il", BankMapping::Interleaved),
@@ -45,10 +58,10 @@ fn main() {
         ] {
             let memory = MemoryConfig::Banked {
                 timing: DramTiming::PAPER,
-                geometry: DramGeometry::new(1, banks, 64).expect("non-zero dimensions"),
+                geometry: DramGeometry::new(1, banks, 64)?,
                 mapping,
             };
-            sweep = sweep.config(format!("b{banks}/{tag}"), platform(memory));
+            sweep = sweep.config(format!("b{banks}/{tag}"), platform(memory)?);
         }
     }
 
@@ -66,7 +79,7 @@ fn main() {
             .with_cores(CORES),
     );
 
-    let rows = sweep.run().expect("the sensitivity grid simulates cleanly");
+    let rows = sweep.run()?;
     print!("{}", render_csv_with_backend(&rows));
 
     // Soundness check: every observation stays within its row's
@@ -78,18 +91,19 @@ fn main() {
         .count();
     if violations > 0 {
         eprintln!("CHECK FAILED: {violations} observations exceed their analytical bound");
-        std::process::exit(1);
+        return Ok(false);
     }
     eprintln!(
         "CHECK ok: all {} observations within their analytical bounds",
         rows.len()
     );
+    Ok(true)
 }
 
 /// The fixed platform under the swept memory backend: four cores with
 /// private `P(4,2)` LLC partitions, so DRAM effects are isolated from
 /// LLC interference.
-fn platform(memory: MemoryConfig) -> SystemConfig {
+fn platform(memory: MemoryConfig) -> Result<SystemConfig, predllc_core::ConfigError> {
     SystemConfig::builder(CORES)
         .partitions(
             CoreId::first(CORES)
@@ -98,7 +112,6 @@ fn platform(memory: MemoryConfig) -> SystemConfig {
         )
         .memory(memory)
         .build()
-        .expect("valid sensitivity platform")
 }
 
 /// Per-core strided sweeps over disjoint 64 KiB windows (1 MiB apart, so

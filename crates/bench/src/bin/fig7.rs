@@ -11,8 +11,22 @@ use predllc_bench::harness::{
     Metric,
 };
 use predllc_bench::Sweep;
+use predllc_core::SimError;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("fig7: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the sweep; `Ok(false)` means a bound-violation check failed.
+fn run() -> Result<bool, SimError> {
     let args: Vec<String> = std::env::args().collect();
     let csv = args.iter().any(|a| a == "--csv");
     let ops = flag_value(&args, "--ops").unwrap_or(2_000);
@@ -44,12 +58,12 @@ fn main() {
             uniform_workload(range, ops as usize, seed, writes, 4),
         );
     }
-    let mut rows: Vec<Measurement> = sweep.run().expect("the paper grid simulates cleanly");
+    let mut rows: Vec<Measurement> = sweep.run()?;
     rows.sort_by(|a, b| (a.range, &a.label).cmp(&(b.range, &b.label)));
 
     if csv {
         print!("{}", render_csv(&rows));
-        return;
+        return Ok(true);
     }
     println!(
         "{}",
@@ -74,6 +88,7 @@ fn main() {
         .collect();
     if violations.is_empty() {
         println!("CHECK ok: all observed WCLs are within their analytical bounds");
+        Ok(true)
     } else {
         println!(
             "CHECK FAILED: {} observations exceed their bound:",
@@ -88,7 +103,7 @@ fn main() {
                 v.analytical_wcl.unwrap_or(0)
             );
         }
-        std::process::exit(1);
+        Ok(false)
     }
 }
 

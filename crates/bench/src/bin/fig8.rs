@@ -16,7 +16,8 @@ use predllc_bench::harness::{
     Metric,
 };
 use predllc_bench::Sweep;
-use predllc_core::SystemConfig;
+use predllc_core::{SimError, SystemConfig};
+use std::process::ExitCode;
 
 struct Panel {
     title: &'static str,
@@ -62,7 +63,17 @@ fn panels() -> Vec<Panel> {
     ]
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig8: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), SimError> {
     let args: Vec<String> = std::env::args().collect();
     let csv = args.iter().any(|a| a == "--csv");
     let ops = flag_value(&args, "--ops").unwrap_or(4_000) as usize;
@@ -85,7 +96,7 @@ fn main() {
                 uniform_workload(range, ops, seed, writes, cores),
             );
         }
-        let mut rows: Vec<Measurement> = sweep.run().expect("the paper grid simulates cleanly");
+        let mut rows: Vec<Measurement> = sweep.run()?;
         rows.sort_by(|a, b| (a.range, &a.label).cmp(&(b.range, &b.label)));
 
         if csv {
@@ -98,6 +109,7 @@ fn main() {
             print_speedups(&panel, &rows);
         }
     }
+    Ok(())
 }
 
 /// The paper reports SS's average speedup over NSS and P across the

@@ -1,0 +1,178 @@
+//! The experiment-service entry point: run `predllc-serve` as a
+//! long-lived process, or drive the CI smoke check against an ephemeral
+//! instance.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p predllc-bench --bin serve -- [--addr HOST:PORT]
+//!     [--threads N]      executor worker threads (default: all cores)
+//!     [--runners N]      concurrent jobs (default: 1)
+//!
+//! cargo run --release -p predllc-bench --bin serve -- --smoke <spec.json>
+//!     [--expect <csv>]   diff the served CSV against this file
+//!                        (default: run the spec in-process and diff)
+//!     [--threads N]
+//! ```
+//!
+//! The smoke mode is the end-to-end determinism check CI runs: start
+//! the server on an ephemeral port, submit the spec, poll to
+//! completion, fetch the CSV, and require it byte-identical to the
+//! `explore` CLI's direct output (via `--expect`) or to an in-process
+//! `run_spec` (without). It also re-submits the spec to prove the
+//! content-addressed cache answers without a second simulation.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use predllc_explore::report::render_csv;
+use predllc_explore::{run_spec, Executor, ExperimentSpec};
+use predllc_serve::{Client, Server, ServerConfig};
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut threads = 0usize;
+    let mut runners = 1usize;
+    let mut smoke: Option<String> = None;
+    let mut expect: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs host:port")?,
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a number")?;
+            }
+            "--runners" => {
+                runners = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--runners needs a number")?;
+            }
+            "--smoke" => smoke = Some(it.next().ok_or("--smoke needs a spec path")?),
+            "--expect" => expect = Some(it.next().ok_or("--expect needs a csv path")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let config = ServerConfig {
+        threads,
+        runners,
+        ..ServerConfig::default()
+    };
+    match smoke {
+        Some(spec_path) => run_smoke(&spec_path, expect.as_deref(), config),
+        None => run_forever(&addr, config),
+    }
+}
+
+/// The long-lived mode: bind, print the address, serve until killed.
+fn run_forever(addr: &str, config: ServerConfig) -> Result<(), String> {
+    let threads = config.threads;
+    let server = Server::bind(addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!(
+        "serve: listening on http://{} ({} executor thread(s))",
+        server.local_addr(),
+        Executor::new(threads).threads(),
+    );
+    eprintln!("serve: POST a spec to /v1/experiments; see /healthz and /metrics");
+    server.run().map_err(|e| e.to_string())
+}
+
+/// The CI smoke: ephemeral port, one spec through the full HTTP path,
+/// served bytes diffed against the reference, cache hit verified.
+fn run_smoke(spec_path: &str, expect: Option<&str>, config: ServerConfig) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let threads = config.threads;
+
+    // The reference bytes: a checked-in CSV (the explore CLI's direct
+    // output) or an in-process run of the same spec.
+    let reference = match expect {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => {
+            let spec = ExperimentSpec::parse(&text).map_err(|e| e.to_string())?;
+            let report = run_spec(&spec, &Executor::new(threads)).map_err(|e| e.to_string())?;
+            render_csv(&report.grid)
+        }
+    };
+
+    let server = Server::bind("127.0.0.1:0", config)
+        .map_err(|e| format!("cannot bind an ephemeral port: {e}"))?;
+    let handle = server.handle();
+    eprintln!("serve: smoke instance on http://{}", handle.addr());
+    let join = std::thread::spawn(move || server.run());
+
+    let outcome = (|| -> Result<(), String> {
+        let mut client = Client::new(handle.addr()).with_timeout(Duration::from_secs(600));
+        let submitted = client.submit(&text).map_err(|e| e.to_string())?;
+        eprintln!(
+            "serve: submitted {} ({} unique point(s))",
+            submitted.id, submitted.points_total
+        );
+        let status = client
+            .wait_done(&submitted.id, Duration::from_secs(600))
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "serve: job done ({}/{} points)",
+            status.points_done, status.points_total
+        );
+        let served = client
+            .results_csv(&submitted.id)
+            .map_err(|e| e.to_string())?;
+        if served != reference {
+            return Err(format!(
+                "served CSV differs from the reference ({} vs {} bytes):\n--- served\n{}\n--- reference\n{}",
+                served.len(),
+                reference.len(),
+                served,
+                reference
+            ));
+        }
+        // A second submission must be answered by the cache, without a
+        // second simulation.
+        let again = client.submit(&text).map_err(|e| e.to_string())?;
+        if !again.cached || again.id != submitted.id {
+            return Err("resubmission was not served from the cache".into());
+        }
+        let hits = client
+            .metric("predllc_cache_hits")
+            .map_err(|e| e.to_string())?;
+        let points = client
+            .metric("predllc_points_simulated")
+            .map_err(|e| e.to_string())?;
+        if hits < 1 {
+            return Err("cache hit counter did not move".into());
+        }
+        if points != status.points_total {
+            return Err(format!(
+                "expected exactly {} simulated point(s), metrics say {points}",
+                status.points_total
+            ));
+        }
+        eprintln!(
+            "serve: smoke ok — served CSV byte-identical to the reference, \
+             cache hit on resubmission, {points} point(s) simulated once"
+        );
+        Ok(())
+    })();
+
+    handle.shutdown();
+    join.join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+    outcome
+}

@@ -1,7 +1,7 @@
 //! Shared experiment plumbing for the figure-regeneration binaries.
 
 use predllc_core::analysis::MemoryAwareWcl;
-use predllc_core::{RunReport, SharingMode, Simulator, SystemConfig};
+use predllc_core::{RunReport, SharingMode, SimError, Simulator, SystemConfig};
 use predllc_workload::gen::UniformGen;
 use predllc_workload::Workload;
 
@@ -95,10 +95,10 @@ pub fn uniform_workload(
 /// Runs one configuration against the paper's uniform-random workload,
 /// streaming it (no traces are materialized).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation rejects the workload (cannot happen for the
-/// harness's own configurations).
+/// Propagates [`run`] failures ([`SimError::Config`] for an invalid
+/// configuration, the simulation's own error otherwise).
 pub fn measure(
     label: &str,
     config: SystemConfig,
@@ -106,13 +106,13 @@ pub fn measure(
     ops: usize,
     seed: u64,
     write_fraction: f64,
-) -> Measurement {
+) -> Result<Measurement, SimError> {
     let gen = uniform_workload(range, ops, seed, write_fraction, config.num_cores());
     let analytical = analytical_wcl(&config);
     let backend = config.memory().label();
-    let report = run(config, &gen);
+    let report = run(config, &gen)?;
     let latencies = report.latency_histogram();
-    Measurement {
+    Ok(Measurement {
         label: label.to_string(),
         workload: format!("uniform/{range}B"),
         backend,
@@ -124,20 +124,19 @@ pub fn measure(
         execution_time: report.execution_time().as_u64(),
         analytical_wcl: analytical,
         row_hit_rate: report.stats.dram_row_hit_rate(),
-    }
+    })
 }
 
 /// Runs a configuration on one workload (streamed; pass `&w` to keep
 /// the workload for further runs).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload's core count mismatches the configuration's.
-pub fn run(config: SystemConfig, workload: impl Workload) -> RunReport {
-    Simulator::new(config)
-        .expect("validated configuration")
-        .run(workload)
-        .expect("workload cores match system cores")
+/// [`SimError::Config`] when the configuration fails validation, or the
+/// simulation's own error (e.g. a workload whose core count mismatches
+/// the configuration's).
+pub fn run(config: SystemConfig, workload: impl Workload) -> Result<RunReport, SimError> {
+    Simulator::new(config)?.run(workload)
 }
 
 /// The analytical WCL applicable to a configuration (per its sharing
@@ -285,7 +284,7 @@ mod tests {
 
     #[test]
     fn measurement_respects_analytical_bound_small() {
-        let m = measure("SS(1,2,4)", ss(1, 2, 4), 2048, 50, 3, 0.2);
+        let m = measure("SS(1,2,4)", ss(1, 2, 4), 2048, 50, 3, 0.2).unwrap();
         assert!(m.observed_wcl <= m.analytical_wcl.unwrap());
         assert!(m.execution_time > 0);
         // The percentile chain is ordered and capped by the max.
@@ -342,7 +341,7 @@ mod tests {
 
     #[test]
     fn measurements_carry_the_backend_label() {
-        let m = measure("P(1,2)", p(1, 2, 2), 1024, 10, 1, 0.0);
+        let m = measure("P(1,2)", p(1, 2, 2), 1024, 10, 1, 0.0).unwrap();
         assert_eq!(m.backend, "fixed(30)");
     }
 }

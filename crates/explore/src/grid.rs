@@ -5,12 +5,23 @@
 //! one expensive configuration cannot serialize its whole row. Results
 //! come back in declaration order (configuration-major, matching
 //! `bench::Sweep`) and are bit-identical for every thread count.
+//!
+//! Physically identical points are simulated **once**: each point's
+//! simulation inputs are fingerprinted
+//! ([`point_fingerprint`] — labels and
+//! x-axis values excluded) and duplicates reuse the first occurrence's
+//! measurements, relabelled per declared point. Simulation is a pure
+//! function of those inputs, so the deduped grid is bit-identical to
+//! the naive one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use predllc_core::analysis::MemoryAwareWcl;
 use predllc_core::{Simulator, SystemConfig};
 use predllc_workload::Workload;
 
 use crate::executor::Executor;
+use crate::hash::point_fingerprint;
 use crate::spec::ExperimentSpec;
 use crate::ExploreError;
 
@@ -51,19 +62,85 @@ pub struct GridResult {
     pub row_hit_rate: f64,
 }
 
+/// The declared grid points of `spec` (configuration-major declaration
+/// order) with physically identical points collapsed onto their first
+/// occurrence: `(points, unique, assignment)` where `assignment[i]`
+/// names `points[i]`'s slot in `unique`.
+#[allow(clippy::type_complexity)]
+fn dedup_points(spec: &ExperimentSpec) -> (Vec<(usize, usize)>, Vec<(usize, usize)>, Vec<usize>) {
+    let points: Vec<(usize, usize)> = (0..spec.configs.len())
+        .flat_map(|ci| (0..spec.workloads.len()).map(move |wi| (ci, wi)))
+        .collect();
+    let mut unique: Vec<(usize, usize)> = Vec::with_capacity(points.len());
+    let mut assignment: Vec<usize> = Vec::with_capacity(points.len());
+    let mut seen: std::collections::HashMap<crate::hash::Fingerprint, usize> =
+        std::collections::HashMap::new();
+    for &(ci, wi) in &points {
+        let fp = point_fingerprint(spec.cores, &spec.configs[ci], &spec.workloads[wi]);
+        let slot = *seen.entry(fp).or_insert_with(|| {
+            unique.push((ci, wi));
+            unique.len() - 1
+        });
+        assignment.push(slot);
+    }
+    (points, unique, assignment)
+}
+
+/// How many physically distinct grid points `spec` will simulate —
+/// exactly the number of jobs [`run_grid_observed`] schedules, and the
+/// denominator of its progress fraction.
+pub fn unique_point_count(spec: &ExperimentSpec) -> usize {
+    dedup_points(spec).1.len()
+}
+
+/// A deduped grid run: the declaration-order rows plus how much
+/// simulation work actually happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRun {
+    /// One result per declared grid point, declaration order.
+    pub rows: Vec<GridResult>,
+    /// Physically distinct points simulated (≤ `total_points`).
+    pub unique_points: usize,
+    /// Declared grid points (`configs × workloads`).
+    pub total_points: usize,
+}
+
 /// Runs every grid point of `spec` on `exec`.
+///
+/// Convenience wrapper over [`run_grid_observed`] with no progress
+/// observer; returns only the rows.
+///
+/// # Errors
+///
+/// Same as [`run_grid_observed`].
+pub fn run_grid(spec: &ExperimentSpec, exec: &Executor) -> Result<Vec<GridResult>, ExploreError> {
+    Ok(run_grid_observed(spec, exec, &|_, _| {})?.rows)
+}
+
+/// Runs every grid point of `spec` on `exec`, reporting progress.
 ///
 /// Each point builds its simulator from the validated per-configuration
 /// platform and streams the workload; nothing is shared between points,
 /// so results are pure functions of the spec and therefore identical
-/// across thread counts.
+/// across thread counts. Points with identical simulation inputs
+/// (platform + workload; labels excluded) are simulated **once** and
+/// the measurements reused — declaration order and per-point labels in
+/// the returned rows are unaffected.
+///
+/// `observe(done, unique_total)` is called after each unique point
+/// completes (from worker threads, possibly concurrently) — the hook
+/// job-progress reporting hangs off.
 ///
 /// # Errors
 ///
 /// [`ExploreError::Config`] for a configuration that fails to build
 /// (reported before any simulation starts), or [`ExploreError::Sim`]
-/// for the first failing grid point in declaration order.
-pub fn run_grid(spec: &ExperimentSpec, exec: &Executor) -> Result<Vec<GridResult>, ExploreError> {
+/// for the first failing unique grid point in declaration order.
+pub fn run_grid_observed(
+    spec: &ExperimentSpec,
+    exec: &Executor,
+    observe: &(dyn Fn(usize, usize) + Sync),
+) -> Result<GridRun, ExploreError> {
     // Build and validate every platform and workload once, up front.
     let mut platforms: Vec<(SystemConfig, Option<u64>)> = Vec::with_capacity(spec.configs.len());
     for c in &spec.configs {
@@ -83,41 +160,67 @@ pub fn run_grid(spec: &ExperimentSpec, exec: &Executor) -> Result<Vec<GridResult
         .map(|w| w.spec.build(spec.cores))
         .collect();
 
-    // Configuration-major declaration order, one job per point.
-    let points: Vec<(usize, usize)> = (0..spec.configs.len())
-        .flat_map(|ci| (0..spec.workloads.len()).map(move |wi| (ci, wi)))
-        .collect();
-    exec.try_map(&points, |_, &(ci, wi)| {
-        let (config, analytical) = &platforms[ci];
-        let entry = &spec.workloads[wi];
-        let sim = Simulator::new(config.clone()).map_err(|source| ExploreError::Config {
-            label: spec.configs[ci].label.clone(),
-            source,
-        })?;
-        let report = sim
-            .run(&workloads[wi])
-            .map_err(|source| ExploreError::Sim {
-                config: spec.configs[ci].label.clone(),
-                workload: entry.label.clone(),
+    // Configuration-major declaration order, one job per point — then
+    // collapse physically identical points onto their first occurrence.
+    let (points, unique, assignment) = dedup_points(spec);
+
+    let done = AtomicUsize::new(0);
+    let unique_total = unique.len();
+    let measured = exec.try_map(
+        &unique,
+        |_, &(ci, wi)| -> Result<GridResult, ExploreError> {
+            let (config, analytical) = &platforms[ci];
+            let entry = &spec.workloads[wi];
+            let sim = Simulator::new(config.clone()).map_err(|source| ExploreError::Config {
+                label: spec.configs[ci].label.clone(),
                 source,
             })?;
-        let latencies = report.latency_histogram();
-        Ok(GridResult {
-            config: spec.configs[ci].label.clone(),
-            workload: entry.label.clone(),
-            backend: config.memory().label(),
-            x: entry.x,
-            requests: latencies.count(),
-            p50: latencies.percentile(50.0).as_u64(),
-            p90: latencies.percentile(90.0).as_u64(),
-            p99: latencies.percentile(99.0).as_u64(),
-            p100: latencies.percentile(100.0).as_u64(),
-            observed_wcl: report.max_request_latency().as_u64(),
-            mean_latency: latencies.mean(),
-            execution_time: report.execution_time().as_u64(),
-            analytical_wcl: *analytical,
-            row_hit_rate: report.stats.dram_row_hit_rate(),
+            let report = sim
+                .run(&workloads[wi])
+                .map_err(|source| ExploreError::Sim {
+                    config: spec.configs[ci].label.clone(),
+                    workload: entry.label.clone(),
+                    source,
+                })?;
+            let latencies = report.latency_histogram();
+            let result = GridResult {
+                config: spec.configs[ci].label.clone(),
+                workload: entry.label.clone(),
+                backend: config.memory().label(),
+                x: entry.x,
+                requests: latencies.count(),
+                p50: latencies.percentile(50.0).as_u64(),
+                p90: latencies.percentile(90.0).as_u64(),
+                p99: latencies.percentile(99.0).as_u64(),
+                p100: latencies.percentile(100.0).as_u64(),
+                observed_wcl: report.max_request_latency().as_u64(),
+                mean_latency: latencies.mean(),
+                execution_time: report.execution_time().as_u64(),
+                analytical_wcl: *analytical,
+                row_hit_rate: report.stats.dram_row_hit_rate(),
+            };
+            observe(done.fetch_add(1, Ordering::Relaxed) + 1, unique_total);
+            Ok(result)
+        },
+    )?;
+
+    // Expand back to declaration order, relabelling reused measurements
+    // with each declared point's own labels.
+    let rows = points
+        .iter()
+        .zip(&assignment)
+        .map(|(&(ci, wi), &slot)| {
+            let mut row = measured[slot].clone();
+            row.config = spec.configs[ci].label.clone();
+            row.workload = spec.workloads[wi].label.clone();
+            row.x = spec.workloads[wi].x;
+            row
         })
+        .collect();
+    Ok(GridRun {
+        rows,
+        unique_points: unique_total,
+        total_points: points.len(),
     })
 }
 
@@ -188,6 +291,103 @@ mod tests {
             let got = run_grid(&spec, &Executor::new(threads)).unwrap();
             assert_eq!(got, reference, "{threads} threads diverged");
         }
+    }
+
+    #[test]
+    fn duplicated_axes_simulate_each_unique_point_once() {
+        // Two configuration columns and two workload rows are pairwise
+        // physically identical (labels differ): a 4x4 declared grid with
+        // only 1 unique point per (partitioning, workload) pair = 4.
+        let spec = ExperimentSpec::parse(
+            r#"{
+            "name": "dup", "cores": 2,
+            "configs": [
+                {"label": "A", "partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}},
+                {"label": "A-again", "partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}},
+                {"partition": {"kind": "private", "sets": 4, "ways": 2}}
+            ],
+            "workloads": [
+                {"kind": "uniform", "range_bytes": 2048, "ops": 80, "seed": 3},
+                {"label": "twin", "x": 7, "kind": "uniform", "range_bytes": 2048, "ops": 80, "seed": 3}
+            ]
+        }"#,
+        )
+        .unwrap();
+        let ran = AtomicUsize::new(0);
+        let run = run_grid_observed(&spec, &Executor::new(2), &|_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        // 3 configs x 2 workloads declared, but only 2 distinct
+        // platforms x 1 distinct workload actually simulate.
+        assert_eq!(run.total_points, 6);
+        assert_eq!(run.unique_points, 2);
+        // The standalone counter agrees with the run's actual dedup.
+        assert_eq!(unique_point_count(&spec), 2);
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+        assert_eq!(run.rows.len(), 6);
+        // Declaration order and declared labels are preserved...
+        let order: Vec<(&str, &str, u64)> = run
+            .rows
+            .iter()
+            .map(|r| (r.config.as_str(), r.workload.as_str(), r.x))
+            .collect();
+        assert_eq!(
+            order,
+            [
+                ("A", "uniform/2048B", 2048),
+                ("A", "twin", 7),
+                ("A-again", "uniform/2048B", 2048),
+                ("A-again", "twin", 7),
+                ("P(4,2)", "uniform/2048B", 2048),
+                ("P(4,2)", "twin", 7),
+            ]
+        );
+        // ...and reused measurements are bit-identical to their source.
+        for i in [1, 2, 3] {
+            assert_eq!(run.rows[i].observed_wcl, run.rows[0].observed_wcl);
+            assert_eq!(run.rows[i].execution_time, run.rows[0].execution_time);
+            assert_eq!(run.rows[i].p50, run.rows[0].p50);
+        }
+        // The private column really is a different point, not a reused
+        // measurement of the shared one.
+        assert_ne!(run.rows[4].analytical_wcl, run.rows[0].analytical_wcl);
+        assert_ne!(run.rows[4].config, run.rows[0].config);
+    }
+
+    #[test]
+    fn deduped_grid_matches_the_naive_grid() {
+        // The dedup must be invisible in the output: compare against a
+        // spec with the duplicates removed, row by row.
+        let dup = ExperimentSpec::parse(
+            r#"{
+            "name": "dup", "cores": 2,
+            "configs": [
+                {"label": "A", "partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}},
+                {"label": "B", "partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}}
+            ],
+            "workloads": [{"kind": "stride", "range_bytes": 2048, "stride": 64, "ops": 100}]
+        }"#,
+        )
+        .unwrap();
+        let rows = run_grid(&dup, &Executor::new(2)).unwrap();
+        assert_eq!(rows.len(), 2);
+        let a = &rows[0];
+        let b = &rows[1];
+        assert_eq!(a.config, "A");
+        assert_eq!(b.config, "B");
+        assert_eq!(
+            (a.requests, a.p50, a.p90, a.p99, a.p100, a.execution_time),
+            (b.requests, b.p50, b.p90, b.p99, b.p100, b.execution_time)
+        );
+        // Progress reporting saw every unique completion exactly once.
+        let calls = std::sync::Mutex::new(Vec::new());
+        let run = run_grid_observed(&dup, &Executor::new(1), &|done, total| {
+            calls.lock().unwrap().push((done, total));
+        })
+        .unwrap();
+        assert_eq!(run.unique_points, 1);
+        assert_eq!(*calls.lock().unwrap(), vec![(1, 1)]);
     }
 
     #[test]

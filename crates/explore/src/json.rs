@@ -100,6 +100,118 @@ impl Json {
             Json::Object(_) => "object",
         }
     }
+
+    /// Renders the value as a compact JSON document that parses back to
+    /// an equal value (`parse(v.render()) == v`): object key order is
+    /// preserved, strings are escaped, exact integers stay integers, and
+    /// floats use the shortest representation that round-trips.
+    ///
+    /// Non-finite floats have no JSON representation and render as
+    /// `null` (they cannot come out of [`parse`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use predllc_explore::json::{parse, Json};
+    ///
+    /// let doc = parse(r#"{ "b" : [1, 2.5, "x\n"] , "a" : null }"#).unwrap();
+    /// assert_eq!(doc.render(), r#"{"b":[1,2.5,"x\n"],"a":null}"#);
+    /// assert_eq!(parse(&doc.render()).unwrap(), doc);
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the value as an indented (2-space) JSON document; same
+    /// round-trip contract as [`Json::render`].
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (open_sep, item_sep, key_sep) = match indent {
+            Some(_) => ("\n", ",\n", ": "),
+            None => ("", ",", ":"),
+        };
+        let pad = |out: &mut String, level: usize| {
+            if let Some(width) = indent {
+                out.push_str(&" ".repeat(width * level));
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Float(v) if !v.is_finite() => out.push_str("null"),
+            // {:?} is the shortest round-trip form that stays a float on
+            // re-parse ("2.0", not "2" — which would come back UInt).
+            Json::Float(v) => out.push_str(&format!("{v:?}")),
+            Json::Str(s) => out.push_str(&render_string(s)),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                out.push_str(open_sep);
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(item_sep);
+                    }
+                    pad(out, depth + 1);
+                    item.render_into(out, indent, depth + 1);
+                }
+                out.push_str(open_sep);
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                out.push_str(open_sep);
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(item_sep);
+                    }
+                    pad(out, depth + 1);
+                    out.push_str(&render_string(key));
+                    out.push_str(key_sep);
+                    value.render_into(out, indent, depth + 1);
+                }
+                out.push_str(open_sep);
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+pub fn render_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// A parse failure, with the byte offset where it happened.
@@ -402,6 +514,127 @@ mod tests {
             );
             assert!(err.to_string().contains("byte"));
         }
+    }
+
+    /// Deterministic random JSON values for the round-trip property
+    /// loop (no proptest in the offline build — same pattern as the
+    /// workload crate's property tests).
+    fn arbitrary_json(rng: &mut predllc_workload::rng::Rng64, depth: usize) -> Json {
+        let pick = if depth >= 3 {
+            rng.below(5)
+        } else {
+            rng.below(7)
+        };
+        match pick {
+            0 => Json::Null,
+            1 => Json::Bool(rng.below(2) == 0),
+            2 => Json::UInt(rng.next_u64() >> (rng.below(64) as u32)),
+            3 => {
+                // A mix of fractions, negatives, huge and tiny floats.
+                let mantissa = rng.next_u64() as i64 as f64;
+                let scale = [1.0, 0.5, 1e-9, 1e9, 1e300, 1e-300][rng.below(6) as usize];
+                let v = mantissa * scale;
+                // Overflow to ±inf has no JSON form; the round-trip
+                // property only holds for finite values.
+                Json::Float(if v.is_finite() { v } else { 0.125 })
+            }
+            4 => {
+                let len = rng.below(12) as usize;
+                let mut s = String::new();
+                for _ in 0..len {
+                    // Bias toward characters that exercise escaping.
+                    s.push(match rng.below(8) {
+                        0 => '"',
+                        1 => '\\',
+                        2 => '\n',
+                        3 => '\u{1}',
+                        4 => 'é',
+                        5 => '字',
+                        _ => (b'a' + rng.below(26) as u8) as char,
+                    });
+                }
+                Json::Str(s)
+            }
+            5 => {
+                let len = rng.below(4) as usize;
+                Json::Array((0..len).map(|_| arbitrary_json(rng, depth + 1)).collect())
+            }
+            _ => {
+                let len = rng.below(4) as usize;
+                Json::Object(
+                    (0..len)
+                        .map(|i| {
+                            (
+                                format!("k{}{}", i, rng.below(100)),
+                                arbitrary_json(rng, depth + 1),
+                            )
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_property() {
+        let mut rng = predllc_workload::rng::Rng64::new(0x5e1f);
+        for case in 0..500 {
+            let value = arbitrary_json(&mut rng, 0);
+            let compact = value.render();
+            let reparsed = parse(&compact).unwrap_or_else(|e| {
+                panic!("case {case}: render produced invalid json: {e}\n{compact}")
+            });
+            assert_eq!(
+                reparsed, value,
+                "case {case}: compact round trip\n{compact}"
+            );
+            let pretty = value.render_pretty();
+            assert_eq!(
+                parse(&pretty).unwrap(),
+                value,
+                "case {case}: pretty round trip\n{pretty}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_number_edge_cases() {
+        // Exact integers stay integers.
+        assert_eq!(Json::UInt(u64::MAX).render(), u64::MAX.to_string());
+        assert_eq!(
+            parse(&Json::UInt(u64::MAX).render()).unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        // Integral floats keep their decimal point so they come back as
+        // floats, not integers.
+        assert_eq!(Json::Float(2.0).render(), "2.0");
+        assert_eq!(parse("2.0").unwrap(), Json::Float(2.0));
+        assert_eq!(Json::Float(-7.0).render(), "-7.0");
+        // Shortest-form floats survive.
+        for v in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, f64::MAX, -0.0] {
+            let text = Json::Float(v).render();
+            assert_eq!(parse(&text).unwrap().as_f64(), Some(v), "{text}");
+        }
+        // Non-finite values degrade to null rather than invalid JSON.
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn render_preserves_key_order_and_escapes() {
+        let doc =
+            parse("{\"zeta\": 1, \"alpha\": {\"tab\\t\": \"\\u0001\"}, \"mid\": []}").unwrap();
+        let text = doc.render();
+        // Insertion order is preserved, not sorted.
+        assert!(text.find("zeta").unwrap() < text.find("alpha").unwrap());
+        assert!(text.find("alpha").unwrap() < text.find("mid").unwrap());
+        assert!(text.contains("\\t") && text.contains("\\u0001"));
+        assert_eq!(parse(&text).unwrap(), doc);
+        // Pretty output is indented and ends with a newline.
+        let pretty = doc.render_pretty();
+        assert!(pretty.contains("\n  \"zeta\""));
+        assert!(pretty.ends_with('\n'));
+        assert_eq!(render_string("a\"b"), r#""a\"b""#);
     }
 
     #[test]

@@ -70,13 +70,15 @@ use std::fmt;
 
 pub mod executor;
 pub mod grid;
+pub mod hash;
 pub mod json;
 pub mod report;
 pub mod search;
 pub mod spec;
 
 pub use executor::Executor;
-pub use grid::{run_grid, GridResult};
+pub use grid::{run_grid, run_grid_observed, unique_point_count, GridResult, GridRun};
+pub use hash::{canonical_fingerprint, point_fingerprint, Fingerprint, Fnv1a};
 pub use search::{search_partitions, Candidate, CandidateVerdict, SearchOutcome};
 pub use spec::{Arrangement, ConfigSpec, ExperimentSpec, SearchSpec, SpecError, WorkloadEntry};
 
@@ -145,6 +147,11 @@ pub struct ExploreReport {
     pub grid: Vec<GridResult>,
     /// The search outcome, when the spec asked for one.
     pub search: Option<SearchOutcome>,
+    /// Physically distinct grid points actually simulated (identical
+    /// points are simulated once; see [`run_grid_observed`]).
+    pub unique_points: usize,
+    /// Declared grid points (`configs × workloads`).
+    pub total_points: usize,
 }
 
 /// Runs an experiment spec end to end: the measurement grid, then the
@@ -154,12 +161,33 @@ pub struct ExploreReport {
 ///
 /// Propagates [`run_grid`] and [`search_partitions`] failures.
 pub fn run_spec(spec: &ExperimentSpec, exec: &Executor) -> Result<ExploreReport, ExploreError> {
-    let grid = run_grid(spec, exec)?;
+    run_spec_observed(spec, exec, &|_, _| {})
+}
+
+/// Like [`run_spec`], with a grid-progress observer: `observe(done,
+/// unique_total)` fires after each unique grid point completes (from
+/// worker threads) — the hook a long-running service reports per-job
+/// progress through.
+///
+/// # Errors
+///
+/// Propagates [`run_grid_observed`] and [`search_partitions`] failures.
+pub fn run_spec_observed(
+    spec: &ExperimentSpec,
+    exec: &Executor,
+    observe: &(dyn Fn(usize, usize) + Sync),
+) -> Result<ExploreReport, ExploreError> {
+    let run = run_grid_observed(spec, exec, observe)?;
     let search = match &spec.search {
         Some(s) => Some(search_partitions(s, spec.cores, &spec.tasks, exec)?),
         None => None,
     };
-    Ok(ExploreReport { grid, search })
+    Ok(ExploreReport {
+        grid: run.rows,
+        search,
+        unique_points: run.unique_points,
+        total_points: run.total_points,
+    })
 }
 
 #[cfg(test)]

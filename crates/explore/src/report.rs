@@ -2,6 +2,7 @@
 //! benchmark-artifact trajectory.
 
 use crate::grid::GridResult;
+use crate::json::render_string;
 use crate::search::SearchOutcome;
 
 /// Renders grid rows as CSV, percentiles included.
@@ -86,7 +87,7 @@ pub fn render_json(
     search: Option<&SearchOutcome>,
 ) -> String {
     let mut out = String::from("{");
-    out.push_str(&format!("\"name\":{},", json_string(name)));
+    out.push_str(&format!("\"name\":{},", render_string(name)));
     out.push_str(&format!("\"threads\":{threads},"));
     if let Some(ms) = wall_ms {
         out.push_str(&format!("\"wall_ms\":{ms},"));
@@ -100,9 +101,9 @@ pub fn render_json(
             "{{\"config\":{},\"workload\":{},\"backend\":{},\"x\":{},\"requests\":{},\
              \"p50\":{},\"p90\":{},\"p99\":{},\"p100\":{},\"mean_latency\":{:.3},\
              \"execution_time\":{},\"analytical_wcl\":{},\"row_hit_rate\":{:.3}}}",
-            json_string(&r.config),
-            json_string(&r.workload),
-            json_string(&r.backend),
+            render_string(&r.config),
+            render_string(&r.workload),
+            render_string(&r.backend),
             r.x,
             r.requests,
             r.p50,
@@ -122,7 +123,7 @@ pub fn render_json(
         match &outcome.winner {
             Some(w) => out.push_str(&format!(
                 "\"winner\":{{\"label\":{},\"lines_used\":{}}},",
-                json_string(&w.label),
+                render_string(&w.label),
                 w.lines_used
             )),
             None => out.push_str("\"winner\":null,"),
@@ -134,25 +135,6 @@ pub fn render_json(
         ));
     }
     out.push('}');
-    out
-}
-
-/// Escapes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
     out
 }
 

@@ -1,0 +1,394 @@
+//! A small blocking HTTP client for the experiment service — used by
+//! the integration tests, the CI smoke binary and scripts that prefer
+//! Rust over `curl`.
+//!
+//! One [`Client`] holds one keep-alive connection and replays requests
+//! over it, reconnecting transparently when the server (or an idle
+//! timeout) closed it.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use predllc_explore::json::{self, Json};
+
+/// Any client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, write).
+    Io(std::io::Error),
+    /// The server answered with a non-success status.
+    Status {
+        /// The HTTP status code.
+        status: u16,
+        /// The response body (usually `{"error": "..."}`).
+        body: String,
+    },
+    /// The server's bytes were not understandable.
+    Protocol(String),
+    /// The job did not finish within the wait deadline.
+    Timeout {
+        /// The job's last observed status.
+        last_status: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failed: {e}"),
+            ClientError::Status { status, body } => {
+                write!(f, "server answered {status}: {body}")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol error: {what}"),
+            ClientError::Timeout { last_status } => {
+                write!(
+                    f,
+                    "timed out waiting for the job (last status: {last_status})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The answer to a spec submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Submitted {
+    /// The experiment's content-addressed id (32 hex chars).
+    pub id: String,
+    /// The spec's name.
+    pub name: String,
+    /// Status at submission time.
+    pub status: String,
+    /// Whether the submission coalesced onto an existing job.
+    pub cached: bool,
+    /// Unique grid points the job simulates.
+    pub points_total: u64,
+}
+
+/// A job-status report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Status {
+    /// The experiment id.
+    pub id: String,
+    /// The spec's name.
+    pub name: String,
+    /// `queued` / `running` / `done` / `failed`.
+    pub status: String,
+    /// Unique grid points completed.
+    pub points_done: u64,
+    /// Unique grid points total.
+    pub points_total: u64,
+    /// The failure message, when failed.
+    pub error: Option<String>,
+}
+
+/// A blocking client for one service address.
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+    /// Per-request read timeout.
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the service at `addr`.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            conn: None,
+            timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Overrides the per-request read timeout (default 120 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&mut self) -> Result<&mut BufReader<TcpStream>, ClientError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// One request/response exchange; reconnects once if the cached
+    /// keep-alive connection turned out dead.
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        let had_conn = self.conn.is_some();
+        match self.exchange(method, path, body) {
+            Ok(out) => Ok(out),
+            // A reused connection may have been closed under us (idle
+            // timeout, server restart): retry once on a fresh one.
+            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) if had_conn => {
+                self.conn = None;
+                self.exchange(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn exchange(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        let addr = self.addr;
+        let conn = self.connect()?;
+        let payload = body.unwrap_or("");
+        conn.get_mut().write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\n\
+                 content-length: {}\r\n\r\n{payload}",
+                payload.len()
+            )
+            .as_bytes(),
+        )?;
+        conn.get_mut().flush()?;
+
+        // Status line.
+        let mut line = String::new();
+        if conn.read_line(&mut line)? == 0 {
+            self.conn = None;
+            return Err(ClientError::Protocol("connection closed".into()));
+        }
+        let mut parts = line.trim_end().splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line {line:?}")))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(ClientError::Protocol(format!("bad version in {line:?}")));
+        }
+
+        // Headers.
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        loop {
+            let mut header = String::new();
+            if conn.read_line(&mut header)? == 0 {
+                return Err(ClientError::Protocol("truncated headers".into()));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                match name.trim().to_ascii_lowercase().as_str() {
+                    "content-length" => {
+                        content_length = value
+                            .trim()
+                            .parse()
+                            .map_err(|_| ClientError::Protocol("bad content-length".into()))?;
+                    }
+                    "connection" => {
+                        keep_alive = !value.trim().eq_ignore_ascii_case("close");
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Body.
+        let mut body = vec![0u8; content_length];
+        conn.read_exact(&mut body)?;
+        if !keep_alive {
+            self.conn = None;
+        }
+        let body =
+            String::from_utf8(body).map_err(|_| ClientError::Protocol("non-utf8 body".into()))?;
+        if (200..300).contains(&status) {
+            Ok((status, body))
+        } else {
+            Err(ClientError::Status { status, body })
+        }
+    }
+
+    fn request_json(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Json, ClientError> {
+        let (_, text) = self.request(method, path, body)?;
+        json::parse(&text).map_err(|e| ClientError::Protocol(format!("invalid json reply: {e}")))
+    }
+
+    /// `GET /healthz`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or status failure.
+    pub fn healthz(&mut self) -> Result<String, ClientError> {
+        Ok(self.request("GET", "/healthz", None)?.1)
+    }
+
+    /// `GET /metrics` — the raw plain-text exposition.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or status failure.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        Ok(self.request("GET", "/metrics", None)?.1)
+    }
+
+    /// One counter out of [`Client::metrics`], by exact name.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] when the counter is missing.
+    pub fn metric(&mut self, name: &str) -> Result<u64, ClientError> {
+        let text = self.metrics()?;
+        text.lines()
+            .find_map(|l| {
+                let (n, v) = l.split_once(' ')?;
+                (n == name).then(|| v.parse().ok())?
+            })
+            .ok_or_else(|| ClientError::Protocol(format!("no metric named {name}")))
+    }
+
+    /// `POST /v1/experiments` — submit a spec document.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carrying the server's 400 for invalid
+    /// specs, or any transport failure.
+    pub fn submit(&mut self, spec: &str) -> Result<Submitted, ClientError> {
+        let doc = self.request_json("POST", "/v1/experiments", Some(spec))?;
+        Ok(Submitted {
+            id: str_field(&doc, "id")?,
+            name: str_field(&doc, "name")?,
+            status: str_field(&doc, "status")?,
+            cached: doc
+                .get("cached")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| ClientError::Protocol("missing 'cached'".into()))?,
+            points_total: u64_field(&doc, "points_total")?,
+        })
+    }
+
+    /// `GET /v1/experiments/{id}` — status and progress.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carrying the server's 404 for unknown
+    /// ids, or any transport failure.
+    pub fn status(&mut self, id: &str) -> Result<Status, ClientError> {
+        let doc = self.request_json("GET", &format!("/v1/experiments/{id}"), None)?;
+        Ok(Status {
+            id: str_field(&doc, "id")?,
+            name: str_field(&doc, "name")?,
+            status: str_field(&doc, "status")?,
+            points_done: u64_field(&doc, "points_done")?,
+            points_total: u64_field(&doc, "points_total")?,
+            error: doc.get("error").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+
+    /// Polls [`Client::status`] until the job is `done`, failing on
+    /// `failed` or when `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] when the deadline passes first, or
+    /// [`ClientError::Status`] when the job failed server-side.
+    pub fn wait_done(&mut self, id: &str, timeout: Duration) -> Result<Status, ClientError> {
+        let deadline = Instant::now() + timeout;
+        let mut delay = Duration::from_millis(2);
+        loop {
+            let status = self.status(id)?;
+            match status.status.as_str() {
+                "done" => return Ok(status),
+                "failed" => {
+                    return Err(ClientError::Status {
+                        status: 500,
+                        body: status.error.unwrap_or_else(|| "job failed".into()),
+                    })
+                }
+                _ if Instant::now() >= deadline => {
+                    return Err(ClientError::Timeout {
+                        last_status: status.status,
+                    })
+                }
+                _ => {
+                    std::thread::sleep(delay);
+                    // Back off to spare tiny jobs the polling overhead
+                    // without making big ones laggy to observe.
+                    delay = (delay * 2).min(Duration::from_millis(200));
+                }
+            }
+        }
+    }
+
+    /// `GET /v1/experiments/{id}/results?format=csv`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] for 404/409/500 answers, or any
+    /// transport failure.
+    pub fn results_csv(&mut self, id: &str) -> Result<String, ClientError> {
+        Ok(self
+            .request(
+                "GET",
+                &format!("/v1/experiments/{id}/results?format=csv"),
+                None,
+            )?
+            .1)
+    }
+
+    /// `GET /v1/experiments/{id}/results?format=json`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] for 404/409/500 answers, or any
+    /// transport failure.
+    pub fn results_json(&mut self, id: &str) -> Result<String, ClientError> {
+        Ok(self
+            .request(
+                "GET",
+                &format!("/v1/experiments/{id}/results?format=json"),
+                None,
+            )?
+            .1)
+    }
+}
+
+fn str_field(doc: &Json, key: &str) -> Result<String, ClientError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ClientError::Protocol(format!("missing '{key}'")))
+}
+
+fn u64_field(doc: &Json, key: &str) -> Result<u64, ClientError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ClientError::Protocol(format!("missing '{key}'")))
+}

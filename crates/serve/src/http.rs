@@ -1,0 +1,433 @@
+//! A minimal HTTP/1.1 request/response layer over `std` I/O.
+//!
+//! The build is network-isolated (no hyper, no tokio), and the service
+//! only needs the narrow slice of HTTP/1.1 that `curl`, browsers and the
+//! in-tree [`client`](crate::client) speak: request line + headers +
+//! `Content-Length` bodies, persistent connections by default, and a
+//! handful of status codes. Everything is **bounded** — request-line
+//! length, header count and size, body size — so a misbehaving client
+//! cannot balloon server memory.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Upper bounds applied while reading a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Longest accepted request line (method + target + version), bytes.
+    pub max_request_line: usize,
+    /// Longest accepted single header line, bytes.
+    pub max_header_line: usize,
+    /// Most accepted headers.
+    pub max_headers: usize,
+    /// Largest accepted body, bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 8 << 10,
+            max_header_line: 8 << 10,
+            max_headers: 64,
+            // Experiment specs are small; 1 MiB leaves two orders of
+            // magnitude of headroom.
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path component of the target (no query string).
+    pub path: String,
+    /// Raw query string after `?`, if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of query parameter `key`, if present (`k=v` pairs
+    /// separated by `&`; no percent-decoding — the API's values are
+    /// plain tokens).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The request violated a [`Limits`] bound (the field names the
+    /// offending part; responds 413 or 431).
+    TooLarge(&'static str),
+    /// The bytes were not valid HTTP (responds 400).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::TooLarge(what) => write!(f, "{what} exceeds the configured limit"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one line (up to CRLF or LF), bounded by `max` bytes.
+///
+/// Returns `Ok(None)` on clean EOF before any byte.
+fn read_line(
+    r: &mut impl BufRead,
+    max: usize,
+    what: &'static str,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed("truncated line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text =
+                        String::from_utf8(line).map_err(|_| HttpError::Malformed("non-utf8"))?;
+                    return Ok(Some(text));
+                }
+                line.push(byte[0]);
+                if line.len() > max {
+                    return Err(HttpError::TooLarge(what));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly
+/// between requests (the normal end of a keep-alive session).
+///
+/// # Errors
+///
+/// [`HttpError`] describing the transport failure, violated bound or
+/// malformed syntax; the caller maps these to 4xx responses where a
+/// response is still possible.
+pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(r, limits.max_request_line, "request line")? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("bad request line"));
+    }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(r, limits.max_header_line, "header line")?
+            .ok_or(HttpError::Malformed("truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooLarge("header count"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without ':'"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
+                if content_length > limits.max_body {
+                    return Err(HttpError::TooLarge("body"));
+                }
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "transfer-encoding" => {
+                // Chunked uploads are out of scope; refusing beats
+                // misreading the framing.
+                return Err(HttpError::Malformed("transfer-encoding not supported"));
+            }
+            _ => {}
+        }
+        headers.push((name, value));
+    }
+
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target, None),
+    };
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a text/JSON-ish string body.
+    pub fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` plain-text response.
+    pub fn text(body: impl Into<Vec<u8>>) -> Response {
+        Response::new(200, "text/plain; charset=utf-8", body)
+    }
+
+    /// A JSON response at `status`.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status, "application/json", body)
+    }
+}
+
+/// The reason phrase for the status codes the service uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `resp`, framing with `Content-Length` and announcing
+/// keep-alive intent.
+///
+/// # Errors
+///
+/// Any transport failure.
+pub fn write_response(w: &mut impl Write, resp: &Response, keep_alive: bool) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(bytes.to_vec()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let req = parse(
+            b"POST /v1/experiments?format=csv&x=1 HTTP/1.1\r\n\
+              Host: localhost\r\nContent-Type: application/json\r\n\
+              Content-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/experiments");
+        assert_eq!(req.query_param("format"), Some("csv"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.header("content-type"), Some("application/json"));
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let close = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!close.keep_alive);
+        let old = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!old.keep_alive);
+        let old_ka = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(old_ka.keep_alive);
+    }
+
+    #[test]
+    fn keep_alive_sessions_yield_multiple_requests() {
+        let bytes = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let mut cursor = Cursor::new(bytes.to_vec());
+        let first = read_request(&mut cursor, &Limits::default())
+            .unwrap()
+            .unwrap();
+        let second = read_request(&mut cursor, &Limits::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(first.path, "/healthz");
+        assert_eq!(second.path, "/metrics");
+        // Clean EOF between requests is the normal session end.
+        assert!(read_request(&mut cursor, &Limits::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let limits = Limits {
+            max_request_line: 32,
+            max_header_line: 32,
+            max_headers: 2,
+            max_body: 8,
+        };
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(64));
+        assert!(matches!(
+            read_request(&mut Cursor::new(long_line.into_bytes()), &limits),
+            Err(HttpError::TooLarge("request line"))
+        ));
+        let big_body = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        assert!(matches!(
+            read_request(&mut Cursor::new(big_body.to_vec()), &limits),
+            Err(HttpError::TooLarge("body"))
+        ));
+        let many_headers = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(many_headers.to_vec()), &limits),
+            Err(HttpError::TooLarge("header count"))
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bytes in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            &b"GET /\r\n\r\n"[..],
+            &b"GET / FTP/1.1\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbad header\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(parse(bytes), Err(HttpError::Malformed(_))),
+                "accepted {:?}",
+                String::from_utf8_lossy(bytes)
+            );
+        }
+        // A clean EOF before any request is not an error.
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn responses_frame_with_content_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(202, r#"{"id":"x"}"#), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        assert!(text.contains("content-length: 10\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"id\":\"x\"}"));
+        let mut closed = Vec::new();
+        write_response(&mut closed, &Response::text("ok\n"), false).unwrap();
+        assert!(String::from_utf8(closed)
+            .unwrap()
+            .contains("connection: close"));
+    }
+}

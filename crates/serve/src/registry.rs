@@ -1,0 +1,567 @@
+//! The job registry: content-addressed experiment jobs, their lifecycle
+//! and the service metrics.
+//!
+//! A job's identity is the [canonical
+//! fingerprint](predllc_explore::hash::canonical_fingerprint) of its
+//! parsed spec — key-order-insensitive, whitespace-free — so two
+//! submissions of the same experiment (however formatted, however
+//! concurrent) share one [`Job`]. The registry's map lock is the
+//! coalescing point: the first submission inserts and runs, every later
+//! one gets the existing entry back as a cache hit and waits on (or
+//! immediately reads) the same result.
+//!
+//! Simulation is deterministic, so a cached result is exactly what a
+//! re-run would produce; results are rendered once at completion and
+//! served byte-identically forever after. The cache is **bounded**:
+//! past [`Registry::with_capacity`]'s limit, the oldest *finished* job
+//! is evicted to make room (an evicted experiment simply re-simulates
+//! on its next submission); when every registered job is still queued
+//! or running, new submissions are refused instead.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use predllc_explore::hash::{canonical_fingerprint, Fingerprint};
+use predllc_explore::{json, unique_point_count, ExperimentSpec, SpecError};
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The body was not a valid experiment spec.
+    Spec(SpecError),
+    /// The registry is full of queued/running jobs; nothing is
+    /// evictable.
+    AtCapacity,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Spec(e) => write!(f, "{e}"),
+            SubmitError::AtCapacity => f.write_str("service is at capacity; retry later"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A job's coarse lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, not yet started.
+    Queued,
+    /// Executing on the experiment executor.
+    Running,
+    /// Finished; results are cached and served.
+    Done,
+    /// The run failed; the error message is cached instead.
+    Failed,
+}
+
+impl JobStatus {
+    /// The lowercase wire name (`"queued"`, `"running"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// The rendered, immutable outcome of a finished job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// The grid rows as CSV (`report::render_csv`).
+    pub csv: String,
+    /// The full report as JSON (`report::render_json`, no wall time so
+    /// re-submissions serve byte-identical documents).
+    pub json: String,
+    /// Unique grid points this job actually simulated.
+    pub unique_points: usize,
+}
+
+/// What a job is currently doing (interior of the state mutex).
+#[derive(Debug, Clone)]
+enum State {
+    Queued,
+    Running,
+    Done(Arc<JobResult>),
+    Failed(String),
+}
+
+/// One content-addressed experiment job.
+#[derive(Debug)]
+pub struct Job {
+    /// The content address (hex form is the public experiment id).
+    pub id: Fingerprint,
+    /// The spec's `name` field, echoed in status responses.
+    pub name: String,
+    /// The parsed spec the runner executes.
+    pub spec: ExperimentSpec,
+    /// Unique grid points this job will simulate (denominator of the
+    /// progress fraction, known at submission).
+    pub points_total: usize,
+    points_done: AtomicUsize,
+    state: Mutex<State>,
+    finished: Condvar,
+}
+
+impl Job {
+    /// Current coarse status.
+    pub fn status(&self) -> JobStatus {
+        match *self.state.lock().unwrap() {
+            State::Queued => JobStatus::Queued,
+            State::Running => JobStatus::Running,
+            State::Done(_) => JobStatus::Done,
+            State::Failed(_) => JobStatus::Failed,
+        }
+    }
+
+    /// Unique grid points completed so far.
+    pub fn points_done(&self) -> usize {
+        self.points_done.load(Ordering::Relaxed)
+    }
+
+    /// Records grid progress (called from executor workers).
+    pub fn record_progress(&self, done: usize) {
+        self.points_done.fetch_max(done, Ordering::Relaxed);
+    }
+
+    /// The cached result, when done.
+    pub fn result(&self) -> Option<Arc<JobResult>> {
+        match &*self.state.lock().unwrap() {
+            State::Done(r) => Some(Arc::clone(r)),
+            _ => None,
+        }
+    }
+
+    /// The failure message, when failed.
+    pub fn error(&self) -> Option<String> {
+        match &*self.state.lock().unwrap() {
+            State::Failed(e) => Some(e.clone()),
+            _ => None,
+        }
+    }
+
+    /// Marks the job running.
+    pub fn start(&self) {
+        *self.state.lock().unwrap() = State::Running;
+    }
+
+    /// Completes the job with rendered results and wakes waiters.
+    pub fn finish(&self, result: JobResult) {
+        *self.state.lock().unwrap() = State::Done(Arc::new(result));
+        self.finished.notify_all();
+    }
+
+    /// Fails the job and wakes waiters.
+    pub fn fail(&self, error: String) {
+        *self.state.lock().unwrap() = State::Failed(error);
+        self.finished.notify_all();
+    }
+
+    /// Blocks until the job is done or failed, or `timeout` elapses.
+    /// Returns the final status reached (or the current one on
+    /// timeout).
+    pub fn wait(&self, timeout: Duration) -> JobStatus {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap();
+        loop {
+            match &*state {
+                State::Done(_) => return JobStatus::Done,
+                State::Failed(_) => return JobStatus::Failed,
+                _ => {}
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return match &*state {
+                    State::Queued => JobStatus::Queued,
+                    State::Running => JobStatus::Running,
+                    State::Done(_) => JobStatus::Done,
+                    State::Failed(_) => JobStatus::Failed,
+                };
+            }
+            let (next, _) = self.finished.wait_timeout(state, deadline - now).unwrap();
+            state = next;
+        }
+    }
+}
+
+/// Monotonic service counters, rendered by `/metrics`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted and not yet started.
+    pub jobs_queued: AtomicU64,
+    /// Jobs currently executing.
+    pub jobs_running: AtomicU64,
+    /// Jobs finished successfully.
+    pub jobs_done: AtomicU64,
+    /// Jobs that failed.
+    pub jobs_failed: AtomicU64,
+    /// Submissions answered from the content-addressed cache (including
+    /// coalesced concurrent duplicates).
+    pub cache_hits: AtomicU64,
+    /// Submissions that created a new job.
+    pub cache_misses: AtomicU64,
+    /// Unique grid points simulated across all finished jobs.
+    pub points_simulated: AtomicU64,
+    /// HTTP requests served.
+    pub http_requests: AtomicU64,
+}
+
+/// A point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Jobs accepted and not yet started.
+    pub jobs_queued: u64,
+    /// Jobs currently executing.
+    pub jobs_running: u64,
+    /// Jobs finished successfully.
+    pub jobs_done: u64,
+    /// Jobs that failed.
+    pub jobs_failed: u64,
+    /// Submissions answered from the cache.
+    pub cache_hits: u64,
+    /// Submissions that created a new job.
+    pub cache_misses: u64,
+    /// Unique grid points simulated.
+    pub points_simulated: u64,
+    /// HTTP requests served.
+    pub http_requests: u64,
+}
+
+impl Metrics {
+    /// Copies every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs_queued: self.jobs_queued.load(Ordering::Relaxed),
+            jobs_running: self.jobs_running.load(Ordering::Relaxed),
+            jobs_done: self.jobs_done.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            points_simulated: self.points_simulated.load(Ordering::Relaxed),
+            http_requests: self.http_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Renders the Prometheus-style plain-text exposition.
+    pub fn render(&self) -> String {
+        let s = self.snapshot();
+        let mut out = String::new();
+        for (name, value) in [
+            ("predllc_jobs_queued", s.jobs_queued),
+            ("predllc_jobs_running", s.jobs_running),
+            ("predllc_jobs_done", s.jobs_done),
+            ("predllc_jobs_failed", s.jobs_failed),
+            ("predllc_cache_hits", s.cache_hits),
+            ("predllc_cache_misses", s.cache_misses),
+            ("predllc_points_simulated", s.points_simulated),
+            ("predllc_http_requests", s.http_requests),
+        ] {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        out
+    }
+}
+
+/// The outcome of a submission: the (new or existing) job and whether it
+/// was freshly created.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// The job this spec coalesced onto.
+    pub job: Arc<Job>,
+    /// `true` when this submission created the job (a cache miss).
+    pub fresh: bool,
+}
+
+/// Interior of the registry lock: the content-addressed map plus
+/// insertion order for bounded eviction.
+#[derive(Debug, Default)]
+struct JobMap {
+    by_id: HashMap<Fingerprint, Arc<Job>>,
+    /// Insertion order; eviction scans from the front for the oldest
+    /// finished job.
+    order: VecDeque<Fingerprint>,
+}
+
+/// The content-addressed job map plus service metrics.
+#[derive(Debug)]
+pub struct Registry {
+    jobs: Mutex<JobMap>,
+    capacity: usize,
+    /// The service counters.
+    pub metrics: Metrics,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A registry bounded at 1024 cached jobs.
+    pub fn new() -> Self {
+        Registry::with_capacity(1024)
+    }
+
+    /// A registry holding at most `capacity` jobs: when full, the
+    /// oldest finished job is evicted for each new submission, and if
+    /// everything registered is still queued/running, submissions fail
+    /// with [`SubmitError::AtCapacity`].
+    pub fn with_capacity(capacity: usize) -> Self {
+        Registry {
+            jobs: Mutex::new(JobMap::default()),
+            capacity: capacity.max(1),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Submits a spec document: parses and fingerprints it, then either
+    /// coalesces onto the existing job for that content address (cache
+    /// hit) or registers a fresh queued job (cache miss). The map lock
+    /// is held across the lookup-or-insert, so concurrent duplicate
+    /// submissions coalesce onto exactly one job.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Spec`] when the body is not a valid spec, or
+    /// [`SubmitError::AtCapacity`] when the registry is full of
+    /// unfinished jobs.
+    pub fn submit(&self, body: &str) -> Result<Submission, SubmitError> {
+        let doc = json::parse(body).map_err(|e| SubmitError::Spec(SpecError::Json(e)))?;
+        let id = canonical_fingerprint(&doc);
+        let spec = ExperimentSpec::parse(body).map_err(SubmitError::Spec)?;
+
+        let mut jobs = self.jobs.lock().unwrap();
+        if let Some(job) = jobs.by_id.get(&id) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Submission {
+                job: Arc::clone(job),
+                fresh: false,
+            });
+        }
+        if jobs.by_id.len() >= self.capacity {
+            // Make room by dropping the oldest finished job; its next
+            // submission will simply re-simulate.
+            let JobMap { by_id, order } = &mut *jobs;
+            let evictable = order
+                .iter()
+                .position(|fp| matches!(by_id[fp].status(), JobStatus::Done | JobStatus::Failed));
+            match evictable {
+                Some(at) => {
+                    let fp = order.remove(at).expect("position came from order");
+                    by_id.remove(&fp);
+                }
+                None => return Err(SubmitError::AtCapacity),
+            }
+        }
+        let points_total = unique_point_count(&spec);
+        let job = Arc::new(Job {
+            id,
+            name: spec.name.clone(),
+            spec,
+            points_total,
+            points_done: AtomicUsize::new(0),
+            state: Mutex::new(State::Queued),
+            finished: Condvar::new(),
+        });
+        jobs.by_id.insert(id, Arc::clone(&job));
+        jobs.order.push_back(id);
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.jobs_queued.fetch_add(1, Ordering::Relaxed);
+        Ok(Submission { job, fresh: true })
+    }
+
+    /// Unregisters a freshly submitted job that will never run (the
+    /// submit→enqueue window raced shutdown): marks it failed and
+    /// settles the queued/failed counters so `/metrics` never reports a
+    /// phantom queued job.
+    pub fn abandon(&self, job: &Job, reason: &str) {
+        let mut jobs = self.jobs.lock().unwrap();
+        if jobs.by_id.remove(&job.id).is_some() {
+            jobs.order.retain(|fp| *fp != job.id);
+            job.fail(reason.to_string());
+            self.metrics.jobs_queued.fetch_sub(1, Ordering::Relaxed);
+            self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Looks a job up by the hex form of its id.
+    pub fn get(&self, hex_id: &str) -> Option<Arc<Job>> {
+        let id = Fingerprint::parse_hex(hex_id)?;
+        self.jobs.lock().unwrap().by_id.get(&id).cloned()
+    }
+
+    /// Number of registered jobs (all states).
+    pub fn len(&self) -> usize {
+        self.jobs.lock().unwrap().by_id.len()
+    }
+
+    /// Whether no job is currently registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"{
+        "name": "reg-test", "cores": 2,
+        "configs": [{"partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}}],
+        "workloads": [{"kind": "uniform", "range_bytes": 1024, "ops": 40, "seed": 1}]
+    }"#;
+
+    #[test]
+    fn duplicate_submissions_coalesce_by_content() {
+        let reg = Registry::new();
+        let first = reg.submit(SPEC).unwrap();
+        assert!(first.fresh);
+        assert_eq!(first.job.status(), JobStatus::Queued);
+        assert_eq!(first.job.points_total, 1);
+        // Same document, different formatting and key order.
+        let reordered = r#"{
+            "workloads": [{"seed": 1, "ops": 40, "range_bytes": 1024, "kind": "uniform"}],
+            "configs": [{"partition": {"mode": "SS", "ways": 4, "sets": 1, "kind": "shared"}}],
+            "cores": 2, "name": "reg-test"
+        }"#;
+        let second = reg.submit(reordered).unwrap();
+        assert!(!second.fresh);
+        assert_eq!(first.job.id, second.job.id);
+        assert!(Arc::ptr_eq(&first.job, &second.job));
+        let m = reg.metrics.snapshot();
+        assert_eq!((m.cache_misses, m.cache_hits), (1, 1));
+        assert_eq!(reg.len(), 1);
+        // A genuinely different spec gets its own job.
+        let other = SPEC.replace("\"seed\": 1", "\"seed\": 2");
+        let third = reg.submit(&other).unwrap();
+        assert!(third.fresh);
+        assert_ne!(third.job.id, first.job.id);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_hex_id() {
+        let reg = Registry::new();
+        let sub = reg.submit(SPEC).unwrap();
+        let hex = sub.job.id.to_hex();
+        assert!(Arc::ptr_eq(&reg.get(&hex).unwrap(), &sub.job));
+        assert!(reg.get("0000000000000000ffffffffffffffff").is_none());
+        assert!(reg.get("not-an-id").is_none());
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let reg = Registry::new();
+        assert!(matches!(
+            reg.submit("{"),
+            Err(SubmitError::Spec(SpecError::Json(_)))
+        ));
+        assert!(matches!(
+            reg.submit(r#"{"name": "x"}"#),
+            Err(SubmitError::Spec(SpecError::Invalid { .. }))
+        ));
+        assert!(reg.is_empty());
+        assert_eq!(reg.metrics.snapshot().cache_misses, 0);
+    }
+
+    #[test]
+    fn job_lifecycle_and_wait() {
+        let reg = Registry::new();
+        let job = reg.submit(SPEC).unwrap().job;
+        assert_eq!(job.wait(Duration::from_millis(10)), JobStatus::Queued);
+        job.start();
+        assert_eq!(job.status(), JobStatus::Running);
+        job.record_progress(1);
+        assert_eq!(job.points_done(), 1);
+        // Progress is monotonic even with racing reporters.
+        job.record_progress(1);
+        assert_eq!(job.points_done(), 1);
+        let waiter = {
+            let job = Arc::clone(&job);
+            std::thread::spawn(move || job.wait(Duration::from_secs(10)))
+        };
+        job.finish(JobResult {
+            csv: "csv".into(),
+            json: "{}".into(),
+            unique_points: 1,
+        });
+        assert_eq!(waiter.join().unwrap(), JobStatus::Done);
+        assert_eq!(job.result().unwrap().csv, "csv");
+        assert_eq!(job.error(), None);
+    }
+
+    fn seeded(seed: u64) -> String {
+        SPEC.replace("\"seed\": 1", &format!("\"seed\": {seed}"))
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_finished_jobs_only() {
+        let reg = Registry::with_capacity(2);
+        let a = reg.submit(&seeded(1)).unwrap().job;
+        let b = reg.submit(&seeded(2)).unwrap().job;
+        // Both unfinished: nothing evictable, the third is refused.
+        assert_eq!(reg.submit(&seeded(3)).unwrap_err(), SubmitError::AtCapacity);
+        assert_eq!(reg.len(), 2);
+        // ...but a duplicate of a registered job still coalesces.
+        assert!(!reg.submit(&seeded(1)).unwrap().fresh);
+
+        // Finish the *newer* job: eviction must pick it (the oldest
+        // finished), not the still-running older one.
+        b.start();
+        b.finish(JobResult {
+            csv: String::new(),
+            json: String::new(),
+            unique_points: 1,
+        });
+        let c = reg.submit(&seeded(3)).unwrap();
+        assert!(c.fresh);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get(&b.id.to_hex()).is_none(), "finished job evicted");
+        assert!(reg.get(&a.id.to_hex()).is_some(), "unfinished job kept");
+        // An evicted experiment re-submits as a fresh job (re-simulates).
+        b.result().unwrap(); // the old handle still reads its result
+        assert!(reg.get(&c.job.id.to_hex()).is_some());
+    }
+
+    #[test]
+    fn abandon_settles_counters_and_unregisters() {
+        let reg = Registry::new();
+        let job = reg.submit(SPEC).unwrap().job;
+        assert_eq!(reg.metrics.snapshot().jobs_queued, 1);
+        reg.abandon(&job, "service is shutting down");
+        assert_eq!(job.status(), JobStatus::Failed);
+        assert!(reg.get(&job.id.to_hex()).is_none());
+        let m = reg.metrics.snapshot();
+        assert_eq!((m.jobs_queued, m.jobs_failed), (0, 1));
+        // Idempotent: a second abandon is a no-op.
+        reg.abandon(&job, "again");
+        assert_eq!(reg.metrics.snapshot().jobs_failed, 1);
+    }
+
+    #[test]
+    fn metrics_render_every_counter() {
+        let m = Metrics::default();
+        m.cache_hits.store(3, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("predllc_cache_hits 3\n"));
+        for name in [
+            "predllc_jobs_queued",
+            "predllc_jobs_running",
+            "predllc_jobs_done",
+            "predllc_jobs_failed",
+            "predllc_cache_misses",
+            "predllc_points_simulated",
+            "predllc_http_requests",
+        ] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+}

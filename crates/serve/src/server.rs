@@ -1,0 +1,525 @@
+//! The threaded HTTP server: accept loop, connection handling, routing,
+//! and the job runners that feed the work-stealing experiment executor.
+//!
+//! Concurrency model:
+//!
+//! * one **accept** thread (the caller of [`Server::run`]) hands each
+//!   connection to its own detached thread — connections are cheap,
+//!   requests on them are served sequentially with keep-alive;
+//! * a small pool of **runner** threads drains the job queue; each job
+//!   runs `run_spec_observed` on the shared [`Executor`], so grid
+//!   points — not jobs — are the unit of simulation parallelism;
+//! * **graceful shutdown** ([`ServerHandle::shutdown`]) stops accepting
+//!   connections and submissions, then drains: every job already
+//!   accepted runs to completion (all its grid points) before
+//!   [`Server::run`] returns.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use predllc_explore::report::{render_csv, render_json};
+use predllc_explore::{run_spec_observed, Executor};
+
+use crate::http::{read_request, write_response, HttpError, Limits, Request, Response};
+use crate::registry::{Job, JobResult, JobStatus, MetricsSnapshot, Registry, SubmitError};
+use predllc_explore::json::render_string;
+
+/// Tunables for a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads of the shared experiment [`Executor`] (`0` = one
+    /// per available core).
+    pub threads: usize,
+    /// Concurrent job runners (jobs beyond this queue up).
+    pub runners: usize,
+    /// HTTP parsing bounds.
+    pub limits: Limits,
+    /// Per-connection idle read timeout; an idle keep-alive connection
+    /// is closed after this long.
+    pub idle_timeout: Duration,
+    /// Most jobs the registry caches at once; past this the oldest
+    /// finished job is evicted per new submission (see
+    /// [`Registry::with_capacity`]).
+    pub max_jobs: usize,
+    /// Most simultaneously open connections; excess connections are
+    /// answered `503` and closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 0,
+            runners: 1,
+            limits: Limits::default(),
+            idle_timeout: Duration::from_secs(30),
+            max_jobs: 1024,
+            max_connections: 256,
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads, runners and
+/// handles.
+struct Shared {
+    registry: Registry,
+    exec: Executor,
+    shutdown: AtomicBool,
+    /// Present while the service accepts work; dropped on shutdown so
+    /// runner threads drain the queue and exit.
+    queue: Mutex<Option<mpsc::Sender<Arc<Job>>>>,
+    limits: Limits,
+    idle_timeout: Duration,
+    /// Simultaneously open connections, bounded by `max_connections`.
+    connections: std::sync::atomic::AtomicUsize,
+    max_connections: usize,
+}
+
+/// Decrements the live-connection count however the connection thread
+/// exits.
+struct ConnectionGuard<'a>(&'a Shared);
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.0
+            .connections
+            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// A running experiment service bound to a TCP address.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    queue_rx: mpsc::Receiver<Arc<Job>>,
+    runners: usize,
+}
+
+/// A cloneable handle for talking to a running server from other
+/// threads: trigger shutdown, read metrics, look jobs up.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the service (pass port `0` for an ephemeral port, then read
+    /// it back with [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure to bind.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            registry: Registry::with_capacity(config.max_jobs),
+            exec: Executor::new(config.threads),
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(Some(tx)),
+            limits: config.limits,
+            idle_timeout: config.idle_timeout,
+            connections: std::sync::atomic::AtomicUsize::new(0),
+            max_connections: config.max_connections.max(1),
+        });
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+            queue_rx: rx,
+            runners: config.runners.max(1),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle usable from other threads while (and after) the server
+    /// runs.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] is called, then drains:
+    /// runner threads finish every accepted job (all in-flight grid
+    /// points) before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop failures only; per-connection errors are
+    /// answered on the wire and logged to stderr.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut runner_handles = Vec::with_capacity(self.runners);
+        let queue_rx = Arc::new(Mutex::new(self.queue_rx));
+        for _ in 0..self.runners {
+            let shared = Arc::clone(&self.shared);
+            let rx = Arc::clone(&queue_rx);
+            runner_handles.push(std::thread::spawn(move || run_jobs(&shared, &rx)));
+        }
+
+        for conn in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(mut stream) => {
+                    // Bound the connection-thread count: over the cap,
+                    // answer 503 inline and close instead of spawning.
+                    let live = self
+                        .shared
+                        .connections
+                        .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if live >= self.shared.max_connections {
+                        self.shared
+                            .connections
+                            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                        let _ = write_response(
+                            &mut stream,
+                            &error_response(503, "too many connections"),
+                            false,
+                        );
+                        continue;
+                    }
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || {
+                        let _guard = ConnectionGuard(&shared);
+                        serve_connection(&shared, stream);
+                    });
+                }
+                Err(e) => eprintln!("predllc-serve: accept failed: {e}"),
+            }
+        }
+        // Drain: joining the runners waits for every accepted job.
+        for h in runner_handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful shutdown: no new connections or submissions;
+    /// accepted jobs drain. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Closing the queue lets runner threads exit once drained.
+        self.shared.queue.lock().unwrap().take();
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.registry.metrics.snapshot()
+    }
+
+    /// Looks a job up by its hex id.
+    pub fn job(&self, hex_id: &str) -> Option<Arc<Job>> {
+        self.shared.registry.get(hex_id)
+    }
+}
+
+/// The runner loop: take jobs until the queue closes, run each on the
+/// shared executor, cache rendered results.
+fn run_jobs(shared: &Shared, rx: &Mutex<mpsc::Receiver<Arc<Job>>>) {
+    loop {
+        // Hold the receiver lock only while waiting for the next job so
+        // sibling runners can wait too.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed and drained
+        };
+        let metrics = &shared.registry.metrics;
+        job.start();
+        metrics.jobs_queued.fetch_sub(1, Ordering::Relaxed);
+        metrics.jobs_running.fetch_add(1, Ordering::Relaxed);
+        let observe = |done: usize, _total: usize| job.record_progress(done);
+        match run_spec_observed(&job.spec, &shared.exec, &observe) {
+            Ok(report) => {
+                // Rendered once; every later fetch serves these bytes.
+                // No wall time in the JSON, so identical submissions
+                // yield identical documents.
+                let result = JobResult {
+                    csv: render_csv(&report.grid),
+                    json: render_json(
+                        &job.spec.name,
+                        shared.exec.threads(),
+                        None,
+                        &report.grid,
+                        report.search.as_ref(),
+                    ),
+                    unique_points: report.unique_points,
+                };
+                metrics
+                    .points_simulated
+                    .fetch_add(report.unique_points as u64, Ordering::Relaxed);
+                metrics.jobs_done.fetch_add(1, Ordering::Relaxed);
+                job.finish(result);
+            }
+            Err(e) => {
+                metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                job.fail(e.to_string());
+            }
+        }
+        metrics.jobs_running.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Serves one connection: a keep-alive loop of request → route →
+/// response.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader, &shared.limits) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,              // clean close between requests
+            Err(HttpError::Io(_)) => return, // peer gone or idle timeout
+            Err(HttpError::TooLarge(what)) => {
+                let status = if what == "body" { 413 } else { 431 };
+                let _ = write_response(&mut writer, &error_response(status, what), false);
+                return;
+            }
+            Err(HttpError::Malformed(what)) => {
+                let _ = write_response(&mut writer, &error_response(400, what), false);
+                return;
+            }
+        };
+        shared
+            .registry
+            .metrics
+            .http_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let response = route(shared, &request);
+        let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// A JSON error body: `{"error": "..."}`.
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, format!("{{\"error\":{}}}", render_string(message)))
+}
+
+/// Routes one request to its endpoint.
+fn route(shared: &Shared, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::text("ok\n"),
+        ("GET", ["metrics"]) => Response::text(shared.registry.metrics.render()),
+        ("POST", ["v1", "experiments"]) => submit(shared, req),
+        ("GET", ["v1", "experiments", id]) => status(shared, id),
+        ("GET", ["v1", "experiments", id, "results"]) => results(shared, id, req),
+        (_, ["healthz" | "metrics"]) | (_, ["v1", "experiments", ..]) => {
+            error_response(405, "method not allowed")
+        }
+        _ => error_response(404, "no such endpoint"),
+    }
+}
+
+/// `POST /v1/experiments` — submit a spec; coalesces duplicates.
+fn submit(shared: &Shared, req: &Request) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return error_response(503, "service is shutting down");
+    }
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return error_response(400, "body is not utf-8");
+    };
+    let submission = match shared.registry.submit(body) {
+        Ok(s) => s,
+        Err(e @ SubmitError::AtCapacity) => return error_response(503, &e.to_string()),
+        Err(SubmitError::Spec(e)) => return error_response(400, &e.to_string()),
+    };
+    if submission.fresh {
+        // Enqueue for the runners; if the queue closed under us
+        // (shutdown raced the submit), unregister the job so the
+        // queued-jobs gauge and the cache stay truthful.
+        let enqueued = match &*shared.queue.lock().unwrap() {
+            Some(tx) => tx.send(Arc::clone(&submission.job)).is_ok(),
+            None => false,
+        };
+        if !enqueued {
+            shared
+                .registry
+                .abandon(&submission.job, "service is shutting down");
+            return error_response(503, "service is shutting down");
+        }
+    }
+    let job = &submission.job;
+    let body = format!(
+        "{{\"id\":{},\"name\":{},\"status\":{},\"cached\":{},\"points_total\":{}}}",
+        render_string(&job.id.to_hex()),
+        render_string(&job.name),
+        render_string(job.status().as_str()),
+        !submission.fresh,
+        job.points_total,
+    );
+    Response::json(if submission.fresh { 202 } else { 200 }, body)
+}
+
+/// `GET /v1/experiments/{id}` — status and progress.
+fn status(shared: &Shared, id: &str) -> Response {
+    let Some(job) = shared.registry.get(id) else {
+        return error_response(404, "unknown experiment id");
+    };
+    let status = job.status();
+    let mut body = format!(
+        "{{\"id\":{},\"name\":{},\"status\":{},\"points_done\":{},\"points_total\":{}",
+        render_string(&job.id.to_hex()),
+        render_string(&job.name),
+        render_string(status.as_str()),
+        // A done job's progress is complete by definition, even though
+        // a cache-hit reader may race the last progress store.
+        if status == JobStatus::Done {
+            job.points_total
+        } else {
+            job.points_done()
+        },
+        job.points_total,
+    );
+    if let Some(error) = job.error() {
+        body.push_str(&format!(",\"error\":{}", render_string(&error)));
+    }
+    body.push('}');
+    Response::json(200, body)
+}
+
+/// `GET /v1/experiments/{id}/results?format=csv|json` — the cached
+/// rendered result.
+fn results(shared: &Shared, id: &str, req: &Request) -> Response {
+    let Some(job) = shared.registry.get(id) else {
+        return error_response(404, "unknown experiment id");
+    };
+    match job.status() {
+        JobStatus::Done => {}
+        JobStatus::Failed => {
+            return error_response(500, &job.error().unwrap_or_else(|| "job failed".into()))
+        }
+        other => {
+            return Response::json(
+                409,
+                format!(
+                    "{{\"error\":\"results not ready\",\"status\":{}}}",
+                    render_string(other.as_str())
+                ),
+            )
+        }
+    }
+    let result = job.result().expect("status was Done");
+    match req.query_param("format").unwrap_or("csv") {
+        "csv" => Response::new(200, "text/csv; charset=utf-8", result.csv.clone()),
+        "json" => Response::json(200, result.json.clone()),
+        other => error_response(400, &format!("unknown format '{other}' (csv or json)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    const SPEC: &str = r#"{
+        "name": "server-test", "cores": 2,
+        "configs": [{"partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}}],
+        "workloads": [{"kind": "uniform", "range_bytes": 1024, "ops": 60, "seed": 5}]
+    }"#;
+
+    fn start(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+        let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().expect("serve"));
+        (handle, join)
+    }
+
+    #[test]
+    fn serves_health_metrics_and_a_job_end_to_end() {
+        let (handle, join) = start(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::new(handle.addr());
+        assert_eq!(client.healthz().unwrap(), "ok\n");
+
+        let submitted = client.submit(SPEC).unwrap();
+        assert!(!submitted.cached);
+        let done = client
+            .wait_done(&submitted.id, Duration::from_secs(120))
+            .unwrap();
+        assert_eq!(done.status, "done");
+        assert_eq!(done.points_done, done.points_total);
+        let csv = client.results_csv(&submitted.id).unwrap();
+        assert!(csv.starts_with("config,workload,backend,"));
+        let metrics = client.metrics().unwrap();
+        assert!(metrics.contains("predllc_jobs_done 1"));
+
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let (handle, join) = start(ServerConfig {
+            threads: 1,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::new(handle.addr());
+        let a = client.submit(SPEC).unwrap();
+        let b = client
+            .submit(&SPEC.replace("\"seed\": 5", "\"seed\": 6"))
+            .unwrap();
+        assert_ne!(a.id, b.id);
+        // Shut down immediately: both accepted jobs must still finish.
+        handle.shutdown();
+        join.join().unwrap();
+        for id in [&a.id, &b.id] {
+            let job = handle.job(id).expect("job registered");
+            assert_eq!(job.status(), JobStatus::Done, "job {id} did not drain");
+        }
+        let m = handle.metrics();
+        assert_eq!(m.jobs_done, 2);
+        assert_eq!(m.jobs_running, 0);
+        assert_eq!(m.jobs_queued, 0);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let (handle, join) = start(ServerConfig::default());
+        handle.shutdown();
+        join.join().unwrap();
+        assert!(handle.is_shutting_down());
+        // The listener is gone; a fresh client cannot connect at all, or
+        // (if racing the close) gets a 503 — either way, no job.
+        let mut client = Client::new(handle.addr());
+        assert!(client.submit(SPEC).is_err());
+        assert_eq!(handle.metrics().cache_misses, 0);
+    }
+}

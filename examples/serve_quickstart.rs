@@ -1,0 +1,68 @@
+//! Quickstart for the experiment service: start a server on an
+//! ephemeral port, submit an experiment spec over HTTP, poll it to
+//! completion, fetch the CSV — then submit the same experiment again
+//! and watch the content-addressed cache answer without simulating.
+//!
+//! Run with `cargo run --example serve_quickstart`.
+
+use std::time::Duration;
+
+use predllc::serve::{Client, Server, ServerConfig};
+
+const SPEC: &str = r#"{
+    "name": "quickstart",
+    "cores": 4,
+    "configs": [
+        {"partition": {"kind": "shared", "sets": 1, "ways": 16, "mode": "SS"}},
+        {"partition": {"kind": "shared", "sets": 1, "ways": 16, "mode": "NSS"}},
+        {"partition": {"kind": "private", "sets": 8, "ways": 4}}
+    ],
+    "workloads": [
+        {"kind": "uniform", "range_bytes": 8192, "ops": 500, "seed": 7, "write_fraction": 0.2},
+        {"kind": "stride", "range_bytes": 8192, "stride": 64, "ops": 500}
+    ]
+}"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Bind port 0 for an ephemeral port; `run` serves until `shutdown`.
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+    println!("service listening on http://{}", handle.addr());
+
+    // Submit. The id is the canonical content hash of the spec, so it
+    // is the same on every machine and for every formatting of this
+    // document.
+    let mut client = Client::new(handle.addr());
+    let submitted = client.submit(SPEC)?;
+    println!(
+        "submitted experiment {} ({} unique grid point(s))",
+        submitted.id, submitted.points_total
+    );
+
+    // Poll to completion (tiny grid: this is quick).
+    let status = client.wait_done(&submitted.id, Duration::from_secs(120))?;
+    println!(
+        "status: {} — {}/{} points",
+        status.status, status.points_done, status.points_total
+    );
+
+    // Fetch the rendered results: byte-identical to what `run_spec`
+    // would produce in-process.
+    let csv = client.results_csv(&submitted.id)?;
+    println!("\n{csv}");
+
+    // Resubmit: a cache hit, answered instantly from the stored bytes.
+    let again = client.submit(SPEC)?;
+    assert!(again.cached && again.id == submitted.id);
+    println!("resubmission was a cache hit (no second simulation)");
+    println!(
+        "cache hits so far: {}",
+        client.metric("predllc_cache_hits")?
+    );
+
+    // Graceful shutdown: in-flight work drains before `run` returns.
+    handle.shutdown();
+    server_thread.join().expect("server thread")?;
+    Ok(())
+}

@@ -26,6 +26,9 @@
 //! * [`explore`] ([`predllc_explore`]) — design-space exploration: the
 //!   work-stealing experiment [`Executor`], JSON experiment specs, and
 //!   the schedulability-driven partition search.
+//! * [`serve`] ([`predllc_serve`]) — the multi-tenant experiment
+//!   service: an HTTP/1.1 API over `std::net` with a content-addressed
+//!   result cache, so the same spec is never simulated twice.
 //!
 //! # Quickstart
 //!
@@ -110,6 +113,7 @@ pub use predllc_core as sim;
 pub use predllc_dram as dram;
 pub use predllc_explore as explore;
 pub use predllc_model as model;
+pub use predllc_serve as serve;
 pub use predllc_workload as workload;
 
 pub use predllc_bus::{ArbiterPolicy, ScheduleError, TdmSchedule};
@@ -123,11 +127,12 @@ pub use predllc_dram::{
     BankMapping, BankedDram, DramTiming, FixedLatency, MemoryBackend, MemoryConfig, RowOutcome,
     WorstCase,
 };
-pub use predllc_explore::{Executor, ExperimentSpec, ExploreReport};
+pub use predllc_explore::{Executor, ExperimentSpec, ExploreReport, Fingerprint};
 pub use predllc_model::{
     AccessKind, Address, BankId, CacheGeometry, CoreId, Cycles, DramGeometry, LineAddr, MemOp,
     RowAddr, SlotWidth,
 };
+pub use predllc_serve::{Client, Server, ServerConfig, ServerHandle};
 pub use predllc_workload::{MultiCore, OpStream, TraceSet, Workload, WorkloadSpec};
 
 /// Re-export of the workload generators module for ergonomic paths in

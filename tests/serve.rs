@@ -1,0 +1,296 @@
+//! End-to-end tests of the experiment service: served results must be
+//! byte-identical to in-process runs at any thread count, duplicate
+//! submissions — sequential or concurrent — must coalesce onto exactly
+//! one execution, and the HTTP surface must fail cleanly.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use predllc::explore::report::{render_csv, render_json};
+use predllc::explore::{run_spec, Executor};
+use predllc::serve::{Client, JobStatus, Limits, Server, ServerConfig, ServerHandle};
+use predllc::ExperimentSpec;
+
+/// A small but non-trivial spec: two platforms (one banked), two
+/// workload families, 4 grid points.
+const SPEC: &str = r#"{
+    "name": "serve-e2e",
+    "cores": 2,
+    "configs": [
+        {"label": "SS(1,4)", "partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}},
+        {"partition": {"kind": "private", "sets": 4, "ways": 2},
+         "memory": {"kind": "banked", "banks": 8, "mapping": "bank-private"}}
+    ],
+    "workloads": [
+        {"kind": "uniform", "range_bytes": 4096, "ops": 300, "seed": 11, "write_fraction": 0.2},
+        {"kind": "stride", "range_bytes": 4096, "stride": 64, "ops": 300}
+    ]
+}"#;
+
+fn start(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind an ephemeral port");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (handle, join)
+}
+
+fn stop(handle: &ServerHandle, join: std::thread::JoinHandle<()>) {
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn served_results_are_byte_identical_to_in_process_runs_at_any_thread_count() {
+    // The in-process reference (thread count is irrelevant to the
+    // bytes: the executor is deterministic — also asserted below).
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    let reference_csv = render_csv(&run_spec(&spec, &Executor::new(1)).unwrap().grid);
+
+    let mut served = Vec::new();
+    for threads in [1, 2, 4] {
+        let (handle, join) = start(ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::new(handle.addr());
+        let submitted = client.submit(SPEC).unwrap();
+        assert!(!submitted.cached);
+        assert_eq!(submitted.name, "serve-e2e");
+        let done = client
+            .wait_done(&submitted.id, Duration::from_secs(120))
+            .unwrap();
+        assert_eq!(done.status, "done");
+        assert_eq!(done.points_done, done.points_total);
+
+        let csv = client.results_csv(&submitted.id).unwrap();
+        assert_eq!(
+            csv, reference_csv,
+            "served CSV diverged at {threads} thread(s)"
+        );
+        // The JSON document matches an in-process render of the same
+        // report at the server's thread count (no wall time recorded).
+        let report = run_spec(&spec, &Executor::new(threads)).unwrap();
+        let reference_json = render_json(
+            &spec.name,
+            Executor::new(threads).threads(),
+            None,
+            &report.grid,
+            report.search.as_ref(),
+        );
+        assert_eq!(client.results_json(&submitted.id).unwrap(), reference_json);
+        served.push(csv);
+        stop(&handle, join);
+    }
+    assert!(served.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn sequential_resubmission_is_a_cache_hit_with_one_execution() {
+    let (handle, join) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::new(handle.addr());
+    let first = client.submit(SPEC).unwrap();
+    client
+        .wait_done(&first.id, Duration::from_secs(120))
+        .unwrap();
+    let first_body = client.results_csv(&first.id).unwrap();
+
+    // Same experiment, cosmetically different document: reordered keys,
+    // different whitespace.
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    let reordered = r#"{
+        "cores": 2,
+        "workloads": [
+            {"seed": 11, "write_fraction": 0.2, "kind": "uniform", "ops": 300, "range_bytes": 4096},
+            {"stride": 64, "ops": 300, "kind": "stride", "range_bytes": 4096}
+        ],
+        "configs": [
+            {"partition": {"mode": "SS", "ways": 4, "sets": 1, "kind": "shared"}, "label": "SS(1,4)"},
+            {"memory": {"mapping": "bank-private", "banks": 8, "kind": "banked"},
+             "partition": {"ways": 2, "sets": 4, "kind": "private"}}
+        ],
+        "name": "serve-e2e"
+    }"#;
+    // Sanity: the reordered document really is the same experiment.
+    assert_eq!(ExperimentSpec::parse(reordered).unwrap(), spec);
+
+    let second = client.submit(reordered).unwrap();
+    assert!(second.cached, "reordered duplicate was not coalesced");
+    assert_eq!(second.id, first.id);
+    assert_eq!(second.status, "done");
+    assert_eq!(client.results_csv(&second.id).unwrap(), first_body);
+
+    assert_eq!(client.metric("predllc_cache_misses").unwrap(), 1);
+    assert_eq!(client.metric("predllc_cache_hits").unwrap(), 1);
+    assert_eq!(client.metric("predllc_jobs_done").unwrap(), 1);
+    // Exactly one execution of the 4 unique points.
+    assert_eq!(client.metric("predllc_points_simulated").unwrap(), 4);
+    stop(&handle, join);
+}
+
+#[test]
+fn concurrent_identical_submissions_coalesce_onto_one_execution() {
+    const CLIENTS: usize = 8;
+    let (handle, join) = start(ServerConfig {
+        threads: 2,
+        runners: 2,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                // Line every thread up so the submissions genuinely race.
+                barrier.wait();
+                let submitted = client.submit(SPEC).unwrap();
+                client
+                    .wait_done(&submitted.id, Duration::from_secs(120))
+                    .unwrap();
+                let body = client.results_csv(&submitted.id).unwrap();
+                (submitted.id, submitted.cached, body)
+            })
+        })
+        .collect();
+    let outcomes: Vec<(String, bool, String)> =
+        workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    // Every client got the same id and byte-identical result bodies.
+    let (id0, _, body0) = &outcomes[0];
+    assert!(outcomes.iter().all(|(id, _, _)| id == id0));
+    assert!(outcomes.iter().all(|(_, _, body)| body == body0));
+    // Exactly one submission created the job; the other N-1 coalesced.
+    assert_eq!(
+        outcomes.iter().filter(|(_, cached, _)| !cached).count(),
+        1,
+        "exactly one submission should be the cache miss"
+    );
+
+    let mut client = Client::new(addr);
+    assert_eq!(client.metric("predllc_cache_misses").unwrap(), 1);
+    assert_eq!(
+        client.metric("predllc_cache_hits").unwrap(),
+        (CLIENTS - 1) as u64
+    );
+    assert_eq!(client.metric("predllc_jobs_done").unwrap(), 1);
+    assert_eq!(client.metric("predllc_points_simulated").unwrap(), 4);
+    stop(&handle, join);
+}
+
+#[test]
+fn point_dedup_counts_unique_work_through_the_service() {
+    // Two physically identical configuration columns: 2x1 declared grid,
+    // 1 unique point.
+    let duplicated = r#"{
+        "name": "serve-dedup", "cores": 2,
+        "configs": [
+            {"label": "A", "partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}},
+            {"label": "B", "partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}}
+        ],
+        "workloads": [{"kind": "uniform", "range_bytes": 1024, "ops": 80, "seed": 3}]
+    }"#;
+    let (handle, join) = start(ServerConfig::default());
+    let mut client = Client::new(handle.addr());
+    let submitted = client.submit(duplicated).unwrap();
+    assert_eq!(
+        submitted.points_total, 1,
+        "progress denominator is unique points"
+    );
+    client
+        .wait_done(&submitted.id, Duration::from_secs(120))
+        .unwrap();
+    assert_eq!(client.metric("predllc_points_simulated").unwrap(), 1);
+    // Both declared rows are served, with their own labels.
+    let csv = client.results_csv(&submitted.id).unwrap();
+    assert_eq!(csv.lines().count(), 3);
+    assert!(csv.contains("\nA,") && csv.contains("\nB,"));
+    stop(&handle, join);
+}
+
+#[test]
+fn http_error_paths_answer_cleanly() {
+    let (handle, join) = start(ServerConfig {
+        limits: Limits {
+            max_body: 2048,
+            ..Limits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut client = Client::new(handle.addr());
+
+    // Invalid JSON and schema violations → 400 with the parser's story.
+    for bad in [
+        "{",
+        r#"{"name": "x"}"#,
+        r#"{"name":"x","cores":2,"configz":[]}"#,
+    ] {
+        match client.submit(bad) {
+            Err(predllc::serve::ClientError::Status { status: 400, body }) => {
+                assert!(body.contains("error"), "{body}");
+            }
+            other => panic!("expected 400 for {bad:?}, got {other:?}"),
+        }
+    }
+    // Unknown ids → 404, for status and results alike.
+    for call in [
+        client
+            .status("00000000000000000000000000000000")
+            .unwrap_err(),
+        client
+            .results_csv("00000000000000000000000000000000")
+            .unwrap_err(),
+        client.status("not-even-hex").unwrap_err(),
+    ] {
+        match call {
+            predllc::serve::ClientError::Status { status, .. } => assert_eq!(status, 404),
+            other => panic!("expected 404, got {other:?}"),
+        }
+    }
+    // An over-limit body → 413.
+    let huge = format!(
+        r#"{{"name": "{}", "cores": 2, "configs": [], "workloads": []}}"#,
+        "x".repeat(4096)
+    );
+    match client.submit(&huge) {
+        Err(predllc::serve::ClientError::Status { status: 413, .. }) => {}
+        // The server may also slam the connection after refusing; both
+        // are clean refusals.
+        Err(predllc::serve::ClientError::Io(_) | predllc::serve::ClientError::Protocol(_)) => {}
+        other => panic!("expected 413 or a closed connection, got {other:?}"),
+    }
+    // The service is still healthy afterwards.
+    let mut fresh = Client::new(handle.addr());
+    assert_eq!(fresh.healthz().unwrap(), "ok\n");
+    assert_eq!(fresh.metric("predllc_jobs_failed").unwrap(), 0);
+    stop(&handle, join);
+}
+
+#[test]
+fn shutdown_drains_every_accepted_job() {
+    let (handle, join) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::new(handle.addr());
+    let mut ids = Vec::new();
+    for seed in 0..3 {
+        let spec = SPEC.replace("\"seed\": 11", &format!("\"seed\": {seed}"));
+        ids.push(client.submit(&spec).unwrap().id);
+    }
+    // Shut down immediately: accepted jobs must finish anyway.
+    handle.shutdown();
+    join.join().unwrap();
+    for id in &ids {
+        let job = handle.job(id).expect("job stays registered");
+        assert_eq!(job.status(), JobStatus::Done, "job {id} was dropped");
+        assert!(job.result().is_some());
+    }
+    let metrics = handle.metrics();
+    assert_eq!(metrics.jobs_done, 3);
+    assert_eq!(metrics.jobs_queued, 0);
+    assert_eq!(metrics.jobs_running, 0);
+}
