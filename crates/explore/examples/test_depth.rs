@@ -1,0 +1,13 @@
+fn main() {
+    // Simulate a connection thread (Rust spawned-thread default stack 2MiB)
+    let h = std::thread::spawn(|| {
+        let depth = 500_000; // 1MB body allows ~1M bytes of '['
+        let doc = "[".repeat(depth) + &"]".repeat(depth);
+        let r = predllc_explore::json::parse(&doc);
+        println!("parsed ok? {:?}", r.is_ok());
+    });
+    match h.join() {
+        Ok(_) => println!("thread finished"),
+        Err(_) => println!("thread panicked"),
+    }
+}
