@@ -1,0 +1,360 @@
+//! Engine throughput benchmark and perf-regression gate.
+//!
+//! Runs a fixed set of hit-heavy workloads through **both** simulation
+//! engines — the slot-by-slot reference loop and the fast-forward loop —
+//! verifies their [`predllc_core::SimStats`] are byte-for-byte identical,
+//! and reports ops/sec plus the fast/reference speedup. The headline
+//! workload is the multi-tenant LLC-hit grid (`llc-hit-256t`): 256
+//! tenants behind `predllc-serve` style consolidation, 1M operations
+//! total, ~97% LLC hits — the regime in which the reference engine's
+//! `O(cores)` work per bus slot dominates and fast-forward's
+//! `O(log cores)` calendar pays off.
+//!
+//! ```text
+//! engine_perf [--quick] [--out BENCH_engine.json]
+//!             [--gate baseline.json] [--tolerance 0.20]
+//! ```
+//!
+//! With `--gate`, each workload's fast-engine ops/sec and speedup are
+//! compared against the checked-in baseline: a drop of more than
+//! `tolerance` (default 20%) on a gated metric fails the run with a
+//! non-zero exit, printing every per-workload delta either way — the
+//! CI perf job runs exactly this against
+//! `crates/bench/baselines/BENCH_engine_baseline.json`. The baseline
+//! decides what gates: a `"gate_metrics": ["speedup"]` entry gates only
+//! the same-machine fast/reference ratio (portable across runner
+//! hardware) and keeps absolute ops/sec informational, while
+//! `"gated": false` makes a whole workload informational.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use predllc_core::config::EngineMode;
+use predllc_core::{PartitionSpec, Simulator, SystemConfig};
+use predllc_explore::json::{parse, Json};
+use predllc_model::{CacheGeometry, CoreId};
+use predllc_workload::gen::{HotColdGen, StrideGen};
+use predllc_workload::MultiCore;
+
+/// One benchmarked workload: a name, a config family and a workload.
+struct Scenario {
+    name: &'static str,
+    config: Box<dyn Fn(EngineMode) -> SystemConfig>,
+    workload: MultiCore,
+    /// Total operations across all cores (for ops/sec).
+    total_ops: u64,
+}
+
+/// Measured result of one scenario.
+struct Outcome {
+    name: &'static str,
+    total_ops: u64,
+    ref_mops: f64,
+    fast_mops: f64,
+    speedup: f64,
+}
+
+/// The 4-core private-hit-heavy workload: 98% of accesses in a hot set
+/// sized to the private L1/L2, so almost every op is a private hit.
+fn private_hit_scenario(ops_per_core: usize) -> Scenario {
+    let cores = 4u16;
+    let mut wl = MultiCore::new();
+    for i in 0..cores {
+        let mut g = HotColdGen::new(u64::from(i) * (1 << 20), 64 * 160, ops_per_core)
+            .with_seed(7 + u64::from(i));
+        g.hot_probability = 0.98;
+        wl = wl.core(g);
+    }
+    Scenario {
+        name: "private-hit-4c",
+        config: Box::new(move |mode| {
+            SystemConfig::builder(cores)
+                .partitions(
+                    CoreId::first(cores)
+                        .map(|c| PartitionSpec::private(16, 8, c))
+                        .collect(),
+                )
+                .engine(mode)
+                .build()
+                .expect("valid benchmark configuration")
+        }),
+        workload: wl,
+        total_ops: ops_per_core as u64 * u64::from(cores),
+    }
+}
+
+/// The N-tenant LLC-hit-heavy workload: every op misses the private L2
+/// (a stride over 128 lines against a 64-line L2) and, after the first
+/// lap, hits the tenant's 128-line LLC partition — the steady state is
+/// one LLC-hit slot per tenant per TDM period.
+fn llc_hit_scenario(tenants: u16, total_ops: usize) -> Scenario {
+    let per_core = total_ops / tenants as usize;
+    let mut wl = MultiCore::new();
+    for i in 0..tenants {
+        wl = wl.core(StrideGen::new(u64::from(i) << 20, 64 * 128, per_core));
+    }
+    let name: &'static str = match tenants {
+        64 => "llc-hit-64t",
+        256 => "llc-hit-256t",
+        _ => "llc-hit",
+    };
+    Scenario {
+        name,
+        config: Box::new(move |mode| {
+            SystemConfig::builder(tenants)
+                .physical_llc(
+                    CacheGeometry::new(8 * u32::from(tenants), 16, 64)
+                        .expect("valid benchmark LLC geometry"),
+                )
+                .partitions(
+                    CoreId::first(tenants)
+                        .map(|c| PartitionSpec::private(8, 16, c))
+                        .collect(),
+                )
+                .engine(mode)
+                .build()
+                .expect("valid benchmark configuration")
+        }),
+        workload: wl,
+        total_ops: per_core as u64 * u64::from(tenants),
+    }
+}
+
+/// Runs one engine mode over a scenario, returning the best ops/sec of
+/// `iters` timed runs (first run warms caches and the page allocator)
+/// and the final report for the equality check.
+fn time_mode(s: &Scenario, mode: EngineMode, iters: usize) -> (f64, predllc_core::RunReport) {
+    let sim = Simulator::new((s.config)(mode)).expect("valid benchmark configuration");
+    let mut best = 0.0f64;
+    let mut report = None;
+    for _ in 0..=iters {
+        let t0 = Instant::now();
+        let r = sim.run(&s.workload).expect("benchmark workload completes");
+        let dt = t0.elapsed().as_secs_f64();
+        if report.is_some() {
+            // First run is the warm-up.
+            best = best.max(s.total_ops as f64 / dt);
+        }
+        report = Some(r);
+    }
+    (best / 1e6, report.expect("at least one run"))
+}
+
+fn run_scenario(s: &Scenario, iters: usize) -> Outcome {
+    let (ref_mops, ref_report) = time_mode(s, EngineMode::Reference, iters);
+    let (fast_mops, fast_report) = time_mode(s, EngineMode::FastForward, iters);
+    assert_eq!(
+        ref_report.stats, fast_report.stats,
+        "{}: fast-forward diverged from the reference engine",
+        s.name
+    );
+    assert_eq!(ref_report.timed_out, fast_report.timed_out);
+    assert_eq!(ref_report.cycles, fast_report.cycles);
+    Outcome {
+        name: s.name,
+        total_ops: s.total_ops,
+        ref_mops,
+        fast_mops,
+        speedup: fast_mops / ref_mops,
+    }
+}
+
+fn render_json(outcomes: &[Outcome], headline: &str) -> String {
+    let workloads = outcomes
+        .iter()
+        .map(|o| {
+            Json::Object(vec![
+                ("name".into(), Json::Str(o.name.into())),
+                ("total_ops".into(), Json::UInt(o.total_ops)),
+                ("ref_mops".into(), Json::Float(round3(o.ref_mops))),
+                ("fast_mops".into(), Json::Float(round3(o.fast_mops))),
+                ("speedup".into(), Json::Float(round3(o.speedup))),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        ("benchmark".into(), Json::Str("engine_perf".into())),
+        ("headline".into(), Json::Str(headline.into())),
+        ("workloads".into(), Json::Array(workloads)),
+    ])
+    .render_pretty()
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Compares measured outcomes against a baseline JSON; returns the gate
+/// report and whether every workload passed.
+fn gate(outcomes: &[Outcome], baseline: &Json, tolerance: f64) -> (String, bool) {
+    let mut report = String::new();
+    let mut ok = true;
+    let Some(entries) = baseline.get("workloads").and_then(Json::as_array) else {
+        return ("baseline has no 'workloads' array\n".into(), false);
+    };
+    for entry in entries {
+        let name = entry.get("name").and_then(Json::as_str).unwrap_or("?");
+        let Some(measured) = outcomes.iter().find(|o| o.name == name) else {
+            let _ = writeln!(report, "{name}: missing from this run — FAIL");
+            ok = false;
+            continue;
+        };
+        // A baseline entry can opt out of gating (informational only):
+        // the private-hit workload's speedup is ~1.0 by design (its cost
+        // is per-op cache simulation both engines share), so its ratio
+        // is noise-bound and not a meaningful regression signal.
+        if entry.get("gated").and_then(Json::as_bool) == Some(false) {
+            let _ = writeln!(
+                report,
+                "{name}: informational (gated: false) — fast {:.3} Mops/s, speedup {:.3}x",
+                measured.fast_mops, measured.speedup
+            );
+            continue;
+        }
+        // An entry can also restrict which metrics gate: the checked-in
+        // CI baseline gates only `speedup` (a same-machine ratio, so it
+        // is portable across runner hardware) and keeps the absolute
+        // ops/sec informational — a baseline recorded on one machine
+        // says nothing about another machine's absolute throughput.
+        let gate_metrics: Option<Vec<&str>> = entry
+            .get("gate_metrics")
+            .and_then(Json::as_array)
+            .map(|m| m.iter().filter_map(Json::as_str).collect());
+        for (metric, base, now) in [
+            (
+                "fast_mops",
+                entry.get("fast_mops").and_then(Json::as_f64),
+                measured.fast_mops,
+            ),
+            (
+                "speedup",
+                entry.get("speedup").and_then(Json::as_f64),
+                measured.speedup,
+            ),
+        ] {
+            let Some(base) = base else {
+                let _ = writeln!(report, "{name}.{metric}: missing in baseline — FAIL");
+                ok = false;
+                continue;
+            };
+            let gated_metric = gate_metrics.as_ref().is_none_or(|m| m.contains(&metric));
+            let delta = (now - base) / base;
+            let verdict = if !gated_metric {
+                "info (not gated)"
+            } else if delta < -tolerance {
+                ok = false;
+                "FAIL (regression)"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                report,
+                "{name}.{metric}: baseline {base:.3}, measured {now:.3}, delta {:+.1}% — {verdict}",
+                delta * 100.0
+            );
+        }
+    }
+    // The gate is two-directional: a measured workload the baseline does
+    // not know about means the baseline is stale (renamed or newly added
+    // scenario) and would otherwise escape gating entirely.
+    for o in outcomes {
+        let known = entries
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some(o.name));
+        if !known {
+            let _ = writeln!(
+                report,
+                "{}: not in the baseline — FAIL (add it to the baseline file)",
+                o.name
+            );
+            ok = false;
+        }
+    }
+    (report, ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_engine.json");
+    let mut gate_path: Option<String> = None;
+    let mut tolerance = 0.20f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--gate" => gate_path = Some(it.next().expect("--gate needs a path").clone()),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .expect("--tolerance needs a value")
+                    .parse()
+                    .expect("tolerance is a fraction, e.g. 0.2")
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (hot_ops, llc_ops, iters) = if quick {
+        (20_000, 64 * 500, 1)
+    } else {
+        (1_000_000, 1_000_000, 2)
+    };
+    let scenarios = vec![
+        private_hit_scenario(hot_ops),
+        llc_hit_scenario(64, llc_ops),
+        llc_hit_scenario(256, llc_ops),
+    ];
+
+    let mut outcomes = Vec::new();
+    for s in &scenarios {
+        let o = run_scenario(s, iters);
+        println!(
+            "{}: reference {:.2} Mops/s, fast-forward {:.2} Mops/s, speedup {:.2}x \
+             ({} ops, stats bit-identical)",
+            o.name, o.ref_mops, o.fast_mops, o.speedup, o.total_ops
+        );
+        outcomes.push(o);
+    }
+
+    let json = render_json(&outcomes, "llc-hit-256t");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if let Some(path) = gate_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("baseline {path} is not valid json: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (report, ok) = gate(&outcomes, &baseline, tolerance);
+        print!("{report}");
+        if !ok {
+            eprintln!(
+                "perf gate FAILED: a metric regressed more than {:.0}% below \
+                 the checked-in baseline",
+                tolerance * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("perf gate passed (tolerance {:.0}%)", tolerance * 100.0);
+    }
+    ExitCode::SUCCESS
+}

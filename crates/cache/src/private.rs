@@ -144,14 +144,8 @@ impl PrivateHierarchy {
         );
         // 1. Make room in L2 (victim leaves the private hierarchy
         //    entirely, per inclusion).
-        if self.l2.free_way(line).is_none() {
-            let set = self.l2.set_of(line);
-            let eligible = vec![true; self.l2.geometry().ways() as usize];
-            let way = self
-                .l2
-                .choose_victim(set, &eligible)
-                .expect("full set must yield a victim");
-            let victim = self.l2.take(set, way).expect("chosen way is occupied");
+        let set = self.l2.set_of(line);
+        if let Some(victim) = self.l2.evict_victim_in(set) {
             let mut dirty = victim.dirty;
             if let Some(e) = self.l1i.invalidate(victim.line) {
                 dirty |= e.dirty;

@@ -5,8 +5,45 @@ use predllc_cache::ReplacementKind;
 use predllc_dram::MemoryConfig;
 use predllc_model::{CacheGeometry, CoreId, Cycles, SlotWidth};
 
+use std::fmt;
+
 use crate::error::ConfigError;
 use crate::partition::{PartitionMap, PartitionSpec, SharingMode};
+
+/// Which simulation loop [`crate::Simulator::run`] executes.
+///
+/// Both engines produce bit-identical [`crate::RunReport`]s — same
+/// [`crate::SimStats`], same latency histograms, same event logs — the
+/// fast-forward engine just gets there without walking every bus slot:
+/// it batch-advances private-hit runs, jumps time across slots in which
+/// no core can transmit, and services steady LLC-hit runs through a
+/// specialized path with bulk histogram updates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EngineMode {
+    /// Fast-forward when possible, reference otherwise: event recording
+    /// attaches a per-slot event sink, so
+    /// [`SystemConfigBuilder::record_events`] automatically selects the
+    /// reference path. This is the default.
+    #[default]
+    Auto,
+    /// Always the slot-by-slot reference loop (the oracle the
+    /// fast-forward engine is differentially tested against).
+    Reference,
+    /// Always the fast-forward loop. With `record_events(true)` this
+    /// still falls back to the reference path — the event log's per-slot
+    /// granularity is exactly what fast-forward skips.
+    FastForward,
+}
+
+impl fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineMode::Auto => f.write_str("auto"),
+            EngineMode::Reference => f.write_str("reference"),
+            EngineMode::FastForward => f.write_str("fast-forward"),
+        }
+    }
+}
 
 /// A validated simulator configuration.
 ///
@@ -47,6 +84,7 @@ pub struct SystemConfig {
     max_cycles: Option<u64>,
     record_events: bool,
     precise_sharers: bool,
+    engine: EngineMode,
 }
 
 impl SystemConfig {
@@ -181,6 +219,24 @@ impl SystemConfig {
         self.record_events
     }
 
+    /// The selected engine mode (see [`EngineMode`]).
+    pub fn engine_mode(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// The engine [`crate::Simulator::run`] will actually execute:
+    /// resolves [`EngineMode::Auto`] and the event-recording fallback.
+    pub fn effective_engine(&self) -> EngineMode {
+        if self.record_events {
+            EngineMode::Reference
+        } else {
+            match self.engine {
+                EngineMode::Reference => EngineMode::Reference,
+                EngineMode::Auto | EngineMode::FastForward => EngineMode::FastForward,
+            }
+        }
+    }
+
     /// Whether the LLC tracks private sharers precisely (clean L2 drops
     /// notify the LLC, so evictions of no-longer-cached lines complete
     /// in-slot). On by default, matching the paper's simulator; turning
@@ -211,6 +267,7 @@ pub struct SystemConfigBuilder {
     max_cycles: Option<u64>,
     record_events: bool,
     precise_sharers: bool,
+    engine: EngineMode,
 }
 
 impl SystemConfigBuilder {
@@ -234,6 +291,7 @@ impl SystemConfigBuilder {
             max_cycles: None,
             record_events: false,
             precise_sharers: true,
+            engine: EngineMode::Auto,
         }
     }
 
@@ -342,6 +400,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Selects the simulation engine (default: [`EngineMode::Auto`] —
+    /// fast-forward unless event recording forces the reference path).
+    pub fn engine(mut self, mode: EngineMode) -> Self {
+        self.engine = mode;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -402,6 +467,7 @@ impl SystemConfigBuilder {
             max_cycles: self.max_cycles,
             record_events: self.record_events,
             precise_sharers: self.precise_sharers,
+            engine: self.engine,
         })
     }
 }

@@ -30,6 +30,17 @@ pub enum CoreProgress {
     Finished,
 }
 
+/// What a [`CoreModel::advance_run`] batch advance accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// The core's state after the run.
+    pub progress: CoreProgress,
+    /// Start time of the last operation the run executed, if any — the
+    /// moment the reference engine would have counted that operation's
+    /// completion (at the first slot boundary at or after it).
+    pub last_op_start: Option<Cycles>,
+}
+
 /// One simulated core: workload stream, private hierarchy, bus-side
 /// buffers.
 ///
@@ -102,39 +113,67 @@ impl<I: Iterator<Item = MemOp>> CoreModel<I> {
     /// after `now` could still be changed by back-invalidations arriving
     /// at the `now` slot boundary.
     pub fn advance_to(&mut self, now: Cycles, stats: &mut CoreStats) -> CoreProgress {
-        loop {
+        self.advance_run(now, stats).progress
+    }
+
+    /// Batch-advances the core through its whole private-hit run: executes
+    /// operations until the next private miss, the end of the stream, or
+    /// the first operation that would start after `horizon`.
+    ///
+    /// Behaviour is identical to [`CoreModel::advance_to`]`(horizon)` —
+    /// runs are pure-local, so executing them in one call instead of one
+    /// slot-boundary-bounded call per slot changes nothing observable —
+    /// but the loop keeps its accumulators in locals and folds them into
+    /// `stats` once, and it reports the start time of the last executed
+    /// operation so the fast-forward engine can account op progress at
+    /// the exact slot boundary where the reference engine would have seen
+    /// it (its deadlock guard counts slots without progress).
+    pub fn advance_run(&mut self, horizon: Cycles, stats: &mut CoreStats) -> RunSummary {
+        let mut ops = 0u64;
+        let mut l1 = 0u64;
+        let mut l2 = 0u64;
+        let mut last_op_start = None;
+        let progress = loop {
             if self.finished {
-                return CoreProgress::Finished;
+                break CoreProgress::Finished;
             }
             if !self.prb.is_empty() {
-                return CoreProgress::Stalled;
+                break CoreProgress::Stalled;
             }
-            if self.resume_at > now {
-                return CoreProgress::Running;
+            if self.resume_at > horizon {
+                break CoreProgress::Running;
             }
             let Some(op) = self.ops.next() else {
                 self.finished = true;
                 stats.finished_at = self.resume_at;
-                return CoreProgress::Finished;
+                break CoreProgress::Finished;
             };
             match self.private.access(op) {
                 PrivateLookup::L1Hit => {
+                    last_op_start = Some(self.resume_at);
                     self.resume_at += self.l1_latency;
-                    stats.ops_completed += 1;
-                    stats.l1_hits += 1;
+                    ops += 1;
+                    l1 += 1;
                 }
                 PrivateLookup::L2Hit => {
+                    last_op_start = Some(self.resume_at);
                     self.resume_at += self.l2_latency;
-                    stats.ops_completed += 1;
-                    stats.l2_hits += 1;
+                    ops += 1;
+                    l2 += 1;
                 }
                 PrivateLookup::Miss => {
-                    // The miss is detected after the L2 lookup.
                     let ready = self.resume_at + self.l2_latency;
                     self.prb.insert(op, ready);
-                    return CoreProgress::Stalled;
+                    break CoreProgress::Stalled;
                 }
             }
+        };
+        stats.ops_completed += ops;
+        stats.l1_hits += l1;
+        stats.l2_hits += l2;
+        RunSummary {
+            progress,
+            last_op_start,
         }
     }
 

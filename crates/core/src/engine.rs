@@ -10,14 +10,44 @@
 //! This is a from-scratch reimplementation of the paper's in-house trace
 //! simulator (§5), pinned to the calibration constants recovered from the
 //! published analytical WCLs (50-cycle slots; see `DESIGN.md`).
+//!
+//! # Two engines, one behaviour
+//!
+//! The same predictability that makes the platform analyzable makes most
+//! of that slot walk redundant: between LLC events a core's private-hit
+//! run is pure-local (nothing on the bus can change its outcome until its
+//! own miss), and a slot whose owner has neither a pending write-back nor
+//! a ready request is idle by construction. [`Simulator::run`] therefore
+//! dispatches on [`EngineMode`]:
+//!
+//! * the **reference** engine (`EngineMode::Reference`) walks every slot
+//!   boundary exactly as the seed simulator did, and is kept as the
+//!   oracle;
+//! * the **fast-forward** engine (`EngineMode::FastForward`, chosen by
+//!   default through `EngineMode::Auto`) batch-advances each private-hit
+//!   run in one call, tracks the next slot in which *any* core can
+//!   transmit in a calendar heap (`O(log n)` per transaction instead of
+//!   `O(cores)` per slot), jumps time directly across idle-slot spans
+//!   (accounting them in bulk), and services steady LLC-hit runs through
+//!   [`SharedLlc::try_service_hit`] with run-length-batched latency
+//!   recording ([`crate::LatencyHistogram::record_n`]).
+//!
+//! Both engines produce bit-identical [`RunReport`]s — the differential
+//! suite in `tests/fast_forward.rs` holds them equal over randomized
+//! configuration × workload grids. Event recording needs a per-slot
+//! narrative, so `record_events(true)` automatically falls back to the
+//! reference path (see [`SystemConfig::effective_engine`]).
 
-use predllc_bus::{BusGrant, SlotArbiter};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use predllc_bus::{BusGrant, SlotArbiter, TdmSchedule};
 use predllc_cache::PrivateHierarchy;
-use predllc_model::{CoreId, Cycles};
+use predllc_model::{CoreId, Cycles, SlotWidth};
 use predllc_workload::{OpStream, Workload};
 
-use crate::config::SystemConfig;
-use crate::core_model::CoreModel;
+use crate::config::{EngineMode, SystemConfig};
+use crate::core_model::{CoreModel, CoreProgress};
 use crate::error::{ConfigError, SimError};
 use crate::events::{BlockReason, EventKind, EventLog};
 use crate::llc::{ResponseKind, ServiceOutcome, SharedLlc};
@@ -121,7 +151,9 @@ impl Simulator {
     /// `&workload` to reuse the workload for further runs).
     ///
     /// `run` borrows the simulator, so the same instance can execute any
-    /// number of successive workloads.
+    /// number of successive workloads. Which engine executes the run is
+    /// governed by [`SystemConfig::effective_engine`]; both engines
+    /// produce bit-identical reports.
     ///
     /// [`TraceSet`]: predllc_workload::TraceSet
     ///
@@ -142,7 +174,7 @@ impl Simulator {
             });
         }
 
-        let mut cores: Vec<CoreModel<OpStream<'_>>> = CoreId::first(n)
+        let cores: Vec<CoreModel<OpStream<'_>>> = CoreId::first(n)
             .map(|id| {
                 CoreModel::new(
                     id,
@@ -163,267 +195,697 @@ impl Simulator {
             .memory()
             .build(n)
             .expect("memory backend was validated when the config was built");
-        let mut llc = SharedLlc::new(
+        let llc = SharedLlc::new(
             cfg.partitions().clone(),
             cfg.l2().line_size(),
             cfg.llc_replacement(),
             memory,
         );
-        let mut stats = SimStats::new(n);
-        let mut events = EventLog::new(cfg.record_events());
-        let sw = cfg.slot_width();
-        let schedule = cfg.schedule().clone();
+        let fast = cfg.effective_engine() == EngineMode::FastForward;
+        let mut engine = Engine {
+            cfg,
+            sw: cfg.slot_width(),
+            schedule: cfg.schedule().clone(),
+            cores,
+            llc,
+            stats: SimStats::new(n),
+            events: EventLog::new(cfg.record_events()),
+            lat_batch: vec![(Cycles::ZERO, 0); n as usize],
+            fast,
+            scratch_acks: Vec::new(),
+        };
+        let (timed_out, end_slot) = if fast {
+            engine.run_fast()?
+        } else {
+            engine.run_reference()?
+        };
+        Ok(engine.finalize(timed_out, end_slot))
+    }
+}
 
+/// What one processed slot accomplished, for the fast engine's calendar
+/// bookkeeping. (The reference engine only reads `progressed`.)
+struct SlotOutcome {
+    /// A bus transaction happened (write-back transmitted or request
+    /// granted) — resets the deadlock guard, as in the seed engine.
+    progressed: bool,
+    /// The owner's request was answered: the owner resumes execution at
+    /// the end of the slot.
+    responded: bool,
+}
+
+/// The simulation state shared by both engine loops. `process_slot` is
+/// the single implementation of a slot's bus transaction; the loops only
+/// differ in how they move time between transactions.
+struct Engine<'c, I> {
+    cfg: &'c SystemConfig,
+    sw: SlotWidth,
+    schedule: TdmSchedule,
+    cores: Vec<CoreModel<I>>,
+    llc: SharedLlc,
+    stats: SimStats,
+    events: EventLog,
+    /// Per-core run-length latency batch `(latency, count)` — flushed
+    /// into the histogram whenever the latency changes and at the end of
+    /// the run. Only active in fast-forward mode; the reference engine
+    /// records each latency directly.
+    lat_batch: Vec<(Cycles, u64)>,
+    /// Whether this run executes the fast-forward loop. Gates the
+    /// LLC-hit service shortcut and the latency batching, so the
+    /// reference loop stays on the unmodified `SharedLlc::service` path
+    /// — an independent oracle for the differential suite.
+    fast: bool,
+    /// Cores that were handed an acknowledgement write-back in the last
+    /// processed slot (their bus calendar changed).
+    scratch_acks: Vec<usize>,
+}
+
+impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
+    /// The reference loop: every slot boundary, exactly as the seed
+    /// simulator walked it.
+    fn run_reference(&mut self) -> Result<(bool, u64), SimError> {
+        let sw = self.sw;
         let mut slot: u64 = 0;
-        let mut timed_out = false;
         let mut last_progress_slot: u64 = 0;
         let mut last_total_ops: u64 = 0;
-
         loop {
             let now = sw.slot_start(slot);
-            if let Some(cap) = cfg.max_cycles() {
+            if let Some(cap) = self.cfg.max_cycles() {
                 if now.as_u64() >= cap {
-                    timed_out = true;
-                    break;
+                    return Ok((true, slot));
                 }
             }
 
             // 1. Local progress: every core executes private hits up to
             //    the boundary.
-            for core in cores.iter_mut() {
-                let id = core.id();
-                core.advance_to(now, stats.core_mut(id));
+            {
+                let Engine { cores, stats, .. } = self;
+                for core in cores.iter_mut() {
+                    let id = core.id();
+                    core.advance_to(now, stats.core_mut(id));
+                }
             }
-            if cores.iter().all(CoreModel::is_finished) {
-                break;
+            if self.cores.iter().all(CoreModel::is_finished) {
+                return Ok((false, slot));
             }
 
             // 2. One bus transaction for the slot's owner.
-            let owner = schedule.owner(slot);
-            let oi = owner.as_usize();
-            let has_wb = !cores[oi].pwb.is_empty();
-            let has_req = cores[oi].request_ready(now);
-            // A request only competes for the slot when it can make
-            // progress: a first broadcast always can; afterwards the LLC
-            // probe decides. Without this, a request stuck behind an
-            // acknowledgement sitting in this core's own PWB would starve
-            // that acknowledgement under a request-first arbiter.
-            let req_useful = has_req && {
-                let req = cores[oi].prb.peek().expect("request_ready checked");
-                !req.broadcast || llc.probe(owner, req.op.addr.line()) != crate::llc::Probe::Stuck
-            };
-            let grant = if has_wb && req_useful && cores[oi].request_hazard() {
-                // A request must not race its own queued write-back for
-                // the same line.
-                Some(BusGrant::WriteBack)
+            let out = self.process_slot(slot, now);
+            if out.progressed {
+                last_progress_slot = slot;
+            }
+
+            // Private-hit execution is progress too: only bus silence
+            // *and* a frozen completion count together indicate a stuck
+            // engine.
+            let total_ops: u64 = self.stats.cores.iter().map(|c| c.ops_completed).sum();
+            if total_ops != last_total_ops {
+                last_total_ops = total_ops;
+                last_progress_slot = slot;
+            }
+
+            self.stats.slots += 1;
+            slot += 1;
+
+            if slot - last_progress_slot >= DEADLOCK_GUARD_SLOTS {
+                return Err(self.deadlock_at(slot));
+            }
+        }
+    }
+
+    /// The fast-forward loop.
+    ///
+    /// Invariants relative to the reference loop:
+    ///
+    /// * a core whose partition it does not share ("solo") is advanced
+    ///   through its whole private-hit run at once — pure-local, so
+    ///   executing it in one call is indistinguishable from one bounded
+    ///   call per boundary;
+    /// * cores in shared partitions advance boundary-by-boundary while
+    ///   running (a partition-mate's eviction could invalidate their
+    ///   future hits), which forces stepped slots only while one of them
+    ///   is mid-run;
+    /// * a calendar heap tracks, per core, the next slot in which it
+    ///   could transmit (pending write-back, or pending request once
+    ///   ready); every slot before the earliest calendar entry is idle
+    ///   by construction and is accounted in bulk;
+    /// * op-completion progress for the deadlock guard is credited at
+    ///   the slot boundary where the reference engine would have counted
+    ///   it (the first boundary at or after the op's start).
+    fn run_fast(&mut self) -> Result<(bool, u64), SimError> {
+        let sw = self.sw;
+        let sw_raw = sw.as_u64();
+        let n = self.cores.len();
+        let cap_slot: Option<u64> = self.cfg.max_cycles().map(|cap| cap.div_ceil(sw_raw));
+        if cap_slot == Some(0) {
+            return Ok((true, 0));
+        }
+        // The last boundary the reference engine would advance cores to.
+        let horizon = match cap_slot {
+            Some(s) => sw.slot_start(s - 1),
+            None => Cycles::new(u64::MAX),
+        };
+        // Which cores are alone in their LLC partition.
+        let solo: Vec<bool> = (0..n)
+            .map(|i| {
+                self.cfg
+                    .partitions()
+                    .spec_of(CoreId::new(i as u16))
+                    .is_private()
+            })
+            .collect();
+        // Owned slot positions within one period, per core.
+        let period = self.schedule.period();
+        let mut positions: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for (pos, owner) in self.schedule.slot_owners().iter().enumerate() {
+            positions[owner.as_usize()].push(pos as u64);
+        }
+        // First slot >= `from` owned by core `i`.
+        let next_owned = |i: usize, from: u64| -> u64 {
+            let base = from - from % period;
+            let off = from % period;
+            for &q in &positions[i] {
+                if q >= off {
+                    return base + q;
+                }
+            }
+            base + period + positions[i][0]
+        };
+
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        // The currently valid calendar slot per core (`u64::MAX` = none):
+        // a heap entry is current iff it matches this stamp, so lazy
+        // validation is one compare instead of a state recomputation.
+        let mut cand_slot: Vec<u64> = vec![u64::MAX; n];
+        let mut running: Vec<usize> = (0..n).collect();
+        let mut finished = 0usize;
+        let mut finish_boundary: u64 = 0;
+        let mut slot: u64 = 0;
+        let mut last_progress_slot: u64 = 0;
+
+        loop {
+            let now = sw.slot_start(slot);
+            if let Some(cs) = cap_slot {
+                if slot >= cs {
+                    return Ok((true, slot));
+                }
+            }
+
+            // 1. Advance every core that can still execute locally. Solo
+            //    cores run to their next miss (or the cap horizon) in one
+            //    call; shared-partition cores stop at this boundary.
+            let mut shared_running = false;
+            {
+                let Engine { cores, stats, .. } = self;
+                let mut k = 0;
+                while k < running.len() {
+                    let i = running[k];
+                    let id = cores[i].id();
+                    let bound = if solo[i] { horizon } else { now };
+                    let run = cores[i].advance_run(bound, stats.core_mut(id));
+                    if let Some(start) = run.last_op_start {
+                        let b = start.as_u64().div_ceil(sw_raw);
+                        last_progress_slot = last_progress_slot.max(b);
+                    }
+                    match run.progress {
+                        CoreProgress::Running => {
+                            if !solo[i] {
+                                shared_running = true;
+                            }
+                            k += 1;
+                        }
+                        CoreProgress::Stalled => {
+                            running.swap_remove(k);
+                            let c = candidate(cores, i, slot, sw_raw, &next_owned)
+                                .expect("a stalled core holds a request");
+                            cand_slot[i] = c;
+                            heap.push(Reverse((c, i)));
+                        }
+                        CoreProgress::Finished => {
+                            running.swap_remove(k);
+                            finished += 1;
+                            let at = stats.core_mut(id).finished_at.as_u64();
+                            finish_boundary = finish_boundary.max(at.div_ceil(sw_raw));
+                            // A finished core may still owe write-backs.
+                            if let Some(c) = candidate(cores, i, slot, sw_raw, &next_owned) {
+                                cand_slot[i] = c;
+                                heap.push(Reverse((c, i)));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 2. While a shared-partition core is mid-run, its future
+            //    hits are exposed to partition-mates' evictions: step
+            //    this slot exactly like the reference engine.
+            let event = if shared_running {
+                Event::Step
             } else {
-                cores[oi].arbiter.choose(has_wb, req_useful)
+                // Validate calendar entries lazily until the minimum is
+                // current, then pick the earliest of: transaction slot,
+                // all-finished boundary, cycle cap, deadlock threshold.
+                let s_cand = loop {
+                    let Some(&Reverse((s, i))) = heap.peek() else {
+                        break None;
+                    };
+                    if cand_slot[i] == s {
+                        break Some(s);
+                    }
+                    // Stale entry: drop it; reinsert the current stamp if
+                    // this core still has one and no entry carries it yet
+                    // (the push that set the stamp also pushed an entry,
+                    // so a mismatch here is always a leftover duplicate).
+                    heap.pop();
+                };
+                let b_fin = (finished == n).then_some(finish_boundary);
+                let d_slot = last_progress_slot + DEADLOCK_GUARD_SLOTS;
+                // Precedence at equal slots mirrors the reference loop's
+                // check order: deadlock (end of previous iteration), then
+                // the cap (top of loop), then the all-finished break,
+                // then the transaction itself.
+                let mut choice = Event::Deadlock(d_slot);
+                if let Some(cs) = cap_slot {
+                    if cs < choice.slot() {
+                        choice = Event::Timeout(cs);
+                    }
+                }
+                if let Some(b) = b_fin {
+                    if b < choice.slot() {
+                        choice = Event::Finish(b);
+                    }
+                }
+                if let Some(s) = s_cand {
+                    if s < choice.slot() {
+                        choice = Event::Transact(s);
+                        // Consume the calendar entry: the slot is being
+                        // processed now, and the post-slot bookkeeping
+                        // reinserts whatever the core still owes.
+                        let Some(Reverse((_, i))) = heap.pop() else {
+                            unreachable!("peeked entry vanished");
+                        };
+                        cand_slot[i] = u64::MAX;
+                    }
+                }
+                choice
             };
-            // A ready-but-stuck request still counts as a blocked slot
-            // for accounting when nothing else used the bus.
-            let grant = match grant {
-                None if has_req => {
+
+            match event {
+                Event::Step => {
+                    let out = self.process_slot(slot, now);
+                    if out.progressed {
+                        last_progress_slot = last_progress_slot.max(slot);
+                    }
+                    self.post_slot(
+                        out,
+                        slot,
+                        &mut running,
+                        &mut heap,
+                        &mut cand_slot,
+                        &next_owned,
+                    );
+                    self.stats.slots += 1;
+                    slot += 1;
+                    if slot.saturating_sub(last_progress_slot) >= DEADLOCK_GUARD_SLOTS {
+                        return Err(self.deadlock_at(slot));
+                    }
+                }
+                Event::Transact(s) => {
+                    debug_assert!(s >= slot, "calendar slot behind the cursor");
+                    // Every slot in between is idle by construction: its
+                    // owner has neither a write-back nor a ready request
+                    // (the calendar holds an entry for every core that
+                    // does). Bank state composes with the jump because it
+                    // is keyed by transaction timestamps, which the jump
+                    // preserves; residual busyness never outlives the
+                    // write-recovery window of the last transaction.
+                    debug_assert!(
+                        s == slot
+                            || self.llc.memory_next_busy_until()
+                                <= self.sw.slot_start(s) + self.sw.cycles(),
+                        "idle-slot jump would overrun residual bank busyness"
+                    );
+                    let skipped = s - slot;
+                    self.stats.slots += skipped;
+                    self.stats.idle_slots += skipped;
+                    slot = s;
+                    let now = sw.slot_start(slot);
+                    let out = self.process_slot(slot, now);
+                    if out.progressed {
+                        last_progress_slot = last_progress_slot.max(slot);
+                    }
+                    self.post_slot(
+                        out,
+                        slot,
+                        &mut running,
+                        &mut heap,
+                        &mut cand_slot,
+                        &next_owned,
+                    );
+                    self.stats.slots += 1;
+                    slot += 1;
+                    if slot.saturating_sub(last_progress_slot) >= DEADLOCK_GUARD_SLOTS {
+                        return Err(self.deadlock_at(slot));
+                    }
+                }
+                Event::Finish(b) => {
+                    let skipped = b - slot;
+                    self.stats.slots += skipped;
+                    self.stats.idle_slots += skipped;
+                    return Ok((false, b));
+                }
+                Event::Timeout(cs) => {
+                    let skipped = cs - slot;
+                    self.stats.slots += skipped;
+                    self.stats.idle_slots += skipped;
+                    return Ok((true, cs));
+                }
+                Event::Deadlock(d) => {
+                    return Err(self.deadlock_at(d));
+                }
+            }
+        }
+    }
+
+    /// Post-transaction calendar maintenance: the owner (and any cores
+    /// that were handed acknowledgement write-backs) may transmit at new
+    /// slots; a responded owner resumes local execution.
+    /// Recomputes calendar entries after a processed slot. Every write
+    /// updates the stamp in `cand_slot` — including clearing it when a
+    /// core no longer has anything to transmit, so entries left behind by
+    /// stepped slots can never validate against a stale stamp.
+    fn post_slot(
+        &mut self,
+        out: SlotOutcome,
+        slot: u64,
+        running: &mut Vec<usize>,
+        heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+        cand_slot: &mut [u64],
+        next_owned: &dyn Fn(usize, u64) -> u64,
+    ) {
+        let sw_raw = self.sw.as_u64();
+        let oi = self.schedule.owner(slot).as_usize();
+        let from = slot + 1;
+        for k in 0..self.scratch_acks.len() {
+            let t = self.scratch_acks[k];
+            let c = candidate(&self.cores, t, from, sw_raw, next_owned)
+                .expect("an ack target holds a write-back");
+            cand_slot[t] = c;
+            heap.push(Reverse((c, t)));
+        }
+        if out.responded {
+            running.push(oi);
+        }
+        // The owner may still hold a write-back or an unanswered request.
+        match candidate(&self.cores, oi, from, sw_raw, next_owned) {
+            Some(c) => {
+                cand_slot[oi] = c;
+                heap.push(Reverse((c, oi)));
+            }
+            None => cand_slot[oi] = u64::MAX,
+        }
+    }
+
+    fn deadlock_at(&self, slot: u64) -> SimError {
+        SimError::Deadlock {
+            cycle: self.sw.slot_start(slot),
+            pending: self
+                .cores
+                .iter()
+                .filter(|c| !c.is_finished())
+                .map(|c| c.id())
+                .collect(),
+        }
+    }
+
+    /// Executes the bus transaction of one slot: grant arbitration, LLC
+    /// service or write-back, and all the accounting. This is the single
+    /// shared implementation both engine loops call, so their behaviour
+    /// cannot drift.
+    fn process_slot(&mut self, slot: u64, now: Cycles) -> SlotOutcome {
+        let sw = self.sw;
+        let precise_sharers = self.cfg.precise_sharers();
+        let fast = self.fast;
+        self.scratch_acks.clear();
+        let Engine {
+            cores,
+            llc,
+            stats,
+            events,
+            schedule,
+            lat_batch,
+            scratch_acks,
+            ..
+        } = self;
+        let mut out = SlotOutcome {
+            progressed: false,
+            responded: false,
+        };
+
+        let owner = schedule.owner(slot);
+        let oi = owner.as_usize();
+        let has_wb = !cores[oi].pwb.is_empty();
+        let has_req = cores[oi].request_ready(now);
+        // A request only competes for the slot when it can make
+        // progress: a first broadcast always can; afterwards the LLC
+        // probe decides. Without this, a request stuck behind an
+        // acknowledgement sitting in this core's own PWB would starve
+        // that acknowledgement under a request-first arbiter.
+        let req_useful = has_req && {
+            let req = cores[oi].prb.peek().expect("request_ready checked");
+            !req.broadcast || llc.probe(owner, req.op.addr.line()) != crate::llc::Probe::Stuck
+        };
+        let grant = if has_wb && req_useful && cores[oi].request_hazard() {
+            // A request must not race its own queued write-back for
+            // the same line.
+            Some(BusGrant::WriteBack)
+        } else {
+            cores[oi].arbiter.choose(has_wb, req_useful)
+        };
+        // A ready-but-stuck request still counts as a blocked slot
+        // for accounting when nothing else used the bus.
+        let grant = match grant {
+            None if has_req => {
+                stats.core_mut(owner).blocked_slots += 1;
+                events.push(
+                    now,
+                    slot,
+                    EventKind::Blocked {
+                        core: owner,
+                        reason: BlockReason::WaitingForEviction,
+                    },
+                );
+                None
+            }
+            g => g,
+        };
+
+        match grant {
+            None => {
+                stats.idle_slots += 1;
+            }
+            Some(BusGrant::WriteBack) => {
+                out.progressed = true;
+                let wb = cores[oi].pwb.pop().expect("arbiter saw a write-back");
+                stats.core_mut(owner).writebacks_sent += 1;
+                events.push(
+                    now,
+                    slot,
+                    EventKind::WritebackTransmitted {
+                        core: owner,
+                        line: wb.line,
+                        kind: wb.kind,
+                    },
+                );
+                let wr = llc.writeback(owner, wb.line, wb.dirty, wb.kind, now);
+                if let Some(traffic) = wr.mem_traffic {
+                    push_mem_event(events, now, slot, owner, &traffic);
+                }
+                if let Some(freed) = wr.freed {
+                    stats.lines_freed += 1;
+                    events.push(
+                        now,
+                        slot,
+                        EventKind::LineFreed {
+                            line: freed,
+                            partition: llc.partition_map().partition_of(owner),
+                        },
+                    );
+                }
+                if has_req {
                     stats.core_mut(owner).blocked_slots += 1;
                     events.push(
                         now,
                         slot,
                         EventKind::Blocked {
                             core: owner,
-                            reason: BlockReason::WaitingForEviction,
+                            reason: BlockReason::SlotUsedForWriteback,
                         },
                     );
-                    None
                 }
-                g => g,
-            };
-
-            match grant {
-                None => {
-                    stats.idle_slots += 1;
+            }
+            Some(BusGrant::Request) => {
+                out.progressed = true;
+                let (line, first) = {
+                    let req = cores[oi].prb.peek().expect("arbiter saw a request");
+                    (req.op.addr.line(), !req.broadcast)
+                };
+                cores[oi].prb.mark_broadcast();
+                if first {
+                    events.push(now, slot, EventKind::RequestBroadcast { core: owner, line });
                 }
-                Some(BusGrant::WriteBack) => {
-                    last_progress_slot = slot;
-                    let wb = cores[oi].pwb.pop().expect("arbiter saw a write-back");
-                    stats.core_mut(owner).writebacks_sent += 1;
+                // Fast path for the common case: a plain hit on a valid
+                // resident line has no evictions, no memory traffic and
+                // no events beyond the response itself. Fast-forward
+                // only: the reference loop must keep exercising the full
+                // service path it is the oracle for.
+                if fast && llc.try_service_hit(owner, line) {
+                    let resume = now + sw.cycles();
+                    let (issued, clean_drop) =
+                        cores[oi].complete_request(resume, stats.core_mut(owner));
+                    if precise_sharers {
+                        if let Some(dropped) = clean_drop {
+                            llc.note_clean_drop(owner, dropped);
+                        }
+                    }
+                    let latency = resume - issued;
+                    record_latency(stats, lat_batch, fast, owner, latency);
+                    stats.core_mut(owner).llc_hits += 1;
+                    out.responded = true;
+                    return out;
+                }
+                let res = {
+                    let cores = &mut *cores;
+                    let mut evict = |target: CoreId, victim| {
+                        cores[target.as_usize()]
+                            .private
+                            .back_invalidate(victim)
+                            .dirty
+                    };
+                    llc.service(owner, line, now, &mut evict)
+                };
+                for traffic in res.mem_traffic.iter().flatten() {
+                    push_mem_event(events, now, slot, owner, traffic);
+                }
+                for &(target, vline) in &res.invalidations {
+                    stats.core_mut(target).back_invalidations += 1;
                     events.push(
                         now,
                         slot,
-                        EventKind::WritebackTransmitted {
-                            core: owner,
-                            line: wb.line,
-                            kind: wb.kind,
+                        EventKind::BackInvalidation {
+                            core: target,
+                            line: vline,
                         },
                     );
-                    let wr = llc.writeback(owner, wb.line, wb.dirty, wb.kind, now);
-                    if let Some(traffic) = wr.mem_traffic {
-                        push_mem_event(&mut events, now, slot, owner, &traffic);
-                    }
-                    if let Some(freed) = wr.freed {
+                }
+                // Dirty remote copies owe a data-carrying ack.
+                for &(target, vline) in &res.ack_required {
+                    cores[target.as_usize()].pwb.push(predllc_bus::WriteBack {
+                        line: vline,
+                        dirty: true,
+                        kind: predllc_bus::WbKind::BackInvalAck,
+                        enqueued_at: now,
+                    });
+                    scratch_acks.push(target.as_usize());
+                }
+                if let Some(position) = res.sequencer_position {
+                    events.push(
+                        now,
+                        slot,
+                        EventKind::SequencerEnqueued {
+                            core: owner,
+                            set: res.set,
+                            position,
+                        },
+                    );
+                }
+                if let Some(ev) = res.eviction {
+                    stats.evictions_triggered += 1;
+                    events.push(
+                        now,
+                        slot,
+                        EventKind::EvictionTriggered {
+                            by: owner,
+                            victim: ev.victim,
+                            sharers: ev.sharers,
+                        },
+                    );
+                    // No data-carrying acknowledgements owed means
+                    // the entry freed within this very slot (clean
+                    // or requester-held copies only).
+                    if res.ack_required.is_empty() {
                         stats.lines_freed += 1;
                         events.push(
                             now,
                             slot,
                             EventKind::LineFreed {
-                                line: freed,
+                                line: ev.victim,
                                 partition: llc.partition_map().partition_of(owner),
                             },
                         );
                     }
-                    if has_req {
+                }
+                match res.outcome {
+                    ServiceOutcome::Responded(kind) => {
+                        let resume = now + sw.cycles();
+                        let (issued, clean_drop) =
+                            cores[oi].complete_request(resume, stats.core_mut(owner));
+                        if precise_sharers {
+                            if let Some(dropped) = clean_drop {
+                                llc.note_clean_drop(owner, dropped);
+                            }
+                        }
+                        let latency = resume - issued;
+                        record_latency(stats, lat_batch, fast, owner, latency);
+                        match kind {
+                            ResponseKind::Hit => {
+                                stats.core_mut(owner).llc_hits += 1;
+                                events.push(now, slot, EventKind::Hit { core: owner, line });
+                            }
+                            ResponseKind::Fill => {
+                                stats.core_mut(owner).llc_fills += 1;
+                                events.push(now, slot, EventKind::Fill { core: owner, line });
+                            }
+                        }
+                        out.responded = true;
+                    }
+                    ServiceOutcome::Blocked(reason) => {
                         stats.core_mut(owner).blocked_slots += 1;
                         events.push(
                             now,
                             slot,
                             EventKind::Blocked {
                                 core: owner,
-                                reason: BlockReason::SlotUsedForWriteback,
+                                reason,
                             },
                         );
                     }
                 }
-                Some(BusGrant::Request) => {
-                    last_progress_slot = slot;
-                    let (line, first) = {
-                        let req = cores[oi].prb.peek().expect("arbiter saw a request");
-                        (req.op.addr.line(), !req.broadcast)
-                    };
-                    cores[oi].prb.mark_broadcast();
-                    if first {
-                        events.push(now, slot, EventKind::RequestBroadcast { core: owner, line });
-                    }
-                    let res = {
-                        let cores = &mut cores;
-                        let mut evict = |target: CoreId, victim| {
-                            cores[target.as_usize()]
-                                .private
-                                .back_invalidate(victim)
-                                .dirty
-                        };
-                        llc.service(owner, line, now, &mut evict)
-                    };
-                    for traffic in res.mem_traffic.iter().flatten() {
-                        push_mem_event(&mut events, now, slot, owner, traffic);
-                    }
-                    for &(target, vline) in &res.invalidations {
-                        stats.core_mut(target).back_invalidations += 1;
-                        events.push(
-                            now,
-                            slot,
-                            EventKind::BackInvalidation {
-                                core: target,
-                                line: vline,
-                            },
-                        );
-                    }
-                    // Dirty remote copies owe a data-carrying ack.
-                    for &(target, vline) in &res.ack_required {
-                        cores[target.as_usize()].pwb.push(predllc_bus::WriteBack {
-                            line: vline,
-                            dirty: true,
-                            kind: predllc_bus::WbKind::BackInvalAck,
-                            enqueued_at: now,
-                        });
-                    }
-                    if let Some(position) = res.sequencer_position {
-                        events.push(
-                            now,
-                            slot,
-                            EventKind::SequencerEnqueued {
-                                core: owner,
-                                set: res.set,
-                                position,
-                            },
-                        );
-                    }
-                    if let Some(ev) = res.eviction {
-                        stats.evictions_triggered += 1;
-                        events.push(
-                            now,
-                            slot,
-                            EventKind::EvictionTriggered {
-                                by: owner,
-                                victim: ev.victim,
-                                sharers: ev.sharers,
-                            },
-                        );
-                        // No data-carrying acknowledgements owed means
-                        // the entry freed within this very slot (clean
-                        // or requester-held copies only).
-                        if res.ack_required.is_empty() {
-                            stats.lines_freed += 1;
-                            events.push(
-                                now,
-                                slot,
-                                EventKind::LineFreed {
-                                    line: ev.victim,
-                                    partition: llc.partition_map().partition_of(owner),
-                                },
-                            );
-                        }
-                    }
-                    match res.outcome {
-                        ServiceOutcome::Responded(kind) => {
-                            let resume = now + sw.cycles();
-                            let (issued, clean_drop) =
-                                cores[oi].complete_request(resume, stats.core_mut(owner));
-                            if cfg.precise_sharers() {
-                                if let Some(dropped) = clean_drop {
-                                    llc.note_clean_drop(owner, dropped);
-                                }
-                            }
-                            let latency = resume - issued;
-                            stats.core_mut(owner).record_latency(latency);
-                            match kind {
-                                ResponseKind::Hit => {
-                                    stats.core_mut(owner).llc_hits += 1;
-                                    events.push(now, slot, EventKind::Hit { core: owner, line });
-                                }
-                                ResponseKind::Fill => {
-                                    stats.core_mut(owner).llc_fills += 1;
-                                    events.push(now, slot, EventKind::Fill { core: owner, line });
-                                }
-                            }
-                        }
-                        ServiceOutcome::Blocked(reason) => {
-                            stats.core_mut(owner).blocked_slots += 1;
-                            events.push(
-                                now,
-                                slot,
-                                EventKind::Blocked {
-                                    core: owner,
-                                    reason,
-                                },
-                            );
-                        }
-                    }
-                }
             }
+        }
+        out
+    }
 
-            // Private-hit execution is progress too: only bus silence
-            // *and* a frozen completion count together indicate a stuck
-            // engine.
-            let total_ops: u64 = stats.cores.iter().map(|c| c.ops_completed).sum();
-            if total_ops != last_total_ops {
-                last_total_ops = total_ops;
-                last_progress_slot = slot;
-            }
-
-            stats.slots += 1;
-            slot += 1;
-
-            if slot - last_progress_slot >= DEADLOCK_GUARD_SLOTS {
-                return Err(SimError::Deadlock {
-                    cycle: sw.slot_start(slot),
-                    pending: cores
-                        .iter()
-                        .filter(|c| !c.is_finished())
-                        .map(|c| c.id())
-                        .collect(),
-                });
+    /// Folds substrate counters into the report and builds it.
+    fn finalize(mut self, timed_out: bool, end_slot: u64) -> RunReport {
+        // Flush any run-length latency batches still open.
+        for i in 0..self.lat_batch.len() {
+            let (latency, count) = self.lat_batch[i];
+            if count > 0 {
+                self.stats
+                    .core_mut(CoreId::new(i as u16))
+                    .record_latency_n(latency, count);
             }
         }
 
-        // Fold substrate counters into the report.
+        let Engine {
+            cores,
+            llc,
+            mut stats,
+            events,
+            sw,
+            ..
+        } = self;
         stats.absorb_memory(llc.memory_stats());
         debug_assert!(
             stats.max_dram_latency <= llc.memory_worst_case(),
@@ -452,12 +914,84 @@ impl Simulator {
             }
         }
 
-        Ok(RunReport {
+        RunReport {
             stats,
             events,
             timed_out,
-            cycles: sw.slot_start(slot),
+            cycles: sw.slot_start(end_slot),
+        }
+    }
+}
+
+/// The fast engine's next time-advancing step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A shared-partition core is mid-run: process the current slot.
+    Step,
+    /// The earliest slot in which some core can transmit.
+    Transact(u64),
+    /// The boundary at which the reference engine observes every core
+    /// finished.
+    Finish(u64),
+    /// The first slot at or past the `max_cycles` cap.
+    Timeout(u64),
+    /// The deadlock-guard threshold.
+    Deadlock(u64),
+}
+
+impl Event {
+    fn slot(self) -> u64 {
+        match self {
+            Event::Step => 0,
+            Event::Transact(s) | Event::Finish(s) | Event::Timeout(s) | Event::Deadlock(s) => s,
+        }
+    }
+}
+
+/// The next slot in which core `i` could transmit, from `from` onward:
+/// its next owned slot if a write-back is queued (a write-back may use
+/// any owned slot), otherwise the first owned slot at or after its
+/// pending request becomes ready, otherwise `None`.
+fn candidate<I: Iterator<Item = predllc_model::MemOp>>(
+    cores: &[CoreModel<I>],
+    i: usize,
+    from: u64,
+    sw_raw: u64,
+    next_owned: &dyn Fn(usize, u64) -> u64,
+) -> Option<u64> {
+    let core = &cores[i];
+    if !core.pwb.is_empty() {
+        Some(next_owned(i, from))
+    } else {
+        core.prb.peek().map(|r| {
+            let ready = r.issued_at.as_u64().div_ceil(sw_raw);
+            next_owned(i, from.max(ready))
         })
+    }
+}
+
+/// Records one response latency — directly in reference mode, through the
+/// per-core run-length batch in fast-forward mode (runs of identical
+/// latencies collapse into one [`crate::LatencyHistogram::record_n`]).
+fn record_latency(
+    stats: &mut SimStats,
+    lat_batch: &mut [(Cycles, u64)],
+    batching: bool,
+    owner: CoreId,
+    latency: Cycles,
+) {
+    if !batching {
+        stats.core_mut(owner).record_latency(latency);
+        return;
+    }
+    let b = &mut lat_batch[owner.as_usize()];
+    if b.1 > 0 && b.0 == latency {
+        b.1 += 1;
+    } else {
+        if b.1 > 0 {
+            stats.core_mut(owner).record_latency_n(b.0, b.1);
+        }
+        *b = (latency, 1);
     }
 }
 
@@ -491,7 +1025,6 @@ fn push_mem_event(
 mod tests {
     use super::*;
     use crate::partition::{PartitionSpec, SharingMode};
-    use predllc_bus::TdmSchedule;
     use predllc_model::{Address, MemOp};
 
     fn read(addr: u64) -> MemOp {
@@ -689,5 +1222,50 @@ mod tests {
             .filter(|k| matches!(k, EventKind::RequestBroadcast { .. }))
             .next()
             .is_some());
+    }
+
+    #[test]
+    fn engine_modes_agree_on_a_small_run() {
+        let trace: Vec<MemOp> = (0..200)
+            .map(|i| read((i % 37) * 64))
+            .chain((0..50).map(|i| write((i % 11) * 64)))
+            .collect();
+        let mut reports = Vec::new();
+        for mode in [EngineMode::Reference, EngineMode::FastForward] {
+            let cfg = SystemConfig::builder(2)
+                .partitions(vec![
+                    PartitionSpec::private(2, 2, CoreId::new(0)),
+                    PartitionSpec::private(2, 2, CoreId::new(1)),
+                ])
+                .engine(mode)
+                .build()
+                .unwrap();
+            assert_eq!(cfg.effective_engine(), mode);
+            let report = Simulator::new(cfg)
+                .unwrap()
+                .run(vec![trace.clone(), trace.clone()])
+                .unwrap();
+            reports.push(report);
+        }
+        assert_eq!(reports[0].stats, reports[1].stats);
+        assert_eq!(reports[0].timed_out, reports[1].timed_out);
+        assert_eq!(reports[0].cycles, reports[1].cycles);
+    }
+
+    #[test]
+    fn event_recording_falls_back_to_reference() {
+        let cfg = SystemConfig::builder(1)
+            .partitions(vec![PartitionSpec::private(2, 2, CoreId::new(0))])
+            .engine(EngineMode::FastForward)
+            .record_events(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.effective_engine(), EngineMode::Reference);
+        // The run still records events.
+        let report = Simulator::new(cfg)
+            .unwrap()
+            .run(vec![vec![read(0), read(0)]])
+            .unwrap();
+        assert!(!report.events.events().is_empty());
     }
 }

@@ -135,6 +135,29 @@ impl LatencyHistogram {
         self.max = self.max.max(v);
     }
 
+    /// Records `n` observations of the same latency in one O(1) update —
+    /// the bulk insert the simulation engine's fast-forward path uses for
+    /// runs of identical response latencies (steady-state LLC-hit slots).
+    ///
+    /// Equivalent to calling [`LatencyHistogram::record`] `n` times
+    /// (except that the saturating running total saturates as one product
+    /// instead of `n` additions, indistinguishable until a run exceeds
+    /// `u64::MAX` total cycles). `record_n(v, 0)` is a no-op.
+    pub fn record_n(&mut self, latency: Cycles, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let v = latency.as_u64();
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+        }
+        self.buckets[bucket_index(v)] += n;
+        self.count += n;
+        self.total = self.total.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
     /// Folds another histogram into this one. Plain counter addition:
     /// associative, commutative, and lossless.
     pub fn merge(&mut self, other: &LatencyHistogram) {
@@ -349,6 +372,24 @@ mod tests {
         }
         assert_eq!(h.percentile(100.0).as_u64(), 1000);
         assert_eq!(h.percentile(0.0).as_u64(), 1);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut bulk = LatencyHistogram::new();
+        bulk.record_n(Cycles::new(90), 3);
+        bulk.record_n(Cycles::new(140), 1);
+        bulk.record_n(Cycles::new(7), 0); // no-op
+        let single = filled(&[90, 90, 90, 140]);
+        assert_eq!(bulk, single);
+        assert_eq!(bulk.count(), 4);
+        assert_eq!(bulk.total(), Cycles::new(410));
+        assert_eq!(bulk.min(), Cycles::new(90));
+        assert_eq!(bulk.max(), Cycles::new(140));
+        // A zero-count bulk insert on an empty histogram stays empty.
+        let mut empty = LatencyHistogram::new();
+        empty.record_n(Cycles::new(1), 0);
+        assert_eq!(empty, LatencyHistogram::new());
     }
 
     #[test]

@@ -103,7 +103,7 @@ pub mod placement;
 pub mod sequencer;
 pub mod stats;
 
-pub use config::{SystemConfig, SystemConfigBuilder};
+pub use config::{EngineMode, SystemConfig, SystemConfigBuilder};
 pub use engine::{RunReport, Simulator};
 pub use error::{ConfigError, SimError};
 pub use events::{Event, EventKind, EventLog};

@@ -412,6 +412,44 @@ impl SharedLlc {
         }
     }
 
+    /// Fast path for the most common slot of all: a request that hits a
+    /// valid resident line.
+    ///
+    /// Performs exactly the mutations of [`SharedLlc::service`]'s hit
+    /// case — recency touch, sharer registration, pending/sequencer
+    /// cleanup — and returns `true`; returns `false` *without mutating
+    /// anything* when the request would not be a hit (absent line or one
+    /// mid-eviction), in which case the caller must fall back to the full
+    /// [`SharedLlc::service`] protocol.
+    pub fn try_service_hit(&mut self, core: CoreId, line: LineAddr) -> bool {
+        let pid = self.map.partition_of(core);
+        let p = &mut self.partitions[pid.as_usize()];
+        let Some(way) = p.cache.way_of(line) else {
+            return false;
+        };
+        let set = p.cache.set_of(line);
+        let entry = p.cache.entry(set, way).expect("way_of found it");
+        if entry.meta.state != LineState::Valid {
+            return false;
+        }
+        p.cache.touch(set, way);
+        let entry = p.cache.entry_mut(set, way).expect("way_of found it");
+        entry.meta.sharers.insert(core);
+        p.remove_pending(core);
+        if p.uses_sequencer() {
+            p.sequencer.remove(set, core);
+        }
+        true
+    }
+
+    /// The backend's residual busyness horizon (see
+    /// [`MemoryBackend::next_busy_until`]): the latest cycle any DRAM
+    /// bank is still busy from past accesses. The fast-forward engine
+    /// asserts idle-slot jumps never land in front of it.
+    pub fn memory_next_busy_until(&self) -> Cycles {
+        self.memory.next_busy_until()
+    }
+
     /// Services `core`'s pending request for `line` within `core`'s
     /// slot, which starts at cycle `now`.
     ///

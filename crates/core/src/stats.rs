@@ -48,6 +48,22 @@ impl CoreStats {
         self.latencies.record(latency);
     }
 
+    /// Records `n` completed LLC requests that all observed the same
+    /// latency — the bulk path the engine's fast-forward mode uses for
+    /// steady-state runs of identical response latencies. Equivalent to
+    /// `n` calls to [`CoreStats::record_latency`].
+    pub fn record_latency_n(&mut self, latency: Cycles, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.requests += n;
+        self.total_request_latency += latency * n;
+        if latency > self.max_request_latency {
+            self.max_request_latency = latency;
+        }
+        self.latencies.record_n(latency, n);
+    }
+
     /// Mean request latency, or zero if no requests were measured.
     pub fn mean_request_latency(&self) -> f64 {
         if self.requests == 0 {

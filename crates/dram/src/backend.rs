@@ -184,6 +184,19 @@ pub trait MemoryBackend: fmt::Debug + Send {
 
     /// A short human-readable label for reports (e.g. `fixed(30)`).
     fn label(&self) -> String;
+
+    /// The latest cycle at which any internal resource (a DRAM bank, a
+    /// write-recovery window) is still busy from past accesses —
+    /// [`Cycles::ZERO`] for stateless backends.
+    ///
+    /// Because all backend state is keyed by the request timestamps the
+    /// engine hands in, a fast-forward engine may jump the clock across
+    /// idle bus slots without stepping the backend; this accessor lets it
+    /// (and tests) verify that such a jump never lands in front of
+    /// residual bank busyness it would otherwise have simulated through.
+    fn next_busy_until(&self) -> Cycles {
+        Cycles::ZERO
+    }
 }
 
 impl<B: MemoryBackend + ?Sized> MemoryBackend for Box<B> {
@@ -205,6 +218,10 @@ impl<B: MemoryBackend + ?Sized> MemoryBackend for Box<B> {
 
     fn label(&self) -> String {
         (**self).label()
+    }
+
+    fn next_busy_until(&self) -> Cycles {
+        (**self).next_busy_until()
     }
 }
 

@@ -167,6 +167,14 @@ impl MemoryBackend for BankedDram {
             self.mapping
         )
     }
+
+    fn next_busy_until(&self) -> Cycles {
+        self.banks
+            .iter()
+            .map(|b| b.ready_at)
+            .max()
+            .unwrap_or(Cycles::ZERO)
+    }
 }
 
 #[cfg(test)]
@@ -299,5 +307,29 @@ mod tests {
             dram(BankMapping::BankPrivate).label(),
             "banked(1x8,bank-private)"
         );
+    }
+
+    #[test]
+    fn next_busy_until_tracks_the_latest_bank() {
+        let mut d = dram(BankMapping::Interleaved);
+        assert_eq!(d.next_busy_until(), Cycles::ZERO);
+        let a = fetch(&mut d, 0, 0, 100);
+        assert_eq!(d.next_busy_until(), Cycles::new(100) + a.latency);
+        // A later access to another bank extends the horizon; the
+        // earlier bank's window is subsumed by the max.
+        let b = fetch(&mut d, 1, 0, 200);
+        assert_eq!(d.next_busy_until(), Cycles::new(200) + b.latency);
+        // A write adds the write-recovery window on top.
+        let w = d.access(MemRequest::write_back(
+            LineAddr::new(2),
+            CoreId::new(0),
+            Cycles::new(300),
+        ));
+        assert_eq!(
+            d.next_busy_until(),
+            Cycles::new(300) + w.latency + Cycles::new(T.t_wr)
+        );
+        d.reset();
+        assert_eq!(d.next_busy_until(), Cycles::ZERO);
     }
 }

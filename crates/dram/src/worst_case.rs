@@ -75,6 +75,10 @@ impl<B: MemoryBackend> MemoryBackend for WorstCase<B> {
     fn label(&self) -> String {
         format!("wc({})", self.inner.label())
     }
+
+    fn next_busy_until(&self) -> Cycles {
+        self.inner.next_busy_until()
+    }
 }
 
 #[cfg(test)]

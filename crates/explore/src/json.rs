@@ -231,15 +231,28 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting depth [`parse`] accepts.
+///
+/// The parser is recursive-descent, so input depth consumes call-stack
+/// frames; an adversarial body of brackets (`[[[[…`) would otherwise
+/// overflow the 2 MiB default stack of the connection threads that feed
+/// this parser in `predllc-serve`. 128 levels is far beyond any real
+/// experiment spec while keeping worst-case stack use in the tens of
+/// kilobytes.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document.
 ///
 /// # Errors
 ///
-/// [`JsonError`] with the failure offset, including for trailing data.
+/// [`JsonError`] with the failure offset, including for trailing data —
+/// and for containers nested deeper than [`MAX_DEPTH`] levels, reported
+/// at the offset of the bracket that exceeded the limit.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         buf: input.as_bytes(),
         at: 0,
+        depth: 0,
     };
     let value = p.value()?;
     p.skip_ws();
@@ -252,6 +265,8 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     buf: &'a [u8],
     at: usize,
+    /// Current container nesting depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -308,11 +323,23 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        if self.depth >= MAX_DEPTH {
+            // Report at the opening bracket (peek already skipped the
+            // whitespace in front of it).
+            return Err(self.fail(format!("nesting exceeds the maximum depth of {MAX_DEPTH}")));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut members = Vec::new();
         if self.peek() == Some(b'}') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(Json::Object(members));
         }
         loop {
@@ -327,6 +354,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.at += 1,
                 Some(b'}') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(members));
                 }
                 _ => return Err(self.fail("expected ',' or '}' in object")),
@@ -335,10 +363,12 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -347,6 +377,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.at += 1,
                 Some(b']') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(self.fail("expected ',' or ']' in array")),
@@ -514,6 +545,36 @@ mod tests {
             );
             assert!(err.to_string().contains("byte"));
         }
+    }
+
+    #[test]
+    fn depth_limit_is_a_positioned_error_not_a_stack_overflow() {
+        // At the limit: fine.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+        // One past the limit: positioned error at the offending bracket.
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = parse(&over).unwrap_err();
+        assert!(err.message.contains("maximum depth"), "{err:?}");
+        assert_eq!(err.offset, MAX_DEPTH);
+        // Mixed nesting counts objects too.
+        let mixed = r#"{"a":"#.repeat(MAX_DEPTH + 1) + "1" + &"}".repeat(MAX_DEPTH + 1);
+        assert!(parse(&mixed).unwrap_err().message.contains("maximum depth"));
+        // The probe that motivated the limit: half a million brackets on
+        // a 2 MiB thread stack must return an error, not blow the stack.
+        let handle = std::thread::Builder::new()
+            .stack_size(2 << 20)
+            .spawn(|| {
+                let depth = 500_000;
+                let doc = "[".repeat(depth) + &"]".repeat(depth);
+                parse(&doc).unwrap_err()
+            })
+            .expect("spawn probe thread");
+        let err = handle.join().expect("no stack overflow");
+        assert!(err.message.contains("maximum depth"));
+        // Depth resets between sibling containers: wide is not deep.
+        let wide = format!("[{}]", vec!["[[]]"; 64].join(","));
+        assert!(parse(&wide).is_ok());
     }
 
     /// Deterministic random JSON values for the round-trip property

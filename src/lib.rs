@@ -120,8 +120,9 @@ pub use predllc_bus::{ArbiterPolicy, ScheduleError, TdmSchedule};
 pub use predllc_cache::ReplacementKind;
 pub use predllc_core::analysis;
 pub use predllc_core::{
-    ConfigError, Event, EventKind, EventLog, LatencyHistogram, LatencySummary, PartitionMap,
-    PartitionSpec, RunReport, SharingMode, SimError, Simulator, SystemConfig, SystemConfigBuilder,
+    ConfigError, EngineMode, Event, EventKind, EventLog, LatencyHistogram, LatencySummary,
+    PartitionMap, PartitionSpec, RunReport, SharingMode, SimError, Simulator, SystemConfig,
+    SystemConfigBuilder,
 };
 pub use predllc_dram::{
     BankMapping, BankedDram, DramTiming, FixedLatency, MemoryBackend, MemoryConfig, RowOutcome,

@@ -1,0 +1,464 @@
+//! Differential property suite: the fast-forward engine must be
+//! bit-identical to the slot-by-slot reference engine.
+//!
+//! Every test runs the same (configuration, workload) pair through both
+//! [`EngineMode::Reference`] and [`EngineMode::FastForward`] and asserts
+//! the full [`predllc::sim::SimStats`] — which includes every per-core
+//! counter *and* the per-core latency histograms — plus the report's
+//! `timed_out` flag and cycle count are equal. The grids are randomized
+//! but deterministic (splitmix-style RNG, fixed seeds), the same pattern
+//! as the other property loops in this repo's offline build.
+
+use predllc::model::{Address, CacheGeometry, CoreId, Cycles, MemOp, SlotWidth};
+use predllc::workload::rng::Rng64;
+use predllc::workload_gen::{HotColdGen, PointerChaseGen, StrideGen, UniformGen};
+use predllc::{
+    ArbiterPolicy, EngineMode, MemoryConfig, MultiCore, PartitionSpec, ReplacementKind, RunReport,
+    SharingMode, Simulator, SystemConfig, SystemConfigBuilder, TdmSchedule, Workload,
+};
+
+/// Runs one workload under both engines and asserts report equality.
+/// Returns the (identical) report for additional scenario assertions.
+fn assert_engines_agree(
+    build: impl Fn(EngineMode) -> SystemConfig,
+    workload: &dyn Workload,
+    what: &str,
+) -> RunReport {
+    let reference = Simulator::new(build(EngineMode::Reference))
+        .expect("valid config")
+        .run(workload)
+        .unwrap_or_else(|e| panic!("{what}: reference run failed: {e}"));
+    let fast_cfg = build(EngineMode::FastForward);
+    assert_eq!(
+        fast_cfg.effective_engine(),
+        EngineMode::FastForward,
+        "{what}: fast-forward did not engage"
+    );
+    let fast = Simulator::new(fast_cfg)
+        .expect("valid config")
+        .run(workload)
+        .unwrap_or_else(|e| panic!("{what}: fast run failed: {e}"));
+    assert_eq!(reference.stats, fast.stats, "{what}: stats diverged");
+    assert_eq!(
+        reference.timed_out, fast.timed_out,
+        "{what}: timeout flag diverged"
+    );
+    assert_eq!(
+        reference.cycles, fast.cycles,
+        "{what}: cycle count diverged"
+    );
+    // The histogram equality is implied by SimStats, but assert the
+    // derived views too — they are what reports consume.
+    assert_eq!(
+        reference.latency_histogram(),
+        fast.latency_histogram(),
+        "{what}: merged histograms diverged"
+    );
+    assert!(
+        fast.events.events().is_empty(),
+        "{what}: fast logged events"
+    );
+    fast
+}
+
+/// A deterministic "random" multi-core workload mixing all generator
+/// families, empty streams and tiny materialized traces.
+fn random_workload(rng: &mut Rng64, cores: u16, ops: usize) -> MultiCore {
+    let mut wl = MultiCore::new();
+    for c in 0..cores {
+        let base = u64::from(c) << 22;
+        let seed = rng.next_u64();
+        match rng.below(6) {
+            0 => {
+                wl = wl.core(
+                    UniformGen::new(64 * (8 + rng.below(64)), ops)
+                        .with_seed(seed)
+                        .with_write_fraction(0.25),
+                );
+            }
+            1 => {
+                wl = wl.core(
+                    StrideGen::new(base, 64 * (4 + rng.below(96)), ops)
+                        .with_stride(64 * (1 + rng.below(3))),
+                );
+            }
+            2 => {
+                wl = wl.core(PointerChaseGen::new(base, 64 * (2 + rng.below(40)), ops));
+            }
+            3 => {
+                let mut g = HotColdGen::new(base, 64 * (16 + rng.below(128)), ops).with_seed(seed);
+                g.hot_probability = 0.85;
+                wl = wl.core(g);
+            }
+            4 => {
+                // A tiny materialized trace with writes and repeats.
+                let trace: Vec<MemOp> = (0..ops.min(40))
+                    .map(|i| {
+                        let line = rng.below(24) * 64;
+                        if i % 3 == 0 {
+                            MemOp::write(Address::new(base + line))
+                        } else {
+                            MemOp::read(Address::new(base + line))
+                        }
+                    })
+                    .collect();
+                wl = wl.core(vec![trace]);
+            }
+            _ => {
+                wl = wl.core(vec![Vec::<MemOp>::new()]); // finished at cycle 0
+            }
+        }
+    }
+    wl
+}
+
+fn random_replacement(rng: &mut Rng64) -> ReplacementKind {
+    match rng.below(4) {
+        0 => ReplacementKind::Lru,
+        1 => ReplacementKind::Fifo,
+        2 => ReplacementKind::RoundRobin,
+        _ => ReplacementKind::Random {
+            seed: rng.next_u64(),
+        },
+    }
+}
+
+fn random_arbiter(rng: &mut Rng64) -> ArbiterPolicy {
+    match rng.below(3) {
+        0 => ArbiterPolicy::WritebackFirst,
+        1 => ArbiterPolicy::RequestFirst,
+        _ => ArbiterPolicy::RoundRobin,
+    }
+}
+
+#[test]
+fn private_partition_grids_agree() {
+    let mut rng = Rng64::new(0xFA57_F0D1);
+    for round in 0..12 {
+        let cores = 1 + (rng.below(4) as u16);
+        let sets = 1 + rng.below(8) as u32;
+        let ways = 1 + rng.below(4) as u32;
+        let ops = 200 + rng.below(1200) as usize;
+        let wl = random_workload(&mut rng, cores, ops);
+        let replacement = random_replacement(&mut rng);
+        let arbiter = random_arbiter(&mut rng);
+        assert_engines_agree(
+            |mode| {
+                SystemConfigBuilder::new(cores)
+                    .partitions(
+                        CoreId::first(cores)
+                            .map(|c| PartitionSpec::private(sets, ways, c))
+                            .collect(),
+                    )
+                    .llc_replacement(replacement)
+                    .private_replacement(replacement)
+                    .arbiter(arbiter)
+                    .engine(mode)
+                    .build()
+                    .expect("valid grid point")
+            },
+            &wl,
+            &format!("private grid round {round}"),
+        );
+    }
+}
+
+#[test]
+fn shared_partition_grids_agree() {
+    let mut rng = Rng64::new(0x5EA_57A7E);
+    for round in 0..10 {
+        let cores = 2 + (rng.below(3) as u16);
+        let sets = 1 + rng.below(4) as u32;
+        let ways = 1 + rng.below(8) as u32;
+        let mode_kind = if rng.below(2) == 0 {
+            SharingMode::BestEffort
+        } else {
+            SharingMode::SetSequencer
+        };
+        let ops = 100 + rng.below(600) as usize;
+        let wl = random_workload(&mut rng, cores, ops);
+        let arbiter = random_arbiter(&mut rng);
+        assert_engines_agree(
+            |mode| {
+                SystemConfigBuilder::new(cores)
+                    .partitions(vec![PartitionSpec::shared(
+                        sets,
+                        ways,
+                        CoreId::first(cores).collect(),
+                        mode_kind,
+                    )])
+                    .arbiter(arbiter)
+                    .engine(mode)
+                    .build()
+                    .expect("valid grid point")
+            },
+            &wl,
+            &format!("shared({mode_kind:?}) grid round {round}"),
+        );
+    }
+}
+
+#[test]
+fn mixed_private_and_shared_partitions_agree() {
+    // Two solo cores + two cores sharing a contended partition: the fast
+    // engine must interleave bulk-advanced solo runs with the stepped
+    // slots the shared pair forces.
+    let mut rng = Rng64::new(0x00D1_F00D);
+    for round in 0..6 {
+        let ops = 150 + rng.below(500) as usize;
+        let wl = random_workload(&mut rng, 4, ops);
+        assert_engines_agree(
+            |mode| {
+                SystemConfigBuilder::new(4)
+                    .partitions(vec![
+                        PartitionSpec::private(4, 2, CoreId::new(0)),
+                        PartitionSpec::shared(
+                            1,
+                            2,
+                            vec![CoreId::new(1), CoreId::new(2)],
+                            SharingMode::BestEffort,
+                        ),
+                        PartitionSpec::private(2, 2, CoreId::new(3)),
+                    ])
+                    .engine(mode)
+                    .build()
+                    .expect("valid mixed config")
+            },
+            &wl,
+            &format!("mixed grid round {round}"),
+        );
+    }
+}
+
+#[test]
+fn banked_and_worst_case_backends_agree() {
+    let mut rng = Rng64::new(0xBA_4CED);
+    let memories = [
+        MemoryConfig::fixed(Cycles::new(30)),
+        MemoryConfig::fixed(Cycles::new(17)),
+        MemoryConfig::banked(),
+        MemoryConfig::bank_private(),
+        MemoryConfig::banked().worst_case(),
+        MemoryConfig::bank_private().worst_case(),
+    ];
+    for (k, memory) in memories.iter().enumerate() {
+        // bank_private needs the bank count divisible by cores: use 4.
+        let cores = 4u16;
+        let ops = 150 + rng.below(500) as usize;
+        let wl = random_workload(&mut rng, cores, ops);
+        let report = assert_engines_agree(
+            |mode| {
+                SystemConfigBuilder::new(cores)
+                    .partitions(
+                        CoreId::first(cores)
+                            .map(|c| PartitionSpec::private(2, 4, c))
+                            .collect(),
+                    )
+                    .memory(memory.clone())
+                    .engine(mode)
+                    .build()
+                    .expect("valid backend config")
+            },
+            &wl,
+            &format!("backend {}", memory.label()),
+        );
+        if k >= 2 {
+            assert!(
+                report.stats.dram_row_hits
+                    + report.stats.dram_row_empties
+                    + report.stats.dram_row_conflicts
+                    > 0,
+                "banked backend saw no banked accesses"
+            );
+        }
+    }
+}
+
+#[test]
+fn weighted_schedules_and_timeouts_agree() {
+    // The Fig. 2 flavour: an unbalanced schedule, a thrashing shared
+    // set, and a max_cycles cap — the timed-out report must match to the
+    // slot, including the bulk-accounted idle spans.
+    let schedule = TdmSchedule::new(vec![CoreId::new(0), CoreId::new(1), CoreId::new(1)]).unwrap();
+    let t0 = vec![MemOp::read(Address::new(0))];
+    let t1: Vec<MemOp> = (0..6_000)
+        .map(|i| MemOp::write(Address::new(64 + 64 * (i % 2))))
+        .collect();
+    let wl = vec![t0, t1];
+    let report = assert_engines_agree(
+        |mode| {
+            SystemConfigBuilder::new(2)
+                .schedule(schedule.clone())
+                .partitions(vec![PartitionSpec::shared(
+                    1,
+                    1,
+                    vec![CoreId::new(0), CoreId::new(1)],
+                    SharingMode::BestEffort,
+                )])
+                .max_cycles(30_000)
+                .engine(mode)
+                .build()
+                .expect("valid fig2 config")
+        },
+        &wl,
+        "fig2 timeout",
+    );
+    assert!(report.timed_out);
+
+    // A cap that lands mid-run on a private-partition system exercises
+    // the bulk-advance horizon clamp.
+    let mut rng = Rng64::new(0x7133_0CA9);
+    for round in 0..6 {
+        let cores = 1 + (rng.below(3) as u16);
+        let ops = 500 + rng.below(2000) as usize;
+        let cap = 40 + rng.next_u64() % 20_000;
+        let wl = random_workload(&mut rng, cores, ops);
+        assert_engines_agree(
+            |mode| {
+                SystemConfigBuilder::new(cores)
+                    .partitions(
+                        CoreId::first(cores)
+                            .map(|c| PartitionSpec::private(2, 2, c))
+                            .collect(),
+                    )
+                    .max_cycles(cap)
+                    .engine(mode)
+                    .build()
+                    .expect("valid capped config")
+            },
+            &wl,
+            &format!("capped round {round} (cap {cap})"),
+        );
+    }
+}
+
+#[test]
+fn odd_slot_widths_and_latencies_agree() {
+    let mut rng = Rng64::new(0x0DD_51075);
+    for round in 0..8 {
+        let cores = 1 + (rng.below(3) as u16);
+        let sw = 37 + rng.below(90);
+        let l1 = 1 + rng.below(4);
+        let l2 = l1 + 1 + rng.below(12);
+        let dram = 1 + rng.below(sw.saturating_sub(l2).max(2) - 1);
+        let ops = 200 + rng.below(800) as usize;
+        let wl = random_workload(&mut rng, cores, ops);
+        assert_engines_agree(
+            |mode| {
+                SystemConfigBuilder::new(cores)
+                    .slot_width(SlotWidth::new(sw).expect("nonzero"))
+                    .l1_latency(Cycles::new(l1))
+                    .l2_latency(Cycles::new(l2))
+                    .dram_latency(Cycles::new(dram))
+                    .partitions(
+                        CoreId::first(cores)
+                            .map(|c| PartitionSpec::private(3, 2, c))
+                            .collect(),
+                    )
+                    .engine(mode)
+                    .build()
+                    .expect("valid odd-width config")
+            },
+            &wl,
+            &format!("odd widths round {round} (sw {sw}, l1 {l1}, l2 {l2})"),
+        );
+    }
+}
+
+#[test]
+fn many_tenant_llc_hit_grid_agrees() {
+    // A scaled-down version of the engine_perf headline workload: every
+    // op misses private and hits the LLC, across enough tenants that the
+    // fast engine's calendar heap actually matters.
+    let tenants = 24u16;
+    let mut wl = MultiCore::new();
+    for i in 0..tenants {
+        wl = wl.core(StrideGen::new(u64::from(i) << 20, 64 * 96, 400));
+    }
+    let report = assert_engines_agree(
+        |mode| {
+            SystemConfigBuilder::new(tenants)
+                .physical_llc(CacheGeometry::new(8 * u32::from(tenants), 16, 64).expect("valid"))
+                .partitions(
+                    CoreId::first(tenants)
+                        .map(|c| PartitionSpec::private(6, 16, c))
+                        .collect(),
+                )
+                .engine(mode)
+                .build()
+                .expect("valid tenant config")
+        },
+        &wl,
+        "many-tenant llc-hit grid",
+    );
+    let hits: u64 = report.stats.cores.iter().map(|c| c.llc_hits).sum();
+    assert!(hits > 0, "scenario must exercise the LLC-hit fast path");
+}
+
+#[test]
+fn long_private_op_with_busy_bus_does_not_false_deadlock() {
+    // Regression: a shared-partition core mid-way through one enormous
+    // private-hit op (longer than the deadlock guard's slot budget)
+    // keeps the fast engine in stepped mode; the bus transactions of the
+    // other core must keep resetting the deadlock guard there, exactly
+    // as they do in the reference loop.
+    let l1 = 6_000_000u64; // > DEADLOCK_GUARD_SLOTS (100_000) x 50-cycle slots
+    let t0 = vec![
+        MemOp::read(Address::new(0)),
+        MemOp::read(Address::new(0)), // L1 hit: one op spanning ~6M cycles
+    ];
+    // The other core streams private misses long past the guard window.
+    let t1 = StrideGen::new(1 << 20, 64 * 4096, 70_000).trace();
+    let wl = vec![t0, t1];
+    let report = assert_engines_agree(
+        |mode| {
+            SystemConfigBuilder::new(2)
+                .l1_latency(Cycles::new(l1))
+                .partitions(vec![PartitionSpec::shared(
+                    8,
+                    8,
+                    CoreId::first(2).collect(),
+                    SharingMode::BestEffort,
+                )])
+                .engine(mode)
+                .build()
+                .expect("valid long-op config")
+        },
+        &wl,
+        "long private op under busy bus",
+    );
+    assert!(!report.timed_out);
+    assert_eq!(report.stats.core(CoreId::new(0)).ops_completed, 2);
+}
+
+#[test]
+fn event_recording_falls_back_and_logs_identically() {
+    // With an event sink attached, FastForward resolves to the reference
+    // path — the logs (and everything else) must be identical to an
+    // explicit reference run.
+    let mut rng = Rng64::new(0xE7E9_0001);
+    let wl = random_workload(&mut rng, 2, 300);
+    let build = |mode: EngineMode| {
+        SystemConfigBuilder::new(2)
+            .partitions(vec![PartitionSpec::shared(
+                1,
+                2,
+                CoreId::first(2).collect(),
+                SharingMode::SetSequencer,
+            )])
+            .record_events(true)
+            .engine(mode)
+            .build()
+            .expect("valid config")
+    };
+    let fast_cfg = build(EngineMode::FastForward);
+    assert_eq!(fast_cfg.effective_engine(), EngineMode::Reference);
+    let reference = Simulator::new(build(EngineMode::Reference))
+        .unwrap()
+        .run(&wl)
+        .unwrap();
+    let fast = Simulator::new(fast_cfg).unwrap().run(&wl).unwrap();
+    assert_eq!(reference.stats, fast.stats);
+    assert_eq!(reference.events.events(), fast.events.events());
+    assert!(!fast.events.events().is_empty());
+}

@@ -270,6 +270,46 @@ fn http_error_paths_answer_cleanly() {
 }
 
 #[test]
+fn deeply_nested_body_is_a_400_not_a_stack_overflow() {
+    // An adversarial body of half a million brackets used to overflow
+    // the 2 MiB connection-thread stack inside the recursive JSON
+    // parser; the parser's depth limit turns it into a positioned parse
+    // error, which the service maps to a plain 400.
+    let (handle, join) = start(ServerConfig {
+        limits: Limits {
+            max_body: 2 << 20,
+            ..Limits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut client = Client::new(handle.addr());
+    let depth = 500_000;
+    let bomb = "[".repeat(depth) + &"]".repeat(depth);
+    match client.submit(&bomb) {
+        Err(predllc::serve::ClientError::Status { status: 400, body }) => {
+            assert!(
+                body.contains("depth"),
+                "error should name the limit: {body}"
+            );
+        }
+        other => panic!("expected 400 for the bracket bomb, got {other:?}"),
+    }
+    // A body just inside the limit parses (and then fails schema
+    // validation, still a clean 400 — not a crash).
+    let deep_ok = "[".repeat(100) + &"]".repeat(100);
+    match client.submit(&deep_ok) {
+        Err(predllc::serve::ClientError::Status { status: 400, body }) => {
+            assert!(!body.contains("depth"), "{body}");
+        }
+        other => panic!("expected a schema 400, got {other:?}"),
+    }
+    // The connection thread survived; the service is still healthy.
+    let mut fresh = Client::new(handle.addr());
+    assert_eq!(fresh.healthz().unwrap(), "ok\n");
+    stop(&handle, join);
+}
+
+#[test]
 fn shutdown_drains_every_accepted_job() {
     let (handle, join) = start(ServerConfig {
         threads: 2,
