@@ -1,0 +1,410 @@
+//! The fleet entry point: run a point worker or a fleet coordinator as
+//! a long-lived process, or drive the CI fleet smoke check — spawn
+//! worker processes on localhost, shard a spec across them (optionally
+//! killing one mid-run), and require the merged CSV byte-identical to
+//! the in-process reference.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p predllc-bench --bin fleet -- --worker
+//!     [--addr HOST:PORT]         default 127.0.0.1:0 (ephemeral)
+//!     [--threads N]              executor threads for full-spec jobs
+//!     [--fail-after-points N]    fault injection: die mid-answer after
+//!                                N successful point replies
+//!
+//! cargo run --release -p predllc-bench --bin fleet -- --coordinator
+//!     --workers HOST:PORT,HOST:PORT,...
+//!     [--addr HOST:PORT]         default 127.0.0.1:7979
+//!
+//! cargo run --release -p predllc-bench --bin fleet -- --smoke <spec.json>
+//!     [--workers N]              worker processes to spawn (default 2)
+//!     [--kill-one]               fault-inject one worker to die mid-run
+//!     [--expect <csv>]           diff the fleet CSV against this file
+//!                                (default: run the spec in-process)
+//!     [--bench-out PATH]         write the JSON benchmark artifact
+//!     [--threads N]
+//! ```
+//!
+//! A worker prints `fleet: worker listening on http://ADDR` on
+//! **stdout** (the smoke parent parses it); everything else goes to
+//! stderr. The smoke check proves the fleet's determinism contract
+//! end-to-end across processes: the coordinator's merged CSV must be
+//! byte-identical to the reference whatever the fleet shape, and — with
+//! `--kill-one` — even when a worker dies mid-run and its points are
+//! reassigned. It then re-runs the spec to prove the coordinator's
+//! shared point cache answers without touching the workers again.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use predllc_explore::report::{render_csv, render_json};
+use predllc_explore::{run_spec, Executor, ExperimentSpec};
+use predllc_fleet::{Coordinator, CoordinatorConfig};
+use predllc_serve::{Metrics, Server, ServerConfig};
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fleet: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut worker = false;
+    let mut coordinator = false;
+    let mut smoke: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut workers: Option<String> = None;
+    let mut threads = 0usize;
+    let mut fail_after_points: Option<u64> = None;
+    let mut kill_one = false;
+    let mut expect: Option<String> = None;
+    let mut bench_out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--worker" => worker = true,
+            "--coordinator" => coordinator = true,
+            "--smoke" => smoke = Some(it.next().ok_or("--smoke needs a spec path")?),
+            "--addr" => addr = Some(it.next().ok_or("--addr needs host:port")?),
+            "--workers" => workers = Some(it.next().ok_or("--workers needs a value")?),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a number")?;
+            }
+            "--fail-after-points" => {
+                fail_after_points = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--fail-after-points needs a number")?,
+                );
+            }
+            "--kill-one" => kill_one = true,
+            "--expect" => expect = Some(it.next().ok_or("--expect needs a csv path")?),
+            "--bench-out" => bench_out = Some(it.next().ok_or("--bench-out needs a path")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    match (worker, coordinator, smoke) {
+        (true, false, None) => run_worker(
+            addr.as_deref().unwrap_or("127.0.0.1:0"),
+            ServerConfig {
+                threads,
+                fail_after_points,
+                ..ServerConfig::default()
+            },
+        ),
+        (false, true, None) => run_coordinator(
+            addr.as_deref().unwrap_or("127.0.0.1:7979"),
+            &workers.ok_or("--coordinator needs --workers host:port,host:port,...")?,
+        ),
+        (false, false, Some(spec_path)) => {
+            let count = match workers.as_deref() {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--workers needs a count in smoke mode, got '{v}'"))?,
+                None => 2,
+            };
+            run_smoke(
+                &spec_path,
+                count,
+                kill_one,
+                expect.as_deref(),
+                bench_out.as_deref(),
+                threads,
+            )
+        }
+        _ => Err("pick exactly one mode: --worker, --coordinator or --smoke <spec.json>".into()),
+    }
+}
+
+/// The worker mode: a plain `predllc-serve` instance — its point
+/// endpoint is what the coordinator dispatches to. The listening line
+/// goes to stdout so a parent process can parse the ephemeral port.
+fn run_worker(addr: &str, config: ServerConfig) -> Result<(), String> {
+    let fault = config.fail_after_points;
+    let server = Server::bind(addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("fleet: worker listening on http://{}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("cannot flush stdout: {e}"))?;
+    if let Some(n) = fault {
+        eprintln!("fleet: worker will die after {n} point answer(s) (fault injection)");
+    }
+    server.run().map_err(|e| e.to_string())
+}
+
+/// The coordinator mode: serve the full experiment API
+/// (`/v1/experiments`, `/metrics`, ...) with the fleet as the runner —
+/// clients submit specs to one front door and the coordinator fans
+/// each one out across the workers.
+fn run_coordinator(addr: &str, workers: &str) -> Result<(), String> {
+    let addrs = parse_worker_list(workers)?;
+    let metrics = Arc::new(Metrics::default());
+    let coordinator = Arc::new(Coordinator::new(
+        addrs,
+        CoordinatorConfig::default(),
+        Arc::clone(&metrics),
+    ));
+    let worker_count = coordinator.worker_count();
+    let server = Server::bind_with(addr, ServerConfig::default(), coordinator, metrics)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!(
+        "fleet: coordinator listening on http://{} over {} worker(s)",
+        server.local_addr(),
+        worker_count,
+    );
+    eprintln!("fleet: POST a spec to /v1/experiments; see /healthz and /metrics");
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Resolves a comma-separated worker list to socket addresses.
+fn parse_worker_list(workers: &str) -> Result<Vec<SocketAddr>, String> {
+    let mut addrs = Vec::new();
+    for entry in workers.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let addr = entry
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve worker '{entry}': {e}"))?
+            .next()
+            .ok_or_else(|| format!("worker '{entry}' resolves to no address"))?;
+        addrs.push(addr);
+    }
+    if addrs.is_empty() {
+        return Err("--workers lists no workers".into());
+    }
+    Ok(addrs)
+}
+
+/// A spawned worker child: killed and reaped on shutdown whatever the
+/// smoke outcome.
+struct WorkerProcess {
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// Spawns one worker child via the current executable and parses the
+/// ephemeral address from its stdout listening line.
+fn spawn_worker(threads: usize, fail_after_points: Option<u64>) -> Result<WorkerProcess, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own executable: {e}"))?;
+    let mut cmd = Command::new(exe);
+    cmd.arg("--worker")
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--threads")
+        .arg(threads.to_string())
+        .stdout(Stdio::piped());
+    if let Some(n) = fail_after_points {
+        cmd.arg("--fail-after-points").arg(n.to_string());
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("cannot spawn a worker process: {e}"))?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read the worker's listening line: {e}"))?;
+    let addr = match line.trim().split_once("http://") {
+        Some((_, rest)) => rest
+            .parse()
+            .map_err(|e| format!("worker printed an unparseable address '{rest}': {e}")),
+        None => Err(format!(
+            "worker printed no listening line: '{}'",
+            line.trim()
+        )),
+    };
+    match addr {
+        Ok(addr) => Ok(WorkerProcess { child, addr }),
+        Err(message) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(message)
+        }
+    }
+}
+
+/// The CI fleet smoke: worker processes on localhost, a spec sharded
+/// across them, the merged CSV byte-diffed against the reference —
+/// optionally with one worker fault-injected to die mid-run — then a
+/// re-run answered entirely by the coordinator's shared point cache.
+fn run_smoke(
+    spec_path: &str,
+    workers: usize,
+    kill_one: bool,
+    expect: Option<&str>,
+    bench_out: Option<&str>,
+    threads: usize,
+) -> Result<(), String> {
+    if workers == 0 {
+        return Err("--workers must spawn at least 1 worker".into());
+    }
+    if kill_one && workers < 2 {
+        return Err("--kill-one needs at least 2 workers (one must survive)".into());
+    }
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = ExperimentSpec::parse(&text).map_err(|e| e.to_string())?;
+
+    // The reference bytes: a checked-in CSV (the explore CLI's direct
+    // output) or an in-process run of the same spec.
+    let reference = match expect {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => {
+            let report = run_spec(&spec, &Executor::new(threads)).map_err(|e| e.to_string())?;
+            render_csv(&report.grid)
+        }
+    };
+
+    // Spawn the fleet. With --kill-one the FIRST worker carries the
+    // fault injector: it answers one point, then dies mid-answer on its
+    // second — a real process exit, not a simulated error.
+    let mut fleet = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let fault = (kill_one && i == 0).then_some(1);
+        match spawn_worker(threads, fault) {
+            Ok(worker) => fleet.push(worker),
+            Err(message) => {
+                shutdown_fleet(&mut fleet);
+                return Err(message);
+            }
+        }
+    }
+    eprintln!(
+        "fleet: smoke with {} worker process(es){} at {}",
+        fleet.len(),
+        if kill_one {
+            " (one fault-injected to die mid-run)"
+        } else {
+            ""
+        },
+        fleet
+            .iter()
+            .map(|w| w.addr.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+
+    let outcome = smoke_inner(&spec, &reference, &fleet, kill_one, bench_out);
+    shutdown_fleet(&mut fleet);
+    outcome
+}
+
+/// Kills and reaps every worker child.
+fn shutdown_fleet(fleet: &mut Vec<WorkerProcess>) {
+    for worker in fleet.iter_mut() {
+        let _ = worker.child.kill();
+        let _ = worker.child.wait();
+    }
+    fleet.clear();
+}
+
+/// The smoke body, separated so the caller can always reap the fleet.
+fn smoke_inner(
+    spec: &ExperimentSpec,
+    reference: &str,
+    fleet: &[WorkerProcess],
+    kill_one: bool,
+    bench_out: Option<&str>,
+) -> Result<(), String> {
+    let metrics = Arc::new(Metrics::default());
+    let coordinator = Coordinator::new(
+        fleet.iter().map(|w| w.addr),
+        CoordinatorConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            ..CoordinatorConfig::default()
+        },
+        Arc::clone(&metrics),
+    );
+
+    let started = Instant::now();
+    let report = coordinator
+        .run(spec, &|_, _| {})
+        .map_err(|e| e.to_string())?;
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let served = render_csv(&report.grid);
+    if served != reference {
+        return Err(format!(
+            "fleet CSV differs from the reference ({} vs {} bytes):\n--- fleet\n{}\n--- reference\n{}",
+            served.len(),
+            reference.len(),
+            served,
+            reference
+        ));
+    }
+    let snap = metrics.snapshot();
+    eprintln!(
+        "fleet: {} unique point(s) in {wall_ms} ms — {} assigned, {} retried, {} worker(s) lost",
+        report.unique_points, snap.points_assigned, snap.points_retried, snap.workers_lost
+    );
+    if kill_one {
+        if snap.workers_lost != 1 {
+            return Err(format!(
+                "expected exactly 1 lost worker, metrics say {}",
+                snap.workers_lost
+            ));
+        }
+        if snap.points_retried < 1 {
+            return Err("the lost worker's point was never reassigned".into());
+        }
+    } else if snap.workers_lost != 0 {
+        return Err(format!(
+            "{} worker(s) lost without fault injection",
+            snap.workers_lost
+        ));
+    }
+
+    // A re-run must be answered entirely by the coordinator's shared
+    // point cache: same bytes, no new worker dispatches.
+    let again = coordinator
+        .run(spec, &|_, _| {})
+        .map_err(|e| e.to_string())?;
+    if render_csv(&again.grid) != reference {
+        return Err("the cached re-run changed the CSV".into());
+    }
+    let after = metrics.snapshot();
+    if after.points_assigned != snap.points_assigned {
+        return Err(format!(
+            "the re-run reached the workers ({} -> {} assignments) instead of the point cache",
+            snap.points_assigned, after.points_assigned
+        ));
+    }
+    if after.points_cache_shared < report.unique_points as u64 {
+        return Err(format!(
+            "expected >= {} shared-cache answers on the re-run, metrics say {}",
+            report.unique_points, after.points_cache_shared
+        ));
+    }
+
+    if let Some(path) = bench_out {
+        let artifact = render_json(
+            &spec.name,
+            1,
+            Some(wall_ms),
+            &report.grid,
+            report.search.as_ref(),
+        );
+        std::fs::write(path, artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("fleet: benchmark artifact written to {path}");
+    }
+    eprintln!(
+        "fleet: smoke ok — fleet CSV byte-identical to the reference{}, \
+         re-run served from the shared point cache",
+        if kill_one {
+            ", with a worker killed mid-run and its work reassigned"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}

@@ -250,6 +250,73 @@ impl LatencyHistogram {
             .collect()
     }
 
+    /// The non-empty buckets as `(bucket_low, count)` pairs, low to high
+    /// — together with [`LatencyHistogram::total`],
+    /// [`LatencyHistogram::min`] and [`LatencyHistogram::max`] this is a
+    /// *complete* serialization: [`LatencyHistogram::from_parts`]
+    /// rebuilds a bit-identical histogram from these four pieces, which
+    /// is how fleet workers ship distributions to a coordinator without
+    /// loss.
+    pub fn bucket_entries(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_low(i), n))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its serialized parts: the exact
+    /// `total`/`min`/`max` plus the `(bucket_low, count)` pairs of
+    /// [`LatencyHistogram::bucket_entries`]. The result is bit-identical
+    /// (`==`) to the histogram the parts came from, so merges and
+    /// percentiles computed on either side of a wire agree exactly.
+    ///
+    /// Returns `None` when the parts are not a consistent serialization:
+    /// a `low` that is not a bucket boundary, non-ascending or
+    /// zero-count entries, a count overflow, `min > max`, extremes
+    /// outside the occupied buckets, or non-zero extremes/total with no
+    /// entries.
+    pub fn from_parts(
+        total: Cycles,
+        min: Cycles,
+        max: Cycles,
+        entries: &[(u64, u64)],
+    ) -> Option<LatencyHistogram> {
+        if entries.is_empty() {
+            return (total.as_u64() == 0 && min.as_u64() == 0 && max.as_u64() == 0)
+                .then(LatencyHistogram::new);
+        }
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut count = 0u64;
+        let mut prev_low = None;
+        for &(low, n) in entries {
+            let i = bucket_index(low);
+            if bucket_low(i) != low || n == 0 || prev_low.is_some_and(|p| p >= low) {
+                return None;
+            }
+            prev_low = Some(low);
+            buckets[i] = n;
+            count = count.checked_add(n)?;
+        }
+        let (min, max) = (min.as_u64(), max.as_u64());
+        // The exact extremes must live in the lowest/highest occupied
+        // buckets, or the serialization is internally inconsistent.
+        if min > max
+            || bucket_index(min) != bucket_index(entries[0].0)
+            || bucket_index(max) != bucket_index(entries[entries.len() - 1].0)
+        {
+            return None;
+        }
+        Some(LatencyHistogram {
+            buckets,
+            count,
+            total: total.as_u64(),
+            min,
+            max,
+        })
+    }
+
     /// The p50/p90/p99/p100 summary of this distribution.
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
@@ -439,6 +506,46 @@ mod tests {
         let mut empty = LatencyHistogram::new();
         empty.merge(&a);
         assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn parts_round_trip_bit_identically() {
+        for h in [
+            LatencyHistogram::new(),
+            filled(&[0]),
+            filled(&[90, 140, 143, 4391, u64::MAX]),
+            filled(&[7, 7, 7, 8, 9, 1_000_000]),
+        ] {
+            let rebuilt =
+                LatencyHistogram::from_parts(h.total(), h.min(), h.max(), &h.bucket_entries())
+                    .expect("own parts must reconstruct");
+            assert_eq!(rebuilt, h);
+            assert_eq!(rebuilt.percentile(99.0), h.percentile(99.0));
+            assert_eq!(rebuilt.mean(), h.mean());
+        }
+    }
+
+    #[test]
+    fn inconsistent_parts_are_rejected() {
+        let h = filled(&[100, 200]);
+        let entries = h.bucket_entries();
+        let c = |v: u64| Cycles::new(v);
+        // A low that is not a bucket boundary.
+        assert!(LatencyHistogram::from_parts(c(300), c(100), c(200), &[(101, 2)]).is_none());
+        // Zero-count and non-ascending entries.
+        assert!(LatencyHistogram::from_parts(c(300), c(100), c(200), &[(96, 0)]).is_none());
+        let mut reversed = entries.clone();
+        reversed.reverse();
+        assert!(LatencyHistogram::from_parts(c(300), c(100), c(200), &reversed).is_none());
+        // Extremes outside the occupied buckets, or inverted.
+        assert!(LatencyHistogram::from_parts(c(300), c(1), c(200), &entries).is_none());
+        assert!(LatencyHistogram::from_parts(c(300), c(100), c(9000), &entries).is_none());
+        assert!(LatencyHistogram::from_parts(c(300), c(200), c(100), &entries).is_none());
+        // Count overflow across entries.
+        assert!(LatencyHistogram::from_parts(c(0), c(0), c(1), &[(0, u64::MAX), (1, 1)]).is_none());
+        // Non-empty extremes with no entries.
+        assert!(LatencyHistogram::from_parts(c(0), c(0), c(1), &[]).is_none());
+        assert!(LatencyHistogram::from_parts(c(0), c(0), c(0), &[]).is_some());
     }
 
     #[test]

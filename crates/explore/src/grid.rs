@@ -17,11 +17,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use predllc_core::analysis::MemoryAwareWcl;
-use predllc_core::{Simulator, SystemConfig};
+use predllc_core::SystemConfig;
 use predllc_workload::Workload;
 
 use crate::executor::Executor;
 use crate::hash::point_fingerprint;
+use crate::point::{measure, PointError};
 use crate::spec::ExperimentSpec;
 use crate::ExploreError;
 
@@ -62,12 +63,27 @@ pub struct GridResult {
     pub row_hit_rate: f64,
 }
 
-/// The declared grid points of `spec` (configuration-major declaration
-/// order) with physically identical points collapsed onto their first
-/// occurrence: `(points, unique, assignment)` where `assignment[i]`
-/// names `points[i]`'s slot in `unique`.
-#[allow(clippy::type_complexity)]
-fn dedup_points(spec: &ExperimentSpec) -> (Vec<(usize, usize)>, Vec<(usize, usize)>, Vec<usize>) {
+/// The deduped shard plan of a spec's grid: which declared points
+/// exist, which are physically distinct, and how declared points map
+/// onto distinct ones. This is the unit a fleet coordinator shards —
+/// only `unique` is ever simulated, locally or remotely, and
+/// [`assemble_rows`] expands measurements back to declaration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridPlan {
+    /// Every declared `(config_index, workload_index)` point,
+    /// configuration-major declaration order.
+    pub points: Vec<(usize, usize)>,
+    /// The physically distinct points, each at its first occurrence.
+    pub unique: Vec<(usize, usize)>,
+    /// `assignment[i]` names `points[i]`'s slot in `unique`.
+    pub assignment: Vec<usize>,
+}
+
+/// Plans the grid of `spec`: declared points in configuration-major
+/// declaration order, with physically identical points (by
+/// [`point_fingerprint`] — labels and x-axis values excluded) collapsed
+/// onto their first occurrence.
+pub fn plan_grid(spec: &ExperimentSpec) -> GridPlan {
     let points: Vec<(usize, usize)> = (0..spec.configs.len())
         .flat_map(|ci| (0..spec.workloads.len()).map(move |wi| (ci, wi)))
         .collect();
@@ -83,14 +99,66 @@ fn dedup_points(spec: &ExperimentSpec) -> (Vec<(usize, usize)>, Vec<(usize, usiz
         });
         assignment.push(slot);
     }
-    (points, unique, assignment)
+    GridPlan {
+        points,
+        unique,
+        assignment,
+    }
 }
 
 /// How many physically distinct grid points `spec` will simulate —
 /// exactly the number of jobs [`run_grid_observed`] schedules, and the
 /// denominator of its progress fraction.
 pub fn unique_point_count(spec: &ExperimentSpec) -> usize {
-    dedup_points(spec).1.len()
+    plan_grid(spec).unique.len()
+}
+
+/// Builds and validates every configuration column of `spec` up front:
+/// the platform plus its analytical WCL bound (when the analysis covers
+/// the configuration), indexed like `spec.configs`.
+///
+/// # Errors
+///
+/// [`ExploreError::Config`] naming the first failing column.
+pub fn build_platforms(
+    spec: &ExperimentSpec,
+) -> Result<Vec<(SystemConfig, Option<u64>)>, ExploreError> {
+    let mut platforms: Vec<(SystemConfig, Option<u64>)> = Vec::with_capacity(spec.configs.len());
+    for c in &spec.configs {
+        let config = c.build(spec.cores).map_err(|source| ExploreError::Config {
+            label: c.label.clone(),
+            source,
+        })?;
+        let analytical = MemoryAwareWcl::from_config(&config)
+            .ok()
+            .and_then(|w| w.bound())
+            .map(|b| b.as_u64());
+        platforms.push((config, analytical));
+    }
+    Ok(platforms)
+}
+
+/// Expands per-unique-point measurements back to declaration order,
+/// relabelling reused measurements with each declared point's own
+/// labels — the merge-on-coordinator step of a sharded run, and the
+/// tail of every in-process run. `measured` is indexed like
+/// `plan.unique`.
+pub fn assemble_rows(
+    spec: &ExperimentSpec,
+    plan: &GridPlan,
+    measured: &[GridResult],
+) -> Vec<GridResult> {
+    plan.points
+        .iter()
+        .zip(&plan.assignment)
+        .map(|(&(ci, wi), &slot)| {
+            let mut row = measured[slot].clone();
+            row.config = spec.configs[ci].label.clone();
+            row.workload = spec.workloads[wi].label.clone();
+            row.x = spec.workloads[wi].x;
+            row
+        })
+        .collect()
 }
 
 /// A deduped grid run: the declaration-order rows plus how much
@@ -142,18 +210,7 @@ pub fn run_grid_observed(
     observe: &(dyn Fn(usize, usize) + Sync),
 ) -> Result<GridRun, ExploreError> {
     // Build and validate every platform and workload once, up front.
-    let mut platforms: Vec<(SystemConfig, Option<u64>)> = Vec::with_capacity(spec.configs.len());
-    for c in &spec.configs {
-        let config = c.build(spec.cores).map_err(|source| ExploreError::Config {
-            label: c.label.clone(),
-            source,
-        })?;
-        let analytical = MemoryAwareWcl::from_config(&config)
-            .ok()
-            .and_then(|w| w.bound())
-            .map(|b| b.as_u64());
-        platforms.push((config, analytical));
-    }
+    let platforms = build_platforms(spec)?;
     let workloads: Vec<Box<dyn Workload>> = spec
         .workloads
         .iter()
@@ -162,43 +219,34 @@ pub fn run_grid_observed(
 
     // Configuration-major declaration order, one job per point — then
     // collapse physically identical points onto their first occurrence.
-    let (points, unique, assignment) = dedup_points(spec);
+    let plan = plan_grid(spec);
 
     let done = AtomicUsize::new(0);
-    let unique_total = unique.len();
+    let unique_total = plan.unique.len();
     let measured = exec.try_map(
-        &unique,
+        &plan.unique,
         |_, &(ci, wi)| -> Result<GridResult, ExploreError> {
             let (config, analytical) = &platforms[ci];
             let entry = &spec.workloads[wi];
-            let sim = Simulator::new(config.clone()).map_err(|source| ExploreError::Config {
-                label: spec.configs[ci].label.clone(),
-                source,
-            })?;
-            let report = sim
-                .run(&workloads[wi])
-                .map_err(|source| ExploreError::Sim {
-                    config: spec.configs[ci].label.clone(),
-                    workload: entry.label.clone(),
-                    source,
-                })?;
-            let latencies = report.latency_histogram();
-            let result = GridResult {
-                config: spec.configs[ci].label.clone(),
-                workload: entry.label.clone(),
-                backend: config.memory().label(),
-                x: entry.x,
-                requests: latencies.count(),
-                p50: latencies.percentile(50.0).as_u64(),
-                p90: latencies.percentile(90.0).as_u64(),
-                p99: latencies.percentile(99.0).as_u64(),
-                p100: latencies.percentile(100.0).as_u64(),
-                observed_wcl: report.max_request_latency().as_u64(),
-                mean_latency: latencies.mean(),
-                execution_time: report.execution_time().as_u64(),
-                analytical_wcl: *analytical,
-                row_hit_rate: report.stats.dram_row_hit_rate(),
-            };
+            let result = measure(config, &workloads[wi])
+                .map_err(|e| match e {
+                    PointError::Config(source) => ExploreError::Config {
+                        label: spec.configs[ci].label.clone(),
+                        source,
+                    },
+                    PointError::Sim(source) => ExploreError::Sim {
+                        config: spec.configs[ci].label.clone(),
+                        workload: entry.label.clone(),
+                        source,
+                    },
+                })?
+                .to_grid_result(
+                    &spec.configs[ci].label,
+                    &entry.label,
+                    &config.memory().label(),
+                    entry.x,
+                    *analytical,
+                );
             observe(done.fetch_add(1, Ordering::Relaxed) + 1, unique_total);
             Ok(result)
         },
@@ -206,21 +254,11 @@ pub fn run_grid_observed(
 
     // Expand back to declaration order, relabelling reused measurements
     // with each declared point's own labels.
-    let rows = points
-        .iter()
-        .zip(&assignment)
-        .map(|(&(ci, wi), &slot)| {
-            let mut row = measured[slot].clone();
-            row.config = spec.configs[ci].label.clone();
-            row.workload = spec.workloads[wi].label.clone();
-            row.x = spec.workloads[wi].x;
-            row
-        })
-        .collect();
+    let total_points = plan.points.len();
     Ok(GridRun {
-        rows,
+        rows: assemble_rows(spec, &plan, &measured),
         unique_points: unique_total,
-        total_points: points.len(),
+        total_points,
     })
 }
 

@@ -72,13 +72,18 @@ pub mod executor;
 pub mod grid;
 pub mod hash;
 pub mod json;
+pub mod point;
 pub mod report;
 pub mod search;
 pub mod spec;
 
 pub use executor::Executor;
-pub use grid::{run_grid, run_grid_observed, unique_point_count, GridResult, GridRun};
+pub use grid::{
+    assemble_rows, build_platforms, plan_grid, run_grid, run_grid_observed, unique_point_count,
+    GridPlan, GridResult, GridRun,
+};
 pub use hash::{canonical_fingerprint, point_fingerprint, Fingerprint, Fnv1a};
+pub use point::{measure, PointError, PointMeasurement, PointRequest};
 pub use search::{search_partitions, Candidate, CandidateVerdict, SearchOutcome};
 pub use spec::{Arrangement, ConfigSpec, ExperimentSpec, SearchSpec, SpecError, WorkloadEntry};
 

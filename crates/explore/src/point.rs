@@ -1,0 +1,618 @@
+//! Point-granular work descriptions: the wire format a fleet
+//! coordinator uses to ship one grid point to a worker and get the
+//! measurements back, serialized through the in-tree [`json`] layer.
+//!
+//! The format is **lossless by construction**: a [`PointRequest`]
+//! round-trips through the same spec-schema parsers the experiment file
+//! uses, and a [`PointMeasurement`] carries only exact integers — the
+//! full [`LatencyHistogram`] parts plus the raw DRAM row counters — so
+//! every derived float (mean latency, row-buffer hit rate) is
+//! recomputed on the receiving side with the same arithmetic the
+//! in-process grid uses. That is what makes fleet results bit-identical
+//! to [`run_spec`](crate::run_spec), whatever the fleet shape.
+//!
+//! [`measure`] is the single simulation path: the in-process grid
+//! ([`run_grid_observed`](crate::run_grid_observed)) and the fleet
+//! worker endpoint both call it, so there is no second implementation
+//! to drift.
+
+use std::fmt;
+
+use predllc_core::{ConfigError, LatencyHistogram, SimError, Simulator, SystemConfig};
+use predllc_dram::{BankMapping, DramTiming, MemoryConfig};
+use predllc_model::Cycles;
+use predllc_workload::{Workload, WorkloadSpec};
+
+use crate::grid::GridResult;
+use crate::hash::{point_fingerprint, Fingerprint};
+use crate::json::{self, Json};
+use crate::spec::{check_keys, parse_config, parse_workload, ConfigSpec, Partitioning, SpecError};
+use crate::WorkloadEntry;
+
+/// Why one grid point failed to simulate — positioned by the caller,
+/// who knows the labels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointError {
+    /// The platform configuration failed to build.
+    Config(ConfigError),
+    /// The simulation itself failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointError::Config(e) => write!(f, "{e}"),
+            PointError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PointError::Config(e) => Some(e),
+            PointError::Sim(e) => Some(e),
+        }
+    }
+}
+
+/// One grid point as shippable work: the core count plus the full
+/// configuration and workload descriptions, labels included.
+///
+/// Serializes with [`PointRequest::render`] and parses back with
+/// [`PointRequest::parse`] through the exact spec-schema parsers, so a
+/// round trip is identity and the [fingerprint](PointRequest::fingerprint)
+/// — which ignores labels — agrees on both ends of the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRequest {
+    /// Core count the platform and workload are built for.
+    pub cores: u16,
+    /// The configuration column.
+    pub config: ConfigSpec,
+    /// The workload row.
+    pub workload: WorkloadEntry,
+}
+
+impl PointRequest {
+    /// The point's content address: [`point_fingerprint`] over the
+    /// simulation inputs (labels and x-axis values excluded).
+    pub fn fingerprint(&self) -> Fingerprint {
+        point_fingerprint(self.cores, &self.config, &self.workload)
+    }
+
+    /// Renders the request as a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// A message when the configuration is not expressible in the spec
+    /// schema (a programmatically built [`MemoryConfig`] with custom
+    /// DRAM timing or row geometry) — spec-file experiments always
+    /// render.
+    pub fn render(&self) -> Result<String, String> {
+        let doc = Json::Object(vec![
+            ("cores".into(), Json::UInt(u64::from(self.cores))),
+            ("config".into(), render_config(&self.config)?),
+            ("workload".into(), render_workload(&self.workload)),
+        ]);
+        Ok(doc.render())
+    }
+
+    /// Parses a request document rendered by [`PointRequest::render`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] positioned exactly like experiment-spec parsing.
+    pub fn parse(input: &str) -> Result<PointRequest, SpecError> {
+        let doc = json::parse(input).map_err(SpecError::Json)?;
+        check_keys(&doc, &["cores", "config", "workload"], "point")?;
+        let cores = doc
+            .get("cores")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SpecError::Invalid {
+                at: "point.cores".into(),
+                message: "required non-negative integer missing".into(),
+            })?;
+        let cores = u16::try_from(cores)
+            .ok()
+            .filter(|&c| c > 0)
+            .ok_or_else(|| SpecError::Invalid {
+                at: "point.cores".into(),
+                message: format!("core count {cores} out of range"),
+            })?;
+        let config = parse_config(
+            doc.get("config").ok_or_else(|| SpecError::Invalid {
+                at: "point.config".into(),
+                message: "required object missing".into(),
+            })?,
+            "config",
+        )?;
+        let workload = parse_workload(
+            doc.get("workload").ok_or_else(|| SpecError::Invalid {
+                at: "point.workload".into(),
+                message: "required object missing".into(),
+            })?,
+            "workload",
+        )?;
+        Ok(PointRequest {
+            cores,
+            config,
+            workload,
+        })
+    }
+}
+
+/// The measured outcome of one grid point, as exact integers only: the
+/// serialized [`LatencyHistogram`] parts, the scalar extremes and the
+/// raw DRAM row counters. Everything a [`GridResult`] derives from
+/// these ships losslessly; the floats are recomputed at the receiver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointMeasurement {
+    /// The full request-latency distribution.
+    pub latency: LatencyHistogram,
+    /// Worst observed request latency (the scalar per-core counter).
+    pub observed_wcl: u64,
+    /// Execution time (makespan), cycles.
+    pub execution_time: u64,
+    /// DRAM row-buffer hits.
+    pub row_hits: u64,
+    /// DRAM row-buffer empties.
+    pub row_empties: u64,
+    /// DRAM row-buffer conflicts.
+    pub row_conflicts: u64,
+}
+
+impl PointMeasurement {
+    /// Renders the measurement as a JSON document of exact integers.
+    pub fn render(&self) -> String {
+        let buckets = self
+            .latency
+            .bucket_entries()
+            .into_iter()
+            .map(|(low, n)| Json::Array(vec![Json::UInt(low), Json::UInt(n)]))
+            .collect();
+        Json::Object(vec![
+            ("requests".into(), Json::UInt(self.latency.count())),
+            ("total".into(), Json::UInt(self.latency.total().as_u64())),
+            ("min".into(), Json::UInt(self.latency.min().as_u64())),
+            ("max".into(), Json::UInt(self.latency.max().as_u64())),
+            ("observed_wcl".into(), Json::UInt(self.observed_wcl)),
+            ("execution_time".into(), Json::UInt(self.execution_time)),
+            ("row_hits".into(), Json::UInt(self.row_hits)),
+            ("row_empties".into(), Json::UInt(self.row_empties)),
+            ("row_conflicts".into(), Json::UInt(self.row_conflicts)),
+            ("buckets".into(), Json::Array(buckets)),
+        ])
+        .render()
+    }
+
+    /// Rebuilds a measurement from a parsed document.
+    ///
+    /// # Errors
+    ///
+    /// A message naming what is missing or inconsistent (the histogram
+    /// parts must reconstruct exactly and sum to `requests`).
+    pub fn from_json(doc: &Json) -> Result<PointMeasurement, String> {
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("measurement field '{key}' missing or not an integer"))
+        };
+        let mut entries = Vec::new();
+        for (i, pair) in doc
+            .get("buckets")
+            .and_then(Json::as_array)
+            .ok_or("measurement field 'buckets' missing or not an array")?
+            .iter()
+            .enumerate()
+        {
+            match pair.as_array() {
+                Some([low, n]) => entries.push((
+                    low.as_u64()
+                        .ok_or(format!("buckets[{i}] low not an integer"))?,
+                    n.as_u64()
+                        .ok_or(format!("buckets[{i}] count not an integer"))?,
+                )),
+                _ => return Err(format!("buckets[{i}] is not a [low, count] pair")),
+            }
+        }
+        let latency = LatencyHistogram::from_parts(
+            Cycles::new(field("total")?),
+            Cycles::new(field("min")?),
+            Cycles::new(field("max")?),
+            &entries,
+        )
+        .ok_or("histogram parts are inconsistent")?;
+        if latency.count() != field("requests")? {
+            return Err("bucket counts do not sum to 'requests'".into());
+        }
+        Ok(PointMeasurement {
+            latency,
+            observed_wcl: field("observed_wcl")?,
+            execution_time: field("execution_time")?,
+            row_hits: field("row_hits")?,
+            row_empties: field("row_empties")?,
+            row_conflicts: field("row_conflicts")?,
+        })
+    }
+
+    /// Parses a document rendered by [`PointMeasurement::render`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PointMeasurement::from_json`], plus JSON syntax errors.
+    pub fn parse(input: &str) -> Result<PointMeasurement, String> {
+        let doc = json::parse(input).map_err(|e| e.to_string())?;
+        PointMeasurement::from_json(&doc)
+    }
+
+    /// Derives the [`GridResult`] row for this measurement — the same
+    /// arithmetic, applied to the same integers, as the in-process grid
+    /// path, so local and remote rows are bit-identical.
+    pub fn to_grid_result(
+        &self,
+        config: &str,
+        workload: &str,
+        backend: &str,
+        x: u64,
+        analytical_wcl: Option<u64>,
+    ) -> GridResult {
+        GridResult {
+            config: config.to_string(),
+            workload: workload.to_string(),
+            backend: backend.to_string(),
+            x,
+            requests: self.latency.count(),
+            p50: self.latency.percentile(50.0).as_u64(),
+            p90: self.latency.percentile(90.0).as_u64(),
+            p99: self.latency.percentile(99.0).as_u64(),
+            p100: self.latency.percentile(100.0).as_u64(),
+            observed_wcl: self.observed_wcl,
+            mean_latency: self.latency.mean(),
+            execution_time: self.execution_time,
+            analytical_wcl,
+            row_hit_rate: predllc_dram::backend::row_hit_rate(
+                self.row_hits,
+                self.row_empties,
+                self.row_conflicts,
+            ),
+        }
+    }
+}
+
+/// Simulates one grid point on a validated platform — the single
+/// measurement path shared by the in-process grid and fleet workers.
+///
+/// # Errors
+///
+/// [`PointError::Config`] when the simulator rejects the platform, or
+/// [`PointError::Sim`] when the run fails.
+pub fn measure(
+    config: &SystemConfig,
+    workload: impl Workload,
+) -> Result<PointMeasurement, PointError> {
+    let sim = Simulator::new(config.clone()).map_err(PointError::Config)?;
+    let report = sim.run(workload).map_err(PointError::Sim)?;
+    Ok(PointMeasurement {
+        latency: report.latency_histogram(),
+        observed_wcl: report.max_request_latency().as_u64(),
+        execution_time: report.execution_time().as_u64(),
+        row_hits: report.stats.dram_row_hits,
+        row_empties: report.stats.dram_row_empties,
+        row_conflicts: report.stats.dram_row_conflicts,
+    })
+}
+
+fn render_config(c: &ConfigSpec) -> Result<Json, String> {
+    let partition = match c.partitioning {
+        Partitioning::SharedAll { sets, ways, mode } => Json::Object(vec![
+            ("kind".into(), Json::Str("shared".into())),
+            ("sets".into(), Json::UInt(u64::from(sets))),
+            ("ways".into(), Json::UInt(u64::from(ways))),
+            ("mode".into(), Json::Str(mode_name(mode).into())),
+        ]),
+        Partitioning::PrivateEach { sets, ways } => Json::Object(vec![
+            ("kind".into(), Json::Str("private".into())),
+            ("sets".into(), Json::UInt(u64::from(sets))),
+            ("ways".into(), Json::UInt(u64::from(ways))),
+        ]),
+    };
+    let mut members = vec![
+        ("label".into(), Json::Str(c.label.clone())),
+        ("partition".into(), partition),
+        ("memory".into(), render_memory(&c.memory)?),
+    ];
+    if let Some(owners) = &c.schedule {
+        members.push((
+            "schedule".into(),
+            Json::Array(owners.iter().map(|&o| Json::UInt(u64::from(o))).collect()),
+        ));
+    }
+    Ok(Json::Object(members))
+}
+
+fn mode_name(mode: predllc_core::SharingMode) -> &'static str {
+    match mode {
+        predllc_core::SharingMode::SetSequencer => "SS",
+        predllc_core::SharingMode::BestEffort => "NSS",
+    }
+}
+
+/// Renders a memory configuration back to its spec-schema object.
+///
+/// The schema can only express the paper-calibrated banked timing and
+/// 64-line rows; anything else was built programmatically and has no
+/// wire form — shipping an approximation would silently simulate a
+/// different platform, so refuse instead.
+fn render_memory(m: &MemoryConfig) -> Result<Json, String> {
+    match m {
+        MemoryConfig::FixedLatency { latency } => Ok(Json::Object(vec![
+            ("kind".into(), Json::Str("fixed".into())),
+            ("latency".into(), Json::UInt(latency.as_u64())),
+        ])),
+        MemoryConfig::Banked {
+            timing,
+            geometry,
+            mapping,
+        } => {
+            if *timing != DramTiming::PAPER || geometry.row_lines() != 64 {
+                return Err(
+                    "memory backend uses custom DRAM timing or row geometry, which the \
+                     spec schema cannot express"
+                        .into(),
+                );
+            }
+            Ok(Json::Object(vec![
+                ("kind".into(), Json::Str("banked".into())),
+                (
+                    "banks".into(),
+                    Json::UInt(u64::from(geometry.banks_per_channel())),
+                ),
+                (
+                    "channels".into(),
+                    Json::UInt(u64::from(geometry.channels())),
+                ),
+                (
+                    "mapping".into(),
+                    Json::Str(
+                        match mapping {
+                            BankMapping::Interleaved => "interleaved",
+                            BankMapping::BankPrivate => "bank-private",
+                        }
+                        .into(),
+                    ),
+                ),
+            ]))
+        }
+        MemoryConfig::WorstCaseOf(inner) => {
+            if matches!(**inner, MemoryConfig::WorstCaseOf(_)) {
+                return Err("nested worst-case memory adapters have no wire form".into());
+            }
+            let mut members = match render_memory(inner)? {
+                Json::Object(m) => m,
+                _ => unreachable!("render_memory returns objects"),
+            };
+            members.push(("worst_case".into(), Json::Bool(true)));
+            Ok(Json::Object(members))
+        }
+        // `MemoryConfig` is non-exhaustive; a backend this crate does
+        // not know cannot be expressed in the spec schema either.
+        other => Err(format!(
+            "memory backend {} has no spec-schema wire form",
+            other.label()
+        )),
+    }
+}
+
+fn render_workload(w: &WorkloadEntry) -> Json {
+    let mut members = vec![
+        ("label".into(), Json::Str(w.label.clone())),
+        ("x".into(), Json::UInt(w.x)),
+        ("kind".into(), Json::Str(w.spec.kind().into())),
+    ];
+    let push_u64 = |members: &mut Vec<(String, Json)>, key: &str, v: u64| {
+        members.push((key.into(), Json::UInt(v)));
+    };
+    match w.spec {
+        WorkloadSpec::Uniform {
+            range_bytes,
+            ops,
+            seed,
+            write_fraction,
+        } => {
+            push_u64(&mut members, "range_bytes", range_bytes);
+            push_u64(&mut members, "ops", ops as u64);
+            push_u64(&mut members, "seed", seed);
+            members.push(("write_fraction".into(), Json::Float(write_fraction)));
+        }
+        WorkloadSpec::Stride {
+            range_bytes,
+            stride,
+            ops,
+        } => {
+            push_u64(&mut members, "range_bytes", range_bytes);
+            push_u64(&mut members, "stride", stride);
+            push_u64(&mut members, "ops", ops as u64);
+        }
+        WorkloadSpec::PointerChase {
+            range_bytes,
+            ops,
+            seed,
+        } => {
+            push_u64(&mut members, "range_bytes", range_bytes);
+            push_u64(&mut members, "ops", ops as u64);
+            push_u64(&mut members, "seed", seed);
+        }
+        WorkloadSpec::HotCold {
+            range_bytes,
+            ops,
+            seed,
+            hot_fraction,
+            hot_probability,
+        } => {
+            push_u64(&mut members, "range_bytes", range_bytes);
+            push_u64(&mut members, "ops", ops as u64);
+            push_u64(&mut members, "seed", seed);
+            members.push(("hot_fraction".into(), Json::Float(hot_fraction)));
+            members.push(("hot_probability".into(), Json::Float(hot_probability)));
+        }
+    }
+    Json::Object(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+
+    const SPEC: &str = r#"{
+        "name": "point-test", "cores": 2,
+        "configs": [
+            {"partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "NSS"}},
+            {"label": "wc", "partition": {"kind": "private", "sets": 4, "ways": 2},
+             "memory": {"kind": "banked", "banks": 4, "mapping": "bank-private",
+                        "worst_case": true},
+             "schedule": [0, 1]}
+        ],
+        "workloads": [
+            {"kind": "uniform", "range_bytes": 2048, "ops": 100, "seed": 3,
+             "write_fraction": 0.25},
+            {"label": "hc", "x": 9, "kind": "hotcold", "range_bytes": 2048, "ops": 100,
+             "seed": 11, "hot_fraction": 0.125, "hot_probability": 0.75},
+            {"kind": "stride", "range_bytes": 2048, "stride": 128, "ops": 100},
+            {"kind": "chase", "range_bytes": 2048, "ops": 100, "seed": 5}
+        ]
+    }"#;
+
+    fn points() -> Vec<PointRequest> {
+        let spec = ExperimentSpec::parse(SPEC).unwrap();
+        spec.configs
+            .iter()
+            .flat_map(|c| {
+                spec.workloads.iter().map(move |w| PointRequest {
+                    cores: spec.cores,
+                    config: c.clone(),
+                    workload: w.clone(),
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn requests_round_trip_identically() {
+        for point in points() {
+            let wire = point.render().unwrap();
+            let back = PointRequest::parse(&wire).unwrap();
+            assert_eq!(back, point, "round trip changed the point: {wire}");
+            assert_eq!(back.fingerprint(), point.fingerprint());
+            // Rendering is deterministic, so the wire form is too.
+            assert_eq!(back.render().unwrap(), wire);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_positioned() {
+        assert!(matches!(PointRequest::parse("{"), Err(SpecError::Json(_))));
+        for (doc, at) in [
+            (r#"{"config":{},"workload":{}}"#, "point.cores"),
+            (r#"{"cores":0,"config":{},"workload":{}}"#, "point.cores"),
+            (r#"{"cores":2,"workload":{}}"#, "point.config"),
+            (
+                r#"{"cores":2,"config":{"partition":{"kind":"shared","sets":1,"ways":4}}}"#,
+                "point.workload",
+            ),
+            (
+                r#"{"cores":2,"config":{"partition":{"kind":"shared","sets":1,"ways":4}},
+                    "workload":{"kind":"uniform","range_bytes":64,"ops":1},"extra":1}"#,
+                "point",
+            ),
+        ] {
+            match PointRequest::parse(doc).unwrap_err() {
+                SpecError::Invalid { at: got, .. } => assert_eq!(got, at, "for {doc}"),
+                other => panic!("expected Invalid for {doc}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unrepresentable_memory_is_refused_not_approximated() {
+        let mut point = points().remove(0);
+        point.config.memory = MemoryConfig::Banked {
+            timing: DramTiming {
+                t_rcd: 1,
+                t_rp: 1,
+                t_cas: 1,
+                t_wr: 1,
+                t_bus: 1,
+            },
+            geometry: predllc_model::DramGeometry::PAPER,
+            mapping: BankMapping::Interleaved,
+        };
+        assert!(point.render().unwrap_err().contains("custom DRAM timing"));
+        let nested = MemoryConfig::banked().worst_case().worst_case();
+        point.config.memory = nested;
+        assert!(point.render().unwrap_err().contains("nested worst-case"));
+    }
+
+    #[test]
+    fn measurements_round_trip_and_rederive_rows() {
+        for point in points() {
+            let config = point.config.build(point.cores).unwrap();
+            let workload = point.workload.spec.build(point.cores);
+            let measured = measure(&config, &workload).unwrap();
+            let back = PointMeasurement::parse(&measured.render()).unwrap();
+            assert_eq!(back, measured);
+            let row = measured.to_grid_result("c", "w", &config.memory().label(), 7, None);
+            let rerow = back.to_grid_result("c", "w", &config.memory().label(), 7, None);
+            assert_eq!(row, rerow, "wire trip changed a derived row");
+            assert_eq!(row.p100, row.observed_wcl);
+            assert!(row.requests > 0);
+        }
+    }
+
+    #[test]
+    fn corrupt_measurements_are_rejected() {
+        let point = points().remove(0);
+        let config = point.config.build(point.cores).unwrap();
+        let measured = measure(&config, point.workload.spec.build(point.cores)).unwrap();
+        let wire = measured.render();
+        // Drop a field, break the count, break a bucket pair.
+        let no_field = wire.replace("\"observed_wcl\"", "\"observed\"");
+        assert!(PointMeasurement::parse(&no_field)
+            .unwrap_err()
+            .contains("observed_wcl"));
+        let doc = json::parse(&wire).unwrap();
+        let mut members = doc.as_object().unwrap().to_vec();
+        for m in &mut members {
+            if m.0 == "requests" {
+                m.1 = Json::UInt(1_000_000);
+            }
+        }
+        assert!(PointMeasurement::from_json(&Json::Object(members))
+            .unwrap_err()
+            .contains("sum"));
+        assert!(PointMeasurement::parse("nope").is_err());
+        assert!(PointMeasurement::parse("{}").is_err());
+    }
+
+    #[test]
+    fn measure_positions_config_failures() {
+        // A platform too large to build reaches measure as a Sim/Config
+        // error, not a panic.
+        let spec = ExperimentSpec::parse(
+            r#"{
+            "name": "bad", "cores": 2,
+            "configs": [{"partition": {"kind": "private", "sets": 1, "ways": 1}}],
+            "workloads": [{"kind": "uniform", "range_bytes": 64, "ops": 4, "seed": 1}]
+        }"#,
+        )
+        .unwrap();
+        let config = spec.configs[0].build(spec.cores).unwrap();
+        // A workload built for the wrong core count fails in the engine.
+        let wrong = spec.workloads[0].spec.build(spec.cores + 1);
+        assert!(matches!(
+            measure(&config, &wrong).unwrap_err(),
+            PointError::Sim(_)
+        ));
+    }
+}

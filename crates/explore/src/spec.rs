@@ -298,7 +298,7 @@ impl ExperimentSpec {
 /// Rejects objects with keys outside `allowed` — a typo'd field must
 /// not silently fall back to a default and change which experiment
 /// runs.
-fn check_keys(doc: &Json, allowed: &[&str], at: &str) -> Result<(), SpecError> {
+pub(crate) fn check_keys(doc: &Json, allowed: &[&str], at: &str) -> Result<(), SpecError> {
     let members = doc
         .as_object()
         .ok_or_else(|| invalid(at, "must be an object"))?;
@@ -363,7 +363,7 @@ fn parse_mode(text: &str, at: &str) -> Result<SharingMode, SpecError> {
     }
 }
 
-fn parse_config(doc: &Json, at: &str) -> Result<ConfigSpec, SpecError> {
+pub(crate) fn parse_config(doc: &Json, at: &str) -> Result<ConfigSpec, SpecError> {
     check_keys(doc, &["label", "partition", "memory", "schedule"], at)?;
     let partition = require(doc, "partition", at)?;
     let p_at = format!("{at}.partition");
@@ -485,7 +485,7 @@ fn parse_memory(doc: &Json, at: &str) -> Result<MemoryConfig, SpecError> {
     )
 }
 
-fn parse_workload(doc: &Json, at: &str) -> Result<WorkloadEntry, SpecError> {
+pub(crate) fn parse_workload(doc: &Json, at: &str) -> Result<WorkloadEntry, SpecError> {
     check_keys(
         doc,
         &[

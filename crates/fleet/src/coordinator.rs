@@ -1,0 +1,564 @@
+//! The coordinator: shard a spec's unique grid points across worker
+//! services, survive worker loss, merge results bit-identically.
+//!
+//! Dispatch is a shared work queue over unique grid points (the
+//! [`plan_grid`] dedup, same as the in-process path) drained by one
+//! dispatcher thread per worker. A worker that stops answering —
+//! connection refused, reset mid-request, failed heartbeat — is marked
+//! **lost**: its in-flight point goes back on the queue (front, so
+//! recovery does not starve) and the surviving workers absorb the
+//! work. Losing every worker with work still pending fails the run
+//! with [`FleetError::NoWorkers`] instead of hanging.
+//!
+//! Merging cannot introduce drift because nothing numeric is merged:
+//! workers ship exact integers ([`PointMeasurement`]), the coordinator
+//! derives each row with the same arithmetic the in-process grid uses
+//! ([`PointMeasurement::to_grid_result`]) and assembles declaration
+//! order with [`assemble_rows`]. Which worker computed a point, and in
+//! what order, is unobservable in the output.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use predllc_explore::json::{self, Json};
+use predllc_explore::{
+    assemble_rows, build_platforms, plan_grid, point_fingerprint, search_partitions, Executor,
+    ExperimentSpec, ExploreError, ExploreReport, Fingerprint, GridResult, PointMeasurement,
+    PointRequest,
+};
+use predllc_serve::{Client, ClientError, Metrics, RunOutcome, SpecRunner};
+
+/// Why a fleet run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// A failure detected on the coordinator itself: spec validation,
+    /// platform building, or the (always-local) partition search.
+    Local(ExploreError),
+    /// A worker rejected one grid point as unrunnable (`422`) — the
+    /// positioned equivalent of the in-process simulation failure.
+    Point {
+        /// The failing configuration's label.
+        config: String,
+        /// The failing workload's label.
+        workload: String,
+        /// `"config"` or `"sim"` (which stage refused).
+        kind: String,
+        /// The worker's error message.
+        message: String,
+    },
+    /// Every worker was lost while grid points were still unresolved.
+    NoWorkers {
+        /// Unique grid points left unmeasured.
+        pending: usize,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Local(e) => write!(f, "{e}"),
+            // Mirror the in-process error wording so a job fails with
+            // the same message whether it ran locally or on a fleet.
+            FleetError::Point {
+                config,
+                workload,
+                kind,
+                message,
+            } => match kind.as_str() {
+                "config" => write!(f, "configuration '{config}' is invalid: {message}"),
+                _ => write!(f, "grid point '{config}' x '{workload}' failed: {message}"),
+            },
+            FleetError::NoWorkers { pending } => write!(
+                f,
+                "fleet has no live workers ({pending} grid points unresolved)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Local(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExploreError> for FleetError {
+    fn from(e: ExploreError) -> Self {
+        FleetError::Local(e)
+    }
+}
+
+/// Coordinator tunables.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Per-point request read timeout on worker connections.
+    pub request_timeout: Duration,
+    /// Transport retries per request before a worker counts as lost
+    /// (see [`Client::with_retries`]).
+    pub retries: u32,
+    /// How often the heartbeat thread probes each worker's `/healthz`.
+    pub heartbeat_interval: Duration,
+    /// Threads of the coordinator-local [`Executor`] that runs the
+    /// partition-search phase (`0` = one per core). The search is
+    /// analytical — no simulation — so it stays local.
+    pub search_threads: usize,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            request_timeout: Duration::from_secs(120),
+            retries: 4,
+            heartbeat_interval: Duration::from_millis(250),
+            search_threads: 0,
+        }
+    }
+}
+
+/// One worker endpoint and whether the coordinator still believes in
+/// it. Loss is permanent for the coordinator's lifetime — a recovered
+/// worker rejoins as a new coordinator entry, not silently.
+struct Worker {
+    addr: SocketAddr,
+    alive: AtomicBool,
+}
+
+/// Interior of the dispatch lock: the work queue plus completion
+/// bookkeeping. Invariant: `completed + outstanding + queue.len() ==
+/// total` until a permanent failure is recorded.
+struct DispatchState {
+    /// Indices into the unique-point list, awaiting a worker.
+    queue: VecDeque<usize>,
+    /// Points currently in flight on some worker.
+    outstanding: usize,
+    /// Points measured (or answered from the coordinator cache).
+    completed: usize,
+    /// Unique points overall.
+    total: usize,
+    /// Measurements, indexed like the unique-point list.
+    results: Vec<Option<PointMeasurement>>,
+    /// The first permanent failure, lowest unique index winning — the
+    /// same "first failing point" a local run would report.
+    failed: Option<(usize, FleetError)>,
+}
+
+/// The fleet coordinator: owns the worker list, the shared point cache
+/// and the dispatch loop. One coordinator serves many runs; its point
+/// cache carries measurements across them.
+pub struct Coordinator {
+    workers: Vec<Worker>,
+    config: CoordinatorConfig,
+    /// Local executor for the partition-search phase.
+    exec: Executor,
+    metrics: Arc<Metrics>,
+    /// Coordinator-side point cache: fingerprints resolved by any
+    /// earlier run (whichever worker computed them).
+    cache: Mutex<HashMap<Fingerprint, PointMeasurement>>,
+}
+
+impl Coordinator {
+    /// A coordinator over `workers`, reporting into `metrics` (share
+    /// the instance with a [`predllc_serve::Server`] via
+    /// `Server::bind_with` so `/metrics` shows fleet counters).
+    pub fn new(
+        workers: impl IntoIterator<Item = SocketAddr>,
+        config: CoordinatorConfig,
+        metrics: Arc<Metrics>,
+    ) -> Coordinator {
+        let workers: Vec<Worker> = workers
+            .into_iter()
+            .map(|addr| Worker {
+                addr,
+                alive: AtomicBool::new(true),
+            })
+            .collect();
+        metrics
+            .workers_alive
+            .store(workers.len() as u64, Ordering::Relaxed);
+        Coordinator {
+            workers,
+            exec: Executor::new(config.search_threads),
+            config,
+            metrics,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Workers the coordinator was built with.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Workers not yet declared lost.
+    pub fn live_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Runs `spec` across the fleet: unique grid points are sharded
+    /// over live workers, measurements merge on the coordinator, the
+    /// partition search (when declared) runs locally. The report is
+    /// **bit-identical** to `predllc_explore::run_spec` — same rows,
+    /// same floats, same order — whatever the fleet shape and whichever
+    /// workers died along the way.
+    ///
+    /// `observe(done, unique_total)` fires as unique points resolve,
+    /// like the in-process grid's progress hook.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Local`] for coordinator-side failures,
+    /// [`FleetError::Point`] when a worker positions one grid point as
+    /// unrunnable, [`FleetError::NoWorkers`] when every worker is lost
+    /// with work pending.
+    pub fn run(
+        &self,
+        spec: &ExperimentSpec,
+        observe: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<ExploreReport, FleetError> {
+        let platforms = build_platforms(spec)?;
+        let plan = plan_grid(spec);
+        let results = self.dispatch(spec, &plan.unique, observe)?;
+
+        let measured: Vec<GridResult> = plan
+            .unique
+            .iter()
+            .zip(results)
+            .map(|(&(ci, wi), m)| {
+                m.expect("dispatch resolved every point").to_grid_result(
+                    &spec.configs[ci].label,
+                    &spec.workloads[wi].label,
+                    &platforms[ci].0.memory().label(),
+                    spec.workloads[wi].x,
+                    platforms[ci].1,
+                )
+            })
+            .collect();
+        let search = match &spec.search {
+            Some(s) => Some(search_partitions(s, spec.cores, &spec.tasks, &self.exec)?),
+            None => None,
+        };
+        Ok(ExploreReport {
+            grid: assemble_rows(spec, &plan, &measured),
+            search,
+            unique_points: plan.unique.len(),
+            total_points: plan.points.len(),
+        })
+    }
+
+    /// Resolves every unique point: coordinator cache first, then the
+    /// worker fleet.
+    fn dispatch(
+        &self,
+        spec: &ExperimentSpec,
+        unique: &[(usize, usize)],
+        observe: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<Vec<Option<PointMeasurement>>, FleetError> {
+        let mut results: Vec<Option<PointMeasurement>> = vec![None; unique.len()];
+        let mut queue = VecDeque::new();
+        {
+            let cache = self.cache.lock().unwrap();
+            for (i, &(ci, wi)) in unique.iter().enumerate() {
+                let fp = point_fingerprint(spec.cores, &spec.configs[ci], &spec.workloads[wi]);
+                match cache.get(&fp) {
+                    Some(m) => {
+                        results[i] = Some(m.clone());
+                        self.metrics
+                            .points_cache_shared
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => queue.push_back(i),
+                }
+            }
+        }
+        let completed = unique.len() - queue.len();
+        if completed > 0 {
+            observe(completed, unique.len());
+        }
+        if queue.is_empty() {
+            return Ok(results);
+        }
+        if self.live_workers() == 0 {
+            return Err(FleetError::NoWorkers {
+                pending: queue.len(),
+            });
+        }
+
+        let state = Mutex::new(DispatchState {
+            queue,
+            outstanding: 0,
+            completed,
+            total: unique.len(),
+            results,
+            failed: None,
+        });
+        let cond = Condvar::new();
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            // Shadow with references so the `move` closures copy these
+            // instead of consuming the locals.
+            let state = &state;
+            let cond = &cond;
+            for worker in &self.workers {
+                if worker.alive.load(Ordering::SeqCst) {
+                    s.spawn(move || {
+                        self.dispatch_worker(worker, spec, unique, state, cond, observe)
+                    });
+                }
+            }
+            s.spawn(|| self.heartbeat(&done, cond));
+
+            let mut st = state.lock().unwrap();
+            while st.failed.is_none() && st.completed < st.total {
+                st = cond.wait(st).unwrap();
+            }
+            drop(st);
+            done.store(true, Ordering::SeqCst);
+            cond.notify_all();
+        });
+
+        let mut st = state.into_inner().unwrap();
+        match st.failed.take() {
+            Some((_, e)) => Err(e),
+            None => Ok(std::mem::take(&mut st.results)),
+        }
+    }
+
+    /// One worker's dispatcher: claim a point, ship it, record the
+    /// answer; on transport failure requeue the point, mark the worker
+    /// lost and exit.
+    fn dispatch_worker(
+        &self,
+        worker: &Worker,
+        spec: &ExperimentSpec,
+        unique: &[(usize, usize)],
+        state: &Mutex<DispatchState>,
+        cond: &Condvar,
+        observe: &(dyn Fn(usize, usize) + Sync),
+    ) {
+        let mut client = Client::new(worker.addr)
+            .with_timeout(self.config.request_timeout)
+            .with_retries(self.config.retries);
+        loop {
+            let claim = {
+                let mut st = state.lock().unwrap();
+                loop {
+                    if st.failed.is_some()
+                        || st.completed == st.total
+                        || !worker.alive.load(Ordering::SeqCst)
+                    {
+                        break None;
+                    }
+                    if let Some(i) = st.queue.pop_front() {
+                        st.outstanding += 1;
+                        break Some(i);
+                    }
+                    // Queue empty but siblings are in flight: one of
+                    // them may requeue its point by dying.
+                    st = cond.wait(st).unwrap();
+                }
+            };
+            let Some(i) = claim else { break };
+            let (ci, wi) = unique[i];
+            let point = PointRequest {
+                cores: spec.cores,
+                config: spec.configs[ci].clone(),
+                workload: spec.workloads[wi].clone(),
+            };
+            let wire = match point.render() {
+                Ok(w) => w,
+                Err(message) => {
+                    // Spec-parsed points always render; this is a
+                    // programmatic config with no wire form.
+                    self.fail_point(
+                        state,
+                        cond,
+                        i,
+                        FleetError::Point {
+                            config: spec.configs[ci].label.clone(),
+                            workload: spec.workloads[wi].label.clone(),
+                            kind: "render".into(),
+                            message,
+                        },
+                    );
+                    break;
+                }
+            };
+            self.metrics.points_assigned.fetch_add(1, Ordering::Relaxed);
+            match client.point(&wire) {
+                Ok(reply) => match PointMeasurement::from_json(&reply.measurement) {
+                    Ok(m) => {
+                        if reply.cached {
+                            self.metrics
+                                .points_cache_shared
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.cache
+                            .lock()
+                            .unwrap()
+                            .insert(point.fingerprint(), m.clone());
+                        let (done, total) = {
+                            let mut st = state.lock().unwrap();
+                            st.results[i] = Some(m);
+                            st.outstanding -= 1;
+                            st.completed += 1;
+                            cond.notify_all();
+                            (st.completed, st.total)
+                        };
+                        observe(done, total);
+                    }
+                    // A worker answering garbage is a lost worker, not
+                    // a lost experiment.
+                    Err(_) => {
+                        self.abandon_point(worker, state, cond, i);
+                        break;
+                    }
+                },
+                Err(ClientError::Status { status: 422, body }) => {
+                    let (kind, message) = parse_point_error(&body);
+                    self.fail_point(
+                        state,
+                        cond,
+                        i,
+                        FleetError::Point {
+                            config: spec.configs[ci].label.clone(),
+                            workload: spec.workloads[wi].label.clone(),
+                            kind,
+                            message,
+                        },
+                    );
+                    break;
+                }
+                // Everything else — refused, reset, timeout, 5xx — is
+                // the worker's fault: requeue and fail the worker over.
+                Err(_) => {
+                    self.abandon_point(worker, state, cond, i);
+                    break;
+                }
+            }
+        }
+        // If this exit stranded the run with no live workers, say so
+        // rather than letting the waiter hang.
+        self.check_no_workers(state, cond);
+    }
+
+    /// Marks a worker lost exactly once, settling the gauge pair.
+    fn mark_lost(&self, worker: &Worker) {
+        if worker.alive.swap(false, Ordering::SeqCst) {
+            self.metrics.workers_lost.fetch_add(1, Ordering::Relaxed);
+            self.metrics.workers_alive.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A transient point failure: the worker is lost, the point goes
+    /// back on the queue (front — recovery work first).
+    fn abandon_point(
+        &self,
+        worker: &Worker,
+        state: &Mutex<DispatchState>,
+        cond: &Condvar,
+        i: usize,
+    ) {
+        self.mark_lost(worker);
+        self.metrics.points_retried.fetch_add(1, Ordering::Relaxed);
+        let mut st = state.lock().unwrap();
+        st.queue.push_front(i);
+        st.outstanding -= 1;
+        cond.notify_all();
+    }
+
+    /// A permanent point failure; the lowest unique index wins so the
+    /// reported error matches what a local run would say first.
+    fn fail_point(&self, state: &Mutex<DispatchState>, cond: &Condvar, i: usize, err: FleetError) {
+        let mut st = state.lock().unwrap();
+        st.outstanding -= 1;
+        if st.failed.as_ref().is_none_or(|(j, _)| i < *j) {
+            st.failed = Some((i, err));
+        }
+        cond.notify_all();
+    }
+
+    /// Fails the run when every worker is gone with work pending.
+    fn check_no_workers(&self, state: &Mutex<DispatchState>, cond: &Condvar) {
+        if self.live_workers() > 0 {
+            return;
+        }
+        let mut st = state.lock().unwrap();
+        if st.failed.is_none() && st.completed < st.total && st.outstanding == 0 {
+            let pending = st.total - st.completed;
+            st.failed = Some((usize::MAX, FleetError::NoWorkers { pending }));
+        }
+        cond.notify_all();
+    }
+
+    /// The heartbeat loop: probe every live worker's `/healthz` each
+    /// interval; a worker that fails one probe is lost. Dispatchers
+    /// notice via the `alive` flag at their next claim.
+    fn heartbeat(&self, done: &AtomicBool, cond: &Condvar) {
+        let probe_timeout = self
+            .config
+            .heartbeat_interval
+            .max(Duration::from_millis(100));
+        while !done.load(Ordering::SeqCst) {
+            for worker in &self.workers {
+                if !worker.alive.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let mut probe = Client::new(worker.addr)
+                    .with_timeout(probe_timeout)
+                    .with_retries(0);
+                if probe.healthz().is_err() {
+                    self.mark_lost(worker);
+                    cond.notify_all();
+                }
+            }
+            std::thread::sleep(self.config.heartbeat_interval);
+        }
+    }
+}
+
+impl SpecRunner for Coordinator {
+    fn run_spec(
+        &self,
+        spec: &ExperimentSpec,
+        observe: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<RunOutcome, String> {
+        let report = self.run(spec, observe).map_err(|e| e.to_string())?;
+        Ok(RunOutcome {
+            grid: report.grid,
+            search: report.search,
+            unique_points: report.unique_points,
+        })
+    }
+
+    /// Always `1`: rendered reports must not depend on the fleet shape.
+    fn threads_label(&self) -> usize {
+        1
+    }
+}
+
+/// Decodes a worker's `422` body (`{"error": ..., "kind": ...}`),
+/// degrading gracefully on garbage.
+fn parse_point_error(body: &str) -> (String, String) {
+    let doc = json::parse(body).ok();
+    let get = |key: &str| {
+        doc.as_ref()
+            .and_then(|d| d.get(key))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+    (
+        get("kind").unwrap_or_else(|| "unknown".into()),
+        get("error").unwrap_or_else(|| body.to_string()),
+    )
+}

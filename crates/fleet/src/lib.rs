@@ -1,0 +1,81 @@
+//! `predllc-fleet` — the distributed experiment fleet: a coordinator
+//! that shards an [`ExperimentSpec`]'s grid points across worker
+//! processes over the in-tree HTTP stack, with a shared point-level
+//! result cache and heartbeat-based worker-loss recovery.
+//!
+//! The service layer (`predllc-serve`) made experiments shared; this
+//! crate makes them **distributed** without making them approximate:
+//!
+//! * the unit of work is one *unique* grid point (the same
+//!   [`plan_grid`](predllc_explore::plan_grid) dedup the in-process
+//!   grid uses), shipped as a
+//!   [`PointRequest`](predllc_explore::PointRequest) to any server's
+//!   `POST /v1/points` endpoint;
+//! * workers answer with **exact integers only** — histogram parts and
+//!   raw DRAM counters — and every derived float is recomputed on the
+//!   coordinator with the in-process arithmetic, so a fleet run is
+//!   **bit-identical** to `predllc_explore::run_spec` for every fleet
+//!   shape: 1 worker, 4 workers, or none (in-process);
+//! * a worker that stops answering (reset, refused, failed heartbeat)
+//!   is marked lost, its in-flight point is requeued, and the
+//!   surviving workers absorb the work — determinism is unaffected
+//!   because point measurements are pure functions of the point;
+//! * point results are cached at both ends (worker-side and
+//!   coordinator-side, content-addressed by
+//!   [`point_fingerprint`](predllc_explore::point_fingerprint)), so
+//!   overlapping experiments and re-runs after a crash never
+//!   re-simulate a point the fleet has already measured.
+//!
+//! The [`Coordinator`] implements
+//! [`SpecRunner`](predllc_serve::SpecRunner), so a coordinator can
+//! itself serve the full experiment API (`Server::bind_with`): clients
+//! submit specs to one front door and the fleet fans each one out.
+//!
+//! # Examples
+//!
+//! ```
+//! use predllc_fleet::{Coordinator, CoordinatorConfig};
+//! use predllc_serve::{Metrics, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two in-process "workers" (normally separate machines).
+//! let mut workers = Vec::new();
+//! for _ in 0..2 {
+//!     let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+//!     workers.push(server.local_addr());
+//!     let handle = server.handle();
+//!     std::thread::spawn(move || server.run());
+//!     # drop(handle);
+//! }
+//!
+//! let spec = predllc_explore::ExperimentSpec::parse(r#"{
+//!     "name": "fleet-doc", "cores": 2,
+//!     "configs": [{"partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}}],
+//!     "workloads": [{"kind": "uniform", "range_bytes": 1024, "ops": 50, "seed": 7}]
+//! }"#)?;
+//!
+//! let coordinator = Coordinator::new(
+//!     workers,
+//!     CoordinatorConfig::default(),
+//!     Arc::new(Metrics::default()),
+//! );
+//! let fleet = coordinator.run(&spec, &|_, _| {})?;
+//!
+//! // Bit-identical to running the spec in-process.
+//! let local = predllc_explore::run_spec(&spec, &predllc_explore::Executor::new(1))?;
+//! assert_eq!(fleet.grid, local.grid);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, FleetError};
+
+// Re-exported so fleet users can build specs and read reports without
+// naming the underlying crates separately.
+pub use predllc_explore::{ExperimentSpec, ExploreReport};

@@ -1,10 +1,13 @@
 //! A small blocking HTTP client for the experiment service — used by
-//! the integration tests, the CI smoke binary and scripts that prefer
-//! Rust over `curl`.
+//! the integration tests, the CI smoke binary, the fleet coordinator
+//! and scripts that prefer Rust over `curl`.
 //!
 //! One [`Client`] holds one keep-alive connection and replays requests
 //! over it, reconnecting transparently when the server (or an idle
-//! timeout) closed it.
+//! timeout) closed it. Fresh-connection transport failures retry a
+//! bounded number of times with capped exponential backoff — every
+//! endpoint is idempotent (content-addressed), so a replay is always
+//! safe.
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -99,27 +102,58 @@ pub struct Status {
     pub error: Option<String>,
 }
 
+/// The answer to a point request ([`Client::point`] /
+/// [`Client::cached_point`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointReply {
+    /// The point's content-addressed fingerprint (32 hex chars).
+    pub fingerprint: String,
+    /// Whether a point cache answered instead of simulating.
+    pub cached: bool,
+    /// The exact-integer measurement document
+    /// (`predllc_explore::PointMeasurement` wire form).
+    pub measurement: Json,
+}
+
 /// A blocking client for one service address.
 pub struct Client {
     addr: SocketAddr,
     conn: Option<BufReader<TcpStream>>,
     /// Per-request read timeout.
     timeout: Duration,
+    /// Most transport retries per request on a fresh connection.
+    retries: u32,
+    /// First retry delay; doubles per retry up to [`Client::BACKOFF_CAP`].
+    backoff: Duration,
 }
 
 impl Client {
+    /// Longest delay between transport retries.
+    const BACKOFF_CAP: Duration = Duration::from_millis(80);
+
     /// A client for the service at `addr`.
     pub fn new(addr: SocketAddr) -> Client {
         Client {
             addr,
             conn: None,
             timeout: Duration::from_secs(120),
+            retries: 4,
+            backoff: Duration::from_millis(5),
         }
     }
 
     /// Overrides the per-request read timeout (default 120 s).
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
+        self
+    }
+
+    /// Overrides how many times a request is retried after a transport
+    /// failure on a fresh connection (default 4; `0` fails fast). The
+    /// single free replay after a dead keep-alive connection is not
+    /// counted — that failure mode is routine, not a sick server.
+    pub fn with_retries(mut self, retries: u32) -> Client {
+        self.retries = retries;
         self
     }
 
@@ -132,24 +166,41 @@ impl Client {
         Ok(self.conn.as_mut().expect("just connected"))
     }
 
-    /// One request/response exchange; reconnects once if the cached
-    /// keep-alive connection turned out dead.
+    /// One request/response exchange with bounded transport retries.
+    ///
+    /// A failure on a reused keep-alive connection gets one free,
+    /// immediate replay on a fresh connection (the connection was
+    /// simply stale). Failures on fresh connections — refused connects,
+    /// resets from a crashing server — retry up to `self.retries` times
+    /// with exponential backoff (doubling from `self.backoff`, capped
+    /// at [`Client::BACKOFF_CAP`]). Every service endpoint is
+    /// idempotent, so replays are safe.
     fn request(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, String), ClientError> {
-        let had_conn = self.conn.is_some();
-        match self.exchange(method, path, body) {
-            Ok(out) => Ok(out),
-            // A reused connection may have been closed under us (idle
-            // timeout, server restart): retry once on a fresh one.
-            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) if had_conn => {
-                self.conn = None;
-                self.exchange(method, path, body)
+        let mut attempts = 0u32;
+        let mut delay = self.backoff;
+        loop {
+            let had_conn = self.conn.is_some();
+            match self.exchange(method, path, body) {
+                Ok(out) => return Ok(out),
+                Err(e @ (ClientError::Io(_) | ClientError::Protocol(_))) => {
+                    self.conn = None;
+                    if had_conn {
+                        continue; // stale keep-alive: free immediate replay
+                    }
+                    if attempts >= self.retries {
+                        return Err(e);
+                    }
+                    attempts += 1;
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Client::BACKOFF_CAP);
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => Err(e),
         }
     }
 
@@ -378,6 +429,45 @@ impl Client {
             )?
             .1)
     }
+
+    /// `POST /v1/points` — have the server simulate (or answer from its
+    /// point cache) one grid point.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carrying the server's 400 for malformed
+    /// requests or 422 for points that fail to build/simulate, or any
+    /// transport failure.
+    pub fn point(&mut self, request: &str) -> Result<PointReply, ClientError> {
+        let doc = self.request_json("POST", "/v1/points", Some(request))?;
+        point_reply(&doc)
+    }
+
+    /// `GET /v1/points/{fingerprint}` — a measurement the server already
+    /// has cached.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carrying 404 when the point is not
+    /// cached, or any transport failure.
+    pub fn cached_point(&mut self, fingerprint: &str) -> Result<PointReply, ClientError> {
+        let doc = self.request_json("GET", &format!("/v1/points/{fingerprint}"), None)?;
+        point_reply(&doc)
+    }
+}
+
+fn point_reply(doc: &Json) -> Result<PointReply, ClientError> {
+    Ok(PointReply {
+        fingerprint: str_field(doc, "fingerprint")?,
+        cached: doc
+            .get("cached")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ClientError::Protocol("missing 'cached'".into()))?,
+        measurement: doc
+            .get("measurement")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("missing 'measurement'".into()))?,
+    })
 }
 
 fn str_field(doc: &Json, key: &str) -> Result<String, ClientError> {
@@ -391,4 +481,60 @@ fn u64_field(doc: &Json, key: &str) -> Result<u64, ClientError> {
     doc.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| ClientError::Protocol(format!("missing '{key}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// An address that refuses connections: bind an ephemeral port,
+    /// read it back, drop the listener.
+    fn dead_addr() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    }
+
+    #[test]
+    fn refused_connections_exhaust_bounded_retries() {
+        let addr = dead_addr();
+        let started = Instant::now();
+        let mut client = Client::new(addr).with_retries(3);
+        let err = client.healthz().unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "got {err}");
+        // Three backoff sleeps happened: 5 + 10 + 20 ms.
+        assert!(
+            started.elapsed() >= Duration::from_millis(35),
+            "retries returned too fast to have backed off: {:?}",
+            started.elapsed()
+        );
+        // Zero retries fails fast with the same error class.
+        let mut eager = Client::new(addr).with_retries(0);
+        assert!(matches!(eager.healthz().unwrap_err(), ClientError::Io(_)));
+    }
+
+    #[test]
+    fn retries_ride_out_dropped_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Accept and immediately drop two connections (resets seen
+            // client-side), then serve one canned response.
+            for _ in 0..2 {
+                drop(listener.accept().unwrap());
+            }
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 512];
+            let _ = stream.read(&mut buf);
+            stream
+                .write_all(
+                    b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\n\
+                      content-length: 3\r\nconnection: close\r\n\r\nok\n",
+                )
+                .unwrap();
+        });
+        let mut client = Client::new(addr).with_retries(4);
+        assert_eq!(client.healthz().unwrap(), "ok\n");
+        server.join().unwrap();
+    }
 }

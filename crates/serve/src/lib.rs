@@ -18,11 +18,14 @@
 //!   document, so duplicate submissions — including **concurrent**
 //!   ones — coalesce onto one execution and later ones return the
 //!   cached bytes instantly.
-//! * [`server`] — the accept loop, the job runners feeding the shared
-//!   executor with per-job progress (grid points done / total), and
-//!   graceful shutdown that drains every accepted job.
-//! * [`client`] — a small blocking client (submit / poll / fetch) used
-//!   by the integration tests and the CI smoke.
+//! * [`server`] — the accept loop, the job runners feeding a pluggable
+//!   [`SpecRunner`] (local executor or fleet coordinator) with per-job
+//!   progress (grid points done / total), the point endpoints that make
+//!   any server a fleet worker, and graceful shutdown that drains every
+//!   accepted job.
+//! * [`client`] — a small blocking client (submit / poll / fetch /
+//!   point) with bounded transport retries, used by the integration
+//!   tests, the CI smoke and the fleet coordinator.
 //!
 //! # Endpoints
 //!
@@ -31,8 +34,10 @@
 //! | `POST /v1/experiments` | submit a spec; answers `202` with the id, or `200` on a cache hit |
 //! | `GET /v1/experiments/{id}` | status + progress |
 //! | `GET /v1/experiments/{id}/results?format=csv\|json` | the cached rendered result |
+//! | `POST /v1/points` | simulate one grid point (fleet work unit); `422` positions build/sim failures |
+//! | `GET /v1/points/{fingerprint}` | a point measurement already in this server's cache |
 //! | `GET /healthz` | liveness |
-//! | `GET /metrics` | plain-text counters (jobs, cache hits/misses, points simulated) |
+//! | `GET /metrics` | plain-text counters (jobs, cache hits/misses, points, fleet workers) |
 //!
 //! # Examples
 //!
@@ -77,10 +82,10 @@ pub mod http;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, ClientError, Status, Submitted};
+pub use client::{Client, ClientError, PointReply, Status, Submitted};
 pub use http::{Limits, Request, Response};
 pub use registry::{Job, JobResult, JobStatus, Metrics, MetricsSnapshot, Registry, SubmitError};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{LocalRunner, RunOutcome, Server, ServerConfig, ServerHandle, SpecRunner};
 
 // Re-exported so service users can build specs and reports without
 // naming the explore crate separately.

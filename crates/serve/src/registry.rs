@@ -207,10 +207,24 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Submissions that created a new job.
     pub cache_misses: AtomicU64,
-    /// Unique grid points simulated across all finished jobs.
+    /// Unique grid points resolved across all finished jobs, plus
+    /// every point computed by the worker point endpoint.
     pub points_simulated: AtomicU64,
     /// HTTP requests served.
     pub http_requests: AtomicU64,
+    /// Fleet workers currently believed alive (a gauge: set by the
+    /// coordinator, decremented as workers are lost).
+    pub workers_alive: AtomicU64,
+    /// Fleet workers declared lost (heartbeat or dispatch failure).
+    pub workers_lost: AtomicU64,
+    /// Grid points dispatched to fleet workers (re-dispatches after a
+    /// worker loss count again).
+    pub points_assigned: AtomicU64,
+    /// Grid points requeued after their worker was lost mid-flight.
+    pub points_retried: AtomicU64,
+    /// Point requests answered from a shared point cache instead of
+    /// simulating (coordinator- or worker-side).
+    pub points_cache_shared: AtomicU64,
 }
 
 /// A point-in-time copy of [`Metrics`].
@@ -232,6 +246,16 @@ pub struct MetricsSnapshot {
     pub points_simulated: u64,
     /// HTTP requests served.
     pub http_requests: u64,
+    /// Fleet workers currently believed alive.
+    pub workers_alive: u64,
+    /// Fleet workers declared lost.
+    pub workers_lost: u64,
+    /// Grid points dispatched to fleet workers.
+    pub points_assigned: u64,
+    /// Grid points requeued after a worker loss.
+    pub points_retried: u64,
+    /// Point requests answered from a shared point cache.
+    pub points_cache_shared: u64,
 }
 
 impl Metrics {
@@ -246,6 +270,11 @@ impl Metrics {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             points_simulated: self.points_simulated.load(Ordering::Relaxed),
             http_requests: self.http_requests.load(Ordering::Relaxed),
+            workers_alive: self.workers_alive.load(Ordering::Relaxed),
+            workers_lost: self.workers_lost.load(Ordering::Relaxed),
+            points_assigned: self.points_assigned.load(Ordering::Relaxed),
+            points_retried: self.points_retried.load(Ordering::Relaxed),
+            points_cache_shared: self.points_cache_shared.load(Ordering::Relaxed),
         }
     }
 
@@ -262,6 +291,11 @@ impl Metrics {
             ("predllc_cache_misses", s.cache_misses),
             ("predllc_points_simulated", s.points_simulated),
             ("predllc_http_requests", s.http_requests),
+            ("predllc_workers_alive", s.workers_alive),
+            ("predllc_workers_lost", s.workers_lost),
+            ("predllc_points_assigned", s.points_assigned),
+            ("predllc_points_retried", s.points_retried),
+            ("predllc_points_cache_shared", s.points_cache_shared),
         ] {
             out.push_str(&format!("{name} {value}\n"));
         }
@@ -294,8 +328,9 @@ struct JobMap {
 pub struct Registry {
     jobs: Mutex<JobMap>,
     capacity: usize,
-    /// The service counters.
-    pub metrics: Metrics,
+    /// The service counters (shared: a fleet coordinator hands the same
+    /// instance to its dispatch layer so `/metrics` reflects both).
+    pub metrics: Arc<Metrics>,
 }
 
 impl Default for Registry {
@@ -315,10 +350,17 @@ impl Registry {
     /// everything registered is still queued/running, submissions fail
     /// with [`SubmitError::AtCapacity`].
     pub fn with_capacity(capacity: usize) -> Self {
+        Registry::with_metrics(capacity, Arc::new(Metrics::default()))
+    }
+
+    /// Like [`Registry::with_capacity`], with an externally owned
+    /// counter set — how a fleet coordinator shares one [`Metrics`]
+    /// between its HTTP registry and its dispatch loop.
+    pub fn with_metrics(capacity: usize, metrics: Arc<Metrics>) -> Self {
         Registry {
             jobs: Mutex::new(JobMap::default()),
             capacity: capacity.max(1),
-            metrics: Metrics::default(),
+            metrics,
         }
     }
 
@@ -560,6 +602,11 @@ mod tests {
             "predllc_cache_misses",
             "predllc_points_simulated",
             "predllc_http_requests",
+            "predllc_workers_alive",
+            "predllc_workers_lost",
+            "predllc_points_assigned",
+            "predllc_points_retried",
+            "predllc_points_cache_shared",
         ] {
             assert!(text.contains(name), "missing {name}");
         }

@@ -7,24 +7,36 @@
 //!   connection to its own detached thread — connections are cheap,
 //!   requests on them are served sequentially with keep-alive;
 //! * a small pool of **runner** threads drains the job queue; each job
-//!   runs `run_spec_observed` on the shared [`Executor`], so grid
-//!   points — not jobs — are the unit of simulation parallelism;
+//!   runs through the server's [`SpecRunner`] — the local one schedules
+//!   grid points on a shared [`Executor`], a fleet coordinator shards
+//!   them across workers — so grid points, not jobs, stay the unit of
+//!   simulation parallelism;
+//! * the **point endpoints** (`POST /v1/points`, `GET
+//!   /v1/points/{fingerprint}`) make any server a fleet worker: one
+//!   grid point in, exact-integer measurements out, answered from a
+//!   bounded content-addressed point cache when possible;
 //! * **graceful shutdown** ([`ServerHandle::shutdown`]) stops accepting
 //!   connections and submissions, then drains: every job already
 //!   accepted runs to completion (all its grid points) before
-//!   [`Server::run`] returns.
+//!   [`Server::run`] returns. [`ServerHandle::kill`] is the opposite —
+//!   an abrupt simulated crash for worker-loss testing.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
+use predllc_explore::hash::Fingerprint;
 use predllc_explore::report::{render_csv, render_json};
-use predllc_explore::{run_spec_observed, Executor};
+use predllc_explore::{
+    measure, run_spec_observed, Executor, ExperimentSpec, GridResult, PointError, PointRequest,
+    SearchOutcome,
+};
 
 use crate::http::{read_request, write_response, HttpError, Limits, Request, Response};
-use crate::registry::{Job, JobResult, JobStatus, MetricsSnapshot, Registry, SubmitError};
+use crate::registry::{Job, JobResult, JobStatus, Metrics, MetricsSnapshot, Registry, SubmitError};
 use predllc_explore::json::render_string;
 
 /// Tunables for a server instance.
@@ -47,6 +59,15 @@ pub struct ServerConfig {
     /// Most simultaneously open connections; excess connections are
     /// answered `503` and closed.
     pub max_connections: usize,
+    /// Most point measurements the shared point cache holds; past this
+    /// the oldest entry is evicted (an evicted point simply
+    /// re-simulates).
+    pub max_points: usize,
+    /// Fault injection for worker-loss tests: after this many point
+    /// requests answered successfully, the next one crashes the server
+    /// mid-response ([`ServerHandle::kill`] semantics — no response, no
+    /// drain). `None` (the default) disables it.
+    pub fail_after_points: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -58,7 +79,118 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             max_jobs: 1024,
             max_connections: 256,
+            max_points: 4096,
+            fail_after_points: None,
         }
+    }
+}
+
+/// The outcome of running one experiment spec, however it was executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// One result per declared grid point, declaration order.
+    pub grid: Vec<GridResult>,
+    /// The partition-search outcome, when the spec declared one.
+    pub search: Option<SearchOutcome>,
+    /// Physically distinct grid points resolved.
+    pub unique_points: usize,
+}
+
+/// How a server executes a whole experiment spec: locally on an
+/// [`Executor`], or sharded across fleet workers by a coordinator.
+///
+/// Implementations must be deterministic functions of the spec — the
+/// registry serves a job's rendered result forever, and a fleet
+/// coordinator's contract is bit-identity with the local runner.
+pub trait SpecRunner: Send + Sync {
+    /// Runs `spec` end to end, reporting grid progress through
+    /// `observe(done, unique_total)` (possibly from many threads).
+    ///
+    /// # Errors
+    ///
+    /// The rendered failure message served by the job status endpoint —
+    /// positioned (naming the failing configuration/workload) wherever
+    /// the underlying error is.
+    fn run_spec(
+        &self,
+        spec: &ExperimentSpec,
+        observe: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<RunOutcome, String>;
+
+    /// The thread count stamped into rendered JSON reports. A fleet
+    /// coordinator reports `1` so documents are byte-identical across
+    /// fleet shapes.
+    fn threads_label(&self) -> usize;
+}
+
+/// The in-process [`SpecRunner`]: every grid point runs on this
+/// server's own work-stealing [`Executor`].
+pub struct LocalRunner {
+    exec: Executor,
+}
+
+impl LocalRunner {
+    /// A runner over `threads` executor threads (`0` = one per core).
+    pub fn new(threads: usize) -> LocalRunner {
+        LocalRunner {
+            exec: Executor::new(threads),
+        }
+    }
+}
+
+impl SpecRunner for LocalRunner {
+    fn run_spec(
+        &self,
+        spec: &ExperimentSpec,
+        observe: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<RunOutcome, String> {
+        let report = run_spec_observed(spec, &self.exec, observe).map_err(|e| e.to_string())?;
+        Ok(RunOutcome {
+            grid: report.grid,
+            search: report.search,
+            unique_points: report.unique_points,
+        })
+    }
+
+    fn threads_label(&self) -> usize {
+        self.exec.threads()
+    }
+}
+
+/// The bounded content-addressed point cache shared by the point
+/// endpoints: fingerprint → rendered measurement JSON (rendered once,
+/// served byte-identically forever).
+struct PointCache {
+    by_fp: HashMap<Fingerprint, String>,
+    /// Insertion order; eviction drops the oldest entry.
+    order: VecDeque<Fingerprint>,
+    capacity: usize,
+}
+
+impl PointCache {
+    fn new(capacity: usize) -> PointCache {
+        PointCache {
+            by_fp: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, fp: &Fingerprint) -> Option<&str> {
+        self.by_fp.get(fp).map(String::as_str)
+    }
+
+    fn insert(&mut self, fp: Fingerprint, rendered: String) {
+        if self.by_fp.contains_key(&fp) {
+            return;
+        }
+        if self.by_fp.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.by_fp.remove(&oldest);
+            }
+        }
+        self.by_fp.insert(fp, rendered);
+        self.order.push_back(fp);
     }
 }
 
@@ -66,8 +198,11 @@ impl Default for ServerConfig {
 /// handles.
 struct Shared {
     registry: Registry,
-    exec: Executor,
+    runner: Arc<dyn SpecRunner>,
     shutdown: AtomicBool,
+    /// Set by [`ServerHandle::kill`] or the fault injector: the server
+    /// died abruptly — drop connections, drain nothing.
+    killed: AtomicBool,
     /// Present while the service accepts work; dropped on shutdown so
     /// runner threads drain the queue and exit.
     queue: Mutex<Option<mpsc::Sender<Arc<Job>>>>,
@@ -76,6 +211,25 @@ struct Shared {
     /// Simultaneously open connections, bounded by `max_connections`.
     connections: std::sync::atomic::AtomicUsize,
     max_connections: usize,
+    /// Point measurements shared across workers of a fleet.
+    points: Mutex<PointCache>,
+    /// See [`ServerConfig::fail_after_points`].
+    fail_after_points: Option<u64>,
+    /// Point requests answered successfully (the fault injector's
+    /// odometer).
+    points_answered: AtomicU64,
+    /// Our own bound address, to wake the accept loop on kill.
+    addr: SocketAddr,
+}
+
+/// Simulates an abrupt crash: stop accepting, close the job queue, wake
+/// the accept loop. Idempotent.
+fn kill_shared(shared: &Shared) {
+    if shared.killed.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.lock().unwrap().take();
+    let _ = TcpStream::connect(shared.addr);
 }
 
 /// Decrements the live-connection count however the connection thread
@@ -109,24 +263,48 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds the service (pass port `0` for an ephemeral port, then read
-    /// it back with [`Server::local_addr`]).
+    /// it back with [`Server::local_addr`]) with the in-process
+    /// [`LocalRunner`].
     ///
     /// # Errors
     ///
     /// Any socket-level failure to bind.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let runner = Arc::new(LocalRunner::new(config.threads));
+        Server::bind_with(addr, config, runner, Arc::new(Metrics::default()))
+    }
+
+    /// Like [`Server::bind`], with an explicit [`SpecRunner`] and an
+    /// externally owned counter set — how a fleet coordinator serves
+    /// the experiment API over its dispatch layer while `/metrics`
+    /// reports both sides.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure to bind.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        runner: Arc<dyn SpecRunner>,
+        metrics: Arc<Metrics>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let (tx, rx) = mpsc::channel();
         let shared = Arc::new(Shared {
-            registry: Registry::with_capacity(config.max_jobs),
-            exec: Executor::new(config.threads),
+            registry: Registry::with_metrics(config.max_jobs, metrics),
+            runner,
             shutdown: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
             queue: Mutex::new(Some(tx)),
             limits: config.limits,
             idle_timeout: config.idle_timeout,
             connections: std::sync::atomic::AtomicUsize::new(0),
             max_connections: config.max_connections.max(1),
+            points: Mutex::new(PointCache::new(config.max_points)),
+            fail_after_points: config.fail_after_points,
+            points_answered: AtomicU64::new(0),
+            addr,
         });
         Ok(Server {
             listener,
@@ -169,7 +347,9 @@ impl Server {
         }
 
         for conn in self.listener.incoming() {
-            if self.shared.shutdown.load(Ordering::SeqCst) {
+            if self.shared.shutdown.load(Ordering::SeqCst)
+                || self.shared.killed.load(Ordering::SeqCst)
+            {
                 break;
             }
             match conn {
@@ -231,6 +411,19 @@ impl ServerHandle {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Simulates an abrupt crash for worker-loss testing: the server
+    /// stops accepting, drops connections without responses and drains
+    /// nothing — the opposite of [`ServerHandle::shutdown`]. Idempotent.
+    pub fn kill(&self) {
+        kill_shared(&self.shared);
+    }
+
+    /// Whether the server was killed (by [`ServerHandle::kill`] or the
+    /// [`ServerConfig::fail_after_points`] fault injector).
+    pub fn was_killed(&self) -> bool {
+        self.shared.killed.load(Ordering::SeqCst)
+    }
+
     /// A point-in-time copy of the service counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.registry.metrics.snapshot()
@@ -242,8 +435,8 @@ impl ServerHandle {
     }
 }
 
-/// The runner loop: take jobs until the queue closes, run each on the
-/// shared executor, cache rendered results.
+/// The runner loop: take jobs until the queue closes, run each through
+/// the server's [`SpecRunner`], cache rendered results.
 fn run_jobs(shared: &Shared, rx: &Mutex<mpsc::Receiver<Arc<Job>>>) {
     loop {
         // Hold the receiver lock only while waiting for the next job so
@@ -252,36 +445,41 @@ fn run_jobs(shared: &Shared, rx: &Mutex<mpsc::Receiver<Arc<Job>>>) {
             Ok(job) => job,
             Err(_) => return, // queue closed and drained
         };
+        if shared.killed.load(Ordering::SeqCst) {
+            // A crashed server runs nothing; unregister the job.
+            shared.registry.abandon(&job, "service was killed");
+            continue;
+        }
         let metrics = &shared.registry.metrics;
         job.start();
         metrics.jobs_queued.fetch_sub(1, Ordering::Relaxed);
         metrics.jobs_running.fetch_add(1, Ordering::Relaxed);
         let observe = |done: usize, _total: usize| job.record_progress(done);
-        match run_spec_observed(&job.spec, &shared.exec, &observe) {
-            Ok(report) => {
+        match shared.runner.run_spec(&job.spec, &observe) {
+            Ok(outcome) => {
                 // Rendered once; every later fetch serves these bytes.
                 // No wall time in the JSON, so identical submissions
                 // yield identical documents.
                 let result = JobResult {
-                    csv: render_csv(&report.grid),
+                    csv: render_csv(&outcome.grid),
                     json: render_json(
                         &job.spec.name,
-                        shared.exec.threads(),
+                        shared.runner.threads_label(),
                         None,
-                        &report.grid,
-                        report.search.as_ref(),
+                        &outcome.grid,
+                        outcome.search.as_ref(),
                     ),
-                    unique_points: report.unique_points,
+                    unique_points: outcome.unique_points,
                 };
                 metrics
                     .points_simulated
-                    .fetch_add(report.unique_points as u64, Ordering::Relaxed);
+                    .fetch_add(outcome.unique_points as u64, Ordering::Relaxed);
                 metrics.jobs_done.fetch_add(1, Ordering::Relaxed);
                 job.finish(result);
             }
             Err(e) => {
                 metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
-                job.fail(e.to_string());
+                job.fail(e);
             }
         }
         metrics.jobs_running.fetch_sub(1, Ordering::Relaxed);
@@ -312,12 +510,17 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 return;
             }
         };
+        if shared.killed.load(Ordering::SeqCst) {
+            return; // a crashed server answers nothing
+        }
         shared
             .registry
             .metrics
             .http_requests
             .fetch_add(1, Ordering::Relaxed);
-        let response = route(shared, &request);
+        let Some(response) = route(shared, &request) else {
+            return; // the fault injector tripped mid-response
+        };
         let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
         if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
             return;
@@ -330,19 +533,123 @@ fn error_response(status: u16, message: &str) -> Response {
     Response::json(status, format!("{{\"error\":{}}}", render_string(message)))
 }
 
-/// Routes one request to its endpoint.
-fn route(shared: &Shared, req: &Request) -> Response {
+/// Routes one request to its endpoint. `None` means the fault injector
+/// tripped: the connection dies with no response, like a real crash.
+fn route(shared: &Shared, req: &Request) -> Option<Response> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
+    Some(match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::text("ok\n"),
         ("GET", ["metrics"]) => Response::text(shared.registry.metrics.render()),
         ("POST", ["v1", "experiments"]) => submit(shared, req),
         ("GET", ["v1", "experiments", id]) => status(shared, id),
         ("GET", ["v1", "experiments", id, "results"]) => results(shared, id, req),
-        (_, ["healthz" | "metrics"]) | (_, ["v1", "experiments", ..]) => {
-            error_response(405, "method not allowed")
-        }
+        ("POST", ["v1", "points"]) => return point_post(shared, req),
+        ("GET", ["v1", "points", fp]) => point_get(shared, fp),
+        (_, ["healthz" | "metrics"])
+        | (_, ["v1", "experiments", ..])
+        | (_, ["v1", "points", ..]) => error_response(405, "method not allowed"),
         _ => error_response(404, "no such endpoint"),
+    })
+}
+
+/// The point endpoints' success body: the fingerprint, whether the
+/// cache answered, and the measurement document.
+fn point_body(fp: &Fingerprint, cached: bool, measurement: &str) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"fingerprint\":{},\"cached\":{cached},\"measurement\":{measurement}}}",
+            render_string(&fp.to_hex()),
+        ),
+    )
+}
+
+/// A `422` body positioning a point failure: `{"error": ..., "kind":
+/// "config"|"sim"}` — the coordinator surfaces these as positioned job
+/// failures rather than generic transport errors.
+fn point_error(kind: &str, message: &str) -> Response {
+    Response::json(
+        422,
+        format!(
+            "{{\"error\":{},\"kind\":{}}}",
+            render_string(message),
+            render_string(kind),
+        ),
+    )
+}
+
+/// `POST /v1/points` — simulate (or answer from cache) one grid point:
+/// the endpoint that makes this server a fleet worker.
+fn point_post(shared: &Shared, req: &Request) -> Option<Response> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Some(error_response(503, "service is shutting down"));
+    }
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Some(error_response(400, "body is not utf-8"));
+    };
+    let point = match PointRequest::parse(body) {
+        Ok(p) => p,
+        Err(e) => return Some(error_response(400, &e.to_string())),
+    };
+    let fp = point.fingerprint();
+    let metrics = &shared.registry.metrics;
+
+    let cached = shared.points.lock().unwrap().get(&fp).map(str::to_string);
+    let (was_cached, rendered) = match cached {
+        Some(rendered) => {
+            metrics.points_cache_shared.fetch_add(1, Ordering::Relaxed);
+            (true, rendered)
+        }
+        None => {
+            let config = match point.config.build(point.cores) {
+                Ok(c) => c,
+                Err(e) => return Some(point_error("config", &e.to_string())),
+            };
+            let workload = point.workload.spec.build(point.cores);
+            let measurement = match measure(&config, &workload) {
+                Ok(m) => m,
+                Err(PointError::Config(e)) => return Some(point_error("config", &e.to_string())),
+                Err(PointError::Sim(e)) => return Some(point_error("sim", &e.to_string())),
+            };
+            let rendered = measurement.render();
+            shared.points.lock().unwrap().insert(fp, rendered.clone());
+            metrics.points_simulated.fetch_add(1, Ordering::Relaxed);
+            (false, rendered)
+        }
+    };
+
+    // Fault injection: after `fail_after_points` successful answers, the
+    // next one crashes mid-response — the worker-loss scenario the
+    // coordinator's recovery path is tested against.
+    if let Some(limit) = shared.fail_after_points {
+        let n = shared.points_answered.fetch_add(1, Ordering::SeqCst) + 1;
+        if n > limit {
+            kill_shared(shared);
+            return None;
+        }
+    } else {
+        shared.points_answered.fetch_add(1, Ordering::SeqCst);
+    }
+    Some(point_body(&fp, was_cached, &rendered))
+}
+
+/// `GET /v1/points/{fingerprint}` — a cached measurement, if this
+/// server has one (`404` otherwise; the caller simulates or POSTs).
+fn point_get(shared: &Shared, fp_hex: &str) -> Response {
+    let Some(fp) = Fingerprint::parse_hex(fp_hex) else {
+        return error_response(404, "not a point fingerprint");
+    };
+    let cached = shared.points.lock().unwrap().get(&fp).map(str::to_string);
+    match cached {
+        Some(rendered) => {
+            shared
+                .registry
+                .metrics
+                .points_cache_shared
+                .fetch_add(1, Ordering::Relaxed);
+            point_body(&fp, true, &rendered)
+        }
+        None => error_response(404, "point not cached"),
     }
 }
 

@@ -29,6 +29,10 @@
 //! * [`serve`] ([`predllc_serve`]) — the multi-tenant experiment
 //!   service: an HTTP/1.1 API over `std::net` with a content-addressed
 //!   result cache, so the same spec is never simulated twice.
+//! * [`fleet`] ([`predllc_fleet`]) — the distributed experiment fleet:
+//!   a coordinator shards grid points across worker services with a
+//!   shared point-level cache and worker-loss recovery, producing
+//!   results bit-identical to an in-process run.
 //!
 //! # Quickstart
 //!
@@ -112,6 +116,7 @@ pub use predllc_cache as cache;
 pub use predllc_core as sim;
 pub use predllc_dram as dram;
 pub use predllc_explore as explore;
+pub use predllc_fleet as fleet;
 pub use predllc_model as model;
 pub use predllc_serve as serve;
 pub use predllc_workload as workload;
@@ -129,6 +134,7 @@ pub use predllc_dram::{
     WorstCase,
 };
 pub use predllc_explore::{Executor, ExperimentSpec, ExploreReport, Fingerprint};
+pub use predllc_fleet::{Coordinator, CoordinatorConfig, FleetError};
 pub use predllc_model::{
     AccessKind, Address, BankId, CacheGeometry, CoreId, Cycles, DramGeometry, LineAddr, MemOp,
     RowAddr, SlotWidth,

@@ -1,0 +1,366 @@
+//! End-to-end tests of the distributed experiment fleet: whatever the
+//! fleet shape — one worker, four, or a worker killed mid-run — the
+//! coordinator's merged report must be byte-identical to an in-process
+//! `run_spec`, worker-side failures must surface positioned like local
+//! ones, and the shared point cache must answer re-runs without
+//! touching the workers.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::Duration;
+
+use predllc::explore::report::{render_csv, render_json};
+use predllc::explore::{run_spec, Executor};
+use predllc::fleet::{Coordinator, CoordinatorConfig, FleetError};
+use predllc::serve::{Metrics, Server, ServerConfig, ServerHandle};
+use predllc::workload_gen::UniformGen;
+use predllc::{CoreId, ExperimentSpec, LatencyHistogram, SharingMode, Simulator, SystemConfig};
+
+/// The serve-e2e grid: two platforms (one banked), two workload
+/// families, 4 unique points.
+const SPEC: &str = r#"{
+    "name": "fleet-e2e",
+    "cores": 2,
+    "configs": [
+        {"label": "SS(1,4)", "partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}},
+        {"partition": {"kind": "private", "sets": 4, "ways": 2},
+         "memory": {"kind": "banked", "banks": 8, "mapping": "bank-private"}}
+    ],
+    "workloads": [
+        {"kind": "uniform", "range_bytes": 4096, "ops": 300, "seed": 11, "write_fraction": 0.2},
+        {"kind": "stride", "range_bytes": 4096, "stride": 64, "ops": 300}
+    ]
+}"#;
+
+fn start_worker(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind an ephemeral port");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (handle, join)
+}
+
+fn stop_worker(handle: &ServerHandle, join: std::thread::JoinHandle<()>) {
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// A coordinator over `addrs` with a test-friendly heartbeat.
+fn coordinator_over(
+    addrs: impl IntoIterator<Item = SocketAddr>,
+    metrics: Arc<Metrics>,
+) -> Coordinator {
+    Coordinator::new(
+        addrs,
+        CoordinatorConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            ..CoordinatorConfig::default()
+        },
+        metrics,
+    )
+}
+
+#[test]
+fn fleet_reports_are_byte_identical_across_fleet_shapes() {
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    let local = run_spec(&spec, &Executor::new(1)).unwrap();
+    let reference_csv = render_csv(&local.grid);
+    let reference_json = render_json(&spec.name, 1, None, &local.grid, local.search.as_ref());
+
+    for shape in [1usize, 2, 4] {
+        let mut workers = Vec::new();
+        for _ in 0..shape {
+            workers.push(start_worker(ServerConfig::default()));
+        }
+        let metrics = Arc::new(Metrics::default());
+        let coordinator = coordinator_over(workers.iter().map(|(h, _)| h.addr()), metrics);
+        let report = coordinator.run(&spec, &|_, _| {}).unwrap();
+
+        assert_eq!(
+            report.grid, local.grid,
+            "grid diverged at {shape} worker(s)"
+        );
+        assert_eq!(report.unique_points, local.unique_points);
+        assert_eq!(report.total_points, local.total_points);
+        assert_eq!(
+            render_csv(&report.grid),
+            reference_csv,
+            "CSV diverged at {shape} worker(s)"
+        );
+        assert_eq!(
+            render_json(&spec.name, 1, None, &report.grid, report.search.as_ref()),
+            reference_json,
+            "JSON diverged at {shape} worker(s)"
+        );
+        for (handle, join) in workers {
+            stop_worker(&handle, join);
+        }
+    }
+}
+
+#[test]
+fn a_worker_killed_mid_run_does_not_change_the_bytes() {
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    let reference = render_csv(&run_spec(&spec, &Executor::new(1)).unwrap().grid);
+
+    // The first worker dies mid-answer on its very first point: the
+    // response never arrives, the connection drops, the point goes
+    // back on the queue and the survivor absorbs it.
+    let (doomed, doomed_join) = start_worker(ServerConfig {
+        fail_after_points: Some(0),
+        ..ServerConfig::default()
+    });
+    let (survivor, survivor_join) = start_worker(ServerConfig::default());
+
+    let metrics = Arc::new(Metrics::default());
+    let coordinator = coordinator_over([doomed.addr(), survivor.addr()], Arc::clone(&metrics));
+    let report = coordinator.run(&spec, &|_, _| {}).unwrap();
+
+    assert_eq!(render_csv(&report.grid), reference);
+    assert!(doomed.was_killed(), "the fault injector never fired");
+    assert_eq!(coordinator.live_workers(), 1);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.workers_lost, 1);
+    assert_eq!(snap.workers_alive, 1);
+    assert!(
+        snap.points_retried >= 1,
+        "the killed worker's point was never reassigned"
+    );
+    // Every point was assigned at least once, plus the reassignments.
+    assert_eq!(snap.points_assigned, 4 + snap.points_retried);
+
+    doomed_join.join().expect("killed server thread");
+    stop_worker(&survivor, survivor_join);
+}
+
+#[test]
+fn losing_every_worker_fails_instead_of_hanging() {
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    let (doomed, doomed_join) = start_worker(ServerConfig {
+        fail_after_points: Some(0),
+        ..ServerConfig::default()
+    });
+    let metrics = Arc::new(Metrics::default());
+    let coordinator = coordinator_over([doomed.addr()], Arc::clone(&metrics));
+    match coordinator.run(&spec, &|_, _| {}) {
+        Err(FleetError::NoWorkers { pending }) => assert_eq!(pending, 4),
+        other => panic!("expected NoWorkers, got {other:?}"),
+    }
+    assert_eq!(coordinator.live_workers(), 0);
+    assert_eq!(metrics.snapshot().workers_lost, 1);
+    doomed_join.join().expect("killed server thread");
+}
+
+#[test]
+fn worker_point_rejections_surface_positioned_not_generic() {
+    // A test double that speaks just enough HTTP: healthy heartbeats,
+    // but every point request is refused with a positioned 422 — the
+    // wire form of a worker-side simulation failure.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            let mut buf = [0u8; 8192];
+            let n = stream.read(&mut buf).unwrap_or(0);
+            let body = if buf[..n].starts_with(b"GET /healthz") {
+                "ok\n".to_string()
+            } else {
+                r#"{"error": "engine exploded mid-run", "kind": "sim"}"#.to_string()
+            };
+            let status = if buf[..n].starts_with(b"GET /healthz") {
+                "200 OK"
+            } else {
+                "422 Unprocessable Entity"
+            };
+            let _ = stream.write_all(
+                format!(
+                    "HTTP/1.1 {status}\r\ncontent-type: application/json\r\n\
+                     content-length: {}\r\nconnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+        }
+    });
+
+    let spec = ExperimentSpec::parse(
+        r#"{
+        "name": "fleet-reject", "cores": 2,
+        "configs": [{"label": "C0", "partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}}],
+        "workloads": [{"label": "W0", "kind": "uniform", "range_bytes": 1024, "ops": 50, "seed": 5}]
+    }"#,
+    )
+    .unwrap();
+    let coordinator = coordinator_over([addr], Arc::new(Metrics::default()));
+    match coordinator.run(&spec, &|_, _| {}) {
+        Err(err) => {
+            // The positioned wording mirrors the in-process error.
+            assert_eq!(
+                err.to_string(),
+                "grid point 'C0' x 'W0' failed: engine exploded mid-run"
+            );
+            match err {
+                FleetError::Point {
+                    config,
+                    workload,
+                    kind,
+                    message,
+                } => {
+                    assert_eq!(config, "C0");
+                    assert_eq!(workload, "W0");
+                    assert_eq!(kind, "sim");
+                    assert_eq!(message, "engine exploded mid-run");
+                }
+                other => panic!("expected a positioned Point failure, got {other:?}"),
+            }
+        }
+        other => panic!("expected a positioned Point failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn config_failures_read_identically_locally_and_on_a_fleet() {
+    // A platform too large to build: both paths must tell the same
+    // story, positioned at the same column.
+    let bad = r#"{
+        "name": "fleet-bad", "cores": 2,
+        "configs": [{"label": "huge",
+                     "partition": {"kind": "private", "sets": 32, "ways": 16}}],
+        "workloads": [{"kind": "uniform", "range_bytes": 1024, "ops": 10}]
+    }"#;
+    let spec = ExperimentSpec::parse(bad).unwrap();
+    let local = run_spec(&spec, &Executor::new(1)).unwrap_err().to_string();
+
+    let (handle, join) = start_worker(ServerConfig::default());
+    let coordinator = coordinator_over([handle.addr()], Arc::new(Metrics::default()));
+    let fleet = coordinator.run(&spec, &|_, _| {}).unwrap_err().to_string();
+    assert_eq!(fleet, local);
+    assert!(fleet.contains("'huge'"), "{fleet}");
+    stop_worker(&handle, join);
+}
+
+#[test]
+fn the_coordinator_point_cache_spans_runs_and_specs() {
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    let (handle, join) = start_worker(ServerConfig::default());
+    let metrics = Arc::new(Metrics::default());
+    let coordinator = coordinator_over([handle.addr()], Arc::clone(&metrics));
+
+    let first = coordinator.run(&spec, &|_, _| {}).unwrap();
+    assert_eq!(metrics.snapshot().points_assigned, 4);
+
+    // A different experiment sharing two physical points: both answered
+    // from the coordinator's cache, nothing reaches the worker.
+    let subset = r#"{
+        "name": "fleet-subset",
+        "cores": 2,
+        "configs": [
+            {"label": "SS(1,4)", "partition": {"kind": "shared", "sets": 1, "ways": 4, "mode": "SS"}}
+        ],
+        "workloads": [
+            {"kind": "uniform", "range_bytes": 4096, "ops": 300, "seed": 11, "write_fraction": 0.2},
+            {"kind": "stride", "range_bytes": 4096, "stride": 64, "ops": 300}
+        ]
+    }"#;
+    let subset_spec = ExperimentSpec::parse(subset).unwrap();
+    let served = coordinator.run(&subset_spec, &|_, _| {}).unwrap();
+    let local = run_spec(&subset_spec, &Executor::new(1)).unwrap();
+    assert_eq!(served.grid, local.grid);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.points_assigned, 4, "the subset re-reached the worker");
+    assert_eq!(snap.points_cache_shared, 2);
+
+    // A full re-run is served entirely from the cache, byte-identically.
+    let again = coordinator.run(&spec, &|_, _| {}).unwrap();
+    assert_eq!(render_csv(&again.grid), render_csv(&first.grid));
+    let snap = metrics.snapshot();
+    assert_eq!(snap.points_assigned, 4);
+    assert_eq!(snap.points_cache_shared, 6);
+    stop_worker(&handle, join);
+}
+
+/// A tiny deterministic PRNG for the shard-split property tests.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[test]
+fn real_run_shards_merge_to_the_single_run_histogram_in_any_order() {
+    // The per-core histograms of one real simulation ARE shards of the
+    // system-wide distribution: merging them in any order and grouping
+    // must rebuild it exactly — the property the fleet's merge-on-
+    // coordinator step rests on.
+    let config = SystemConfig::shared_partition(8, 4, 4, SharingMode::SetSequencer).unwrap();
+    let report = Simulator::new(config)
+        .unwrap()
+        .run(UniformGen::new(8192, 400).with_cores(4))
+        .unwrap();
+    let whole = report.latency_histogram();
+    assert!(!whole.is_empty());
+
+    let shards: Vec<LatencyHistogram> = (0..4)
+        .map(|i| report.stats.core(CoreId::new(i)).latencies.clone())
+        .collect();
+
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..16 {
+        // A random merge order...
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, (xorshift(&mut state) % (i as u64 + 1)) as usize);
+        }
+        // ...and a random grouping: fold pairs of partial merges, not
+        // just a left fold, to exercise associativity.
+        let mut partials: Vec<LatencyHistogram> =
+            order.iter().map(|&i| shards[i].clone()).collect();
+        while partials.len() > 1 {
+            let j = 1 + (xorshift(&mut state) % (partials.len() as u64 - 1)) as usize;
+            let absorbed = partials.swap_remove(j);
+            partials[0].merge(&absorbed);
+        }
+        let merged = partials.pop().unwrap();
+        assert_eq!(merged, whole);
+        assert_eq!(merged.percentile(100.0), report.max_request_latency());
+        assert_eq!(merged.summary(), whole.summary());
+    }
+}
+
+#[test]
+fn randomized_shard_splits_always_rebuild_the_full_histogram() {
+    // Scatter a synthetic latency stream over K shards at random; the
+    // shard-merge must equal the everything-in-one histogram bit for
+    // bit, for any K and any assignment.
+    let mut state = 0xdead_beef_cafe_f00du64;
+    for &k in &[1usize, 2, 3, 7] {
+        let mut whole = LatencyHistogram::new();
+        let mut shards = vec![LatencyHistogram::new(); k];
+        for _ in 0..5_000 {
+            let latency = predllc::Cycles::new(1 + xorshift(&mut state) % 10_000);
+            whole.record(latency);
+            let shard = (xorshift(&mut state) % k as u64) as usize;
+            shards[shard].record(latency);
+        }
+        let mut merged = LatencyHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged, whole, "split over {k} shard(s) diverged");
+        assert_eq!(merged.summary(), whole.summary());
+        assert_eq!(merged.percentile(100.0), whole.max());
+
+        // And the wire round-trip of every shard is lossless, so the
+        // property survives serialization too.
+        let rebuilt: Vec<LatencyHistogram> = shards
+            .iter()
+            .map(|s| {
+                LatencyHistogram::from_parts(s.total(), s.min(), s.max(), &s.bucket_entries())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(rebuilt, shards);
+    }
+}

@@ -310,6 +310,104 @@ fn deeply_nested_body_is_a_400_not_a_stack_overflow() {
 }
 
 #[test]
+fn metrics_render_exactly_including_fleet_counters() {
+    // The full `/metrics` body, byte for byte: every counter, fleet
+    // counters included, in declaration order. The fetch counts itself,
+    // so after one healthz this is request number two.
+    let (handle, join) = start(ServerConfig::default());
+    let mut client = Client::new(handle.addr());
+    client.healthz().unwrap();
+    let body = client.metrics().unwrap();
+    assert_eq!(
+        body,
+        "predllc_jobs_queued 0\n\
+         predllc_jobs_running 0\n\
+         predllc_jobs_done 0\n\
+         predllc_jobs_failed 0\n\
+         predllc_cache_hits 0\n\
+         predllc_cache_misses 0\n\
+         predllc_points_simulated 0\n\
+         predllc_http_requests 2\n\
+         predllc_workers_alive 0\n\
+         predllc_workers_lost 0\n\
+         predllc_points_assigned 0\n\
+         predllc_points_retried 0\n\
+         predllc_points_cache_shared 0\n"
+    );
+    stop(&handle, join);
+}
+
+#[test]
+fn point_endpoint_computes_caches_and_positions_errors() {
+    use predllc::explore::{measure, PointMeasurement, PointRequest};
+
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    let point = PointRequest {
+        cores: spec.cores,
+        config: spec.configs[0].clone(),
+        workload: spec.workloads[0].clone(),
+    };
+    let wire = point.render().unwrap();
+    let fingerprint = point.fingerprint().to_hex();
+
+    let (handle, join) = start(ServerConfig::default());
+    let mut client = Client::new(handle.addr());
+
+    // First POST simulates; the measurement round-trips to exactly what
+    // an in-process measure() of the same point produces.
+    let reply = client.point(&wire).unwrap();
+    assert!(!reply.cached);
+    assert_eq!(reply.fingerprint, fingerprint);
+    let shipped = PointMeasurement::from_json(&reply.measurement).unwrap();
+    let config = spec.configs[0].build(spec.cores).unwrap();
+    let workload = spec.workloads[0].spec.build(spec.cores);
+    assert_eq!(shipped, measure(&config, &workload).unwrap());
+
+    // The re-POST and the GET are shared-cache answers, not re-runs.
+    let again = client.point(&wire).unwrap();
+    assert!(again.cached);
+    assert_eq!(again.measurement, reply.measurement);
+    let fetched = client.cached_point(&fingerprint).unwrap();
+    assert!(fetched.cached);
+    assert_eq!(fetched.measurement, reply.measurement);
+    assert_eq!(client.metric("predllc_points_simulated").unwrap(), 1);
+    assert_eq!(client.metric("predllc_points_cache_shared").unwrap(), 2);
+
+    // An unbuildable platform is a positioned 422, not a generic 500.
+    let bad = ExperimentSpec::parse(
+        r#"{
+        "name": "bad", "cores": 2,
+        "configs": [{"partition": {"kind": "private", "sets": 32, "ways": 16}}],
+        "workloads": [{"kind": "uniform", "range_bytes": 1024, "ops": 10}]
+    }"#,
+    )
+    .unwrap();
+    let bad_wire = PointRequest {
+        cores: bad.cores,
+        config: bad.configs[0].clone(),
+        workload: bad.workloads[0].clone(),
+    }
+    .render()
+    .unwrap();
+    match client.point(&bad_wire) {
+        Err(predllc::serve::ClientError::Status { status: 422, body }) => {
+            assert!(body.contains("\"kind\""), "{body}");
+            assert!(body.contains("config"), "{body}");
+        }
+        other => panic!("expected 422, got {other:?}"),
+    }
+
+    // Unknown or malformed fingerprints → 404.
+    for fp in ["00000000000000000000000000000000", "not-hex"] {
+        match client.cached_point(fp) {
+            Err(predllc::serve::ClientError::Status { status: 404, .. }) => {}
+            other => panic!("expected 404 for {fp:?}, got {other:?}"),
+        }
+    }
+    stop(&handle, join);
+}
+
+#[test]
 fn shutdown_drains_every_accepted_job() {
     let (handle, join) = start(ServerConfig {
         threads: 2,
