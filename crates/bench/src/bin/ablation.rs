@@ -12,6 +12,7 @@
 //! Usage: `cargo run --release -p predllc-bench --bin ablation`
 
 use predllc_bench::harness;
+use predllc_bench::{data, error};
 use predllc_bus::ArbiterPolicy;
 use predllc_cache::ReplacementKind;
 use predllc_core::analysis::{critical, WclParams};
@@ -37,19 +38,24 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("ablation: {e}");
+            error!("ablation: {e}");
             ExitCode::FAILURE
         }
     }
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let _ = predllc_bench::log::init(std::env::args().skip(1).collect());
     let ops = 1_000;
 
-    println!("== Ablation 1: PRB/PWB arbiter policy (SS(1,4,4) + NSS(1,4,4), stress workload) ==");
-    println!(
+    data!("== Ablation 1: PRB/PWB arbiter policy (SS(1,4,4) + NSS(1,4,4), stress workload) ==");
+    data!(
         "{:<18} {:>14} {:>14} {:>14} {:>14}",
-        "arbiter", "SS wcl", "SS exec", "NSS wcl", "NSS exec"
+        "arbiter",
+        "SS wcl",
+        "SS exec",
+        "NSS wcl",
+        "NSS exec"
     );
     for policy in [
         ArbiterPolicy::WritebackFirst,
@@ -69,7 +75,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         };
         let (ss_wcl, ss_exec) = stress_run(mk(SharingMode::SetSequencer)?, ops)?;
         let (nss_wcl, nss_exec) = stress_run(mk(SharingMode::BestEffort)?, ops)?;
-        println!(
+        data!(
             "{:<18} {:>14} {:>14} {:>14} {:>14}",
             policy.to_string(),
             ss_wcl,
@@ -78,12 +84,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             nss_exec
         );
     }
-    println!();
+    data!();
 
-    println!("== Ablation 2: LLC replacement policy (bounds are policy-agnostic) ==");
-    println!(
+    data!("== Ablation 2: LLC replacement policy (bounds are policy-agnostic) ==");
+    data!(
         "{:<20} {:>12} {:>14} {:>12} {:>14}",
-        "replacement", "SS wcl", "SS bound", "NSS wcl", "NSS bound"
+        "replacement",
+        "SS wcl",
+        "SS bound",
+        "NSS wcl",
+        "NSS bound"
     );
     for repl in [
         ReplacementKind::Lru,
@@ -109,7 +119,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         let (ss_wcl, _) = stress_run(ss_cfg, ops)?;
         let (nss_wcl, _) = stress_run(nss_cfg, ops)?;
         let ok = ss_wcl <= ss_bound.as_u64() && nss_wcl <= nss_bound.as_u64();
-        println!(
+        data!(
             "{:<20} {:>12} {:>14} {:>12} {:>14}  {}",
             repl.to_string(),
             ss_wcl,
@@ -120,12 +130,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(ok, "observed WCL exceeded the analytical bound");
     }
-    println!();
+    data!();
 
-    println!("== Ablation 3: sharer-count sweep (1-set x 4-way shared partition, n = N) ==");
-    println!(
+    data!("== Ablation 3: sharer-count sweep (1-set x 4-way shared partition, n = N) ==");
+    data!(
         "{:>4} {:>12} {:>12} {:>14} {:>16}",
-        "n", "SS wcl", "SS bound", "NSS wcl", "NSS bound"
+        "n",
+        "SS wcl",
+        "SS bound",
+        "NSS wcl",
+        "NSS bound"
     );
     for n in 2..=8u16 {
         let ss_cfg = shared(1, 4, n, SharingMode::SetSequencer)?;
@@ -138,7 +152,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             ss_wcl <= ss_bound.as_u64() && nss_wcl <= nss_bound.as_u64(),
             "bound violated at n = {n}"
         );
-        println!(
+        data!(
             "{:>4} {:>12} {:>12} {:>14} {:>16}",
             n,
             ss_wcl,
@@ -147,6 +161,6 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             nss_bound.as_u64()
         );
     }
-    println!("\nAll observed WCLs within analytical bounds.");
+    data!("\nAll observed WCLs within analytical bounds.");
     Ok(())
 }

@@ -13,7 +13,7 @@
 //! [--quick] [--ops N]`
 
 use predllc_bench::harness::render_csv_with_backend;
-use predllc_bench::Sweep;
+use predllc_bench::{error, status, Sweep};
 use predllc_core::{MemoryConfig, PartitionSpec, SystemConfig};
 use predllc_dram::{BankMapping, DramTiming};
 use predllc_model::{CoreId, DramGeometry};
@@ -28,7 +28,7 @@ fn main() -> ExitCode {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
-            eprintln!("dram_sensitivity: {e}");
+            error!("dram_sensitivity: {e}");
             ExitCode::FAILURE
         }
     }
@@ -36,7 +36,7 @@ fn main() -> ExitCode {
 
 /// Runs the sweep; `Ok(false)` means the soundness check failed.
 fn run() -> Result<bool, Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
+    let args: Vec<String> = predllc_bench::log::init(std::env::args().collect());
     let quick = args.iter().any(|a| a == "--quick");
     let default_ops = if quick { 200 } else { 2_000 };
     let ops = args
@@ -80,7 +80,7 @@ fn run() -> Result<bool, Box<dyn std::error::Error>> {
     );
 
     let rows = sweep.run()?;
-    print!("{}", render_csv_with_backend(&rows));
+    predllc_bench::log::write_data(&render_csv_with_backend(&rows));
 
     // Soundness check: every observation stays within its row's
     // analytical WCL (the private-partition bound (2N+1)·SW here),
@@ -90,10 +90,10 @@ fn run() -> Result<bool, Box<dyn std::error::Error>> {
         .filter(|m| m.observed_wcl > m.analytical_wcl.unwrap_or(u64::MAX))
         .count();
     if violations > 0 {
-        eprintln!("CHECK FAILED: {violations} observations exceed their analytical bound");
+        error!("CHECK FAILED: {violations} observations exceed their analytical bound");
         return Ok(false);
     }
-    eprintln!(
+    status!(
         "CHECK ok: all {} observations within their analytical bounds",
         rows.len()
     );

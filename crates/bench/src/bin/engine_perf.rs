@@ -30,7 +30,9 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use predllc_bench::{data, error, status};
 use predllc_core::config::EngineMode;
+use predllc_core::EngineProfile;
 use predllc_core::{PartitionSpec, Simulator, SystemConfig};
 use predllc_explore::json::{parse, Json};
 use predllc_model::{CacheGeometry, CoreId};
@@ -274,8 +276,71 @@ fn gate(outcomes: &[Outcome], baseline: &Json, tolerance: f64) -> (String, bool)
     (report, ok)
 }
 
+/// The `obs_overhead` check: the same fast-forward workload timed
+/// three ways — plain `run` (no profile: the single untaken branch),
+/// and `run_profiled` with a sampled [`EngineProfile`] attached. The
+/// profiled run must (a) produce bit-identical stats, (b) actually
+/// record stage samples, and (c) stay within `tolerance` of the plain
+/// run's throughput. Returns whether the check passed.
+fn obs_overhead_check(total_ops: usize, iters: usize, tolerance: f64) -> bool {
+    let s = llc_hit_scenario(64, total_ops);
+    let sim =
+        Simulator::new((s.config)(EngineMode::FastForward)).expect("valid benchmark configuration");
+    let mut plain_best = 0.0f64;
+    let mut profiled_best = 0.0f64;
+    let mut plain_report = None;
+    let mut profiled_report = None;
+    let profile = EngineProfile::new(1024);
+    // Interleave the two variants so frequency scaling and cache state
+    // bias neither side; first pair is the warm-up.
+    for warm in 0..=iters {
+        let t0 = Instant::now();
+        let r = sim.run(&s.workload).expect("benchmark workload completes");
+        let plain_dt = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let rp = sim
+            .run_profiled(&s.workload, Some(&profile))
+            .expect("benchmark workload completes");
+        let profiled_dt = t1.elapsed().as_secs_f64();
+        if warm > 0 {
+            plain_best = plain_best.max(s.total_ops as f64 / plain_dt);
+            profiled_best = profiled_best.max(s.total_ops as f64 / profiled_dt);
+        }
+        plain_report = Some(r);
+        profiled_report = Some(rp);
+    }
+    let plain = plain_report.expect("at least one run");
+    let profiled = profiled_report.expect("at least one run");
+    if plain.stats != profiled.stats || plain.cycles != profiled.cycles {
+        error!("obs_overhead: a profiled run diverged from the plain run");
+        return false;
+    }
+    if profile.samples() == 0 {
+        error!("obs_overhead: the attached profile recorded no stage samples");
+        return false;
+    }
+    let overhead = 1.0 - profiled_best / plain_best;
+    data!(
+        "obs_overhead: plain {:.2} Mops/s, profiled {:.2} Mops/s, overhead {:+.1}% \
+         ({} stage samples, stats bit-identical)",
+        plain_best / 1e6,
+        profiled_best / 1e6,
+        overhead * 100.0,
+        profile.samples()
+    );
+    if overhead > tolerance {
+        error!(
+            "obs_overhead FAILED: sampled profiling costs {:.1}% (> {:.0}% tolerance)",
+            overhead * 100.0,
+            tolerance * 100.0
+        );
+        return false;
+    }
+    true
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = predllc_bench::log::init(std::env::args().skip(1).collect());
     let mut quick = false;
     let mut out = String::from("BENCH_engine.json");
     let mut gate_path: Option<String> = None;
@@ -294,7 +359,7 @@ fn main() -> ExitCode {
                     .expect("tolerance is a fraction, e.g. 0.2")
             }
             other => {
-                eprintln!("unknown argument '{other}'");
+                error!("unknown argument '{other}'");
                 return ExitCode::FAILURE;
             }
         }
@@ -314,47 +379,59 @@ fn main() -> ExitCode {
     let mut outcomes = Vec::new();
     for s in &scenarios {
         let o = run_scenario(s, iters);
-        println!(
+        data!(
             "{}: reference {:.2} Mops/s, fast-forward {:.2} Mops/s, speedup {:.2}x \
              ({} ops, stats bit-identical)",
-            o.name, o.ref_mops, o.fast_mops, o.speedup, o.total_ops
+            o.name,
+            o.ref_mops,
+            o.fast_mops,
+            o.speedup,
+            o.total_ops
         );
         outcomes.push(o);
     }
 
-    let json = render_json(&outcomes, "llc-hit-256t");
-    if let Err(e) = std::fs::write(&out, &json) {
-        eprintln!("cannot write {out}: {e}");
+    // The observability-overhead check: attaching a sampled profile to
+    // the fast engine must neither change the simulation nor cost more
+    // than the gate tolerance, and a run without one must stay on the
+    // single-branch hot path.
+    if !obs_overhead_check(if quick { 64 * 500 } else { 500_000 }, iters, tolerance) {
         return ExitCode::FAILURE;
     }
-    println!("wrote {out}");
+
+    let json = render_json(&outcomes, "llc-hit-256t");
+    if let Err(e) = std::fs::write(&out, &json) {
+        error!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    status!("wrote {out}");
 
     if let Some(path) = gate_path {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("cannot read baseline {path}: {e}");
+                error!("cannot read baseline {path}: {e}");
                 return ExitCode::FAILURE;
             }
         };
         let baseline = match parse(&text) {
             Ok(j) => j,
             Err(e) => {
-                eprintln!("baseline {path} is not valid json: {e}");
+                error!("baseline {path} is not valid json: {e}");
                 return ExitCode::FAILURE;
             }
         };
         let (report, ok) = gate(&outcomes, &baseline, tolerance);
-        print!("{report}");
+        predllc_bench::log::write_data(&report);
         if !ok {
-            eprintln!(
+            error!(
                 "perf gate FAILED: a metric regressed more than {:.0}% below \
                  the checked-in baseline",
                 tolerance * 100.0
             );
             return ExitCode::FAILURE;
         }
-        println!("perf gate passed (tolerance {:.0}%)", tolerance * 100.0);
+        data!("perf gate passed (tolerance {:.0}%)", tolerance * 100.0);
     }
     ExitCode::SUCCESS
 }

@@ -14,6 +14,10 @@
 //!     [--out PATH]           also write the report to PATH
 //!     [--bench-out PATH]     write the JSON benchmark artifact
 //!                            (grid + search + wall time) to PATH
+//!     [--trace-out PATH]     write the run's structured trace (one
+//!                            JSON event per line; explore.point spans
+//!                            with queue-wait and compute timings)
+//!     [--quiet | --verbose]  commentary level (stderr only)
 //! ```
 //!
 //! Exit status is non-zero on any spec/simulation failure, and on a
@@ -23,14 +27,16 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use predllc_bench::{error, status};
 use predllc_explore::report::{render_csv, render_json, render_search};
-use predllc_explore::{run_spec, Executor, ExperimentSpec};
+use predllc_explore::{run_spec_traced, Executor, ExperimentSpec};
+use predllc_obs::{render_jsonl, TraceCtx, TraceId, Tracer};
 
 fn main() -> ExitCode {
-    match run(std::env::args().skip(1).collect()) {
+    match run(predllc_bench::log::init(std::env::args().skip(1).collect())) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("explore: {message}");
+            error!("explore: {message}");
             ExitCode::FAILURE
         }
     }
@@ -42,6 +48,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut format = "csv".to_string();
     let mut out_path: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -59,6 +66,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
             "--out" => out_path = Some(it.next().ok_or("--out needs a path")?),
             "--bench-out" => bench_out = Some(it.next().ok_or("--bench-out needs a path")?),
+            "--trace-out" => trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
             other if spec_path.is_none() && !other.starts_with("--") => {
                 spec_path = Some(other.to_string());
             }
@@ -71,15 +79,20 @@ fn run(args: Vec<String>) -> Result<(), String> {
         std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
     let spec = ExperimentSpec::parse(&text).map_err(|e| e.to_string())?;
     let exec = Executor::new(threads);
-    eprintln!(
+    status!(
         "explore: '{}' — {} grid point(s) on {} thread(s)",
         spec.name,
         spec.grid_len(),
         exec.threads()
     );
 
+    // Tracing only reads the clock: the report is bit-identical with
+    // or without --trace-out.
+    let tracer = trace_out.as_ref().map(|_| Tracer::new());
+    let trace = TraceId::fresh();
+    let ctx = tracer.as_ref().map(|t| TraceCtx::new(t, trace));
     let started = Instant::now();
-    let report = run_spec(&spec, &exec).map_err(|e| e.to_string())?;
+    let report = run_spec_traced(&spec, &exec, &|_, _| {}, ctx).map_err(|e| e.to_string())?;
     let wall_ms = started.elapsed().as_millis() as u64;
 
     // The histogram exactness contract: every grid point's 100th
@@ -115,20 +128,32 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "json" => json.clone().expect("rendered above"),
         _ => render_csv(&report.grid),
     };
-    print!("{rendered}");
+    predllc_bench::log::write_data(&rendered);
     if let Some(path) = &out_path {
         std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if let Some(path) = &bench_out {
         let artifact = json.as_ref().expect("rendered above");
         std::fs::write(path, artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("explore: benchmark artifact written to {path}");
+        status!("explore: benchmark artifact written to {path}");
+    }
+    if let (Some(path), Some(t)) = (&trace_out, &tracer) {
+        let events = t.drain();
+        std::fs::write(path, render_jsonl(&events))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        status!(
+            "explore: trace {} written to {path} ({} event(s))",
+            trace.to_hex(),
+            events.len()
+        );
     }
 
     if let Some(outcome) = &report.search {
-        eprint!("{}", render_search(outcome));
+        if predllc_bench::log::enabled(predllc_bench::log::Level::Normal) {
+            eprint!("{}", render_search(outcome));
+        }
     }
-    eprintln!(
+    status!(
         "explore: {} point(s) in {wall_ms} ms, all percentiles consistent",
         report.grid.len()
     );

@@ -10,7 +10,7 @@ use predllc_bench::harness::{
     self, nss, p, paper_address_ranges, render_csv, render_table, uniform_workload, Measurement,
     Metric,
 };
-use predllc_bench::Sweep;
+use predllc_bench::{data, error, Sweep};
 use predllc_core::SimError;
 use std::process::ExitCode;
 
@@ -19,7 +19,7 @@ fn main() -> ExitCode {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
-            eprintln!("fig7: {e}");
+            error!("fig7: {e}");
             ExitCode::FAILURE
         }
     }
@@ -27,7 +27,7 @@ fn main() -> ExitCode {
 
 /// Runs the sweep; `Ok(false)` means a bound-violation check failed.
 fn run() -> Result<bool, SimError> {
-    let args: Vec<String> = std::env::args().collect();
+    let args: Vec<String> = predllc_bench::log::init(std::env::args().collect());
     let csv = args.iter().any(|a| a == "--csv");
     let ops = flag_value(&args, "--ops").unwrap_or(2_000);
     let seed = flag_value(&args, "--seed").unwrap_or(0xF167);
@@ -62,10 +62,10 @@ fn run() -> Result<bool, SimError> {
     rows.sort_by(|a, b| (a.range, &a.label).cmp(&(b.range, &b.label)));
 
     if csv {
-        print!("{}", render_csv(&rows));
+        predllc_bench::log::write_data(&render_csv(&rows));
         return Ok(true);
     }
-    println!(
+    data!(
         "{}",
         render_table(
             "Figure 7: observed WCL (cycles) vs per-core address range",
@@ -73,29 +73,29 @@ fn run() -> Result<bool, SimError> {
             Metric::ObservedWcl,
         )
     );
-    println!("Analytical WCLs (cycles):");
+    data!("Analytical WCLs (cycles):");
     for (label, build) in &configs {
-        println!(
+        data!(
             "  {label:<12} {}",
             harness::analytical_wcl(&build()).map_or("-".to_string(), |v| v.to_string())
         );
     }
-    println!();
+    data!();
     // The paper's criterion: every observation within its analytical WCL.
     let violations: Vec<&Measurement> = rows
         .iter()
         .filter(|m| m.analytical_wcl.is_some_and(|a| m.observed_wcl > a))
         .collect();
     if violations.is_empty() {
-        println!("CHECK ok: all observed WCLs are within their analytical bounds");
+        data!("CHECK ok: all observed WCLs are within their analytical bounds");
         Ok(true)
     } else {
-        println!(
+        data!(
             "CHECK FAILED: {} observations exceed their bound:",
             violations.len()
         );
         for v in violations {
-            println!(
+            data!(
                 "  {} @ {} B: observed {} > analytical {}",
                 v.label,
                 v.range,

@@ -15,7 +15,7 @@ use predllc_bench::harness::{
     nss, p, paper_address_ranges, render_csv, render_table, ss, uniform_workload, Measurement,
     Metric,
 };
-use predllc_bench::Sweep;
+use predllc_bench::{data, error, Sweep};
 use predllc_core::{SimError, SystemConfig};
 use std::process::ExitCode;
 
@@ -67,14 +67,14 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("fig8: {e}");
+            error!("fig8: {e}");
             ExitCode::FAILURE
         }
     }
 }
 
 fn run() -> Result<(), SimError> {
-    let args: Vec<String> = std::env::args().collect();
+    let args: Vec<String> = predllc_bench::log::init(std::env::args().collect());
     let csv = args.iter().any(|a| a == "--csv");
     let ops = flag_value(&args, "--ops").unwrap_or(4_000) as usize;
     let seed = flag_value(&args, "--seed").unwrap_or(0xF168);
@@ -100,9 +100,9 @@ fn run() -> Result<(), SimError> {
         rows.sort_by(|a, b| (a.range, &a.label).cmp(&(b.range, &b.label)));
 
         if csv {
-            print!("{}", render_csv(&rows));
+            predllc_bench::log::write_data(&render_csv(&rows));
         } else {
-            println!(
+            data!(
                 "{}",
                 render_table(panel.title, &rows, Metric::ExecutionTime)
             );
@@ -130,10 +130,10 @@ fn print_speedups(panel: &Panel, rows: &[Measurement]) {
         }
         if !ratios.is_empty() {
             let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-            println!("  average speedup of {ss_label} over {label}: {avg:.2}x");
+            data!("  average speedup of {ss_label} over {label}: {avg:.2}x");
         }
     }
-    println!();
+    data!();
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<u64> {

@@ -23,34 +23,40 @@
 //!     [--expect <csv>]           diff the fleet CSV against this file
 //!                                (default: run the spec in-process)
 //!     [--bench-out PATH]         write the JSON benchmark artifact
+//!     [--trace-out PATH]         write the coordinator-side trace of
+//!                                the sharded run (JSONL)
 //!     [--threads N]
+//!     [--quiet | --verbose]
 //! ```
 //!
 //! A worker prints `fleet: worker listening on http://ADDR` on
 //! **stdout** (the smoke parent parses it); everything else goes to
-//! stderr. The smoke check proves the fleet's determinism contract
+//! stderr. The smoke parent captures each worker's stderr and folds it
+//! into any failure message, so a dying worker explains itself. The smoke check proves the fleet's determinism contract
 //! end-to-end across processes: the coordinator's merged CSV must be
 //! byte-identical to the reference whatever the fleet shape, and — with
 //! `--kill-one` — even when a worker dies mid-run and its points are
 //! reassigned. It then re-runs the spec to prove the coordinator's
 //! shared point cache answers without touching the workers again.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::{Child, Command, ExitCode, Stdio};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use predllc_bench::{data, error, status};
 use predllc_explore::report::{render_csv, render_json};
 use predllc_explore::{run_spec, Executor, ExperimentSpec};
 use predllc_fleet::{Coordinator, CoordinatorConfig};
-use predllc_serve::{Metrics, Server, ServerConfig};
+use predllc_obs::{render_jsonl, TraceCtx, TraceId, Tracer};
+use predllc_serve::{Client, Metrics, Server, ServerConfig};
 
 fn main() -> ExitCode {
-    match run(std::env::args().skip(1).collect()) {
+    match run(predllc_bench::log::init(std::env::args().skip(1).collect())) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("fleet: {message}");
+            error!("fleet: {message}");
             ExitCode::FAILURE
         }
     }
@@ -67,6 +73,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut kill_one = false;
     let mut expect: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -91,6 +98,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--kill-one" => kill_one = true,
             "--expect" => expect = Some(it.next().ok_or("--expect needs a csv path")?),
             "--bench-out" => bench_out = Some(it.next().ok_or("--bench-out needs a path")?),
+            "--trace-out" => trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -120,6 +128,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 kill_one,
                 expect.as_deref(),
                 bench_out.as_deref(),
+                trace_out.as_deref(),
                 threads,
             )
         }
@@ -133,12 +142,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
 fn run_worker(addr: &str, config: ServerConfig) -> Result<(), String> {
     let fault = config.fail_after_points;
     let server = Server::bind(addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    println!("fleet: worker listening on http://{}", server.local_addr());
+    data!("fleet: worker listening on http://{}", server.local_addr());
     std::io::stdout()
         .flush()
         .map_err(|e| format!("cannot flush stdout: {e}"))?;
     if let Some(n) = fault {
-        eprintln!("fleet: worker will die after {n} point answer(s) (fault injection)");
+        status!("fleet: worker will die after {n} point answer(s) (fault injection)");
     }
     server.run().map_err(|e| e.to_string())
 }
@@ -158,12 +167,12 @@ fn run_coordinator(addr: &str, workers: &str) -> Result<(), String> {
     let worker_count = coordinator.worker_count();
     let server = Server::bind_with(addr, ServerConfig::default(), coordinator, metrics)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    eprintln!(
+    status!(
         "fleet: coordinator listening on http://{} over {} worker(s)",
         server.local_addr(),
         worker_count,
     );
-    eprintln!("fleet: POST a spec to /v1/experiments; see /healthz and /metrics");
+    status!("fleet: POST a spec to /v1/experiments; see /healthz and /metrics");
     server.run().map_err(|e| e.to_string())
 }
 
@@ -185,14 +194,33 @@ fn parse_worker_list(workers: &str) -> Result<Vec<SocketAddr>, String> {
 }
 
 /// A spawned worker child: killed and reaped on shutdown whatever the
-/// smoke outcome.
+/// smoke outcome. Its stderr is drained continuously by a capture
+/// thread (so the pipe can never fill and deadlock the child) and
+/// folded into failure messages.
 struct WorkerProcess {
     child: Child,
     addr: SocketAddr,
+    /// Everything the worker wrote to stderr so far.
+    stderr: Arc<Mutex<String>>,
+    /// The capture thread; joined when the child is reaped.
+    drain: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerProcess {
+    /// Kills and reaps the child, returning its captured stderr.
+    fn shutdown(&mut self) -> String {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(handle) = self.drain.take() {
+            let _ = handle.join();
+        }
+        self.stderr.lock().unwrap().clone()
+    }
 }
 
 /// Spawns one worker child via the current executable and parses the
-/// ephemeral address from its stdout listening line.
+/// ephemeral address from its stdout listening line. The child's
+/// stderr is piped and drained in the background from the start.
 fn spawn_worker(threads: usize, fail_after_points: Option<u64>) -> Result<WorkerProcess, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot find own executable: {e}"))?;
     let mut cmd = Command::new(exe);
@@ -201,13 +229,23 @@ fn spawn_worker(threads: usize, fail_after_points: Option<u64>) -> Result<Worker
         .arg("127.0.0.1:0")
         .arg("--threads")
         .arg(threads.to_string())
-        .stdout(Stdio::piped());
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
     if let Some(n) = fail_after_points {
         cmd.arg("--fail-after-points").arg(n.to_string());
     }
     let mut child = cmd
         .spawn()
         .map_err(|e| format!("cannot spawn a worker process: {e}"))?;
+    let captured = Arc::new(Mutex::new(String::new()));
+    let drain = child.stderr.take().map(|mut pipe| {
+        let sink = Arc::clone(&captured);
+        std::thread::spawn(move || {
+            let mut text = String::new();
+            let _ = pipe.read_to_string(&mut text);
+            sink.lock().unwrap().push_str(&text);
+        })
+    });
     let stdout = child.stdout.take().expect("stdout was piped");
     let mut line = String::new();
     BufReader::new(stdout)
@@ -222,12 +260,25 @@ fn spawn_worker(threads: usize, fail_after_points: Option<u64>) -> Result<Worker
             line.trim()
         )),
     };
+    let mut worker = WorkerProcess {
+        child,
+        addr: "0.0.0.0:0".parse().expect("placeholder address parses"),
+        stderr: captured,
+        drain,
+    };
     match addr {
-        Ok(addr) => Ok(WorkerProcess { child, addr }),
+        Ok(addr) => {
+            worker.addr = addr;
+            Ok(worker)
+        }
         Err(message) => {
-            let _ = child.kill();
-            let _ = child.wait();
-            Err(message)
+            // Include whatever the dying worker said on stderr.
+            let said = worker.shutdown();
+            if said.trim().is_empty() {
+                Err(message)
+            } else {
+                Err(format!("{message}\nworker stderr:\n{said}"))
+            }
         }
     }
 }
@@ -236,12 +287,14 @@ fn spawn_worker(threads: usize, fail_after_points: Option<u64>) -> Result<Worker
 /// across them, the merged CSV byte-diffed against the reference —
 /// optionally with one worker fault-injected to die mid-run — then a
 /// re-run answered entirely by the coordinator's shared point cache.
+#[allow(clippy::too_many_arguments)]
 fn run_smoke(
     spec_path: &str,
     workers: usize,
     kill_one: bool,
     expect: Option<&str>,
     bench_out: Option<&str>,
+    trace_out: Option<&str>,
     threads: usize,
 ) -> Result<(), String> {
     if workers == 0 {
@@ -280,7 +333,7 @@ fn run_smoke(
             }
         }
     }
-    eprintln!(
+    status!(
         "fleet: smoke with {} worker process(es){} at {}",
         fleet.len(),
         if kill_one {
@@ -295,18 +348,35 @@ fn run_smoke(
             .join(", "),
     );
 
-    let outcome = smoke_inner(&spec, &reference, &fleet, kill_one, bench_out);
-    shutdown_fleet(&mut fleet);
-    outcome
+    let outcome = smoke_inner(&spec, &reference, &fleet, kill_one, bench_out, trace_out);
+    let captured = shutdown_fleet(&mut fleet);
+    // A failed smoke quotes what the (possibly dead) workers said on
+    // stderr — the difference between "worker lost" and a diagnosis.
+    outcome.map_err(|message| {
+        if captured.trim().is_empty() {
+            message
+        } else {
+            format!("{message}\n--- worker stderr ---\n{}", captured.trim_end())
+        }
+    })
 }
 
-/// Kills and reaps every worker child.
-fn shutdown_fleet(fleet: &mut Vec<WorkerProcess>) {
-    for worker in fleet.iter_mut() {
-        let _ = worker.child.kill();
-        let _ = worker.child.wait();
+/// Kills and reaps every worker child, returning their combined
+/// captured stderr (each block labelled by worker index and address).
+fn shutdown_fleet(fleet: &mut Vec<WorkerProcess>) -> String {
+    let mut combined = String::new();
+    for (i, worker) in fleet.iter_mut().enumerate() {
+        let addr = worker.addr;
+        let said = worker.shutdown();
+        if !said.trim().is_empty() {
+            combined.push_str(&format!("[worker {i} @ {addr}]\n{said}"));
+            if !said.ends_with('\n') {
+                combined.push('\n');
+            }
+        }
     }
     fleet.clear();
+    combined
 }
 
 /// The smoke body, separated so the caller can always reap the fleet.
@@ -316,6 +386,7 @@ fn smoke_inner(
     fleet: &[WorkerProcess],
     kill_one: bool,
     bench_out: Option<&str>,
+    trace_out: Option<&str>,
 ) -> Result<(), String> {
     let metrics = Arc::new(Metrics::default());
     let coordinator = Coordinator::new(
@@ -327,9 +398,16 @@ fn smoke_inner(
         Arc::clone(&metrics),
     );
 
+    // With --trace-out the sharded run records coordinator-side spans
+    // (queue wait, dispatch RTT, requeues, the merge tail) under one
+    // fresh trace ID; workers echo the same ID in their own sinks.
+    let tracer = trace_out.map(|_| Tracer::new());
+    let trace = TraceId::fresh();
+    let ctx = tracer.as_ref().map(|t| TraceCtx::new(t, trace));
+
     let started = Instant::now();
     let report = coordinator
-        .run(spec, &|_, _| {})
+        .run_traced(spec, &|_, _| {}, ctx)
         .map_err(|e| e.to_string())?;
     let wall_ms = started.elapsed().as_millis() as u64;
     let served = render_csv(&report.grid);
@@ -343,9 +421,12 @@ fn smoke_inner(
         ));
     }
     let snap = metrics.snapshot();
-    eprintln!(
+    status!(
         "fleet: {} unique point(s) in {wall_ms} ms — {} assigned, {} retried, {} worker(s) lost",
-        report.unique_points, snap.points_assigned, snap.points_retried, snap.workers_lost
+        report.unique_points,
+        snap.points_assigned,
+        snap.points_retried,
+        snap.workers_lost
     );
     if kill_one {
         if snap.workers_lost != 1 {
@@ -395,9 +476,35 @@ fn smoke_inner(
             report.search.as_ref(),
         );
         std::fs::write(path, artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("fleet: benchmark artifact written to {path}");
+        status!("fleet: benchmark artifact written to {path}");
     }
-    eprintln!(
+    // Exposition validity, both sides: the coordinator's registry
+    // render, and a live worker's /metrics over HTTP (a fleet worker
+    // IS a serve instance, so this is the real scrape path).
+    let rendered = metrics.render();
+    let summary = predllc_obs::expo::validate(&rendered)
+        .map_err(|e| format!("coordinator metrics failed exposition validation: {e}"))?;
+    let worker_expo = Client::new(fleet.last().expect("fleet is non-empty").addr)
+        .metrics()
+        .map_err(|e| format!("cannot scrape a worker's /metrics: {e}"))?;
+    let worker_summary = predllc_obs::expo::validate(&worker_expo)
+        .map_err(|e| format!("worker /metrics failed exposition validation: {e}"))?;
+    status!(
+        "fleet: /metrics validated (coordinator: {} families, worker: {} families)",
+        summary.families,
+        worker_summary.families
+    );
+    if let (Some(path), Some(t)) = (trace_out, &tracer) {
+        let events = t.drain();
+        std::fs::write(path, render_jsonl(&events))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        status!(
+            "fleet: trace {} written to {path} ({} event(s))",
+            trace.to_hex(),
+            events.len()
+        );
+    }
+    status!(
         "fleet: smoke ok — fleet CSV byte-identical to the reference{}, \
          re-run served from the shared point cache",
         if kill_one {

@@ -5,6 +5,7 @@
 //!
 //! Usage: `cargo run --release -p predllc-bench --bin headline`
 
+use predllc_bench::data;
 use predllc_core::analysis::WclParams;
 use predllc_model::SlotWidth;
 
@@ -20,17 +21,21 @@ fn params(ways: u32, partition_lines: u64, core_capacity: u64, n: u16) -> WclPar
 }
 
 fn main() {
-    println!("== Paper §5 analytical WCLs (4 cores, 50-cycle slots) ==");
-    println!(
+    let _ = predllc_bench::log::init(std::env::args().skip(1).collect());
+    data!("== Paper §5 analytical WCLs (4 cores, 50-cycle slots) ==");
+    data!(
         "{:<24} {:>12} {:>12} {:>12}",
-        "configuration", "NSS", "SS", "P"
+        "configuration",
+        "NSS",
+        "SS",
+        "P"
     );
     for (label, ways, m_lines) in [
         ("1 set x 16 ways (Fig 7)", 16u32, 16u64),
         ("1 set x 2 ways (Fig 7)", 2, 2),
     ] {
         let p = params(ways, m_lines, 64, 4);
-        println!(
+        data!(
             "{:<24} {:>12} {:>12} {:>12}",
             label,
             p.wcl_one_slot_tdm().as_u64(),
@@ -38,36 +43,39 @@ fn main() {
             p.wcl_private().as_u64(),
         );
     }
-    println!();
+    data!();
 
-    println!("== Headline claim: WCL reduction for 16-way, 128-line partition ==");
+    data!("== Headline claim: WCL reduction for 16-way, 128-line partition ==");
     let p = params(16, 128, 128, 4);
-    println!(
+    data!(
         "  WCL without sequencer (Thm 4.7): {} cycles",
         p.wcl_one_slot_tdm().as_u64()
     );
-    println!(
+    data!(
         "  WCL with sequencer    (Thm 4.8): {} cycles",
         p.wcl_set_sequencer().as_u64()
     );
-    println!(
+    data!(
         "  reduction ratio:                 {:.0}x",
         p.improvement_ratio()
     );
-    println!("  paper claims:                    2048x");
-    println!(
+    data!("  paper claims:                    2048x");
+    data!(
         "  (exact arithmetic of Eq. (1)/(2) gives ~1486x; the shape —\n   three orders of magnitude, size-independence — holds; see EXPERIMENTS.md)"
     );
-    println!();
+    data!();
 
-    println!("== WCL scaling with sharer count (w=16, M=128, m_cua=128, N=n) ==");
-    println!(
+    data!("== WCL scaling with sharer count (w=16, M=128, m_cua=128, N=n) ==");
+    data!(
         "{:>4} {:>16} {:>12} {:>10}",
-        "n", "NSS (cycles)", "SS (cycles)", "ratio"
+        "n",
+        "NSS (cycles)",
+        "SS (cycles)",
+        "ratio"
     );
     for n in 2..=16u16 {
         let p = params(16, 128, 128, n);
-        println!(
+        data!(
             "{:>4} {:>16} {:>12} {:>10.0}",
             n,
             p.wcl_one_slot_tdm().as_u64(),
@@ -75,16 +83,18 @@ fn main() {
             p.improvement_ratio(),
         );
     }
-    println!();
+    data!();
 
-    println!("== SS WCL is independent of partition size (n=N=4) ==");
-    println!(
+    data!("== SS WCL is independent of partition size (n=N=4) ==");
+    data!(
         "{:>14} {:>16} {:>12}",
-        "M (lines)", "NSS (cycles)", "SS (cycles)"
+        "M (lines)",
+        "NSS (cycles)",
+        "SS (cycles)"
     );
     for m in [16u64, 32, 64, 128, 256, 512] {
         let p = params(16, m, u64::MAX, 4);
-        println!(
+        data!(
             "{:>14} {:>16} {:>12}",
             m,
             p.wcl_one_slot_tdm().as_u64(),

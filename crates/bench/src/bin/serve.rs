@@ -12,7 +12,10 @@
 //! cargo run --release -p predllc-bench --bin serve -- --smoke <spec.json>
 //!     [--expect <csv>]   diff the served CSV against this file
 //!                        (default: run the spec in-process and diff)
+//!     [--trace-out PATH] write the smoke job's structured trace
+//!                        (JSONL, fetched from /v1/jobs/{id}/trace)
 //!     [--threads N]
+//!     [--quiet | --verbose]
 //! ```
 //!
 //! The smoke mode is the end-to-end determinism check CI runs: start
@@ -25,15 +28,16 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use predllc_bench::{error, status};
 use predllc_explore::report::render_csv;
 use predllc_explore::{run_spec, Executor, ExperimentSpec};
 use predllc_serve::{Client, Server, ServerConfig};
 
 fn main() -> ExitCode {
-    match run(std::env::args().skip(1).collect()) {
+    match run(predllc_bench::log::init(std::env::args().skip(1).collect())) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("serve: {message}");
+            error!("serve: {message}");
             ExitCode::FAILURE
         }
     }
@@ -45,6 +49,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut runners = 1usize;
     let mut smoke: Option<String> = None;
     let mut expect: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -63,6 +68,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
             "--smoke" => smoke = Some(it.next().ok_or("--smoke needs a spec path")?),
             "--expect" => expect = Some(it.next().ok_or("--expect needs a csv path")?),
+            "--trace-out" => trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -72,7 +78,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         ..ServerConfig::default()
     };
     match smoke {
-        Some(spec_path) => run_smoke(&spec_path, expect.as_deref(), config),
+        Some(spec_path) => run_smoke(&spec_path, expect.as_deref(), trace_out.as_deref(), config),
         None => run_forever(&addr, config),
     }
 }
@@ -81,18 +87,23 @@ fn run(args: Vec<String>) -> Result<(), String> {
 fn run_forever(addr: &str, config: ServerConfig) -> Result<(), String> {
     let threads = config.threads;
     let server = Server::bind(addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    eprintln!(
+    status!(
         "serve: listening on http://{} ({} executor thread(s))",
         server.local_addr(),
         Executor::new(threads).threads(),
     );
-    eprintln!("serve: POST a spec to /v1/experiments; see /healthz and /metrics");
+    status!("serve: POST a spec to /v1/experiments; see /healthz and /metrics");
     server.run().map_err(|e| e.to_string())
 }
 
 /// The CI smoke: ephemeral port, one spec through the full HTTP path,
 /// served bytes diffed against the reference, cache hit verified.
-fn run_smoke(spec_path: &str, expect: Option<&str>, config: ServerConfig) -> Result<(), String> {
+fn run_smoke(
+    spec_path: &str,
+    expect: Option<&str>,
+    trace_out: Option<&str>,
+    config: ServerConfig,
+) -> Result<(), String> {
     let text =
         std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
     let threads = config.threads;
@@ -113,22 +124,24 @@ fn run_smoke(spec_path: &str, expect: Option<&str>, config: ServerConfig) -> Res
     let server = Server::bind("127.0.0.1:0", config)
         .map_err(|e| format!("cannot bind an ephemeral port: {e}"))?;
     let handle = server.handle();
-    eprintln!("serve: smoke instance on http://{}", handle.addr());
+    status!("serve: smoke instance on http://{}", handle.addr());
     let join = std::thread::spawn(move || server.run());
 
     let outcome = (|| -> Result<(), String> {
         let mut client = Client::new(handle.addr()).with_timeout(Duration::from_secs(600));
         let submitted = client.submit(&text).map_err(|e| e.to_string())?;
-        eprintln!(
+        status!(
             "serve: submitted {} ({} unique point(s))",
-            submitted.id, submitted.points_total
+            submitted.id,
+            submitted.points_total
         );
         let status = client
             .wait_done(&submitted.id, Duration::from_secs(600))
             .map_err(|e| e.to_string())?;
-        eprintln!(
+        status!(
             "serve: job done ({}/{} points)",
-            status.points_done, status.points_total
+            status.points_done,
+            status.points_total
         );
         let served = client
             .results_csv(&submitted.id)
@@ -163,7 +176,22 @@ fn run_smoke(spec_path: &str, expect: Option<&str>, config: ServerConfig) -> Res
                 status.points_total
             ));
         }
-        eprintln!(
+        // The live scrape must pass the in-tree exposition validator.
+        let exposition = client.metrics().map_err(|e| e.to_string())?;
+        let summary = predllc_obs::expo::validate(&exposition)
+            .map_err(|e| format!("/metrics failed exposition validation: {e}"))?;
+        status!(
+            "serve: /metrics validated ({} families, {} samples)",
+            summary.families,
+            summary.samples
+        );
+        if let Some(path) = trace_out {
+            let jsonl = client.job_trace(&submitted.id).map_err(|e| e.to_string())?;
+            let events = jsonl.lines().filter(|l| !l.trim().is_empty()).count();
+            std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+            status!("serve: job trace written to {path} ({events} event(s))");
+        }
+        status!(
             "serve: smoke ok — served CSV byte-identical to the reference, \
              cache hit on resubmission, {points} point(s) simulated once"
         );

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod log;
 pub mod sweep;
 
 pub use harness::Measurement;

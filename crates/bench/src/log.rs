@@ -1,0 +1,149 @@
+//! Level-aware logging shared by every bench binary.
+//!
+//! The bench CLIs produce two very different kinds of output:
+//!
+//! * **data** — CSV rows, report tables, check verdicts: the program's
+//!   product. It goes to stdout, byte-identical regardless of
+//!   verbosity ([`data!`] / [`write_data`]).
+//! * **commentary** — progress, diagnostics, errors. It goes to
+//!   stderr, level-tagged, and obeys `--quiet` / `--verbose`:
+//!   [`status!`] (`[info]`, hidden by `--quiet`), [`verbose!`]
+//!   (`[debug]`, shown only with `--verbose`) and [`error!`]
+//!   (`[error]`, never hidden).
+//!
+//! [`init`] strips the two flags from an argument list and sets the
+//! process-wide level, so every binary gets them for free:
+//!
+//! ```
+//! let args = predllc_bench::log::init(vec!["--quiet".into(), "x".into()]);
+//! assert_eq!(args, vec!["x".to_string()]);
+//! assert_eq!(predllc_bench::log::level(), predllc_bench::log::Level::Quiet);
+//! # predllc_bench::log::set_level(predllc_bench::log::Level::Normal);
+//! ```
+//!
+//! [`data!`]: crate::data
+//! [`status!`]: crate::status
+//! [`verbose!`]: crate::verbose
+//! [`error!`]: crate::error
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How talkative the commentary channel is. Data output is unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Only `[error]` lines.
+    Quiet = 0,
+    /// `[info]` and `[error]` lines (the default).
+    Normal = 1,
+    /// Everything, including `[debug]` lines.
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Normal as u8);
+
+/// Consumes `--quiet` / `--verbose` from an argument list (either flag
+/// may appear anywhere; the last one wins) and returns the remaining
+/// arguments in order.
+pub fn init(args: Vec<String>) -> Vec<String> {
+    let mut rest = Vec::with_capacity(args.len());
+    for arg in args {
+        match arg.as_str() {
+            "--quiet" | "-q" => set_level(Level::Quiet),
+            "--verbose" | "-v" => set_level(Level::Verbose),
+            _ => rest.push(arg),
+        }
+    }
+    rest
+}
+
+/// The current commentary level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        2 => Level::Verbose,
+        _ => Level::Normal,
+    }
+}
+
+/// Sets the commentary level directly (what [`init`] calls).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether commentary at `at` is currently emitted.
+pub fn enabled(at: Level) -> bool {
+    // Quiet still shows errors; the gate is only for info/debug.
+    level() >= at
+}
+
+/// Writes already-rendered data to stdout verbatim (no added newline)
+/// — the `print!` twin of [`data!`](crate::data).
+pub fn write_data(rendered: &str) {
+    print!("{rendered}");
+}
+
+/// Data output: stdout, always, no tag. The program's product — CSV
+/// rows, tables, check verdicts, machine-parsed lines.
+#[macro_export]
+macro_rules! data {
+    ($($arg:tt)*) => {
+        println!($($arg)*)
+    };
+}
+
+/// Status commentary: stderr, tagged `[info]`, hidden by `--quiet`.
+#[macro_export]
+macro_rules! status {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Normal) {
+            eprintln!("[info] {}", format_args!($($arg)*));
+        }
+    };
+}
+
+/// Debug commentary: stderr, tagged `[debug]`, shown only with
+/// `--verbose`.
+#[macro_export]
+macro_rules! verbose {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Verbose) {
+            eprintln!("[debug] {}", format_args!($($arg)*));
+        }
+    };
+}
+
+/// Errors: stderr, tagged `[error]`, never hidden.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        eprintln!("[error] {}", format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_strips_flags_and_sets_the_level() {
+        // Serialize against other tests touching the global level.
+        let args = init(vec![
+            "spec.json".into(),
+            "--verbose".into(),
+            "--threads".into(),
+            "2".into(),
+        ]);
+        assert_eq!(args, vec!["spec.json", "--threads", "2"]);
+        assert_eq!(level(), Level::Verbose);
+        assert!(enabled(Level::Normal) && enabled(Level::Verbose));
+
+        let args = init(vec!["--quiet".into()]);
+        assert!(args.is_empty());
+        assert_eq!(level(), Level::Quiet);
+        assert!(!enabled(Level::Normal));
+        assert!(enabled(Level::Quiet));
+
+        set_level(Level::Normal);
+        assert!(enabled(Level::Normal) && !enabled(Level::Verbose));
+    }
+}

@@ -40,6 +40,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use predllc_bus::{BusGrant, SlotArbiter, TdmSchedule};
 use predllc_cache::PrivateHierarchy;
@@ -51,6 +52,7 @@ use crate::core_model::{CoreModel, CoreProgress};
 use crate::error::{ConfigError, SimError};
 use crate::events::{BlockReason, EventKind, EventLog};
 use crate::llc::{ResponseKind, ServiceOutcome, SharedLlc};
+use crate::profile::EngineProfile;
 use crate::stats::SimStats;
 
 /// Slots without any progress — no bus transaction *and* no operation
@@ -165,6 +167,27 @@ impl Simulator {
     ///   long time with unfinished work — a simulator bug, reported as a
     ///   typed error so sweeps stay panic-free.
     pub fn run<W: Workload>(&self, workload: W) -> Result<RunReport, SimError> {
+        self.run_profiled(workload, None)
+    }
+
+    /// Like [`Simulator::run`], with optional sampled stage profiling.
+    ///
+    /// When `profile` is `Some`, every `sample_every`-th slot's
+    /// wall-clock cost is recorded into the profile's per-stage
+    /// histograms (arbiter / LLC / DRAM / idle-jump). Profiling only
+    /// *reads* time — it never feeds back into simulated time — so the
+    /// returned [`RunReport`] is bit-identical to an unprofiled run.
+    /// When `profile` is `None` the instrumentation collapses to one
+    /// untaken branch per slot.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_profiled<W: Workload>(
+        &self,
+        workload: W,
+        profile: Option<&EngineProfile>,
+    ) -> Result<RunReport, SimError> {
         let cfg = &self.config;
         let n = cfg.num_cores();
         if workload.num_cores() != n {
@@ -213,6 +236,7 @@ impl Simulator {
             lat_batch: vec![(Cycles::ZERO, 0); n as usize],
             fast,
             scratch_acks: Vec::new(),
+            profile,
         };
         let (timed_out, end_slot) = if fast {
             engine.run_fast()?
@@ -258,6 +282,10 @@ struct Engine<'c, I> {
     /// Cores that were handed an acknowledgement write-back in the last
     /// processed slot (their bus calendar changed).
     scratch_acks: Vec<usize>,
+    /// Sampled stage profiling, when the caller asked for it. `None`
+    /// costs one untaken branch per slot; timings are read-only and
+    /// never influence simulated time.
+    profile: Option<&'c EngineProfile>,
 }
 
 impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
@@ -439,6 +467,11 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
             // 2. While a shared-partition core is mid-run, its future
             //    hits are exposed to partition-mates' evictions: step
             //    this slot exactly like the reference engine.
+            let sel_prof = match self.profile {
+                Some(p) if !shared_running && p.should_sample() => Some(p),
+                _ => None,
+            };
+            let sel_start = sel_prof.map(|_| Instant::now());
             let event = if shared_running {
                 Event::Step
             } else {
@@ -489,6 +522,14 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
                 }
                 choice
             };
+            // Only a genuine leap over idle slots counts as the
+            // idle-jump stage; a same-slot transaction is ordinary
+            // event selection.
+            if let (Some(p), Some(t)) = (sel_prof, sel_start) {
+                if matches!(event, Event::Transact(s) if s > slot) {
+                    p.idle_jump.record(t.elapsed());
+                }
+            }
 
             match event {
                 Event::Step => {
@@ -623,6 +664,22 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
     /// shared implementation both engine loops call, so their behaviour
     /// cannot drift.
     fn process_slot(&mut self, slot: u64, now: Cycles) -> SlotOutcome {
+        // Disabled profiling is exactly this one untaken branch.
+        match self.profile {
+            Some(p) if p.should_sample() => self.process_slot_timed(Some(p), slot, now),
+            _ => self.process_slot_timed(None, slot, now),
+        }
+    }
+
+    /// The slot transaction proper. `prof` is `Some` only on sampled
+    /// slots; the timers read the wall clock and never touch simulated
+    /// time, so a timed slot computes exactly what an untimed one does.
+    fn process_slot_timed(
+        &mut self,
+        prof: Option<&EngineProfile>,
+        slot: u64,
+        now: Cycles,
+    ) -> SlotOutcome {
         let sw = self.sw;
         let precise_sharers = self.cfg.precise_sharers();
         let fast = self.fast;
@@ -642,6 +699,7 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
             responded: false,
         };
 
+        let arb_start = prof.map(|_| Instant::now());
         let owner = schedule.owner(slot);
         let oi = owner.as_usize();
         let has_wb = !cores[oi].pwb.is_empty();
@@ -679,7 +737,13 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
             }
             g => g,
         };
+        if let (Some(p), Some(t)) = (prof, arb_start) {
+            p.arbiter.record(t.elapsed());
+        }
 
+        let svc_start = prof.map(|_| Instant::now());
+        let granted = grant.is_some();
+        let mut touched_memory = false;
         match grant {
             None => {
                 stats.idle_slots += 1;
@@ -699,6 +763,7 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
                 );
                 let wr = llc.writeback(owner, wb.line, wb.dirty, wb.kind, now);
                 if let Some(traffic) = wr.mem_traffic {
+                    touched_memory = true;
                     push_mem_event(events, now, slot, owner, &traffic);
                 }
                 if let Some(freed) = wr.freed {
@@ -752,6 +817,9 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
                     record_latency(stats, lat_batch, fast, owner, latency);
                     stats.core_mut(owner).llc_hits += 1;
                     out.responded = true;
+                    if let (Some(p), Some(t)) = (prof, svc_start) {
+                        p.llc.record(t.elapsed());
+                    }
                     return out;
                 }
                 let res = {
@@ -765,6 +833,7 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
                     llc.service(owner, line, now, &mut evict)
                 };
                 for traffic in res.mem_traffic.iter().flatten() {
+                    touched_memory = true;
                     push_mem_event(events, now, slot, owner, traffic);
                 }
                 for &(target, vline) in &res.invalidations {
@@ -860,6 +929,16 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
                             },
                         );
                     }
+                }
+            }
+        }
+        if let (Some(p), Some(t)) = (prof, svc_start) {
+            if granted {
+                let d = t.elapsed();
+                if touched_memory {
+                    p.dram.record(d);
+                } else {
+                    p.llc.record(d);
                 }
             }
         }

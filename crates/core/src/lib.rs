@@ -24,6 +24,9 @@
 //!   hits, the single outstanding request, refills.
 //! * [`engine`] — the slot-stepped simulator tying cores, TDM bus and LLC
 //!   together.
+//! * [`profile`] — opt-in sampled wall-clock profiling of the engine's
+//!   per-slot stages (arbiter / LLC / DRAM / idle-jump), reading time
+//!   without ever feeding it back into the simulation.
 //! * [`analysis`] — Theorems 4.7/4.8, the private-partition bound, and
 //!   boundedness classification of arbitrary TDM schedules (§4.1–4.2).
 //! * [`stats`], [`events`] — measurement and inspectable event traces
@@ -100,6 +103,7 @@ pub mod histogram;
 pub mod llc;
 pub mod partition;
 pub mod placement;
+pub mod profile;
 pub mod sequencer;
 pub mod stats;
 
@@ -113,5 +117,6 @@ pub use placement::{pack, Placement, PlacementError};
 /// Re-export of the memory-backend selection consumed by
 /// [`SystemConfigBuilder::memory`].
 pub use predllc_dram::MemoryConfig;
+pub use profile::EngineProfile;
 pub use sequencer::SetSequencer;
 pub use stats::{CoreStats, SimStats};

@@ -15,9 +15,11 @@
 //! the naive one.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use predllc_core::analysis::MemoryAwareWcl;
 use predllc_core::SystemConfig;
+use predllc_obs::{fields, TraceCtx};
 use predllc_workload::Workload;
 
 use crate::executor::Executor;
@@ -209,6 +211,25 @@ pub fn run_grid_observed(
     exec: &Executor,
     observe: &(dyn Fn(usize, usize) + Sync),
 ) -> Result<GridRun, ExploreError> {
+    run_grid_traced(spec, exec, observe, None)
+}
+
+/// Like [`run_grid_observed`], recording one `explore.point` span per
+/// unique grid point under `ctx` (when given): the span's
+/// `queue_wait_ns` field is the wall-clock delay between the grid
+/// starting and a worker claiming the point, and its duration is the
+/// point's compute time. Tracing reads the clock and nothing else —
+/// the rows are bit-identical with or without it.
+///
+/// # Errors
+///
+/// Same as [`run_grid_observed`].
+pub fn run_grid_traced(
+    spec: &ExperimentSpec,
+    exec: &Executor,
+    observe: &(dyn Fn(usize, usize) + Sync),
+    ctx: Option<TraceCtx<'_>>,
+) -> Result<GridRun, ExploreError> {
     // Build and validate every platform and workload once, up front.
     let platforms = build_platforms(spec)?;
     let workloads: Vec<Box<dyn Workload>> = spec
@@ -223,11 +244,31 @@ pub fn run_grid_observed(
 
     let done = AtomicUsize::new(0);
     let unique_total = plan.unique.len();
+    let grid_start = Instant::now();
     let measured = exec.try_map(
         &plan.unique,
-        |_, &(ci, wi)| -> Result<GridResult, ExploreError> {
+        |i, &(ci, wi)| -> Result<GridResult, ExploreError> {
             let (config, analytical) = &platforms[ci];
             let entry = &spec.workloads[wi];
+            // Queue wait: grid start to a worker claiming this point.
+            // The span stays open across the measurement, so its
+            // duration is the point's compute time.
+            let queue_wait = grid_start.elapsed();
+            let mut span = ctx.map(|c| {
+                let mut s = c.span(
+                    "explore.point",
+                    fields(&[
+                        ("point", (i as u64).into()),
+                        ("config", spec.configs[ci].label.clone().into()),
+                        ("workload", entry.label.clone().into()),
+                    ]),
+                );
+                s.field(
+                    "queue_wait_ns",
+                    u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX),
+                );
+                s
+            });
             let result = measure(config, &workloads[wi])
                 .map_err(|e| match e {
                     PointError::Config(source) => ExploreError::Config {
@@ -247,6 +288,8 @@ pub fn run_grid_observed(
                     entry.x,
                     *analytical,
                 );
+            // Dropping the guard stamps the span's compute duration.
+            drop(span.take());
             observe(done.fetch_add(1, Ordering::Relaxed) + 1, unique_total);
             Ok(result)
         },

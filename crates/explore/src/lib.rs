@@ -79,8 +79,8 @@ pub mod spec;
 
 pub use executor::Executor;
 pub use grid::{
-    assemble_rows, build_platforms, plan_grid, run_grid, run_grid_observed, unique_point_count,
-    GridPlan, GridResult, GridRun,
+    assemble_rows, build_platforms, plan_grid, run_grid, run_grid_observed, run_grid_traced,
+    unique_point_count, GridPlan, GridResult, GridRun,
 };
 pub use hash::{canonical_fingerprint, point_fingerprint, Fingerprint, Fnv1a};
 pub use point::{measure, PointError, PointMeasurement, PointRequest};
@@ -182,7 +182,24 @@ pub fn run_spec_observed(
     exec: &Executor,
     observe: &(dyn Fn(usize, usize) + Sync),
 ) -> Result<ExploreReport, ExploreError> {
-    let run = run_grid_observed(spec, exec, observe)?;
+    run_spec_traced(spec, exec, observe, None)
+}
+
+/// Like [`run_spec_observed`], recording per-point `explore.point`
+/// spans (queue wait and compute time) under `ctx` when one is given —
+/// see [`run_grid_traced`]. The report is bit-identical with or
+/// without tracing.
+///
+/// # Errors
+///
+/// Propagates [`run_grid_traced`] and [`search_partitions`] failures.
+pub fn run_spec_traced(
+    spec: &ExperimentSpec,
+    exec: &Executor,
+    observe: &(dyn Fn(usize, usize) + Sync),
+    ctx: Option<predllc_obs::TraceCtx<'_>>,
+) -> Result<ExploreReport, ExploreError> {
+    let run = run_grid_traced(spec, exec, observe, ctx)?;
     let search = match &spec.search {
         Some(s) => Some(search_partitions(s, spec.cores, &spec.tasks, exec)?),
         None => None,

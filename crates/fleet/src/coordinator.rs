@@ -22,7 +22,7 @@ use std::fmt;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use predllc_explore::json::{self, Json};
 use predllc_explore::{
@@ -30,6 +30,7 @@ use predllc_explore::{
     ExperimentSpec, ExploreError, ExploreReport, Fingerprint, GridResult, PointMeasurement,
     PointRequest,
 };
+use predllc_obs::{fields, TraceCtx};
 use predllc_serve::{Client, ClientError, Metrics, RunOutcome, SpecRunner};
 
 /// Why a fleet run failed.
@@ -179,9 +180,7 @@ impl Coordinator {
                 alive: AtomicBool::new(true),
             })
             .collect();
-        metrics
-            .workers_alive
-            .store(workers.len() as u64, Ordering::Relaxed);
+        metrics.workers_alive.set(workers.len() as u64);
         Coordinator {
             workers,
             exec: Executor::new(config.search_threads),
@@ -225,10 +224,34 @@ impl Coordinator {
         spec: &ExperimentSpec,
         observe: &(dyn Fn(usize, usize) + Sync),
     ) -> Result<ExploreReport, FleetError> {
+        self.run_traced(spec, observe, None)
+    }
+
+    /// Like [`Coordinator::run`], recording dispatch/merge spans under
+    /// `ctx` when one is given. Tracing reads wall-clock time only; the
+    /// report stays bit-identical to an untraced run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Coordinator::run`].
+    pub fn run_traced(
+        &self,
+        spec: &ExperimentSpec,
+        observe: &(dyn Fn(usize, usize) + Sync),
+        ctx: Option<TraceCtx<'_>>,
+    ) -> Result<ExploreReport, FleetError> {
         let platforms = build_platforms(spec)?;
         let plan = plan_grid(spec);
-        let results = self.dispatch(spec, &plan.unique, observe)?;
+        let results = self.dispatch(spec, &plan.unique, observe, ctx)?;
 
+        // The merge tail: exact-integer measurements become grid rows
+        // with the same arithmetic the in-process path uses.
+        let _merge = ctx.map(|c| {
+            c.span(
+                "fleet.merge",
+                fields(&[("unique_points", (plan.unique.len() as u64).into())]),
+            )
+        });
         let measured: Vec<GridResult> = plan
             .unique
             .iter()
@@ -262,6 +285,7 @@ impl Coordinator {
         spec: &ExperimentSpec,
         unique: &[(usize, usize)],
         observe: &(dyn Fn(usize, usize) + Sync),
+        ctx: Option<TraceCtx<'_>>,
     ) -> Result<Vec<Option<PointMeasurement>>, FleetError> {
         let mut results: Vec<Option<PointMeasurement>> = vec![None; unique.len()];
         let mut queue = VecDeque::new();
@@ -272,9 +296,7 @@ impl Coordinator {
                 match cache.get(&fp) {
                     Some(m) => {
                         results[i] = Some(m.clone());
-                        self.metrics
-                            .points_cache_shared
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.metrics.points_cache_shared.inc();
                     }
                     None => queue.push_back(i),
                 }
@@ -312,7 +334,7 @@ impl Coordinator {
             for worker in &self.workers {
                 if worker.alive.load(Ordering::SeqCst) {
                     s.spawn(move || {
-                        self.dispatch_worker(worker, spec, unique, state, cond, observe)
+                        self.dispatch_worker(worker, spec, unique, state, cond, observe, ctx)
                     });
                 }
             }
@@ -337,6 +359,7 @@ impl Coordinator {
     /// One worker's dispatcher: claim a point, ship it, record the
     /// answer; on transport failure requeue the point, mark the worker
     /// lost and exit.
+    #[allow(clippy::too_many_arguments)] // the dispatch loop's full context
     fn dispatch_worker(
         &self,
         worker: &Worker,
@@ -345,10 +368,14 @@ impl Coordinator {
         state: &Mutex<DispatchState>,
         cond: &Condvar,
         observe: &(dyn Fn(usize, usize) + Sync),
+        ctx: Option<TraceCtx<'_>>,
     ) {
+        let worker_label = worker.addr.to_string();
         let mut client = Client::new(worker.addr)
             .with_timeout(self.config.request_timeout)
             .with_retries(self.config.retries);
+        // Worker-side spans record under the same trace id as ours.
+        client.set_trace(ctx.map(|c| c.trace));
         loop {
             let claim = {
                 let mut st = state.lock().unwrap();
@@ -394,14 +421,26 @@ impl Coordinator {
                     break;
                 }
             };
-            self.metrics.points_assigned.fetch_add(1, Ordering::Relaxed);
-            match client.point(&wire) {
+            self.metrics.points_assigned.inc();
+            let dispatch_span = ctx.map(|c| {
+                c.span(
+                    "fleet.dispatch",
+                    fields(&[
+                        ("point", (i as u64).into()),
+                        ("worker", worker_label.clone().into()),
+                    ]),
+                )
+            });
+            let shipped = Instant::now();
+            let answer = client.point(&wire);
+            let rtt = shipped.elapsed();
+            drop(dispatch_span);
+            match answer {
                 Ok(reply) => match PointMeasurement::from_json(&reply.measurement) {
                     Ok(m) => {
+                        self.metrics.worker_rtt(&worker_label).record(rtt);
                         if reply.cached {
-                            self.metrics
-                                .points_cache_shared
-                                .fetch_add(1, Ordering::Relaxed);
+                            self.metrics.points_cache_shared.inc();
                         }
                         self.cache
                             .lock()
@@ -415,12 +454,23 @@ impl Coordinator {
                             cond.notify_all();
                             (st.completed, st.total)
                         };
+                        if let Some(c) = ctx {
+                            c.instant(
+                                "fleet.point.resolved",
+                                fields(&[
+                                    ("point", (i as u64).into()),
+                                    ("worker", worker_label.clone().into()),
+                                    ("cached", u64::from(reply.cached).into()),
+                                ]),
+                            );
+                        }
                         observe(done, total);
                     }
                     // A worker answering garbage is a lost worker, not
                     // a lost experiment.
                     Err(_) => {
-                        self.abandon_point(worker, state, cond, i);
+                        self.metrics.worker_requeue(&worker_label).record(rtt);
+                        self.abandon_point(worker, state, cond, i, ctx);
                         break;
                     }
                 },
@@ -442,7 +492,8 @@ impl Coordinator {
                 // Everything else — refused, reset, timeout, 5xx — is
                 // the worker's fault: requeue and fail the worker over.
                 Err(_) => {
-                    self.abandon_point(worker, state, cond, i);
+                    self.metrics.worker_requeue(&worker_label).record(rtt);
+                    self.abandon_point(worker, state, cond, i, ctx);
                     break;
                 }
             }
@@ -455,8 +506,8 @@ impl Coordinator {
     /// Marks a worker lost exactly once, settling the gauge pair.
     fn mark_lost(&self, worker: &Worker) {
         if worker.alive.swap(false, Ordering::SeqCst) {
-            self.metrics.workers_lost.fetch_add(1, Ordering::Relaxed);
-            self.metrics.workers_alive.fetch_sub(1, Ordering::Relaxed);
+            self.metrics.workers_lost.inc();
+            self.metrics.workers_alive.dec();
         }
     }
 
@@ -468,9 +519,19 @@ impl Coordinator {
         state: &Mutex<DispatchState>,
         cond: &Condvar,
         i: usize,
+        ctx: Option<TraceCtx<'_>>,
     ) {
         self.mark_lost(worker);
-        self.metrics.points_retried.fetch_add(1, Ordering::Relaxed);
+        self.metrics.points_retried.inc();
+        if let Some(c) = ctx {
+            c.instant(
+                "fleet.point.requeued",
+                fields(&[
+                    ("point", (i as u64).into()),
+                    ("worker", worker.addr.to_string().into()),
+                ]),
+            );
+        }
         let mut st = state.lock().unwrap();
         st.queue.push_front(i);
         st.outstanding -= 1;
@@ -517,7 +578,12 @@ impl Coordinator {
                 let mut probe = Client::new(worker.addr)
                     .with_timeout(probe_timeout)
                     .with_retries(0);
-                if probe.healthz().is_err() {
+                let started = Instant::now();
+                let answer = probe.healthz();
+                self.metrics
+                    .worker_heartbeat(&worker.addr.to_string())
+                    .record(started.elapsed());
+                if answer.is_err() {
                     self.mark_lost(worker);
                     cond.notify_all();
                 }
@@ -533,7 +599,18 @@ impl SpecRunner for Coordinator {
         spec: &ExperimentSpec,
         observe: &(dyn Fn(usize, usize) + Sync),
     ) -> Result<RunOutcome, String> {
-        let report = self.run(spec, observe).map_err(|e| e.to_string())?;
+        self.run_spec_traced(spec, observe, None)
+    }
+
+    fn run_spec_traced(
+        &self,
+        spec: &ExperimentSpec,
+        observe: &(dyn Fn(usize, usize) + Sync),
+        ctx: Option<TraceCtx<'_>>,
+    ) -> Result<RunOutcome, String> {
+        let report = self
+            .run_traced(spec, observe, ctx)
+            .map_err(|e| e.to_string())?;
         Ok(RunOutcome {
             grid: report.grid,
             search: report.search,

@@ -1,0 +1,380 @@
+//! In-tree validator for the Prometheus text exposition format
+//! (`text/plain; version=0.0.4`), so smoke tests and CI can prove
+//! every `/metrics` line parses without an external Prometheus.
+//!
+//! The validator checks structure, not semantics: line grammar, label
+//! syntax, numeric sample values, `# TYPE` declared before (and at most
+//! once per) family, histogram series completeness (`_bucket` with an
+//! `le` label, cumulative non-decreasing bucket counts, a `+Inf` bucket
+//! equal to `_count`), and the trailing-newline guarantee.
+
+use std::collections::HashMap;
+
+/// What [`validate`] learned about a well-formed exposition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExpoSummary {
+    /// Families with a `# TYPE` declaration.
+    pub families: usize,
+    /// Total sample lines.
+    pub samples: usize,
+}
+
+/// Per-family bookkeeping during validation.
+#[derive(Debug, Default)]
+struct FamilyState {
+    kind: String,
+    saw_sample: bool,
+    /// For histograms, per-label-set bucket/count state.
+    hist: HashMap<String, HistState>,
+}
+
+#[derive(Debug, Default)]
+struct HistState {
+    last_le: Option<f64>,
+    last_cum: Option<f64>,
+    inf: Option<f64>,
+    count: Option<f64>,
+}
+
+/// Validates `text` as Prometheus text exposition. Returns a summary
+/// on success, or a message naming the first offending line.
+pub fn validate(text: &str) -> Result<ExpoSummary, String> {
+    if text.is_empty() {
+        return Err("empty exposition".to_string());
+    }
+    if !text.ends_with('\n') {
+        return Err("exposition does not end with a newline".to_string());
+    }
+    let mut families: HashMap<String, FamilyState> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("").trim();
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad metric name in TYPE: '{name}'"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {n}: unknown TYPE kind '{kind}'"));
+                }
+                let state = families.entry(name.to_string()).or_default();
+                if !state.kind.is_empty() {
+                    return Err(format!("line {n}: duplicate TYPE for '{name}'"));
+                }
+                if state.saw_sample {
+                    return Err(format!("line {n}: TYPE for '{name}' after its samples"));
+                }
+                state.kind = kind.to_string();
+                order.push(name.to_string());
+            } else if let Some(decl) = rest.strip_prefix("HELP ") {
+                let name = decl.split(' ').next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad metric name in HELP: '{name}'"));
+                }
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+        samples += 1;
+        let (family, suffix) = family_of(&sample.name, &families);
+        let state = families.entry(family.clone()).or_default();
+        state.saw_sample = true;
+        if state.kind == "histogram" {
+            let key = sample.labels_key_without_le();
+            let hist = state.hist.entry(key).or_default();
+            match suffix {
+                "_bucket" => {
+                    let le = sample
+                        .label("le")
+                        .ok_or_else(|| format!("line {n}: histogram bucket without le label"))?;
+                    let le =
+                        parse_le(le).ok_or_else(|| format!("line {n}: bad le bound '{le}'"))?;
+                    if let Some(prev) = hist.last_le {
+                        if le <= prev {
+                            return Err(format!("line {n}: le bounds not increasing"));
+                        }
+                    }
+                    if let Some(prev) = hist.last_cum {
+                        if sample.value < prev {
+                            return Err(format!("line {n}: bucket counts not cumulative"));
+                        }
+                    }
+                    hist.last_le = Some(le);
+                    hist.last_cum = Some(sample.value);
+                    if le.is_infinite() {
+                        hist.inf = Some(sample.value);
+                    }
+                }
+                "_count" => hist.count = Some(sample.value),
+                "_sum" => {}
+                "" => {
+                    return Err(format!(
+                        "line {n}: bare sample '{}' for histogram family",
+                        sample.name
+                    ));
+                }
+                _ => unreachable!("family_of returns known suffixes"),
+            }
+        } else if !suffix.is_empty() && state.kind.is_empty() {
+            // An undeclared family whose name merely ends in _sum /
+            // _count / _bucket: treat it as its own untyped family.
+            let state = families.entry(sample.name.clone()).or_default();
+            state.saw_sample = true;
+        }
+    }
+    // Histogram closure: every labelled series needs +Inf == _count.
+    for name in &order {
+        let state = &families[name];
+        if state.kind != "histogram" {
+            continue;
+        }
+        if state.hist.is_empty() {
+            return Err(format!("histogram '{name}' has no samples"));
+        }
+        for (labels, hist) in &state.hist {
+            let what = if labels.is_empty() {
+                name.clone()
+            } else {
+                format!("{name}{{{labels}}}")
+            };
+            let inf = hist
+                .inf
+                .ok_or_else(|| format!("histogram '{what}' missing +Inf bucket"))?;
+            let count = hist
+                .count
+                .ok_or_else(|| format!("histogram '{what}' missing _count"))?;
+            if inf != count {
+                return Err(format!(
+                    "histogram '{what}': +Inf bucket {inf} != count {count}"
+                ));
+            }
+        }
+    }
+    Ok(ExpoSummary {
+        families: order.len(),
+        samples,
+    })
+}
+
+/// A parsed sample line.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+impl Sample {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A stable key over the labels, `le` excluded — identifies one
+    /// histogram series across its bucket/sum/count lines.
+    fn labels_key_without_le(&self) -> String {
+        let mut pairs: Vec<String> = self
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        pairs.sort();
+        pairs.join(",")
+    }
+}
+
+/// Splits `name` into its declared family and histogram suffix.
+fn family_of<'a>(name: &'a str, families: &HashMap<String, FamilyState>) -> (String, &'a str) {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if families.get(stem).is_some_and(|f| !f.kind.is_empty()) {
+                return (stem.to_string(), suffix);
+            }
+        }
+    }
+    (name.to_string(), "")
+}
+
+/// Parses one `name[{labels}] value [timestamp]` line.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line.find(['{', ' ']).ok_or("sample line without value")?;
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return Err(format!("bad metric name '{name}'"));
+    }
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if let Some(body) = rest.strip_prefix('{') {
+        let (parsed, after) = parse_labels(body)?;
+        labels = parsed;
+        rest = after;
+    }
+    let rest = rest.trim_start();
+    let mut parts = rest.split(' ').filter(|p| !p.is_empty());
+    let value = parts.next().ok_or("missing sample value")?;
+    let value = parse_value(value).ok_or_else(|| format!("bad sample value '{value}'"))?;
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("bad timestamp '{ts}'"))?;
+    }
+    if parts.next().is_some() {
+        return Err("trailing garbage after sample".to_string());
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parsed label pairs plus the remainder of the line.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parses a `key="value",...}` label block; returns the pairs and the
+/// remainder of the line after the closing brace.
+fn parse_labels(mut body: &str) -> Result<ParsedLabels<'_>, String> {
+    let mut labels = Vec::new();
+    loop {
+        body = body.trim_start_matches(',');
+        if let Some(rest) = body.strip_prefix('}') {
+            return Ok((labels, rest));
+        }
+        let eq = body.find('=').ok_or("label without '='")?;
+        let key = &body[..eq];
+        if !valid_metric_name(key) {
+            return Err(format!("bad label name '{key}'"));
+        }
+        body = body[eq + 1..]
+            .strip_prefix('"')
+            .ok_or("label value not quoted")?;
+        let mut value = String::new();
+        let mut chars = body.char_indices();
+        let close = loop {
+            let (i, c) = chars.next().ok_or("unterminated label value")?;
+            match c {
+                '"' => break i,
+                '\\' => {
+                    let (_, esc) = chars.next().ok_or("dangling escape")?;
+                    match esc {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        other => return Err(format!("bad escape '\\{other}'")),
+                    }
+                }
+                c => value.push(c),
+            }
+        };
+        labels.push((key.to_string(), value));
+        body = &body[close + 1..];
+    }
+}
+
+/// Parses a sample value: decimal, float, or the IEEE special names.
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse::<f64>().ok(),
+    }
+}
+
+/// Parses an `le` bound (a float or `+Inf`).
+fn parse_le(s: &str) -> Option<f64> {
+    if s == "+Inf" {
+        return Some(f64::INFINITY);
+    }
+    s.parse::<f64>().ok()
+}
+
+/// Whether `name` is a legal metric/label name.
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn registry_output_always_validates() {
+        let reg = Registry::new();
+        reg.counter("predllc_jobs_total", "Jobs").add(3);
+        reg.gauge("predllc_workers_alive", "Live workers").set(2);
+        let h = reg.histogram_with("predllc_rtt_ns", "RTT", "worker", "w-0");
+        for v in [5u64, 900, 70_000] {
+            h.record_ns(v);
+        }
+        reg.histogram("predllc_empty_ns", "Never recorded");
+        let text = reg.render();
+        let summary = validate(&text).expect("registry output must validate");
+        assert_eq!(summary.families, 4);
+        assert!(summary.samples >= 8);
+    }
+
+    #[test]
+    fn structural_errors_are_caught() {
+        assert!(validate("").is_err());
+        assert!(validate("predllc_x 1").is_err(), "missing trailing newline");
+        assert!(validate("9bad_name 1\n").is_err());
+        assert!(validate("predllc_x notanumber\n").is_err());
+        assert!(
+            validate("# TYPE predllc_h histogram\npredllc_h_bucket{le=\"+Inf\"} 2\npredllc_h_sum 3\npredllc_h_count 1\n")
+                .is_err(),
+            "+Inf != count"
+        );
+        assert!(
+            validate("# TYPE predllc_h histogram\npredllc_h_sum 3\npredllc_h_count 1\n").is_err(),
+            "missing +Inf bucket"
+        );
+        assert!(
+            validate(concat!(
+                "# TYPE predllc_h histogram\n",
+                "predllc_h_bucket{le=\"10\"} 5\n",
+                "predllc_h_bucket{le=\"20\"} 3\n",
+                "predllc_h_bucket{le=\"+Inf\"} 5\n",
+                "predllc_h_sum 1\npredllc_h_count 5\n"
+            ))
+            .is_err(),
+            "non-cumulative buckets"
+        );
+        assert!(
+            validate("# TYPE predllc_x counter\n# TYPE predllc_x counter\npredllc_x 1\n").is_err()
+        );
+    }
+
+    #[test]
+    fn labels_escapes_and_timestamps_parse() {
+        let text = concat!(
+            "# HELP predllc_x helpful text\n",
+            "# TYPE predllc_x gauge\n",
+            "predllc_x{path=\"a\\\\b\",msg=\"say \\\"hi\\\"\\n\"} 4.5 1712000000\n"
+        );
+        let summary = validate(text).expect("labelled sample must parse");
+        assert_eq!(summary.samples, 1);
+    }
+}

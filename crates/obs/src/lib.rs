@@ -1,0 +1,39 @@
+//! # predllc-obs — zero-dependency observability for the predllc stack
+//!
+//! Three small, composable pieces, threaded through every layer of the
+//! workspace (engine, executor, experiment service, fleet):
+//!
+//! * [`metrics`] — a metric **registry** of counters, gauges and
+//!   log-bucketed timing histograms, rendered in the Prometheus text
+//!   exposition format (`text/plain; version=0.0.4`). The histogram
+//!   bucket scheme is the same log-linear HDR-style layout as
+//!   `predllc_core`'s `LatencyHistogram` (8 sub-buckets per power-of-two
+//!   octave), applied to wall-clock nanoseconds instead of simulated
+//!   cycles.
+//! * [`trace`] — structured tracing: [`TraceEvent`] records with span
+//!   begin/end, collected into per-thread bounded ring buffers (the
+//!   recording path never contends with other recording threads), keyed
+//!   by 128-bit [`TraceId`]s that propagate coordinator → worker over
+//!   the `X-Predllc-Trace` HTTP header.
+//! * [`expo`] — an in-tree validator for the exposition format, so CI
+//!   can prove every `/metrics` line parses without an external
+//!   Prometheus.
+//!
+//! The cardinal rule, inherited from the repo's bit-identical-results
+//! invariant: observability **reads** time, it never feeds it back into
+//! simulation. Nothing in this crate can influence what a simulator
+//! computes — disabled instrumentation compiles down to a single
+//! predictable branch on the hot paths that carry it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, HistogramSnapshot, Registry, TimingHistogram};
+pub use trace::{
+    fields, render_jsonl, EventKind, FieldValue, SpanGuard, TraceCtx, TraceEvent, TraceId, Tracer,
+    TRACE_HEADER,
+};

@@ -125,6 +125,9 @@ pub struct Client {
     retries: u32,
     /// First retry delay; doubles per retry up to [`Client::BACKOFF_CAP`].
     backoff: Duration,
+    /// Trace id announced in the `X-Predllc-Trace` header of every
+    /// request, when set.
+    trace: Option<predllc_obs::TraceId>,
 }
 
 impl Client {
@@ -139,7 +142,15 @@ impl Client {
             timeout: Duration::from_secs(120),
             retries: 4,
             backoff: Duration::from_millis(5),
+            trace: None,
         }
+    }
+
+    /// Propagates `trace` in the `X-Predllc-Trace` header of every
+    /// subsequent request, so server-side spans record under the
+    /// caller's trace id (`None` stops announcing one).
+    pub fn set_trace(&mut self, trace: Option<predllc_obs::TraceId>) {
+        self.trace = trace;
     }
 
     /// Overrides the per-request read timeout (default 120 s).
@@ -211,12 +222,16 @@ impl Client {
         body: Option<&str>,
     ) -> Result<(u16, String), ClientError> {
         let addr = self.addr;
+        let trace_header = match self.trace {
+            Some(trace) => format!("{}: {}\r\n", predllc_obs::TRACE_HEADER, trace.to_hex()),
+            None => String::new(),
+        };
         let conn = self.connect()?;
         let payload = body.unwrap_or("");
         conn.get_mut().write_all(
             format!(
                 "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\n\
-                 content-length: {}\r\n\r\n{payload}",
+                 {trace_header}content-length: {}\r\n\r\n{payload}",
                 payload.len()
             )
             .as_bytes(),
@@ -323,6 +338,19 @@ impl Client {
                 (n == name).then(|| v.parse().ok())?
             })
             .ok_or_else(|| ClientError::Protocol(format!("no metric named {name}")))
+    }
+
+    /// `GET /v1/jobs/{id}/trace` — the job's trace events as JSON
+    /// Lines (one event object per line).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or status failure (404 for an
+    /// unknown id).
+    pub fn job_trace(&mut self, id: &str) -> Result<String, ClientError> {
+        Ok(self
+            .request("GET", &format!("/v1/jobs/{id}/trace"), None)?
+            .1)
     }
 
     /// `POST /v1/experiments` — submit a spec document.

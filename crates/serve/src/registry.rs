@@ -19,12 +19,13 @@
 //! or running, new submissions are refused instead.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use predllc_explore::hash::{canonical_fingerprint, Fingerprint};
 use predllc_explore::{json, unique_point_count, ExperimentSpec, SpecError};
+use predllc_obs::{Counter, Gauge, Registry as MetricRegistry, TimingHistogram};
 
 /// Why a submission was rejected.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +106,12 @@ pub struct Job {
     /// Unique grid points this job will simulate (denominator of the
     /// progress fraction, known at submission).
     pub points_total: usize,
+    /// The trace id the job's spans record under — the submitter's
+    /// (via `X-Predllc-Trace`) or a fresh one. Fixed at registration;
+    /// coalesced duplicates share the first submission's trace.
+    pub trace: predllc_obs::TraceId,
+    /// When the job was registered — the queue-wait anchor.
+    pub submitted: std::time::Instant,
     points_done: AtomicUsize,
     state: Mutex<State>,
     finished: Condvar,
@@ -191,40 +198,56 @@ impl Job {
     }
 }
 
-/// Monotonic service counters, rendered by `/metrics`.
-#[derive(Debug, Default)]
+/// The service metric set, backed by a [`predllc_obs::Registry`] and
+/// rendered by `/metrics` in Prometheus text exposition format.
+///
+/// Every counter keeps its historical `predllc_*` sample name (the
+/// compat aliases promised by the v0.8 migration), so existing scrapes
+/// and [`crate::Client::metric`] keep working; the `# HELP`/`# TYPE`
+/// metadata and the latency histogram families are additive.
+///
+/// Writers follow the snapshot-consistency discipline documented on
+/// [`predllc_obs::metrics`]: the source counter (`cache_misses`) is
+/// incremented before its derived counter (`jobs_queued`), and a state
+/// gauge is decremented before its successor is incremented, so a
+/// concurrent [`Metrics::snapshot`] never observes a torn pair.
+#[derive(Debug)]
 pub struct Metrics {
+    /// The backing registry: extra families (per-endpoint request
+    /// latencies, fleet RTT/heartbeat histograms) register here and
+    /// render alongside the counters.
+    pub registry: MetricRegistry,
     /// Jobs accepted and not yet started.
-    pub jobs_queued: AtomicU64,
+    pub jobs_queued: Gauge,
     /// Jobs currently executing.
-    pub jobs_running: AtomicU64,
+    pub jobs_running: Gauge,
     /// Jobs finished successfully.
-    pub jobs_done: AtomicU64,
+    pub jobs_done: Counter,
     /// Jobs that failed.
-    pub jobs_failed: AtomicU64,
+    pub jobs_failed: Counter,
     /// Submissions answered from the content-addressed cache (including
     /// coalesced concurrent duplicates).
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Counter,
     /// Submissions that created a new job.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Counter,
     /// Unique grid points resolved across all finished jobs, plus
     /// every point computed by the worker point endpoint.
-    pub points_simulated: AtomicU64,
+    pub points_simulated: Counter,
     /// HTTP requests served.
-    pub http_requests: AtomicU64,
+    pub http_requests: Counter,
     /// Fleet workers currently believed alive (a gauge: set by the
     /// coordinator, decremented as workers are lost).
-    pub workers_alive: AtomicU64,
+    pub workers_alive: Gauge,
     /// Fleet workers declared lost (heartbeat or dispatch failure).
-    pub workers_lost: AtomicU64,
+    pub workers_lost: Counter,
     /// Grid points dispatched to fleet workers (re-dispatches after a
     /// worker loss count again).
-    pub points_assigned: AtomicU64,
+    pub points_assigned: Counter,
     /// Grid points requeued after their worker was lost mid-flight.
-    pub points_retried: AtomicU64,
+    pub points_retried: Counter,
     /// Point requests answered from a shared point cache instead of
     /// simulating (coordinator- or worker-side).
-    pub points_cache_shared: AtomicU64,
+    pub points_cache_shared: Counter,
 }
 
 /// A point-in-time copy of [`Metrics`].
@@ -258,48 +281,140 @@ pub struct MetricsSnapshot {
     pub points_cache_shared: u64,
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
 impl Metrics {
-    /// Copies every counter.
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            jobs_queued: self.jobs_queued.load(Ordering::Relaxed),
-            jobs_running: self.jobs_running.load(Ordering::Relaxed),
-            jobs_done: self.jobs_done.load(Ordering::Relaxed),
-            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            points_simulated: self.points_simulated.load(Ordering::Relaxed),
-            http_requests: self.http_requests.load(Ordering::Relaxed),
-            workers_alive: self.workers_alive.load(Ordering::Relaxed),
-            workers_lost: self.workers_lost.load(Ordering::Relaxed),
-            points_assigned: self.points_assigned.load(Ordering::Relaxed),
-            points_retried: self.points_retried.load(Ordering::Relaxed),
-            points_cache_shared: self.points_cache_shared.load(Ordering::Relaxed),
+    /// A fresh metric set over its own registry.
+    pub fn new() -> Metrics {
+        let registry = MetricRegistry::new();
+        let jobs_queued =
+            registry.gauge("predllc_jobs_queued", "Jobs accepted and not yet started.");
+        let jobs_running = registry.gauge("predllc_jobs_running", "Jobs currently executing.");
+        let jobs_done = registry.counter("predllc_jobs_done", "Jobs finished successfully.");
+        let jobs_failed = registry.counter("predllc_jobs_failed", "Jobs that failed.");
+        let cache_hits = registry.counter(
+            "predllc_cache_hits",
+            "Submissions answered from the content-addressed cache.",
+        );
+        let cache_misses = registry.counter(
+            "predllc_cache_misses",
+            "Submissions that created a new job.",
+        );
+        let points_simulated = registry.counter(
+            "predllc_points_simulated",
+            "Unique grid points simulated (jobs plus the worker point endpoint).",
+        );
+        let http_requests = registry.counter("predllc_http_requests", "HTTP requests served.");
+        let workers_alive = registry.gauge(
+            "predllc_workers_alive",
+            "Fleet workers currently believed alive.",
+        );
+        let workers_lost = registry.counter(
+            "predllc_workers_lost",
+            "Fleet workers declared lost (heartbeat or dispatch failure).",
+        );
+        let points_assigned = registry.counter(
+            "predllc_points_assigned",
+            "Grid points dispatched to fleet workers (re-dispatches count again).",
+        );
+        let points_retried = registry.counter(
+            "predllc_points_retried",
+            "Grid points requeued after their worker was lost mid-flight.",
+        );
+        let points_cache_shared = registry.counter(
+            "predllc_points_cache_shared",
+            "Point requests answered from a shared point cache instead of simulating.",
+        );
+        Metrics {
+            registry,
+            jobs_queued,
+            jobs_running,
+            jobs_done,
+            jobs_failed,
+            cache_hits,
+            cache_misses,
+            points_simulated,
+            http_requests,
+            workers_alive,
+            workers_lost,
+            points_assigned,
+            points_retried,
+            points_cache_shared,
         }
     }
 
-    /// Renders the Prometheus-style plain-text exposition.
-    pub fn render(&self) -> String {
-        let s = self.snapshot();
-        let mut out = String::new();
-        for (name, value) in [
-            ("predllc_jobs_queued", s.jobs_queued),
-            ("predllc_jobs_running", s.jobs_running),
-            ("predllc_jobs_done", s.jobs_done),
-            ("predllc_jobs_failed", s.jobs_failed),
-            ("predllc_cache_hits", s.cache_hits),
-            ("predllc_cache_misses", s.cache_misses),
-            ("predllc_points_simulated", s.points_simulated),
-            ("predllc_http_requests", s.http_requests),
-            ("predllc_workers_alive", s.workers_alive),
-            ("predllc_workers_lost", s.workers_lost),
-            ("predllc_points_assigned", s.points_assigned),
-            ("predllc_points_retried", s.points_retried),
-            ("predllc_points_cache_shared", s.points_cache_shared),
-        ] {
-            out.push_str(&format!("{name} {value}\n"));
+    /// The wall-clock request-latency histogram for one endpoint label
+    /// (registration is idempotent; recording is lock-free).
+    pub fn endpoint_latency(&self, endpoint: &str) -> TimingHistogram {
+        self.registry.histogram_with(
+            "predllc_http_request_duration_ns",
+            "Wall-clock HTTP request latency per endpoint, nanoseconds.",
+            "endpoint",
+            endpoint,
+        )
+    }
+
+    /// Round-trip time of successful point dispatches to one worker.
+    pub fn worker_rtt(&self, worker: &str) -> TimingHistogram {
+        self.registry.histogram_with(
+            "predllc_fleet_point_rtt_ns",
+            "Round-trip time of successful point dispatches per worker, nanoseconds.",
+            "worker",
+            worker,
+        )
+    }
+
+    /// Time burned on a failed dispatch attempt before the point was
+    /// requeued, per worker.
+    pub fn worker_requeue(&self, worker: &str) -> TimingHistogram {
+        self.registry.histogram_with(
+            "predllc_fleet_requeue_ns",
+            "Time spent on a failed dispatch attempt before requeue, per worker, nanoseconds.",
+            "worker",
+            worker,
+        )
+    }
+
+    /// Heartbeat probe latency per worker.
+    pub fn worker_heartbeat(&self, worker: &str) -> TimingHistogram {
+        self.registry.histogram_with(
+            "predllc_fleet_heartbeat_ns",
+            "Heartbeat probe latency per worker, nanoseconds.",
+            "worker",
+            worker,
+        )
+    }
+
+    /// Copies every counter. Reads run derived-before-source (job
+    /// states first, cache counters after), the mirror image of the
+    /// writers' source-before-derived order, so the job-state sum never
+    /// exceeds `cache_misses` in any observed snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs_queued: self.jobs_queued.get(),
+            jobs_running: self.jobs_running.get(),
+            jobs_done: self.jobs_done.get(),
+            jobs_failed: self.jobs_failed.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            points_simulated: self.points_simulated.get(),
+            http_requests: self.http_requests.get(),
+            workers_alive: self.workers_alive.get(),
+            workers_lost: self.workers_lost.get(),
+            points_assigned: self.points_assigned.get(),
+            points_retried: self.points_retried.get(),
+            points_cache_shared: self.points_cache_shared.get(),
         }
-        out
+    }
+
+    /// Renders the full Prometheus text exposition (`# HELP`/`# TYPE`
+    /// plus every sample, newline-terminated).
+    pub fn render(&self) -> String {
+        self.registry.render()
     }
 }
 
@@ -376,13 +491,27 @@ impl Registry {
     /// [`SubmitError::AtCapacity`] when the registry is full of
     /// unfinished jobs.
     pub fn submit(&self, body: &str) -> Result<Submission, SubmitError> {
+        self.submit_traced(body, predllc_obs::TraceId::fresh())
+    }
+
+    /// Like [`Registry::submit`], stamping a freshly created job with
+    /// `trace` (a cache hit keeps the existing job's trace id).
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::submit`].
+    pub fn submit_traced(
+        &self,
+        body: &str,
+        trace: predllc_obs::TraceId,
+    ) -> Result<Submission, SubmitError> {
         let doc = json::parse(body).map_err(|e| SubmitError::Spec(SpecError::Json(e)))?;
         let id = canonical_fingerprint(&doc);
         let spec = ExperimentSpec::parse(body).map_err(SubmitError::Spec)?;
 
         let mut jobs = self.jobs.lock().unwrap();
         if let Some(job) = jobs.by_id.get(&id) {
-            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.cache_hits.inc();
             return Ok(Submission {
                 job: Arc::clone(job),
                 fresh: false,
@@ -409,14 +538,17 @@ impl Registry {
             name: spec.name.clone(),
             spec,
             points_total,
+            trace,
+            submitted: std::time::Instant::now(),
             points_done: AtomicUsize::new(0),
             state: Mutex::new(State::Queued),
             finished: Condvar::new(),
         });
         jobs.by_id.insert(id, Arc::clone(&job));
         jobs.order.push_back(id);
-        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-        self.metrics.jobs_queued.fetch_add(1, Ordering::Relaxed);
+        // Source counter before derived gauge (snapshot discipline).
+        self.metrics.cache_misses.inc();
+        self.metrics.jobs_queued.inc();
         Ok(Submission { job, fresh: true })
     }
 
@@ -429,8 +561,8 @@ impl Registry {
         if jobs.by_id.remove(&job.id).is_some() {
             jobs.order.retain(|fp| *fp != job.id);
             job.fail(reason.to_string());
-            self.metrics.jobs_queued.fetch_sub(1, Ordering::Relaxed);
-            self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.jobs_queued.dec();
+            self.metrics.jobs_failed.inc();
         }
     }
 
@@ -591,9 +723,13 @@ mod tests {
     #[test]
     fn metrics_render_every_counter() {
         let m = Metrics::default();
-        m.cache_hits.store(3, Ordering::Relaxed);
+        m.cache_hits.add(3);
         let text = m.render();
         assert!(text.contains("predllc_cache_hits 3\n"));
+        assert!(text.ends_with('\n'));
+        assert!(text.contains("# TYPE predllc_jobs_queued gauge\n"));
+        assert!(text.contains("# TYPE predllc_jobs_done counter\n"));
+        predllc_obs::expo::validate(&text).expect("metrics render must be valid exposition");
         for name in [
             "predllc_jobs_queued",
             "predllc_jobs_running",

@@ -26,13 +26,15 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use predllc_obs::{fields, render_jsonl, TraceCtx, TraceId, Tracer, TRACE_HEADER};
 
 use predllc_explore::hash::Fingerprint;
 use predllc_explore::report::{render_csv, render_json};
 use predllc_explore::{
-    measure, run_spec_observed, Executor, ExperimentSpec, GridResult, PointError, PointRequest,
-    SearchOutcome,
+    measure, run_spec_observed, run_spec_traced, Executor, ExperimentSpec, GridResult, PointError,
+    PointRequest, SearchOutcome,
 };
 
 use crate::http::{read_request, write_response, HttpError, Limits, Request, Response};
@@ -68,6 +70,10 @@ pub struct ServerConfig {
     /// mid-response ([`ServerHandle::kill`] semantics — no response, no
     /// drain). `None` (the default) disables it.
     pub fail_after_points: Option<u64>,
+    /// The tracer request/job spans record into. `None` (the default)
+    /// gives the server its own; pass one to share it with a fleet
+    /// coordinator or to drain it into a `--trace-out` file.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +87,7 @@ impl Default for ServerConfig {
             max_connections: 256,
             max_points: 4096,
             fail_after_points: None,
+            tracer: None,
         }
     }
 }
@@ -117,6 +124,22 @@ pub trait SpecRunner: Send + Sync {
         observe: &(dyn Fn(usize, usize) + Sync),
     ) -> Result<RunOutcome, String>;
 
+    /// Like [`SpecRunner::run_spec`], recording spans under `ctx`
+    /// (when given) as the run progresses. The default forwards to
+    /// `run_spec` and records nothing extra; runners with interesting
+    /// internal stages — the local executor's queue-wait/compute
+    /// split, the fleet coordinator's dispatch pipeline — override it.
+    /// Tracing never alters what is computed.
+    fn run_spec_traced(
+        &self,
+        spec: &ExperimentSpec,
+        observe: &(dyn Fn(usize, usize) + Sync),
+        ctx: Option<TraceCtx<'_>>,
+    ) -> Result<RunOutcome, String> {
+        let _ = ctx;
+        self.run_spec(spec, observe)
+    }
+
     /// The thread count stamped into rendered JSON reports. A fleet
     /// coordinator reports `1` so documents are byte-identical across
     /// fleet shapes.
@@ -145,6 +168,20 @@ impl SpecRunner for LocalRunner {
         observe: &(dyn Fn(usize, usize) + Sync),
     ) -> Result<RunOutcome, String> {
         let report = run_spec_observed(spec, &self.exec, observe).map_err(|e| e.to_string())?;
+        Ok(RunOutcome {
+            grid: report.grid,
+            search: report.search,
+            unique_points: report.unique_points,
+        })
+    }
+
+    fn run_spec_traced(
+        &self,
+        spec: &ExperimentSpec,
+        observe: &(dyn Fn(usize, usize) + Sync),
+        ctx: Option<TraceCtx<'_>>,
+    ) -> Result<RunOutcome, String> {
+        let report = run_spec_traced(spec, &self.exec, observe, ctx).map_err(|e| e.to_string())?;
         Ok(RunOutcome {
             grid: report.grid,
             search: report.search,
@@ -218,6 +255,8 @@ struct Shared {
     /// Point requests answered successfully (the fault injector's
     /// odometer).
     points_answered: AtomicU64,
+    /// Where request/job/point spans are recorded.
+    tracer: Arc<Tracer>,
     /// Our own bound address, to wake the accept loop on kill.
     addr: SocketAddr,
 }
@@ -291,6 +330,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let (tx, rx) = mpsc::channel();
+        let tracer = config.tracer.unwrap_or_else(|| Arc::new(Tracer::new()));
         let shared = Arc::new(Shared {
             registry: Registry::with_metrics(config.max_jobs, metrics),
             runner,
@@ -304,6 +344,7 @@ impl Server {
             points: Mutex::new(PointCache::new(config.max_points)),
             fail_after_points: config.fail_after_points,
             points_answered: AtomicU64::new(0),
+            tracer,
             addr,
         });
         Ok(Server {
@@ -429,6 +470,13 @@ impl ServerHandle {
         self.shared.registry.metrics.snapshot()
     }
 
+    /// The server's tracer (the one passed via [`ServerConfig::tracer`]
+    /// when supplied) — drain it into a `--trace-out` file, or inspect
+    /// spans in tests.
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.shared.tracer)
+    }
+
     /// Looks a job up by its hex id.
     pub fn job(&self, hex_id: &str) -> Option<Arc<Job>> {
         self.shared.registry.get(hex_id)
@@ -452,10 +500,33 @@ fn run_jobs(shared: &Shared, rx: &Mutex<mpsc::Receiver<Arc<Job>>>) {
         }
         let metrics = &shared.registry.metrics;
         job.start();
-        metrics.jobs_queued.fetch_sub(1, Ordering::Relaxed);
-        metrics.jobs_running.fetch_add(1, Ordering::Relaxed);
+        // Gauge transitions run dec-before-inc (snapshot discipline).
+        metrics.jobs_queued.dec();
+        metrics.jobs_running.inc();
+        let queue_wait = job.submitted.elapsed();
+        metrics
+            .registry
+            .histogram(
+                "predllc_job_queue_wait_ns",
+                "Time a job waited between submission and a runner picking it up, nanoseconds.",
+            )
+            .record(queue_wait);
+        let ctx = TraceCtx::new(&shared.tracer, job.trace);
+        ctx.instant(
+            "serve.job.dequeued",
+            fields(&[
+                ("job", job.id.to_hex().into()),
+                ("queue_wait_ns", duration_ns(queue_wait).into()),
+            ]),
+        );
         let observe = |done: usize, _total: usize| job.record_progress(done);
-        match shared.runner.run_spec(&job.spec, &observe) {
+        let outcome = {
+            let _span = ctx.span("serve.job.run", fields(&[("job", job.id.to_hex().into())]));
+            shared
+                .runner
+                .run_spec_traced(&job.spec, &observe, Some(ctx))
+        };
+        match outcome {
             Ok(outcome) => {
                 // Rendered once; every later fetch serves these bytes.
                 // No wall time in the JSON, so identical submissions
@@ -471,19 +542,23 @@ fn run_jobs(shared: &Shared, rx: &Mutex<mpsc::Receiver<Arc<Job>>>) {
                     ),
                     unique_points: outcome.unique_points,
                 };
-                metrics
-                    .points_simulated
-                    .fetch_add(outcome.unique_points as u64, Ordering::Relaxed);
-                metrics.jobs_done.fetch_add(1, Ordering::Relaxed);
+                metrics.points_simulated.add(outcome.unique_points as u64);
+                metrics.jobs_running.dec();
+                metrics.jobs_done.inc();
                 job.finish(result);
             }
             Err(e) => {
-                metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                metrics.jobs_running.dec();
+                metrics.jobs_failed.inc();
                 job.fail(e);
             }
         }
-        metrics.jobs_running.fetch_sub(1, Ordering::Relaxed);
     }
+}
+
+/// `Duration` → saturated nanoseconds.
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Serves one connection: a keep-alive loop of request → route →
@@ -513,14 +588,16 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         if shared.killed.load(Ordering::SeqCst) {
             return; // a crashed server answers nothing
         }
-        shared
-            .registry
-            .metrics
-            .http_requests
-            .fetch_add(1, Ordering::Relaxed);
+        shared.registry.metrics.http_requests.inc();
+        let started = Instant::now();
         let Some(response) = route(shared, &request) else {
             return; // the fault injector tripped mid-response
         };
+        shared
+            .registry
+            .metrics
+            .endpoint_latency(endpoint_label(&request))
+            .record(started.elapsed());
         let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
         if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
             return;
@@ -539,17 +616,53 @@ fn route(shared: &Shared, req: &Request) -> Option<Response> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     Some(match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::text("ok\n"),
-        ("GET", ["metrics"]) => Response::text(shared.registry.metrics.render()),
+        // The exposition content type Prometheus scrapers negotiate on;
+        // `Metrics::render` guarantees the trailing newline.
+        ("GET", ["metrics"]) => Response::new(
+            200,
+            "text/plain; version=0.0.4",
+            shared.registry.metrics.render(),
+        ),
         ("POST", ["v1", "experiments"]) => submit(shared, req),
         ("GET", ["v1", "experiments", id]) => status(shared, id),
         ("GET", ["v1", "experiments", id, "results"]) => results(shared, id, req),
+        ("GET", ["v1", "jobs", id, "trace"]) => job_trace(shared, id),
         ("POST", ["v1", "points"]) => return point_post(shared, req),
         ("GET", ["v1", "points", fp]) => point_get(shared, fp),
         (_, ["healthz" | "metrics"])
         | (_, ["v1", "experiments", ..])
+        | (_, ["v1", "jobs", ..])
         | (_, ["v1", "points", ..]) => error_response(405, "method not allowed"),
         _ => error_response(404, "no such endpoint"),
     })
+}
+
+/// The low-cardinality label `/metrics` buckets request latencies
+/// under — one per endpoint, never per id.
+fn endpoint_label(req: &Request) -> &'static str {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => "healthz",
+        ("GET", ["metrics"]) => "metrics",
+        ("POST", ["v1", "experiments"]) => "submit",
+        ("GET", ["v1", "experiments", _]) => "job_status",
+        ("GET", ["v1", "experiments", _, "results"]) => "job_results",
+        ("GET", ["v1", "jobs", _, "trace"]) => "job_trace",
+        ("POST", ["v1", "points"]) => "point_post",
+        ("GET", ["v1", "points", _]) => "point_get",
+        _ => "other",
+    }
+}
+
+/// `GET /v1/jobs/{id}/trace` — every buffered trace event for the
+/// job's trace id, as JSON Lines (submission, queue wait, run span,
+/// per-point timings — whatever the runner recorded).
+fn job_trace(shared: &Shared, id: &str) -> Response {
+    let Some(job) = shared.registry.get(id) else {
+        return error_response(404, "unknown experiment id");
+    };
+    let events = shared.tracer.snapshot_trace(job.trace);
+    Response::new(200, "application/x-ndjson", render_jsonl(&events))
 }
 
 /// The point endpoints' success body: the fingerprint, whether the
@@ -594,10 +707,22 @@ fn point_post(shared: &Shared, req: &Request) -> Option<Response> {
     let fp = point.fingerprint();
     let metrics = &shared.registry.metrics;
 
+    // A coordinator propagates its trace id in the X-Predllc-Trace
+    // header; the worker-side compute span records under the same id,
+    // so one fleet point is reconstructable end to end.
+    let trace = req.header(TRACE_HEADER).and_then(TraceId::parse_hex);
+    let mut span = trace.map(|t| {
+        shared.tracer.span(
+            t,
+            "worker.point",
+            fields(&[("fingerprint", fp.to_hex().into())]),
+        )
+    });
+
     let cached = shared.points.lock().unwrap().get(&fp).map(str::to_string);
     let (was_cached, rendered) = match cached {
         Some(rendered) => {
-            metrics.points_cache_shared.fetch_add(1, Ordering::Relaxed);
+            metrics.points_cache_shared.inc();
             (true, rendered)
         }
         None => {
@@ -613,10 +738,14 @@ fn point_post(shared: &Shared, req: &Request) -> Option<Response> {
             };
             let rendered = measurement.render();
             shared.points.lock().unwrap().insert(fp, rendered.clone());
-            metrics.points_simulated.fetch_add(1, Ordering::Relaxed);
+            metrics.points_simulated.inc();
             (false, rendered)
         }
     };
+    if let Some(span) = span.as_mut() {
+        span.field("cached", u64::from(was_cached));
+    }
+    drop(span);
 
     // Fault injection: after `fail_after_points` successful answers, the
     // next one crashes mid-response — the worker-loss scenario the
@@ -642,11 +771,7 @@ fn point_get(shared: &Shared, fp_hex: &str) -> Response {
     let cached = shared.points.lock().unwrap().get(&fp).map(str::to_string);
     match cached {
         Some(rendered) => {
-            shared
-                .registry
-                .metrics
-                .points_cache_shared
-                .fetch_add(1, Ordering::Relaxed);
+            shared.registry.metrics.points_cache_shared.inc();
             point_body(&fp, true, &rendered)
         }
         None => error_response(404, "point not cached"),
@@ -661,11 +786,26 @@ fn submit(shared: &Shared, req: &Request) -> Response {
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return error_response(400, "body is not utf-8");
     };
-    let submission = match shared.registry.submit(body) {
+    // Callers may supply the trace id (X-Predllc-Trace) so their own
+    // spans and the server's share one trace; otherwise mint a fresh
+    // one. A cache hit keeps the existing job's trace.
+    let trace = req
+        .header(TRACE_HEADER)
+        .and_then(TraceId::parse_hex)
+        .unwrap_or_else(TraceId::fresh);
+    let submission = match shared.registry.submit_traced(body, trace) {
         Ok(s) => s,
         Err(e @ SubmitError::AtCapacity) => return error_response(503, &e.to_string()),
         Err(SubmitError::Spec(e)) => return error_response(400, &e.to_string()),
     };
+    shared.tracer.instant(
+        submission.job.trace,
+        "serve.job.submitted",
+        fields(&[
+            ("job", submission.job.id.to_hex().into()),
+            ("cached", u64::from(!submission.fresh).into()),
+        ]),
+    );
     if submission.fresh {
         // Enqueue for the runners; if the queue closed under us
         // (shutdown raced the submit), unregister the job so the

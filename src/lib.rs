@@ -26,6 +26,10 @@
 //! * [`explore`] ([`predllc_explore`]) — design-space exploration: the
 //!   work-stealing experiment [`Executor`], JSON experiment specs, and
 //!   the schedulability-driven partition search.
+//! * [`obs`] ([`predllc_obs`]) — zero-dependency observability: a
+//!   metric registry with Prometheus text exposition, structured
+//!   tracing with 128-bit trace IDs, and log-bucketed wall-clock
+//!   timing histograms, threaded through every layer above.
 //! * [`serve`] ([`predllc_serve`]) — the multi-tenant experiment
 //!   service: an HTTP/1.1 API over `std::net` with a content-addressed
 //!   result cache, so the same spec is never simulated twice.
@@ -118,6 +122,7 @@ pub use predllc_dram as dram;
 pub use predllc_explore as explore;
 pub use predllc_fleet as fleet;
 pub use predllc_model as model;
+pub use predllc_obs as obs;
 pub use predllc_serve as serve;
 pub use predllc_workload as workload;
 

@@ -311,29 +311,43 @@ fn deeply_nested_body_is_a_400_not_a_stack_overflow() {
 
 #[test]
 fn metrics_render_exactly_including_fleet_counters() {
-    // The full `/metrics` body, byte for byte: every counter, fleet
-    // counters included, in declaration order. The fetch counts itself,
-    // so after one healthz this is request number two.
+    // Every pre-exposition counter line survives verbatim (same name,
+    // same `name value` shape), now wrapped in HELP/TYPE metadata plus
+    // per-endpoint latency histograms. The fetch counts itself, so
+    // after one healthz this is request number two. The whole body must
+    // pass the in-tree Prometheus exposition validator.
     let (handle, join) = start(ServerConfig::default());
     let mut client = Client::new(handle.addr());
     client.healthz().unwrap();
     let body = client.metrics().unwrap();
-    assert_eq!(
-        body,
-        "predllc_jobs_queued 0\n\
-         predllc_jobs_running 0\n\
-         predllc_jobs_done 0\n\
-         predllc_jobs_failed 0\n\
-         predllc_cache_hits 0\n\
-         predllc_cache_misses 0\n\
-         predllc_points_simulated 0\n\
-         predllc_http_requests 2\n\
-         predllc_workers_alive 0\n\
-         predllc_workers_lost 0\n\
-         predllc_points_assigned 0\n\
-         predllc_points_retried 0\n\
-         predllc_points_cache_shared 0\n"
+    for line in [
+        "predllc_jobs_queued 0",
+        "predllc_jobs_running 0",
+        "predllc_jobs_done 0",
+        "predllc_jobs_failed 0",
+        "predllc_cache_hits 0",
+        "predllc_cache_misses 0",
+        "predllc_points_simulated 0",
+        "predllc_http_requests 2",
+        "predllc_workers_alive 0",
+        "predllc_workers_lost 0",
+        "predllc_points_assigned 0",
+        "predllc_points_retried 0",
+        "predllc_points_cache_shared 0",
+    ] {
+        assert!(
+            body.lines().any(|l| l == line),
+            "compat counter line '{line}' missing from:\n{body}"
+        );
+    }
+    // The healthz request landed in the per-endpoint latency histogram.
+    assert!(
+        body.contains("predllc_http_request_duration_ns_bucket{endpoint=\"healthz\""),
+        "no healthz latency series in:\n{body}"
     );
+    assert!(body.ends_with('\n'), "exposition must end with a newline");
+    let summary = predllc::obs::expo::validate(&body).expect("/metrics must validate");
+    assert!(summary.families >= 14, "families: {}", summary.families);
     stop(&handle, join);
 }
 
