@@ -25,6 +25,8 @@
 //!     [--bench-out PATH]         write the JSON benchmark artifact
 //!     [--trace-out PATH]         write the coordinator-side trace of
 //!                                the sharded run (JSONL)
+//!     [--dashboard-out PATH]     write the fleet /dashboard HTML
+//!     [--alerts]                 print the SLO alert table after the run
 //!     [--threads N]
 //!     [--quiet | --verbose]
 //! ```
@@ -45,12 +47,13 @@ use std::process::{Child, Command, ExitCode, Stdio};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use predllc_bench::monitor::{alert_state, history_samples, print_alerts};
 use predllc_bench::{data, error, status};
 use predllc_explore::report::{render_csv, render_json};
 use predllc_explore::{run_spec, Executor, ExperimentSpec};
-use predllc_fleet::{Coordinator, CoordinatorConfig};
+use predllc_fleet::{default_fleet_rules, Coordinator, CoordinatorConfig};
 use predllc_obs::{render_jsonl, TraceCtx, TraceId, Tracer};
-use predllc_serve::{Client, Metrics, Server, ServerConfig};
+use predllc_serve::{Client, Metrics, MonitorConfig, Server, ServerConfig};
 
 fn main() -> ExitCode {
     match run(predllc_bench::log::init(std::env::args().skip(1).collect())) {
@@ -74,6 +77,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut expect: Option<String> = None;
     let mut bench_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut dashboard_out: Option<String> = None;
+    let mut alerts = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -99,6 +104,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--expect" => expect = Some(it.next().ok_or("--expect needs a csv path")?),
             "--bench-out" => bench_out = Some(it.next().ok_or("--bench-out needs a path")?),
             "--trace-out" => trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
+            "--dashboard-out" => {
+                dashboard_out = Some(it.next().ok_or("--dashboard-out needs a path")?);
+            }
+            "--alerts" => alerts = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -122,18 +131,31 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     .map_err(|_| format!("--workers needs a count in smoke mode, got '{v}'"))?,
                 None => 2,
             };
+            let outputs = SmokeOutputs {
+                bench_out,
+                trace_out,
+                dashboard_out,
+                alerts,
+            };
             run_smoke(
                 &spec_path,
                 count,
                 kill_one,
                 expect.as_deref(),
-                bench_out.as_deref(),
-                trace_out.as_deref(),
+                &outputs,
                 threads,
             )
         }
         _ => Err("pick exactly one mode: --worker, --coordinator or --smoke <spec.json>".into()),
     }
+}
+
+/// Optional smoke-mode outputs, bundled to keep the call sites flat.
+struct SmokeOutputs {
+    bench_out: Option<String>,
+    trace_out: Option<String>,
+    dashboard_out: Option<String>,
+    alerts: bool,
 }
 
 /// The worker mode: a plain `predllc-serve` instance — its point
@@ -155,7 +177,10 @@ fn run_worker(addr: &str, config: ServerConfig) -> Result<(), String> {
 /// The coordinator mode: serve the full experiment API
 /// (`/v1/experiments`, `/metrics`, ...) with the fleet as the runner —
 /// clients submit specs to one front door and the coordinator fans
-/// each one out across the workers.
+/// each one out across the workers. Monitoring is on with the fleet
+/// rule set, and a background scrape mirrors every worker's counters
+/// and gauges onto the coordinator registry, so `/dashboard` shows the
+/// whole fleet.
 fn run_coordinator(addr: &str, workers: &str) -> Result<(), String> {
     let addrs = parse_worker_list(workers)?;
     let metrics = Arc::new(Metrics::default());
@@ -165,14 +190,22 @@ fn run_coordinator(addr: &str, workers: &str) -> Result<(), String> {
         Arc::clone(&metrics),
     ));
     let worker_count = coordinator.worker_count();
-    let server = Server::bind_with(addr, ServerConfig::default(), coordinator, metrics)
+    let _scrape = coordinator.start_metric_scrape(Duration::from_secs(1));
+    let config = ServerConfig {
+        monitor: Some(MonitorConfig {
+            rules: default_fleet_rules(),
+            ..MonitorConfig::default()
+        }),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind_with(addr, config, coordinator, metrics)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     status!(
         "fleet: coordinator listening on http://{} over {} worker(s)",
         server.local_addr(),
         worker_count,
     );
-    status!("fleet: POST a spec to /v1/experiments; see /healthz and /metrics");
+    status!("fleet: POST a spec to /v1/experiments; see /healthz, /metrics and /dashboard");
     server.run().map_err(|e| e.to_string())
 }
 
@@ -287,14 +320,12 @@ fn spawn_worker(threads: usize, fail_after_points: Option<u64>) -> Result<Worker
 /// across them, the merged CSV byte-diffed against the reference —
 /// optionally with one worker fault-injected to die mid-run — then a
 /// re-run answered entirely by the coordinator's shared point cache.
-#[allow(clippy::too_many_arguments)]
 fn run_smoke(
     spec_path: &str,
     workers: usize,
     kill_one: bool,
     expect: Option<&str>,
-    bench_out: Option<&str>,
-    trace_out: Option<&str>,
+    outputs: &SmokeOutputs,
     threads: usize,
 ) -> Result<(), String> {
     if workers == 0 {
@@ -348,7 +379,7 @@ fn run_smoke(
             .join(", "),
     );
 
-    let outcome = smoke_inner(&spec, &reference, &fleet, kill_one, bench_out, trace_out);
+    let outcome = smoke_inner(&spec, &reference, &fleet, kill_one, outputs);
     let captured = shutdown_fleet(&mut fleet);
     // A failed smoke quotes what the (possibly dead) workers said on
     // stderr — the difference between "worker lost" and a diagnosis.
@@ -385,23 +416,26 @@ fn smoke_inner(
     reference: &str,
     fleet: &[WorkerProcess],
     kill_one: bool,
-    bench_out: Option<&str>,
-    trace_out: Option<&str>,
+    outputs: &SmokeOutputs,
 ) -> Result<(), String> {
     let metrics = Arc::new(Metrics::default());
-    let coordinator = Coordinator::new(
+    let coordinator = Arc::new(Coordinator::new(
         fleet.iter().map(|w| w.addr),
         CoordinatorConfig {
             heartbeat_interval: Duration::from_millis(100),
             ..CoordinatorConfig::default()
         },
         Arc::clone(&metrics),
-    );
+    ));
+    // Mirror every worker's counters and gauges onto the coordinator
+    // registry throughout the run — the fleet-wide aggregation path the
+    // monitoring checks below read back over HTTP.
+    let _scrape = coordinator.start_metric_scrape(Duration::from_millis(100));
 
     // With --trace-out the sharded run records coordinator-side spans
     // (queue wait, dispatch RTT, requeues, the merge tail) under one
     // fresh trace ID; workers echo the same ID in their own sinks.
-    let tracer = trace_out.map(|_| Tracer::new());
+    let tracer = outputs.trace_out.as_deref().map(|_| Tracer::new());
     let trace = TraceId::fresh();
     let ctx = tracer.as_ref().map(|t| TraceCtx::new(t, trace));
 
@@ -467,7 +501,7 @@ fn smoke_inner(
         ));
     }
 
-    if let Some(path) = bench_out {
+    if let Some(path) = outputs.bench_out.as_deref() {
         let artifact = render_json(
             &spec.name,
             1,
@@ -494,7 +528,7 @@ fn smoke_inner(
         summary.families,
         worker_summary.families
     );
-    if let (Some(path), Some(t)) = (trace_out, &tracer) {
+    if let (Some(path), Some(t)) = (outputs.trace_out.as_deref(), &tracer) {
         let events = t.drain();
         std::fs::write(path, render_jsonl(&events))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -504,6 +538,7 @@ fn smoke_inner(
             events.len()
         );
     }
+    monitor_checks(&coordinator, &metrics, fleet, kill_one, outputs)?;
     status!(
         "fleet: smoke ok — fleet CSV byte-identical to the reference{}, \
          re-run served from the shared point cache",
@@ -514,4 +549,88 @@ fn smoke_inner(
         }
     );
     Ok(())
+}
+
+/// The smoke's monitoring leg: put the coordinator behind a monitored
+/// front server (100ms collection, fleet SLO rules) and read the whole
+/// stack back over real HTTP — the history must show a *mirrored*
+/// worker series ticking, the dashboard must render, and with
+/// `--kill-one` the `worker-loss` rule must be firing.
+fn monitor_checks(
+    coordinator: &Arc<Coordinator>,
+    metrics: &Arc<Metrics>,
+    fleet: &[WorkerProcess],
+    kill_one: bool,
+    outputs: &SmokeOutputs,
+) -> Result<(), String> {
+    let config = ServerConfig {
+        monitor: Some(MonitorConfig {
+            rules: default_fleet_rules(),
+            ..MonitorConfig::with_interval(Duration::from_millis(100))
+        }),
+        ..ServerConfig::default()
+    };
+    let front = Server::bind_with(
+        "127.0.0.1:0",
+        config,
+        Arc::clone(coordinator) as Arc<dyn predllc_serve::SpecRunner>,
+        Arc::clone(metrics),
+    )
+    .map_err(|e| format!("cannot bind the front server: {e}"))?;
+    let handle = front.handle();
+    let join = std::thread::spawn(move || front.run());
+
+    let outcome = (|| -> Result<(), String> {
+        // A few collector ticks (and scrape rounds) land first.
+        std::thread::sleep(Duration::from_millis(450));
+        let mut client = Client::new(handle.addr());
+        let history = client
+            .metrics_history(None, None)
+            .map_err(|e| e.to_string())?;
+        // The surviving worker's mirrored counter proves the full
+        // aggregation path: worker registry -> /metrics text ->
+        // expo::parse -> coordinator registry -> collector -> history.
+        let live = fleet.last().expect("fleet is non-empty");
+        let mirrored = format!("predllc_points_simulated{{worker=\"{}\"}}", live.addr);
+        let samples = history_samples(&history, &mirrored)?;
+        if samples < 2 {
+            return Err(format!(
+                "/v1/metrics/history has {samples} sample(s) of {mirrored}; \
+                 expected at least 2 (is the collector ticking?)"
+            ));
+        }
+        status!("fleet: /v1/metrics/history shows {samples} samples of {mirrored}");
+        let alerts = client.alerts().map_err(|e| e.to_string())?;
+        if kill_one {
+            match alert_state(&alerts, "worker-loss").as_deref() {
+                Some("firing") => status!("fleet: worker-loss alert is firing, as injected"),
+                state => {
+                    return Err(format!(
+                        "expected the worker-loss alert to fire after --kill-one, state is {state:?}"
+                    ));
+                }
+            }
+        }
+        if outputs.alerts {
+            print_alerts("fleet", &alerts)?;
+        }
+        let dashboard = client.dashboard().map_err(|e| e.to_string())?;
+        if dashboard.is_empty() || !dashboard.contains("<svg") {
+            return Err("/dashboard did not render sparklines".into());
+        }
+        if let Some(path) = outputs.dashboard_out.as_deref() {
+            std::fs::write(path, &dashboard).map_err(|e| format!("cannot write {path}: {e}"))?;
+            status!(
+                "fleet: dashboard snapshot written to {path} ({} bytes)",
+                dashboard.len()
+            );
+        }
+        Ok(())
+    })();
+
+    handle.shutdown();
+    join.join()
+        .map_err(|_| "front server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+    outcome
 }

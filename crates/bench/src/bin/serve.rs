@@ -14,6 +14,8 @@
 //!                        (default: run the spec in-process and diff)
 //!     [--trace-out PATH] write the smoke job's structured trace
 //!                        (JSONL, fetched from /v1/jobs/{id}/trace)
+//!     [--dashboard-out PATH] write the /dashboard HTML snapshot
+//!     [--alerts]         print the SLO alert table after the run
 //!     [--threads N]
 //!     [--quiet | --verbose]
 //! ```
@@ -23,15 +25,20 @@
 //! completion, fetch the CSV, and require it byte-identical to the
 //! `explore` CLI's direct output (via `--expect`) or to an in-process
 //! `run_spec` (without). It also re-submits the spec to prove the
-//! content-addressed cache answers without a second simulation.
+//! content-addressed cache answers without a second simulation, and —
+//! with monitoring collecting at 100ms throughout — requires
+//! `/v1/metrics/history` to show the collector ticking and
+//! `/dashboard` to render, proving observation never perturbs the
+//! served bytes.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use predllc_bench::monitor::{history_samples, print_alerts};
 use predllc_bench::{error, status};
 use predllc_explore::report::render_csv;
 use predllc_explore::{run_spec, Executor, ExperimentSpec};
-use predllc_serve::{Client, Server, ServerConfig};
+use predllc_serve::{Client, MonitorConfig, Server, ServerConfig};
 
 fn main() -> ExitCode {
     match run(predllc_bench::log::init(std::env::args().skip(1).collect())) {
@@ -50,6 +57,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut smoke: Option<String> = None;
     let mut expect: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut dashboard_out: Option<String> = None;
+    let mut alerts = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -69,6 +78,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--smoke" => smoke = Some(it.next().ok_or("--smoke needs a spec path")?),
             "--expect" => expect = Some(it.next().ok_or("--expect needs a csv path")?),
             "--trace-out" => trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
+            "--dashboard-out" => {
+                dashboard_out = Some(it.next().ok_or("--dashboard-out needs a path")?);
+            }
+            "--alerts" => alerts = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -78,39 +91,56 @@ fn run(args: Vec<String>) -> Result<(), String> {
         ..ServerConfig::default()
     };
     match smoke {
-        Some(spec_path) => run_smoke(&spec_path, expect.as_deref(), trace_out.as_deref(), config),
+        Some(spec_path) => {
+            let opts = SmokeOpts {
+                expect,
+                trace_out,
+                dashboard_out,
+                alerts,
+            };
+            run_smoke(&spec_path, &opts, config)
+        }
         None => run_forever(&addr, config),
     }
 }
 
+/// Optional smoke-mode outputs, bundled to keep the call site flat.
+struct SmokeOpts {
+    expect: Option<String>,
+    trace_out: Option<String>,
+    dashboard_out: Option<String>,
+    alerts: bool,
+}
+
 /// The long-lived mode: bind, print the address, serve until killed.
+/// Monitoring is on at the default 1s interval, so `/dashboard` and
+/// `/v1/alerts` work out of the box.
 fn run_forever(addr: &str, config: ServerConfig) -> Result<(), String> {
     let threads = config.threads;
+    let config = ServerConfig {
+        monitor: Some(MonitorConfig::default()),
+        ..config
+    };
     let server = Server::bind(addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     status!(
         "serve: listening on http://{} ({} executor thread(s))",
         server.local_addr(),
         Executor::new(threads).threads(),
     );
-    status!("serve: POST a spec to /v1/experiments; see /healthz and /metrics");
+    status!("serve: POST a spec to /v1/experiments; see /healthz, /metrics and /dashboard");
     server.run().map_err(|e| e.to_string())
 }
 
 /// The CI smoke: ephemeral port, one spec through the full HTTP path,
 /// served bytes diffed against the reference, cache hit verified.
-fn run_smoke(
-    spec_path: &str,
-    expect: Option<&str>,
-    trace_out: Option<&str>,
-    config: ServerConfig,
-) -> Result<(), String> {
+fn run_smoke(spec_path: &str, opts: &SmokeOpts, config: ServerConfig) -> Result<(), String> {
     let text =
         std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
     let threads = config.threads;
 
     // The reference bytes: a checked-in CSV (the explore CLI's direct
     // output) or an in-process run of the same spec.
-    let reference = match expect {
+    let reference = match opts.expect.as_deref() {
         Some(path) => {
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
         }
@@ -121,6 +151,13 @@ fn run_smoke(
         }
     };
 
+    // Collect aggressively (100ms) for the whole run: the CSV diff
+    // below then doubles as proof that monitoring never touches the
+    // served bytes.
+    let config = ServerConfig {
+        monitor: Some(MonitorConfig::with_interval(Duration::from_millis(100))),
+        ..config
+    };
     let server = Server::bind("127.0.0.1:0", config)
         .map_err(|e| format!("cannot bind an ephemeral port: {e}"))?;
     let handle = server.handle();
@@ -185,11 +222,39 @@ fn run_smoke(
             summary.families,
             summary.samples
         );
-        if let Some(path) = trace_out {
+        if let Some(path) = opts.trace_out.as_deref() {
             let jsonl = client.job_trace(&submitted.id).map_err(|e| e.to_string())?;
             let events = jsonl.lines().filter(|l| !l.trim().is_empty()).count();
             std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
             status!("serve: job trace written to {path} ({events} event(s))");
+        }
+        // Give the 100ms collector time for a couple more ticks, then
+        // require the history to actually show them.
+        std::thread::sleep(Duration::from_millis(250));
+        let history = client
+            .metrics_history(None, None)
+            .map_err(|e| e.to_string())?;
+        let samples = history_samples(&history, "predllc_http_requests")?;
+        if samples < 2 {
+            return Err(format!(
+                "/v1/metrics/history has {samples} sample(s) of predllc_http_requests; \
+                 expected at least 2 (is the collector ticking?)"
+            ));
+        }
+        status!("serve: /v1/metrics/history shows {samples} samples of predllc_http_requests");
+        let dashboard = client.dashboard().map_err(|e| e.to_string())?;
+        if dashboard.is_empty() || !dashboard.contains("<svg") {
+            return Err("/dashboard did not render sparklines".into());
+        }
+        if let Some(path) = opts.dashboard_out.as_deref() {
+            std::fs::write(path, &dashboard).map_err(|e| format!("cannot write {path}: {e}"))?;
+            status!(
+                "serve: dashboard snapshot written to {path} ({} bytes)",
+                dashboard.len()
+            );
+        }
+        if opts.alerts {
+            print_alerts("serve", &client.alerts().map_err(|e| e.to_string())?)?;
         }
         status!(
             "serve: smoke ok — served CSV byte-identical to the reference, \

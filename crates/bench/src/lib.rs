@@ -25,6 +25,7 @@
 
 pub mod harness;
 pub mod log;
+pub mod monitor;
 pub mod sweep;
 
 pub use harness::Measurement;

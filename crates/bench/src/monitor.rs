@@ -1,0 +1,65 @@
+//! Helpers shared by the `serve` and `fleet` bins for reading the
+//! monitoring endpoints: counting samples in a `/v1/metrics/history`
+//! reply and printing a `/v1/alerts` reply on the status channel.
+
+use predllc_explore::json::Json;
+
+use crate::status;
+
+/// Sample count for `series` in a `/v1/metrics/history` reply.
+///
+/// # Errors
+///
+/// When the reply is not shaped like a history document or the series
+/// is absent entirely (an empty-but-present series returns `Ok(0)`).
+pub fn history_samples(history: &Json, series: &str) -> Result<usize, String> {
+    let Some(Json::Array(all)) = history.get("series") else {
+        return Err("history reply has no 'series' array".into());
+    };
+    for entry in all {
+        if entry.get("name").and_then(Json::as_str) == Some(series) {
+            let Some(Json::Array(samples)) = entry.get("samples") else {
+                return Err(format!("series '{series}' has no 'samples' array"));
+            };
+            return Ok(samples.len());
+        }
+    }
+    Err(format!("series '{series}' absent from history"))
+}
+
+/// The state of `rule` in a `/v1/alerts` reply, when the rule exists.
+pub fn alert_state(alerts: &Json, rule: &str) -> Option<String> {
+    let Some(Json::Array(all)) = alerts.get("alerts") else {
+        return None;
+    };
+    all.iter()
+        .find(|a| a.get("rule").and_then(Json::as_str) == Some(rule))
+        .and_then(|a| a.get("state").and_then(Json::as_str))
+        .map(str::to_string)
+}
+
+/// Prints a `/v1/alerts` reply as one status line per rule.
+///
+/// # Errors
+///
+/// When the reply is not shaped like an alerts document.
+pub fn print_alerts(bin: &str, alerts: &Json) -> Result<(), String> {
+    let firing = alerts.get("firing").and_then(Json::as_u64).unwrap_or(0);
+    let Some(Json::Array(all)) = alerts.get("alerts") else {
+        return Err("alerts reply has no 'alerts' array".into());
+    };
+    status!("{bin}: {} alert rule(s), {firing} firing", all.len());
+    for alert in all {
+        let rule = alert.get("rule").and_then(Json::as_str).unwrap_or("?");
+        let state = alert.get("state").and_then(Json::as_str).unwrap_or("?");
+        let series = alert.get("series").and_then(Json::as_str).unwrap_or("?");
+        let since = alert.get("since_ms").and_then(Json::as_u64).unwrap_or(0);
+        match alert.get("value").and_then(Json::as_f64) {
+            Some(value) => {
+                status!("{bin}:   {rule} [{state}] on {series} since {since}ms (value {value})");
+            }
+            None => status!("{bin}:   {rule} [{state}] on {series} since {since}ms"),
+        }
+    }
+    Ok(())
+}

@@ -30,7 +30,8 @@ use predllc_explore::{
     ExperimentSpec, ExploreError, ExploreReport, Fingerprint, GridResult, PointMeasurement,
     PointRequest,
 };
-use predllc_obs::{fields, TraceCtx};
+use predllc_obs::expo::{self, ExpoValue};
+use predllc_obs::{fields, Compare, Rule, TraceCtx};
 use predllc_serve::{Client, ClientError, Metrics, RunOutcome, SpecRunner};
 
 /// Why a fleet run failed.
@@ -162,6 +163,10 @@ pub struct Coordinator {
     /// Coordinator-side point cache: fingerprints resolved by any
     /// earlier run (whichever worker computed them).
     cache: Mutex<HashMap<Fingerprint, PointMeasurement>>,
+    /// Epoch for the per-worker scrape-freshness gauge: scrape
+    /// timestamps are milliseconds since coordinator construction, so
+    /// they stay monotonic and wall-clock-free.
+    scrape_epoch: Instant,
 }
 
 impl Coordinator {
@@ -187,6 +192,7 @@ impl Coordinator {
             config,
             metrics,
             cache: Mutex::new(HashMap::new()),
+            scrape_epoch: Instant::now(),
         }
     }
 
@@ -591,6 +597,207 @@ impl Coordinator {
             std::thread::sleep(self.config.heartbeat_interval);
         }
     }
+
+    /// Scrapes every live worker's `/metrics` once and mirrors the
+    /// fleet's counter and gauge series onto the coordinator registry,
+    /// each with a `worker` label added — one scrape of the coordinator
+    /// then shows the whole fleet. Returns how many workers answered
+    /// with a parsable exposition.
+    ///
+    /// Per worker, success also updates the
+    /// `predllc_fleet_scrape_ok_ms{worker=..}` gauge (milliseconds
+    /// since coordinator construction — a frozen value is a stale
+    /// worker, visible as a flat line rather than silence), and any
+    /// failure — refused, timeout, unparsable text — bumps
+    /// `predllc_fleet_scrape_errors{worker=..}`.
+    ///
+    /// Histogram families are deliberately **not** mirrored: their
+    /// `_bucket`/`_sum`/`_count` parts cannot be replayed through the
+    /// registry's counter/gauge cells without forging a histogram, and
+    /// per-worker latency already has a first-class home in
+    /// `predllc_fleet_worker_rtt_ns`. Dead workers are skipped — their
+    /// mirrored series simply stop advancing.
+    pub fn scrape_metrics_once(&self) -> usize {
+        let timeout = self
+            .config
+            .heartbeat_interval
+            .max(Duration::from_millis(100));
+        let mut scraped = 0;
+        for worker in &self.workers {
+            if !worker.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let label = worker.addr.to_string();
+            let mut client = Client::new(worker.addr)
+                .with_timeout(timeout)
+                .with_retries(0);
+            let exposition = client
+                .metrics()
+                .ok()
+                .and_then(|text| expo::parse(&text).ok());
+            match exposition {
+                Some(exposition) => {
+                    self.mirror_exposition(&label, &exposition);
+                    self.metrics
+                        .registry
+                        .gauge_labeled(
+                            "predllc_fleet_scrape_ok_ms",
+                            "Coordinator-relative time (ms) of the last successful metrics scrape per worker.",
+                            &[("worker", &label)],
+                        )
+                        .set(self.scrape_epoch.elapsed().as_millis() as u64);
+                    scraped += 1;
+                }
+                None => {
+                    self.metrics
+                        .registry
+                        .counter_labeled(
+                            "predllc_fleet_scrape_errors",
+                            "Failed or unparsable per-worker metrics scrapes.",
+                            &[("worker", &label)],
+                        )
+                        .inc();
+                }
+            }
+        }
+        scraped
+    }
+
+    /// Mirrors one worker's parsed exposition onto the coordinator
+    /// registry: counter and gauge families only, original labels
+    /// preserved, `worker` appended.
+    fn mirror_exposition(&self, worker: &str, exposition: &expo::Exposition) {
+        for family in &exposition.families {
+            let kind = match family.kind.as_deref() {
+                Some(k @ ("counter" | "gauge")) => k,
+                // Histograms (see `scrape_metrics_once`) and untyped
+                // families are not mirrored.
+                _ => continue,
+            };
+            if self
+                .metrics
+                .registry
+                .family_kind(&family.name)
+                .is_some_and(|local| local != kind)
+            {
+                // A local family of another kind owns this name;
+                // mirroring it would trip the kind-conflict panic.
+                continue;
+            }
+            let help = family
+                .help
+                .as_deref()
+                .unwrap_or("Mirrored from a fleet worker.");
+            for sample in &family.samples {
+                if sample.name != family.name {
+                    continue;
+                }
+                if sample.labels.iter().any(|(k, _)| k == "worker") {
+                    // Already fleet-aggregated (a chained coordinator);
+                    // re-labelling would duplicate the label name.
+                    continue;
+                }
+                let value = match sample.value {
+                    ExpoValue::UInt(v) => v,
+                    // Registry cells are u64; a non-integral scraped
+                    // value cannot come from one of our workers.
+                    ExpoValue::Float(_) => continue,
+                };
+                let mut labels: Vec<(&str, &str)> = sample
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                labels.push(("worker", worker));
+                match kind {
+                    "counter" => self
+                        .metrics
+                        .registry
+                        .counter_labeled(&sample.name, help, &labels)
+                        .set(value),
+                    _ => self
+                        .metrics
+                        .registry
+                        .gauge_labeled(&sample.name, help, &labels)
+                        .set(value),
+                }
+            }
+        }
+    }
+
+    /// Starts the background scrape loop: [`Coordinator::scrape_metrics_once`]
+    /// immediately, then every `interval` until the returned handle is
+    /// stopped or dropped. Pair it with a serve
+    /// [`Collector`](predllc_obs::Collector) over the shared registry
+    /// to get fleet-wide time-series and alerts from one process.
+    pub fn start_metric_scrape(self: &Arc<Self>, interval: Duration) -> ScrapeHandle {
+        let coordinator = Arc::clone(self);
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let signal = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("fleet-scrape".to_string())
+            .spawn(move || {
+                let (lock, cvar) = &*signal;
+                loop {
+                    coordinator.scrape_metrics_once();
+                    let stopped = lock.lock().unwrap();
+                    let (stopped, _) = cvar
+                        .wait_timeout_while(stopped, interval, |stopped| !*stopped)
+                        .unwrap();
+                    if *stopped {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn fleet-scrape thread");
+        ScrapeHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Handle for the background metric-scrape loop started by
+/// [`Coordinator::start_metric_scrape`]. Stopping (or dropping) joins
+/// the thread; mirrored series stay on the registry, frozen at their
+/// last scraped values.
+pub struct ScrapeHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ScrapeHandle {
+    /// Stops the scrape loop and joins the thread. Idempotent.
+    pub fn stop(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ScrapeHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The default SLO rule set for a fleet front door: the serve defaults
+/// ([`predllc_serve::default_rules`]) plus worker-loss detection — any
+/// lost worker fires `worker-loss` immediately (no grace period: loss
+/// is permanent for a coordinator's lifetime, so waiting cannot clear
+/// it).
+pub fn default_fleet_rules() -> Vec<Rule> {
+    let mut rules = predllc_serve::default_rules();
+    rules.push(Rule::threshold(
+        "worker-loss",
+        "predllc_workers_lost",
+        Compare::Above,
+        0.0,
+    ));
+    rules
 }
 
 impl SpecRunner for Coordinator {

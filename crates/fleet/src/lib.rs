@@ -31,6 +31,17 @@
 //! itself serve the full experiment API (`Server::bind_with`): clients
 //! submit specs to one front door and the fleet fans each one out.
 //!
+//! The coordinator is also the fleet's metrics aggregator:
+//! [`Coordinator::start_metric_scrape`] periodically fetches each
+//! worker's `/metrics`, parses it with
+//! [`expo::parse`](predllc_obs::expo::parse) and re-exports every
+//! counter and gauge series on the coordinator registry with a
+//! `worker` label — so one scrape of the coordinator shows the whole
+//! fleet, and a lost worker shows up as a frozen
+//! `predllc_fleet_scrape_ok_ms{worker=..}` gauge (a visible gap, not
+//! silence). [`default_fleet_rules`] adds a `worker-loss` SLO rule on
+//! top of the serve defaults.
+//!
 //! # Examples
 //!
 //! ```
@@ -74,7 +85,9 @@
 
 pub mod coordinator;
 
-pub use coordinator::{Coordinator, CoordinatorConfig, FleetError};
+pub use coordinator::{
+    default_fleet_rules, Coordinator, CoordinatorConfig, FleetError, ScrapeHandle,
+};
 
 // Re-exported so fleet users can build specs and read reports without
 // naming the underlying crates separately.

@@ -1,12 +1,23 @@
-//! In-tree validator for the Prometheus text exposition format
-//! (`text/plain; version=0.0.4`), so smoke tests and CI can prove
-//! every `/metrics` line parses without an external Prometheus.
+//! In-tree validator **and parser** for the Prometheus text exposition
+//! format (`text/plain; version=0.0.4`), so smoke tests and CI can
+//! prove every `/metrics` line parses without an external Prometheus —
+//! and so the fleet coordinator can scrape its workers' expositions
+//! back into structured data with [`parse`].
 //!
 //! The validator checks structure, not semantics: line grammar, label
 //! syntax, numeric sample values, `# TYPE` declared before (and at most
 //! once per) family, histogram series completeness (`_bucket` with an
 //! `le` label, cumulative non-decreasing bucket counts, a `+Inf` bucket
 //! equal to `_count`), and the trailing-newline guarantee.
+//!
+//! [`parse`] is the validator's inverse: it accepts exactly the
+//! expositions [`validate`] accepts (it runs the same grammar) and
+//! returns an [`Exposition`] whose [`Exposition::render`] reproduces
+//! the input byte-for-byte for anything the workspace [`Registry`]
+//! renders — integer samples stay exact `u64`s, label order and escape
+//! sequences are preserved.
+//!
+//! [`Registry`]: crate::metrics::Registry
 
 use std::collections::HashMap;
 
@@ -88,12 +99,15 @@ pub fn validate(text: &str) -> Result<ExpoSummary, String> {
         }
         let sample = parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
         samples += 1;
-        let (family, suffix) = family_of(&sample.name, &families);
+        let (family, suffix) = family_of(&sample.name, |stem| {
+            families.get(stem).is_some_and(|f| !f.kind.is_empty())
+        });
         let state = families.entry(family.clone()).or_default();
         state.saw_sample = true;
         if state.kind == "histogram" {
             let key = sample.labels_key_without_le();
             let hist = state.hist.entry(key).or_default();
+            let value = sample.value.as_f64();
             match suffix {
                 "_bucket" => {
                     let le = sample
@@ -107,17 +121,17 @@ pub fn validate(text: &str) -> Result<ExpoSummary, String> {
                         }
                     }
                     if let Some(prev) = hist.last_cum {
-                        if sample.value < prev {
+                        if value < prev {
                             return Err(format!("line {n}: bucket counts not cumulative"));
                         }
                     }
                     hist.last_le = Some(le);
-                    hist.last_cum = Some(sample.value);
+                    hist.last_cum = Some(value);
                     if le.is_infinite() {
-                        hist.inf = Some(sample.value);
+                        hist.inf = Some(value);
                     }
                 }
-                "_count" => hist.count = Some(sample.value),
+                "_count" => hist.count = Some(value),
                 "_sum" => {}
                 "" => {
                     return Err(format!(
@@ -168,16 +182,57 @@ pub fn validate(text: &str) -> Result<ExpoSummary, String> {
     })
 }
 
-/// A parsed sample line.
-#[derive(Debug)]
-struct Sample {
-    name: String,
-    labels: Vec<(String, String)>,
-    value: f64,
+/// A parsed sample value. Integer tokens stay exact `u64`s (the
+/// workspace [`Registry`](crate::metrics::Registry) renders nothing
+/// else), so re-rendering them reproduces the input bytes; everything
+/// else — floats, negative numbers, `+Inf`, `-Inf`, `NaN` — is carried
+/// as an `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExpoValue {
+    /// An exact non-negative integer sample.
+    UInt(u64),
+    /// Any other numeric sample.
+    Float(f64),
 }
 
-impl Sample {
-    fn label(&self, key: &str) -> Option<&str> {
+impl ExpoValue {
+    /// The value as a lossy `f64` (exact below 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            ExpoValue::UInt(v) => v as f64,
+            ExpoValue::Float(f) => f,
+        }
+    }
+
+    /// Renders the value in exposition syntax.
+    pub fn render(self) -> String {
+        match self {
+            ExpoValue::UInt(v) => v.to_string(),
+            ExpoValue::Float(f) if f == f64::INFINITY => "+Inf".to_string(),
+            ExpoValue::Float(f) if f == f64::NEG_INFINITY => "-Inf".to_string(),
+            ExpoValue::Float(f) if f.is_nan() => "NaN".to_string(),
+            ExpoValue::Float(f) => format!("{f:?}"),
+        }
+    }
+}
+
+/// A parsed sample line: `name[{labels}] value [timestamp]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpoSample {
+    /// The full sample name (including any `_bucket`/`_sum`/`_count`
+    /// histogram suffix).
+    pub name: String,
+    /// Label pairs in source order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: ExpoValue,
+    /// The optional millisecond timestamp.
+    pub timestamp: Option<i64>,
+}
+
+impl ExpoSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
         self.labels
             .iter()
             .find(|(k, _)| k == key)
@@ -196,13 +251,161 @@ impl Sample {
         pairs.sort();
         pairs.join(",")
     }
+
+    /// Renders the sample as one exposition line (with trailing
+    /// newline).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.name.len() + 16);
+        out.push_str(&self.name);
+        if !self.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(k);
+                out.push_str("=\"");
+                out.push_str(&escape_label_value(v));
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push(' ');
+        out.push_str(&self.value.render());
+        if let Some(ts) = self.timestamp {
+            out.push(' ');
+            out.push_str(&ts.to_string());
+        }
+        out.push('\n');
+        out
+    }
 }
 
-/// Splits `name` into its declared family and histogram suffix.
-fn family_of<'a>(name: &'a str, families: &HashMap<String, FamilyState>) -> (String, &'a str) {
+/// A parsed metric family: every sample routed to one `# TYPE` (or, for
+/// undeclared names, grouped by sample name with `kind == None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpoFamily {
+    /// The family name (histogram suffixes stripped).
+    pub name: String,
+    /// The raw `# HELP` text as written (escape sequences preserved).
+    pub help: Option<String>,
+    /// The declared kind (`counter`/`gauge`/`histogram`/`summary`/
+    /// `untyped`), or `None` when the family was never declared.
+    pub kind: Option<String>,
+    /// The family's samples in source order.
+    pub samples: Vec<ExpoSample>,
+}
+
+impl ExpoFamily {
+    /// The first sample with this exact full `name` (suffix included).
+    pub fn sample(&self, name: &str) -> Option<&ExpoSample> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+}
+
+/// A fully parsed exposition: the structured inverse of
+/// [`Registry::render`](crate::metrics::Registry::render).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Exposition {
+    /// Families in declaration (or first-sample) order.
+    pub families: Vec<ExpoFamily>,
+}
+
+impl Exposition {
+    /// The family named `name`, if present.
+    pub fn family(&self, name: &str) -> Option<&ExpoFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Every sample across every family, in source order.
+    pub fn samples(&self) -> impl Iterator<Item = &ExpoSample> {
+        self.families.iter().flat_map(|f| f.samples.iter())
+    }
+
+    /// Renders the exposition back to text. For expositions produced by
+    /// the workspace registry this reproduces the scraped bytes
+    /// exactly; the output always validates and ends with a newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            if let Some(help) = &f.help {
+                out.push_str(&format!("# HELP {} {help}\n", f.name));
+            }
+            if let Some(kind) = &f.kind {
+                out.push_str(&format!("# TYPE {} {kind}\n", f.name));
+            }
+            for s in &f.samples {
+                out.push_str(&s.render());
+            }
+        }
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses `text` into an [`Exposition`]. Accepts exactly what
+/// [`validate`] accepts — the full validator runs first, so a
+/// successful parse implies a structurally valid exposition (and
+/// `parse(x).render()` always re-validates).
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    validate(text)?;
+    let mut families: Vec<ExpoFamily> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let family_entry =
+        |families: &mut Vec<ExpoFamily>, index: &mut HashMap<String, usize>, name: &str| -> usize {
+            if let Some(&i) = index.get(name) {
+                return i;
+            }
+            families.push(ExpoFamily {
+                name: name.to_string(),
+                help: None,
+                kind: None,
+                samples: Vec::new(),
+            });
+            index.insert(name.to_string(), families.len() - 1);
+            families.len() - 1
+        };
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("").trim();
+                let i = family_entry(&mut families, &mut index, name);
+                families[i].kind = Some(kind.to_string());
+            } else if let Some(decl) = rest.strip_prefix("HELP ") {
+                let mut parts = decl.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let help = parts.next().unwrap_or("");
+                let i = family_entry(&mut families, &mut index, name);
+                families[i].help = Some(help.to_string());
+            }
+            continue;
+        }
+        let sample = parse_sample(line)?;
+        let (family, _suffix) = family_of(&sample.name, |stem| {
+            index
+                .get(stem)
+                .is_some_and(|&i| families[i].kind.as_deref() == Some("histogram"))
+        });
+        let i = family_entry(&mut families, &mut index, &family);
+        families[i].samples.push(sample);
+    }
+    Ok(Exposition { families })
+}
+
+/// Splits `name` into its family and histogram suffix; `is_histogram`
+/// reports whether a candidate stem is a declared histogram family.
+fn family_of(name: &str, is_histogram: impl Fn(&str) -> bool) -> (String, &str) {
     for suffix in ["_bucket", "_sum", "_count"] {
         if let Some(stem) = name.strip_suffix(suffix) {
-            if families.get(stem).is_some_and(|f| !f.kind.is_empty()) {
+            if is_histogram(stem) {
                 return (stem.to_string(), suffix);
             }
         }
@@ -211,7 +414,7 @@ fn family_of<'a>(name: &'a str, families: &HashMap<String, FamilyState>) -> (Str
 }
 
 /// Parses one `name[{labels}] value [timestamp]` line.
-fn parse_sample(line: &str) -> Result<Sample, String> {
+fn parse_sample(line: &str) -> Result<ExpoSample, String> {
     let name_end = line.find(['{', ' ']).ok_or("sample line without value")?;
     let name = &line[..name_end];
     if !valid_metric_name(name) {
@@ -228,17 +431,21 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
     let mut parts = rest.split(' ').filter(|p| !p.is_empty());
     let value = parts.next().ok_or("missing sample value")?;
     let value = parse_value(value).ok_or_else(|| format!("bad sample value '{value}'"))?;
-    if let Some(ts) = parts.next() {
-        ts.parse::<i64>()
-            .map_err(|_| format!("bad timestamp '{ts}'"))?;
-    }
+    let timestamp = match parts.next() {
+        Some(ts) => Some(
+            ts.parse::<i64>()
+                .map_err(|_| format!("bad timestamp '{ts}'"))?,
+        ),
+        None => None,
+    };
     if parts.next().is_some() {
         return Err("trailing garbage after sample".to_string());
     }
-    Ok(Sample {
+    Ok(ExpoSample {
         name: name.to_string(),
         labels,
         value,
+        timestamp,
     })
 }
 
@@ -285,14 +492,29 @@ fn parse_labels(mut body: &str) -> Result<ParsedLabels<'_>, String> {
     }
 }
 
+/// Escapes a label value for rendering (`\`, `"` and newlines) — the
+/// inverse of the unescaping in [`parse_labels`].
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 /// Parses a sample value: decimal, float, or the IEEE special names.
-fn parse_value(s: &str) -> Option<f64> {
+/// Plain digit runs stay exact `u64`s.
+fn parse_value(s: &str) -> Option<ExpoValue> {
     match s {
-        "+Inf" => Some(f64::INFINITY),
-        "-Inf" => Some(f64::NEG_INFINITY),
-        "NaN" => Some(f64::NAN),
-        _ => s.parse::<f64>().ok(),
+        "+Inf" => return Some(ExpoValue::Float(f64::INFINITY)),
+        "-Inf" => return Some(ExpoValue::Float(f64::NEG_INFINITY)),
+        "NaN" => return Some(ExpoValue::Float(f64::NAN)),
+        _ => {}
     }
+    if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(v) = s.parse::<u64>() {
+            return Some(ExpoValue::UInt(v));
+        }
+    }
+    s.parse::<f64>().ok().map(ExpoValue::Float)
 }
 
 /// Parses an `le` bound (a float or `+Inf`).
@@ -376,5 +598,62 @@ mod tests {
         );
         let summary = validate(text).expect("labelled sample must parse");
         assert_eq!(summary.samples, 1);
+    }
+
+    #[test]
+    fn parse_is_structured_and_rejects_what_validate_rejects() {
+        let text = concat!(
+            "# HELP predllc_x helpful text\n",
+            "# TYPE predllc_x gauge\n",
+            "predllc_x{path=\"a\\\\b\"} 4.5 1712000000\n",
+            "predllc_y_total 7\n"
+        );
+        let expo = parse(text).expect("must parse");
+        assert_eq!(expo.families.len(), 2);
+        let x = expo.family("predllc_x").expect("family x");
+        assert_eq!(x.help.as_deref(), Some("helpful text"));
+        assert_eq!(x.kind.as_deref(), Some("gauge"));
+        assert_eq!(x.samples[0].label("path"), Some("a\\b"));
+        assert_eq!(x.samples[0].value, ExpoValue::Float(4.5));
+        assert_eq!(x.samples[0].timestamp, Some(1_712_000_000));
+        let y = expo.family("predllc_y_total").expect("undeclared family");
+        assert_eq!(y.kind, None);
+        assert_eq!(y.samples[0].value, ExpoValue::UInt(7));
+        assert!(parse("predllc_x 1").is_err(), "no trailing newline");
+        assert!(parse("9bad 1\n").is_err());
+    }
+
+    #[test]
+    fn parse_groups_histogram_suffixes_under_their_family() {
+        let reg = Registry::new();
+        let h = reg.histogram_with("predllc_rtt_ns", "RTT", "worker", "w-0");
+        h.record_ns(7);
+        h.record_ns(900);
+        let text = reg.render();
+        let expo = parse(&text).expect("histogram exposition parses");
+        let fam = expo.family("predllc_rtt_ns").expect("histogram family");
+        assert_eq!(fam.kind.as_deref(), Some("histogram"));
+        assert!(fam.sample("predllc_rtt_ns_sum").is_some());
+        assert!(fam.sample("predllc_rtt_ns_count").is_some());
+        assert!(fam
+            .samples
+            .iter()
+            .any(|s| s.name == "predllc_rtt_ns_bucket" && s.label("le") == Some("+Inf")));
+    }
+
+    #[test]
+    fn parse_render_is_byte_identical_for_registry_output() {
+        let reg = Registry::new();
+        reg.counter("predllc_jobs_total", "Jobs").add(41);
+        reg.gauge("predllc_depth", "Queue depth").set(3);
+        reg.counter_with("predllc_by_worker", "Per worker", "worker", "127.0.0.1:1")
+            .add(9);
+        let h = reg.histogram_with("predllc_rtt_ns", "RTT", "worker", "w \"q\"\n\\x");
+        for v in [0u64, 5, 5, 70_000, u64::MAX / 7] {
+            h.record_ns(v);
+        }
+        let text = reg.render();
+        let expo = parse(&text).expect("parses");
+        assert_eq!(expo.render(), text, "parse∘render must be identity");
     }
 }

@@ -15,9 +15,22 @@
 //!   recording path never contends with other recording threads), keyed
 //!   by 128-bit [`TraceId`]s that propagate coordinator → worker over
 //!   the `X-Predllc-Trace` HTTP header.
-//! * [`expo`] — an in-tree validator for the exposition format, so CI
-//!   can prove every `/metrics` line parses without an external
-//!   Prometheus.
+//! * [`expo`] — an in-tree validator **and parser** for the exposition
+//!   format, so CI can prove every `/metrics` line parses without an
+//!   external Prometheus, and the fleet coordinator can scrape its
+//!   workers' expositions back into structured data.
+//!
+//! On top of those, the continuous-monitoring layer:
+//!
+//! * [`series`] — a [`Collector`] thread snapshotting a registry at a
+//!   fixed interval into bounded per-series ring buffers
+//!   ([`SeriesStore`]): local time-series history with zero external
+//!   storage.
+//! * [`slo`] — declarative alert rules (threshold, rate-of-change,
+//!   multi-window burn-rate) evaluated on every collector tick, with
+//!   firing/pending/resolved state machines and since-timestamps.
+//! * [`dash`] — a single-page, self-contained HTML dashboard (inline
+//!   SVG sparklines, no scripts) rendered straight from the store.
 //!
 //! The cardinal rule, inherited from the repo's bit-identical-results
 //! invariant: observability **reads** time, it never feeds it back into
@@ -28,11 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dash;
 pub mod expo;
 pub mod metrics;
+pub mod series;
+pub mod slo;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, HistogramSnapshot, Registry, TimingHistogram};
+pub use series::{Collector, CollectorConfig, SampleValue, SeriesHistory, SeriesStore};
+pub use slo::{AlertState, AlertStatus, Compare, Condition, Rule, SloRuntime};
 pub use trace::{
     fields, render_jsonl, EventKind, FieldValue, SpanGuard, TraceCtx, TraceEvent, TraceId, Tracer,
     TRACE_HEADER,

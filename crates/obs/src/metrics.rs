@@ -76,6 +76,15 @@ impl Counter {
         self.cell.fetch_add(n, Ordering::SeqCst);
     }
 
+    /// Overwrites the value. This exists for *mirrors*: a federation
+    /// layer (the fleet coordinator) re-exporting a counter it scraped
+    /// from another process sets the observed value outright instead of
+    /// counting locally. Never mix `set` with `inc`/`add` on the same
+    /// series — monotonicity is then the upstream's business, not ours.
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::SeqCst);
+    }
+
     /// The current value.
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::SeqCst)
@@ -205,6 +214,13 @@ impl TimingHistogram {
     }
 
     /// Copies the aggregates out.
+    ///
+    /// Recording is not one atomic step (bucket, then count), so a
+    /// snapshot racing a writer can observe a bucket increment whose
+    /// count increment has not landed yet. The count is clamped up to
+    /// the bucket total so the snapshot is always internally
+    /// consistent: cumulative bucket counts never exceed `count`, and
+    /// a render mid-write still passes the exposition validator.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let c = &*self.cell;
         let buckets: Vec<(u64, u64)> = c
@@ -216,8 +232,9 @@ impl TimingHistogram {
                 (n > 0).then(|| (bucket_high(i), n))
             })
             .collect();
+        let total: u64 = buckets.iter().map(|&(_, n)| n).sum();
         HistogramSnapshot {
-            count: c.count.load(Ordering::Relaxed),
+            count: c.count.load(Ordering::Relaxed).max(total),
             sum: c.sum.load(Ordering::Relaxed),
             min: c.min.load(Ordering::Relaxed),
             max: c.max.load(Ordering::Relaxed),
@@ -268,6 +285,10 @@ struct Family {
     series: Vec<(Vec<(String, String)>, Value)>,
 }
 
+/// One family copied out of the registry lock: `(name, help, kind,
+/// series)`, with each series carrying its label pairs.
+type FamilySnapshot = (String, String, Kind, Vec<(Vec<(String, String)>, Value)>);
+
 /// The metric registry: an ordered set of families, rendered in
 /// registration order as Prometheus text exposition.
 ///
@@ -307,9 +328,32 @@ impl Registry {
         }
     }
 
+    /// Registers (or finds) a counter series under an arbitrary label
+    /// set — the fleet aggregation path, where a scraped series keeps
+    /// its original labels plus a `worker` label.
+    pub fn counter_labeled(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, help, Kind::Counter, labels, || {
+            Value::Counter(Counter::default())
+        }) {
+            Value::Counter(c) => c,
+            _ => unreachable!("kind was checked"),
+        }
+    }
+
     /// Registers (or finds) an unlabelled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
         match self.series(name, help, Kind::Gauge, &[], || {
+            Value::Gauge(Gauge::default())
+        }) {
+            Value::Gauge(g) => g,
+            _ => unreachable!("kind was checked"),
+        }
+    }
+
+    /// Registers (or finds) a gauge series under an arbitrary label
+    /// set (see [`Registry::counter_labeled`]).
+    pub fn gauge_labeled(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, Kind::Gauge, labels, || {
             Value::Gauge(Gauge::default())
         }) {
             Value::Gauge(g) => g,
@@ -391,42 +435,85 @@ impl Registry {
         v
     }
 
+    /// The declared kind of family `name` (`"counter"` / `"gauge"` /
+    /// `"histogram"`), or `None` if it has never been registered. Lets
+    /// a mirror layer skip incompatible scraped families instead of
+    /// tripping the registry's kind-conflict panic.
+    pub fn family_kind(&self, name: &str) -> Option<&'static str> {
+        self.families
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.kind.as_str())
+    }
+
+    /// Copies the family list out of the lock: `(name, help, kind,
+    /// series)` in registration order. The [`Value`]s are `Arc` clones
+    /// of the live cells, so reading them afterwards sees current data
+    /// without holding the registry lock.
+    fn snapshot_families(&self) -> Vec<FamilySnapshot> {
+        self.families
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|f| (f.name.clone(), f.help.clone(), f.kind, f.series.clone()))
+            .collect()
+    }
+
+    /// A point-in-time copy of every registered series' value, in
+    /// registration order — the feed for the time-series
+    /// [`Collector`](crate::series::Collector).
+    pub fn snapshot_series(&self) -> Vec<SeriesSnapshot> {
+        let mut out = Vec::new();
+        for (name, _help, _kind, series) in self.snapshot_families() {
+            for (labels, value) in series {
+                let value = match value {
+                    Value::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Value::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Value::Histogram(h) => SnapshotValue::Histogram(h.snapshot()),
+                };
+                out.push(SeriesSnapshot {
+                    name: name.clone(),
+                    labels,
+                    value,
+                });
+            }
+        }
+        out
+    }
+
     /// Renders every family as Prometheus text exposition (`# HELP` /
     /// `# TYPE` then the samples), in registration order. The output
     /// always ends with a newline.
+    ///
+    /// The family list is snapshotted first and the text is built
+    /// outside the registry lock, so a slow scrape (or a huge
+    /// exposition) never stalls threads recording metrics.
     pub fn render(&self) -> String {
+        let families = self.snapshot_families();
         let mut out = String::new();
-        for f in self.families.lock().unwrap().iter() {
-            out.push_str(&format!("# HELP {} {}\n", f.name, escape_help(&f.help)));
-            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.as_str()));
-            for (labels, value) in &f.series {
+        for (name, help, kind, series) in &families {
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+            out.push_str(&format!("# TYPE {name} {}\n", kind.as_str()));
+            for (labels, value) in series {
                 match value {
                     Value::Counter(c) => {
-                        out.push_str(&sample(&f.name, labels, &[], c.get()));
+                        out.push_str(&sample(name, labels, &[], c.get()));
                     }
                     Value::Gauge(g) => {
-                        out.push_str(&sample(&f.name, labels, &[], g.get()));
+                        out.push_str(&sample(name, labels, &[], g.get()));
                     }
                     Value::Histogram(h) => {
                         let snap = h.snapshot();
                         let mut cumulative = 0u64;
                         for &(high, n) in &snap.buckets {
                             cumulative += n;
-                            out.push_str(&sample_le(
-                                &f.name,
-                                labels,
-                                &high.to_string(),
-                                cumulative,
-                            ));
+                            out.push_str(&sample_le(name, labels, &high.to_string(), cumulative));
                         }
-                        out.push_str(&sample_le(&f.name, labels, "+Inf", snap.count));
-                        out.push_str(&sample(&format!("{}_sum", f.name), labels, &[], snap.sum));
-                        out.push_str(&sample(
-                            &format!("{}_count", f.name),
-                            labels,
-                            &[],
-                            snap.count,
-                        ));
+                        out.push_str(&sample_le(name, labels, "+Inf", snap.count));
+                        out.push_str(&sample(&format!("{name}_sum"), labels, &[], snap.sum));
+                        out.push_str(&sample(&format!("{name}_count"), labels, &[], snap.count));
                     }
                 }
             }
@@ -436,6 +523,51 @@ impl Registry {
         }
         out
     }
+}
+
+/// A point-in-time view of one labelled series, as returned by
+/// [`Registry::snapshot_series`].
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// The family name.
+    pub name: String,
+    /// The series' label pairs (empty for the unlabelled singleton).
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: SnapshotValue,
+}
+
+impl SeriesSnapshot {
+    /// The series' exposition-style key: `name` or
+    /// `name{k="v",...}` with label values escaped exactly as
+    /// [`Registry::render`] escapes them.
+    pub fn key(&self) -> String {
+        series_key(&self.name, &self.labels)
+    }
+}
+
+/// The value half of a [`SeriesSnapshot`].
+#[derive(Debug, Clone)]
+pub enum SnapshotValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(u64),
+    /// A full histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// Renders a series key (`name` or `name{k="v",...}`) with the same
+/// label escaping as the exposition renderer.
+pub fn series_key(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{name}{{{}}}", pairs.join(","))
 }
 
 /// One `name{labels} value` sample line.
@@ -550,6 +682,52 @@ mod tests {
         assert!(text.contains("predllc_b_ns_bucket{endpoint=\"x\",le=\"+Inf\"} 2\n"));
         assert!(text.contains("predllc_b_ns_sum{endpoint=\"x\"} 5005\n"));
         assert!(text.contains("predllc_b_ns_count{endpoint=\"x\"} 2\n"));
+    }
+
+    #[test]
+    fn labeled_registration_and_counter_set_mirror_semantics() {
+        let reg = Registry::new();
+        let c = reg.counter_labeled(
+            "predllc_mirror_total",
+            "mirrored",
+            &[("worker", "w-0"), ("kind", "hit")],
+        );
+        c.set(41);
+        c.set(7); // a mirror follows the upstream, even downwards
+        assert_eq!(c.get(), 7);
+        let again = reg.counter_labeled(
+            "predllc_mirror_total",
+            "mirrored",
+            &[("worker", "w-0"), ("kind", "hit")],
+        );
+        assert_eq!(again.get(), 7, "idempotent on the full label set");
+        let g = reg.gauge_labeled("predllc_mirror_depth", "mirrored", &[("worker", "w-1")]);
+        g.set(3);
+        assert_eq!(reg.family_kind("predllc_mirror_total"), Some("counter"));
+        assert_eq!(reg.family_kind("predllc_mirror_depth"), Some("gauge"));
+        assert_eq!(reg.family_kind("predllc_absent"), None);
+        let text = reg.render();
+        assert!(text.contains("predllc_mirror_total{worker=\"w-0\",kind=\"hit\"} 7\n"));
+        assert!(text.contains("predllc_mirror_depth{worker=\"w-1\"} 3\n"));
+    }
+
+    #[test]
+    fn snapshot_series_covers_every_kind_with_exposition_keys() {
+        let reg = Registry::new();
+        reg.counter("predllc_snap_total", "c").add(5);
+        reg.gauge_labeled("predllc_snap_depth", "g", &[("q", "a\"b")])
+            .set(2);
+        reg.histogram("predllc_snap_ns", "h").record_ns(100);
+        let snaps = reg.snapshot_series();
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[0].key(), "predllc_snap_total");
+        assert!(matches!(snaps[0].value, SnapshotValue::Counter(5)));
+        assert_eq!(snaps[1].key(), "predllc_snap_depth{q=\"a\\\"b\"}");
+        assert!(matches!(snaps[1].value, SnapshotValue::Gauge(2)));
+        match &snaps[2].value {
+            SnapshotValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram snapshot, got {other:?}"),
+        }
     }
 
     #[test]

@@ -340,6 +340,53 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol(format!("no metric named {name}")))
     }
 
+    /// `GET /v1/metrics/history` — collected time-series over the last
+    /// `window` milliseconds, downsampled to one sample per `step`
+    /// milliseconds (server defaults apply when `None`). Returns the
+    /// parsed JSON document (`{"now_ms", .., "series": [...]}`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carrying the server's 404 when
+    /// monitoring is not enabled, or any transport failure.
+    pub fn metrics_history(
+        &mut self,
+        window_ms: Option<u64>,
+        step_ms: Option<u64>,
+    ) -> Result<Json, ClientError> {
+        let mut path = String::from("/v1/metrics/history");
+        let mut sep = '?';
+        if let Some(w) = window_ms {
+            path.push_str(&format!("{sep}window={w}"));
+            sep = '&';
+        }
+        if let Some(s) = step_ms {
+            path.push_str(&format!("{sep}step={s}"));
+        }
+        self.request_json("GET", &path, None)
+    }
+
+    /// `GET /v1/alerts` — every SLO rule's current state, as the
+    /// parsed JSON document (`{"now_ms", "firing", "alerts": [...]}`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carrying the server's 404 when
+    /// monitoring is not enabled, or any transport failure.
+    pub fn alerts(&mut self) -> Result<Json, ClientError> {
+        self.request_json("GET", "/v1/alerts", None)
+    }
+
+    /// `GET /dashboard` — the self-contained HTML dashboard page.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carrying the server's 404 when
+    /// monitoring is not enabled, or any transport failure.
+    pub fn dashboard(&mut self) -> Result<String, ClientError> {
+        Ok(self.request("GET", "/dashboard", None)?.1)
+    }
+
     /// `GET /v1/jobs/{id}/trace` — the job's trace events as JSON
     /// Lines (one event object per line).
     ///

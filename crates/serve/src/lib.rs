@@ -38,6 +38,9 @@
 //! | `GET /v1/points/{fingerprint}` | a point measurement already in this server's cache |
 //! | `GET /healthz` | liveness |
 //! | `GET /metrics` | plain-text counters (jobs, cache hits/misses, points, fleet workers) |
+//! | `GET /v1/metrics/history?window=..&step=..` | collected time-series as JSON (needs [`ServerConfig::monitor`]) |
+//! | `GET /v1/alerts` | SLO rule states with since-timestamps (needs [`ServerConfig::monitor`]) |
+//! | `GET /dashboard` | self-contained HTML dashboard, inline-SVG sparklines (needs [`ServerConfig::monitor`]) |
 //!
 //! # Examples
 //!
@@ -85,7 +88,10 @@ pub mod server;
 pub use client::{Client, ClientError, PointReply, Status, Submitted};
 pub use http::{Limits, Request, Response};
 pub use registry::{Job, JobResult, JobStatus, Metrics, MetricsSnapshot, Registry, SubmitError};
-pub use server::{LocalRunner, RunOutcome, Server, ServerConfig, ServerHandle, SpecRunner};
+pub use server::{
+    default_rules, LocalRunner, MonitorConfig, RunOutcome, Server, ServerConfig, ServerHandle,
+    SpecRunner,
+};
 
 // Re-exported so service users can build specs and reports without
 // naming the explore crate separately.

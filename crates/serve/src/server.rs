@@ -28,7 +28,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use predllc_obs::{fields, render_jsonl, TraceCtx, TraceId, Tracer, TRACE_HEADER};
+use predllc_obs::series::registry_samples;
+use predllc_obs::slo::Rule;
+use predllc_obs::{
+    fields, render_jsonl, Collector, CollectorConfig, Compare, Counter, SampleValue, SeriesStore,
+    SloRuntime, TraceCtx, TraceId, Tracer, TRACE_HEADER,
+};
 
 use predllc_explore::hash::Fingerprint;
 use predllc_explore::report::{render_csv, render_json};
@@ -39,7 +44,66 @@ use predllc_explore::{
 
 use crate::http::{read_request, write_response, HttpError, Limits, Request, Response};
 use crate::registry::{Job, JobResult, JobStatus, Metrics, MetricsSnapshot, Registry, SubmitError};
-use predllc_explore::json::render_string;
+use predllc_explore::json::{render_string, Json};
+
+/// Continuous-monitoring configuration: when set on
+/// [`ServerConfig::monitor`], the server runs an in-process
+/// [`Collector`] that snapshots `/metrics` into ring-buffered
+/// time-series, evaluates SLO rules on every tick, and serves
+/// `GET /v1/metrics/history`, `GET /v1/alerts` and `GET /dashboard`.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Collection interval.
+    pub interval: Duration,
+    /// Samples kept per series (drop-oldest past this).
+    pub capacity: usize,
+    /// Maximum distinct series collected.
+    pub max_series: usize,
+    /// SLO rules evaluated on every tick.
+    pub rules: Vec<Rule>,
+}
+
+impl Default for MonitorConfig {
+    /// One sample per second, ten minutes of history, and the stock
+    /// serve rules ([`default_rules`]).
+    fn default() -> Self {
+        MonitorConfig {
+            interval: Duration::from_secs(1),
+            capacity: 600,
+            max_series: 512,
+            rules: default_rules(),
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// The default monitor at a different collection interval.
+    pub fn with_interval(interval: Duration) -> MonitorConfig {
+        MonitorConfig {
+            interval,
+            ..MonitorConfig::default()
+        }
+    }
+}
+
+/// The stock serve SLO rules: sustained queue depth and sustained p99
+/// request latency.
+pub fn default_rules() -> Vec<Rule> {
+    vec![
+        Rule::threshold("queue-depth", "predllc_jobs_queued", Compare::Above, 100.0)
+            .for_duration(Duration::from_secs(5)),
+        // The p99 series is derived per endpoint by the collector from
+        // the request-latency histogram; the family selector covers
+        // every endpoint label. 500ms in nanoseconds.
+        Rule::threshold(
+            "p99-request-latency",
+            "predllc_http_request_duration_ns_p99",
+            Compare::Above,
+            500_000_000.0,
+        )
+        .for_duration(Duration::from_secs(5)),
+    ]
+}
 
 /// Tunables for a server instance.
 #[derive(Debug, Clone)]
@@ -74,6 +138,10 @@ pub struct ServerConfig {
     /// gives the server its own; pass one to share it with a fleet
     /// coordinator or to drain it into a `--trace-out` file.
     pub tracer: Option<Arc<Tracer>>,
+    /// Continuous monitoring: time-series collection, SLO alerts and
+    /// the dashboard. `None` (the default) disables the collector
+    /// thread and the three monitoring endpoints answer `404`.
+    pub monitor: Option<MonitorConfig>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +156,7 @@ impl Default for ServerConfig {
             max_points: 4096,
             fail_after_points: None,
             tracer: None,
+            monitor: None,
         }
     }
 }
@@ -257,8 +326,28 @@ struct Shared {
     points_answered: AtomicU64,
     /// Where request/job/point spans are recorded.
     tracer: Arc<Tracer>,
+    /// Mirror of [`Tracer::dropped`] so ring overflow is visible on
+    /// `/metrics`; refreshed before every render and collector tick.
+    trace_dropped: Counter,
+    /// The continuous-monitoring state, when configured.
+    monitor: Option<MonitorState>,
     /// Our own bound address, to wake the accept loop on kill.
     addr: SocketAddr,
+}
+
+/// The running monitor: the collector's store and SLO runtime (shared
+/// with the endpoints) plus the collector handle itself, parked here
+/// so [`Server::run`] can stop the thread on exit.
+struct MonitorState {
+    store: Arc<SeriesStore>,
+    slo: Arc<SloRuntime>,
+    collector: Mutex<Option<Collector>>,
+    interval_ms: u64,
+}
+
+/// Refreshes the `predllc_trace_dropped_total` mirror from the tracer.
+fn refresh_trace_dropped(shared: &Shared) {
+    shared.trace_dropped.set(shared.tracer.dropped());
 }
 
 /// Simulates an abrupt crash: stop accepting, close the job queue, wake
@@ -331,6 +420,44 @@ impl Server {
         let addr = listener.local_addr()?;
         let (tx, rx) = mpsc::channel();
         let tracer = config.tracer.unwrap_or_else(|| Arc::new(Tracer::new()));
+        let trace_dropped = metrics.registry.counter(
+            "predllc_trace_dropped_total",
+            "Trace events dropped because a tracer ring buffer was full.",
+        );
+        let alerts_firing = metrics
+            .registry
+            .gauge("predllc_alerts_firing", "SLO rules currently firing.");
+        let monitor = config.monitor.map(|mc| {
+            let slo = Arc::new(
+                SloRuntime::new(mc.rules)
+                    .with_gauge(alerts_firing)
+                    .with_tracer(Arc::clone(&tracer), TraceId::fresh()),
+            );
+            let sampler = {
+                let metrics = Arc::clone(&metrics);
+                let tracer = Arc::clone(&tracer);
+                let trace_dropped = trace_dropped.clone();
+                move || {
+                    trace_dropped.set(tracer.dropped());
+                    registry_samples(&metrics.registry)
+                }
+            };
+            let collector = Collector::start(
+                CollectorConfig {
+                    interval: mc.interval,
+                    capacity: mc.capacity,
+                    max_series: mc.max_series,
+                },
+                sampler,
+                Some(Arc::clone(&slo)),
+            );
+            MonitorState {
+                store: collector.store(),
+                slo,
+                collector: Mutex::new(Some(collector)),
+                interval_ms: u64::try_from(mc.interval.as_millis()).unwrap_or(u64::MAX),
+            }
+        });
         let shared = Arc::new(Shared {
             registry: Registry::with_metrics(config.max_jobs, metrics),
             runner,
@@ -345,6 +472,8 @@ impl Server {
             fail_after_points: config.fail_after_points,
             points_answered: AtomicU64::new(0),
             tracer,
+            trace_dropped,
+            monitor,
             addr,
         });
         Ok(Server {
@@ -425,6 +554,10 @@ impl Server {
         for h in runner_handles {
             let _ = h.join();
         }
+        // Stop the monitor collector last: its thread joins on drop.
+        if let Some(monitor) = &self.shared.monitor {
+            monitor.collector.lock().unwrap().take();
+        }
         Ok(())
     }
 }
@@ -480,6 +613,17 @@ impl ServerHandle {
     /// Looks a job up by its hex id.
     pub fn job(&self, hex_id: &str) -> Option<Arc<Job>> {
         self.shared.registry.get(hex_id)
+    }
+
+    /// The monitor's time-series store, when monitoring is configured
+    /// — lets tests and embedders read collected history directly.
+    pub fn series_store(&self) -> Option<Arc<SeriesStore>> {
+        self.shared.monitor.as_ref().map(|m| Arc::clone(&m.store))
+    }
+
+    /// Every SLO rule's current status, when monitoring is configured.
+    pub fn alert_statuses(&self) -> Option<Vec<predllc_obs::AlertStatus>> {
+        self.shared.monitor.as_ref().map(|m| m.slo.statuses())
     }
 }
 
@@ -618,23 +762,146 @@ fn route(shared: &Shared, req: &Request) -> Option<Response> {
         ("GET", ["healthz"]) => Response::text("ok\n"),
         // The exposition content type Prometheus scrapers negotiate on;
         // `Metrics::render` guarantees the trailing newline.
-        ("GET", ["metrics"]) => Response::new(
-            200,
-            "text/plain; version=0.0.4",
-            shared.registry.metrics.render(),
-        ),
+        ("GET", ["metrics"]) => {
+            refresh_trace_dropped(shared);
+            Response::new(
+                200,
+                "text/plain; version=0.0.4",
+                shared.registry.metrics.render(),
+            )
+        }
+        ("GET", ["v1", "metrics", "history"]) => metrics_history(shared, req),
+        ("GET", ["v1", "alerts"]) => alerts(shared),
+        ("GET", ["dashboard"]) => dashboard(shared),
         ("POST", ["v1", "experiments"]) => submit(shared, req),
         ("GET", ["v1", "experiments", id]) => status(shared, id),
         ("GET", ["v1", "experiments", id, "results"]) => results(shared, id, req),
         ("GET", ["v1", "jobs", id, "trace"]) => job_trace(shared, id),
         ("POST", ["v1", "points"]) => return point_post(shared, req),
         ("GET", ["v1", "points", fp]) => point_get(shared, fp),
-        (_, ["healthz" | "metrics"])
+        (_, ["healthz" | "metrics" | "dashboard"])
         | (_, ["v1", "experiments", ..])
         | (_, ["v1", "jobs", ..])
-        | (_, ["v1", "points", ..]) => error_response(405, "method not allowed"),
+        | (_, ["v1", "points", ..])
+        | (_, ["v1", "metrics", ..])
+        | (_, ["v1", "alerts"]) => error_response(405, "method not allowed"),
         _ => error_response(404, "no such endpoint"),
     })
+}
+
+/// The configured monitor, or the `404` explaining how to enable it.
+fn monitor_of(shared: &Shared) -> Result<&MonitorState, Response> {
+    shared
+        .monitor
+        .as_ref()
+        .ok_or_else(|| error_response(404, "monitoring is not enabled (set ServerConfig::monitor)"))
+}
+
+/// Parses a non-negative integer query parameter, if present.
+fn query_u64(req: &Request, key: &str) -> Result<Option<u64>, Response> {
+    match req.query_param(key) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<u64>().map(Some).map_err(|_| {
+            error_response(
+                400,
+                &format!("query parameter '{key}' must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+/// Converts a collected sample value to JSON (exact integers stay
+/// integers).
+fn sample_json(v: SampleValue) -> Json {
+    match v {
+        SampleValue::U64(v) => Json::UInt(v),
+        SampleValue::F64(f) => Json::Float(f),
+    }
+}
+
+/// `GET /v1/metrics/history?window=<ms>&step=<ms>` — every collected
+/// series' samples in the window, downsampled to one per step:
+/// `{"now_ms", "window_ms", "step_ms", "interval_ms", "series":
+/// [{"name", "samples": [[t_ms, value], ...]}, ...]}`.
+fn metrics_history(shared: &Shared, req: &Request) -> Response {
+    let monitor = match monitor_of(shared) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    let window_ms = match query_u64(req, "window") {
+        Ok(w) => w.unwrap_or(300_000),
+        Err(resp) => return resp,
+    };
+    let step_ms = match query_u64(req, "step") {
+        Ok(s) => s.unwrap_or(0),
+        Err(resp) => return resp,
+    };
+    let (now_ms, histories) = monitor.store.history(window_ms, step_ms);
+    let series: Vec<Json> = histories
+        .into_iter()
+        .map(|h| {
+            let samples: Vec<Json> = h
+                .samples
+                .into_iter()
+                .map(|(t, v)| Json::Array(vec![Json::UInt(t), sample_json(v)]))
+                .collect();
+            Json::Object(vec![
+                ("name".to_string(), Json::Str(h.key)),
+                ("samples".to_string(), Json::Array(samples)),
+            ])
+        })
+        .collect();
+    let body = Json::Object(vec![
+        ("now_ms".to_string(), Json::UInt(now_ms)),
+        ("window_ms".to_string(), Json::UInt(window_ms)),
+        ("step_ms".to_string(), Json::UInt(step_ms.max(1))),
+        ("interval_ms".to_string(), Json::UInt(monitor.interval_ms)),
+        ("series".to_string(), Json::Array(series)),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// `GET /v1/alerts` — every SLO rule's state with since-timestamps:
+/// `{"now_ms", "firing", "alerts": [{"rule", "series", "state",
+/// "since_ms", "value"}, ...]}`.
+fn alerts(shared: &Shared) -> Response {
+    let monitor = match monitor_of(shared) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    let statuses = monitor.slo.statuses();
+    let alerts: Vec<Json> = statuses
+        .iter()
+        .map(|a| {
+            Json::Object(vec![
+                ("rule".to_string(), Json::Str(a.rule.clone())),
+                ("series".to_string(), Json::Str(a.series.clone())),
+                ("state".to_string(), Json::Str(a.state.as_str().to_string())),
+                ("since_ms".to_string(), Json::UInt(a.since_ms)),
+                ("value".to_string(), a.value.map_or(Json::Null, Json::Float)),
+            ])
+        })
+        .collect();
+    let body = Json::Object(vec![
+        ("now_ms".to_string(), Json::UInt(monitor.store.now_ms())),
+        ("firing".to_string(), Json::UInt(monitor.slo.firing())),
+        ("alerts".to_string(), Json::Array(alerts)),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// `GET /dashboard` — the self-contained HTML dashboard over the full
+/// collected window.
+fn dashboard(shared: &Shared) -> Response {
+    let monitor = match monitor_of(shared) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    let (now_ms, histories) = monitor.store.history(u64::MAX, 0);
+    let statuses = monitor.slo.statuses();
+    let title = format!("predllc · {}", shared.addr);
+    let html = predllc_obs::dash::render_dashboard(&title, now_ms, &histories, &statuses);
+    Response::new(200, "text/html; charset=utf-8", html)
 }
 
 /// The low-cardinality label `/metrics` buckets request latencies
@@ -644,6 +911,9 @@ fn endpoint_label(req: &Request) -> &'static str {
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => "healthz",
         ("GET", ["metrics"]) => "metrics",
+        ("GET", ["v1", "metrics", "history"]) => "metrics_history",
+        ("GET", ["v1", "alerts"]) => "alerts",
+        ("GET", ["dashboard"]) => "dashboard",
         ("POST", ["v1", "experiments"]) => "submit",
         ("GET", ["v1", "experiments", _]) => "job_status",
         ("GET", ["v1", "experiments", _, "results"]) => "job_results",

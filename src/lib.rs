@@ -27,16 +27,21 @@
 //!   work-stealing experiment [`Executor`], JSON experiment specs, and
 //!   the schedulability-driven partition search.
 //! * [`obs`] ([`predllc_obs`]) — zero-dependency observability: a
-//!   metric registry with Prometheus text exposition, structured
-//!   tracing with 128-bit trace IDs, and log-bucketed wall-clock
-//!   timing histograms, threaded through every layer above.
+//!   metric registry with Prometheus text exposition (validator *and*
+//!   parser), structured tracing with 128-bit trace IDs, log-bucketed
+//!   wall-clock timing histograms, ring-buffered metric time-series
+//!   with declarative SLO alerting, and a self-contained HTML
+//!   dashboard, threaded through every layer above.
 //! * [`serve`] ([`predllc_serve`]) — the multi-tenant experiment
 //!   service: an HTTP/1.1 API over `std::net` with a content-addressed
-//!   result cache, so the same spec is never simulated twice.
+//!   result cache, so the same spec is never simulated twice; with
+//!   monitoring on it also serves `/v1/metrics/history`, `/v1/alerts`
+//!   and `/dashboard`.
 //! * [`fleet`] ([`predllc_fleet`]) — the distributed experiment fleet:
 //!   a coordinator shards grid points across worker services with a
 //!   shared point-level cache and worker-loss recovery, producing
-//!   results bit-identical to an in-process run.
+//!   results bit-identical to an in-process run — and scrapes every
+//!   worker's metrics into one fleet-wide registry.
 //!
 //! # Quickstart
 //!
@@ -144,7 +149,7 @@ pub use predllc_model::{
     AccessKind, Address, BankId, CacheGeometry, CoreId, Cycles, DramGeometry, LineAddr, MemOp,
     RowAddr, SlotWidth,
 };
-pub use predllc_serve::{Client, Server, ServerConfig, ServerHandle};
+pub use predllc_serve::{Client, MonitorConfig, Server, ServerConfig, ServerHandle};
 pub use predllc_workload::{MultiCore, OpStream, TraceSet, Workload, WorkloadSpec};
 
 /// Re-export of the workload generators module for ergonomic paths in
