@@ -25,6 +25,12 @@
 //! the same-machine fast/reference ratio (portable across runner
 //! hardware) and keeps absolute ops/sec informational, while
 //! `"gated": false` makes a whole workload informational.
+//!
+//! Two always-on overhead checks ride along under the same tolerance:
+//! `obs_overhead` (a sampled [`EngineProfile`] must neither perturb nor
+//! slow the fast engine) and `attribution_overhead` (running with
+//! latency attribution on must keep the outputs bit-identical, sum its
+//! components exactly, and stay within tolerance of the plain run).
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -339,6 +345,76 @@ fn obs_overhead_check(total_ops: usize, iters: usize, tolerance: f64) -> bool {
     true
 }
 
+/// The `attribution_overhead` check: the same fast-forward workload
+/// timed with latency attribution off and on. The attributed run must
+/// (a) produce bit-identical stats and cycles (attribution only
+/// reads), (b) actually attribute — the component totals sum exactly
+/// to the recorded request latencies and a worst-case witness exists —
+/// and (c) stay within `tolerance` of the plain run's throughput.
+/// Returns whether the check passed.
+fn attribution_overhead_check(total_ops: usize, iters: usize, tolerance: f64) -> bool {
+    let s = llc_hit_scenario(64, total_ops);
+    let off =
+        Simulator::new((s.config)(EngineMode::FastForward)).expect("valid benchmark configuration");
+    let on = Simulator::new((s.config)(EngineMode::FastForward).with_attribution(true))
+        .expect("valid benchmark configuration");
+    let mut off_best = 0.0f64;
+    let mut on_best = 0.0f64;
+    let mut off_report = None;
+    let mut on_report = None;
+    // Interleave the two variants so frequency scaling and cache state
+    // bias neither side; first pair is the warm-up.
+    for warm in 0..=iters {
+        let t0 = Instant::now();
+        let r = off.run(&s.workload).expect("benchmark workload completes");
+        let off_dt = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let ra = on.run(&s.workload).expect("benchmark workload completes");
+        let on_dt = t1.elapsed().as_secs_f64();
+        if warm > 0 {
+            off_best = off_best.max(s.total_ops as f64 / off_dt);
+            on_best = on_best.max(s.total_ops as f64 / on_dt);
+        }
+        off_report = Some(r);
+        on_report = Some(ra);
+    }
+    let plain = off_report.expect("at least one run");
+    let attributed = on_report.expect("at least one run");
+    if plain.stats != attributed.stats || plain.cycles != attributed.cycles {
+        error!("attribution_overhead: an attributed run diverged from the plain run");
+        return false;
+    }
+    let Some(attr) = attributed.attribution() else {
+        error!("attribution_overhead: the attributed run produced no report");
+        return false;
+    };
+    if attr.total_components().total() != attributed.latency_histogram().total() {
+        error!("attribution_overhead: the component totals miss the recorded latencies");
+        return false;
+    }
+    if attr.witness().is_none() {
+        error!("attribution_overhead: the attributed run produced no worst-case witness");
+        return false;
+    }
+    let overhead = 1.0 - on_best / off_best;
+    data!(
+        "attribution_overhead: off {:.2} Mops/s, on {:.2} Mops/s, overhead {:+.1}% \
+         (stats bit-identical, component sums exact)",
+        off_best / 1e6,
+        on_best / 1e6,
+        overhead * 100.0
+    );
+    if overhead > tolerance {
+        error!(
+            "attribution_overhead FAILED: attribution costs {:.1}% (> {:.0}% tolerance)",
+            overhead * 100.0,
+            tolerance * 100.0
+        );
+        return false;
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = predllc_bench::log::init(std::env::args().skip(1).collect());
     let mut quick = false;
@@ -396,6 +472,13 @@ fn main() -> ExitCode {
     // than the gate tolerance, and a run without one must stay on the
     // single-branch hot path.
     if !obs_overhead_check(if quick { 64 * 500 } else { 500_000 }, iters, tolerance) {
+        return ExitCode::FAILURE;
+    }
+
+    // The attribution-overhead check: running with latency attribution
+    // on must neither change the simulation nor cost more than the
+    // gate tolerance.
+    if !attribution_overhead_check(if quick { 64 * 500 } else { 500_000 }, iters, tolerance) {
         return ExitCode::FAILURE;
     }
 

@@ -17,18 +17,27 @@
 //!     [--trace-out PATH]     write the run's structured trace (one
 //!                            JSON event per line; explore.point spans
 //!                            with queue-wait and compute timings)
+//!     [--attribution]        run with latency attribution on (forces
+//!                            the spec's "attribution" knob)
+//!     [--attribution-out PATH] write the attribution JSON artifact
+//!                            (per-point components, witnesses, gaps);
+//!                            implies --attribution
 //!     [--quiet | --verbose]  commentary level (stderr only)
 //! ```
 //!
-//! Exit status is non-zero on any spec/simulation failure, and on a
+//! Exit status is non-zero on any spec/simulation failure, on a
 //! percentile-consistency violation (every grid point's p100 must equal
-//! its observed WCL — the histogram's exactness contract).
+//! its observed WCL — the histogram's exactness contract), and — with
+//! attribution on — on an attribution-consistency violation: every
+//! point's witness components must sum exactly to the observed WCL, and
+//! the analytical bound, when one applies, must not be exceeded
+//! (gap >= 0).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use predllc_bench::{error, status};
-use predllc_explore::report::{render_csv, render_json, render_search};
+use predllc_explore::report::{render_attribution_json, render_csv, render_json, render_search};
 use predllc_explore::{run_spec_traced, Executor, ExperimentSpec};
 use predllc_obs::{render_jsonl, TraceCtx, TraceId, Tracer};
 
@@ -49,6 +58,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut out_path: Option<String> = None;
     let mut bench_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut attribution = false;
+    let mut attribution_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -67,6 +78,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--out" => out_path = Some(it.next().ok_or("--out needs a path")?),
             "--bench-out" => bench_out = Some(it.next().ok_or("--bench-out needs a path")?),
             "--trace-out" => trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
+            "--attribution" => attribution = true,
+            "--attribution-out" => {
+                attribution_out = Some(it.next().ok_or("--attribution-out needs a path")?);
+            }
             other if spec_path.is_none() && !other.starts_with("--") => {
                 spec_path = Some(other.to_string());
             }
@@ -77,7 +92,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
     let text =
         std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
-    let spec = ExperimentSpec::parse(&text).map_err(|e| e.to_string())?;
+    let mut spec = ExperimentSpec::parse(&text).map_err(|e| e.to_string())?;
+    if attribution || attribution_out.is_some() {
+        spec.attribution = true;
+    }
     let exec = Executor::new(threads);
     status!(
         "explore: '{}' — {} grid point(s) on {} thread(s)",
@@ -111,6 +129,50 @@ fn run(args: Vec<String>) -> Result<(), String> {
         ));
     }
 
+    // The attribution exactness contract: every attributed point's
+    // witness components sum to its latency, the witness IS the
+    // observed WCL, and any applicable analytical bound holds
+    // (gap >= 0 — a negative gap means the paper's bound was exceeded).
+    if spec.attribution {
+        let broken: Vec<String> = report
+            .grid
+            .iter()
+            .filter_map(|r| {
+                let at = format!("{} x {}", r.config, r.workload);
+                let Some(attr) = &r.attribution else {
+                    return Some(format!("{at}: attributed run carries no attribution"));
+                };
+                match &attr.witness {
+                    Some(w) => {
+                        if w.components.total() != w.latency {
+                            return Some(format!("{at}: witness components miss its latency"));
+                        }
+                        if w.latency.as_u64() != r.observed_wcl {
+                            return Some(format!("{at}: witness is not the observed WCL"));
+                        }
+                    }
+                    None if r.requests > 0 => {
+                        return Some(format!("{at}: completed requests but no witness"));
+                    }
+                    None => {}
+                }
+                match &attr.gap {
+                    Some(gap) if gap.gap() < 0 => Some(format!(
+                        "{at}: observed WCL {} exceeds the analytical bound {}",
+                        gap.observed_wcl, gap.analytical_wcl
+                    )),
+                    _ => None,
+                }
+            })
+            .collect();
+        if !broken.is_empty() {
+            return Err(format!(
+                "attribution consistency violated: {}",
+                broken.join("; ")
+            ));
+        }
+    }
+
     // Render JSON once, whether it goes to stdout, --out or
     // --bench-out.
     let json = if format == "json" || bench_out.is_some() {
@@ -137,6 +199,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
         std::fs::write(path, artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
         status!("explore: benchmark artifact written to {path}");
     }
+    if let Some(path) = &attribution_out {
+        let artifact = render_attribution_json(&spec.name, &report.grid);
+        std::fs::write(path, artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
+        status!("explore: attribution artifact written to {path}");
+    }
     if let (Some(path), Some(t)) = (&trace_out, &tracer) {
         let events = t.drain();
         std::fs::write(path, render_jsonl(&events))
@@ -154,8 +221,13 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
     }
     status!(
-        "explore: {} point(s) in {wall_ms} ms, all percentiles consistent",
-        report.grid.len()
+        "explore: {} point(s) in {wall_ms} ms, all percentiles consistent{}",
+        report.grid.len(),
+        if spec.attribution {
+            ", every witness sums to its WCL"
+        } else {
+            ""
+        }
     );
     Ok(())
 }

@@ -27,6 +27,14 @@
 //!                                the sharded run (JSONL)
 //!     [--dashboard-out PATH]     write the fleet /dashboard HTML
 //!     [--alerts]                 print the SLO alert table after the run
+//!     [--attribution]            also run the attribution leg: the
+//!                                same spec with attribution on, sharded
+//!                                across the (surviving) workers — the
+//!                                classic CSV must be unchanged and
+//!                                every point must ship a witness whose
+//!                                components sum to its observed WCL
+//!     [--attribution-out PATH]   write the fleet-side attribution JSON
+//!                                artifact; implies --attribution
 //!     [--threads N]
 //!     [--quiet | --verbose]
 //! ```
@@ -49,7 +57,7 @@ use std::time::{Duration, Instant};
 
 use predllc_bench::monitor::{alert_state, history_samples, print_alerts};
 use predllc_bench::{data, error, status};
-use predllc_explore::report::{render_csv, render_json};
+use predllc_explore::report::{render_attribution_json, render_csv, render_json};
 use predllc_explore::{run_spec, Executor, ExperimentSpec};
 use predllc_fleet::{default_fleet_rules, Coordinator, CoordinatorConfig};
 use predllc_obs::{render_jsonl, TraceCtx, TraceId, Tracer};
@@ -79,6 +87,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut trace_out: Option<String> = None;
     let mut dashboard_out: Option<String> = None;
     let mut alerts = false;
+    let mut attribution = false;
+    let mut attribution_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -108,6 +118,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 dashboard_out = Some(it.next().ok_or("--dashboard-out needs a path")?);
             }
             "--alerts" => alerts = true,
+            "--attribution" => attribution = true,
+            "--attribution-out" => {
+                attribution_out = Some(it.next().ok_or("--attribution-out needs a path")?);
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -136,6 +150,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 trace_out,
                 dashboard_out,
                 alerts,
+                attribution: attribution || attribution_out.is_some(),
+                attribution_out,
             };
             run_smoke(
                 &spec_path,
@@ -156,6 +172,8 @@ struct SmokeOutputs {
     trace_out: Option<String>,
     dashboard_out: Option<String>,
     alerts: bool,
+    attribution: bool,
+    attribution_out: Option<String>,
 }
 
 /// The worker mode: a plain `predllc-serve` instance — its point
@@ -501,6 +519,10 @@ fn smoke_inner(
         ));
     }
 
+    if outputs.attribution {
+        attribution_leg(&coordinator, spec, reference, outputs)?;
+    }
+
     if let Some(path) = outputs.bench_out.as_deref() {
         let artifact = render_json(
             &spec.name,
@@ -548,6 +570,56 @@ fn smoke_inner(
             ""
         }
     );
+    Ok(())
+}
+
+/// The smoke's attribution leg: the same spec with attribution on,
+/// sharded across whatever workers survive. The classic CSV must stay
+/// byte-identical to the reference, and every row must come back with
+/// an attribution whose witness — serialized by a worker, shipped over
+/// the point wire as exact integers, and reassembled here — sums to
+/// that row's observed WCL to the cycle.
+fn attribution_leg(
+    coordinator: &Arc<Coordinator>,
+    spec: &ExperimentSpec,
+    reference: &str,
+    outputs: &SmokeOutputs,
+) -> Result<(), String> {
+    let mut on = spec.clone();
+    on.attribution = true;
+    let report = coordinator
+        .run(&on, &|_, _| {})
+        .map_err(|e| e.to_string())?;
+    if render_csv(&report.grid) != reference {
+        return Err("attribution changed the fleet CSV".into());
+    }
+    let mut witnesses = 0usize;
+    for row in &report.grid {
+        let at = format!("{} x {}", row.config, row.workload);
+        let attr = row
+            .attribution
+            .as_ref()
+            .ok_or_else(|| format!("{at}: the fleet shipped no attribution"))?;
+        let w = attr
+            .witness
+            .as_ref()
+            .ok_or_else(|| format!("{at}: the fleet shipped no witness"))?;
+        if w.components.total() != w.latency || w.latency.as_u64() != row.observed_wcl {
+            return Err(format!(
+                "{at}: the shipped witness does not sum to the observed WCL"
+            ));
+        }
+        witnesses += 1;
+    }
+    status!(
+        "fleet: attribution leg ok — {witnesses} witness(es) shipped losslessly over the wire, \
+         fleet CSV unchanged"
+    );
+    if let Some(path) = outputs.attribution_out.as_deref() {
+        std::fs::write(path, render_attribution_json(&on.name, &report.grid))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        status!("fleet: attribution artifact written to {path}");
+    }
     Ok(())
 }
 

@@ -16,6 +16,13 @@
 //!                        (JSONL, fetched from /v1/jobs/{id}/trace)
 //!     [--dashboard-out PATH] write the /dashboard HTML snapshot
 //!     [--alerts]         print the SLO alert table after the run
+//!     [--attribution]    also run the attribution leg: re-submit the
+//!                        spec with "attribution": true, require its
+//!                        own job (no cache aliasing), an unchanged
+//!                        classic CSV, and a witness on every point
+//!     [--attribution-out PATH] write the attribution JSON artifact
+//!                        fetched from /v1/experiments/{id}/attribution;
+//!                        implies --attribution
 //!     [--threads N]
 //!     [--quiet | --verbose]
 //! ```
@@ -37,8 +44,8 @@ use std::time::Duration;
 use predllc_bench::monitor::{history_samples, print_alerts};
 use predllc_bench::{error, status};
 use predllc_explore::report::render_csv;
-use predllc_explore::{run_spec, Executor, ExperimentSpec};
-use predllc_serve::{Client, MonitorConfig, Server, ServerConfig};
+use predllc_explore::{run_spec, Executor, ExperimentSpec, PointAttribution};
+use predllc_serve::{Client, ClientError, MonitorConfig, Server, ServerConfig};
 
 fn main() -> ExitCode {
     match run(predllc_bench::log::init(std::env::args().skip(1).collect())) {
@@ -59,6 +66,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut trace_out: Option<String> = None;
     let mut dashboard_out: Option<String> = None;
     let mut alerts = false;
+    let mut attribution = false;
+    let mut attribution_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -82,6 +91,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 dashboard_out = Some(it.next().ok_or("--dashboard-out needs a path")?);
             }
             "--alerts" => alerts = true,
+            "--attribution" => attribution = true,
+            "--attribution-out" => {
+                attribution_out = Some(it.next().ok_or("--attribution-out needs a path")?);
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -97,6 +110,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 trace_out,
                 dashboard_out,
                 alerts,
+                attribution: attribution || attribution_out.is_some(),
+                attribution_out,
             };
             run_smoke(&spec_path, &opts, config)
         }
@@ -110,6 +125,97 @@ struct SmokeOpts {
     trace_out: Option<String>,
     dashboard_out: Option<String>,
     alerts: bool,
+    attribution: bool,
+    attribution_out: Option<String>,
+}
+
+/// Returns `text` with `"attribution": true` set in the top-level spec
+/// object (parsed and re-rendered, so the injection survives any
+/// formatting).
+fn inject_attribution(text: &str) -> Result<String, String> {
+    match predllc_explore::json::parse(text).map_err(|e| format!("spec is not valid json: {e}"))? {
+        predllc_explore::json::Json::Object(mut members) => {
+            members.retain(|(k, _)| k != "attribution");
+            members.push((
+                "attribution".into(),
+                predllc_explore::json::Json::Bool(true),
+            ));
+            Ok(predllc_explore::json::Json::Object(members).render_pretty())
+        }
+        _ => Err("spec is not a json object".into()),
+    }
+}
+
+/// Parses an attribution artifact and checks its exactness contract —
+/// every point carries a parseable attribution whose witness components
+/// sum to the witness latency. Returns the number of witnesses.
+fn check_attribution_artifact(artifact: &str) -> Result<usize, String> {
+    let doc = predllc_explore::json::parse(artifact)
+        .map_err(|e| format!("attribution artifact is not valid json: {e}"))?;
+    let points = doc
+        .get("points")
+        .and_then(predllc_explore::json::Json::as_array)
+        .ok_or("attribution artifact has no 'points' array")?;
+    if points.is_empty() {
+        return Err("attribution artifact has no points".into());
+    }
+    let mut witnesses = 0usize;
+    for point in points {
+        let attr = point
+            .get("attribution")
+            .ok_or("an artifact point has no 'attribution' member")?;
+        let attr = PointAttribution::from_json(attr)?;
+        let w = attr
+            .witness
+            .as_ref()
+            .ok_or("an artifact point has no worst-case witness")?;
+        if w.components.total() != w.latency {
+            return Err("a shipped witness's components do not sum to its latency".into());
+        }
+        witnesses += 1;
+    }
+    Ok(witnesses)
+}
+
+/// The smoke's attribution leg: the off job must 404 on the
+/// attribution endpoint, the same spec with `"attribution": true` must
+/// run as its own job, leave the classic CSV byte-identical, and serve
+/// an artifact with a verified witness on every point.
+fn attribution_leg(
+    client: &mut Client,
+    off_id: &str,
+    text: &str,
+    reference: &str,
+    opts: &SmokeOpts,
+) -> Result<(), String> {
+    match client.attribution(off_id) {
+        Err(ClientError::Status { status: 404, .. }) => {}
+        Ok(_) => return Err("attribution endpoint answered for an attribution-off job".into()),
+        Err(e) => return Err(format!("attribution probe failed unexpectedly: {e}")),
+    }
+    let attributed = inject_attribution(text)?;
+    let on = client.submit(&attributed).map_err(|e| e.to_string())?;
+    if on.cached || on.id == off_id {
+        return Err("the attributed spec aliased the attribution-off cache entry".into());
+    }
+    client
+        .wait_done(&on.id, Duration::from_secs(600))
+        .map_err(|e| e.to_string())?;
+    let served = client.results_csv(&on.id).map_err(|e| e.to_string())?;
+    if served != reference {
+        return Err("attribution changed the served CSV".into());
+    }
+    let artifact = client.attribution(&on.id).map_err(|e| e.to_string())?;
+    let witnesses = check_attribution_artifact(&artifact)?;
+    status!(
+        "serve: attribution leg ok — {witnesses} witness(es) served, classic CSV unchanged, \
+         off job 404s"
+    );
+    if let Some(path) = opts.attribution_out.as_deref() {
+        std::fs::write(path, &artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
+        status!("serve: attribution artifact written to {path}");
+    }
+    Ok(())
 }
 
 /// The long-lived mode: bind, print the address, serve until killed.
@@ -212,6 +318,9 @@ fn run_smoke(spec_path: &str, opts: &SmokeOpts, config: ServerConfig) -> Result<
                 "expected exactly {} simulated point(s), metrics say {points}",
                 status.points_total
             ));
+        }
+        if opts.attribution {
+            attribution_leg(&mut client, &submitted.id, &text, &reference, opts)?;
         }
         // The live scrape must pass the in-tree exposition validator.
         let exposition = client.metrics().map_err(|e| e.to_string())?;

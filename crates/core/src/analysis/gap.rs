@@ -1,0 +1,288 @@
+//! Decomposing the analytical-vs-observed WCL gap per component.
+//!
+//! The experiments prove `observed_wcl ≤ analytical_wcl`; this module
+//! explains the *difference*. The analytical bound budgets worst-case
+//! cycles per causal component (a full period of arbitration, worst-case
+//! DRAM in the service slot, and the theorem-specific interference
+//! allowance); the [`WclWitness`] records what the worst observed
+//! request actually spent per component. [`WclGapReport`] lines the two
+//! up: per-component analytical budget, observed cycles, and the signed
+//! slack between them — the slacks sum exactly to the total gap, so the
+//! report shows *which* allowance the bound's looseness lives in.
+//!
+//! A per-component slack may be negative (a request can wait more than
+//! one period of arbitration when its earlier owned slots were consumed
+//! by write-backs or blocking — the bound accounts those cycles under a
+//! different component); only the total gap is guaranteed non-negative
+//! on a platform satisfying the paper's premises.
+//!
+//! # Examples
+//!
+//! ```
+//! use predllc_core::analysis::WclGapReport;
+//! use predllc_core::{SharingMode, Simulator, SystemConfig};
+//! use predllc_model::{Address, MemOp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = SystemConfig::shared_partition(1, 16, 4, SharingMode::SetSequencer)?
+//!     .with_attribution(true);
+//! let traces: Vec<Vec<MemOp>> = (0..4)
+//!     .map(|c| vec![MemOp::read(Address::new(c * 64))])
+//!     .collect();
+//! let report = Simulator::new(cfg.clone())?.run(traces)?;
+//!
+//! let gap = WclGapReport::from_run(&cfg, &report)?.expect("attribution on");
+//! assert_eq!(gap.analytical_wcl.as_u64(), 5_000); // Theorem 4.8
+//! assert_eq!(gap.observed_wcl, report.max_request_latency());
+//! // The per-component slacks sum exactly to the total gap.
+//! let total: i64 = gap.entries().iter().map(|e| e.slack).sum();
+//! assert_eq!(total, gap.gap());
+//! assert!(gap.gap() >= 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use predllc_model::{CoreId, Cycles};
+
+use crate::analysis::MemoryAwareWcl;
+use crate::attribution::{Component, WclWitness};
+use crate::config::SystemConfig;
+use crate::engine::RunReport;
+use crate::error::ConfigError;
+
+/// The gap report's component axis: the attribution components with the
+/// four DRAM row outcomes folded into one (the analytical bound budgets
+/// a single worst-case access, not a row-outcome mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GapComponent {
+    /// Waiting for the core's own TDM slots.
+    Arbitration,
+    /// Owned slots spent on the core's own write-backs.
+    Writeback,
+    /// Owned slots in which the LLC could not answer.
+    LlcWait,
+    /// The response slot minus its DRAM portion.
+    Bus,
+    /// DRAM access cycles of the response slot (all row outcomes).
+    Dram,
+}
+
+impl GapComponent {
+    /// Every gap component, in reporting order.
+    pub const ALL: [GapComponent; 5] = [
+        GapComponent::Arbitration,
+        GapComponent::Writeback,
+        GapComponent::LlcWait,
+        GapComponent::Bus,
+        GapComponent::Dram,
+    ];
+
+    /// A stable snake_case label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            GapComponent::Arbitration => "arbitration",
+            GapComponent::Writeback => "writeback",
+            GapComponent::LlcWait => "llc_wait",
+            GapComponent::Bus => "bus",
+            GapComponent::Dram => "dram",
+        }
+    }
+}
+
+impl std::fmt::Display for GapComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One component's analytical budget vs. the witness's observed cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapEntry {
+    /// The component.
+    pub component: GapComponent,
+    /// Cycles the analytical bound budgets for this component.
+    pub analytical: Cycles,
+    /// Cycles the worst observed request actually spent on it.
+    pub observed: Cycles,
+    /// `analytical − observed` (may be negative per component; the
+    /// entries' slacks sum exactly to [`WclGapReport::gap`]).
+    pub slack: i64,
+}
+
+/// The decomposition of `analytical_wcl − observed_wcl` into
+/// per-component analytical-vs-observed slack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WclGapReport {
+    /// The applicable analytical bound (Theorem 4.7/4.8 or the private
+    /// bound, memory-aware).
+    pub analytical_wcl: Cycles,
+    /// The run's observed WCL (the witness's latency).
+    pub observed_wcl: Cycles,
+    entries: [GapEntry; GapComponent::ALL.len()],
+}
+
+impl WclGapReport {
+    /// Builds the gap report for a run, lining the applicable analytical
+    /// bound up against the run's WCL witness. Returns `Ok(None)` when
+    /// the run carried no attribution, completed no request, or the
+    /// configuration has no sound bound (invalid slot budget or formula
+    /// overflow).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemoryAwareWcl::from_config`] failures.
+    pub fn from_run(
+        config: &SystemConfig,
+        report: &RunReport,
+    ) -> Result<Option<Self>, ConfigError> {
+        let Some(witness) = report.attribution().and_then(|a| a.witness()) else {
+            return Ok(None);
+        };
+        let Some(bound) = MemoryAwareWcl::from_config(config)?.bound() else {
+            return Ok(None);
+        };
+        Ok(Some(WclGapReport::against(config, bound, witness)))
+    }
+
+    /// Lines a known analytical bound up against a witness. The
+    /// analytical budget is split greedily in priority order — the
+    /// service slot (worst-case DRAM, rest bus), one period less a slot
+    /// of arbitration, and the theorem's interference allowance as
+    /// write-back budget (private partitions) or LLC-wait budget (shared
+    /// ones) — so the entries always sum exactly to the bound.
+    pub fn against(config: &SystemConfig, bound: Cycles, witness: &WclWitness) -> Self {
+        let sw = config.slot_width().cycles().as_u64();
+        let mem_wc = config.memory().worst_case_latency().as_u64();
+        let total = bound.as_u64();
+
+        // Analytical split: service slot first, then arbitration, then
+        // the interference allowance takes whatever the bound has left.
+        let service = total.min(sw);
+        let dram_a = service.min(mem_wc);
+        let bus_a = service - dram_a;
+        let arb_a = (total - service).min(sw * (u64::from(config.num_cores()) - 1));
+        let allowance = total - service - arb_a;
+        let private = config.partitions().spec_of(CoreId::new(0)).is_private();
+        let (wb_a, llc_a) = if private {
+            (allowance, 0)
+        } else {
+            (0, allowance)
+        };
+
+        let c = &witness.components;
+        let dram_o = c.get(Component::DramRowHit).as_u64()
+            + c.get(Component::DramRowEmpty).as_u64()
+            + c.get(Component::DramRowConflict).as_u64()
+            + c.get(Component::DramFlat).as_u64();
+        let observed = [
+            c.get(Component::Arbitration).as_u64(),
+            c.get(Component::Writeback).as_u64(),
+            c.get(Component::LlcWait).as_u64(),
+            c.get(Component::Bus).as_u64(),
+            dram_o,
+        ];
+        let analytical = [arb_a, wb_a, llc_a, bus_a, dram_a];
+        let entries = std::array::from_fn(|i| GapEntry {
+            component: GapComponent::ALL[i],
+            analytical: Cycles::new(analytical[i]),
+            observed: Cycles::new(observed[i]),
+            slack: analytical[i] as i64 - observed[i] as i64,
+        });
+        WclGapReport {
+            analytical_wcl: bound,
+            observed_wcl: witness.latency,
+            entries,
+        }
+    }
+
+    /// `analytical_wcl − observed_wcl`, signed. Non-negative on any
+    /// platform satisfying the paper's premises; the per-entry slacks
+    /// sum to it exactly.
+    pub fn gap(&self) -> i64 {
+        self.analytical_wcl.as_u64() as i64 - self.observed_wcl.as_u64() as i64
+    }
+
+    /// Per-component entries, in [`GapComponent::ALL`] order.
+    pub fn entries(&self) -> &[GapEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::SharingMode;
+    use crate::Simulator;
+    use predllc_model::{Address, MemOp};
+
+    fn run_with_attr(cfg: SystemConfig, traces: Vec<Vec<MemOp>>) -> crate::RunReport {
+        Simulator::new(cfg).unwrap().run(traces).unwrap()
+    }
+
+    #[test]
+    fn none_without_attribution() {
+        let cfg = SystemConfig::private_partitions(2, 2, 1).unwrap();
+        let report = run_with_attr(cfg.clone(), vec![vec![MemOp::read(Address::new(0))]]);
+        assert_eq!(WclGapReport::from_run(&cfg, &report).unwrap(), None);
+    }
+
+    #[test]
+    fn analytical_entries_sum_to_the_bound() {
+        for mode in [
+            None,
+            Some(SharingMode::SetSequencer),
+            Some(SharingMode::BestEffort),
+        ] {
+            let cfg = match mode {
+                None => SystemConfig::private_partitions(1, 2, 4).unwrap(),
+                Some(m) => SystemConfig::shared_partition(1, 16, 4, m).unwrap(),
+            }
+            .with_attribution(true);
+            let traces: Vec<Vec<MemOp>> = (0..4)
+                .map(|c| {
+                    vec![
+                        MemOp::read(Address::new(c * 64)),
+                        MemOp::read(Address::new(4096 + c * 64)),
+                    ]
+                })
+                .collect();
+            let report = run_with_attr(cfg.clone(), traces);
+            let gap = WclGapReport::from_run(&cfg, &report)
+                .unwrap()
+                .expect("bound and witness exist");
+            let a_sum: u64 = gap.entries().iter().map(|e| e.analytical.as_u64()).sum();
+            assert_eq!(a_sum, gap.analytical_wcl.as_u64());
+            let o_sum: u64 = gap.entries().iter().map(|e| e.observed.as_u64()).sum();
+            assert_eq!(o_sum, gap.observed_wcl.as_u64());
+            let slack: i64 = gap.entries().iter().map(|e| e.slack).sum();
+            assert_eq!(slack, gap.gap());
+            assert!(gap.gap() >= 0, "observed exceeded the analytical bound");
+        }
+    }
+
+    #[test]
+    fn degenerate_single_sharer_bound_still_splits() {
+        // n = 1 in Theorem 4.7 degenerates to a one-slot bound, smaller
+        // than the arbitration allowance — the greedy split must not
+        // underflow and must still sum to the bound.
+        let cfg = SystemConfig::builder(4)
+            .partitions(vec![
+                crate::PartitionSpec::shared(1, 2, vec![CoreId::new(0)], SharingMode::BestEffort),
+                crate::PartitionSpec::private(1, 2, CoreId::new(1)),
+                crate::PartitionSpec::private(1, 2, CoreId::new(2)),
+                crate::PartitionSpec::private(1, 2, CoreId::new(3)),
+            ])
+            .attribution(true)
+            .build()
+            .unwrap();
+        let traces: Vec<Vec<MemOp>> = (0..4)
+            .map(|c| vec![MemOp::read(Address::new(c * 64))])
+            .collect();
+        let report = run_with_attr(cfg.clone(), traces);
+        let witness = report.attribution().unwrap().witness().unwrap().clone();
+        let bound = MemoryAwareWcl::from_config(&cfg).unwrap().bound().unwrap();
+        let gap = WclGapReport::against(&cfg, bound, &witness);
+        let a_sum: u64 = gap.entries().iter().map(|e| e.analytical.as_u64()).sum();
+        assert_eq!(a_sum, bound.as_u64());
+    }
+}

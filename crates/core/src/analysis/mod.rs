@@ -25,12 +25,14 @@
 pub mod bounds;
 pub mod critical;
 pub mod distance;
+mod gap;
 pub mod memory;
 pub mod taskset;
 mod wcl;
 
 pub use bounds::{classify_schedule, WclBound};
 pub use distance::{DistanceSample, DistanceTracker};
+pub use gap::{GapComponent, GapEntry, WclGapReport};
 pub use memory::{MemoryAwareWcl, SlotBudget};
 pub use taskset::{RtaResult, TaskParams, TaskSetAnalysis};
 pub use wcl::WclParams;

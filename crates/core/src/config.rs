@@ -85,6 +85,7 @@ pub struct SystemConfig {
     record_events: bool,
     precise_sharers: bool,
     engine: EngineMode,
+    attribution: bool,
 }
 
 impl SystemConfig {
@@ -245,6 +246,36 @@ impl SystemConfig {
     pub fn precise_sharers(&self) -> bool {
         self.precise_sharers
     }
+
+    /// Whether latency attribution is enabled (see
+    /// [`crate::attribution`]). Off by default. Attribution only *reads*
+    /// the simulation — every counter, histogram and event in the
+    /// [`crate::RunReport`] is bit-identical with it on or off.
+    pub fn attribution(&self) -> bool {
+        self.attribution
+    }
+
+    /// A copy of this configuration with attribution toggled — for
+    /// layers (the experiment-spec grid) that decide the flag after the
+    /// platform was built and validated. No re-validation is needed:
+    /// attribution does not participate in any build-time check.
+    pub fn with_attribution(mut self, on: bool) -> SystemConfig {
+        self.attribution = on;
+        self
+    }
+
+    /// The configuration a [`crate::attribution::WclWitness`] is
+    /// replayed under: the same platform, truncated at `cap` cycles and
+    /// forced onto the reference engine with attribution off — the
+    /// independent oracle re-deriving the witness's latency.
+    pub fn witness_replay_config(&self, cap: Cycles) -> SystemConfig {
+        let mut cfg = self.clone();
+        cfg.max_cycles = Some(cap.as_u64());
+        cfg.engine = EngineMode::Reference;
+        cfg.attribution = false;
+        cfg.record_events = false;
+        cfg
+    }
 }
 
 /// Builder for [`SystemConfig`]; see [`SystemConfig::builder`].
@@ -268,6 +299,7 @@ pub struct SystemConfigBuilder {
     record_events: bool,
     precise_sharers: bool,
     engine: EngineMode,
+    attribution: bool,
 }
 
 impl SystemConfigBuilder {
@@ -292,6 +324,7 @@ impl SystemConfigBuilder {
             record_events: false,
             precise_sharers: true,
             engine: EngineMode::Auto,
+            attribution: false,
         }
     }
 
@@ -407,6 +440,16 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Enables latency attribution (default: off): every request's
+    /// latency is decomposed into causal components and the worst-case
+    /// request is captured as a replayable witness (see
+    /// [`crate::attribution`]). Purely observational — the simulation
+    /// itself is bit-identical either way.
+    pub fn attribution(mut self, on: bool) -> Self {
+        self.attribution = on;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -468,6 +511,7 @@ impl SystemConfigBuilder {
             record_events: self.record_events,
             precise_sharers: self.precise_sharers,
             engine: self.engine,
+            attribution: self.attribution,
         })
     }
 }

@@ -47,6 +47,7 @@ use predllc_cache::PrivateHierarchy;
 use predllc_model::{CoreId, Cycles, SlotWidth};
 use predllc_workload::{OpStream, Workload};
 
+use crate::attribution::{AttrState, AttributionReport, InterfererSnapshot};
 use crate::config::{EngineMode, SystemConfig};
 use crate::core_model::{CoreModel, CoreProgress};
 use crate::error::{ConfigError, SimError};
@@ -75,6 +76,9 @@ pub struct RunReport {
     pub timed_out: bool,
     /// The first cycle *after* the simulated span.
     pub cycles: Cycles,
+    /// Latency attribution, when the configuration enabled it (boxed:
+    /// most runs don't carry it).
+    attribution: Option<Box<AttributionReport>>,
 }
 
 impl RunReport {
@@ -110,6 +114,14 @@ impl RunReport {
     /// The p50/p90/p99/p100 summary of the run's request latencies.
     pub fn latency_summary(&self) -> crate::histogram::LatencySummary {
         self.latency_histogram().summary()
+    }
+
+    /// The latency attribution report — per-core component totals,
+    /// per-component histograms and the WCL witness — or `None` when the
+    /// configuration did not enable attribution (see
+    /// [`crate::SystemConfigBuilder::attribution`]).
+    pub fn attribution(&self) -> Option<&AttributionReport> {
+        self.attribution.as_deref()
     }
 }
 
@@ -236,6 +248,9 @@ impl Simulator {
             lat_batch: vec![(Cycles::ZERO, 0); n as usize],
             fast,
             scratch_acks: Vec::new(),
+            attr: cfg
+                .attribution()
+                .then(|| Box::new(AttrState::new(n as usize, cfg.slot_width().cycles()))),
             profile,
         };
         let (timed_out, end_slot) = if fast {
@@ -282,6 +297,11 @@ struct Engine<'c, I> {
     /// Cores that were handed an acknowledgement write-back in the last
     /// processed slot (their bus calendar changed).
     scratch_acks: Vec<usize>,
+    /// Latency attribution, when enabled. Purely an observer: all its
+    /// hooks read engine state and accumulate on the side, so the
+    /// simulation — and every existing counter — is bit-identical with
+    /// it present or absent.
+    attr: Option<Box<AttrState>>,
     /// Sampled stage profiling, when the caller asked for it. `None`
     /// costs one untaken branch per slot; timings are read-only and
     /// never influence simulated time.
@@ -692,6 +712,7 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
             schedule,
             lat_batch,
             scratch_acks,
+            attr,
             ..
         } = self;
         let mut out = SlotOutcome {
@@ -725,6 +746,9 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
         let grant = match grant {
             None if has_req => {
                 stats.core_mut(owner).blocked_slots += 1;
+                if let Some(a) = attr {
+                    a.note_blocked_wait(oi);
+                }
                 events.push(
                     now,
                     slot,
@@ -779,6 +803,9 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
                 }
                 if has_req {
                     stats.core_mut(owner).blocked_slots += 1;
+                    if let Some(a) = attr {
+                        a.note_writeback_wait(oi);
+                    }
                     events.push(
                         now,
                         slot,
@@ -816,6 +843,11 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
                     let latency = resume - issued;
                     record_latency(stats, lat_batch, fast, owner, latency);
                     stats.core_mut(owner).llc_hits += 1;
+                    if let Some(a) = attr {
+                        a.on_complete(owner, line, issued, resume, slot, &[None, None], || {
+                            witness_snapshot(cores, stats, llc, owner, now)
+                        });
+                    }
                     out.responded = true;
                     if let (Some(p), Some(t)) = (prof, svc_start) {
                         p.llc.record(t.elapsed());
@@ -916,10 +948,24 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
                                 events.push(now, slot, EventKind::Fill { core: owner, line });
                             }
                         }
+                        if let Some(a) = attr {
+                            a.on_complete(
+                                owner,
+                                line,
+                                issued,
+                                resume,
+                                slot,
+                                &res.mem_traffic,
+                                || witness_snapshot(cores, stats, llc, owner, now),
+                            );
+                        }
                         out.responded = true;
                     }
                     ServiceOutcome::Blocked(reason) => {
                         stats.core_mut(owner).blocked_slots += 1;
+                        if let Some(a) = attr {
+                            a.note_blocked_wait(oi);
+                        }
                         events.push(
                             now,
                             slot,
@@ -963,6 +1009,7 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
             mut stats,
             events,
             sw,
+            attr,
             ..
         } = self;
         stats.absorb_memory(llc.memory_stats());
@@ -998,8 +1045,42 @@ impl<I: Iterator<Item = predllc_model::MemOp>> Engine<'_, I> {
             events,
             timed_out,
             cycles: sw.slot_start(end_slot),
+            attribution: attr.map(|a| Box::new(a.into_report())),
         }
     }
+}
+
+/// Captures the witness's interferer and bank state: every other core's
+/// concurrent request/write-back state plus the DRAM rows open at the
+/// service slot. Restricted to engine-invariant state — counters and
+/// buffers only mutated inside `process_slot`, and pending requests
+/// gated on `issued_at <= now` (the fast engine's solo cores discover
+/// their misses ahead of global time) — so the witness is bit-identical
+/// across engine modes.
+fn witness_snapshot<I: Iterator<Item = predllc_model::MemOp>>(
+    cores: &[CoreModel<I>],
+    stats: &SimStats,
+    llc: &SharedLlc,
+    owner: CoreId,
+    now: Cycles,
+) -> (Vec<InterfererSnapshot>, Vec<(predllc_model::BankId, u64)>) {
+    let interferers = cores
+        .iter()
+        .filter(|c| c.id() != owner)
+        .map(|c| {
+            let pending = c.prb.peek().filter(|r| r.issued_at <= now);
+            let cs = stats.core(c.id());
+            InterfererSnapshot {
+                core: c.id(),
+                pending_line: pending.map(|r| r.op.addr.line()),
+                pending_since: pending.map(|r| r.issued_at),
+                pwb_depth: c.pwb.len(),
+                writebacks_sent: cs.writebacks_sent,
+                blocked_slots: cs.blocked_slots,
+            }
+        })
+        .collect();
+    (interferers, llc.open_rows())
 }
 
 /// The fast engine's next time-advancing step.

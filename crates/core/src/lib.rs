@@ -94,6 +94,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod attribution;
 pub mod config;
 pub mod core_model;
 pub mod engine;
@@ -107,6 +108,7 @@ pub mod profile;
 pub mod sequencer;
 pub mod stats;
 
+pub use attribution::{AttributionReport, Component, ComponentSet, WclWitness};
 pub use config::{EngineMode, SystemConfig, SystemConfigBuilder};
 pub use engine::{RunReport, Simulator};
 pub use error::{ConfigError, SimError};

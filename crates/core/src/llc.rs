@@ -450,6 +450,14 @@ impl SharedLlc {
         self.memory.next_busy_until()
     }
 
+    /// The rows currently open across the backend's DRAM banks (empty
+    /// for flat backends). A read-only snapshot for diagnostics — the
+    /// WCL witness records it as the bank state a worst-case request
+    /// ran into.
+    pub fn open_rows(&self) -> Vec<(predllc_model::BankId, u64)> {
+        self.memory.open_rows()
+    }
+
     /// Services `core`'s pending request for `line` within `core`'s
     /// slot, which starts at cycle `now`.
     ///

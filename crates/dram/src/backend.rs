@@ -197,6 +197,14 @@ pub trait MemoryBackend: fmt::Debug + Send {
     fn next_busy_until(&self) -> Cycles {
         Cycles::ZERO
     }
+
+    /// The rows currently open across the backend's banks, as
+    /// `(bank, row)` pairs — empty for backends without row buffers.
+    /// A read-only diagnostic snapshot (the engine's WCL witness records
+    /// it as the bank state a worst-case request ran into).
+    fn open_rows(&self) -> Vec<(BankId, u64)> {
+        Vec::new()
+    }
 }
 
 impl<B: MemoryBackend + ?Sized> MemoryBackend for Box<B> {
@@ -222,6 +230,10 @@ impl<B: MemoryBackend + ?Sized> MemoryBackend for Box<B> {
 
     fn next_busy_until(&self) -> Cycles {
         (**self).next_busy_until()
+    }
+
+    fn open_rows(&self) -> Vec<(BankId, u64)> {
+        (**self).open_rows()
     }
 }
 

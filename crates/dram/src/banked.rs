@@ -175,6 +175,17 @@ impl MemoryBackend for BankedDram {
             .max()
             .unwrap_or(Cycles::ZERO)
     }
+
+    fn open_rows(&self) -> Vec<(predllc_model::BankId, u64)> {
+        self.banks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                b.open_row
+                    .map(|r| (predllc_model::BankId::new(i as u32), r.as_u64()))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -63,6 +63,11 @@ pub struct GridResult {
     pub analytical_wcl: Option<u64>,
     /// DRAM row-buffer hit rate (0 under fixed-latency backends).
     pub row_hit_rate: f64,
+    /// The point's attribution summary, when the spec ran with
+    /// attribution on. Never rendered into the classic CSV/JSON rows —
+    /// those stay byte-identical either way; see
+    /// [`render_attribution_csv`](crate::report::render_attribution_csv).
+    pub attribution: Option<crate::attribution::PointAttribution>,
 }
 
 /// The deduped shard plan of a spec's grid: which declared points
@@ -94,7 +99,12 @@ pub fn plan_grid(spec: &ExperimentSpec) -> GridPlan {
     let mut seen: std::collections::HashMap<crate::hash::Fingerprint, usize> =
         std::collections::HashMap::new();
     for &(ci, wi) in &points {
-        let fp = point_fingerprint(spec.cores, &spec.configs[ci], &spec.workloads[wi]);
+        let fp = point_fingerprint(
+            spec.cores,
+            &spec.configs[ci],
+            &spec.workloads[wi],
+            spec.attribution,
+        );
         let slot = *seen.entry(fp).or_insert_with(|| {
             unique.push((ci, wi));
             unique.len() - 1
@@ -127,10 +137,13 @@ pub fn build_platforms(
 ) -> Result<Vec<(SystemConfig, Option<u64>)>, ExploreError> {
     let mut platforms: Vec<(SystemConfig, Option<u64>)> = Vec::with_capacity(spec.configs.len());
     for c in &spec.configs {
-        let config = c.build(spec.cores).map_err(|source| ExploreError::Config {
-            label: c.label.clone(),
-            source,
-        })?;
+        let config = c
+            .build(spec.cores)
+            .map_err(|source| ExploreError::Config {
+                label: c.label.clone(),
+                source,
+            })?
+            .with_attribution(spec.attribution);
         let analytical = MemoryAwareWcl::from_config(&config)
             .ok()
             .and_then(|w| w.bound())
@@ -362,6 +375,39 @@ mod tests {
         assert_eq!(rows[2].backend, "banked(1x8,interleaved)");
         assert!(rows[2].row_hit_rate >= 0.0);
         assert_eq!(rows[0].backend, "fixed(30)");
+    }
+
+    #[test]
+    fn attribution_rides_along_without_changing_rows() {
+        let off = ExperimentSpec::parse(SPEC).unwrap();
+        let on_text = SPEC.replacen(
+            "\"name\": \"grid-test\",",
+            "\"name\": \"grid-test\", \"attribution\": true,",
+            1,
+        );
+        let on = ExperimentSpec::parse(&on_text).unwrap();
+        let rows_off = run_grid(&off, &Executor::new(2)).unwrap();
+        let rows_on = run_grid(&on, &Executor::new(2)).unwrap();
+        // The classic artifacts are byte-identical with attribution on.
+        assert_eq!(
+            crate::report::render_csv(&rows_on),
+            crate::report::render_csv(&rows_off)
+        );
+        assert_eq!(
+            crate::report::render_json("g", 2, None, &rows_on, None),
+            crate::report::render_json("g", 2, None, &rows_off, None)
+        );
+        for (a, b) in rows_on.iter().zip(&rows_off) {
+            assert!(b.attribution.is_none());
+            let attr = a.attribution.as_ref().expect("attribution was on");
+            // The witness is the row's observed WCL, exactly.
+            let witness = attr.witness.as_ref().expect("requests completed");
+            assert_eq!(witness.latency.as_u64(), a.observed_wcl);
+            // Everything but the attribution matches field for field.
+            let mut stripped = a.clone();
+            stripped.attribution = None;
+            assert_eq!(&stripped, b);
+        }
     }
 
     #[test]

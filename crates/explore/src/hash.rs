@@ -335,8 +335,22 @@ fn hash_workload(p: &mut Passes, spec: &WorkloadSpec) {
 /// not participate, so two differently-labelled but physically identical
 /// points share a fingerprint — exactly the points `run_grid` simulates
 /// once.
-pub fn point_fingerprint(cores: u16, config: &ConfigSpec, workload: &WorkloadEntry) -> Fingerprint {
+///
+/// `attribution` participates only when **on** (the byte stream of an
+/// attribution-off point is unchanged from before the flag existed):
+/// attribution never changes the simulation, but an attribution-on
+/// point's measurement carries extra data, so the two must not share a
+/// cache slot in a fleet coordinator's measurement cache.
+pub fn point_fingerprint(
+    cores: u16,
+    config: &ConfigSpec,
+    workload: &WorkloadEntry,
+    attribution: bool,
+) -> Fingerprint {
     let mut p = Passes::new();
+    if attribution {
+        p.str("attribution");
+    }
     p.u64(u64::from(cores));
     match &config.partitioning {
         Partitioning::SharedAll { sets, ways, mode } => {
@@ -462,19 +476,25 @@ mod tests {
     fn point_fingerprints_ignore_labels_but_not_physics() {
         let spec = ExperimentSpec::parse(SPEC).unwrap();
         // Same partitioning, different labels → same fingerprint.
-        let a0 = point_fingerprint(spec.cores, &spec.configs[0], &spec.workloads[0]);
-        let b0 = point_fingerprint(spec.cores, &spec.configs[1], &spec.workloads[0]);
+        let a0 = point_fingerprint(spec.cores, &spec.configs[0], &spec.workloads[0], false);
+        let b0 = point_fingerprint(spec.cores, &spec.configs[1], &spec.workloads[0], false);
         assert_eq!(a0, b0);
         // Same workload spec, different label and x → same fingerprint.
-        let a1 = point_fingerprint(spec.cores, &spec.configs[0], &spec.workloads[1]);
+        let a1 = point_fingerprint(spec.cores, &spec.configs[0], &spec.workloads[1], false);
         assert_eq!(a0, a1);
         // A physically different configuration diverges.
-        let c0 = point_fingerprint(spec.cores, &spec.configs[2], &spec.workloads[0]);
+        let c0 = point_fingerprint(spec.cores, &spec.configs[2], &spec.workloads[0], false);
         assert_ne!(a0, c0);
         // Core count participates.
         assert_ne!(
             a0,
-            point_fingerprint(4, &spec.configs[0], &spec.workloads[0])
+            point_fingerprint(4, &spec.configs[0], &spec.workloads[0], false)
+        );
+        // Attribution-on points address a different cache slot (their
+        // measurements carry extra data).
+        assert_ne!(
+            a0,
+            point_fingerprint(spec.cores, &spec.configs[0], &spec.workloads[0], true)
         );
     }
 }

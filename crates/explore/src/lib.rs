@@ -68,6 +68,7 @@
 
 use std::fmt;
 
+pub mod attribution;
 pub mod executor;
 pub mod grid;
 pub mod hash;
@@ -77,6 +78,7 @@ pub mod report;
 pub mod search;
 pub mod spec;
 
+pub use attribution::{PointAttribution, PointGap};
 pub use executor::Executor;
 pub use grid::{
     assemble_rows, build_platforms, plan_grid, run_grid, run_grid_observed, run_grid_traced,

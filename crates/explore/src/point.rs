@@ -23,6 +23,7 @@ use predllc_dram::{BankMapping, DramTiming, MemoryConfig};
 use predllc_model::Cycles;
 use predllc_workload::{Workload, WorkloadSpec};
 
+use crate::attribution::PointAttribution;
 use crate::grid::GridResult;
 use crate::hash::{point_fingerprint, Fingerprint};
 use crate::json::{self, Json};
@@ -72,16 +73,22 @@ pub struct PointRequest {
     pub config: ConfigSpec,
     /// The workload row.
     pub workload: WorkloadEntry,
+    /// Whether the point runs with latency attribution — the worker
+    /// then ships the [`PointAttribution`] extension back with the
+    /// measurement.
+    pub attribution: bool,
 }
 
 impl PointRequest {
     /// The point's content address: [`point_fingerprint`] over the
     /// simulation inputs (labels and x-axis values excluded).
     pub fn fingerprint(&self) -> Fingerprint {
-        point_fingerprint(self.cores, &self.config, &self.workload)
+        point_fingerprint(self.cores, &self.config, &self.workload, self.attribution)
     }
 
-    /// Renders the request as a JSON document.
+    /// Renders the request as a JSON document. The `attribution` key is
+    /// emitted only when the flag is on, so attribution-off requests
+    /// are byte-identical to those of older peers.
     ///
     /// # Errors
     ///
@@ -90,12 +97,15 @@ impl PointRequest {
     /// DRAM timing or row geometry) — spec-file experiments always
     /// render.
     pub fn render(&self) -> Result<String, String> {
-        let doc = Json::Object(vec![
+        let mut members = vec![
             ("cores".into(), Json::UInt(u64::from(self.cores))),
             ("config".into(), render_config(&self.config)?),
             ("workload".into(), render_workload(&self.workload)),
-        ]);
-        Ok(doc.render())
+        ];
+        if self.attribution {
+            members.push(("attribution".into(), Json::Bool(true)));
+        }
+        Ok(Json::Object(members).render())
     }
 
     /// Parses a request document rendered by [`PointRequest::render`].
@@ -105,7 +115,11 @@ impl PointRequest {
     /// [`SpecError`] positioned exactly like experiment-spec parsing.
     pub fn parse(input: &str) -> Result<PointRequest, SpecError> {
         let doc = json::parse(input).map_err(SpecError::Json)?;
-        check_keys(&doc, &["cores", "config", "workload"], "point")?;
+        check_keys(
+            &doc,
+            &["cores", "config", "workload", "attribution"],
+            "point",
+        )?;
         let cores = doc
             .get("cores")
             .and_then(Json::as_u64)
@@ -134,10 +148,18 @@ impl PointRequest {
             })?,
             "workload",
         )?;
+        let attribution = match doc.get("attribution") {
+            None => false,
+            Some(v) => v.as_bool().ok_or_else(|| SpecError::Invalid {
+                at: "point.attribution".into(),
+                message: "must be a boolean".into(),
+            })?,
+        };
         Ok(PointRequest {
             cores,
             config,
             workload,
+            attribution,
         })
     }
 }
@@ -160,10 +182,17 @@ pub struct PointMeasurement {
     pub row_empties: u64,
     /// DRAM row-buffer conflicts.
     pub row_conflicts: u64,
+    /// The attribution extension: component totals, WCL witness and gap
+    /// split, shipped as exact integers when the point ran with
+    /// attribution on.
+    pub attribution: Option<PointAttribution>,
 }
 
 impl PointMeasurement {
     /// Renders the measurement as a JSON document of exact integers.
+    /// The `attribution` member is emitted only when present, so
+    /// attribution-off measurements are byte-identical to those of
+    /// older peers.
     pub fn render(&self) -> String {
         let buckets = self
             .latency
@@ -171,7 +200,7 @@ impl PointMeasurement {
             .into_iter()
             .map(|(low, n)| Json::Array(vec![Json::UInt(low), Json::UInt(n)]))
             .collect();
-        Json::Object(vec![
+        let mut members = vec![
             ("requests".into(), Json::UInt(self.latency.count())),
             ("total".into(), Json::UInt(self.latency.total().as_u64())),
             ("min".into(), Json::UInt(self.latency.min().as_u64())),
@@ -182,8 +211,11 @@ impl PointMeasurement {
             ("row_empties".into(), Json::UInt(self.row_empties)),
             ("row_conflicts".into(), Json::UInt(self.row_conflicts)),
             ("buckets".into(), Json::Array(buckets)),
-        ])
-        .render()
+        ];
+        if let Some(attr) = &self.attribution {
+            members.push(("attribution".into(), attr.to_json()));
+        }
+        Json::Object(members).render()
     }
 
     /// Rebuilds a measurement from a parsed document.
@@ -226,6 +258,10 @@ impl PointMeasurement {
         if latency.count() != field("requests")? {
             return Err("bucket counts do not sum to 'requests'".into());
         }
+        let attribution = match doc.get("attribution") {
+            None => None,
+            Some(a) => Some(PointAttribution::from_json(a)?),
+        };
         Ok(PointMeasurement {
             latency,
             observed_wcl: field("observed_wcl")?,
@@ -233,6 +269,7 @@ impl PointMeasurement {
             row_hits: field("row_hits")?,
             row_empties: field("row_empties")?,
             row_conflicts: field("row_conflicts")?,
+            attribution,
         })
     }
 
@@ -262,6 +299,7 @@ impl PointMeasurement {
             workload: workload.to_string(),
             backend: backend.to_string(),
             x,
+            attribution: self.attribution.clone(),
             requests: self.latency.count(),
             p50: self.latency.percentile(50.0).as_u64(),
             p90: self.latency.percentile(90.0).as_u64(),
@@ -300,6 +338,9 @@ pub fn measure(
         row_hits: report.stats.dram_row_hits,
         row_empties: report.stats.dram_row_empties,
         row_conflicts: report.stats.dram_row_conflicts,
+        attribution: report
+            .attribution()
+            .map(|a| PointAttribution::from_report(config, a)),
     })
 }
 
@@ -493,6 +534,7 @@ mod tests {
                     cores: spec.cores,
                     config: c.clone(),
                     workload: w.clone(),
+                    attribution: false,
                 })
             })
             .collect()
@@ -567,6 +609,44 @@ mod tests {
             assert_eq!(row, rerow, "wire trip changed a derived row");
             assert_eq!(row.p100, row.observed_wcl);
             assert!(row.requests > 0);
+        }
+    }
+
+    #[test]
+    fn attributed_requests_and_measurements_round_trip() {
+        for mut point in points() {
+            point.attribution = true;
+            let wire = point.render().unwrap();
+            assert!(wire.contains("\"attribution\":true"));
+            let back = PointRequest::parse(&wire).unwrap();
+            assert_eq!(back, point);
+            // The flag addresses a different cache slot than the same
+            // point without it.
+            let mut off = point.clone();
+            off.attribution = false;
+            assert_ne!(point.fingerprint(), off.fingerprint());
+            // An attribution-off request never mentions the key.
+            assert!(!off.render().unwrap().contains("attribution"));
+
+            // The worker path: build with attribution, measure, ship.
+            let config = point
+                .config
+                .build(point.cores)
+                .unwrap()
+                .with_attribution(true);
+            let workload = point.workload.spec.build(point.cores);
+            let measured = measure(&config, &workload).unwrap();
+            let attr = measured.attribution.as_ref().expect("attribution was on");
+            // Component totals sum exactly to the total recorded latency.
+            assert_eq!(
+                attr.components.total().as_u64(),
+                measured.latency.total().as_u64()
+            );
+            let shipped = PointMeasurement::parse(&measured.render()).unwrap();
+            assert_eq!(shipped, measured, "attribution wire trip lost data");
+            // The derived grid row carries the attribution along.
+            let row = shipped.to_grid_result("c", "w", &config.memory().label(), 1, None);
+            assert_eq!(row.attribution.as_ref(), Some(attr));
         }
     }
 

@@ -1,8 +1,15 @@
 //! Rendering grid and search results: CSV for plots, JSON for the
 //! benchmark-artifact trajectory.
+//!
+//! The attribution renderers ([`render_attribution_csv`],
+//! [`render_attribution_json`]) are **separate artifacts**: the classic
+//! [`render_csv`] / [`render_json`] outputs never mention attribution
+//! and are byte-identical whether a spec ran with it or not.
+
+use predllc_core::Component;
 
 use crate::grid::GridResult;
-use crate::json::render_string;
+use crate::json::{render_string, Json};
 use crate::search::SearchOutcome;
 
 /// Renders grid rows as CSV, percentiles included.
@@ -30,6 +37,63 @@ pub fn render_csv(rows: &[GridResult]) -> String {
         ));
     }
     out
+}
+
+/// Renders the attribution columns of an attributed grid as CSV: one
+/// line per row that carries attribution (an attribution-off run yields
+/// just the header), with the exact per-component cycle totals, the
+/// witness latency and the signed analytical gap.
+pub fn render_attribution_csv(rows: &[GridResult]) -> String {
+    let mut out = String::from("config,workload");
+    for c in Component::ALL {
+        out.push(',');
+        out.push_str(c.label());
+    }
+    out.push_str(",total,observed_wcl,analytical_wcl,gap\n");
+    for r in rows {
+        let Some(attr) = &r.attribution else { continue };
+        out.push_str(&format!("{},{}", r.config, r.workload));
+        for (_, cycles) in attr.components.iter() {
+            out.push_str(&format!(",{}", cycles.as_u64()));
+        }
+        let (analytical, gap) = match &attr.gap {
+            Some(g) => (g.analytical_wcl.to_string(), g.gap().to_string()),
+            None => (String::new(), String::new()),
+        };
+        out.push_str(&format!(
+            ",{},{},{},{}\n",
+            attr.components.total().as_u64(),
+            r.observed_wcl,
+            analytical,
+            gap,
+        ));
+    }
+    out
+}
+
+/// Renders the attribution of an attributed grid as a JSON document —
+/// the `BENCH_explore_attribution.json` artifact: per point, the
+/// component totals, the full replayable witness and the gap split
+/// (exactly the [`PointAttribution`](crate::PointAttribution) wire
+/// form).
+pub fn render_attribution_json(name: &str, rows: &[GridResult]) -> String {
+    let points = rows
+        .iter()
+        .filter_map(|r| {
+            r.attribution.as_ref().map(|attr| {
+                Json::Object(vec![
+                    ("config".into(), Json::Str(r.config.clone())),
+                    ("workload".into(), Json::Str(r.workload.clone())),
+                    ("attribution".into(), attr.to_json()),
+                ])
+            })
+        })
+        .collect();
+    Json::Object(vec![
+        ("name".into(), Json::Str(name.to_string())),
+        ("points".into(), Json::Array(points)),
+    ])
+    .render()
 }
 
 /// Renders a search outcome as a human-readable table: the winner, then
@@ -162,6 +226,7 @@ mod tests {
             execution_time: 12_345,
             analytical_wcl: Some(5_000),
             row_hit_rate: 0.0,
+            attribution: None,
         }
     }
 
@@ -194,6 +259,50 @@ mod tests {
         let mut no_bound = row();
         no_bound.analytical_wcl = None;
         assert!(render_csv(&[no_bound]).contains(",12345,,0.000"));
+    }
+
+    #[test]
+    fn attribution_artifacts_cover_only_attributed_rows() {
+        use crate::executor::Executor;
+        use crate::grid::run_grid;
+        use crate::spec::ExperimentSpec;
+
+        // Rows without attribution yield header-only artifacts.
+        let empty = render_attribution_csv(&[row()]);
+        assert_eq!(empty.lines().count(), 1);
+        assert!(empty.starts_with(
+            "config,workload,arbitration,writeback,llc_wait,bus,dram_row_hit,\
+             dram_row_empty,dram_row_conflict,dram_flat,total,observed_wcl,\
+             analytical_wcl,gap"
+        ));
+
+        // A real attributed run fills both artifacts, losslessly.
+        let spec = ExperimentSpec::parse(
+            r#"{"name":"a","cores":2,"attribution":true,
+                "configs":[{"partition":{"kind":"shared","sets":1,"ways":4,"mode":"SS"}}],
+                "workloads":[{"kind":"stride","range_bytes":2048,"stride":64,"ops":100}]}"#,
+        )
+        .unwrap();
+        let rows = run_grid(&spec, &Executor::new(1)).unwrap();
+        let csv = render_attribution_csv(&rows);
+        assert_eq!(csv.lines().count(), 2);
+        let attr = rows[0].attribution.as_ref().unwrap();
+        assert!(csv.contains(&format!(",{},", attr.components.total().as_u64())));
+        let gap = attr.gap.as_ref().unwrap();
+        assert!(csv.trim_end().ends_with(&format!(
+            ",{},{},{}",
+            rows[0].observed_wcl,
+            gap.analytical_wcl,
+            gap.gap()
+        )));
+
+        let doc = json::parse(&render_attribution_json("a", &rows)).unwrap();
+        let points = doc.get("points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 1);
+        let back =
+            crate::attribution::PointAttribution::from_json(points[0].get("attribution").unwrap())
+                .unwrap();
+        assert_eq!(&back, attr);
     }
 
     #[test]

@@ -214,6 +214,11 @@ pub struct ExperimentSpec {
     pub tasks: Vec<TaskParams>,
     /// The optional partition search.
     pub search: Option<SearchSpec>,
+    /// Whether every grid point runs with latency attribution (exact
+    /// per-component latency decomposition, WCL witness, gap report).
+    /// Attribution only *reads* the simulation — every existing output
+    /// is bit-identical with it on or off.
+    pub attribution: bool,
 }
 
 impl ExperimentSpec {
@@ -227,7 +232,15 @@ impl ExperimentSpec {
         let doc = json::parse(input)?;
         check_keys(
             &doc,
-            &["name", "cores", "configs", "workloads", "tasks", "search"],
+            &[
+                "name",
+                "cores",
+                "configs",
+                "workloads",
+                "tasks",
+                "search",
+                "attribution",
+            ],
             "spec",
         )?;
         let name = require_str(&doc, "name", "spec")?.to_string();
@@ -279,6 +292,13 @@ impl ExperimentSpec {
             ));
         }
 
+        let attribution = match doc.get("attribution") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| invalid("attribution", "must be a boolean"))?,
+        };
+
         Ok(ExperimentSpec {
             name,
             cores,
@@ -286,6 +306,7 @@ impl ExperimentSpec {
             workloads,
             tasks,
             search,
+            attribution,
         })
     }
 
@@ -678,6 +699,25 @@ mod tests {
         assert_eq!(search.arrangements.len(), 2);
         assert_eq!(search.physical, CacheGeometry::PAPER_L3);
         assert_eq!(search.memory, MemoryConfig::default());
+    }
+
+    #[test]
+    fn attribution_flag_parses_and_defaults_off() {
+        assert!(!ExperimentSpec::parse(FULL).unwrap().attribution);
+        let on = FULL.replacen(
+            "\"name\": \"demo\",",
+            "\"name\": \"demo\", \"attribution\": true,",
+            1,
+        );
+        assert!(ExperimentSpec::parse(&on).unwrap().attribution);
+        // Non-boolean values are rejected with a positioned error.
+        let bad = r#"{"name":"x","cores":2,"configs":[],
+            "workloads":[{"kind":"uniform","range_bytes":64,"ops":1}],
+            "attribution":1}"#;
+        match ExperimentSpec::parse(bad).unwrap_err() {
+            SpecError::Invalid { at, .. } => assert_eq!(at, "attribution"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 
     #[test]

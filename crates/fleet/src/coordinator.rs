@@ -298,7 +298,12 @@ impl Coordinator {
         {
             let cache = self.cache.lock().unwrap();
             for (i, &(ci, wi)) in unique.iter().enumerate() {
-                let fp = point_fingerprint(spec.cores, &spec.configs[ci], &spec.workloads[wi]);
+                let fp = point_fingerprint(
+                    spec.cores,
+                    &spec.configs[ci],
+                    &spec.workloads[wi],
+                    spec.attribution,
+                );
                 match cache.get(&fp) {
                     Some(m) => {
                         results[i] = Some(m.clone());
@@ -407,6 +412,7 @@ impl Coordinator {
                 cores: spec.cores,
                 config: spec.configs[ci].clone(),
                 workload: spec.workloads[wi].clone(),
+                attribution: spec.attribution,
             };
             let wire = match point.render() {
                 Ok(w) => w,

@@ -296,23 +296,38 @@ impl Collector {
             let interval = config.interval;
             thread::Builder::new()
                 .name("obs-collector".to_string())
-                .spawn(move || loop {
-                    let samples = sampler();
-                    store.record(&samples);
-                    if let Some(slo) = &slo {
-                        slo.tick(&store);
-                    }
-                    let (lock, cond) = &*stop;
-                    let mut stopped = lock.lock().unwrap();
-                    while !*stopped {
-                        let (guard, timeout) = cond.wait_timeout(stopped, interval).unwrap();
-                        stopped = guard;
-                        if timeout.timed_out() {
-                            break;
+                .spawn(move || {
+                    // Ticks run on absolute deadlines: a relative sleep
+                    // after each sample would add the sampler's own
+                    // runtime to every step, drifting the series clock
+                    // by (cost × ticks) over a run.
+                    let mut next = Instant::now();
+                    loop {
+                        let samples = sampler();
+                        store.record(&samples);
+                        if let Some(slo) = &slo {
+                            slo.tick(&store);
                         }
-                    }
-                    if *stopped {
-                        return;
+                        next += interval;
+                        if next < Instant::now() {
+                            // The sampler overran the whole interval:
+                            // re-anchor and skip the missed ticks rather
+                            // than firing a burst to catch up.
+                            next = Instant::now();
+                        }
+                        let (lock, cond) = &*stop;
+                        let mut stopped = lock.lock().unwrap();
+                        loop {
+                            if *stopped {
+                                return;
+                            }
+                            let now = Instant::now();
+                            if now >= next {
+                                break;
+                            }
+                            let (guard, _) = cond.wait_timeout(stopped, next - now).unwrap();
+                            stopped = guard;
+                        }
                     }
                 })
                 .expect("spawn obs-collector")
@@ -422,6 +437,48 @@ mod tests {
         assert_eq!(store.keys_matching("m"), vec!["m", "m{worker=\"w0\"}"]);
         assert_eq!(store.keys_matching("m_total"), vec!["m_total"]);
         assert!(store.keys_matching("absent").is_empty());
+    }
+
+    #[test]
+    fn collector_ticks_on_absolute_deadlines_despite_slow_samplers() {
+        // A sampler that costs 3/4 of the interval: with relative
+        // sleeps every step would stretch to interval + cost (~35ms
+        // here); absolute deadlines keep the mean spacing at the
+        // configured interval.
+        let config = CollectorConfig {
+            interval: Duration::from_millis(20),
+            capacity: 600,
+            max_series: 8,
+        };
+        let mut collector = Collector::start(
+            config,
+            || {
+                thread::sleep(Duration::from_millis(15));
+                vec![("drift".to_string(), SampleValue::U64(1))]
+            },
+            None,
+        );
+        let store = collector.store();
+        thread::sleep(Duration::from_millis(800));
+        collector.stop();
+        let (_, histories) = store.history(u64::MAX, 1);
+        let samples = &histories
+            .iter()
+            .find(|h| h.key == "drift")
+            .expect("the collector recorded")
+            .samples;
+        assert!(samples.len() >= 2, "collector barely ticked");
+        let span = samples.last().unwrap().0 - samples.first().unwrap().0;
+        let mean = span as f64 / (samples.len() - 1) as f64;
+        // 30ms splits the regimes: drifting ticks average >= 35ms no
+        // matter the machine, absolute ones hover at 20ms with room
+        // for scheduler noise.
+        assert!(
+            mean < 30.0,
+            "mean tick spacing {mean:.1}ms drifted past the 20ms interval \
+             ({} samples over {span}ms)",
+            samples.len(),
+        );
     }
 
     #[test]

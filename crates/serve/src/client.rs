@@ -505,6 +505,20 @@ impl Client {
             .1)
     }
 
+    /// `GET /v1/experiments/{id}/attribution` — the attribution
+    /// artifact of a finished job that ran with `"attribution": true`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carrying the server's 404 when the
+    /// experiment is unknown **or** ran without attribution, 409 while
+    /// not yet done, or any transport failure.
+    pub fn attribution(&mut self, id: &str) -> Result<String, ClientError> {
+        Ok(self
+            .request("GET", &format!("/v1/experiments/{id}/attribution"), None)?
+            .1)
+    }
+
     /// `POST /v1/points` — have the server simulate (or answer from its
     /// point cache) one grid point.
     ///

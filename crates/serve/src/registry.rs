@@ -81,6 +81,9 @@ pub struct JobResult {
     /// The full report as JSON (`report::render_json`, no wall time so
     /// re-submissions serve byte-identical documents).
     pub json: String,
+    /// The attribution artifact (`report::render_attribution_json`),
+    /// present only when the spec ran with `"attribution": true`.
+    pub attribution: Option<String>,
     /// Unique grid points this job actually simulated.
     pub unique_points: usize,
 }
@@ -665,6 +668,7 @@ mod tests {
         job.finish(JobResult {
             csv: "csv".into(),
             json: "{}".into(),
+            attribution: None,
             unique_points: 1,
         });
         assert_eq!(waiter.join().unwrap(), JobStatus::Done);
@@ -693,6 +697,7 @@ mod tests {
         b.finish(JobResult {
             csv: String::new(),
             json: String::new(),
+            attribution: None,
             unique_points: 1,
         });
         let c = reg.submit(&seeded(3)).unwrap();

@@ -36,11 +36,13 @@ use predllc_obs::{
 };
 
 use predllc_explore::hash::Fingerprint;
-use predllc_explore::report::{render_csv, render_json};
+use predllc_explore::report::{render_attribution_json, render_csv, render_json};
 use predllc_explore::{
     measure, run_spec_observed, run_spec_traced, Executor, ExperimentSpec, GridResult, PointError,
     PointRequest, SearchOutcome,
 };
+
+use predllc_core::ComponentSet;
 
 use crate::http::{read_request, write_response, HttpError, Limits, Request, Response};
 use crate::registry::{Job, JobResult, JobStatus, Metrics, MetricsSnapshot, Registry, SubmitError};
@@ -684,8 +686,17 @@ fn run_jobs(shared: &Shared, rx: &Mutex<mpsc::Receiver<Arc<Job>>>) {
                         &outcome.grid,
                         outcome.search.as_ref(),
                     ),
+                    attribution: job
+                        .spec
+                        .attribution
+                        .then(|| render_attribution_json(&job.spec.name, &outcome.grid)),
                     unique_points: outcome.unique_points,
                 };
+                for row in &outcome.grid {
+                    if let Some(attr) = &row.attribution {
+                        record_component_cycles(metrics, &attr.components);
+                    }
+                }
                 metrics.points_simulated.add(outcome.unique_points as u64);
                 metrics.jobs_running.dec();
                 metrics.jobs_done.inc();
@@ -703,6 +714,25 @@ fn run_jobs(shared: &Shared, rx: &Mutex<mpsc::Receiver<Arc<Job>>>) {
 /// `Duration` → saturated nanoseconds.
 fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Feeds an attributed measurement's exact per-component cycle totals
+/// into the `predllc_latency_component_cycles{component="..."}` counter
+/// family — the scrape/history/dashboard view of "where did my cycles
+/// go". Attribution-off runs never touch the family, so the exposition
+/// is unchanged for them.
+fn record_component_cycles(metrics: &Metrics, components: &ComponentSet) {
+    for (component, cycles) in components.iter() {
+        metrics
+            .registry
+            .counter_with(
+                "predllc_latency_component_cycles",
+                "Exact simulated cycles attributed to each latency component.",
+                "component",
+                component.label(),
+            )
+            .add(cycles.as_u64());
+    }
 }
 
 /// Serves one connection: a keep-alive loop of request → route →
@@ -776,6 +806,7 @@ fn route(shared: &Shared, req: &Request) -> Option<Response> {
         ("POST", ["v1", "experiments"]) => submit(shared, req),
         ("GET", ["v1", "experiments", id]) => status(shared, id),
         ("GET", ["v1", "experiments", id, "results"]) => results(shared, id, req),
+        ("GET", ["v1", "experiments", id, "attribution"]) => attribution_results(shared, id),
         ("GET", ["v1", "jobs", id, "trace"]) => job_trace(shared, id),
         ("POST", ["v1", "points"]) => return point_post(shared, req),
         ("GET", ["v1", "points", fp]) => point_get(shared, fp),
@@ -797,16 +828,32 @@ fn monitor_of(shared: &Shared) -> Result<&MonitorState, Response> {
         .ok_or_else(|| error_response(404, "monitoring is not enabled (set ServerConfig::monitor)"))
 }
 
-/// Parses a non-negative integer query parameter, if present.
-fn query_u64(req: &Request, key: &str) -> Result<Option<u64>, Response> {
+/// A positioned query-string rejection: `{"error": "...", "kind":
+/// "query"}` at `400`, the error message naming the offending
+/// parameter so clients see *which* one was bad.
+fn query_error(key: &str, raw: &str, why: &str) -> Response {
+    Response::json(
+        400,
+        format!(
+            "{{\"error\":{},\"kind\":\"query\"}}",
+            render_string(&format!("query parameter '{key}'={raw}: {why}"))
+        ),
+    )
+}
+
+/// Parses a history query parameter: absent means `default`, anything
+/// explicit must be a positive integer. Zero and non-numeric values are
+/// rejected ([`query_error`]) rather than silently coerced — a
+/// `window=0` or `step=banana` request gets a `400` naming the
+/// parameter, not an empty-looking history.
+fn history_param(req: &Request, key: &str, default: u64) -> Result<u64, Response> {
     match req.query_param(key) {
-        None => Ok(None),
-        Some(raw) => raw.parse::<u64>().map(Some).map_err(|_| {
-            error_response(
-                400,
-                &format!("query parameter '{key}' must be a non-negative integer"),
-            )
-        }),
+        None => Ok(default),
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(0) => Err(query_error(key, raw, "must be a positive integer")),
+            Ok(v) => Ok(v),
+            Err(_) => Err(query_error(key, raw, "must be a positive integer")),
+        },
     }
 }
 
@@ -822,18 +869,20 @@ fn sample_json(v: SampleValue) -> Json {
 /// `GET /v1/metrics/history?window=<ms>&step=<ms>` — every collected
 /// series' samples in the window, downsampled to one per step:
 /// `{"now_ms", "window_ms", "step_ms", "interval_ms", "series":
-/// [{"name", "samples": [[t_ms, value], ...]}, ...]}`.
+/// [{"name", "samples": [[t_ms, value], ...]}, ...]}`. Explicit
+/// `window`/`step` values must be positive integers; zero or
+/// non-numeric gets a positioned `400` ([`history_param`]).
 fn metrics_history(shared: &Shared, req: &Request) -> Response {
     let monitor = match monitor_of(shared) {
         Ok(m) => m,
         Err(resp) => return resp,
     };
-    let window_ms = match query_u64(req, "window") {
-        Ok(w) => w.unwrap_or(300_000),
+    let window_ms = match history_param(req, "window", 300_000) {
+        Ok(w) => w,
         Err(resp) => return resp,
     };
-    let step_ms = match query_u64(req, "step") {
-        Ok(s) => s.unwrap_or(0),
+    let step_ms = match history_param(req, "step", 0) {
+        Ok(s) => s,
         Err(resp) => return resp,
     };
     let (now_ms, histories) = monitor.store.history(window_ms, step_ms);
@@ -917,6 +966,7 @@ fn endpoint_label(req: &Request) -> &'static str {
         ("POST", ["v1", "experiments"]) => "submit",
         ("GET", ["v1", "experiments", _]) => "job_status",
         ("GET", ["v1", "experiments", _, "results"]) => "job_results",
+        ("GET", ["v1", "experiments", _, "attribution"]) => "job_attribution",
         ("GET", ["v1", "jobs", _, "trace"]) => "job_trace",
         ("POST", ["v1", "points"]) => "point_post",
         ("GET", ["v1", "points", _]) => "point_get",
@@ -997,7 +1047,7 @@ fn point_post(shared: &Shared, req: &Request) -> Option<Response> {
         }
         None => {
             let config = match point.config.build(point.cores) {
-                Ok(c) => c,
+                Ok(c) => c.with_attribution(point.attribution),
                 Err(e) => return Some(point_error("config", &e.to_string())),
             };
             let workload = point.workload.spec.build(point.cores);
@@ -1006,6 +1056,9 @@ fn point_post(shared: &Shared, req: &Request) -> Option<Response> {
                 Err(PointError::Config(e)) => return Some(point_error("config", &e.to_string())),
                 Err(PointError::Sim(e)) => return Some(point_error("sim", &e.to_string())),
             };
+            if let Some(attr) = &measurement.attribution {
+                record_component_cycles(metrics, &attr.components);
+            }
             let rendered = measurement.render();
             shared.points.lock().unwrap().insert(fp, rendered.clone());
             metrics.points_simulated.inc();
@@ -1156,6 +1209,39 @@ fn results(shared: &Shared, id: &str, req: &Request) -> Response {
         "csv" => Response::new(200, "text/csv; charset=utf-8", result.csv.clone()),
         "json" => Response::json(200, result.json.clone()),
         other => error_response(400, &format!("unknown format '{other}' (csv or json)")),
+    }
+}
+
+/// `GET /v1/experiments/{id}/attribution` — the cached attribution
+/// artifact (`report::render_attribution_json`). `404` when the job ran
+/// without `"attribution": true`, so callers can distinguish "off" from
+/// "not ready" (`409`) without parsing bodies.
+fn attribution_results(shared: &Shared, id: &str) -> Response {
+    let Some(job) = shared.registry.get(id) else {
+        return error_response(404, "unknown experiment id");
+    };
+    match job.status() {
+        JobStatus::Done => {}
+        JobStatus::Failed => {
+            return error_response(500, &job.error().unwrap_or_else(|| "job failed".into()))
+        }
+        other => {
+            return Response::json(
+                409,
+                format!(
+                    "{{\"error\":\"results not ready\",\"status\":{}}}",
+                    render_string(other.as_str())
+                ),
+            )
+        }
+    }
+    let result = job.result().expect("status was Done");
+    match &result.attribution {
+        Some(doc) => Response::json(200, doc.clone()),
+        None => error_response(
+            404,
+            "attribution is off for this experiment (submit with \"attribution\": true)",
+        ),
     }
 }
 

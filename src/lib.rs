@@ -135,9 +135,9 @@ pub use predllc_bus::{ArbiterPolicy, ScheduleError, TdmSchedule};
 pub use predllc_cache::ReplacementKind;
 pub use predllc_core::analysis;
 pub use predllc_core::{
-    ConfigError, EngineMode, Event, EventKind, EventLog, LatencyHistogram, LatencySummary,
-    PartitionMap, PartitionSpec, RunReport, SharingMode, SimError, Simulator, SystemConfig,
-    SystemConfigBuilder,
+    AttributionReport, Component, ComponentSet, ConfigError, EngineMode, Event, EventKind,
+    EventLog, LatencyHistogram, LatencySummary, PartitionMap, PartitionSpec, RunReport,
+    SharingMode, SimError, Simulator, SystemConfig, SystemConfigBuilder, WclWitness,
 };
 pub use predllc_dram::{
     BankMapping, BankedDram, DramTiming, FixedLatency, MemoryBackend, MemoryConfig, RowOutcome,

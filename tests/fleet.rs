@@ -99,6 +99,41 @@ fn fleet_reports_are_byte_identical_across_fleet_shapes() {
 }
 
 #[test]
+fn witnesses_ship_losslessly_across_the_fleet_wire() {
+    let attributed = SPEC.replacen(
+        "\"name\": \"fleet-e2e\",",
+        "\"name\": \"fleet-e2e\",\n    \"attribution\": true,",
+        1,
+    );
+    let spec = ExperimentSpec::parse(&attributed).unwrap();
+    let local = run_spec(&spec, &Executor::new(1)).unwrap();
+
+    let workers: Vec<_> = (0..2)
+        .map(|_| start_worker(ServerConfig::default()))
+        .collect();
+    let metrics = Arc::new(Metrics::default());
+    let coordinator = coordinator_over(workers.iter().map(|(h, _)| h.addr()), metrics);
+    let report = coordinator.run(&spec, &|_, _| {}).unwrap();
+
+    // Exact structural equality of the whole grid covers attribution:
+    // component sets, witnesses and gap splits crossed the wire as the
+    // integers they are, not approximations of them.
+    assert_eq!(report.grid, local.grid);
+    for row in &report.grid {
+        let attr = row
+            .attribution
+            .as_ref()
+            .expect("every fleet row is attributed");
+        let w = attr.witness.as_ref().expect("every row has a witness");
+        assert_eq!(w.latency.as_u64(), row.observed_wcl);
+        assert_eq!(w.components.total(), w.latency, "witness sum broke");
+    }
+    for (handle, join) in workers {
+        stop_worker(&handle, join);
+    }
+}
+
+#[test]
 fn a_worker_killed_mid_run_does_not_change_the_bytes() {
     let spec = ExperimentSpec::parse(SPEC).unwrap();
     let reference = render_csv(&run_spec(&spec, &Executor::new(1)).unwrap().grid);

@@ -265,6 +265,71 @@ fn monitoring_endpoints_round_trip_over_http() {
 }
 
 #[test]
+fn history_rejects_zero_and_non_numeric_window_and_step() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let (handle, join) = start(ServerConfig {
+        monitor: Some(MonitorConfig::with_interval(Duration::from_millis(25))),
+        ..ServerConfig::default()
+    });
+
+    // Raw TCP, not the typed client: the client can't even express the
+    // malformed query strings this endpoint must reject.
+    let raw_get = |target: &str| -> (u16, String) {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .expect("send request");
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).expect("read reply");
+        let status = reply
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable status line in:\n{reply}"));
+        let body = reply.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    };
+
+    // Zero and non-numeric values are positioned 400s naming the bad
+    // parameter — never silently coerced into a default.
+    for (query, param) in [
+        ("window=0", "window"),
+        ("step=0", "step"),
+        ("window=banana", "window"),
+        ("step=-5", "step"),
+        ("window=1e3", "window"),
+        ("step=2.5", "step"),
+        ("window=0&step=1000", "window"),
+        ("window=60000&step=0", "step"),
+    ] {
+        let (status, body) = raw_get(&format!("/v1/metrics/history?{query}"));
+        assert_eq!(status, 400, "?{query} must be rejected, got:\n{body}");
+        let doc = predllc::explore::json::parse(&body)
+            .unwrap_or_else(|e| panic!("?{query}: unparseable error body {body}: {e:?}"));
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("query"));
+        let message = doc.get("error").and_then(Json::as_str).unwrap().to_string();
+        assert!(
+            message.contains(param),
+            "?{query}: error does not name '{param}': {message}"
+        );
+    }
+
+    // Explicit positive values and bare defaults still answer 200.
+    for query in ["", "?window=60000&step=1000", "?window=1", "?step=1"] {
+        let (status, body) = raw_get(&format!("/v1/metrics/history{query}"));
+        assert_eq!(status, 200, "{query} must succeed, got:\n{body}");
+        let doc = predllc::explore::json::parse(&body).expect("history parses");
+        assert!(doc.get("series").is_some());
+    }
+
+    stop(&handle, join);
+}
+
+#[test]
 fn monitoring_disabled_answers_404() {
     let (handle, join) = start(ServerConfig::default());
     let mut client = Client::new(handle.addr());

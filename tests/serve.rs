@@ -85,6 +85,73 @@ fn served_results_are_byte_identical_to_in_process_runs_at_any_thread_count() {
 }
 
 #[test]
+fn attribution_endpoint_serves_the_artifact_only_when_on() {
+    use predllc::explore::{json, json::Json, PointAttribution};
+
+    let (handle, join) = start(ServerConfig::default());
+    let mut client = Client::new(handle.addr());
+
+    // An attribution-off job answers 404 on the attribution endpoint,
+    // so callers can tell "off" apart from "not ready" (409).
+    let off = client.submit(SPEC).unwrap();
+    client.wait_done(&off.id, Duration::from_secs(120)).unwrap();
+    let off_csv = client.results_csv(&off.id).unwrap();
+    let off_json = client.results_json(&off.id).unwrap();
+    match client.attribution(&off.id) {
+        Err(predllc::serve::ClientError::Status { status: 404, body }) => {
+            assert!(body.contains("attribution"), "{body}");
+        }
+        other => panic!("expected 404 for an attribution-off job, got {other:?}"),
+    }
+    assert!(
+        !client
+            .metrics()
+            .unwrap()
+            .contains("predllc_latency_component_cycles"),
+        "an attribution-off job must not touch the component family"
+    );
+
+    // The same experiment with attribution on is a distinct job (its
+    // own cache slot), serves byte-identical classic results, and the
+    // attribution artifact parses back losslessly with the component
+    // sums intact.
+    let attributed = SPEC.replacen(
+        "\"name\": \"serve-e2e\",",
+        "\"name\": \"serve-e2e\",\n    \"attribution\": true,",
+        1,
+    );
+    let on = client.submit(&attributed).unwrap();
+    assert!(!on.cached, "attribution must not coalesce with the off job");
+    assert_ne!(on.id, off.id);
+    client.wait_done(&on.id, Duration::from_secs(120)).unwrap();
+    assert_eq!(client.results_csv(&on.id).unwrap(), off_csv);
+    assert_eq!(client.results_json(&on.id).unwrap(), off_json);
+
+    // The attributed run also populated the per-component scrape
+    // family (the off job, which ran first, must not have).
+    let scrape = client.metrics().unwrap();
+    assert!(
+        scrape.contains("predllc_latency_component_cycles{component=\"bus\"}"),
+        "no component family in:\n{scrape}"
+    );
+
+    let doc = json::parse(&client.attribution(&on.id).unwrap()).unwrap();
+    assert_eq!(doc.get("name").and_then(Json::as_str), Some("serve-e2e"));
+    let Some(Json::Array(points)) = doc.get("points") else {
+        panic!("attribution artifact has no points array");
+    };
+    assert_eq!(points.len(), 4, "one attribution per grid point");
+    for p in points {
+        let attr = PointAttribution::from_json(p.get("attribution").unwrap()).unwrap();
+        assert!(attr.components.total().as_u64() > 0);
+        let w = attr.witness.expect("every served point has a witness");
+        assert_eq!(w.components.total(), w.latency, "witness sum broke");
+    }
+
+    stop(&handle, join);
+}
+
+#[test]
 fn sequential_resubmission_is_a_cache_hit_with_one_execution() {
     let (handle, join) = start(ServerConfig {
         threads: 2,
@@ -360,6 +427,7 @@ fn point_endpoint_computes_caches_and_positions_errors() {
         cores: spec.cores,
         config: spec.configs[0].clone(),
         workload: spec.workloads[0].clone(),
+        attribution: false,
     };
     let wire = point.render().unwrap();
     let fingerprint = point.fingerprint().to_hex();
@@ -400,6 +468,7 @@ fn point_endpoint_computes_caches_and_positions_errors() {
         cores: bad.cores,
         config: bad.configs[0].clone(),
         workload: bad.workloads[0].clone(),
+        attribution: false,
     }
     .render()
     .unwrap();
