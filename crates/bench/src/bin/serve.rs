@@ -45,7 +45,7 @@ use predllc_bench::monitor::{history_samples, print_alerts};
 use predllc_bench::{error, status};
 use predllc_explore::report::render_csv;
 use predllc_explore::{run_spec, Executor, ExperimentSpec, PointAttribution};
-use predllc_serve::{Client, ClientError, MonitorConfig, Server, ServerConfig};
+use predllc_serve::{Client, ClientError, Format, MonitorConfig, Server, ServerConfig};
 
 fn main() -> ExitCode {
     match run(predllc_bench::log::init(std::env::args().skip(1).collect())) {
@@ -188,7 +188,7 @@ fn attribution_leg(
     reference: &str,
     opts: &SmokeOpts,
 ) -> Result<(), String> {
-    match client.attribution(off_id) {
+    match client.results(off_id, Format::Attribution) {
         Err(ClientError::Status { status: 404, .. }) => {}
         Ok(_) => return Err("attribution endpoint answered for an attribution-off job".into()),
         Err(e) => return Err(format!("attribution probe failed unexpectedly: {e}")),
@@ -201,11 +201,17 @@ fn attribution_leg(
     client
         .wait_done(&on.id, Duration::from_secs(600))
         .map_err(|e| e.to_string())?;
-    let served = client.results_csv(&on.id).map_err(|e| e.to_string())?;
+    let served = client
+        .results(&on.id, Format::Csv)
+        .and_then(|body| body.text())
+        .map_err(|e| e.to_string())?;
     if served != reference {
         return Err("attribution changed the served CSV".into());
     }
-    let artifact = client.attribution(&on.id).map_err(|e| e.to_string())?;
+    let artifact = client
+        .results(&on.id, Format::Attribution)
+        .and_then(|body| body.text())
+        .map_err(|e| e.to_string())?;
     let witnesses = check_attribution_artifact(&artifact)?;
     status!(
         "serve: attribution leg ok — {witnesses} witness(es) served, classic CSV unchanged, \
@@ -287,7 +293,8 @@ fn run_smoke(spec_path: &str, opts: &SmokeOpts, config: ServerConfig) -> Result<
             status.points_total
         );
         let served = client
-            .results_csv(&submitted.id)
+            .results(&submitted.id, Format::Csv)
+            .and_then(|body| body.text())
             .map_err(|e| e.to_string())?;
         if served != reference {
             return Err(format!(

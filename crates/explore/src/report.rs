@@ -12,29 +12,37 @@ use crate::grid::GridResult;
 use crate::json::{render_string, Json};
 use crate::search::SearchOutcome;
 
+/// The CSV header line shared by [`render_csv`] and incremental
+/// renderers (the serve layer streams `CSV_HEADER` + [`csv_row`] per
+/// row, chunked, and must stay byte-identical to the one-shot render).
+pub const CSV_HEADER: &str = "config,workload,backend,x,requests,p50,p90,p99,p100,mean_latency,\
+                              execution_time,analytical_wcl,row_hit_rate\n";
+
+/// One grid row as a CSV line (trailing newline included).
+pub fn csv_row(r: &GridResult) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{:.3},{},{},{:.3}\n",
+        r.config,
+        r.workload,
+        r.backend,
+        r.x,
+        r.requests,
+        r.p50,
+        r.p90,
+        r.p99,
+        r.p100,
+        r.mean_latency,
+        r.execution_time,
+        r.analytical_wcl.map_or(String::new(), |v| v.to_string()),
+        r.row_hit_rate,
+    )
+}
+
 /// Renders grid rows as CSV, percentiles included.
 pub fn render_csv(rows: &[GridResult]) -> String {
-    let mut out = String::from(
-        "config,workload,backend,x,requests,p50,p90,p99,p100,mean_latency,\
-         execution_time,analytical_wcl,row_hit_rate\n",
-    );
+    let mut out = String::from(CSV_HEADER);
     for r in rows {
-        out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{:.3},{},{},{:.3}\n",
-            r.config,
-            r.workload,
-            r.backend,
-            r.x,
-            r.requests,
-            r.p50,
-            r.p90,
-            r.p99,
-            r.p100,
-            r.mean_latency,
-            r.execution_time,
-            r.analytical_wcl.map_or(String::new(), |v| v.to_string()),
-            r.row_hit_rate,
-        ));
+        out.push_str(&csv_row(r));
     }
     out
 }
@@ -140,16 +148,11 @@ pub fn render_search(outcome: &SearchOutcome) -> String {
     out
 }
 
-/// Renders the whole experiment — grid rows, optional search outcome,
-/// run metadata — as a JSON document (the `BENCH_explore.json`
-/// artifact format).
-pub fn render_json(
-    name: &str,
-    threads: usize,
-    wall_ms: Option<u64>,
-    rows: &[GridResult],
-    search: Option<&SearchOutcome>,
-) -> String {
+/// The opening of the JSON report document, up to and including the
+/// `"grid":[` bracket. Incremental renderers emit `json_head` +
+/// comma-joined [`json_row`]s + [`json_tail`]; [`render_json`] is the
+/// same parts concatenated, so both spellings are byte-identical.
+pub fn json_head(name: &str, threads: usize, wall_ms: Option<u64>) -> String {
     let mut out = String::from("{");
     out.push_str(&format!("\"name\":{},", render_string(name)));
     out.push_str(&format!("\"threads\":{threads},"));
@@ -157,31 +160,36 @@ pub fn render_json(
         out.push_str(&format!("\"wall_ms\":{ms},"));
     }
     out.push_str("\"grid\":[");
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"config\":{},\"workload\":{},\"backend\":{},\"x\":{},\"requests\":{},\
-             \"p50\":{},\"p90\":{},\"p99\":{},\"p100\":{},\"mean_latency\":{:.3},\
-             \"execution_time\":{},\"analytical_wcl\":{},\"row_hit_rate\":{:.3}}}",
-            render_string(&r.config),
-            render_string(&r.workload),
-            render_string(&r.backend),
-            r.x,
-            r.requests,
-            r.p50,
-            r.p90,
-            r.p99,
-            r.p100,
-            r.mean_latency,
-            r.execution_time,
-            r.analytical_wcl
-                .map_or("null".to_string(), |v| v.to_string()),
-            r.row_hit_rate,
-        ));
-    }
-    out.push(']');
+    out
+}
+
+/// One grid row as a JSON object (no surrounding separators).
+pub fn json_row(r: &GridResult) -> String {
+    format!(
+        "{{\"config\":{},\"workload\":{},\"backend\":{},\"x\":{},\"requests\":{},\
+         \"p50\":{},\"p90\":{},\"p99\":{},\"p100\":{},\"mean_latency\":{:.3},\
+         \"execution_time\":{},\"analytical_wcl\":{},\"row_hit_rate\":{:.3}}}",
+        render_string(&r.config),
+        render_string(&r.workload),
+        render_string(&r.backend),
+        r.x,
+        r.requests,
+        r.p50,
+        r.p90,
+        r.p99,
+        r.p100,
+        r.mean_latency,
+        r.execution_time,
+        r.analytical_wcl
+            .map_or("null".to_string(), |v| v.to_string()),
+        r.row_hit_rate,
+    )
+}
+
+/// The closing of the JSON report document: the grid `]`, the optional
+/// `"search"` block, and the final `}`.
+pub fn json_tail(search: Option<&SearchOutcome>) -> String {
+    let mut out = String::from("]");
     if let Some(outcome) = search {
         out.push_str(",\"search\":{");
         match &outcome.winner {
@@ -199,6 +207,27 @@ pub fn render_json(
         ));
     }
     out.push('}');
+    out
+}
+
+/// Renders the whole experiment — grid rows, optional search outcome,
+/// run metadata — as a JSON document (the `BENCH_explore.json`
+/// artifact format).
+pub fn render_json(
+    name: &str,
+    threads: usize,
+    wall_ms: Option<u64>,
+    rows: &[GridResult],
+    search: Option<&SearchOutcome>,
+) -> String {
+    let mut out = json_head(name, threads, wall_ms);
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_row(r));
+    }
+    out.push_str(&json_tail(search));
     out
 }
 
@@ -322,6 +351,29 @@ mod tests {
             Some("SS(1,2,4)")
         );
         assert_eq!(search.get("schedulable").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn incremental_parts_recompose_to_the_one_shot_renders() {
+        let rows = vec![row(), row()];
+        let mut csv = String::from(CSV_HEADER);
+        for r in &rows {
+            csv.push_str(&csv_row(r));
+        }
+        assert_eq!(csv, render_csv(&rows));
+
+        let mut json = json_head("demo", 4, Some(12));
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&json_row(r));
+        }
+        json.push_str(&json_tail(Some(&outcome())));
+        assert_eq!(
+            json,
+            render_json("demo", 4, Some(12), &rows, Some(&outcome()))
+        );
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! bounded number of times with capped exponential backoff — every
 //! endpoint is idempotent (content-addressed), so a replay is always
 //! safe.
+//!
+//! Result documents stream: [`Client::results`] hands back a
+//! [`ResultBody`] that decodes the server's chunked transfer encoding
+//! incrementally ([`ResultBody::read_chunk`]), so a large grid never
+//! has to exist in client memory at once — or collapse it with
+//! [`ResultBody::text`] when it comfortably fits.
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -115,6 +121,153 @@ pub struct PointReply {
     pub measurement: Json,
 }
 
+/// Which result document to fetch via [`Client::results`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `GET /v1/experiments/{id}/results?format=csv`.
+    Csv,
+    /// `GET /v1/experiments/{id}/results?format=json`.
+    Json,
+    /// `GET /v1/experiments/{id}/attribution` — present only for jobs
+    /// submitted with `"attribution": true`.
+    Attribution,
+}
+
+impl Format {
+    fn path(self, id: &str) -> String {
+        match self {
+            Format::Csv => format!("/v1/experiments/{id}/results?format=csv"),
+            Format::Json => format!("/v1/experiments/{id}/results?format=json"),
+            Format::Attribution => format!("/v1/experiments/{id}/attribution"),
+        }
+    }
+}
+
+/// How a response body is framed on the wire.
+enum Transfer {
+    /// `content-length: n` — exactly `n` bytes follow the head.
+    Length(usize),
+    /// `transfer-encoding: chunked` — hex-sized chunks until a zero
+    /// chunk.
+    Chunked,
+}
+
+/// One parsed response head; the body is still on the wire.
+struct Head {
+    status: u16,
+    keep_alive: bool,
+    transfer: Transfer,
+}
+
+/// Progress through a streamed response body.
+enum BodyState {
+    /// `remaining` bytes of a content-length body left to read.
+    Length { remaining: usize },
+    /// Inside a chunked body, `remaining` data bytes left in the
+    /// current chunk (0 = next read starts at a chunk header).
+    Chunk { remaining: usize },
+    /// Fully consumed — the connection is clean.
+    Done,
+}
+
+/// An in-flight result body borrowed off a [`Client`].
+///
+/// Pull it incrementally with [`ResultBody::read_chunk`] or collapse
+/// it with [`ResultBody::text`]. Dropping it unfinished abandons the
+/// underlying connection (the unread bytes make it unreusable); the
+/// client transparently reconnects on its next request.
+pub struct ResultBody<'c> {
+    client: &'c mut Client,
+    state: BodyState,
+    keep_alive: bool,
+}
+
+impl ResultBody<'_> {
+    /// The next slab of body bytes, or `None` once the body is fully
+    /// consumed. Slabs are bounded (≤ 16 KiB), so memory stays flat no
+    /// matter how large the result document is.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] / [`ClientError::Protocol`] when the
+    /// transport dies or misframes mid-body; the connection is dropped
+    /// and the body cannot be resumed.
+    pub fn read_chunk(&mut self) -> Result<Option<Vec<u8>>, ClientError> {
+        const SLAB: usize = 16 * 1024;
+        loop {
+            match self.state {
+                BodyState::Done => return Ok(None),
+                BodyState::Length { remaining } => {
+                    if remaining == 0 {
+                        self.finish();
+                        return Ok(None);
+                    }
+                    let take = remaining.min(SLAB);
+                    let mut buf = vec![0u8; take];
+                    self.client.read_body_exact(&mut buf)?;
+                    self.state = BodyState::Length {
+                        remaining: remaining - take,
+                    };
+                    return Ok(Some(buf));
+                }
+                BodyState::Chunk { remaining } => {
+                    if remaining == 0 {
+                        let size = self.client.read_chunk_size()?;
+                        if size == 0 {
+                            self.client.consume_crlf()?;
+                            self.finish();
+                            return Ok(None);
+                        }
+                        self.state = BodyState::Chunk { remaining: size };
+                        continue;
+                    }
+                    let take = remaining.min(SLAB);
+                    let mut buf = vec![0u8; take];
+                    self.client.read_body_exact(&mut buf)?;
+                    let left = remaining - take;
+                    if left == 0 {
+                        self.client.consume_crlf()?;
+                    }
+                    self.state = BodyState::Chunk { remaining: left };
+                    return Ok(Some(buf));
+                }
+            }
+        }
+    }
+
+    /// Reads the remaining body to completion as one UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or a non-UTF-8 body.
+    pub fn text(mut self) -> Result<String, ClientError> {
+        let mut out = Vec::new();
+        while let Some(chunk) = self.read_chunk()? {
+            out.extend_from_slice(&chunk);
+        }
+        String::from_utf8(out).map_err(|_| ClientError::Protocol("non-utf8 body".into()))
+    }
+
+    /// Marks the body consumed and releases (or retires) the
+    /// connection per the response's keep-alive answer.
+    fn finish(&mut self) {
+        self.state = BodyState::Done;
+        if !self.keep_alive {
+            self.client.conn = None;
+        }
+    }
+}
+
+impl Drop for ResultBody<'_> {
+    fn drop(&mut self) {
+        // An unfinished body leaves unread bytes on the stream; the
+        // connection cannot frame another response, so drop it.
+        if !matches!(self.state, BodyState::Done) {
+            self.client.conn = None;
+        }
+    }
+}
+
 /// A blocking client for one service address.
 pub struct Client {
     addr: SocketAddr,
@@ -215,12 +368,34 @@ impl Client {
         }
     }
 
+    /// One full buffered exchange: send, read the head, collapse the
+    /// body (either framing), classify by status.
     fn exchange(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, String), ClientError> {
+        self.send_request(method, path, body)?;
+        let head = self.read_head()?;
+        let body = self.read_full_body(&head)?;
+        if (200..300).contains(&head.status) {
+            Ok((head.status, body))
+        } else {
+            Err(ClientError::Status {
+                status: head.status,
+                body,
+            })
+        }
+    }
+
+    /// Writes one request (connecting lazily first).
+    fn send_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(), ClientError> {
         let addr = self.addr;
         let trace_header = match self.trace {
             Some(trace) => format!("{}: {}\r\n", predllc_obs::TRACE_HEADER, trace.to_hex()),
@@ -237,6 +412,17 @@ impl Client {
             .as_bytes(),
         )?;
         conn.get_mut().flush()?;
+        Ok(())
+    }
+
+    /// Reads one response head: status line plus headers, stopping at
+    /// the blank line. The body (if any) is still on the wire, framed
+    /// per [`Head::transfer`].
+    fn read_head(&mut self) -> Result<Head, ClientError> {
+        let conn = match self.conn.as_mut() {
+            Some(conn) => conn,
+            None => return Err(ClientError::Protocol("no connection to read from".into())),
+        };
 
         // Status line.
         let mut line = String::new();
@@ -256,6 +442,7 @@ impl Client {
 
         // Headers.
         let mut content_length = 0usize;
+        let mut chunked = false;
         let mut keep_alive = true;
         loop {
             let mut header = String::new();
@@ -274,6 +461,9 @@ impl Client {
                             .parse()
                             .map_err(|_| ClientError::Protocol("bad content-length".into()))?;
                     }
+                    "transfer-encoding" => {
+                        chunked = value.trim().eq_ignore_ascii_case("chunked");
+                    }
                     "connection" => {
                         keep_alive = !value.trim().eq_ignore_ascii_case("close");
                     }
@@ -281,20 +471,93 @@ impl Client {
                 }
             }
         }
+        let transfer = if chunked {
+            Transfer::Chunked
+        } else {
+            Transfer::Length(content_length)
+        };
+        Ok(Head {
+            status,
+            keep_alive,
+            transfer,
+        })
+    }
 
-        // Body.
-        let mut body = vec![0u8; content_length];
-        conn.read_exact(&mut body)?;
-        if !keep_alive {
+    /// Collapses a whole response body into one string, decoding the
+    /// chunked transfer encoding when the server streamed it.
+    fn read_full_body(&mut self, head: &Head) -> Result<String, ClientError> {
+        let mut out;
+        match head.transfer {
+            Transfer::Length(n) => {
+                out = vec![0u8; n];
+                self.read_body_exact(&mut out)?;
+            }
+            Transfer::Chunked => {
+                out = Vec::new();
+                loop {
+                    let size = self.read_chunk_size()?;
+                    if size == 0 {
+                        self.consume_crlf()?;
+                        break;
+                    }
+                    let start = out.len();
+                    out.resize(start + size, 0);
+                    self.read_body_exact(&mut out[start..])?;
+                    self.consume_crlf()?;
+                }
+            }
+        }
+        if !head.keep_alive {
             self.conn = None;
         }
-        let body =
-            String::from_utf8(body).map_err(|_| ClientError::Protocol("non-utf8 body".into()))?;
-        if (200..300).contains(&status) {
-            Ok((status, body))
-        } else {
-            Err(ClientError::Status { status, body })
+        String::from_utf8(out).map_err(|_| ClientError::Protocol("non-utf8 body".into()))
+    }
+
+    /// `read_exact` over the live connection, dropping it on failure —
+    /// a half-read body leaves the stream unframed, so it must not be
+    /// reused.
+    fn read_body_exact(&mut self, buf: &mut [u8]) -> Result<(), ClientError> {
+        let result = match self.conn.as_mut() {
+            Some(conn) => conn.read_exact(buf).map_err(ClientError::from),
+            None => Err(ClientError::Protocol("connection lost mid-body".into())),
+        };
+        if result.is_err() {
+            self.conn = None;
         }
+        result
+    }
+
+    /// Reads one `<hex-size>\r\n` chunk header, dropping the connection
+    /// on failure.
+    fn read_chunk_size(&mut self) -> Result<usize, ClientError> {
+        let result = match self.conn.as_mut() {
+            Some(conn) => {
+                let mut line = String::new();
+                match conn.read_line(&mut line) {
+                    Err(e) => Err(ClientError::Io(e)),
+                    Ok(0) => Err(ClientError::Protocol("truncated chunked body".into())),
+                    Ok(_) => usize::from_str_radix(line.trim(), 16)
+                        .map_err(|_| ClientError::Protocol(format!("bad chunk size {line:?}"))),
+                }
+            }
+            None => Err(ClientError::Protocol("connection lost mid-body".into())),
+        };
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Consumes the `\r\n` that terminates a chunk (or the final
+    /// zero-chunk), dropping the connection on failure.
+    fn consume_crlf(&mut self) -> Result<(), ClientError> {
+        let mut crlf = [0u8; 2];
+        self.read_body_exact(&mut crlf)?;
+        if crlf != *b"\r\n" {
+            self.conn = None;
+            return Err(ClientError::Protocol("missing chunk terminator".into()));
+        }
+        Ok(())
     }
 
     fn request_json(
@@ -473,20 +736,78 @@ impl Client {
         }
     }
 
+    /// Opens a finished job's result document as a streamed body.
+    ///
+    /// The server chunk-encodes result documents, rendering them row
+    /// by row; the returned [`ResultBody`] decodes that stream
+    /// incrementally, so neither side materializes the whole grid.
+    /// Transport retries apply to opening the stream (same policy as
+    /// every other request); once bytes flow, a failure surfaces as an
+    /// error from [`ResultBody::read_chunk`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] for 404 (unknown id, or
+    /// [`Format::Attribution`] on a job run without
+    /// `"attribution": true`), 409 while not yet done, 500 for a
+    /// failed job — the error body is fully drained first, keeping the
+    /// connection reusable. Any transport failure.
+    pub fn results(&mut self, id: &str, format: Format) -> Result<ResultBody<'_>, ClientError> {
+        let path = format.path(id);
+        let mut attempts = 0u32;
+        let mut delay = self.backoff;
+        let head = loop {
+            let had_conn = self.conn.is_some();
+            let sent = self
+                .send_request("GET", &path, None)
+                .and_then(|()| self.read_head());
+            match sent {
+                Ok(head) => break head,
+                Err(e @ (ClientError::Io(_) | ClientError::Protocol(_))) => {
+                    self.conn = None;
+                    if had_conn {
+                        continue; // stale keep-alive: free immediate replay
+                    }
+                    if attempts >= self.retries {
+                        return Err(e);
+                    }
+                    attempts += 1;
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Client::BACKOFF_CAP);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        if !(200..300).contains(&head.status) {
+            let body = self.read_full_body(&head)?;
+            return Err(ClientError::Status {
+                status: head.status,
+                body,
+            });
+        }
+        let state = match head.transfer {
+            Transfer::Length(n) => BodyState::Length { remaining: n },
+            Transfer::Chunked => BodyState::Chunk { remaining: 0 },
+        };
+        Ok(ResultBody {
+            keep_alive: head.keep_alive,
+            state,
+            client: self,
+        })
+    }
+
     /// `GET /v1/experiments/{id}/results?format=csv`.
     ///
     /// # Errors
     ///
     /// [`ClientError::Status`] for 404/409/500 answers, or any
     /// transport failure.
+    #[deprecated(
+        since = "0.11.0",
+        note = "use `results(id, Format::Csv)` and stream it, or collapse with `.text()`"
+    )]
     pub fn results_csv(&mut self, id: &str) -> Result<String, ClientError> {
-        Ok(self
-            .request(
-                "GET",
-                &format!("/v1/experiments/{id}/results?format=csv"),
-                None,
-            )?
-            .1)
+        self.results(id, Format::Csv)?.text()
     }
 
     /// `GET /v1/experiments/{id}/results?format=json`.
@@ -495,14 +816,12 @@ impl Client {
     ///
     /// [`ClientError::Status`] for 404/409/500 answers, or any
     /// transport failure.
+    #[deprecated(
+        since = "0.11.0",
+        note = "use `results(id, Format::Json)` and stream it, or collapse with `.text()`"
+    )]
     pub fn results_json(&mut self, id: &str) -> Result<String, ClientError> {
-        Ok(self
-            .request(
-                "GET",
-                &format!("/v1/experiments/{id}/results?format=json"),
-                None,
-            )?
-            .1)
+        self.results(id, Format::Json)?.text()
     }
 
     /// `GET /v1/experiments/{id}/attribution` — the attribution
@@ -513,10 +832,12 @@ impl Client {
     /// [`ClientError::Status`] carrying the server's 404 when the
     /// experiment is unknown **or** ran without attribution, 409 while
     /// not yet done, or any transport failure.
+    #[deprecated(
+        since = "0.11.0",
+        note = "use `results(id, Format::Attribution)` and stream it, or collapse with `.text()`"
+    )]
     pub fn attribution(&mut self, id: &str) -> Result<String, ClientError> {
-        Ok(self
-            .request("GET", &format!("/v1/experiments/{id}/attribution"), None)?
-            .1)
+        self.results(id, Format::Attribution)?.text()
     }
 
     /// `POST /v1/points` — have the server simulate (or answer from its
@@ -624,6 +945,59 @@ mod tests {
         });
         let mut client = Client::new(addr).with_retries(4);
         assert_eq!(client.healthz().unwrap(), "ok\n");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn chunked_bodies_decode_chunk_by_chunk() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 512];
+            let _ = stream.read(&mut buf);
+            stream
+                .write_all(
+                    b"HTTP/1.1 200 OK\r\ncontent-type: text/csv\r\n\
+                      transfer-encoding: chunked\r\nconnection: close\r\n\r\n\
+                      6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n",
+                )
+                .unwrap();
+        });
+        let mut client = Client::new(addr).with_retries(2);
+        let mut body = client.results("x", Format::Csv).unwrap();
+        assert_eq!(body.read_chunk().unwrap().unwrap(), b"hello ");
+        assert_eq!(body.read_chunk().unwrap().unwrap(), b"world");
+        assert!(body.read_chunk().unwrap().is_none());
+        assert!(body.read_chunk().unwrap().is_none(), "Done state is sticky");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn abandoned_stream_poisons_the_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 512];
+            let _ = stream.read(&mut buf);
+            stream
+                .write_all(
+                    b"HTTP/1.1 200 OK\r\ncontent-type: text/csv\r\n\
+                      transfer-encoding: chunked\r\n\r\n\
+                      6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n",
+                )
+                .unwrap();
+        });
+        let mut client = Client::new(addr).with_retries(2);
+        let mut body = client.results("x", Format::Csv).unwrap();
+        // Read one chunk, then abandon mid-body.
+        assert_eq!(body.read_chunk().unwrap().unwrap(), b"hello ");
+        drop(body);
+        assert!(
+            client.conn.is_none(),
+            "an unfinished body must not leave a mis-framed connection behind"
+        );
         server.join().unwrap();
     }
 }

@@ -9,10 +9,18 @@
 //! a deterministic pure function of the spec, the service never runs
 //! the same experiment twice:
 //!
-//! * [`http`] — a bounded HTTP/1.1 request/response layer over
-//!   `std::net` (keep-alive, `Content-Length` framing, hard size
-//!   limits; no external dependencies, same offline constraint as the
-//!   in-tree JSON codec).
+//! * [`http`] — a bounded HTTP/1.1 request/response layer (keep-alive,
+//!   `Content-Length` and chunked framing, hard size limits; no
+//!   external dependencies, same offline constraint as the in-tree
+//!   JSON codec).
+//! * [`handler`] — the dispatch API: a [`Router`] of path patterns to
+//!   [`Handler`]s returning [`Response`]s whose bodies are either
+//!   bytes or a pull-based [`BodyStream`] rendered incrementally.
+//! * [`sys`] (Linux) — raw `epoll`/`eventfd` bindings that power the
+//!   event-driven reactor serving thousands of keep-alive connections
+//!   from a handful of threads; other platforms (and
+//!   [`ServeMode::Blocking`]) use the preserved thread-per-connection
+//!   fallback.
 //! * [`registry`] — content-addressed jobs: a spec's identity is the
 //!   canonical (key-order-insensitive) FNV-1a fingerprint of its parsed
 //!   document, so duplicate submissions — including **concurrent**
@@ -61,7 +69,7 @@
 //! }"#)?;
 //! let status = client.wait_done(&submitted.id, Duration::from_secs(60))?;
 //! assert_eq!(status.status, "done");
-//! let csv = client.results_csv(&submitted.id)?;
+//! let csv = client.results(&submitted.id, predllc_serve::Format::Csv)?.text()?;
 //! assert!(csv.starts_with("config,workload,backend,"));
 //!
 //! // Submitting the same experiment again — any formatting, any key
@@ -77,20 +85,29 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `sys` needs raw syscalls; everything else stays safe, enforced
+// per-module (`deny` here, a scoped `allow` inside `sys`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod api;
 pub mod client;
+pub mod handler;
 pub mod http;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod registry;
 pub mod server;
+#[cfg(target_os = "linux")]
+pub mod sys;
 
-pub use client::{Client, ClientError, PointReply, Status, Submitted};
-pub use http::{Limits, Request, Response};
+pub use client::{Client, ClientError, Format, PointReply, ResultBody, Status, Submitted};
+pub use handler::{Dispatch, Handler, Router};
+pub use http::{Body, BodyStream, Limits, Request, Response};
 pub use registry::{Job, JobResult, JobStatus, Metrics, MetricsSnapshot, Registry, SubmitError};
 pub use server::{
-    default_rules, LocalRunner, MonitorConfig, RunOutcome, Server, ServerConfig, ServerHandle,
-    SpecRunner,
+    default_rules, LocalRunner, MonitorConfig, RunOutcome, ServeMode, Server, ServerConfig,
+    ServerHandle, SpecRunner,
 };
 
 // Re-exported so service users can build specs and reports without

@@ -1,0 +1,848 @@
+//! The event-driven serve mode: a few reactor threads multiplex
+//! thousands of nonblocking connections over `epoll`.
+//!
+//! Topology (see [`serve`]):
+//!
+//! * the **acceptor** (the caller's thread) accepts connections,
+//!   takes a [`ConnTicket`] for each, and round-robins them to the
+//!   reactors through per-reactor inboxes;
+//! * each **reactor** owns an [`Epoll`] instance and a slab of
+//!   connection state machines (read → parse → dispatch → write).
+//!   Light endpoints run inline; heavy ones are queued to the
+//!   [`DispatchPool`], and their connections park in `Dispatching`
+//!   until the worker injects the outcome back;
+//! * the **dispatch pool** is a bounded queue + worker threads. A full
+//!   queue is the backpressure signal: the reactor answers `429` +
+//!   `Retry-After` immediately instead of queueing (shedding by queue
+//!   depth, not connection count).
+//!
+//! Timeout discipline: a connection's idle clock anchors at its last
+//! *completed* activity (accept, response flushed, write progress) —
+//! reading bytes does **not** reset it, so a slow-loris trickle cannot
+//! hold a connection past `idle_timeout`. Connections parked in
+//! `Dispatching` are never reaped (server-side slowness is not client
+//! misbehavior). A stalled reader of a streamed response is bounded to
+//! ~[`LOW_WATER`] buffered bytes and reaped once writes make no
+//! progress for `idle_timeout`.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::api;
+use crate::handler::{Dispatch, Router};
+use crate::http::{
+    encode_chunk, encode_last_chunk, head_bytes, try_parse, write_response, Body, BodyStream,
+    Framing, Parse, Request,
+};
+use crate::server::{register_waker, ConnTicket, ReactorOptions, Shared};
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Refill threshold for streamed bodies: the writer pulls more chunks
+/// only while fewer than this many bytes sit unflushed, so a stalled
+/// reader bounds buffered memory instead of draining the whole body.
+const LOW_WATER: usize = 64 * 1024;
+/// Consumed-prefix size past which the output buffer is compacted.
+const COMPACT: usize = 256 * 1024;
+/// The epoll token of a reactor's wake eventfd (connections start at 1).
+const WAKE: u64 = 0;
+
+/// Work injected into a reactor from another thread (the acceptor or a
+/// dispatch worker); the reactor drains its inbox on every wake.
+enum Injection {
+    /// A freshly accepted connection (already nonblocking + nodelay)
+    /// and its live claim against the connection cap.
+    NewConn(TcpStream, ConnTicket),
+    /// A heavy request's outcome, coming back from the dispatch pool.
+    /// `seq` guards against slot reuse: a stale outcome for a closed
+    /// connection is dropped.
+    Done {
+        token: u64,
+        seq: u64,
+        outcome: Dispatch,
+    },
+}
+
+/// A reactor's cross-thread mailbox: push an [`Injection`], signal the
+/// eventfd, and the parked `epoll_wait` returns.
+struct ReactorShared {
+    inbox: Mutex<Vec<Injection>>,
+    wake: EventFd,
+}
+
+impl ReactorShared {
+    fn new() -> io::Result<ReactorShared> {
+        Ok(ReactorShared {
+            inbox: Mutex::new(Vec::new()),
+            wake: EventFd::new()?,
+        })
+    }
+
+    fn inject(&self, injection: Injection) {
+        self.inbox.lock().unwrap().push(injection);
+        self.wake.signal();
+    }
+}
+
+/// One heavy request in flight on the dispatch pool.
+struct Job {
+    req: Box<Request>,
+    token: u64,
+    seq: u64,
+    reactor: Arc<ReactorShared>,
+}
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded dispatch executor's queue. Depth is the backpressure
+/// signal: [`DispatchPool::try_submit`] refuses once `max` jobs wait,
+/// and the reactor sheds that request with `429`.
+struct DispatchPool {
+    state: Mutex<PoolState>,
+    cond: Condvar,
+    max: usize,
+}
+
+impl DispatchPool {
+    fn new(max: usize) -> DispatchPool {
+        DispatchPool {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            max,
+        }
+    }
+
+    /// Queues a job unless the queue is full (or closed); the rejected
+    /// job comes back so the caller can answer `429` on its connection.
+    fn try_submit(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed || state.jobs.len() >= self.max {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once closed and drained.
+    fn take(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cond.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Where a connection's state machine stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Accumulating request bytes until one parses complete.
+    Reading,
+    /// A heavy request is on the dispatch pool; waiting for its
+    /// [`Injection::Done`].
+    Dispatching,
+    /// Flushing a response (head + body, possibly a pulled stream).
+    Writing,
+}
+
+/// One connection's state, slotted in the reactor's slab.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    /// Holds the connection's claim against `max_connections`; dropping
+    /// the `Conn` releases it however the connection ends.
+    _ticket: ConnTicket,
+    /// Unparsed request bytes.
+    buf: Vec<u8>,
+    /// Rendered-but-unflushed response bytes (`out_pos` consumed).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// The streamed body still being pulled, when the response is
+    /// chunked.
+    stream_body: Option<Box<dyn BodyStream>>,
+    state: State,
+    /// The dispatch sequence number guarding [`Injection::Done`]
+    /// delivery against slot reuse.
+    seq: u64,
+    http11: bool,
+    pending_keep_alive: bool,
+    /// The peer shut down its writing half: deliver the pending
+    /// response, accept no further requests.
+    half_closed: bool,
+    /// Last completed activity (accept / response flushed / write
+    /// progress). Read bytes do not touch it — see the module doc.
+    anchor: Instant,
+    /// Currently registered epoll interest mask.
+    interest: u32,
+}
+
+/// Everything an event handler needs besides the connection itself.
+struct Ctx<'a> {
+    epoll: &'a Epoll,
+    shared: &'a Arc<Shared>,
+    router: &'a Arc<Router>,
+    pool: &'a Arc<DispatchPool>,
+    rshared: &'a Arc<ReactorShared>,
+}
+
+fn set_interest(epoll: &Epoll, conn: &mut Conn, mask: u32) {
+    if conn.interest != mask {
+        let _ = epoll.modify(conn.stream.as_raw_fd(), mask, conn.token);
+        conn.interest = mask;
+    }
+}
+
+enum Fill {
+    /// More bytes may come later.
+    Open,
+    /// Orderly end of the peer's request stream.
+    Eof,
+    /// Transport error; nothing can be delivered.
+    Dead,
+}
+
+/// Drains readable bytes into `conn.buf`.
+fn fill_read(conn: &mut Conn) -> Fill {
+    let mut tmp = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut tmp) {
+            Ok(0) => return Fill::Eof,
+            Ok(n) => conn.buf.extend_from_slice(&tmp[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Fill::Open,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Fill::Dead,
+        }
+    }
+}
+
+enum Pump {
+    /// Everything (including any streamed body) is on the wire.
+    Flushed,
+    /// The socket would block; wait for writability.
+    Parked,
+    /// Transport error.
+    Dead,
+}
+
+/// Writes as much pending output as the socket accepts, pulling more
+/// chunks from a streamed body only while the unflushed backlog is
+/// under [`LOW_WATER`].
+fn pump_write(
+    stream: &mut TcpStream,
+    out: &mut Vec<u8>,
+    out_pos: &mut usize,
+    body: &mut Option<Box<dyn BodyStream>>,
+) -> Pump {
+    loop {
+        while let Some(stream_body) = body.as_mut() {
+            if out.len() - *out_pos >= LOW_WATER {
+                break;
+            }
+            match stream_body.next_chunk() {
+                Some(chunk) => encode_chunk(out, &chunk),
+                None => {
+                    encode_last_chunk(out);
+                    *body = None;
+                }
+            }
+        }
+        if *out_pos >= out.len() && body.is_none() {
+            out.clear();
+            *out_pos = 0;
+            return Pump::Flushed;
+        }
+        match stream.write(&out[*out_pos..]) {
+            Ok(0) => return Pump::Dead,
+            Ok(n) => {
+                *out_pos += n;
+                if *out_pos >= COMPACT {
+                    out.drain(..*out_pos);
+                    *out_pos = 0;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Pump::Parked,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Pump::Dead,
+        }
+    }
+}
+
+enum WriteEnd {
+    /// Response fully flushed, keep-alive: back to `Reading`.
+    BackToReading,
+    /// Parked on writability; the state machine stays in `Writing`.
+    Pending,
+    /// Close the connection (hang-up, error, or keep-alive over).
+    Close,
+}
+
+/// Begins writing a dispatch outcome: renders the head, stages the
+/// body (inline bytes or a pulled stream), and pumps what the socket
+/// will take now.
+fn start_write(ctx: &Ctx<'_>, conn: &mut Conn, outcome: Dispatch) -> WriteEnd {
+    let resp = match outcome {
+        Dispatch::Hangup => return WriteEnd::Close,
+        Dispatch::Reply(resp) => resp,
+    };
+    let keep = conn.pending_keep_alive && !ctx.shared.shutdown.load(Ordering::SeqCst);
+    conn.pending_keep_alive = keep;
+    // HTTP/1.0 peers don't speak chunked framing.
+    let resp = if conn.http11 {
+        resp
+    } else {
+        resp.materialized()
+    };
+    let framing = match &resp.body {
+        Body::Full(bytes) => Framing::Length(bytes.len()),
+        Body::Stream(_) => Framing::Chunked,
+    };
+    conn.out = head_bytes(&resp, framing, keep);
+    conn.out_pos = 0;
+    match resp.body {
+        Body::Full(bytes) => conn.out.extend_from_slice(&bytes),
+        Body::Stream(stream) => conn.stream_body = Some(stream),
+    }
+    conn.state = State::Writing;
+    conn.anchor = Instant::now();
+    drive_write(ctx, conn)
+}
+
+/// Pumps an in-progress `Writing` state and applies the transition.
+fn drive_write(ctx: &Ctx<'_>, conn: &mut Conn) -> WriteEnd {
+    match pump_write(
+        &mut conn.stream,
+        &mut conn.out,
+        &mut conn.out_pos,
+        &mut conn.stream_body,
+    ) {
+        Pump::Dead => WriteEnd::Close,
+        Pump::Parked => {
+            let mask = if conn.half_closed {
+                EPOLLOUT
+            } else {
+                EPOLLOUT | EPOLLRDHUP
+            };
+            set_interest(ctx.epoll, conn, mask);
+            WriteEnd::Pending
+        }
+        Pump::Flushed => {
+            if conn.pending_keep_alive && !conn.half_closed {
+                conn.state = State::Reading;
+                set_interest(ctx.epoll, conn, EPOLLIN | EPOLLRDHUP);
+                conn.anchor = Instant::now();
+                WriteEnd::BackToReading
+            } else {
+                WriteEnd::Close
+            }
+        }
+    }
+}
+
+/// Parses and serves as many buffered requests as possible (keep-alive
+/// pipelining), returning `false` when the connection should close.
+fn process_read(ctx: &Ctx<'_>, conn: &mut Conn, seq: &mut u64) -> bool {
+    loop {
+        if conn.state != State::Reading {
+            return true;
+        }
+        match try_parse(&conn.buf, &ctx.shared.limits) {
+            Parse::Partial => {
+                set_interest(ctx.epoll, conn, EPOLLIN | EPOLLRDHUP);
+                // A half-closed peer sends nothing more: whether the
+                // buffer is empty (keep-alive over) or holds a request
+                // prefix (it can never complete), the connection is
+                // done.
+                return !conn.half_closed;
+            }
+            Parse::Complete(req, consumed) => {
+                conn.buf.drain(..consumed);
+                conn.http11 = req.http11;
+                conn.pending_keep_alive = req.keep_alive;
+                *seq += 1;
+                conn.seq = *seq;
+                let end = if api::is_heavy(ctx.router, &req) {
+                    let job = Job {
+                        req,
+                        token: conn.token,
+                        seq: conn.seq,
+                        reactor: Arc::clone(ctx.rshared),
+                    };
+                    match ctx.pool.try_submit(job) {
+                        Ok(()) => {
+                            conn.state = State::Dispatching;
+                            let mask = if conn.half_closed { 0 } else { EPOLLRDHUP };
+                            set_interest(ctx.epoll, conn, mask);
+                            return true;
+                        }
+                        Err(_rejected) => {
+                            // Shed: queue full. The request counter
+                            // still ticks (a 429 is an answer).
+                            let metrics = &ctx.shared.registry.metrics;
+                            metrics.http_requests.inc();
+                            metrics.requests_shed.inc();
+                            start_write(ctx, conn, Dispatch::Reply(api::backpressure_response(1)))
+                        }
+                    }
+                } else {
+                    let outcome = api::dispatch(ctx.shared, ctx.router, &req);
+                    start_write(ctx, conn, outcome)
+                };
+                match end {
+                    WriteEnd::BackToReading => continue,
+                    WriteEnd::Pending => return true,
+                    WriteEnd::Close => return false,
+                }
+            }
+            Parse::Invalid(e) => {
+                return match api::parse_error_response(&e) {
+                    Some(resp) => {
+                        conn.pending_keep_alive = false;
+                        match start_write(ctx, conn, Dispatch::Reply(resp)) {
+                            WriteEnd::Pending => true,
+                            WriteEnd::BackToReading | WriteEnd::Close => false,
+                        }
+                    }
+                    None => false,
+                };
+            }
+        }
+    }
+}
+
+/// Handles one epoll event for a connection; `false` = close it.
+fn on_event(ctx: &Ctx<'_>, conn: &mut Conn, bits: u32, seq: &mut u64) -> bool {
+    if bits & (EPOLLERR | EPOLLHUP) != 0 {
+        return false;
+    }
+    match conn.state {
+        State::Reading => match fill_read(conn) {
+            Fill::Dead => false,
+            Fill::Open => process_read(ctx, conn, seq),
+            Fill::Eof => {
+                conn.half_closed = true;
+                process_read(ctx, conn, seq)
+            }
+        },
+        State::Dispatching => {
+            if bits & EPOLLRDHUP != 0 {
+                // Note the half-close once, then go quiet (level-
+                // triggered RDHUP would otherwise wake every tick).
+                conn.half_closed = true;
+                set_interest(ctx.epoll, conn, 0);
+            }
+            true
+        }
+        State::Writing => {
+            if bits & EPOLLRDHUP != 0 {
+                conn.half_closed = true;
+            }
+            let before = conn.out_pos;
+            match drive_write(ctx, conn) {
+                WriteEnd::Close => false,
+                WriteEnd::Pending => {
+                    if conn.out_pos != before {
+                        conn.anchor = Instant::now();
+                    }
+                    true
+                }
+                WriteEnd::BackToReading => process_read(ctx, conn, seq),
+            }
+        }
+    }
+}
+
+/// A dispatch outcome arrived for a parked connection.
+fn on_done(ctx: &Ctx<'_>, conn: &mut Conn, outcome: Dispatch, seq: &mut u64) -> bool {
+    match start_write(ctx, conn, outcome) {
+        WriteEnd::Close => false,
+        WriteEnd::Pending => true,
+        WriteEnd::BackToReading => process_read(ctx, conn, seq),
+    }
+}
+
+/// One reactor thread: epoll loop over its slab of connections.
+fn reactor_loop(
+    shared: Arc<Shared>,
+    router: Arc<Router>,
+    pool: Arc<DispatchPool>,
+    rshared: Arc<ReactorShared>,
+) -> io::Result<()> {
+    let epoll = Epoll::new()?;
+    epoll.add(rshared.wake.raw(), EPOLLIN, WAKE)?;
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut live: usize = 0;
+    let mut seq: u64 = 0;
+    let mut events = vec![EpollEvent::zeroed(); 1024];
+    let mut last_sweep = Instant::now();
+
+    let close_conn = |epoll: &Epoll,
+                      conns: &mut Vec<Option<Conn>>,
+                      free: &mut Vec<usize>,
+                      live: &mut usize,
+                      idx: usize| {
+        if let Some(conn) = conns[idx].take() {
+            let _ = epoll.delete(conn.stream.as_raw_fd());
+            free.push(idx);
+            *live -= 1;
+        }
+    };
+
+    loop {
+        let fired = epoll.wait(&mut events, 100)?;
+        if shared.killed.load(Ordering::SeqCst) {
+            // A crashed server drops everything without a goodbye.
+            return Ok(());
+        }
+        rshared.wake.drain();
+        let ctx = Ctx {
+            epoll: &epoll,
+            shared: &shared,
+            router: &router,
+            pool: &pool,
+            rshared: &rshared,
+        };
+
+        let injections = std::mem::take(&mut *rshared.inbox.lock().unwrap());
+        for injection in injections {
+            match injection {
+                Injection::NewConn(stream, ticket) => {
+                    let idx = free.pop().unwrap_or_else(|| {
+                        conns.push(None);
+                        conns.len() - 1
+                    });
+                    let token = idx as u64 + 1;
+                    if epoll
+                        .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+                        .is_err()
+                    {
+                        free.push(idx);
+                        continue; // stream + ticket drop: count stays right
+                    }
+                    conns[idx] = Some(Conn {
+                        stream,
+                        token,
+                        _ticket: ticket,
+                        buf: Vec::new(),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        stream_body: None,
+                        state: State::Reading,
+                        seq: 0,
+                        http11: true,
+                        pending_keep_alive: true,
+                        half_closed: false,
+                        anchor: Instant::now(),
+                        interest: EPOLLIN | EPOLLRDHUP,
+                    });
+                    live += 1;
+                }
+                Injection::Done {
+                    token,
+                    seq: done_seq,
+                    outcome,
+                } => {
+                    let idx = (token - 1) as usize;
+                    let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                        continue; // connection died while dispatched
+                    };
+                    if conn.seq != done_seq || conn.state != State::Dispatching {
+                        continue; // stale outcome for a reused slot
+                    }
+                    if !on_done(&ctx, conn, outcome, &mut seq) {
+                        close_conn(&epoll, &mut conns, &mut free, &mut live, idx);
+                    }
+                }
+            }
+        }
+
+        for ev in events.iter().take(fired) {
+            let ev = *ev; // copy out of the packed slice
+            if ev.data == WAKE {
+                continue;
+            }
+            let idx = (ev.data - 1) as usize;
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue; // already closed this tick
+            };
+            if !on_event(&ctx, conn, ev.events, &mut seq) {
+                close_conn(&epoll, &mut conns, &mut free, &mut live, idx);
+            }
+        }
+
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        if last_sweep.elapsed() >= Duration::from_millis(100) || shutting_down {
+            last_sweep = Instant::now();
+            let idle = shared.idle_timeout;
+            for idx in 0..conns.len() {
+                let reap = match &conns[idx] {
+                    None => false,
+                    // Server-side slowness is not client misbehavior.
+                    Some(conn) if conn.state == State::Dispatching => false,
+                    Some(conn) => {
+                        if shutting_down {
+                            // Idle keep-alive connections close now;
+                            // anything mid-flight gets a short grace.
+                            (conn.state == State::Reading && conn.buf.is_empty())
+                                || conn.anchor.elapsed() >= idle.min(Duration::from_secs(1))
+                        } else {
+                            conn.anchor.elapsed() >= idle
+                        }
+                    }
+                };
+                if reap {
+                    close_conn(&epoll, &mut conns, &mut free, &mut live, idx);
+                }
+            }
+        }
+
+        if shutting_down && live == 0 && rshared.inbox.lock().unwrap().is_empty() {
+            return Ok(());
+        }
+    }
+}
+
+/// A dispatch-pool worker: run heavy requests, inject outcomes back
+/// into the owning reactor.
+fn worker_loop(shared: Arc<Shared>, router: Arc<Router>, pool: Arc<DispatchPool>) {
+    while let Some(job) = pool.take() {
+        let outcome = api::dispatch(&shared, &router, &job.req);
+        job.reactor.inject(Injection::Done {
+            token: job.token,
+            seq: job.seq,
+            outcome,
+        });
+    }
+}
+
+/// Runs the reactor serve mode: spawns reactors and dispatch workers,
+/// then runs the accept loop on the calling thread until shutdown/kill,
+/// and drains everything before returning.
+///
+/// # Errors
+///
+/// Fatal acceptor failures (epoll setup, listener registration).
+pub(crate) fn serve(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    router: Arc<Router>,
+    opts: &ReactorOptions,
+) -> io::Result<()> {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let n_reactors = if opts.reactors == 0 {
+        (cores / 4).max(1)
+    } else {
+        opts.reactors
+    };
+    let n_dispatchers = if opts.dispatchers == 0 {
+        cores.max(2)
+    } else {
+        opts.dispatchers
+    };
+
+    let pool = Arc::new(DispatchPool::new(opts.max_dispatch_queue));
+    let mut reactors = Vec::with_capacity(n_reactors);
+    let mut reactor_threads = Vec::with_capacity(n_reactors);
+    for i in 0..n_reactors {
+        let rshared = Arc::new(ReactorShared::new()?);
+        register_waker(shared, {
+            let rshared = Arc::clone(&rshared);
+            Box::new(move || rshared.wake.signal())
+        });
+        let thread = std::thread::Builder::new()
+            .name(format!("predllc-reactor-{i}"))
+            .spawn({
+                let shared = Arc::clone(shared);
+                let router = Arc::clone(&router);
+                let pool = Arc::clone(&pool);
+                let rshared = Arc::clone(&rshared);
+                move || {
+                    if let Err(e) = reactor_loop(shared, router, pool, rshared) {
+                        eprintln!("predllc-serve: reactor failed: {e}");
+                    }
+                }
+            })?;
+        reactors.push(rshared);
+        reactor_threads.push(thread);
+    }
+    let mut worker_threads = Vec::with_capacity(n_dispatchers);
+    for i in 0..n_dispatchers {
+        worker_threads.push(
+            std::thread::Builder::new()
+                .name(format!("predllc-dispatch-{i}"))
+                .spawn({
+                    let shared = Arc::clone(shared);
+                    let router = Arc::clone(&router);
+                    let pool = Arc::clone(&pool);
+                    move || worker_loop(shared, router, pool)
+                })?,
+        );
+    }
+
+    // The acceptor: nonblocking listener + a wake eventfd on its own
+    // epoll, so shutdown() interrupts a parked wait immediately.
+    listener.set_nonblocking(true)?;
+    let accept_wake = Arc::new(EventFd::new()?);
+    register_waker(shared, {
+        let accept_wake = Arc::clone(&accept_wake);
+        Box::new(move || accept_wake.signal())
+    });
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), EPOLLIN, 0)?;
+    epoll.add(accept_wake.raw(), EPOLLIN, 1)?;
+    let mut events = [EpollEvent::zeroed(); 16];
+    let mut next_reactor = 0usize;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || shared.killed.load(Ordering::SeqCst) {
+            break;
+        }
+        epoll.wait(&mut events, 500)?;
+        accept_wake.drain();
+        loop {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    let ticket = ConnTicket::new(shared);
+                    if ticket.over_capacity() {
+                        // Accepted sockets are blocking (nonblocking is
+                        // not inherited), so this small write is safe
+                        // inline.
+                        let _ = write_response(
+                            &mut stream,
+                            api::error_response(503, "unavailable", "too many connections"),
+                            false,
+                        );
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // stream + ticket drop
+                    }
+                    reactors[next_reactor % reactors.len()]
+                        .inject(Injection::NewConn(stream, ticket));
+                    next_reactor += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("predllc-serve: accept failed: {e}");
+                    break;
+                }
+            }
+        }
+    }
+    // Refuse new connections during the drain, then let the reactors
+    // finish in-flight work (dispatch workers stay up until the
+    // reactors are gone — parked connections need their outcomes).
+    drop(listener);
+    for rshared in &reactors {
+        rshared.wake.signal();
+    }
+    for thread in reactor_threads {
+        let _ = thread.join();
+    }
+    pool.close();
+    for thread in worker_threads {
+        let _ = thread.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A body that never ends: the stalled-reader bound must come from
+    /// the writer's refill discipline, not the body running dry.
+    struct Endless;
+
+    impl BodyStream for Endless {
+        fn next_chunk(&mut self) -> Option<Vec<u8>> {
+            Some(vec![b'x'; 4096])
+        }
+    }
+
+    #[test]
+    fn pump_write_bounds_backlog_when_the_reader_stalls() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let mut out = Vec::new();
+        let mut out_pos = 0usize;
+        let mut body: Option<Box<dyn BodyStream>> = Some(Box::new(Endless));
+        // The peer never reads: the kernel buffer fills, the write
+        // parks — and must park rather than pull the endless body
+        // forever.
+        match pump_write(&mut server_side, &mut out, &mut out_pos, &mut body) {
+            Pump::Parked => {}
+            Pump::Flushed => panic!("an endless body cannot flush"),
+            Pump::Dead => panic!("the socket is healthy"),
+        }
+        assert!(body.is_some(), "the body must not be drained");
+        // Unflushed backlog is bounded by the refill threshold plus at
+        // most one chunk and its framing overhead.
+        let backlog = out.len() - out_pos;
+        assert!(
+            backlog < LOW_WATER + 4096 + 32,
+            "backlog {backlog} exceeds the low-water bound"
+        );
+        drop(peer);
+    }
+
+    #[test]
+    fn dispatch_pool_sheds_past_capacity_and_drains_on_close() {
+        fn job(reactor: &Arc<ReactorShared>, seq: u64) -> Job {
+            Job {
+                req: Box::new(Request {
+                    method: "GET".into(),
+                    path: "/healthz".into(),
+                    query: None,
+                    headers: vec![],
+                    body: vec![],
+                    keep_alive: true,
+                    http11: true,
+                }),
+                token: 1,
+                seq,
+                reactor: Arc::clone(reactor),
+            }
+        }
+        let reactor = Arc::new(ReactorShared::new().unwrap());
+        let pool = DispatchPool::new(1);
+        assert!(pool.try_submit(job(&reactor, 1)).is_ok());
+        // Queue depth 1 is the cap: the next submit is shed.
+        assert!(pool.try_submit(job(&reactor, 2)).is_err());
+        let taken = pool.take().expect("queued job");
+        assert_eq!(taken.seq, 1);
+        // Taking freed the slot.
+        assert!(pool.try_submit(job(&reactor, 3)).is_ok());
+        pool.close();
+        assert_eq!(pool.take().map(|j| j.seq), Some(3));
+        assert!(pool.take().is_none(), "closed and drained");
+        assert!(pool.try_submit(job(&reactor, 4)).is_err(), "closed refuses");
+    }
+}

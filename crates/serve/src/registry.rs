@@ -11,8 +11,13 @@
 //! immediately reads) the same result.
 //!
 //! Simulation is deterministic, so a cached result is exactly what a
-//! re-run would produce; results are rendered once at completion and
-//! served byte-identically forever after. The cache is **bounded**:
+//! re-run would produce; a finished job caches its **grid rows** (not
+//! pre-rendered documents), and the deterministic renderers in
+//! `predllc_explore::report` reproduce byte-identical CSV/JSON from
+//! them on every read — one-shot via [`JobResult::csv`]/[`JobResult::json`]
+//! or incrementally via the `*_stream` constructors, which the serve
+//! layer writes as chunked responses without materializing the whole
+//! document. The cache is **bounded**:
 //! past [`Registry::with_capacity`]'s limit, the oldest *finished* job
 //! is evicted to make room (an evicted experiment simply re-simulates
 //! on its next submission); when every registered job is still queued
@@ -24,8 +29,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use predllc_explore::hash::{canonical_fingerprint, Fingerprint};
-use predllc_explore::{json, unique_point_count, ExperimentSpec, SpecError};
+use predllc_explore::{json, report, unique_point_count, ExperimentSpec, SpecError};
+use predllc_explore::{GridResult, SearchOutcome};
 use predllc_obs::{Counter, Gauge, Registry as MetricRegistry, TimingHistogram};
+
+use crate::http::BodyStream;
 
 /// Why a submission was rejected.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,19 +81,160 @@ impl JobStatus {
     }
 }
 
-/// The rendered, immutable outcome of a finished job.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The immutable outcome of a finished job: the grid rows themselves
+/// plus everything needed to render them.
+///
+/// Rendering is deterministic, so serving re-renders (whole or
+/// streamed) instead of caching document strings — every read of the
+/// same result is byte-identical, and large results never have to
+/// exist in memory as one contiguous body.
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobResult {
-    /// The grid rows as CSV (`report::render_csv`).
-    pub csv: String,
-    /// The full report as JSON (`report::render_json`, no wall time so
-    /// re-submissions serve byte-identical documents).
-    pub json: String,
+    /// The spec's `name`, echoed into the JSON report head.
+    pub name: String,
+    /// The executor thread count label in the JSON report head.
+    pub threads_label: usize,
+    /// The simulated grid rows (shared with streaming bodies).
+    pub grid: Arc<Vec<GridResult>>,
+    /// The partition-search outcome, when the spec ran one.
+    pub search: Option<SearchOutcome>,
     /// The attribution artifact (`report::render_attribution_json`),
     /// present only when the spec ran with `"attribution": true`.
-    pub attribution: Option<String>,
+    /// Pre-rendered (it embeds replayable witnesses, not grid rows)
+    /// and shared with streaming bodies.
+    pub attribution: Option<Arc<String>>,
     /// Unique grid points this job actually simulated.
     pub unique_points: usize,
+}
+
+/// Streamed bodies accumulate roughly this many bytes per chunk.
+const CHUNK_TARGET: usize = 16 << 10;
+
+impl JobResult {
+    /// The grid rows as CSV (`report::render_csv`), rendered on demand.
+    pub fn csv(&self) -> String {
+        report::render_csv(&self.grid)
+    }
+
+    /// The full report as JSON (`report::render_json`, no wall time so
+    /// re-submissions serve byte-identical documents).
+    pub fn json(&self) -> String {
+        report::render_json(
+            &self.name,
+            self.threads_label,
+            None,
+            &self.grid,
+            self.search.as_ref(),
+        )
+    }
+
+    /// A pull-based body streaming exactly the bytes of
+    /// [`JobResult::csv`], a bundle of rows at a time.
+    pub fn csv_stream(&self) -> Box<dyn BodyStream> {
+        Box::new(CsvBody {
+            grid: Arc::clone(&self.grid),
+            next: 0,
+            header_sent: false,
+        })
+    }
+
+    /// A pull-based body streaming exactly the bytes of
+    /// [`JobResult::json`].
+    pub fn json_stream(&self) -> Box<dyn BodyStream> {
+        Box::new(JsonBody {
+            head: Some(report::json_head(&self.name, self.threads_label, None)),
+            grid: Arc::clone(&self.grid),
+            next: 0,
+            tail: Some(report::json_tail(self.search.as_ref())),
+        })
+    }
+
+    /// A pull-based body streaming the attribution artifact, when the
+    /// job ran with attribution.
+    pub fn attribution_stream(&self) -> Option<Box<dyn BodyStream>> {
+        self.attribution.as_ref().map(|text| {
+            Box::new(TextBody {
+                text: Arc::clone(text),
+                pos: 0,
+            }) as Box<dyn BodyStream>
+        })
+    }
+}
+
+/// Streams `CSV_HEADER` + one `csv_row` per grid row, batched.
+struct CsvBody {
+    grid: Arc<Vec<GridResult>>,
+    next: usize,
+    header_sent: bool,
+}
+
+impl BodyStream for CsvBody {
+    fn next_chunk(&mut self) -> Option<Vec<u8>> {
+        let mut out = String::new();
+        if !self.header_sent {
+            out.push_str(report::CSV_HEADER);
+            self.header_sent = true;
+        }
+        while self.next < self.grid.len() && out.len() < CHUNK_TARGET {
+            out.push_str(&report::csv_row(&self.grid[self.next]));
+            self.next += 1;
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out.into_bytes())
+        }
+    }
+}
+
+/// Streams `json_head` + comma-joined `json_row`s + `json_tail`.
+struct JsonBody {
+    head: Option<String>,
+    grid: Arc<Vec<GridResult>>,
+    next: usize,
+    tail: Option<String>,
+}
+
+impl BodyStream for JsonBody {
+    fn next_chunk(&mut self) -> Option<Vec<u8>> {
+        let mut out = self.head.take().unwrap_or_default();
+        while self.next < self.grid.len() && out.len() < CHUNK_TARGET {
+            if self.next > 0 {
+                out.push(',');
+            }
+            out.push_str(&report::json_row(&self.grid[self.next]));
+            self.next += 1;
+        }
+        if self.next == self.grid.len() && out.len() < CHUNK_TARGET {
+            if let Some(tail) = self.tail.take() {
+                out.push_str(&tail);
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out.into_bytes())
+        }
+    }
+}
+
+/// Streams a shared pre-rendered string in bounded slices.
+struct TextBody {
+    text: Arc<String>,
+    pos: usize,
+}
+
+impl BodyStream for TextBody {
+    fn next_chunk(&mut self) -> Option<Vec<u8>> {
+        let bytes = self.text.as_bytes();
+        if self.pos >= bytes.len() {
+            return None;
+        }
+        let end = (self.pos + 4 * CHUNK_TARGET).min(bytes.len());
+        let chunk = bytes[self.pos..end].to_vec();
+        self.pos = end;
+        Some(chunk)
+    }
 }
 
 /// What a job is currently doing (interior of the state mutex).
@@ -238,6 +387,11 @@ pub struct Metrics {
     pub points_simulated: Counter,
     /// HTTP requests served.
     pub http_requests: Counter,
+    /// HTTP connections currently open (accepted and not yet closed).
+    pub connections_open: Gauge,
+    /// Requests shed with `429 Too Many Requests` because the dispatch
+    /// executor queue was full (queue-depth backpressure).
+    pub requests_shed: Counter,
     /// Fleet workers currently believed alive (a gauge: set by the
     /// coordinator, decremented as workers are lost).
     pub workers_alive: Gauge,
@@ -272,6 +426,10 @@ pub struct MetricsSnapshot {
     pub points_simulated: u64,
     /// HTTP requests served.
     pub http_requests: u64,
+    /// HTTP connections currently open.
+    pub connections_open: u64,
+    /// Requests shed by dispatch-queue backpressure.
+    pub requests_shed: u64,
     /// Fleet workers currently believed alive.
     pub workers_alive: u64,
     /// Fleet workers declared lost.
@@ -312,6 +470,14 @@ impl Metrics {
             "Unique grid points simulated (jobs plus the worker point endpoint).",
         );
         let http_requests = registry.counter("predllc_http_requests", "HTTP requests served.");
+        let connections_open = registry.gauge(
+            "predllc_connections_open",
+            "HTTP connections currently open.",
+        );
+        let requests_shed = registry.counter(
+            "predllc_requests_shed",
+            "Requests shed with 429 because the dispatch queue was full.",
+        );
         let workers_alive = registry.gauge(
             "predllc_workers_alive",
             "Fleet workers currently believed alive.",
@@ -342,6 +508,8 @@ impl Metrics {
             cache_misses,
             points_simulated,
             http_requests,
+            connections_open,
+            requests_shed,
             workers_alive,
             workers_lost,
             points_assigned,
@@ -406,6 +574,8 @@ impl Metrics {
             cache_misses: self.cache_misses.get(),
             points_simulated: self.points_simulated.get(),
             http_requests: self.http_requests.get(),
+            connections_open: self.connections_open.get(),
+            requests_shed: self.requests_shed.get(),
             workers_alive: self.workers_alive.get(),
             workers_lost: self.workers_lost.get(),
             points_assigned: self.points_assigned.get(),
@@ -596,6 +766,78 @@ mod tests {
         "workloads": [{"kind": "uniform", "range_bytes": 1024, "ops": 40, "seed": 1}]
     }"#;
 
+    fn empty_result(name: &str) -> JobResult {
+        JobResult {
+            name: name.into(),
+            threads_label: 1,
+            grid: Arc::new(Vec::new()),
+            search: None,
+            attribution: None,
+            unique_points: 1,
+        }
+    }
+
+    fn grid_row(seed: u64) -> GridResult {
+        GridResult {
+            config: format!("SS(1,{seed})"),
+            workload: "u/1KiB".into(),
+            backend: "fixed(30)".into(),
+            x: 1024,
+            requests: 40,
+            p50: 100 + seed,
+            p90: 200,
+            p99: 300,
+            p100: 350,
+            observed_wcl: 350,
+            mean_latency: 123.456,
+            execution_time: 9_999,
+            analytical_wcl: seed.is_multiple_of(2).then_some(4_000),
+            row_hit_rate: 0.25,
+            attribution: None,
+        }
+    }
+
+    #[test]
+    fn streamed_bodies_are_byte_identical_to_one_shot_renders() {
+        let result = JobResult {
+            name: "stream-test".into(),
+            threads_label: 4,
+            grid: Arc::new((0..500).map(grid_row).collect()),
+            search: None,
+            attribution: Some(Arc::new("{\"points\":[]}".repeat(10_000))),
+            unique_points: 500,
+        };
+        let drain = |mut s: Box<dyn BodyStream>| {
+            let mut chunks = 0usize;
+            let mut out = Vec::new();
+            while let Some(chunk) = s.next_chunk() {
+                assert!(!chunk.is_empty(), "streams never yield empty chunks");
+                chunks += 1;
+                out.extend_from_slice(&chunk);
+            }
+            (out, chunks)
+        };
+        let (csv, csv_chunks) = drain(result.csv_stream());
+        assert_eq!(String::from_utf8(csv).unwrap(), result.csv());
+        assert!(csv_chunks > 1, "a large grid must stream in pieces");
+        let (json, json_chunks) = drain(result.json_stream());
+        assert_eq!(String::from_utf8(json).unwrap(), result.json());
+        assert!(json_chunks > 1);
+        let (attr, attr_chunks) = drain(result.attribution_stream().unwrap());
+        assert_eq!(
+            String::from_utf8(attr).unwrap(),
+            *result.attribution.clone().unwrap()
+        );
+        assert!(attr_chunks > 1);
+        // An empty grid still renders the CSV header / JSON skeleton.
+        let empty = empty_result("empty");
+        let (csv, _) = drain(empty.csv_stream());
+        assert_eq!(String::from_utf8(csv).unwrap(), empty.csv());
+        let (json, _) = drain(empty.json_stream());
+        assert_eq!(String::from_utf8(json).unwrap(), empty.json());
+        assert!(empty.attribution_stream().is_none());
+    }
+
     #[test]
     fn duplicate_submissions_coalesce_by_content() {
         let reg = Registry::new();
@@ -665,14 +907,11 @@ mod tests {
             let job = Arc::clone(&job);
             std::thread::spawn(move || job.wait(Duration::from_secs(10)))
         };
-        job.finish(JobResult {
-            csv: "csv".into(),
-            json: "{}".into(),
-            attribution: None,
-            unique_points: 1,
-        });
+        job.finish(empty_result("reg-test"));
         assert_eq!(waiter.join().unwrap(), JobStatus::Done);
-        assert_eq!(job.result().unwrap().csv, "csv");
+        let result = job.result().unwrap();
+        assert_eq!(result.unique_points, 1);
+        assert_eq!(result.csv(), predllc_explore::report::CSV_HEADER);
         assert_eq!(job.error(), None);
     }
 
@@ -694,12 +933,7 @@ mod tests {
         // Finish the *newer* job: eviction must pick it (the oldest
         // finished), not the still-running older one.
         b.start();
-        b.finish(JobResult {
-            csv: String::new(),
-            json: String::new(),
-            attribution: None,
-            unique_points: 1,
-        });
+        b.finish(empty_result("reg-test"));
         let c = reg.submit(&seeded(3)).unwrap();
         assert!(c.fresh);
         assert_eq!(reg.len(), 2);
@@ -743,6 +977,8 @@ mod tests {
             "predllc_cache_misses",
             "predllc_points_simulated",
             "predllc_http_requests",
+            "predllc_connections_open",
+            "predllc_requests_shed",
             "predllc_workers_alive",
             "predllc_workers_lost",
             "predllc_points_assigned",

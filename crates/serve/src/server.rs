@@ -1,11 +1,19 @@
-//! The threaded HTTP server: accept loop, connection handling, routing,
-//! and the job runners that feed the work-stealing experiment executor.
+//! The HTTP server: accept loop, connection driving, and the job
+//! runners that feed the work-stealing experiment executor.
 //!
-//! Concurrency model:
+//! Concurrency model (reactor mode, the default on Linux):
 //!
-//! * one **accept** thread (the caller of [`Server::run`]) hands each
-//!   connection to its own detached thread — connections are cheap,
-//!   requests on them are served sequentially with keep-alive;
+//! * one **acceptor** (the caller of [`Server::run`]) hands each
+//!   accepted connection to one of a few **reactor** event loops; each
+//!   reactor multiplexes thousands of nonblocking connections over
+//!   `epoll`, parsing requests and writing responses as sockets become
+//!   ready;
+//! * **light** endpoints (status lookups, streamed results, metrics)
+//!   run inline on the reactor thread; **heavy** endpoints (submission
+//!   parsing, point simulation, unbounded renders) are queued to a
+//!   bounded **dispatch executor** — when that queue is full the
+//!   reactor sheds the request with `429` + `Retry-After` instead of
+//!   letting latency collapse;
 //! * a small pool of **runner** threads drains the job queue; each job
 //!   runs through the server's [`SpecRunner`] — the local one schedules
 //!   grid points on a shared [`Executor`], a fleet coordinator shards
@@ -20,33 +28,38 @@
 //!   accepted runs to completion (all its grid points) before
 //!   [`Server::run`] returns. [`ServerHandle::kill`] is the opposite —
 //!   an abrupt simulated crash for worker-loss testing.
+//!
+//! [`ServeMode::Blocking`] preserves the PR-9 model — one detached
+//! thread per connection, every endpoint inline — as the portable
+//! fallback. Both modes drive the same internal `api` router, so every
+//! served byte is identical across them.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use predllc_obs::series::registry_samples;
 use predllc_obs::slo::Rule;
 use predllc_obs::{
-    fields, render_jsonl, Collector, CollectorConfig, Compare, Counter, SampleValue, SeriesStore,
-    SloRuntime, TraceCtx, TraceId, Tracer, TRACE_HEADER,
+    fields, Collector, CollectorConfig, Compare, Counter, SeriesStore, SloRuntime, TraceCtx,
+    TraceId, Tracer,
 };
 
 use predllc_explore::hash::Fingerprint;
-use predllc_explore::report::{render_attribution_json, render_csv, render_json};
+use predllc_explore::report::render_attribution_json;
 use predllc_explore::{
-    measure, run_spec_observed, run_spec_traced, Executor, ExperimentSpec, GridResult, PointError,
-    PointRequest, SearchOutcome,
+    run_spec_observed, run_spec_traced, Executor, ExperimentSpec, GridResult, SearchOutcome,
 };
 
 use predllc_core::ComponentSet;
 
-use crate::http::{read_request, write_response, HttpError, Limits, Request, Response};
-use crate::registry::{Job, JobResult, JobStatus, Metrics, MetricsSnapshot, Registry, SubmitError};
-use predllc_explore::json::{render_string, Json};
+use crate::api;
+use crate::handler::{Dispatch, Router};
+use crate::http::{read_request, write_response, HttpError, Limits};
+use crate::registry::{Job, JobResult, Metrics, MetricsSnapshot, Registry};
 
 /// Continuous-monitoring configuration: when set on
 /// [`ServerConfig::monitor`], the server runs an in-process
@@ -107,6 +120,30 @@ pub fn default_rules() -> Vec<Rule> {
     ]
 }
 
+/// How the server drives connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// The epoll reactor on Linux, the blocking fallback elsewhere.
+    Auto,
+    /// The event-driven reactor (Linux only; falls back to blocking on
+    /// other platforms, where the `epoll` bindings don't exist).
+    Reactor,
+    /// One thread per connection, every endpoint inline — the portable
+    /// fallback, and the baseline `serve_perf` compares the reactor
+    /// against.
+    Blocking,
+}
+
+impl ServeMode {
+    /// Whether this mode resolves to the reactor on this platform.
+    fn reactor_effective(self) -> bool {
+        match self {
+            ServeMode::Blocking => false,
+            ServeMode::Reactor | ServeMode::Auto => cfg!(target_os = "linux"),
+        }
+    }
+}
+
 /// Tunables for a server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -118,14 +155,17 @@ pub struct ServerConfig {
     /// HTTP parsing bounds.
     pub limits: Limits,
     /// Per-connection idle read timeout; an idle keep-alive connection
-    /// is closed after this long.
+    /// is closed after this long. In reactor mode this also bounds how
+    /// long a peer may take to deliver one complete request — a
+    /// slow-loris trickle does not reset the clock.
     pub idle_timeout: Duration,
     /// Most jobs the registry caches at once; past this the oldest
     /// finished job is evicted per new submission (see
     /// [`Registry::with_capacity`]).
     pub max_jobs: usize,
     /// Most simultaneously open connections; excess connections are
-    /// answered `503` and closed.
+    /// answered `503` and closed. Connections are cheap in reactor mode
+    /// (no thread each), so the default is high.
     pub max_connections: usize,
     /// Most point measurements the shared point cache holds; past this
     /// the oldest entry is evicted (an evicted point simply
@@ -144,6 +184,18 @@ pub struct ServerConfig {
     /// the dashboard. `None` (the default) disables the collector
     /// thread and the three monitoring endpoints answer `404`.
     pub monitor: Option<MonitorConfig>,
+    /// How connections are driven (see [`ServeMode`]).
+    pub mode: ServeMode,
+    /// Reactor event-loop threads in reactor mode (`0` = auto: one per
+    /// four cores, at least one).
+    pub reactors: usize,
+    /// Dispatch-executor threads running heavy endpoints in reactor
+    /// mode (`0` = auto: one per core, at least two).
+    pub dispatchers: usize,
+    /// Most requests waiting in the dispatch executor's queue; past
+    /// this the reactor sheds new heavy requests with `429` +
+    /// `Retry-After` instead of queueing them.
+    pub max_dispatch_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -154,11 +206,15 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             idle_timeout: Duration::from_secs(30),
             max_jobs: 1024,
-            max_connections: 256,
+            max_connections: 4096,
             max_points: 4096,
             fail_after_points: None,
             tracer: None,
             monitor: None,
+            mode: ServeMode::Auto,
+            reactors: 0,
+            dispatchers: 0,
+            max_dispatch_queue: 1024,
         }
     }
 }
@@ -268,7 +324,7 @@ impl SpecRunner for LocalRunner {
 /// The bounded content-addressed point cache shared by the point
 /// endpoints: fingerprint → rendered measurement JSON (rendered once,
 /// served byte-identically forever).
-struct PointCache {
+pub(crate) struct PointCache {
     by_fp: HashMap<Fingerprint, String>,
     /// Insertion order; eviction drops the oldest entry.
     order: VecDeque<Fingerprint>,
@@ -284,11 +340,11 @@ impl PointCache {
         }
     }
 
-    fn get(&self, fp: &Fingerprint) -> Option<&str> {
+    pub(crate) fn get(&self, fp: &Fingerprint) -> Option<&str> {
         self.by_fp.get(fp).map(String::as_str)
     }
 
-    fn insert(&mut self, fp: Fingerprint, rendered: String) {
+    pub(crate) fn insert(&mut self, fp: Fingerprint, rendered: String) {
         if self.by_fp.contains_key(&fp) {
             return;
         }
@@ -302,76 +358,125 @@ impl PointCache {
     }
 }
 
-/// State shared by the accept loop, connection threads, runners and
-/// handles.
-struct Shared {
-    registry: Registry,
-    runner: Arc<dyn SpecRunner>,
-    shutdown: AtomicBool,
+/// State shared by the acceptor, reactors, dispatch workers, connection
+/// threads, runners and handles.
+pub(crate) struct Shared {
+    pub(crate) registry: Registry,
+    pub(crate) runner: Arc<dyn SpecRunner>,
+    pub(crate) shutdown: AtomicBool,
     /// Set by [`ServerHandle::kill`] or the fault injector: the server
     /// died abruptly — drop connections, drain nothing.
-    killed: AtomicBool,
+    pub(crate) killed: AtomicBool,
     /// Present while the service accepts work; dropped on shutdown so
     /// runner threads drain the queue and exit.
-    queue: Mutex<Option<mpsc::Sender<Arc<Job>>>>,
-    limits: Limits,
-    idle_timeout: Duration,
+    pub(crate) queue: Mutex<Option<mpsc::Sender<Arc<Job>>>>,
+    pub(crate) limits: Limits,
+    pub(crate) idle_timeout: Duration,
     /// Simultaneously open connections, bounded by `max_connections`.
-    connections: std::sync::atomic::AtomicUsize,
-    max_connections: usize,
+    pub(crate) connections: AtomicUsize,
+    pub(crate) max_connections: usize,
     /// Point measurements shared across workers of a fleet.
-    points: Mutex<PointCache>,
+    pub(crate) points: Mutex<PointCache>,
     /// See [`ServerConfig::fail_after_points`].
-    fail_after_points: Option<u64>,
+    pub(crate) fail_after_points: Option<u64>,
     /// Point requests answered successfully (the fault injector's
     /// odometer).
-    points_answered: AtomicU64,
+    pub(crate) points_answered: AtomicU64,
     /// Where request/job/point spans are recorded.
-    tracer: Arc<Tracer>,
+    pub(crate) tracer: Arc<Tracer>,
     /// Mirror of [`Tracer::dropped`] so ring overflow is visible on
     /// `/metrics`; refreshed before every render and collector tick.
-    trace_dropped: Counter,
+    pub(crate) trace_dropped: Counter,
     /// The continuous-monitoring state, when configured.
-    monitor: Option<MonitorState>,
+    pub(crate) monitor: Option<MonitorState>,
     /// Our own bound address, to wake the accept loop on kill.
-    addr: SocketAddr,
+    pub(crate) addr: SocketAddr,
+    /// Callbacks that nudge parked event loops (reactors blocked in
+    /// `epoll_wait`, the acceptor) so they observe the shutdown/killed
+    /// flags promptly.
+    pub(crate) wakers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
 }
 
 /// The running monitor: the collector's store and SLO runtime (shared
 /// with the endpoints) plus the collector handle itself, parked here
 /// so [`Server::run`] can stop the thread on exit.
-struct MonitorState {
-    store: Arc<SeriesStore>,
-    slo: Arc<SloRuntime>,
-    collector: Mutex<Option<Collector>>,
-    interval_ms: u64,
+pub(crate) struct MonitorState {
+    pub(crate) store: Arc<SeriesStore>,
+    pub(crate) slo: Arc<SloRuntime>,
+    pub(crate) collector: Mutex<Option<Collector>>,
+    pub(crate) interval_ms: u64,
 }
 
 /// Refreshes the `predllc_trace_dropped_total` mirror from the tracer.
-fn refresh_trace_dropped(shared: &Shared) {
+pub(crate) fn refresh_trace_dropped(shared: &Shared) {
     shared.trace_dropped.set(shared.tracer.dropped());
 }
 
+/// Registers a callback invoked on shutdown and kill, so event loops
+/// parked in `epoll_wait` wake and observe the flags.
+pub(crate) fn register_waker(shared: &Shared, waker: Box<dyn Fn() + Send + Sync>) {
+    shared.wakers.lock().unwrap().push(waker);
+}
+
+/// Nudges every registered event loop.
+pub(crate) fn wake_all(shared: &Shared) {
+    for waker in shared.wakers.lock().unwrap().iter() {
+        waker();
+    }
+}
+
 /// Simulates an abrupt crash: stop accepting, close the job queue, wake
-/// the accept loop. Idempotent.
-fn kill_shared(shared: &Shared) {
+/// the accept loop and every reactor. Idempotent.
+pub(crate) fn kill_shared(shared: &Shared) {
     if shared.killed.swap(true, Ordering::SeqCst) {
         return;
     }
     shared.queue.lock().unwrap().take();
+    wake_all(shared);
     let _ = TcpStream::connect(shared.addr);
 }
 
-/// Decrements the live-connection count however the connection thread
-/// exits.
-struct ConnectionGuard<'a>(&'a Shared);
+/// One open connection's claim against `max_connections`: counts
+/// itself in on construction (connection counter and the
+/// `predllc_connections_open` gauge), counts itself out on drop.
+///
+/// Constructed by the *acceptor* before the connection is handed to a
+/// thread or reactor, so the count stays exact however the connection
+/// ends — clean close, error, or handler panic.
+pub(crate) struct ConnTicket {
+    shared: Arc<Shared>,
+}
 
-impl Drop for ConnectionGuard<'_> {
-    fn drop(&mut self) {
-        self.0
-            .connections
-            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+impl ConnTicket {
+    pub(crate) fn new(shared: &Arc<Shared>) -> ConnTicket {
+        shared.connections.fetch_add(1, Ordering::SeqCst);
+        shared.registry.metrics.connections_open.inc();
+        ConnTicket {
+            shared: Arc::clone(shared),
+        }
     }
+
+    /// Whether admitting this connection exceeded the configured cap
+    /// (the acceptor answers `503` and drops the ticket).
+    pub(crate) fn over_capacity(&self) -> bool {
+        self.shared.connections.load(Ordering::SeqCst) > self.shared.max_connections
+    }
+}
+
+impl Drop for ConnTicket {
+    fn drop(&mut self) {
+        self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+        self.shared.registry.metrics.connections_open.dec();
+    }
+}
+
+/// Resolved reactor-mode tunables handed to the reactor.
+#[derive(Debug, Clone)]
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+pub(crate) struct ReactorOptions {
+    pub(crate) reactors: usize,
+    pub(crate) dispatchers: usize,
+    pub(crate) max_dispatch_queue: usize,
 }
 
 /// A running experiment service bound to a TCP address.
@@ -381,6 +486,8 @@ pub struct Server {
     shared: Arc<Shared>,
     queue_rx: mpsc::Receiver<Arc<Job>>,
     runners: usize,
+    mode: ServeMode,
+    reactor: ReactorOptions,
 }
 
 /// A cloneable handle for talking to a running server from other
@@ -468,7 +575,7 @@ impl Server {
             queue: Mutex::new(Some(tx)),
             limits: config.limits,
             idle_timeout: config.idle_timeout,
-            connections: std::sync::atomic::AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
             max_connections: config.max_connections.max(1),
             points: Mutex::new(PointCache::new(config.max_points)),
             fail_after_points: config.fail_after_points,
@@ -477,6 +584,7 @@ impl Server {
             trace_dropped,
             monitor,
             addr,
+            wakers: Mutex::new(Vec::new()),
         });
         Ok(Server {
             listener,
@@ -484,6 +592,12 @@ impl Server {
             shared,
             queue_rx: rx,
             runners: config.runners.max(1),
+            mode: config.mode,
+            reactor: ReactorOptions {
+                reactors: config.reactors,
+                dispatchers: config.dispatchers,
+                max_dispatch_queue: config.max_dispatch_queue.max(1),
+            },
         })
     }
 
@@ -518,40 +632,21 @@ impl Server {
             runner_handles.push(std::thread::spawn(move || run_jobs(&shared, &rx)));
         }
 
-        for conn in self.listener.incoming() {
-            if self.shared.shutdown.load(Ordering::SeqCst)
-                || self.shared.killed.load(Ordering::SeqCst)
+        let router = Arc::new(api::build_router(&self.shared));
+        let served = if self.mode.reactor_effective() {
+            #[cfg(target_os = "linux")]
             {
-                break;
+                crate::reactor::serve(self.listener, &self.shared, router, &self.reactor)
             }
-            match conn {
-                Ok(mut stream) => {
-                    // Bound the connection-thread count: over the cap,
-                    // answer 503 inline and close instead of spawning.
-                    let live = self
-                        .shared
-                        .connections
-                        .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if live >= self.shared.max_connections {
-                        self.shared
-                            .connections
-                            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
-                        let _ = write_response(
-                            &mut stream,
-                            &error_response(503, "too many connections"),
-                            false,
-                        );
-                        continue;
-                    }
-                    let shared = Arc::clone(&self.shared);
-                    std::thread::spawn(move || {
-                        let _guard = ConnectionGuard(&shared);
-                        serve_connection(&shared, stream);
-                    });
-                }
-                Err(e) => eprintln!("predllc-serve: accept failed: {e}"),
+            #[cfg(not(target_os = "linux"))]
+            {
+                unreachable!("reactor mode never resolves off Linux")
             }
-        }
+        } else {
+            serve_blocking(&self.listener, &self.shared, &router);
+            Ok(())
+        };
+
         // Drain: joining the runners waits for every accepted job.
         for h in runner_handles {
             let _ = h.join();
@@ -560,7 +655,37 @@ impl Server {
         if let Some(monitor) = &self.shared.monitor {
             monitor.collector.lock().unwrap().take();
         }
-        Ok(())
+        served
+    }
+}
+
+/// The blocking accept loop: one detached thread per admitted
+/// connection.
+fn serve_blocking(listener: &TcpListener, shared: &Arc<Shared>, router: &Arc<Router>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) || shared.killed.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(mut stream) => {
+                // The ticket is taken on the acceptor, not inside the
+                // spawned thread, so the connection count stays exact
+                // even when a handler panics the thread.
+                let ticket = ConnTicket::new(shared);
+                if ticket.over_capacity() {
+                    let _ = write_response(
+                        &mut stream,
+                        api::error_response(503, "unavailable", "too many connections"),
+                        false,
+                    );
+                    continue;
+                }
+                let shared = Arc::clone(shared);
+                let router = Arc::clone(router);
+                std::thread::spawn(move || serve_connection(&shared, &router, ticket, stream));
+            }
+            Err(e) => eprintln!("predllc-serve: accept failed: {e}"),
+        }
     }
 }
 
@@ -578,7 +703,9 @@ impl ServerHandle {
         }
         // Closing the queue lets runner threads exit once drained.
         self.shared.queue.lock().unwrap().take();
-        // Wake the accept loop so it observes the flag.
+        // Wake parked reactors, then the accept loop, so both observe
+        // the flag.
+        wake_all(&self.shared);
         let _ = TcpStream::connect(self.addr);
     }
 
@@ -630,7 +757,7 @@ impl ServerHandle {
 }
 
 /// The runner loop: take jobs until the queue closes, run each through
-/// the server's [`SpecRunner`], cache rendered results.
+/// the server's [`SpecRunner`], park the grid in the registry.
 fn run_jobs(shared: &Shared, rx: &Mutex<mpsc::Receiver<Arc<Job>>>) {
     loop {
         // Hold the receiver lock only while waiting for the next job so
@@ -674,30 +801,28 @@ fn run_jobs(shared: &Shared, rx: &Mutex<mpsc::Receiver<Arc<Job>>>) {
         };
         match outcome {
             Ok(outcome) => {
-                // Rendered once; every later fetch serves these bytes.
-                // No wall time in the JSON, so identical submissions
-                // yield identical documents.
-                let result = JobResult {
-                    csv: render_csv(&outcome.grid),
-                    json: render_json(
-                        &job.spec.name,
-                        shared.runner.threads_label(),
-                        None,
-                        &outcome.grid,
-                        outcome.search.as_ref(),
-                    ),
-                    attribution: job
-                        .spec
-                        .attribution
-                        .then(|| render_attribution_json(&job.spec.name, &outcome.grid)),
-                    unique_points: outcome.unique_points,
-                };
+                // The grid rows themselves are what the registry caches;
+                // result documents render lazily, chunk by chunk, when a
+                // client asks — identical submissions still yield
+                // identical documents (no wall time in the JSON).
                 for row in &outcome.grid {
                     if let Some(attr) = &row.attribution {
                         record_component_cycles(metrics, &attr.components);
                     }
                 }
-                metrics.points_simulated.add(outcome.unique_points as u64);
+                let attribution = job
+                    .spec
+                    .attribution
+                    .then(|| Arc::new(render_attribution_json(&job.spec.name, &outcome.grid)));
+                let result = JobResult {
+                    name: job.spec.name.clone(),
+                    threads_label: shared.runner.threads_label(),
+                    grid: Arc::new(outcome.grid),
+                    search: outcome.search,
+                    attribution,
+                    unique_points: outcome.unique_points,
+                };
+                metrics.points_simulated.add(result.unique_points as u64);
                 metrics.jobs_running.dec();
                 metrics.jobs_done.inc();
                 job.finish(result);
@@ -721,7 +846,7 @@ fn duration_ns(d: Duration) -> u64 {
 /// family — the scrape/history/dashboard view of "where did my cycles
 /// go". Attribution-off runs never touch the family, so the exposition
 /// is unchanged for them.
-fn record_component_cycles(metrics: &Metrics, components: &ComponentSet) {
+pub(crate) fn record_component_cycles(metrics: &Metrics, components: &ComponentSet) {
     for (component, cycles) in components.iter() {
         metrics
             .registry
@@ -735,10 +860,12 @@ fn record_component_cycles(metrics: &Metrics, components: &ComponentSet) {
     }
 }
 
-/// Serves one connection: a keep-alive loop of request → route →
-/// response.
-fn serve_connection(shared: &Shared, stream: TcpStream) {
+/// Serves one connection in blocking mode: a keep-alive loop of
+/// request → dispatch → response, everything inline on this thread.
+fn serve_connection(shared: &Shared, router: &Router, ticket: ConnTicket, stream: TcpStream) {
+    let _ticket = ticket;
     let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+    let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -749,506 +876,37 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             Ok(Some(req)) => req,
             Ok(None) => return,              // clean close between requests
             Err(HttpError::Io(_)) => return, // peer gone or idle timeout
-            Err(HttpError::TooLarge(what)) => {
-                let status = if what == "body" { 413 } else { 431 };
-                let _ = write_response(&mut writer, &error_response(status, what), false);
-                return;
-            }
-            Err(HttpError::Malformed(what)) => {
-                let _ = write_response(&mut writer, &error_response(400, what), false);
+            Err(e) => {
+                if let Some(resp) = api::parse_error_response(&e) {
+                    let _ = write_response(&mut writer, resp, false);
+                }
                 return;
             }
         };
-        if shared.killed.load(Ordering::SeqCst) {
-            return; // a crashed server answers nothing
-        }
-        shared.registry.metrics.http_requests.inc();
-        let started = Instant::now();
-        let Some(response) = route(shared, &request) else {
-            return; // the fault injector tripped mid-response
-        };
-        shared
-            .registry
-            .metrics
-            .endpoint_latency(endpoint_label(&request))
-            .record(started.elapsed());
-        let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
-        if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
-            return;
-        }
-    }
-}
-
-/// A JSON error body: `{"error": "..."}`.
-fn error_response(status: u16, message: &str) -> Response {
-    Response::json(status, format!("{{\"error\":{}}}", render_string(message)))
-}
-
-/// Routes one request to its endpoint. `None` means the fault injector
-/// tripped: the connection dies with no response, like a real crash.
-fn route(shared: &Shared, req: &Request) -> Option<Response> {
-    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    Some(match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Response::text("ok\n"),
-        // The exposition content type Prometheus scrapers negotiate on;
-        // `Metrics::render` guarantees the trailing newline.
-        ("GET", ["metrics"]) => {
-            refresh_trace_dropped(shared);
-            Response::new(
-                200,
-                "text/plain; version=0.0.4",
-                shared.registry.metrics.render(),
-            )
-        }
-        ("GET", ["v1", "metrics", "history"]) => metrics_history(shared, req),
-        ("GET", ["v1", "alerts"]) => alerts(shared),
-        ("GET", ["dashboard"]) => dashboard(shared),
-        ("POST", ["v1", "experiments"]) => submit(shared, req),
-        ("GET", ["v1", "experiments", id]) => status(shared, id),
-        ("GET", ["v1", "experiments", id, "results"]) => results(shared, id, req),
-        ("GET", ["v1", "experiments", id, "attribution"]) => attribution_results(shared, id),
-        ("GET", ["v1", "jobs", id, "trace"]) => job_trace(shared, id),
-        ("POST", ["v1", "points"]) => return point_post(shared, req),
-        ("GET", ["v1", "points", fp]) => point_get(shared, fp),
-        (_, ["healthz" | "metrics" | "dashboard"])
-        | (_, ["v1", "experiments", ..])
-        | (_, ["v1", "jobs", ..])
-        | (_, ["v1", "points", ..])
-        | (_, ["v1", "metrics", ..])
-        | (_, ["v1", "alerts"]) => error_response(405, "method not allowed"),
-        _ => error_response(404, "no such endpoint"),
-    })
-}
-
-/// The configured monitor, or the `404` explaining how to enable it.
-fn monitor_of(shared: &Shared) -> Result<&MonitorState, Response> {
-    shared
-        .monitor
-        .as_ref()
-        .ok_or_else(|| error_response(404, "monitoring is not enabled (set ServerConfig::monitor)"))
-}
-
-/// A positioned query-string rejection: `{"error": "...", "kind":
-/// "query"}` at `400`, the error message naming the offending
-/// parameter so clients see *which* one was bad.
-fn query_error(key: &str, raw: &str, why: &str) -> Response {
-    Response::json(
-        400,
-        format!(
-            "{{\"error\":{},\"kind\":\"query\"}}",
-            render_string(&format!("query parameter '{key}'={raw}: {why}"))
-        ),
-    )
-}
-
-/// Parses a history query parameter: absent means `default`, anything
-/// explicit must be a positive integer. Zero and non-numeric values are
-/// rejected ([`query_error`]) rather than silently coerced — a
-/// `window=0` or `step=banana` request gets a `400` naming the
-/// parameter, not an empty-looking history.
-fn history_param(req: &Request, key: &str, default: u64) -> Result<u64, Response> {
-    match req.query_param(key) {
-        None => Ok(default),
-        Some(raw) => match raw.parse::<u64>() {
-            Ok(0) => Err(query_error(key, raw, "must be a positive integer")),
-            Ok(v) => Ok(v),
-            Err(_) => Err(query_error(key, raw, "must be a positive integer")),
-        },
-    }
-}
-
-/// Converts a collected sample value to JSON (exact integers stay
-/// integers).
-fn sample_json(v: SampleValue) -> Json {
-    match v {
-        SampleValue::U64(v) => Json::UInt(v),
-        SampleValue::F64(f) => Json::Float(f),
-    }
-}
-
-/// `GET /v1/metrics/history?window=<ms>&step=<ms>` — every collected
-/// series' samples in the window, downsampled to one per step:
-/// `{"now_ms", "window_ms", "step_ms", "interval_ms", "series":
-/// [{"name", "samples": [[t_ms, value], ...]}, ...]}`. Explicit
-/// `window`/`step` values must be positive integers; zero or
-/// non-numeric gets a positioned `400` ([`history_param`]).
-fn metrics_history(shared: &Shared, req: &Request) -> Response {
-    let monitor = match monitor_of(shared) {
-        Ok(m) => m,
-        Err(resp) => return resp,
-    };
-    let window_ms = match history_param(req, "window", 300_000) {
-        Ok(w) => w,
-        Err(resp) => return resp,
-    };
-    let step_ms = match history_param(req, "step", 0) {
-        Ok(s) => s,
-        Err(resp) => return resp,
-    };
-    let (now_ms, histories) = monitor.store.history(window_ms, step_ms);
-    let series: Vec<Json> = histories
-        .into_iter()
-        .map(|h| {
-            let samples: Vec<Json> = h
-                .samples
-                .into_iter()
-                .map(|(t, v)| Json::Array(vec![Json::UInt(t), sample_json(v)]))
-                .collect();
-            Json::Object(vec![
-                ("name".to_string(), Json::Str(h.key)),
-                ("samples".to_string(), Json::Array(samples)),
-            ])
-        })
-        .collect();
-    let body = Json::Object(vec![
-        ("now_ms".to_string(), Json::UInt(now_ms)),
-        ("window_ms".to_string(), Json::UInt(window_ms)),
-        ("step_ms".to_string(), Json::UInt(step_ms.max(1))),
-        ("interval_ms".to_string(), Json::UInt(monitor.interval_ms)),
-        ("series".to_string(), Json::Array(series)),
-    ]);
-    Response::json(200, body.render())
-}
-
-/// `GET /v1/alerts` — every SLO rule's state with since-timestamps:
-/// `{"now_ms", "firing", "alerts": [{"rule", "series", "state",
-/// "since_ms", "value"}, ...]}`.
-fn alerts(shared: &Shared) -> Response {
-    let monitor = match monitor_of(shared) {
-        Ok(m) => m,
-        Err(resp) => return resp,
-    };
-    let statuses = monitor.slo.statuses();
-    let alerts: Vec<Json> = statuses
-        .iter()
-        .map(|a| {
-            Json::Object(vec![
-                ("rule".to_string(), Json::Str(a.rule.clone())),
-                ("series".to_string(), Json::Str(a.series.clone())),
-                ("state".to_string(), Json::Str(a.state.as_str().to_string())),
-                ("since_ms".to_string(), Json::UInt(a.since_ms)),
-                ("value".to_string(), a.value.map_or(Json::Null, Json::Float)),
-            ])
-        })
-        .collect();
-    let body = Json::Object(vec![
-        ("now_ms".to_string(), Json::UInt(monitor.store.now_ms())),
-        ("firing".to_string(), Json::UInt(monitor.slo.firing())),
-        ("alerts".to_string(), Json::Array(alerts)),
-    ]);
-    Response::json(200, body.render())
-}
-
-/// `GET /dashboard` — the self-contained HTML dashboard over the full
-/// collected window.
-fn dashboard(shared: &Shared) -> Response {
-    let monitor = match monitor_of(shared) {
-        Ok(m) => m,
-        Err(resp) => return resp,
-    };
-    let (now_ms, histories) = monitor.store.history(u64::MAX, 0);
-    let statuses = monitor.slo.statuses();
-    let title = format!("predllc · {}", shared.addr);
-    let html = predllc_obs::dash::render_dashboard(&title, now_ms, &histories, &statuses);
-    Response::new(200, "text/html; charset=utf-8", html)
-}
-
-/// The low-cardinality label `/metrics` buckets request latencies
-/// under — one per endpoint, never per id.
-fn endpoint_label(req: &Request) -> &'static str {
-    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => "healthz",
-        ("GET", ["metrics"]) => "metrics",
-        ("GET", ["v1", "metrics", "history"]) => "metrics_history",
-        ("GET", ["v1", "alerts"]) => "alerts",
-        ("GET", ["dashboard"]) => "dashboard",
-        ("POST", ["v1", "experiments"]) => "submit",
-        ("GET", ["v1", "experiments", _]) => "job_status",
-        ("GET", ["v1", "experiments", _, "results"]) => "job_results",
-        ("GET", ["v1", "experiments", _, "attribution"]) => "job_attribution",
-        ("GET", ["v1", "jobs", _, "trace"]) => "job_trace",
-        ("POST", ["v1", "points"]) => "point_post",
-        ("GET", ["v1", "points", _]) => "point_get",
-        _ => "other",
-    }
-}
-
-/// `GET /v1/jobs/{id}/trace` — every buffered trace event for the
-/// job's trace id, as JSON Lines (submission, queue wait, run span,
-/// per-point timings — whatever the runner recorded).
-fn job_trace(shared: &Shared, id: &str) -> Response {
-    let Some(job) = shared.registry.get(id) else {
-        return error_response(404, "unknown experiment id");
-    };
-    let events = shared.tracer.snapshot_trace(job.trace);
-    Response::new(200, "application/x-ndjson", render_jsonl(&events))
-}
-
-/// The point endpoints' success body: the fingerprint, whether the
-/// cache answered, and the measurement document.
-fn point_body(fp: &Fingerprint, cached: bool, measurement: &str) -> Response {
-    Response::json(
-        200,
-        format!(
-            "{{\"fingerprint\":{},\"cached\":{cached},\"measurement\":{measurement}}}",
-            render_string(&fp.to_hex()),
-        ),
-    )
-}
-
-/// A `422` body positioning a point failure: `{"error": ..., "kind":
-/// "config"|"sim"}` — the coordinator surfaces these as positioned job
-/// failures rather than generic transport errors.
-fn point_error(kind: &str, message: &str) -> Response {
-    Response::json(
-        422,
-        format!(
-            "{{\"error\":{},\"kind\":{}}}",
-            render_string(message),
-            render_string(kind),
-        ),
-    )
-}
-
-/// `POST /v1/points` — simulate (or answer from cache) one grid point:
-/// the endpoint that makes this server a fleet worker.
-fn point_post(shared: &Shared, req: &Request) -> Option<Response> {
-    if shared.shutdown.load(Ordering::SeqCst) {
-        return Some(error_response(503, "service is shutting down"));
-    }
-    let Ok(body) = std::str::from_utf8(&req.body) else {
-        return Some(error_response(400, "body is not utf-8"));
-    };
-    let point = match PointRequest::parse(body) {
-        Ok(p) => p,
-        Err(e) => return Some(error_response(400, &e.to_string())),
-    };
-    let fp = point.fingerprint();
-    let metrics = &shared.registry.metrics;
-
-    // A coordinator propagates its trace id in the X-Predllc-Trace
-    // header; the worker-side compute span records under the same id,
-    // so one fleet point is reconstructable end to end.
-    let trace = req.header(TRACE_HEADER).and_then(TraceId::parse_hex);
-    let mut span = trace.map(|t| {
-        shared.tracer.span(
-            t,
-            "worker.point",
-            fields(&[("fingerprint", fp.to_hex().into())]),
-        )
-    });
-
-    let cached = shared.points.lock().unwrap().get(&fp).map(str::to_string);
-    let (was_cached, rendered) = match cached {
-        Some(rendered) => {
-            metrics.points_cache_shared.inc();
-            (true, rendered)
-        }
-        None => {
-            let config = match point.config.build(point.cores) {
-                Ok(c) => c.with_attribution(point.attribution),
-                Err(e) => return Some(point_error("config", &e.to_string())),
-            };
-            let workload = point.workload.spec.build(point.cores);
-            let measurement = match measure(&config, &workload) {
-                Ok(m) => m,
-                Err(PointError::Config(e)) => return Some(point_error("config", &e.to_string())),
-                Err(PointError::Sim(e)) => return Some(point_error("sim", &e.to_string())),
-            };
-            if let Some(attr) = &measurement.attribution {
-                record_component_cycles(metrics, &attr.components);
+        match api::dispatch(shared, router, &request) {
+            Dispatch::Hangup => return, // killed, or the fault injector tripped
+            Dispatch::Reply(response) => {
+                let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+                // HTTP/1.0 peers don't speak chunked framing; collapse
+                // streams to content-length for them.
+                let response = if request.http11 {
+                    response
+                } else {
+                    response.materialized()
+                };
+                if write_response(&mut writer, response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
             }
-            let rendered = measurement.render();
-            shared.points.lock().unwrap().insert(fp, rendered.clone());
-            metrics.points_simulated.inc();
-            (false, rendered)
         }
-    };
-    if let Some(span) = span.as_mut() {
-        span.field("cached", u64::from(was_cached));
-    }
-    drop(span);
-
-    // Fault injection: after `fail_after_points` successful answers, the
-    // next one crashes mid-response — the worker-loss scenario the
-    // coordinator's recovery path is tested against.
-    if let Some(limit) = shared.fail_after_points {
-        let n = shared.points_answered.fetch_add(1, Ordering::SeqCst) + 1;
-        if n > limit {
-            kill_shared(shared);
-            return None;
-        }
-    } else {
-        shared.points_answered.fetch_add(1, Ordering::SeqCst);
-    }
-    Some(point_body(&fp, was_cached, &rendered))
-}
-
-/// `GET /v1/points/{fingerprint}` — a cached measurement, if this
-/// server has one (`404` otherwise; the caller simulates or POSTs).
-fn point_get(shared: &Shared, fp_hex: &str) -> Response {
-    let Some(fp) = Fingerprint::parse_hex(fp_hex) else {
-        return error_response(404, "not a point fingerprint");
-    };
-    let cached = shared.points.lock().unwrap().get(&fp).map(str::to_string);
-    match cached {
-        Some(rendered) => {
-            shared.registry.metrics.points_cache_shared.inc();
-            point_body(&fp, true, &rendered)
-        }
-        None => error_response(404, "point not cached"),
-    }
-}
-
-/// `POST /v1/experiments` — submit a spec; coalesces duplicates.
-fn submit(shared: &Shared, req: &Request) -> Response {
-    if shared.shutdown.load(Ordering::SeqCst) {
-        return error_response(503, "service is shutting down");
-    }
-    let Ok(body) = std::str::from_utf8(&req.body) else {
-        return error_response(400, "body is not utf-8");
-    };
-    // Callers may supply the trace id (X-Predllc-Trace) so their own
-    // spans and the server's share one trace; otherwise mint a fresh
-    // one. A cache hit keeps the existing job's trace.
-    let trace = req
-        .header(TRACE_HEADER)
-        .and_then(TraceId::parse_hex)
-        .unwrap_or_else(TraceId::fresh);
-    let submission = match shared.registry.submit_traced(body, trace) {
-        Ok(s) => s,
-        Err(e @ SubmitError::AtCapacity) => return error_response(503, &e.to_string()),
-        Err(SubmitError::Spec(e)) => return error_response(400, &e.to_string()),
-    };
-    shared.tracer.instant(
-        submission.job.trace,
-        "serve.job.submitted",
-        fields(&[
-            ("job", submission.job.id.to_hex().into()),
-            ("cached", u64::from(!submission.fresh).into()),
-        ]),
-    );
-    if submission.fresh {
-        // Enqueue for the runners; if the queue closed under us
-        // (shutdown raced the submit), unregister the job so the
-        // queued-jobs gauge and the cache stay truthful.
-        let enqueued = match &*shared.queue.lock().unwrap() {
-            Some(tx) => tx.send(Arc::clone(&submission.job)).is_ok(),
-            None => false,
-        };
-        if !enqueued {
-            shared
-                .registry
-                .abandon(&submission.job, "service is shutting down");
-            return error_response(503, "service is shutting down");
-        }
-    }
-    let job = &submission.job;
-    let body = format!(
-        "{{\"id\":{},\"name\":{},\"status\":{},\"cached\":{},\"points_total\":{}}}",
-        render_string(&job.id.to_hex()),
-        render_string(&job.name),
-        render_string(job.status().as_str()),
-        !submission.fresh,
-        job.points_total,
-    );
-    Response::json(if submission.fresh { 202 } else { 200 }, body)
-}
-
-/// `GET /v1/experiments/{id}` — status and progress.
-fn status(shared: &Shared, id: &str) -> Response {
-    let Some(job) = shared.registry.get(id) else {
-        return error_response(404, "unknown experiment id");
-    };
-    let status = job.status();
-    let mut body = format!(
-        "{{\"id\":{},\"name\":{},\"status\":{},\"points_done\":{},\"points_total\":{}",
-        render_string(&job.id.to_hex()),
-        render_string(&job.name),
-        render_string(status.as_str()),
-        // A done job's progress is complete by definition, even though
-        // a cache-hit reader may race the last progress store.
-        if status == JobStatus::Done {
-            job.points_total
-        } else {
-            job.points_done()
-        },
-        job.points_total,
-    );
-    if let Some(error) = job.error() {
-        body.push_str(&format!(",\"error\":{}", render_string(&error)));
-    }
-    body.push('}');
-    Response::json(200, body)
-}
-
-/// `GET /v1/experiments/{id}/results?format=csv|json` — the cached
-/// rendered result.
-fn results(shared: &Shared, id: &str, req: &Request) -> Response {
-    let Some(job) = shared.registry.get(id) else {
-        return error_response(404, "unknown experiment id");
-    };
-    match job.status() {
-        JobStatus::Done => {}
-        JobStatus::Failed => {
-            return error_response(500, &job.error().unwrap_or_else(|| "job failed".into()))
-        }
-        other => {
-            return Response::json(
-                409,
-                format!(
-                    "{{\"error\":\"results not ready\",\"status\":{}}}",
-                    render_string(other.as_str())
-                ),
-            )
-        }
-    }
-    let result = job.result().expect("status was Done");
-    match req.query_param("format").unwrap_or("csv") {
-        "csv" => Response::new(200, "text/csv; charset=utf-8", result.csv.clone()),
-        "json" => Response::json(200, result.json.clone()),
-        other => error_response(400, &format!("unknown format '{other}' (csv or json)")),
-    }
-}
-
-/// `GET /v1/experiments/{id}/attribution` — the cached attribution
-/// artifact (`report::render_attribution_json`). `404` when the job ran
-/// without `"attribution": true`, so callers can distinguish "off" from
-/// "not ready" (`409`) without parsing bodies.
-fn attribution_results(shared: &Shared, id: &str) -> Response {
-    let Some(job) = shared.registry.get(id) else {
-        return error_response(404, "unknown experiment id");
-    };
-    match job.status() {
-        JobStatus::Done => {}
-        JobStatus::Failed => {
-            return error_response(500, &job.error().unwrap_or_else(|| "job failed".into()))
-        }
-        other => {
-            return Response::json(
-                409,
-                format!(
-                    "{{\"error\":\"results not ready\",\"status\":{}}}",
-                    render_string(other.as_str())
-                ),
-            )
-        }
-    }
-    let result = job.result().expect("status was Done");
-    match &result.attribution {
-        Some(doc) => Response::json(200, doc.clone()),
-        None => error_response(
-            404,
-            "attribution is off for this experiment (submit with \"attribution\": true)",
-        ),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::Client;
+    use crate::client::{Client, Format};
+    use crate::registry::JobStatus;
 
     const SPEC: &str = r#"{
         "name": "server-test", "cores": 2,
@@ -1279,7 +937,11 @@ mod tests {
             .unwrap();
         assert_eq!(done.status, "done");
         assert_eq!(done.points_done, done.points_total);
-        let csv = client.results_csv(&submitted.id).unwrap();
+        let csv = client
+            .results(&submitted.id, Format::Csv)
+            .unwrap()
+            .text()
+            .unwrap();
         assert!(csv.starts_with("config,workload,backend,"));
         let metrics = client.metrics().unwrap();
         assert!(metrics.contains("predllc_jobs_done 1"));
@@ -1289,9 +951,12 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_drains_accepted_jobs() {
+    fn shutdown_drains_accepted_jobs_in_blocking_mode() {
+        // Blocking mode, so the preserved fallback keeps end-to-end
+        // coverage (the rest of the suite runs the reactor default).
         let (handle, join) = start(ServerConfig {
             threads: 1,
+            mode: ServeMode::Blocking,
             ..ServerConfig::default()
         });
         let mut client = Client::new(handle.addr());

@@ -1,0 +1,333 @@
+//! Thin raw-syscall bindings for the event-driven reactor: `epoll`,
+//! `eventfd`, `fcntl` and `setrlimit`, declared against the C library
+//! the platform already links (no external crates — same offline
+//! constraint as the in-tree JSON codec).
+//!
+//! This is the **only** module in the crate allowed to use `unsafe`
+//! (`lib.rs` carries `#![deny(unsafe_code)]`; the module opts out with
+//! a scoped `allow`). Every binding is wrapped in a safe RAII type
+//! ([`Epoll`], [`EventFd`]) or a safe free function, so the reactor
+//! itself stays entirely safe code.
+//!
+//! Linux-only: the module (and the reactor built on it) is compiled
+//! behind `cfg(target_os = "linux")`; other platforms fall back to the
+//! blocking serve mode.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_uint, c_void};
+
+// Event masks (bits of `epoll_event.events`).
+/// The fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// The fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// An error condition happened on the fd (always reported).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up happened on the fd (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// The peer shut down its writing half (half-close detection).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const O_NONBLOCK: c_int = 0o4000;
+
+const RLIMIT_NOFILE: c_int = 7;
+
+/// One ready event out of [`Epoll::wait`]: the interest mask bits that
+/// fired plus the caller-chosen 64-bit token registered with the fd.
+///
+/// The kernel ABI packs this struct on x86-64; the attribute mirrors
+/// the C definition exactly.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Debug, Clone, Copy)]
+pub struct EpollEvent {
+    /// Fired event bits ([`EPOLLIN`] | [`EPOLLOUT`] | ...).
+    pub events: u32,
+    /// The token the fd was registered under.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed event (for pre-sizing wait buffers).
+    pub const fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+/// Converts a `-1`-on-error syscall return into `io::Result`.
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned `epoll` instance; the fd closes on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// A fresh close-on-exec epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_create1` failure.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        // SAFETY: epoll_create1 returned a fresh fd we now own.
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Registers `fd` with interest `events` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_ctl` failure.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes an already registered fd's interest mask.
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_ctl` failure.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_ctl` failure.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout_ms` (`-1` = forever) for ready events,
+    /// filling `events` from the front; returns how many fired.
+    /// `EINTR` retries internally.
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_wait` failure.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let cap = c_int::try_from(events.len()).unwrap_or(c_int::MAX).max(1);
+        loop {
+            let n =
+                unsafe { epoll_wait(self.fd.as_raw_fd(), events.as_mut_ptr(), cap, timeout_ms) };
+            match cvt(n) {
+                Ok(n) => return Ok(n as usize),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A nonblocking `eventfd` used to wake an epoll loop from another
+/// thread: [`EventFd::signal`] makes the fd readable, the woken loop
+/// [`EventFd::drain`]s it back to quiescence. Closes on drop.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: OwnedFd,
+}
+
+impl EventFd {
+    /// A fresh nonblocking close-on-exec eventfd.
+    ///
+    /// # Errors
+    ///
+    /// The raw `eventfd` failure.
+    pub fn new() -> io::Result<EventFd> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        // SAFETY: eventfd returned a fresh fd we now own.
+        Ok(EventFd {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn raw(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Makes the fd readable (wakes any epoll loop watching it).
+    /// Saturation (`EAGAIN` on an already maximally signalled counter)
+    /// is fine — the loop is awake either way.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        // SAFETY: writing 8 bytes from a valid, live u64.
+        let _ = unsafe {
+            write(
+                self.fd.as_raw_fd(),
+                std::ptr::addr_of!(one).cast::<c_void>(),
+                8,
+            )
+        };
+    }
+
+    /// Consumes pending signals so the fd goes quiet again.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        // SAFETY: reading 8 bytes into a valid, live u64.
+        let _ = unsafe {
+            read(
+                self.fd.as_raw_fd(),
+                std::ptr::addr_of_mut!(buf).cast::<c_void>(),
+                8,
+            )
+        };
+    }
+}
+
+/// Switches `fd` into nonblocking mode via `fcntl` (the accept path
+/// uses this on fresh connections before handing them to a reactor).
+///
+/// # Errors
+///
+/// The raw `fcntl` failure.
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    let flags = cvt(unsafe { fcntl(fd, F_GETFL) })?;
+    cvt(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) }).map(|_| ())
+}
+
+/// Raises the open-file soft limit to at least `want` fds (capped at
+/// the hard limit). Serving thousands of concurrent connections needs
+/// more than the common 1024-fd default; callers that fan out (the
+/// `serve_perf` bench, production deployments) call this at startup.
+/// Returns the resulting soft limit.
+///
+/// # Errors
+///
+/// The raw `getrlimit`/`setrlimit` failure.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = RLimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: passing a valid, live RLimit out-pointer.
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    lim.rlim_cur = want.min(lim.rlim_max);
+    // SAFETY: passing a valid, live RLimit in-pointer.
+    cvt(unsafe { setrlimit(RLIMIT_NOFILE, &lim) })?;
+    Ok(lim.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn eventfd_signals_and_drains() {
+        let efd = EventFd::new().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(efd.raw(), EPOLLIN, 7).unwrap();
+        let mut events = [EpollEvent::zeroed(); 4];
+        // Quiet fd: a zero-timeout wait sees nothing.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        efd.signal();
+        efd.signal();
+        assert_eq!(ep.wait(&mut events, 1000).unwrap(), 1);
+        let (data, bits) = {
+            let ev = events[0];
+            (ev.data, ev.events)
+        };
+        assert_eq!(data, 7);
+        assert_ne!(bits & EPOLLIN, 0);
+        // Drained, the fd goes quiet again (level-triggered).
+        efd.drain();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn epoll_sees_socket_readability_and_tokens() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        set_nonblocking(rx.as_raw_fd()).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(rx.as_raw_fd(), EPOLLIN, 42).unwrap();
+        let mut events = [EpollEvent::zeroed(); 4];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0, "nothing sent yet");
+        tx.write_all(b"ping").unwrap();
+        assert_eq!(ep.wait(&mut events, 1000).unwrap(), 1);
+        let (data, bits) = {
+            let ev = events[0];
+            (ev.data, ev.events)
+        };
+        assert_eq!(data, 42);
+        assert_ne!(bits & EPOLLIN, 0);
+        // Interest can be narrowed to write-only and back.
+        ep.modify(rx.as_raw_fd(), EPOLLOUT, 42).unwrap();
+        let n = ep.wait(&mut events, 100).unwrap();
+        assert!(n >= 1, "a fresh socket is writable");
+        let bits = {
+            let ev = events[0];
+            ev.events
+        };
+        assert_ne!(bits & EPOLLOUT, 0);
+        ep.delete(rx.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_monotone() {
+        let now = raise_nofile_limit(0).unwrap();
+        assert!(now > 0);
+        // Asking for what we already have (or less) never lowers it.
+        assert!(raise_nofile_limit(now.min(64)).unwrap() >= now.min(64));
+    }
+}

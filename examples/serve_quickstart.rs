@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use predllc::serve::{Client, Server, ServerConfig};
+use predllc::serve::{Client, Format, Server, ServerConfig};
 
 const SPEC: &str = r#"{
     "name": "quickstart",
@@ -47,9 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         status.status, status.points_done, status.points_total
     );
 
-    // Fetch the rendered results: byte-identical to what `run_spec`
-    // would produce in-process.
-    let csv = client.results_csv(&submitted.id)?;
+    // Fetch the rendered results: streamed chunk by chunk off the
+    // wire, byte-identical to what `run_spec` would produce in-process.
+    let csv = client.results(&submitted.id, Format::Csv)?.text()?;
     println!("\n{csv}");
 
     // Resubmit: a cache hit, answered instantly from the stored bytes.

@@ -8,7 +8,9 @@ use std::time::Duration;
 
 use predllc::explore::report::{render_csv, render_json};
 use predllc::explore::{run_spec, Executor};
-use predllc::serve::{Client, JobStatus, Limits, Server, ServerConfig, ServerHandle};
+use predllc::serve::{
+    Client, ClientError, Format, JobStatus, Limits, Server, ServerConfig, ServerHandle,
+};
 use predllc::ExperimentSpec;
 
 /// A small but non-trivial spec: two platforms (one banked), two
@@ -39,6 +41,43 @@ fn stop(handle: &ServerHandle, join: std::thread::JoinHandle<()>) {
     join.join().expect("server thread");
 }
 
+/// Opens a result stream and collapses it — the common test shape.
+fn fetch(client: &mut Client, id: &str, format: Format) -> Result<String, ClientError> {
+    client.results(id, format)?.text()
+}
+
+/// Every non-2xx JSON answer must be `{"error": <non-empty>, "kind":
+/// <taxonomy>}` (extra fields allowed, e.g. 409's `"status"`).
+fn assert_error_shape(body: &str, kind: &str) {
+    use predllc::explore::json::{self, Json};
+    let doc = json::parse(body).unwrap_or_else(|e| panic!("error body is not JSON ({e}): {body}"));
+    let message = doc.get("error").and_then(Json::as_str).unwrap_or_default();
+    assert!(!message.is_empty(), "missing or empty 'error' in {body}");
+    assert_eq!(
+        doc.get("kind").and_then(Json::as_str),
+        Some(kind),
+        "wrong 'kind' in {body}"
+    );
+}
+
+/// One raw HTTP/1.1 exchange for request shapes the typed client
+/// cannot produce (wrong methods, bogus paths, malformed syntax).
+/// Sends `connection: close` so reading to EOF terminates.
+fn raw_request(addr: std::net::SocketAddr, request: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    let status = reply
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable status line in {reply:?}"));
+    let body = reply.split_once("\r\n\r\n").map_or("", |(_, b)| b);
+    (status, body.to_string())
+}
+
 #[test]
 fn served_results_are_byte_identical_to_in_process_runs_at_any_thread_count() {
     // The in-process reference (thread count is irrelevant to the
@@ -62,7 +101,7 @@ fn served_results_are_byte_identical_to_in_process_runs_at_any_thread_count() {
         assert_eq!(done.status, "done");
         assert_eq!(done.points_done, done.points_total);
 
-        let csv = client.results_csv(&submitted.id).unwrap();
+        let csv = fetch(&mut client, &submitted.id, Format::Csv).unwrap();
         assert_eq!(
             csv, reference_csv,
             "served CSV diverged at {threads} thread(s)"
@@ -77,7 +116,10 @@ fn served_results_are_byte_identical_to_in_process_runs_at_any_thread_count() {
             &report.grid,
             report.search.as_ref(),
         );
-        assert_eq!(client.results_json(&submitted.id).unwrap(), reference_json);
+        assert_eq!(
+            fetch(&mut client, &submitted.id, Format::Json).unwrap(),
+            reference_json
+        );
         served.push(csv);
         stop(&handle, join);
     }
@@ -95,13 +137,17 @@ fn attribution_endpoint_serves_the_artifact_only_when_on() {
     // so callers can tell "off" apart from "not ready" (409).
     let off = client.submit(SPEC).unwrap();
     client.wait_done(&off.id, Duration::from_secs(120)).unwrap();
-    let off_csv = client.results_csv(&off.id).unwrap();
-    let off_json = client.results_json(&off.id).unwrap();
-    match client.attribution(&off.id) {
-        Err(predllc::serve::ClientError::Status { status: 404, body }) => {
+    let off_csv = fetch(&mut client, &off.id, Format::Csv).unwrap();
+    let off_json = fetch(&mut client, &off.id, Format::Json).unwrap();
+    match client.results(&off.id, Format::Attribution) {
+        Err(ClientError::Status { status: 404, body }) => {
             assert!(body.contains("attribution"), "{body}");
+            assert_error_shape(&body, "not_found");
         }
-        other => panic!("expected 404 for an attribution-off job, got {other:?}"),
+        other => panic!(
+            "expected 404 for an attribution-off job, got {:?}",
+            other.map(|_| "a body stream")
+        ),
     }
     assert!(
         !client
@@ -124,8 +170,8 @@ fn attribution_endpoint_serves_the_artifact_only_when_on() {
     assert!(!on.cached, "attribution must not coalesce with the off job");
     assert_ne!(on.id, off.id);
     client.wait_done(&on.id, Duration::from_secs(120)).unwrap();
-    assert_eq!(client.results_csv(&on.id).unwrap(), off_csv);
-    assert_eq!(client.results_json(&on.id).unwrap(), off_json);
+    assert_eq!(fetch(&mut client, &on.id, Format::Csv).unwrap(), off_csv);
+    assert_eq!(fetch(&mut client, &on.id, Format::Json).unwrap(), off_json);
 
     // The attributed run also populated the per-component scrape
     // family (the off job, which ran first, must not have).
@@ -135,7 +181,7 @@ fn attribution_endpoint_serves_the_artifact_only_when_on() {
         "no component family in:\n{scrape}"
     );
 
-    let doc = json::parse(&client.attribution(&on.id).unwrap()).unwrap();
+    let doc = json::parse(&fetch(&mut client, &on.id, Format::Attribution).unwrap()).unwrap();
     assert_eq!(doc.get("name").and_then(Json::as_str), Some("serve-e2e"));
     let Some(Json::Array(points)) = doc.get("points") else {
         panic!("attribution artifact has no points array");
@@ -162,7 +208,7 @@ fn sequential_resubmission_is_a_cache_hit_with_one_execution() {
     client
         .wait_done(&first.id, Duration::from_secs(120))
         .unwrap();
-    let first_body = client.results_csv(&first.id).unwrap();
+    let first_body = fetch(&mut client, &first.id, Format::Csv).unwrap();
 
     // Same experiment, cosmetically different document: reordered keys,
     // different whitespace.
@@ -187,7 +233,10 @@ fn sequential_resubmission_is_a_cache_hit_with_one_execution() {
     assert!(second.cached, "reordered duplicate was not coalesced");
     assert_eq!(second.id, first.id);
     assert_eq!(second.status, "done");
-    assert_eq!(client.results_csv(&second.id).unwrap(), first_body);
+    assert_eq!(
+        fetch(&mut client, &second.id, Format::Csv).unwrap(),
+        first_body
+    );
 
     assert_eq!(client.metric("predllc_cache_misses").unwrap(), 1);
     assert_eq!(client.metric("predllc_cache_hits").unwrap(), 1);
@@ -218,7 +267,7 @@ fn concurrent_identical_submissions_coalesce_onto_one_execution() {
                 client
                     .wait_done(&submitted.id, Duration::from_secs(120))
                     .unwrap();
-                let body = client.results_csv(&submitted.id).unwrap();
+                let body = fetch(&mut client, &submitted.id, Format::Csv).unwrap();
                 (submitted.id, submitted.cached, body)
             })
         })
@@ -272,7 +321,7 @@ fn point_dedup_counts_unique_work_through_the_service() {
         .unwrap();
     assert_eq!(client.metric("predllc_points_simulated").unwrap(), 1);
     // Both declared rows are served, with their own labels.
-    let csv = client.results_csv(&submitted.id).unwrap();
+    let csv = fetch(&mut client, &submitted.id, Format::Csv).unwrap();
     assert_eq!(csv.lines().count(), 3);
     assert!(csv.contains("\nA,") && csv.contains("\nB,"));
     stop(&handle, join);
@@ -289,15 +338,16 @@ fn http_error_paths_answer_cleanly() {
     });
     let mut client = Client::new(handle.addr());
 
-    // Invalid JSON and schema violations → 400 with the parser's story.
+    // Invalid JSON and schema violations → 400 with the parser's story,
+    // in the `{"error", "kind"}` shape.
     for bad in [
         "{",
         r#"{"name": "x"}"#,
         r#"{"name":"x","cores":2,"configz":[]}"#,
     ] {
         match client.submit(bad) {
-            Err(predllc::serve::ClientError::Status { status: 400, body }) => {
-                assert!(body.contains("error"), "{body}");
+            Err(ClientError::Status { status: 400, body }) => {
+                assert_error_shape(&body, "spec");
             }
             other => panic!("expected 400 for {bad:?}, got {other:?}"),
         }
@@ -307,13 +357,14 @@ fn http_error_paths_answer_cleanly() {
         client
             .status("00000000000000000000000000000000")
             .unwrap_err(),
-        client
-            .results_csv("00000000000000000000000000000000")
-            .unwrap_err(),
+        fetch(&mut client, "00000000000000000000000000000000", Format::Csv).unwrap_err(),
         client.status("not-even-hex").unwrap_err(),
     ] {
         match call {
-            predllc::serve::ClientError::Status { status, .. } => assert_eq!(status, 404),
+            ClientError::Status { status, body } => {
+                assert_eq!(status, 404);
+                assert_error_shape(&body, "not_found");
+            }
             other => panic!("expected 404, got {other:?}"),
         }
     }
@@ -323,10 +374,12 @@ fn http_error_paths_answer_cleanly() {
         "x".repeat(4096)
     );
     match client.submit(&huge) {
-        Err(predllc::serve::ClientError::Status { status: 413, .. }) => {}
+        Err(ClientError::Status { status: 413, body }) => {
+            assert_error_shape(&body, "limits");
+        }
         // The server may also slam the connection after refusing; both
         // are clean refusals.
-        Err(predllc::serve::ClientError::Io(_) | predllc::serve::ClientError::Protocol(_)) => {}
+        Err(ClientError::Io(_) | ClientError::Protocol(_)) => {}
         other => panic!("expected 413 or a closed connection, got {other:?}"),
     }
     // The service is still healthy afterwards.
@@ -353,11 +406,12 @@ fn deeply_nested_body_is_a_400_not_a_stack_overflow() {
     let depth = 500_000;
     let bomb = "[".repeat(depth) + &"]".repeat(depth);
     match client.submit(&bomb) {
-        Err(predllc::serve::ClientError::Status { status: 400, body }) => {
+        Err(ClientError::Status { status: 400, body }) => {
             assert!(
                 body.contains("depth"),
                 "error should name the limit: {body}"
             );
+            assert_error_shape(&body, "spec");
         }
         other => panic!("expected 400 for the bracket bomb, got {other:?}"),
     }
@@ -365,8 +419,9 @@ fn deeply_nested_body_is_a_400_not_a_stack_overflow() {
     // validation, still a clean 400 — not a crash).
     let deep_ok = "[".repeat(100) + &"]".repeat(100);
     match client.submit(&deep_ok) {
-        Err(predllc::serve::ClientError::Status { status: 400, body }) => {
+        Err(ClientError::Status { status: 400, body }) => {
             assert!(!body.contains("depth"), "{body}");
+            assert_error_shape(&body, "spec");
         }
         other => panic!("expected a schema 400, got {other:?}"),
     }
@@ -473,9 +528,8 @@ fn point_endpoint_computes_caches_and_positions_errors() {
     .render()
     .unwrap();
     match client.point(&bad_wire) {
-        Err(predllc::serve::ClientError::Status { status: 422, body }) => {
-            assert!(body.contains("\"kind\""), "{body}");
-            assert!(body.contains("config"), "{body}");
+        Err(ClientError::Status { status: 422, body }) => {
+            assert_error_shape(&body, "config");
         }
         other => panic!("expected 422, got {other:?}"),
     }
@@ -483,10 +537,157 @@ fn point_endpoint_computes_caches_and_positions_errors() {
     // Unknown or malformed fingerprints → 404.
     for fp in ["00000000000000000000000000000000", "not-hex"] {
         match client.cached_point(fp) {
-            Err(predllc::serve::ClientError::Status { status: 404, .. }) => {}
+            Err(ClientError::Status { status: 404, body }) => {
+                assert_error_shape(&body, "not_found");
+            }
             other => panic!("expected 404 for {fp:?}, got {other:?}"),
         }
     }
+    stop(&handle, join);
+}
+
+#[test]
+fn every_error_answer_carries_error_and_kind() {
+    use predllc::serve::MonitorConfig;
+
+    // Monitoring on, so the history endpoint exists and its query
+    // validation is reachable.
+    let (handle, join) = start(ServerConfig {
+        monitor: Some(MonitorConfig::default()),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let mut client = Client::new(addr);
+
+    // Routing errors: unknown endpoint → 404, wrong method → 405.
+    let (status, body) = raw_request(addr, "GET /nope HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert_eq!(status, 404);
+    assert_error_shape(&body, "not_found");
+    let (status, body) = raw_request(
+        addr,
+        "DELETE /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 405);
+    assert_error_shape(&body, "method_not_allowed");
+
+    // Malformed HTTP syntax → 400 "http".
+    let (status, body) = raw_request(addr, "NOT-EVEN-HTTP\r\n\r\n");
+    assert_eq!(status, 400);
+    assert_error_shape(&body, "http");
+
+    // Bad query parameter on a real endpoint → 400 "query".
+    let (status, body) = raw_request(
+        addr,
+        "GET /v1/metrics/history?window=banana HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 400);
+    assert_error_shape(&body, "query");
+
+    // Malformed point request body → 400 "point".
+    match client.point("{") {
+        Err(ClientError::Status { status: 400, body }) => assert_error_shape(&body, "point"),
+        other => panic!("expected 400 for a bad point body, got {other:?}"),
+    }
+
+    // Not-ready results → 409 "not_ready" (plus the job's status). A
+    // slow job occupies the single runner, so the one submitted behind
+    // it is reliably still queued when we ask for its results.
+    let slow = SPEC.replace("\"ops\": 300", "\"ops\": 20000");
+    let slow_id = client.submit(&slow).unwrap().id;
+    let queued = client.submit(SPEC).unwrap();
+    match client.results(&queued.id, Format::Csv) {
+        Err(ClientError::Status { status: 409, body }) => {
+            assert_error_shape(&body, "not_ready");
+            assert!(body.contains("\"status\""), "{body}");
+        }
+        other => panic!(
+            "expected 409 while queued, got {:?}",
+            other.map(|_| "a body stream")
+        ),
+    }
+    client
+        .wait_done(&slow_id, Duration::from_secs(300))
+        .unwrap();
+    client
+        .wait_done(&queued.id, Duration::from_secs(300))
+        .unwrap();
+
+    // A job that fails during the run → 500 "job" on its results.
+    let unbuildable = r#"{
+        "name": "will-fail", "cores": 2,
+        "configs": [{"partition": {"kind": "private", "sets": 32, "ways": 16}}],
+        "workloads": [{"kind": "uniform", "range_bytes": 1024, "ops": 10}]
+    }"#;
+    let failing = client.submit(unbuildable).unwrap();
+    match client.wait_done(&failing.id, Duration::from_secs(300)) {
+        Err(ClientError::Status { status: 500, .. }) => {}
+        other => panic!("expected the job to fail, got {other:?}"),
+    }
+    match client.results(&failing.id, Format::Csv) {
+        Err(ClientError::Status { status: 500, body }) => assert_error_shape(&body, "job"),
+        other => panic!(
+            "expected 500 for a failed job, got {:?}",
+            other.map(|_| "a body stream")
+        ),
+    }
+
+    // Unknown results format on a finished job → 400 "format" (the
+    // done/ready ladder answers first, so this needs a real done job).
+    let (status, body) = raw_request(
+        addr,
+        &format!(
+            "GET /v1/experiments/{}/results?format=xml HTTP/1.1\r\nconnection: close\r\n\r\n",
+            queued.id
+        ),
+    );
+    assert_eq!(status, 400);
+    assert_error_shape(&body, "format");
+    stop(&handle, join);
+
+    // Monitoring off → the monitor endpoints 404 with the same shape.
+    let (handle, join) = start(ServerConfig::default());
+    let mut client = Client::new(handle.addr());
+    for call in [
+        client.metrics_history(None, None).unwrap_err(),
+        client.alerts().unwrap_err(),
+    ] {
+        match call {
+            ClientError::Status { status: 404, body } => assert_error_shape(&body, "not_found"),
+            other => panic!("expected 404 with monitoring off, got {other:?}"),
+        }
+    }
+    stop(&handle, join);
+}
+
+/// The pre-0.11 result accessors still work (one release of grace) and
+/// serve bytes identical to the streamed API they now wrap.
+#[test]
+#[allow(deprecated)]
+fn deprecated_result_wrappers_still_serve_identical_bytes() {
+    let (handle, join) = start(ServerConfig::default());
+    let mut client = Client::new(handle.addr());
+    let attributed = SPEC.replacen(
+        "\"name\": \"serve-e2e\",",
+        "\"name\": \"serve-e2e\",\n    \"attribution\": true,",
+        1,
+    );
+    let submitted = client.submit(&attributed).unwrap();
+    client
+        .wait_done(&submitted.id, Duration::from_secs(120))
+        .unwrap();
+    let id = &submitted.id;
+    assert_eq!(
+        client.results_csv(id).unwrap(),
+        fetch(&mut client, id, Format::Csv).unwrap()
+    );
+    assert_eq!(
+        client.results_json(id).unwrap(),
+        fetch(&mut client, id, Format::Json).unwrap()
+    );
+    assert_eq!(
+        client.attribution(id).unwrap(),
+        fetch(&mut client, id, Format::Attribution).unwrap()
+    );
     stop(&handle, join);
 }
 
